@@ -1,0 +1,309 @@
+//! The Astrea brute-force decoder (exact for HW ≤ 10).
+
+use crate::latency::AstreaLatencyModel;
+use decoding_graph::{
+    DecodeOutcome, Decoder, DecodingGraph, DetectorId, MatchPair, MatchTarget, PathTable,
+};
+
+/// Configuration of the brute-force engine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AstreaConfig {
+    /// Maximum Hamming weight the engine supports (10 in the paper).
+    pub max_hw: usize,
+    /// The hardware latency model.
+    pub latency: AstreaLatencyModel,
+}
+
+impl Default for AstreaConfig {
+    fn default() -> Self {
+        AstreaConfig { max_hw: 10, latency: AstreaLatencyModel::default() }
+    }
+}
+
+/// Astrea: exact MWPM by accelerated brute force, for low-HW syndromes.
+///
+/// Syndromes with more than [`AstreaConfig::max_hw`] flipped bits are
+/// rejected ([`DecodeOutcome::failed`]), exactly like the hardware, which
+/// is sized for the ≤ 945 pairings of ten flipped bits.
+#[derive(Clone, Debug)]
+pub struct AstreaDecoder<'a> {
+    paths: &'a PathTable,
+    config: AstreaConfig,
+}
+
+impl<'a> AstreaDecoder<'a> {
+    /// Creates an Astrea decoder with the default configuration.
+    pub fn new(graph: &'a DecodingGraph, paths: &'a PathTable) -> Self {
+        Self::with_config(graph, paths, AstreaConfig::default())
+    }
+
+    /// Creates an Astrea decoder with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` does not match `graph`.
+    pub fn with_config(
+        graph: &'a DecodingGraph,
+        paths: &'a PathTable,
+        config: AstreaConfig,
+    ) -> Self {
+        assert_eq!(paths.num_detectors(), graph.num_detectors() as usize);
+        AstreaDecoder { paths, config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &AstreaConfig {
+        &self.config
+    }
+
+    /// Latency for a given Hamming weight under this configuration.
+    pub fn latency_ns(&self, hw: usize) -> f64 {
+        self.config.latency.latency_ns(hw)
+    }
+
+    /// Exhaustive search over pairings. Returns (weight, partner vector)
+    /// where `partner[i] = j` for a pair or `usize::MAX` for a boundary
+    /// match.
+    fn search(&self, dets: &[DetectorId]) -> (i64, Vec<usize>) {
+        const BOUNDARY: usize = usize::MAX;
+        let k = dets.len();
+        let mut best = i64::MAX;
+        let mut best_partner = vec![BOUNDARY; k];
+        let mut partner = vec![BOUNDARY; k];
+        // DFS with branch-and-bound on the running weight.
+        fn rec(
+            paths: &PathTable,
+            dets: &[DetectorId],
+            used: &mut u64,
+            partner: &mut [usize],
+            acc: i64,
+            best: &mut i64,
+            best_partner: &mut [usize],
+        ) {
+            if acc >= *best {
+                return; // prune
+            }
+            let k = dets.len();
+            let Some(i) = (0..k).find(|&i| *used & (1 << i) == 0) else {
+                *best = acc;
+                best_partner.copy_from_slice(partner);
+                return;
+            };
+            *used |= 1 << i;
+            // Option 1: boundary.
+            let bd = paths.boundary_distance(dets[i]);
+            if bd != i64::MAX {
+                partner[i] = usize::MAX;
+                rec(paths, dets, used, partner, acc + bd, best, best_partner);
+            }
+            // Option 2: pair with each later unused bit.
+            for j in (i + 1)..k {
+                if *used & (1 << j) == 0 {
+                    let d = paths.distance(dets[i], dets[j]);
+                    if d == i64::MAX {
+                        continue;
+                    }
+                    *used |= 1 << j;
+                    partner[i] = j;
+                    partner[j] = i;
+                    rec(paths, dets, used, partner, acc + d, best, best_partner);
+                    partner[j] = usize::MAX;
+                    *used &= !(1 << j);
+                }
+            }
+            partner[i] = usize::MAX;
+            *used &= !(1 << i);
+        }
+        let mut used = 0u64;
+        rec(
+            self.paths,
+            dets,
+            &mut used,
+            &mut partner,
+            0,
+            &mut best,
+            &mut best_partner,
+        );
+        (best, best_partner)
+    }
+}
+
+impl Decoder for AstreaDecoder<'_> {
+    fn name(&self) -> &str {
+        "Astrea"
+    }
+
+    fn decode(&mut self, dets: &[DetectorId]) -> DecodeOutcome {
+        let k = dets.len();
+        if k > self.config.max_hw {
+            // The hardware cannot decode high-HW syndromes at all.
+            return DecodeOutcome::failure();
+        }
+        if k == 0 {
+            return DecodeOutcome {
+                obs_flip: 0,
+                weight: Some(0),
+                latency_ns: Some(self.latency_ns(0)),
+                failed: false,
+                matches: Vec::new(),
+            };
+        }
+        let (best, partner) = self.search(dets);
+        if best == i64::MAX {
+            return DecodeOutcome::failure();
+        }
+        let mut obs = 0u64;
+        let mut matches = Vec::with_capacity(k);
+        for i in 0..k {
+            if partner[i] == usize::MAX {
+                obs ^= self.paths.boundary_obs(dets[i]);
+                matches.push(MatchPair { a: dets[i], b: MatchTarget::Boundary });
+            } else if i < partner[i] {
+                obs ^= self.paths.path_obs(dets[i], dets[partner[i]]);
+                matches.push(MatchPair {
+                    a: dets[i],
+                    b: MatchTarget::Detector(dets[partner[i]]),
+                });
+            }
+        }
+        DecodeOutcome {
+            obs_flip: obs,
+            weight: Some(best),
+            latency_ns: Some(self.latency_ns(k)),
+            failed: false,
+            matches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwpm::MwpmDecoder;
+    use qsim::extract_dem;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use surface_code::{NoiseModel, RotatedSurfaceCode};
+
+    fn fixture(d: u32) -> (DecodingGraph, PathTable) {
+        let code = RotatedSurfaceCode::new(d);
+        let circuit = code.memory_z_circuit(d, &NoiseModel::uniform(1e-3));
+        let graph = DecodingGraph::from_dem(&extract_dem(&circuit));
+        let paths = PathTable::build(&graph);
+        (graph, paths)
+    }
+
+    #[test]
+    fn rejects_high_hamming_weight() {
+        let (graph, paths) = fixture(5);
+        let mut astrea = AstreaDecoder::new(&graph, &paths);
+        let dets: Vec<u32> = (0..11).collect();
+        assert!(astrea.decode(&dets).failed);
+        let dets: Vec<u32> = (0..10).collect();
+        assert!(!astrea.decode(&dets).failed);
+    }
+
+    #[test]
+    fn empty_syndrome_is_trivial() {
+        let (graph, paths) = fixture(3);
+        let mut astrea = AstreaDecoder::new(&graph, &paths);
+        let out = astrea.decode(&[]);
+        assert!(!out.failed);
+        assert_eq!(out.obs_flip, 0);
+        assert_eq!(out.weight, Some(0));
+    }
+
+    #[test]
+    fn matches_mwpm_weight_on_low_hw_syndromes() {
+        let (graph, paths) = fixture(5);
+        let mut astrea = AstreaDecoder::new(&graph, &paths);
+        let mut mwpm = MwpmDecoder::new(&graph, &paths);
+        let mut rng = StdRng::seed_from_u64(21);
+        let nd = graph.num_detectors() as usize;
+        for trial in 0..300 {
+            let hw = rng.gen_range(1..=8);
+            let mut pool: Vec<u32> = (0..nd as u32).collect();
+            for i in 0..hw {
+                let j = rng.gen_range(i..nd);
+                pool.swap(i, j);
+            }
+            let mut dets = pool[..hw].to_vec();
+            dets.sort_unstable();
+            let a = astrea.decode(&dets);
+            let m = mwpm.decode(&dets);
+            assert!(!a.failed && !m.failed, "trial {trial}");
+            assert_eq!(a.weight, m.weight, "trial {trial}: {dets:?}");
+        }
+    }
+
+    #[test]
+    fn corrects_single_mechanisms_exactly() {
+        let code = RotatedSurfaceCode::new(3);
+        let circuit = code.memory_z_circuit(3, &NoiseModel::uniform(1e-3));
+        let dem = extract_dem(&circuit);
+        let graph = DecodingGraph::from_dem(&dem);
+        let paths = PathTable::build(&graph);
+        let mut astrea = AstreaDecoder::new(&graph, &paths);
+        for e in &dem.errors {
+            let out = astrea.decode(e.dets.as_slice());
+            assert!(!out.failed);
+            assert_eq!(out.obs_flip, e.obs);
+        }
+    }
+
+    #[test]
+    fn latency_is_attached_and_scales_with_hw() {
+        let (graph, paths) = fixture(5);
+        let mut astrea = AstreaDecoder::new(&graph, &paths);
+        let mut rng = StdRng::seed_from_u64(22);
+        let nd = graph.num_detectors() as usize;
+        let mut hw2: Vec<u32> = Vec::new();
+        while hw2.len() < 2 {
+            let c = rng.gen_range(0..nd as u32);
+            if !hw2.contains(&c) {
+                hw2.push(c);
+            }
+        }
+        hw2.sort_unstable();
+        let l2 = astrea.decode(&hw2).latency_ns.unwrap();
+        let mut hw10: Vec<u32> = Vec::new();
+        while hw10.len() < 10 {
+            let c = rng.gen_range(0..nd as u32);
+            if !hw10.contains(&c) {
+                hw10.push(c);
+            }
+        }
+        hw10.sort_unstable();
+        let l10 = astrea.decode(&hw10).latency_ns.unwrap();
+        assert!(l2 < l10);
+        assert_eq!(l10, 456.0);
+    }
+
+    #[test]
+    fn matches_partition_the_syndrome() {
+        let (graph, paths) = fixture(5);
+        let mut astrea = AstreaDecoder::new(&graph, &paths);
+        let mut rng = StdRng::seed_from_u64(23);
+        let nd = graph.num_detectors() as usize;
+        for _ in 0..50 {
+            let hw = rng.gen_range(1..=9);
+            let mut pool: Vec<u32> = (0..nd as u32).collect();
+            for i in 0..hw {
+                let j = rng.gen_range(i..nd);
+                pool.swap(i, j);
+            }
+            let mut dets = pool[..hw].to_vec();
+            dets.sort_unstable();
+            let out = astrea.decode(&dets);
+            let mut covered: Vec<u32> = Vec::new();
+            for m in &out.matches {
+                covered.push(m.a);
+                if let MatchTarget::Detector(b) = m.b {
+                    covered.push(b);
+                }
+            }
+            covered.sort_unstable();
+            assert_eq!(covered, dets);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion microbenchmarks: decode latency of every decoder vs
+//! syndrome Hamming weight.
+//!
+//! These measure the *software* implementations. The paper's hardware
+//! latencies are produced by the cycle models (see `repro table4`); the
+//! benches here track the cost of the simulation itself and the relative
+//! scaling of the algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ler::{DecoderKind, ExperimentContext, InjectionSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Samples one representative syndrome of roughly the requested HW.
+fn syndrome_of_hw(ctx: &ExperimentContext, hw: usize, seed: u64) -> Vec<u32> {
+    let sampler = InjectionSampler::new(&ctx.dem);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // ~2 detectors per mechanism; search for an exact-HW sample.
+    for k in (hw / 2).max(1).. {
+        for _ in 0..200 {
+            let (shot, _) = sampler.sample_exact_k(&mut rng, k);
+            if shot.dets.len() == hw {
+                return shot.dets;
+            }
+        }
+        if k > hw + 4 {
+            break;
+        }
+    }
+    panic!("no syndrome of HW {hw} found");
+}
+
+fn bench_decoders(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(9, 1e-3);
+    let mut group = c.benchmark_group("decode");
+    for hw in [4usize, 8, 14] {
+        let dets = syndrome_of_hw(&ctx, hw, 42);
+        for kind in [
+            DecoderKind::Mwpm,
+            DecoderKind::AstreaG,
+            DecoderKind::UnionFind,
+            DecoderKind::PromatchAstrea,
+            DecoderKind::PromatchParAg,
+        ] {
+            // Astrea alone cannot decode HW > 10; skip the combos that
+            // would simply fail.
+            group.bench_with_input(
+                BenchmarkId::new(kind.label().replace(' ', "_"), hw),
+                &dets,
+                |b, dets| {
+                    let mut dec = ctx.decoder(kind);
+                    b.iter(|| std::hint::black_box(dec.decode(dets)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_blossom_scaling(c: &mut Criterion) {
+    use rand::Rng;
+    let mut group = c.benchmark_group("blossom_complete_graph");
+    for n in [8usize, 16, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push((i, j, rng.gen_range(1..=10_000i64)));
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &edges, |b, edges| {
+            b.iter(|| {
+                std::hint::black_box(blossom::min_weight_perfect_matching(n, edges))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoders, bench_blossom_scaling);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks for the simulation substrate: frame
+//! sampling throughput, DEM extraction, and path-table construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decoding_graph::{DecodingGraph, PathTable};
+use qsim::{extract_dem, FrameSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use surface_code::{NoiseModel, RotatedSurfaceCode};
+
+fn bench_frame_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_sampler");
+    for d in [5u32, 9, 13] {
+        let code = RotatedSurfaceCode::new(d);
+        let circuit = code.memory_z_circuit(d, &NoiseModel::uniform(1e-3));
+        let shots = 1024usize;
+        group.throughput(Throughput::Elements(shots as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &circuit, |b, circuit| {
+            let sampler = FrameSampler::new(circuit);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| std::hint::black_box(sampler.sample_batch(shots, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dem_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dem_extraction");
+    group.sample_size(10);
+    for d in [5u32, 9, 13] {
+        let code = RotatedSurfaceCode::new(d);
+        let circuit = code.memory_z_circuit(d, &NoiseModel::uniform(1e-3));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &circuit, |b, circuit| {
+            b.iter(|| std::hint::black_box(extract_dem(circuit)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_table_build");
+    group.sample_size(10);
+    for d in [5u32, 9] {
+        let code = RotatedSurfaceCode::new(d);
+        let circuit = code.memory_z_circuit(d, &NoiseModel::uniform(1e-3));
+        let graph = DecodingGraph::from_dem(&extract_dem(&circuit));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &graph, |b, graph| {
+            b.iter(|| std::hint::black_box(PathTable::build(graph)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frame_sampler, bench_dem_extraction, bench_path_table);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! `repro` — regenerate any table or figure of the Promatch paper.
+//!
+//! ```text
+//! repro <experiment> [--paper|--quick] [key=value ...]
+//!
+//! experiments:
+//!   table2 table3 table4 table5 table6 table7 table8
+//!   fig1b fig4 fig5 fig14 fig15 fig16 fig17
+//!   ablate-singleton ablate-pathq ablate-astrea-units ablate-adaptive
+//!   all
+//!
+//! options (after the experiment name):
+//!   --quick | --paper        scale preset (default: --quick)
+//!   distances=11,13          code distances
+//!   shots=2000               injection samples per k
+//!   kmax=24                  maximum injected error count
+//!   p=1e-4                   physical error rate
+//!   seed=2024                RNG seed
+//! ```
+
+use bench_suite::{experiments, Scale};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(name) = args.first() else {
+        eprintln!("usage: repro <experiment> [--paper|--quick] [key=value ...]");
+        eprintln!("experiments: table2 table3 table4 table5 table6 table7 table8");
+        eprintln!("             fig1b fig4 fig5 fig14 fig15 fig16 fig17");
+        eprintln!("             ablate-singleton ablate-pathq ablate-astrea-units");
+        eprintln!("             ablate-adaptive ablate-pipelines all");
+        return ExitCode::FAILURE;
+    };
+
+    let mut scale = Scale::quick();
+    let mut overrides = Vec::new();
+    for arg in &args[1..] {
+        match arg.as_str() {
+            "--paper" => scale = Scale::paper(),
+            "--quick" => scale = Scale::quick(),
+            other => overrides.push(other.to_string()),
+        }
+    }
+    if let Err(e) = scale.apply_overrides(&overrides) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let started = std::time::Instant::now();
+    let result = run(name, &scale, &mut out);
+    match result {
+        Ok(true) => {
+            let _ = writeln!(out, "\n[done in {:.1?}]", started.elapsed());
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("unknown experiment '{name}'");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(name: &str, scale: &Scale, w: &mut dyn Write) -> std::io::Result<bool> {
+    match name {
+        "table2" => experiments::table2(scale, w)?,
+        "table3" => experiments::table3(scale, w)?,
+        "table4" | "table5" | "table4_5" => experiments::table4_5(scale, w)?,
+        "table6" => experiments::table6(scale, w)?,
+        "table7" => experiments::table7(scale, w)?,
+        "table8" => experiments::table8(scale, w)?,
+        "fig1b" => experiments::fig1b(scale, w)?,
+        "fig4" => experiments::fig4(scale, w)?,
+        "fig5" => experiments::fig5(scale, w)?,
+        "fig14" => {
+            // Figure 14 is the d = 11 sweep; at quick scale this is the
+            // smaller configured distance.
+            let d = *scale.distances.first().unwrap_or(&7);
+            experiments::fig14_15(scale, d, w)?
+        }
+        "fig15" => experiments::fig14_15(scale, scale.max_distance(), w)?,
+        "fig16" => {
+            let d = *scale.distances.first().unwrap_or(&7);
+            experiments::fig16_17(scale, d, w)?
+        }
+        "fig17" => experiments::fig16_17(scale, scale.max_distance(), w)?,
+        "ablate-singleton" => experiments::ablate_singleton(scale, w)?,
+        "ablate-pathq" => experiments::ablate_pathq(scale, w)?,
+        "ablate-astrea-units" => experiments::ablate_astrea_units(scale, w)?,
+        "ablate-adaptive" => experiments::ablate_adaptive(scale, w)?,
+        "ablate-pipelines" => experiments::ablate_pipelines(scale, w)?,
+        "all" => {
+            experiments::table2(scale, w)?;
+            experiments::table3(scale, w)?;
+            experiments::table4_5(scale, w)?;
+            experiments::table6(scale, w)?;
+            experiments::table7(scale, w)?;
+            experiments::table8(scale, w)?;
+            experiments::fig1b(scale, w)?;
+            experiments::fig4(scale, w)?;
+            experiments::fig5(scale, w)?;
+            let d_low = *scale.distances.first().unwrap_or(&7);
+            experiments::fig14_15(scale, d_low, w)?;
+            experiments::fig14_15(scale, scale.max_distance(), w)?;
+            experiments::fig16_17(scale, d_low, w)?;
+            experiments::fig16_17(scale, scale.max_distance(), w)?;
+            experiments::ablate_singleton(scale, w)?;
+            experiments::ablate_pathq(scale, w)?;
+            experiments::ablate_astrea_units(scale, w)?;
+            experiments::ablate_adaptive(scale, w)?;
+            experiments::ablate_pipelines(scale, w)?;
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}

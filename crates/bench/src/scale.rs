@@ -1,0 +1,113 @@
+//! Experiment scale presets and CLI parsing.
+
+/// How big an experiment run should be.
+///
+/// The paper evaluates d = 11, 13 with millions of samples; the presets
+/// trade fidelity for turnaround:
+///
+/// * [`Scale::quick`] — minutes on a laptop; distances 7/9, fewer shots.
+///   The decoder *ordering* is already visible at this scale.
+/// * [`Scale::paper`] — distances 11/13, the paper's k ≤ 24; tens of
+///   minutes, used to produce `EXPERIMENTS.md`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scale {
+    /// Code distances to evaluate.
+    pub distances: Vec<u32>,
+    /// Injection samples per k.
+    pub shots_per_k: usize,
+    /// Maximum injected error count (paper: 24).
+    pub k_max: usize,
+    /// Baseline physical error rate (paper: 1e-4).
+    pub p: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Fast smoke-scale preset.
+    pub fn quick() -> Self {
+        Scale { distances: vec![7, 9], shots_per_k: 300, k_max: 20, p: 1e-4, seed: 2024 }
+    }
+
+    /// Paper-scale preset (d = 11, 13; k ≤ 24).
+    pub fn paper() -> Self {
+        Scale { distances: vec![11, 13], shots_per_k: 1500, k_max: 24, p: 1e-4, seed: 2024 }
+    }
+
+    /// The largest configured distance (used by single-distance
+    /// experiments).
+    pub fn max_distance(&self) -> u32 {
+        self.distances.iter().copied().max().unwrap_or(7)
+    }
+
+    /// Parses `key=value` style overrides, e.g.
+    /// `distances=11,13 shots=2000 kmax=24 p=2e-4 seed=7`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown keys or unparsable values.
+    pub fn apply_overrides(&mut self, args: &[String]) -> Result<(), String> {
+        for arg in args {
+            let Some((key, value)) = arg.split_once('=') else {
+                return Err(format!("expected key=value, got '{arg}'"));
+            };
+            match key {
+                "distances" => {
+                    self.distances = value
+                        .split(',')
+                        .map(|s| s.trim().parse::<u32>())
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(|e| format!("distances: {e}"))?;
+                }
+                "shots" => {
+                    self.shots_per_k =
+                        value.parse().map_err(|e| format!("shots: {e}"))?;
+                }
+                "kmax" => self.k_max = value.parse().map_err(|e| format!("kmax: {e}"))?,
+                "p" => self.p = value.parse().map_err(|e| format!("p: {e}"))?,
+                "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let q = Scale::quick();
+        assert!(q.shots_per_k < Scale::paper().shots_per_k);
+        assert_eq!(Scale::paper().distances, vec![11, 13]);
+        assert_eq!(q.max_distance(), 9);
+    }
+
+    #[test]
+    fn overrides_parse() {
+        let mut s = Scale::quick();
+        s.apply_overrides(&[
+            "distances=5,7".into(),
+            "shots=42".into(),
+            "kmax=12".into(),
+            "p=0.0002".into(),
+            "seed=99".into(),
+        ])
+        .unwrap();
+        assert_eq!(s.distances, vec![5, 7]);
+        assert_eq!(s.shots_per_k, 42);
+        assert_eq!(s.k_max, 12);
+        assert_eq!(s.p, 2e-4);
+        assert_eq!(s.seed, 99);
+    }
+
+    #[test]
+    fn bad_overrides_are_rejected() {
+        let mut s = Scale::quick();
+        assert!(s.apply_overrides(&["bogus=1".into()]).is_err());
+        assert!(s.apply_overrides(&["shots".into()]).is_err());
+        assert!(s.apply_overrides(&["shots=abc".into()]).is_err());
+    }
+}

@@ -1,0 +1,1118 @@
+//! Primal-dual blossom algorithm for maximum-weight matching.
+//!
+//! The implementation mirrors the classic O(n³) structure: repeated
+//! *stages*, each growing alternating trees from free vertices, with four
+//! dual-adjustment types (make a free vertex tight / make a grow edge
+//! tight / make an augmenting or blossom-forming edge tight / expand a
+//! T-blossom with zero dual). Blossoms are represented explicitly with
+//! parent/children forests; vertices and blossoms share one id space
+//! (`0..n` vertices, `n..2n` blossom slots).
+//!
+//! All weights are doubled on entry so every dual variable and delta stays
+//! an exact integer.
+
+/// Sentinel for "no vertex / no edge / no endpoint".
+const NONE: usize = usize::MAX;
+
+/// Computes a maximum-weight matching.
+///
+/// `edges` lists undirected edges `(u, v, weight)` with `u != v`; between
+/// any pair of vertices only the first listed edge is considered by the
+/// optimizer (duplicate pairs should be pre-merged by the caller). If
+/// `max_cardinality` is true, the matching is restricted to maximum
+/// cardinality matchings (and has maximum weight among those).
+///
+/// Returns `mates[v] = Some(partner)` or `None` for unmatched vertices.
+///
+/// # Panics
+///
+/// Panics on self-loops or vertex indices ≥ `n`.
+pub fn max_weight_matching(
+    n: usize,
+    edges: &[(usize, usize, i64)],
+    max_cardinality: bool,
+) -> Vec<Option<usize>> {
+    if n == 0 || edges.is_empty() {
+        return vec![None; n];
+    }
+    for &(u, v, _) in edges {
+        assert!(u != v, "self-loop on vertex {u}");
+        assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+    }
+    // Double the weights so that all duals remain integral.
+    let doubled: Vec<(usize, usize, i64)> =
+        edges.iter().map(|&(u, v, w)| (u, v, 2 * w)).collect();
+    let mut solver = Solver::new(n, doubled, max_cardinality);
+    solver.solve();
+    (0..n)
+        .map(|v| {
+            let m = solver.mate[v];
+            if m == NONE {
+                None
+            } else {
+                Some(solver.endpoint(m))
+            }
+        })
+        .collect()
+}
+
+/// Computes a minimum-weight perfect matching.
+///
+/// Returns `None` if no perfect matching exists (e.g. `n` is odd or the
+/// graph is not dense enough); otherwise `mates[v]` is v's partner.
+pub fn min_weight_perfect_matching(
+    n: usize,
+    edges: &[(usize, usize, i64)],
+) -> Option<Vec<usize>> {
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    if n % 2 == 1 {
+        return None;
+    }
+    let max_w = edges.iter().map(|e| e.2).max()?;
+    // Maximizing Σ(C − w) over maximum-cardinality (= perfect, if one
+    // exists) matchings minimizes Σw, for any constant C.
+    let flipped: Vec<(usize, usize, i64)> =
+        edges.iter().map(|&(u, v, w)| (u, v, max_w + 1 - w)).collect();
+    let mates = max_weight_matching(n, &flipped, true);
+    mates.into_iter().collect::<Option<Vec<usize>>>()
+}
+
+/// Total weight of a matching, given the edge list it was computed from.
+///
+/// Each matched pair contributes the maximum weight among parallel edges
+/// connecting it. Pairs absent from `edges` contribute nothing.
+pub fn matching_weight(mates: &[Option<usize>], edges: &[(usize, usize, i64)]) -> i64 {
+    use std::collections::HashMap;
+    let mut best: HashMap<(usize, usize), i64> = HashMap::new();
+    for &(u, v, w) in edges {
+        let key = (u.min(v), u.max(v));
+        best.entry(key).and_modify(|b| *b = (*b).max(w)).or_insert(w);
+    }
+    let mut total = 0;
+    for (v, m) in mates.iter().enumerate() {
+        if let Some(u) = m {
+            if v < *u {
+                if let Some(w) = best.get(&(v, *u)) {
+                    total += w;
+                }
+            }
+        }
+    }
+    total
+}
+
+struct Solver {
+    n: usize,
+    edges: Vec<(usize, usize, i64)>,
+    max_cardinality: bool,
+    /// `neighbend[v]`: remote endpoint indices of edges incident to v.
+    neighbend: Vec<Vec<usize>>,
+    /// `mate[v]`: remote endpoint of v's matched edge, or NONE.
+    mate: Vec<usize>,
+    /// Label per vertex/blossom id: 0 free, 1 S, 2 T (5 = scan marker).
+    label: Vec<u8>,
+    /// Endpoint through which the label was assigned.
+    labelend: Vec<usize>,
+    /// Top-level blossom containing each vertex.
+    inblossom: Vec<usize>,
+    blossomparent: Vec<usize>,
+    blossomchilds: Vec<Option<Vec<usize>>>,
+    blossombase: Vec<usize>,
+    blossomendps: Vec<Option<Vec<usize>>>,
+    /// Least-slack edge to a different S-blossom, per vertex/blossom.
+    bestedge: Vec<usize>,
+    /// For non-trivial top-level S-blossoms: least-slack edges to other
+    /// S-blossoms.
+    blossombestedges: Vec<Option<Vec<usize>>>,
+    unusedblossoms: Vec<usize>,
+    dualvar: Vec<i64>,
+    allowedge: Vec<bool>,
+    queue: Vec<usize>,
+}
+
+impl Solver {
+    fn new(n: usize, edges: Vec<(usize, usize, i64)>, max_cardinality: bool) -> Self {
+        let nedge = edges.len();
+        let maxweight = edges.iter().map(|e| e.2).max().unwrap_or(0).max(0);
+        let mut neighbend = vec![Vec::new(); n];
+        for (k, &(i, j, _)) in edges.iter().enumerate() {
+            neighbend[i].push(2 * k + 1);
+            neighbend[j].push(2 * k);
+        }
+        let mut dualvar = vec![maxweight; n];
+        dualvar.extend(std::iter::repeat(0).take(n));
+        Solver {
+            n,
+            edges,
+            max_cardinality,
+            neighbend,
+            mate: vec![NONE; n],
+            label: vec![0; 2 * n],
+            labelend: vec![NONE; 2 * n],
+            inblossom: (0..n).collect(),
+            blossomparent: vec![NONE; 2 * n],
+            blossomchilds: vec![None; 2 * n],
+            blossombase: (0..n).chain(std::iter::repeat(NONE).take(n)).collect(),
+            blossomendps: vec![None; 2 * n],
+            bestedge: vec![NONE; 2 * n],
+            blossombestedges: vec![None; 2 * n],
+            unusedblossoms: (n..2 * n).collect(),
+            dualvar,
+            allowedge: vec![false; nedge],
+            queue: Vec::new(),
+        }
+    }
+
+    /// Vertex at endpoint index `p`.
+    fn endpoint(&self, p: usize) -> usize {
+        let (i, j, _) = self.edges[p / 2];
+        if p % 2 == 0 {
+            i
+        } else {
+            j
+        }
+    }
+
+    /// Slack of edge `k` (non-negative for tight-or-loose edges).
+    fn slack(&self, k: usize) -> i64 {
+        let (i, j, wt) = self.edges[k];
+        self.dualvar[i] + self.dualvar[j] - 2 * wt
+    }
+
+    /// All vertices contained (recursively) in blossom/vertex `b`.
+    fn blossom_leaves(&self, b: usize) -> Vec<usize> {
+        if b < self.n {
+            return vec![b];
+        }
+        let mut out = Vec::new();
+        let mut stack = vec![b];
+        while let Some(t) = stack.pop() {
+            if t < self.n {
+                out.push(t);
+            } else {
+                stack.extend(
+                    self.blossomchilds[t].as_ref().expect("expanded blossom has children"),
+                );
+            }
+        }
+        out
+    }
+
+    /// Assigns label `t` to the top-level blossom of vertex `w`, entered
+    /// through endpoint `p`.
+    fn assign_label(&mut self, w: usize, t: u8, p: usize) {
+        let b = self.inblossom[w];
+        debug_assert!(self.label[w] == 0 && self.label[b] == 0);
+        self.label[w] = t;
+        self.label[b] = t;
+        self.labelend[w] = p;
+        self.labelend[b] = p;
+        self.bestedge[w] = NONE;
+        self.bestedge[b] = NONE;
+        if t == 1 {
+            // S-blossom: scan its vertices.
+            let leaves = self.blossom_leaves(b);
+            self.queue.extend(leaves);
+        } else if t == 2 {
+            // T-blossom: its mate (through the base) becomes an S-vertex.
+            let base = self.blossombase[b];
+            debug_assert!(self.mate[base] != NONE);
+            let mate_ep = self.mate[base];
+            let mate_vertex = self.endpoint(mate_ep);
+            self.assign_label(mate_vertex, 1, mate_ep ^ 1);
+        }
+    }
+
+    /// Traces back from vertices `v` and `w` to find the closest common
+    /// S-ancestor blossom of the alternating trees. Returns its base
+    /// vertex, or NONE if the trees have different roots (an augmenting
+    /// path exists).
+    fn scan_blossom(&mut self, v: usize, w: usize) -> usize {
+        let mut path = Vec::new();
+        let mut base = NONE;
+        let (mut v, mut w) = (v, w);
+        while v != NONE || w != NONE {
+            let mut b = self.inblossom[v];
+            if self.label[b] & 4 != 0 {
+                base = self.blossombase[b];
+                break;
+            }
+            debug_assert_eq!(self.label[b], 1);
+            path.push(b);
+            self.label[b] = 5;
+            debug_assert_eq!(self.labelend[b], self.mate[self.blossombase[b]]);
+            if self.labelend[b] == NONE {
+                v = NONE;
+            } else {
+                v = self.endpoint(self.labelend[b]);
+                b = self.inblossom[v];
+                debug_assert_eq!(self.label[b], 2);
+                debug_assert!(self.labelend[b] != NONE);
+                v = self.endpoint(self.labelend[b]);
+            }
+            if w != NONE {
+                std::mem::swap(&mut v, &mut w);
+            }
+        }
+        for b in path {
+            self.label[b] = 1;
+        }
+        base
+    }
+
+    /// Creates a new blossom with base `base` through tight edge `k`.
+    fn add_blossom(&mut self, base: usize, k: usize) {
+        let (mut v, mut w, _) = self.edges[k];
+        let bb = self.inblossom[base];
+        let mut bv = self.inblossom[v];
+        let mut bw = self.inblossom[w];
+        let b = self.unusedblossoms.pop().expect("blossom slots exhausted");
+        self.blossombase[b] = base;
+        self.blossomparent[b] = NONE;
+        self.blossomparent[bb] = b;
+        // Trace from v back to the base, collecting sub-blossoms.
+        let mut path = Vec::new();
+        let mut endps = Vec::new();
+        while bv != bb {
+            self.blossomparent[bv] = b;
+            path.push(bv);
+            endps.push(self.labelend[bv]);
+            debug_assert!(
+                self.label[bv] == 2
+                    || (self.label[bv] == 1
+                        && self.labelend[bv] == self.mate[self.blossombase[bv]])
+            );
+            debug_assert!(self.labelend[bv] != NONE);
+            v = self.endpoint(self.labelend[bv]);
+            bv = self.inblossom[v];
+        }
+        path.push(bb);
+        path.reverse();
+        endps.reverse();
+        endps.push(2 * k);
+        // Trace from w back to the base.
+        while bw != bb {
+            self.blossomparent[bw] = b;
+            path.push(bw);
+            endps.push(self.labelend[bw] ^ 1);
+            debug_assert!(
+                self.label[bw] == 2
+                    || (self.label[bw] == 1
+                        && self.labelend[bw] == self.mate[self.blossombase[bw]])
+            );
+            debug_assert!(self.labelend[bw] != NONE);
+            w = self.endpoint(self.labelend[bw]);
+            bw = self.inblossom[w];
+        }
+        // Register the children before walking the new blossom's leaves.
+        self.blossomchilds[b] = Some(path.clone());
+        self.blossomendps[b] = Some(endps);
+        // The new blossom is an S-blossom.
+        debug_assert_eq!(self.label[bb], 1);
+        self.label[b] = 1;
+        self.labelend[b] = self.labelend[bb];
+        self.dualvar[b] = 0;
+        // Relabel contained vertices; former T-vertices become S.
+        for leaf in self.blossom_leaves(b) {
+            if self.label[self.inblossom[leaf]] == 2 {
+                self.queue.push(leaf);
+            }
+            self.inblossom[leaf] = b;
+        }
+        // Compute the blossom's least-slack edges to other S-blossoms.
+        let mut bestedgeto = vec![NONE; 2 * self.n];
+        for &bv in &path {
+            let nblists: Vec<Vec<usize>> = match self.blossombestedges[bv].take() {
+                Some(list) => vec![list],
+                None => self
+                    .blossom_leaves(bv)
+                    .into_iter()
+                    .map(|leaf| self.neighbend[leaf].iter().map(|p| p / 2).collect())
+                    .collect(),
+            };
+            for nblist in nblists {
+                for k2 in nblist {
+                    let (mut i, mut j, _) = self.edges[k2];
+                    if self.inblossom[j] == b {
+                        std::mem::swap(&mut i, &mut j);
+                    }
+                    let _ = i;
+                    let bj = self.inblossom[j];
+                    if bj != b
+                        && self.label[bj] == 1
+                        && (bestedgeto[bj] == NONE
+                            || self.slack(k2) < self.slack(bestedgeto[bj]))
+                    {
+                        bestedgeto[bj] = k2;
+                    }
+                }
+            }
+            self.bestedge[bv] = NONE;
+        }
+        let best_list: Vec<usize> = bestedgeto.into_iter().filter(|&k2| k2 != NONE).collect();
+        self.bestedge[b] = NONE;
+        for &k2 in &best_list {
+            if self.bestedge[b] == NONE || self.slack(k2) < self.slack(self.bestedge[b]) {
+                self.bestedge[b] = k2;
+            }
+        }
+        self.blossombestedges[b] = Some(best_list);
+    }
+
+    /// Indexes a cyclic child/endpoint list with a possibly negative
+    /// offset, Python-style.
+    fn cyc(list: &[usize], j: i64) -> usize {
+        let l = list.len() as i64;
+        list[(((j % l) + l) % l) as usize]
+    }
+
+    /// Expands (dissolves) blossom `b`. With `endstage`, recursively
+    /// expands zero-dual sub-blossoms; otherwise relabels along the
+    /// even-length path to preserve the alternating tree.
+    fn expand_blossom(&mut self, b: usize, endstage: bool) {
+        let childs = self.blossomchilds[b].clone().expect("blossom has children");
+        for &s in &childs {
+            self.blossomparent[s] = NONE;
+            if s < self.n {
+                self.inblossom[s] = s;
+            } else if endstage && self.dualvar[s] == 0 {
+                self.expand_blossom(s, endstage);
+            } else {
+                for leaf in self.blossom_leaves(s) {
+                    self.inblossom[leaf] = s;
+                }
+            }
+        }
+        if !endstage && self.label[b] == 2 {
+            // The expanding blossom is a T-blossom: relabel the even path
+            // from its entry child to its base, and clear the rest.
+            debug_assert!(self.labelend[b] != NONE);
+            let entrychild = self.inblossom[self.endpoint(self.labelend[b] ^ 1)];
+            let endps = self.blossomendps[b].clone().expect("blossom has endpoints");
+            let mut j = childs.iter().position(|&c| c == entrychild).expect("entry child")
+                as i64;
+            let (jstep, endptrick): (i64, usize) = if j & 1 != 0 {
+                j -= childs.len() as i64;
+                (1, 0)
+            } else {
+                (-1, 1)
+            };
+            let mut p = self.labelend[b];
+            while j != 0 {
+                // Relabel the T-sub-blossom.
+                let ep1 = self.endpoint(p ^ 1);
+                self.label[ep1] = 0;
+                let q = Self::cyc(&endps, j - endptrick as i64) ^ endptrick ^ 1;
+                let eq = self.endpoint(q);
+                self.label[eq] = 0;
+                self.assign_label(ep1, 2, p);
+                // Step to the next S-sub-blossom; its edge becomes tight.
+                self.allowedge[Self::cyc(&endps, j - endptrick as i64) / 2] = true;
+                j += jstep;
+                p = Self::cyc(&endps, j - endptrick as i64) ^ endptrick;
+                // Step to the next T-sub-blossom.
+                self.allowedge[p / 2] = true;
+                j += jstep;
+            }
+            // Relabel the base T-sub-blossom without stepping further.
+            let bv = Self::cyc(&childs, j);
+            let ep = self.endpoint(p ^ 1);
+            self.label[ep] = 2;
+            self.label[bv] = 2;
+            self.labelend[ep] = p;
+            self.labelend[bv] = p;
+            self.bestedge[bv] = NONE;
+            // Clear labels on the other half of the blossom; sub-blossoms
+            // reachable from outside get fresh T labels.
+            j += jstep;
+            while Self::cyc(&childs, j) != entrychild {
+                let bv = Self::cyc(&childs, j);
+                if self.label[bv] == 1 {
+                    j += jstep;
+                    continue;
+                }
+                let mut labeled_vertex = NONE;
+                for leaf in self.blossom_leaves(bv) {
+                    if self.label[leaf] != 0 {
+                        labeled_vertex = leaf;
+                        break;
+                    }
+                }
+                if labeled_vertex != NONE {
+                    let v = labeled_vertex;
+                    debug_assert_eq!(self.label[v], 2);
+                    debug_assert_eq!(self.inblossom[v], bv);
+                    self.label[v] = 0;
+                    let base_mate = self.mate[self.blossombase[bv]];
+                    let bm = self.endpoint(base_mate);
+                    self.label[bm] = 0;
+                    let le = self.labelend[v];
+                    self.assign_label(v, 2, le);
+                }
+                j += jstep;
+            }
+        }
+        // Recycle the blossom id.
+        self.label[b] = 0;
+        self.labelend[b] = NONE;
+        self.blossomchilds[b] = None;
+        self.blossomendps[b] = None;
+        self.blossombase[b] = NONE;
+        self.blossombestedges[b] = None;
+        self.bestedge[b] = NONE;
+        self.unusedblossoms.push(b);
+    }
+
+    /// Swaps matched and unmatched edges along the path within blossom
+    /// `b` from vertex `v` to the blossom base.
+    fn augment_blossom(&mut self, b: usize, v: usize) {
+        // Find the immediate child of b containing v.
+        let mut t = v;
+        while self.blossomparent[t] != b {
+            t = self.blossomparent[t];
+        }
+        if t >= self.n {
+            self.augment_blossom(t, v);
+        }
+        let childs = self.blossomchilds[b].clone().expect("children");
+        let endps = self.blossomendps[b].clone().expect("endps");
+        let i = childs.iter().position(|&c| c == t).expect("child position");
+        let mut j = i as i64;
+        let (jstep, endptrick): (i64, usize) = if i & 1 != 0 {
+            j -= childs.len() as i64;
+            (1, 0)
+        } else {
+            (-1, 1)
+        };
+        while j != 0 {
+            // Step to the next sub-blossom and augment it recursively.
+            j += jstep;
+            let t = Self::cyc(&childs, j);
+            let p = Self::cyc(&endps, j - endptrick as i64) ^ endptrick;
+            if t >= self.n {
+                let ep = self.endpoint(p);
+                self.augment_blossom(t, ep);
+            }
+            // Step to the next sub-blossom and augment it as well.
+            j += jstep;
+            let t2 = Self::cyc(&childs, j);
+            if t2 >= self.n {
+                let ep = self.endpoint(p ^ 1);
+                self.augment_blossom(t2, ep);
+            }
+            // Match the edge between the two sub-blossoms.
+            let (ea, eb) = (self.endpoint(p), self.endpoint(p ^ 1));
+            self.mate[ea] = p ^ 1;
+            self.mate[eb] = p;
+        }
+        // Rotate the child list so the new base sits first.
+        let mut new_childs = childs;
+        new_childs.rotate_left(i);
+        let mut new_endps = endps;
+        new_endps.rotate_left(i);
+        self.blossombase[b] = self.blossombase[new_childs[0]];
+        self.blossomchilds[b] = Some(new_childs);
+        self.blossomendps[b] = Some(new_endps);
+        debug_assert_eq!(self.blossombase[b], v);
+    }
+
+    /// Swaps matched/unmatched edges along the augmenting path through
+    /// tight edge `k`.
+    fn augment_matching(&mut self, k: usize) {
+        let (v, w, _) = self.edges[k];
+        for (mut s, mut p) in [(v, 2 * k + 1), (w, 2 * k)] {
+            loop {
+                let bs = self.inblossom[s];
+                debug_assert_eq!(self.label[bs], 1);
+                debug_assert_eq!(self.labelend[bs], self.mate[self.blossombase[bs]]);
+                if bs >= self.n {
+                    self.augment_blossom(bs, s);
+                }
+                self.mate[s] = p;
+                if self.labelend[bs] == NONE {
+                    break; // reached a free vertex: augmenting path ends
+                }
+                let t = self.endpoint(self.labelend[bs]);
+                let bt = self.inblossom[t];
+                debug_assert_eq!(self.label[bt], 2);
+                debug_assert!(self.labelend[bt] != NONE);
+                s = self.endpoint(self.labelend[bt]);
+                let j = self.endpoint(self.labelend[bt] ^ 1);
+                debug_assert_eq!(self.blossombase[bt], t);
+                if bt >= self.n {
+                    self.augment_blossom(bt, j);
+                }
+                self.mate[j] = self.labelend[bt];
+                p = self.labelend[bt] ^ 1;
+            }
+        }
+    }
+
+    fn solve(&mut self) {
+        let n = self.n;
+        for _stage in 0..n {
+            // Reset stage state.
+            self.label.iter_mut().for_each(|l| *l = 0);
+            self.bestedge.iter_mut().for_each(|e| *e = NONE);
+            for b in n..2 * n {
+                self.blossombestedges[b] = None;
+            }
+            self.allowedge.iter_mut().for_each(|a| *a = false);
+            self.queue.clear();
+            for v in 0..n {
+                if self.mate[v] == NONE && self.label[self.inblossom[v]] == 0 {
+                    self.assign_label(v, 1, NONE);
+                }
+            }
+            let mut augmented = false;
+            loop {
+                while let Some(v) = self.queue.pop() {
+                    debug_assert_eq!(self.label[self.inblossom[v]], 1);
+                    let ends: Vec<usize> = self.neighbend[v].clone();
+                    let mut did_augment = false;
+                    for p in ends {
+                        let k = p / 2;
+                        let w = self.endpoint(p);
+                        if self.inblossom[v] == self.inblossom[w] {
+                            continue;
+                        }
+                        let mut kslack = 0;
+                        if !self.allowedge[k] {
+                            kslack = self.slack(k);
+                            if kslack <= 0 {
+                                self.allowedge[k] = true;
+                            }
+                        }
+                        if self.allowedge[k] {
+                            if self.label[self.inblossom[w]] == 0 {
+                                self.assign_label(w, 2, p ^ 1);
+                            } else if self.label[self.inblossom[w]] == 1 {
+                                let base = self.scan_blossom(v, w);
+                                if base != NONE {
+                                    self.add_blossom(base, k);
+                                } else {
+                                    self.augment_matching(k);
+                                    augmented = true;
+                                    did_augment = true;
+                                    break;
+                                }
+                            } else if self.label[w] == 0 {
+                                debug_assert_eq!(self.label[self.inblossom[w]], 2);
+                                self.label[w] = 2;
+                                self.labelend[w] = p ^ 1;
+                            }
+                        } else if self.label[self.inblossom[w]] == 1 {
+                            let b = self.inblossom[v];
+                            if self.bestedge[b] == NONE
+                                || kslack < self.slack(self.bestedge[b])
+                            {
+                                self.bestedge[b] = k;
+                            }
+                        } else if self.label[w] == 0
+                            && (self.bestedge[w] == NONE
+                                || kslack < self.slack(self.bestedge[w]))
+                        {
+                            self.bestedge[w] = k;
+                        }
+                    }
+                    if did_augment {
+                        break;
+                    }
+                }
+                if augmented {
+                    break;
+                }
+
+                // No augmenting path: compute a dual adjustment.
+                let mut deltatype = -1i8;
+                let mut delta = 0i64;
+                let mut deltaedge = NONE;
+                let mut deltablossom = NONE;
+
+                if !self.max_cardinality {
+                    deltatype = 1;
+                    delta = (0..n).map(|v| self.dualvar[v]).min().unwrap_or(0);
+                }
+                for v in 0..n {
+                    if self.label[self.inblossom[v]] == 0 && self.bestedge[v] != NONE {
+                        let d = self.slack(self.bestedge[v]);
+                        if deltatype == -1 || d < delta {
+                            delta = d;
+                            deltatype = 2;
+                            deltaedge = self.bestedge[v];
+                        }
+                    }
+                }
+                for b in 0..2 * n {
+                    if self.blossomparent[b] == NONE
+                        && self.label[b] == 1
+                        && self.bestedge[b] != NONE
+                    {
+                        let kslack = self.slack(self.bestedge[b]);
+                        debug_assert_eq!(kslack % 2, 0, "odd S-S slack with doubled weights");
+                        let d = kslack / 2;
+                        if deltatype == -1 || d < delta {
+                            delta = d;
+                            deltatype = 3;
+                            deltaedge = self.bestedge[b];
+                        }
+                    }
+                }
+                for b in n..2 * n {
+                    if self.blossombase[b] != NONE
+                        && self.blossomparent[b] == NONE
+                        && self.label[b] == 2
+                        && (deltatype == -1 || self.dualvar[b] < delta)
+                    {
+                        delta = self.dualvar[b];
+                        deltatype = 4;
+                        deltablossom = b;
+                    }
+                }
+                if deltatype == -1 {
+                    // No progress possible: max-cardinality optimum.
+                    debug_assert!(self.max_cardinality);
+                    deltatype = 1;
+                    delta = (0..n).map(|v| self.dualvar[v]).min().unwrap_or(0).max(0);
+                }
+
+                // Apply the dual adjustment.
+                for v in 0..n {
+                    match self.label[self.inblossom[v]] {
+                        1 => self.dualvar[v] -= delta,
+                        2 => self.dualvar[v] += delta,
+                        _ => {}
+                    }
+                }
+                for b in n..2 * n {
+                    if self.blossombase[b] != NONE && self.blossomparent[b] == NONE {
+                        match self.label[b] {
+                            1 => self.dualvar[b] += delta,
+                            2 => self.dualvar[b] -= delta,
+                            _ => {}
+                        }
+                    }
+                }
+
+                match deltatype {
+                    1 => break, // optimum reached
+                    2 => {
+                        self.allowedge[deltaedge] = true;
+                        let (mut i, j, _) = self.edges[deltaedge];
+                        if self.label[self.inblossom[i]] == 0 {
+                            i = j;
+                        }
+                        debug_assert_eq!(self.label[self.inblossom[i]], 1);
+                        self.queue.push(i);
+                    }
+                    3 => {
+                        self.allowedge[deltaedge] = true;
+                        let (i, _, _) = self.edges[deltaedge];
+                        debug_assert_eq!(self.label[self.inblossom[i]], 1);
+                        self.queue.push(i);
+                    }
+                    4 => self.expand_blossom(deltablossom, false),
+                    _ => unreachable!(),
+                }
+            }
+            if !augmented {
+                break;
+            }
+            // End of stage: expand all S-blossoms with zero dual.
+            for b in n..2 * n {
+                if self.blossomparent[b] == NONE
+                    && self.blossombase[b] != NONE
+                    && self.label[b] == 1
+                    && self.dualvar[b] == 0
+                {
+                    self.expand_blossom(b, true);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive maximum-matching search for cross-validation.
+    /// Returns (best cardinality-first objective, best weight-only
+    /// objective).
+    fn brute_force(n: usize, edges: &[(usize, usize, i64)]) -> (i64, (usize, i64)) {
+        fn rec(
+            edges: &[(usize, usize, i64)],
+            idx: usize,
+            used: u64,
+            card: usize,
+            weight: i64,
+            best_w: &mut i64,
+            best_cw: &mut (usize, i64),
+        ) {
+            if idx == edges.len() {
+                *best_w = (*best_w).max(weight);
+                if card > best_cw.0 || (card == best_cw.0 && weight > best_cw.1) {
+                    *best_cw = (card, weight);
+                }
+                return;
+            }
+            let (u, v, w) = edges[idx];
+            rec(edges, idx + 1, used, card, weight, best_w, best_cw);
+            if used & (1 << u) == 0 && used & (1 << v) == 0 {
+                rec(
+                    edges,
+                    idx + 1,
+                    used | (1 << u) | (1 << v),
+                    card + 1,
+                    weight + w,
+                    best_w,
+                    best_cw,
+                );
+            }
+        }
+        assert!(n <= 60);
+        let mut best_w = 0;
+        let mut best_cw = (0usize, 0i64);
+        rec(edges, 0, 0, 0, 0, &mut best_w, &mut best_cw);
+        (best_w, best_cw)
+    }
+
+    fn check_valid(n: usize, edges: &[(usize, usize, i64)], mates: &[Option<usize>]) {
+        use std::collections::HashSet;
+        let edge_set: HashSet<(usize, usize)> =
+            edges.iter().map(|&(u, v, _)| (u.min(v), u.max(v))).collect();
+        for v in 0..n {
+            if let Some(u) = mates[v] {
+                assert_eq!(mates[u], Some(v), "mate symmetry broken at {v}<->{u}");
+                assert!(edge_set.contains(&(u.min(v), u.max(v))), "matched non-edge");
+            }
+        }
+    }
+
+    fn solve_and_weight(
+        n: usize,
+        edges: &[(usize, usize, i64)],
+        maxcard: bool,
+    ) -> (Vec<Option<usize>>, usize, i64) {
+        let mates = max_weight_matching(n, edges, maxcard);
+        check_valid(n, edges, &mates);
+        let card = mates.iter().flatten().count() / 2;
+        let weight = matching_weight(&mates, edges);
+        (mates, card, weight)
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs() {
+        assert_eq!(max_weight_matching(0, &[], false), Vec::<Option<usize>>::new());
+        assert_eq!(max_weight_matching(3, &[], false), vec![None, None, None]);
+        let mates = max_weight_matching(2, &[(0, 1, 1)], false);
+        assert_eq!(mates, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn zero_weight_edge_is_skipped_without_maxcardinality() {
+        let mates = max_weight_matching(2, &[(0, 1, 0)], false);
+        // Zero-weight matching and empty matching tie; either is optimal.
+        let w = matching_weight(&mates, &[(0, 1, 0)]);
+        assert_eq!(w, 0);
+        // With max_cardinality the edge must be used.
+        let mates = max_weight_matching(2, &[(0, 1, 0)], true);
+        assert_eq!(mates, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn picks_heavier_single_edge() {
+        // Reference test: two adjacent edges, only the heavier is used.
+        let edges = [(0, 1, 10), (1, 2, 11)];
+        let mates = max_weight_matching(3, &edges, false);
+        assert_eq!(mates, vec![None, Some(2), Some(1)]);
+    }
+
+    #[test]
+    fn middle_edge_beats_two_light_edges() {
+        let edges = [(0, 1, 5), (1, 2, 11), (2, 3, 5)];
+        let mates = max_weight_matching(4, &edges, false);
+        assert_eq!(mates, vec![None, Some(2), Some(1), None]);
+        // Max-cardinality forces the two outer edges instead.
+        let mates = max_weight_matching(4, &edges, true);
+        assert_eq!(mates, vec![Some(1), Some(0), Some(3), Some(2)]);
+    }
+
+    #[test]
+    fn negative_weights_respected() {
+        let edges = [(0, 1, 2), (0, 2, -2), (1, 2, 1), (1, 3, -1), (2, 3, -6)];
+        let mates = max_weight_matching(4, &edges, false);
+        assert_eq!(mates, vec![Some(1), Some(0), None, None]);
+        let (mates, card, weight) = solve_and_weight(4, &edges, true);
+        assert_eq!(card, 2);
+        assert_eq!(weight, -3); // (0,2) + (1,3) beats (0,1) + (2,3) = -4
+        assert_eq!(mates, vec![Some(2), Some(3), Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn creates_blossom_and_uses_it_for_augmentation() {
+        // Reference t_nasty-style cases: blossom formed by (0,1),(0,2),(1,2).
+        let edges = [(0, 1, 8), (0, 2, 9), (1, 2, 10), (2, 3, 7)];
+        let mates = max_weight_matching(4, &edges, false);
+        assert_eq!(mates, vec![Some(1), Some(0), Some(3), Some(2)]);
+        // Extended with pendant edges: augmenting path through the blossom.
+        let edges =
+            [(0, 1, 8), (0, 2, 9), (1, 2, 10), (2, 3, 7), (0, 5, 5), (3, 4, 6)];
+        let mates = max_weight_matching(6, &edges, false);
+        assert_eq!(mates, vec![Some(5), Some(2), Some(1), Some(4), Some(3), Some(0)]);
+    }
+
+    #[test]
+    fn s_blossom_relabeled_on_expansion() {
+        // Reference t_expand case.
+        let edges = [
+            (0, 1, 9),
+            (0, 2, 8),
+            (1, 2, 10),
+            (0, 3, 5),
+            (3, 4, 4),
+            (0, 5, 3),
+        ];
+        let (_, _, w) = solve_and_weight(6, &edges, false);
+        let (bw, _) = brute_force(6, &edges);
+        assert_eq!(w, bw);
+    }
+
+    #[test]
+    fn nested_blossoms_expand_correctly() {
+        // Reference t_nest case: nested S-blossom, relabeled and expanded.
+        let edges = [
+            (0, 1, 9),
+            (0, 2, 9),
+            (1, 2, 10),
+            (1, 3, 8),
+            (2, 4, 8),
+            (3, 4, 10),
+            (4, 5, 6),
+        ];
+        let (_, _, w) = solve_and_weight(6, &edges, false);
+        let (bw, _) = brute_force(6, &edges);
+        assert_eq!(w, bw);
+    }
+
+    #[test]
+    fn tricky_expand_cases_match_brute_force() {
+        // Reference t_nasty / t_nasty2 / t_t-to-s relabelling cases
+        // (1-indexed in the original; shifted down by one here).
+        let cases: Vec<Vec<(usize, usize, i64)>> = vec![
+            vec![
+                (0, 1, 45),
+                (0, 4, 45),
+                (1, 2, 50),
+                (2, 3, 45),
+                (3, 4, 50),
+                (0, 5, 30),
+                (2, 8, 35),
+                (3, 8, 35),
+                (4, 6, 26),
+                (8, 7, 5),
+            ],
+            vec![
+                (0, 1, 45),
+                (0, 4, 45),
+                (1, 2, 50),
+                (2, 3, 45),
+                (3, 4, 50),
+                (0, 5, 30),
+                (2, 8, 35),
+                (4, 8, 26),
+                (8, 7, 5),
+            ],
+            vec![
+                (0, 1, 45),
+                (0, 4, 45),
+                (1, 2, 50),
+                (2, 3, 45),
+                (3, 4, 50),
+                (0, 5, 30),
+                (4, 8, 28),
+                (2, 8, 35),
+                (8, 7, 5),
+            ],
+        ];
+        for (i, edges) in cases.iter().enumerate() {
+            let (_, _, w) = solve_and_weight(9, edges, false);
+            let (bw, _) = brute_force(9, edges);
+            assert_eq!(w, bw, "case {i}");
+        }
+    }
+
+    #[test]
+    fn random_graphs_match_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..400 {
+            let n = rng.gen_range(2..=8);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen::<f64>() < 0.6 {
+                        edges.push((u, v, rng.gen_range(0..=50)));
+                    }
+                }
+            }
+            if edges.is_empty() {
+                continue;
+            }
+            let (bw, bcw) = brute_force(n, &edges);
+            let (_, _, w) = solve_and_weight(n, &edges, false);
+            assert_eq!(w, bw, "weight mode, trial {trial}, edges {edges:?}");
+            let (_, card, w) = solve_and_weight(n, &edges, true);
+            assert_eq!((card, w), bcw, "maxcard mode, trial {trial}, edges {edges:?}");
+        }
+    }
+
+    #[test]
+    fn random_negative_weight_graphs_match_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(43);
+        for trial in 0..200 {
+            let n = rng.gen_range(2..=7);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen::<f64>() < 0.7 {
+                        edges.push((u, v, rng.gen_range(-30..=30)));
+                    }
+                }
+            }
+            if edges.is_empty() {
+                continue;
+            }
+            let (bw, bcw) = brute_force(n, &edges);
+            let (_, _, w) = solve_and_weight(n, &edges, false);
+            assert_eq!(w, bw, "trial {trial}: {edges:?}");
+            let (_, card, w) = solve_and_weight(n, &edges, true);
+            assert_eq!((card, w), bcw, "maxcard trial {trial}: {edges:?}");
+        }
+    }
+
+    #[test]
+    fn min_weight_perfect_matching_on_complete_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(44);
+        for trial in 0..200 {
+            let n = 2 * rng.gen_range(1..=4);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    edges.push((u, v, rng.gen_range(1..=40)));
+                }
+            }
+            let mates = min_weight_perfect_matching(n, &edges).expect("complete graph");
+            // Validity: perfect.
+            for v in 0..n {
+                assert_eq!(mates[mates[v]], v);
+                assert_ne!(mates[v], v);
+            }
+            let total: i64 = (0..n)
+                .filter(|&v| v < mates[v])
+                .map(|v| {
+                    edges
+                        .iter()
+                        .find(|&&(a, b, _)| (a, b) == (v, mates[v]) || (b, a) == (v, mates[v]))
+                        .unwrap()
+                        .2
+                })
+                .sum();
+            // Brute force the minimum perfect matching.
+            let min_total = brute_min_perfect(n, &edges);
+            assert_eq!(total, min_total, "trial {trial}: {edges:?}");
+        }
+    }
+
+    fn brute_min_perfect(n: usize, edges: &[(usize, usize, i64)]) -> i64 {
+        fn rec(n: usize, adj: &[Vec<i64>], used: u64, acc: i64, best: &mut i64) {
+            let v = (0..n).find(|&v| used & (1 << v) == 0);
+            let Some(v) = v else {
+                *best = (*best).min(acc);
+                return;
+            };
+            for u in (v + 1)..n {
+                if used & (1 << u) == 0 && adj[v][u] != i64::MAX {
+                    rec(n, adj, used | (1 << v) | (1 << u), acc + adj[v][u], best);
+                }
+            }
+        }
+        let mut adj = vec![vec![i64::MAX; n]; n];
+        for &(u, v, w) in edges {
+            adj[u][v] = adj[u][v].min(w);
+            adj[v][u] = adj[v][u].min(w);
+        }
+        let mut best = i64::MAX;
+        rec(n, &adj, 0, 0, &mut best);
+        best
+    }
+
+    #[test]
+    fn odd_vertex_count_has_no_perfect_matching() {
+        let edges = [(0, 1, 1), (1, 2, 1), (0, 2, 1)];
+        assert_eq!(min_weight_perfect_matching(3, &edges), None);
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_perfect_matching() {
+        let edges = [(0, 1, 1)];
+        assert_eq!(min_weight_perfect_matching(4, &edges), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        max_weight_matching(2, &[(1, 1, 5)], false);
+    }
+
+    #[test]
+    fn large_random_perfect_matchings_are_consistent() {
+        // Larger instances: check optimality via the LP duality-free
+        // sanity property that no 2-swap improves the matching.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(45);
+        for _ in 0..20 {
+            let n = 20;
+            let mut edges = Vec::new();
+            let mut w = vec![vec![0i64; n]; n];
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let wt = rng.gen_range(1..=1000);
+                    w[u][v] = wt;
+                    w[v][u] = wt;
+                    edges.push((u, v, wt));
+                }
+            }
+            let mates = min_weight_perfect_matching(n, &edges).unwrap();
+            for a in 0..n {
+                let b = mates[a];
+                for c in 0..n {
+                    if c == a || c == b {
+                        continue;
+                    }
+                    let d = mates[c];
+                    if d == a || d == b {
+                        continue;
+                    }
+                    // Swapping partners must not reduce the weight.
+                    assert!(
+                        w[a][b] + w[c][d] <= w[a][c] + w[b][d],
+                        "2-swap improves matching"
+                    );
+                    assert!(
+                        w[a][b] + w[c][d] <= w[a][d] + w[b][c],
+                        "2-swap improves matching"
+                    );
+                }
+            }
+        }
+    }
+}

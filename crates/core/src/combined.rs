@@ -1,0 +1,231 @@
+//! The full real-time decoder: Promatch + Astrea.
+
+use crate::algorithm::{PromatchConfig, PromatchPredecoder, PromatchStats};
+use astrea::{AstreaConfig, AstreaDecoder};
+use decoding_graph::{
+    DecodeOutcome, Decoder, DecodingGraph, DetectorId, MatchPair, MatchTarget, PathTable,
+    Predecoder,
+};
+
+/// `Promatch + Astrea`: the paper's real-time decoder for d = 11, 13.
+///
+/// Low-HW syndromes (≤ 10) go straight to Astrea. High-HW syndromes are
+/// adaptively predecoded until the remainder fits the time left in the
+/// 960 ns budget; exceeding the budget is a decode failure ("categorized
+/// as a logical error", §6.4).
+#[derive(Clone, Debug)]
+pub struct PromatchAstreaDecoder<'a> {
+    promatch: PromatchPredecoder<'a>,
+    astrea: AstreaDecoder<'a>,
+    budget_ns: f64,
+}
+
+impl<'a> PromatchAstreaDecoder<'a> {
+    /// Creates the combined decoder with default configurations.
+    pub fn new(graph: &'a DecodingGraph, paths: &'a PathTable) -> Self {
+        Self::with_configs(graph, paths, PromatchConfig::default(), AstreaConfig::default())
+    }
+
+    /// Creates the combined decoder with explicit configurations.
+    pub fn with_configs(
+        graph: &'a DecodingGraph,
+        paths: &'a PathTable,
+        promatch_config: PromatchConfig,
+        astrea_config: AstreaConfig,
+    ) -> Self {
+        let budget_ns = promatch_config.time_budget_ns;
+        PromatchAstreaDecoder {
+            promatch: PromatchPredecoder::with_config(graph, paths, promatch_config),
+            astrea: AstreaDecoder::with_config(graph, paths, astrea_config),
+            budget_ns,
+        }
+    }
+
+    /// Statistics of the most recent predecoding pass.
+    pub fn last_predecode_stats(&self) -> &PromatchStats {
+        self.promatch.last_stats()
+    }
+
+    /// Direct access to the inner predecoder (for experiment harnesses).
+    pub fn predecoder(&mut self) -> &mut PromatchPredecoder<'a> {
+        &mut self.promatch
+    }
+}
+
+impl Decoder for PromatchAstreaDecoder<'_> {
+    fn name(&self) -> &str {
+        "Promatch + Astrea"
+    }
+
+    fn decode(&mut self, dets: &[DetectorId]) -> DecodeOutcome {
+        if dets.len() <= self.astrea.config().max_hw {
+            return self.astrea.decode(dets);
+        }
+        let pre = self.promatch.predecode(dets);
+        if pre.aborted {
+            return DecodeOutcome {
+                obs_flip: 0,
+                weight: None,
+                latency_ns: Some(self.budget_ns),
+                failed: true,
+                matches: Vec::new(),
+            };
+        }
+        let mut main = self.astrea.decode(&pre.remaining);
+        let total_ns = pre.latency_ns + main.latency_ns.unwrap_or(0.0);
+        if main.failed || total_ns > self.budget_ns {
+            return DecodeOutcome {
+                obs_flip: 0,
+                weight: None,
+                latency_ns: Some(total_ns.min(self.budget_ns)),
+                failed: true,
+                matches: Vec::new(),
+            };
+        }
+        let mut matches: Vec<MatchPair> = pre
+            .pairs
+            .iter()
+            .map(|&(a, b)| MatchPair { a, b: MatchTarget::Detector(b) })
+            .collect();
+        matches.append(&mut main.matches);
+        DecodeOutcome {
+            obs_flip: pre.obs_flip ^ main.obs_flip,
+            weight: main.weight.map(|w| w + pre.weight),
+            latency_ns: Some(total_ns),
+            failed: false,
+            matches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwpm::MwpmDecoder;
+    use qsim::extract_dem;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use surface_code::{NoiseModel, RotatedSurfaceCode};
+
+    fn fixture(d: u32) -> (qsim::DetectorErrorModel, DecodingGraph) {
+        let code = RotatedSurfaceCode::new(d);
+        let circuit = code.memory_z_circuit(d, &NoiseModel::uniform(1e-3));
+        let dem = extract_dem(&circuit);
+        let graph = DecodingGraph::from_dem(&dem);
+        (dem, graph)
+    }
+
+    #[test]
+    fn low_hw_goes_straight_to_astrea() {
+        let (dem, graph) = fixture(5);
+        let paths = PathTable::build(&graph);
+        let mut dec = PromatchAstreaDecoder::new(&graph, &paths);
+        for e in dem.errors.iter().take(50) {
+            let out = dec.decode(e.dets.as_slice());
+            assert!(!out.failed);
+            assert_eq!(out.obs_flip, e.obs);
+        }
+    }
+
+    #[test]
+    fn high_hw_is_decoded_within_budget() {
+        let (dem, graph) = fixture(5);
+        let paths = PathTable::build(&graph);
+        let mut dec = PromatchAstreaDecoder::new(&graph, &paths);
+        let mut rng = StdRng::seed_from_u64(81);
+        let mut decoded_high = 0;
+        for _ in 0..300 {
+            let k = rng.gen_range(8..=16);
+            let mech: Vec<usize> =
+                (0..k).map(|_| rng.gen_range(0..dem.errors.len())).collect();
+            let shot = dem.symptom_of(&mech);
+            if shot.dets.len() <= 10 {
+                continue;
+            }
+            let out = dec.decode(&shot.dets);
+            if out.failed {
+                continue;
+            }
+            decoded_high += 1;
+            let l = out.latency_ns.unwrap();
+            assert!(l <= 960.0, "latency {l} over budget");
+        }
+        assert!(decoded_high > 50, "most high-HW syndromes must decode");
+    }
+
+    #[test]
+    fn accuracy_tracks_mwpm_on_pair_injections() {
+        // Promatch+Astrea must agree with the truth on k=2 injected
+        // mechanisms (all such syndromes are low-HW -> Astrea exact).
+        let (dem, graph) = fixture(5);
+        let paths = PathTable::build(&graph);
+        let mut dec = PromatchAstreaDecoder::new(&graph, &paths);
+        let mut rng = StdRng::seed_from_u64(82);
+        for trial in 0..500 {
+            let a = rng.gen_range(0..dem.errors.len());
+            let b = rng.gen_range(0..dem.errors.len());
+            if a == b {
+                continue;
+            }
+            let shot = dem.symptom_of(&[a, b]);
+            let out = dec.decode(&shot.dets);
+            assert!(!out.failed, "trial {trial}");
+            assert_eq!(out.obs_flip, shot.obs, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn weight_never_beats_mwpm() {
+        let (dem, graph) = fixture(5);
+        let paths = PathTable::build(&graph);
+        let mut dec = PromatchAstreaDecoder::new(&graph, &paths);
+        let mut mw = MwpmDecoder::new(&graph, &paths);
+        let mut rng = StdRng::seed_from_u64(83);
+        for _ in 0..200 {
+            let k = rng.gen_range(2..=14);
+            let mech: Vec<usize> =
+                (0..k).map(|_| rng.gen_range(0..dem.errors.len())).collect();
+            let shot = dem.symptom_of(&mech);
+            let ours = dec.decode(&shot.dets);
+            if ours.failed {
+                continue;
+            }
+            let ideal = mw.decode(&shot.dets);
+            assert!(
+                ours.weight.unwrap() >= ideal.weight.unwrap(),
+                "combined decoder beat exact MWPM"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_composition_matches_parts() {
+        let (dem, graph) = fixture(5);
+        let paths = PathTable::build(&graph);
+        let mut rng = StdRng::seed_from_u64(84);
+        for _ in 0..100 {
+            let k = rng.gen_range(10..=18);
+            let mech: Vec<usize> =
+                (0..k).map(|_| rng.gen_range(0..dem.errors.len())).collect();
+            let shot = dem.symptom_of(&mech);
+            if shot.dets.len() <= 10 {
+                continue;
+            }
+            let mut dec = PromatchAstreaDecoder::new(&graph, &paths);
+            let out = dec.decode(&shot.dets);
+            if out.failed {
+                continue;
+            }
+            let stats = *dec.last_predecode_stats();
+            let astrea_part =
+                AstreaDecoder::new(&graph, &paths).latency_ns(out.matches.len() * 0 + {
+                    // remaining HW = dets - 2*pairs
+                    shot.dets.len() - 2 * stats.pairs
+                });
+            assert!(
+                (out.latency_ns.unwrap() - (stats.predecode_ns + astrea_part)).abs() < 1e-9
+            );
+            return;
+        }
+    }
+}

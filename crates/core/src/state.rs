@@ -1,0 +1,232 @@
+//! Dynamic decoding-subgraph state for the Promatch pipeline.
+//!
+//! Mirrors the hardware structures of §4.2.1: a vertex array of flipped
+//! bits, per-vertex neighbor lists with edge weights, and the two vertex
+//! property arrays — `deg` and `#dependent` — that feed the singleton
+//! detection and step-candidate logic of Figures 10/11.
+
+use decoding_graph::{DecodingGraph, DetectorId};
+use std::collections::HashMap;
+
+/// One neighbor entry in the subgraph adjacency.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Nbr {
+    /// Slot index of the neighbor.
+    pub slot: usize,
+    /// Weight of the connecting decoding-graph edge.
+    pub weight: i64,
+    /// Observable mask of the connecting edge.
+    pub obs: u64,
+}
+
+/// Mutable subgraph state over one syndrome.
+#[derive(Clone, Debug)]
+pub(crate) struct SubgraphState {
+    /// Flipped detectors by slot.
+    pub nodes: Vec<DetectorId>,
+    /// Whether each slot is still unmatched.
+    pub alive: Vec<bool>,
+    /// Static adjacency among slots (only edges of the decoding graph
+    /// whose both endpoints are flipped).
+    pub adj: Vec<Vec<Nbr>>,
+    /// Live degree per slot.
+    pub deg: Vec<u32>,
+    /// Number of live nodes.
+    pub hw: usize,
+}
+
+impl SubgraphState {
+    /// Builds the state for `dets` (sorted, unique).
+    pub fn build(graph: &DecodingGraph, dets: &[DetectorId]) -> Self {
+        let slot_of: HashMap<DetectorId, usize> =
+            dets.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        let mut adj: Vec<Vec<Nbr>> = vec![Vec::new(); dets.len()];
+        let bd = graph.boundary_node();
+        for (ai, &a) in dets.iter().enumerate() {
+            for (nbr, e) in graph.neighbors(a) {
+                if nbr == bd || nbr <= a {
+                    continue;
+                }
+                if let Some(&bi) = slot_of.get(&nbr) {
+                    adj[ai].push(Nbr { slot: bi, weight: e.weight, obs: e.obs });
+                    adj[bi].push(Nbr { slot: ai, weight: e.weight, obs: e.obs });
+                }
+            }
+        }
+        let deg: Vec<u32> = adj.iter().map(|l| l.len() as u32).collect();
+        SubgraphState {
+            nodes: dets.to_vec(),
+            alive: vec![true; dets.len()],
+            adj,
+            deg,
+            hw: dets.len(),
+        }
+    }
+
+    /// Live-edge count (each edge counted once).
+    pub fn live_edges(&self) -> usize {
+        let mut count = 0;
+        for (i, list) in self.adj.iter().enumerate() {
+            if !self.alive[i] {
+                continue;
+            }
+            count += list.iter().filter(|n| self.alive[n.slot] && n.slot > i).count();
+        }
+        count
+    }
+
+    /// `#dependent_i`: number of live neighbors of `i` whose only live
+    /// neighbor is `i` (degree-1 neighbors).
+    pub fn dependents(&self, i: usize) -> u32 {
+        self.adj[i]
+            .iter()
+            .filter(|n| self.alive[n.slot] && self.deg[n.slot] == 1)
+            .count() as u32
+    }
+
+    /// Live neighbors of slot `i`.
+    pub fn live_neighbors(&self, i: usize) -> impl Iterator<Item = &Nbr> {
+        self.adj[i].iter().filter(move |n| self.alive[n.slot])
+    }
+
+    /// The hardware singleton test of Figure 11: matching `(i, j)` (an
+    /// edge) creates no singleton iff neither endpoint has a degree-1
+    /// neighbor other than (possibly) the other endpoint.
+    pub fn no_singleton_hw(&self, i: usize, j: usize) -> bool {
+        let dep_i = self.dependents(i) - u32::from(self.deg[j] == 1);
+        let dep_j = self.dependents(j) - u32::from(self.deg[i] == 1);
+        dep_i + dep_j == 0
+    }
+
+    /// Exact singleton test: matching `(i, j)` creates a singleton iff
+    /// some third live node's live neighbors are all in `{i, j}`. Catches
+    /// the degree-2 corner case the hardware logic misses.
+    pub fn no_singleton_exact(&self, i: usize, j: usize) -> bool {
+        for n in self.adj[i].iter().chain(self.adj[j].iter()) {
+            let k = n.slot;
+            if k == i || k == j || !self.alive[k] {
+                continue;
+            }
+            let orphaned = self
+                .live_neighbors(k)
+                .all(|m| m.slot == i || m.slot == j);
+            if orphaned {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Removes a matched pair from the live subgraph, updating degrees.
+    pub fn remove_pair(&mut self, i: usize, j: usize) {
+        debug_assert!(self.alive[i] && self.alive[j] && i != j);
+        for slot in [i, j] {
+            self.alive[slot] = false;
+            self.hw -= 1;
+        }
+        for slot in [i, j] {
+            for n in self.adj[slot].clone() {
+                if self.alive[n.slot] {
+                    self.deg[n.slot] -= 1;
+                }
+            }
+        }
+        self.deg[i] = 0;
+        self.deg[j] = 0;
+    }
+
+    /// Live slots that are singletons (degree 0).
+    pub fn singletons(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.alive[i] && self.deg[i] == 0)
+            .collect()
+    }
+
+    /// Live slot indices.
+    pub fn live_slots(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.alive[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::dem::{DemError, DetectorErrorModel};
+    use qsim::sparse::SparseBits;
+
+    /// Builds a decoding graph from an explicit edge list (plus one
+    /// boundary edge on node 0 so the DEM is valid).
+    pub(crate) fn graph_from_edges(n: u32, edges: &[(u32, u32)]) -> DecodingGraph {
+        let mut errors: Vec<DemError> = edges
+            .iter()
+            .map(|&(a, b)| DemError {
+                dets: SparseBits::from_sorted(vec![a.min(b), a.max(b)]),
+                obs: 0,
+                p: 0.01,
+            })
+            .collect();
+        errors.push(DemError { dets: SparseBits::singleton(0), obs: 0, p: 0.005 });
+        DecodingGraph::from_dem(&DetectorErrorModel {
+            num_detectors: n,
+            num_observables: 0,
+            errors,
+            det_coords: vec![[0.0; 3]; n as usize],
+        })
+    }
+
+    #[test]
+    fn degrees_and_dependents_follow_figure9() {
+        // Figure 9: node a(0) adjacent to b(1), c(2), d(3), e(4); e
+        // adjacent to f(5). deg(a)=4, #dependent(a)=3 (b, c, d).
+        let g = graph_from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5)]);
+        let st = SubgraphState::build(&g, &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(st.deg[0], 4);
+        assert_eq!(st.dependents(0), 3);
+        assert_eq!(st.deg[4], 2);
+        assert_eq!(st.dependents(4), 1); // f depends on e
+        // Matching (a, b) would orphan c and d.
+        assert!(!st.no_singleton_hw(0, 1));
+        assert!(!st.no_singleton_exact(0, 1));
+        // Matching (e, f) is safe.
+        assert!(st.no_singleton_hw(4, 5));
+        assert!(st.no_singleton_exact(4, 5));
+    }
+
+    #[test]
+    fn remove_pair_updates_degrees() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut st = SubgraphState::build(&g, &[0, 1, 2, 3]);
+        assert_eq!(st.deg, vec![1, 2, 2, 1]);
+        st.remove_pair(0, 1);
+        assert_eq!(st.hw, 2);
+        assert!(st.alive[2] && st.alive[3]);
+        assert_eq!(st.deg[2], 1);
+        assert_eq!(st.deg[3], 1);
+        assert_eq!(st.live_edges(), 1);
+    }
+
+    #[test]
+    fn exact_rule_catches_degree_two_orphan() {
+        // Triangle 0-1-2: matching (0,1) orphans node 2 (degree 2, both
+        // neighbors consumed). The hardware rule misses this case; the
+        // exact rule must catch it.
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let st = SubgraphState::build(&g, &[0, 1, 2]);
+        assert!(st.no_singleton_hw(0, 1), "hardware approximation misses this");
+        assert!(!st.no_singleton_exact(0, 1), "exact rule catches it");
+    }
+
+    #[test]
+    fn singletons_are_isolated_live_nodes() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let st = SubgraphState::build(&g, &[0, 1, 2]);
+        assert_eq!(st.singletons(), vec![2]);
+    }
+
+    #[test]
+    fn live_edges_counts_each_edge_once() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let st = SubgraphState::build(&g, &[0, 1, 2, 3]);
+        assert_eq!(st.live_edges(), 4);
+    }
+}

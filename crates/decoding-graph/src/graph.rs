@@ -1,0 +1,393 @@
+//! The weighted decoding graph and single-source shortest paths.
+
+use qsim::dem::DetectorErrorModel;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Fixed-point scale for edge weights: `weight = round(SCALE·ln((1−p)/p))`.
+///
+/// Integer weights make Dijkstra, blossom duals, and weight comparisons
+/// exact and platform-independent.
+pub const WEIGHT_SCALE: f64 = 1000.0;
+
+/// One edge of the decoding graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Edge {
+    /// First endpoint (a detector index).
+    pub u: u32,
+    /// Second endpoint: a detector index, or the boundary node index
+    /// ([`DecodingGraph::boundary_node`]).
+    pub v: u32,
+    /// Scaled log-likelihood weight, ≥ 0.
+    pub weight: i64,
+    /// Firing probability of the underlying mechanism.
+    pub probability: f64,
+    /// Logical observables flipped when the mechanism fires.
+    pub obs: u64,
+}
+
+/// A decoding graph: detectors plus a single virtual boundary node.
+#[derive(Clone, Debug)]
+pub struct DecodingGraph {
+    num_detectors: u32,
+    num_observables: u32,
+    edges: Vec<Edge>,
+    /// Adjacency lists indexed by node (detectors then boundary), holding
+    /// edge indices.
+    adj: Vec<Vec<u32>>,
+    coords: Vec<[f64; 3]>,
+}
+
+impl DecodingGraph {
+    /// Builds the graph from a graphlike detector error model.
+    ///
+    /// Mechanisms with one detector become boundary edges; mechanisms with
+    /// two become internal edges. Parallel edges with identical observable
+    /// masks are XOR-merged; on an observable-mask conflict the more
+    /// probable mechanism wins (the competing path would never be chosen
+    /// by a minimum-weight decoder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not graphlike (a mechanism flips more than
+    /// two detectors) or contains an undetectable logical mechanism.
+    pub fn from_dem(dem: &DetectorErrorModel) -> Self {
+        use std::collections::HashMap;
+        let n = dem.num_detectors;
+        let boundary = n;
+        let mut merged: HashMap<(u32, u32), (f64, u64)> = HashMap::new();
+        for e in &dem.errors {
+            let key = match e.dets.as_slice() {
+                [] => panic!("undetectable mechanism in DEM (obs mask {:#x})", e.obs),
+                [a] => (*a, boundary),
+                [a, b] => (*a, *b),
+                more => panic!("non-graphlike mechanism with {} detectors", more.len()),
+            };
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert((e.p, e.obs));
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    let (p0, obs0) = *slot.get();
+                    if obs0 == e.obs {
+                        slot.insert((qsim::dem::xor_probability(p0, e.p), obs0));
+                    } else if e.p > p0 {
+                        slot.insert((e.p, e.obs));
+                    }
+                }
+            }
+        }
+        let mut edges: Vec<Edge> = merged
+            .into_iter()
+            .map(|((u, v), (p, obs))| Edge {
+                u,
+                v,
+                weight: Self::weight_of_probability(p),
+                probability: p,
+                obs,
+            })
+            .collect();
+        edges.sort_by_key(|e| (e.u, e.v));
+        let mut adj = vec![Vec::new(); n as usize + 1];
+        for (i, e) in edges.iter().enumerate() {
+            adj[e.u as usize].push(i as u32);
+            adj[e.v as usize].push(i as u32);
+        }
+        DecodingGraph {
+            num_detectors: n,
+            num_observables: dem.num_observables,
+            edges,
+            adj,
+            coords: dem.det_coords.clone(),
+        }
+    }
+
+    /// Converts a probability to a scaled integer weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn weight_of_probability(p: f64) -> i64 {
+        assert!(p > 0.0 && p < 1.0, "probability {p} out of range");
+        let w = ((1.0 - p) / p).ln() * WEIGHT_SCALE;
+        // Clamp to ≥ 0: mechanisms with p > 0.5 would otherwise create
+        // negative weights that break Dijkstra; such mechanisms cannot
+        // occur in the sub-threshold regime this crate targets.
+        w.round().max(0.0) as i64
+    }
+
+    /// Number of detector nodes.
+    pub fn num_detectors(&self) -> u32 {
+        self.num_detectors
+    }
+
+    /// Number of logical observables carried on edges.
+    pub fn num_observables(&self) -> u32 {
+        self.num_observables
+    }
+
+    /// Index of the virtual boundary node (== `num_detectors()`).
+    pub fn boundary_node(&self) -> u32 {
+        self.num_detectors
+    }
+
+    /// Number of edges (internal + boundary).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Detector coordinates `(x, y, t)`.
+    pub fn coords(&self) -> &[[f64; 3]] {
+        &self.coords
+    }
+
+    /// Iterates over `(neighbor, edge)` pairs of `node` (which may be the
+    /// boundary node).
+    pub fn neighbors(&self, node: u32) -> impl Iterator<Item = (u32, &Edge)> + '_ {
+        self.adj[node as usize].iter().map(move |&ei| {
+            let e = &self.edges[ei as usize];
+            let other = if e.u == node { e.v } else { e.u };
+            (other, e)
+        })
+    }
+
+    /// Degree of `node` in the decoding graph.
+    pub fn degree(&self, node: u32) -> usize {
+        self.adj[node as usize].len()
+    }
+
+    /// Indices into [`DecodingGraph::edges`] of the edges incident to
+    /// `node` (which may be the boundary node).
+    pub fn incident_edge_indices(&self, node: u32) -> impl Iterator<Item = &u32> {
+        self.adj[node as usize].iter()
+    }
+
+    /// The direct edge between `u` and `v`, if one exists (either may be
+    /// the boundary node). Returns the minimum-weight such edge.
+    pub fn edge_between(&self, u: u32, v: u32) -> Option<&Edge> {
+        self.adj[u as usize]
+            .iter()
+            .map(|&ei| &self.edges[ei as usize])
+            .filter(|e| (e.u == u && e.v == v) || (e.u == v && e.v == u))
+            .min_by_key(|e| e.weight)
+    }
+
+    /// Single-source shortest paths from `source` (any node, including
+    /// the boundary) over the whole graph.
+    pub fn dijkstra(&self, source: u32) -> ShortestPaths {
+        let n = self.num_detectors as usize + 1;
+        assert!((source as usize) < n, "source {source} out of range");
+        let mut dist = vec![i64::MAX; n];
+        let mut obs = vec![0u64; n];
+        let mut hops = vec![u32::MAX; n];
+        let mut pred = vec![u32::MAX; n];
+        dist[source as usize] = 0;
+        hops[source as usize] = 0;
+        let mut heap: BinaryHeap<Reverse<(i64, u32)>> = BinaryHeap::new();
+        heap.push(Reverse((0, source)));
+        while let Some(Reverse((du, u))) = heap.pop() {
+            if du > dist[u as usize] {
+                continue;
+            }
+            for &ei in &self.adj[u as usize] {
+                let e = &self.edges[ei as usize];
+                let v = if e.u == u { e.v } else { e.u };
+                let nd = du + e.weight;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    obs[v as usize] = obs[u as usize] ^ e.obs;
+                    hops[v as usize] = hops[u as usize] + 1;
+                    pred[v as usize] = ei;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        ShortestPaths { source, dist, obs, hops, pred }
+    }
+}
+
+/// Result of a single-source Dijkstra run.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    /// The source node.
+    pub source: u32,
+    /// Distance to each node (`i64::MAX` if unreachable).
+    pub dist: Vec<i64>,
+    /// XOR of observable masks along the shortest path to each node.
+    pub obs: Vec<u64>,
+    /// Number of edges along the shortest path (chain length).
+    pub hops: Vec<u32>,
+    /// Predecessor edge index per node (`u32::MAX` at the source).
+    pred: Vec<u32>,
+}
+
+impl ShortestPaths {
+    /// Reconstructs the node sequence of the shortest path from the
+    /// source to `target` (inclusive). Returns `None` if unreachable.
+    pub fn path_to(&self, target: u32, graph: &DecodingGraph) -> Option<Vec<u32>> {
+        if self.dist[target as usize] == i64::MAX {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while cur != self.source {
+            let e = &graph.edges()[self.pred[cur as usize] as usize];
+            cur = if e.u == cur { e.v } else { e.u };
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::dem::DemError;
+    use qsim::sparse::SparseBits;
+
+    /// A 4-detector path graph with boundary edges at both ends:
+    /// B —(w≈6.9k)— 0 — 1 — 2 — 3 —(w)— B, internal edges p = 0.01.
+    fn line_dem() -> DetectorErrorModel {
+        let mk = |dets: Vec<u32>, obs: u64, p: f64| DemError {
+            dets: SparseBits::from_sorted(dets),
+            obs,
+            p,
+        };
+        DetectorErrorModel {
+            num_detectors: 4,
+            num_observables: 1,
+            errors: vec![
+                mk(vec![0], 1, 0.001),
+                mk(vec![0, 1], 0, 0.01),
+                mk(vec![1, 2], 0, 0.01),
+                mk(vec![2, 3], 0, 0.01),
+                mk(vec![3], 0, 0.001),
+            ],
+            det_coords: vec![[0.0; 3]; 4],
+        }
+    }
+
+    #[test]
+    fn from_dem_builds_expected_topology() {
+        let g = DecodingGraph::from_dem(&line_dem());
+        assert_eq!(g.num_detectors(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.boundary_node(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(4), 2); // boundary touches both ends
+        assert!(g.edge_between(0, 1).is_some());
+        assert!(g.edge_between(0, 2).is_none());
+        assert_eq!(g.edge_between(0, 4).unwrap().obs, 1);
+    }
+
+    #[test]
+    fn weights_are_log_likelihood_scaled() {
+        let w = DecodingGraph::weight_of_probability(0.01);
+        let expect = ((0.99f64 / 0.01).ln() * WEIGHT_SCALE).round() as i64;
+        assert_eq!(w, expect);
+        assert!(w > 0);
+        // Lower probability -> higher weight.
+        assert!(DecodingGraph::weight_of_probability(0.001) > w);
+    }
+
+    #[test]
+    fn parallel_edges_with_same_obs_merge() {
+        let mut dem = line_dem();
+        dem.errors.push(DemError {
+            dets: SparseBits::from_sorted(vec![0, 1]),
+            obs: 0,
+            p: 0.02,
+        });
+        let g = DecodingGraph::from_dem(&dem);
+        assert_eq!(g.num_edges(), 5);
+        let e = g.edge_between(0, 1).unwrap();
+        let merged = qsim::dem::xor_probability(0.01, 0.02);
+        assert!((e.probability - merged).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_edges_with_conflicting_obs_keep_more_probable() {
+        let mut dem = line_dem();
+        dem.errors.push(DemError {
+            dets: SparseBits::from_sorted(vec![0, 1]),
+            obs: 1,
+            p: 0.05,
+        });
+        let g = DecodingGraph::from_dem(&dem);
+        let e = g.edge_between(0, 1).unwrap();
+        assert_eq!(e.obs, 1);
+        assert!((e.probability - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dijkstra_distances_add_along_line() {
+        let g = DecodingGraph::from_dem(&line_dem());
+        let sp = g.dijkstra(0);
+        let w = DecodingGraph::weight_of_probability(0.01);
+        assert_eq!(sp.dist[0], 0);
+        assert_eq!(sp.dist[1], w);
+        assert_eq!(sp.dist[2], 2 * w);
+        assert_eq!(sp.dist[3], 3 * w);
+        assert_eq!(sp.hops[3], 3);
+        // Boundary is closer via detector 0's own boundary edge.
+        let wb = DecodingGraph::weight_of_probability(0.001);
+        assert_eq!(sp.dist[4], wb);
+        assert_eq!(sp.obs[4], 1, "path to boundary crosses the logical");
+    }
+
+    #[test]
+    fn dijkstra_from_boundary_reaches_all() {
+        let g = DecodingGraph::from_dem(&line_dem());
+        let sp = g.dijkstra(g.boundary_node());
+        assert!(sp.dist.iter().all(|&d| d != i64::MAX));
+        // Detector 1's closest boundary route is through detector 0.
+        let wb = DecodingGraph::weight_of_probability(0.001);
+        let w = DecodingGraph::weight_of_probability(0.01);
+        assert_eq!(sp.dist[1], wb + w);
+        assert_eq!(sp.obs[1], 1);
+    }
+
+    #[test]
+    fn path_reconstruction_matches_distance() {
+        let g = DecodingGraph::from_dem(&line_dem());
+        let sp = g.dijkstra(0);
+        let path = sp.path_to(3, &g).unwrap();
+        assert_eq!(path, vec![0, 1, 2, 3]);
+        assert_eq!(sp.path_to(0, &g).unwrap(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-graphlike")]
+    fn non_graphlike_dem_is_rejected() {
+        let dem = DetectorErrorModel {
+            num_detectors: 3,
+            num_observables: 0,
+            errors: vec![DemError {
+                dets: SparseBits::from_sorted(vec![0, 1, 2]),
+                obs: 0,
+                p: 0.1,
+            }],
+            det_coords: vec![[0.0; 3]; 3],
+        };
+        DecodingGraph::from_dem(&dem);
+    }
+
+    #[test]
+    fn surface_code_graph_is_connected_to_boundary() {
+        use surface_code::{NoiseModel, RotatedSurfaceCode};
+        let code = RotatedSurfaceCode::new(3);
+        let circuit = code.memory_z_circuit(3, &NoiseModel::uniform(1e-3));
+        let g = DecodingGraph::from_dem(&qsim::extract_dem(&circuit));
+        let sp = g.dijkstra(g.boundary_node());
+        assert!(
+            sp.dist.iter().all(|&d| d != i64::MAX),
+            "every detector must reach the boundary"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Decoding graphs and shared decoder infrastructure.
+//!
+//! Every decoder and predecoder in the workspace operates on the same
+//! substrate built here from a [`qsim::DetectorErrorModel`]:
+//!
+//! * [`DecodingGraph`] — detectors as nodes (plus one virtual boundary
+//!   node), graphlike error mechanisms as weighted edges carrying logical
+//!   observable masks. Weights are scaled integers
+//!   `round(1000·ln((1−p)/p))` for exact, platform-independent
+//!   arithmetic.
+//! * [`ShortestPaths`] / [`PathTable`] — Dijkstra machinery with
+//!   observable masks and hop counts along paths, plus the n×n quantized
+//!   path table that Promatch's Step 3 hardware keeps in on-chip memory
+//!   (Table 8 of the paper).
+//! * [`DecodingSubgraph`] — the subgraph induced by the flipped detectors
+//!   of one syndrome (Figure 6 of the paper), the object all
+//!   predecoders inspect.
+//! * [`Decoder`] / [`Predecoder`] traits with [`DecodeOutcome`] /
+//!   [`PredecodeOutcome`] result types.
+//!
+//! # Example
+//!
+//! ```
+//! use qsim::extract_dem;
+//! use surface_code::{NoiseModel, RotatedSurfaceCode};
+//! use decoding_graph::DecodingGraph;
+//!
+//! let code = RotatedSurfaceCode::new(3);
+//! let circuit = code.memory_z_circuit(3, &NoiseModel::uniform(1e-3));
+//! let graph = DecodingGraph::from_dem(&extract_dem(&circuit));
+//! assert_eq!(graph.num_detectors(), 16);
+//! assert!(graph.num_edges() > 16);
+//! ```
+
+mod graph;
+mod pathtable;
+mod subgraph;
+mod traits;
+
+pub use graph::{DecodingGraph, Edge, ShortestPaths, WEIGHT_SCALE};
+pub use pathtable::{PathTable, StorageModel};
+pub use subgraph::DecodingSubgraph;
+pub use traits::{DecodeOutcome, Decoder, MatchPair, MatchTarget, PredecodeOutcome, Predecoder};
+
+/// Index of a detector within a decoding graph.
+pub type DetectorId = u32;

@@ -1,0 +1,239 @@
+//! Experiment context: everything one `(d, p)` configuration needs.
+
+use astrea::{AstreaDecoder, AstreaGDecoder};
+use decoding_graph::{Decoder, DecodingGraph, PathTable};
+use mwpm::MwpmDecoder;
+use predecoders::{CliquePredecoder, ParallelDecoder, PipelineDecoder, SmithPredecoder};
+use promatch::{PromatchAstreaDecoder, PromatchConfig};
+use qsim::circuit::Circuit;
+use qsim::dem::DetectorErrorModel;
+use surface_code::{MemoryBasis, NoiseModel, RotatedSurfaceCode};
+use unionfind::UnionFindDecoder;
+
+/// Every decoder configuration appearing in the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DecoderKind {
+    /// Idealized (non-real-time) MWPM — the gold standard.
+    Mwpm,
+    /// Astrea alone (fails above HW 10).
+    Astrea,
+    /// Astrea-G alone.
+    AstreaG,
+    /// Union-find (the AFS baseline of Figure 4).
+    UnionFind,
+    /// Promatch + Astrea (the paper's real-time decoder).
+    PromatchAstrea,
+    /// (Promatch + Astrea) ‖ Astrea-G — the headline configuration.
+    PromatchParAg,
+    /// Smith et al. + Astrea.
+    SmithAstrea,
+    /// (Smith + Astrea) ‖ Astrea-G.
+    SmithParAg,
+    /// Clique + Astrea (NSM forwarding into the brute-force engine).
+    CliqueAstrea,
+    /// Clique + Astrea-G.
+    CliqueAg,
+    /// Clique + MWPM (the Figure 4 curve).
+    CliqueMwpm,
+}
+
+impl DecoderKind {
+    /// The label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            DecoderKind::Mwpm => "MWPM (Ideal)",
+            DecoderKind::Astrea => "Astrea",
+            DecoderKind::AstreaG => "Astrea-G (AG)",
+            DecoderKind::UnionFind => "AFS (Union-Find)",
+            DecoderKind::PromatchAstrea => "Promatch + Astrea",
+            DecoderKind::PromatchParAg => "Promatch || AG",
+            DecoderKind::SmithAstrea => "Smith + Astrea",
+            DecoderKind::SmithParAg => "Smith || AG",
+            DecoderKind::CliqueAstrea => "Clique + Astrea",
+            DecoderKind::CliqueAg => "Clique + AG",
+            DecoderKind::CliqueMwpm => "Clique + MWPM",
+        }
+    }
+
+    /// All kinds in Table 2 order.
+    pub fn table2() -> [DecoderKind; 6] {
+        [
+            DecoderKind::Mwpm,
+            DecoderKind::PromatchParAg,
+            DecoderKind::PromatchAstrea,
+            DecoderKind::AstreaG,
+            DecoderKind::SmithParAg,
+            DecoderKind::SmithAstrea,
+        ]
+    }
+}
+
+/// A fully-built experiment configuration.
+///
+/// Owns the circuit, detector error model, decoding graph, and path
+/// table; decoders borrow from it, so the context must outlive them.
+#[derive(Clone, Debug)]
+pub struct ExperimentContext {
+    /// Code distance.
+    pub distance: u32,
+    /// Physical error rate of the uniform noise model.
+    pub physical_error_rate: f64,
+    /// Syndrome-extraction rounds (`d` throughout the paper).
+    pub rounds: u32,
+    /// The memory-Z circuit.
+    pub circuit: Circuit,
+    /// The extracted detector error model.
+    pub dem: DetectorErrorModel,
+    /// The decoding graph.
+    pub graph: DecodingGraph,
+    /// All-pairs shortest-path data.
+    pub paths: PathTable,
+}
+
+impl ExperimentContext {
+    /// Builds the standard `d`-round memory-Z configuration at physical
+    /// error rate `p` (the paper's experiment).
+    pub fn new(distance: u32, p: f64) -> Self {
+        Self::with_rounds(distance, distance, p)
+    }
+
+    /// Builds a configuration with an explicit round count.
+    pub fn with_rounds(distance: u32, rounds: u32, p: f64) -> Self {
+        Self::with_basis(MemoryBasis::Z, distance, rounds, p)
+    }
+
+    /// Builds a configuration for either memory basis (the paper uses Z
+    /// only, footnote 4; X is the symmetric experiment).
+    pub fn with_basis(basis: MemoryBasis, distance: u32, rounds: u32, p: f64) -> Self {
+        let code = RotatedSurfaceCode::new(distance);
+        let circuit = code.memory_circuit(basis, rounds, &NoiseModel::uniform(p));
+        let dem = qsim::extract_dem(&circuit);
+        let graph = DecodingGraph::from_dem(&dem);
+        let paths = PathTable::build(&graph);
+        ExperimentContext {
+            distance,
+            physical_error_rate: p,
+            rounds,
+            circuit,
+            dem,
+            graph,
+            paths,
+        }
+    }
+
+    /// Instantiates a decoder of the given kind, borrowing this context.
+    pub fn decoder(&self, kind: DecoderKind) -> Box<dyn Decoder + Send + '_> {
+        match kind {
+            DecoderKind::Mwpm => Box::new(MwpmDecoder::new(&self.graph, &self.paths)),
+            DecoderKind::Astrea => Box::new(AstreaDecoder::new(&self.graph, &self.paths)),
+            DecoderKind::AstreaG => Box::new(AstreaGDecoder::new(&self.graph, &self.paths)),
+            DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(&self.graph)),
+            DecoderKind::PromatchAstrea => {
+                Box::new(PromatchAstreaDecoder::new(&self.graph, &self.paths))
+            }
+            DecoderKind::PromatchParAg => Box::new(ParallelDecoder::new(
+                PromatchAstreaDecoder::new(&self.graph, &self.paths),
+                AstreaGDecoder::new(&self.graph, &self.paths),
+            )),
+            DecoderKind::SmithAstrea => Box::new(PipelineDecoder::new(
+                SmithPredecoder::new(&self.graph),
+                AstreaDecoder::new(&self.graph, &self.paths),
+            )),
+            DecoderKind::SmithParAg => Box::new(ParallelDecoder::new(
+                PipelineDecoder::new(
+                    SmithPredecoder::new(&self.graph),
+                    AstreaDecoder::new(&self.graph, &self.paths),
+                ),
+                AstreaGDecoder::new(&self.graph, &self.paths),
+            )),
+            DecoderKind::CliqueAstrea => Box::new(PipelineDecoder::new(
+                CliquePredecoder::new(&self.graph),
+                AstreaDecoder::new(&self.graph, &self.paths),
+            )),
+            DecoderKind::CliqueAg => Box::new(PipelineDecoder::new(
+                CliquePredecoder::new(&self.graph),
+                AstreaGDecoder::new(&self.graph, &self.paths),
+            )),
+            DecoderKind::CliqueMwpm => Box::new(PipelineDecoder::new(
+                CliquePredecoder::new(&self.graph),
+                MwpmDecoder::new(&self.graph, &self.paths),
+            )),
+        }
+    }
+
+    /// A Promatch + Astrea decoder with a custom Promatch configuration
+    /// (used by the ablation benches).
+    pub fn promatch_with(&self, config: PromatchConfig) -> PromatchAstreaDecoder<'_> {
+        PromatchAstreaDecoder::with_configs(
+            &self.graph,
+            &self.paths,
+            config,
+            astrea::AstreaConfig::default(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_consistent_artifacts() {
+        let ctx = ExperimentContext::new(3, 1e-3);
+        assert_eq!(ctx.distance, 3);
+        assert_eq!(ctx.rounds, 3);
+        assert_eq!(ctx.circuit.num_detectors(), 16);
+        assert_eq!(ctx.graph.num_detectors(), 16);
+        assert_eq!(ctx.paths.num_detectors(), 16);
+        assert!(ctx.dem.validate().is_ok());
+    }
+
+    #[test]
+    fn every_decoder_kind_instantiates_and_decodes_empty() {
+        let ctx = ExperimentContext::new(3, 1e-3);
+        let kinds = [
+            DecoderKind::Mwpm,
+            DecoderKind::Astrea,
+            DecoderKind::AstreaG,
+            DecoderKind::UnionFind,
+            DecoderKind::PromatchAstrea,
+            DecoderKind::PromatchParAg,
+            DecoderKind::SmithAstrea,
+            DecoderKind::SmithParAg,
+            DecoderKind::CliqueAstrea,
+            DecoderKind::CliqueAg,
+            DecoderKind::CliqueMwpm,
+        ];
+        for kind in kinds {
+            let mut dec = ctx.decoder(kind);
+            let out = dec.decode(&[]);
+            assert!(!out.failed, "{}", kind.label());
+            assert_eq!(out.obs_flip, 0, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn decoders_correct_single_mechanisms() {
+        let ctx = ExperimentContext::new(3, 1e-3);
+        for kind in [
+            DecoderKind::Mwpm,
+            DecoderKind::PromatchAstrea,
+            DecoderKind::PromatchParAg,
+            DecoderKind::SmithParAg,
+        ] {
+            let mut dec = ctx.decoder(kind);
+            for e in &ctx.dem.errors {
+                let out = dec.decode(e.dets.as_slice());
+                assert!(!out.failed, "{}", kind.label());
+                assert_eq!(out.obs_flip, e.obs, "{}", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        use std::collections::HashSet;
+        let labels: HashSet<&str> = DecoderKind::table2().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 6);
+    }
+}

@@ -1,0 +1,107 @@
+//! Poisson-binomial occurrence probabilities.
+
+/// Computes `P_o(k)` for `k = 0..=k_max`: the probability that exactly
+/// `k` of the independent events with probabilities `probs` occur.
+///
+/// Uses the standard O(N·k_max) dynamic program; probability mass beyond
+/// `k_max` is simply not returned (Equation 1 truncates the sum, which
+/// under-counts by the vanishing tail `P(K > k_max)`).
+///
+/// # Panics
+///
+/// Panics if any probability is outside `[0, 1]`.
+pub fn poisson_binomial(probs: impl IntoIterator<Item = f64>, k_max: usize) -> Vec<f64> {
+    let mut q = vec![0.0f64; k_max + 1];
+    q[0] = 1.0;
+    let mut hi = 0usize; // highest index with nonzero mass
+    for p in probs {
+        assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
+        if p == 0.0 {
+            continue;
+        }
+        let new_hi = (hi + 1).min(k_max);
+        for j in (1..=new_hi).rev() {
+            q[j] = q[j] * (1.0 - p) + q[j - 1] * p;
+        }
+        q[0] *= 1.0 - p;
+        hi = new_hi;
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference over all 2^N outcomes.
+    fn brute(probs: &[f64], k_max: usize) -> Vec<f64> {
+        let n = probs.len();
+        let mut out = vec![0.0; k_max + 1];
+        for mask in 0u32..(1 << n) {
+            let mut p = 1.0;
+            let mut k = 0;
+            for (i, &pi) in probs.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    p *= pi;
+                    k += 1;
+                } else {
+                    p *= 1.0 - pi;
+                }
+            }
+            if k <= k_max {
+                out[k] += p;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_inputs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(91);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..=12);
+            let probs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 0.3).collect();
+            let k_max = rng.gen_range(0..=n);
+            let fast = poisson_binomial(probs.iter().copied(), k_max);
+            let slow = brute(&probs, k_max);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-12, "{fast:?} vs {slow:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_case_is_binomial() {
+        let n = 100usize;
+        let p = 0.02f64;
+        let q = poisson_binomial(std::iter::repeat(p).take(n), 5);
+        // Binomial(100, 0.02) at k = 2: C(100,2)·p²·(1−p)⁹⁸.
+        let expect = 4950.0 * p * p * (1.0 - p).powi(98);
+        assert!((q[2] - expect).abs() < 1e-12, "{} vs {expect}", q[2]);
+    }
+
+    #[test]
+    fn zero_probabilities_are_skipped() {
+        let q = poisson_binomial([0.0, 0.5, 0.0], 2);
+        assert!((q[0] - 0.5).abs() < 1e-15);
+        assert!((q[1] - 0.5).abs() < 1e-15);
+        assert_eq!(q[2], 0.0);
+    }
+
+    #[test]
+    fn mass_sums_to_at_most_one() {
+        let probs: Vec<f64> = (0..1000).map(|i| 1e-4 * (1.0 + (i % 7) as f64)).collect();
+        let q = poisson_binomial(probs.iter().copied(), 24);
+        let total: f64 = q.iter().sum();
+        assert!(total <= 1.0 + 1e-12);
+        assert!(total > 0.99, "tail beyond k=24 must be negligible here");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid probability")]
+    fn rejects_invalid_probability() {
+        poisson_binomial([1.5], 3);
+    }
+}

@@ -1,0 +1,284 @@
+//! The Equation-1 LER estimator and direct Monte-Carlo runner.
+
+use crate::context::{DecoderKind, ExperimentContext};
+use crate::injection::InjectionSampler;
+use qsim::FrameSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of an Equation-1 run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Eq1Config {
+    /// Maximum number of injected mechanisms (the paper uses 24).
+    pub k_max: usize,
+    /// Syndromes sampled per `k`.
+    pub shots_per_k: usize,
+    /// RNG seed; every decoder sees identical syndromes.
+    pub seed: u64,
+    /// Worker threads (0 = use available parallelism).
+    pub threads: usize,
+}
+
+impl Default for Eq1Config {
+    fn default() -> Self {
+        Eq1Config { k_max: 24, shots_per_k: 2_000, seed: 0xA5B5C5, threads: 0 }
+    }
+}
+
+/// Per-decoder Equation-1 results.
+#[derive(Clone, Debug)]
+pub struct DecoderLer {
+    /// Decoder configuration.
+    pub kind: DecoderKind,
+    /// Failures observed at each `k` (index 0 unused).
+    pub failures_per_k: Vec<u64>,
+    /// Failures on shots where the *baseline* decoder (first in the run)
+    /// succeeded — the decoder's excess over the baseline, measurable
+    /// even when the baseline's own LER is below sampling resolution.
+    pub excess_per_k: Vec<u64>,
+    /// The Equation-1 logical error rate estimate.
+    pub ler: f64,
+    /// The Equation-1 estimate of the excess over the baseline.
+    pub excess_ler: f64,
+}
+
+/// Full Equation-1 report for one context.
+#[derive(Clone, Debug)]
+pub struct Eq1Report {
+    /// Occurrence probabilities `P_o(k)`, `k = 0..=k_max`.
+    pub p_occ: Vec<f64>,
+    /// Shots per `k` actually run.
+    pub shots_per_k: usize,
+    /// Per-decoder results, in input order.
+    pub decoders: Vec<DecoderLer>,
+}
+
+impl Eq1Report {
+    /// The LER estimate for `kind`, if it was part of the run.
+    pub fn ler_of(&self, kind: DecoderKind) -> Option<f64> {
+        self.decoders.iter().find(|d| d.kind == kind).map(|d| d.ler)
+    }
+
+    /// 95% Wilson confidence interval on the LER of `kind`.
+    pub fn ler_interval_of(&self, kind: DecoderKind) -> Option<crate::stats::RateInterval> {
+        self.decoders.iter().find(|d| d.kind == kind).map(|d| {
+            crate::stats::eq1_interval(
+                &self.p_occ,
+                &d.failures_per_k,
+                self.shots_per_k as u64,
+                1.96,
+            )
+        })
+    }
+}
+
+/// Runs the Equation-1 estimator: for each `k ≤ k_max`, sample syndromes
+/// with exactly `k` mechanisms fired, decode each with **every** listed
+/// decoder (paired comparison), and combine failure rates with the
+/// occurrence probabilities:
+///
+/// `LER = Σ_k P_o(k) · P_f(k)` (Equation 1 of the paper).
+pub fn run_eq1(ctx: &ExperimentContext, kinds: &[DecoderKind], cfg: &Eq1Config) -> Eq1Report {
+    let sampler = InjectionSampler::new(&ctx.dem);
+    let p_occ = sampler.occurrence_probabilities(cfg.k_max);
+    let threads = effective_threads(cfg.threads);
+
+    // (failures[d][k], excess[d][k])
+    let (failures, excess): (Vec<Vec<u64>>, Vec<Vec<u64>>) = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let sampler = &sampler;
+            let kinds_ref = kinds;
+            handles.push(scope.spawn(move || {
+                let mut local = vec![vec![0u64; cfg.k_max + 1]; kinds_ref.len()];
+                let mut local_excess = vec![vec![0u64; cfg.k_max + 1]; kinds_ref.len()];
+                let mut decoders: Vec<_> =
+                    kinds_ref.iter().map(|&kind| ctx.decoder(kind)).collect();
+                for k in 1..=cfg.k_max {
+                    let mut rng =
+                        StdRng::seed_from_u64(cfg.seed ^ (k as u64) << 32 ^ t as u64);
+                    let shots = share(cfg.shots_per_k, threads, t);
+                    for _ in 0..shots {
+                        let (shot, _) = sampler.sample_exact_k(&mut rng, k);
+                        let mut baseline_failed = false;
+                        for (d, dec) in decoders.iter_mut().enumerate() {
+                            let out = dec.decode(&shot.dets);
+                            let failed = out.failed || out.obs_flip != shot.obs;
+                            if d == 0 {
+                                baseline_failed = failed;
+                            }
+                            if failed {
+                                local[d][k] += 1;
+                                if !baseline_failed {
+                                    local_excess[d][k] += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                (local, local_excess)
+            }));
+        }
+        let mut total = vec![vec![0u64; cfg.k_max + 1]; kinds.len()];
+        let mut total_excess = vec![vec![0u64; cfg.k_max + 1]; kinds.len()];
+        for h in handles {
+            let (local, local_excess) = h.join().expect("worker panicked");
+            for (d, row) in local.into_iter().enumerate() {
+                for (k, v) in row.into_iter().enumerate() {
+                    total[d][k] += v;
+                }
+            }
+            for (d, row) in local_excess.into_iter().enumerate() {
+                for (k, v) in row.into_iter().enumerate() {
+                    total_excess[d][k] += v;
+                }
+            }
+        }
+        (total, total_excess)
+    });
+
+    let eq1 = |row: &[u64]| -> f64 {
+        (1..=cfg.k_max)
+            .map(|k| p_occ[k] * row[k] as f64 / cfg.shots_per_k as f64)
+            .sum()
+    };
+    let decoders = kinds
+        .iter()
+        .zip(failures.into_iter().zip(excess))
+        .map(|(&kind, (fails, exc))| DecoderLer {
+            kind,
+            ler: eq1(&fails),
+            excess_ler: eq1(&exc),
+            failures_per_k: fails,
+            excess_per_k: exc,
+        })
+        .collect();
+
+    Eq1Report { p_occ, shots_per_k: cfg.shots_per_k, decoders }
+}
+
+/// Direct Monte-Carlo result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MonteCarloReport {
+    /// Shots sampled.
+    pub shots: u64,
+    /// Logical failures observed.
+    pub failures: u64,
+    /// Failure rate per shot.
+    pub ler: f64,
+}
+
+/// Samples `shots` circuit-level shots and decodes them with `kind`,
+/// counting logical failures. Suitable when the LER is large enough to
+/// observe directly (the regime of the quickstart examples).
+pub fn run_monte_carlo(
+    ctx: &ExperimentContext,
+    kind: DecoderKind,
+    shots: u64,
+    seed: u64,
+    threads: usize,
+) -> MonteCarloReport {
+    let threads = effective_threads(threads);
+    let failures: u64 = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37));
+                let sampler = FrameSampler::new(&ctx.circuit);
+                let mut dec = ctx.decoder(kind);
+                let my_shots = share(shots as usize, threads, t);
+                let mut fails = 0u64;
+                let mut remaining = my_shots;
+                while remaining > 0 {
+                    let batch = remaining.min(1024);
+                    for shot in sampler.sample_shots(batch, &mut rng) {
+                        let out = dec.decode(&shot.dets);
+                        if out.failed || out.obs_flip != shot.obs {
+                            fails += 1;
+                        }
+                    }
+                    remaining -= batch;
+                }
+                fails
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+    });
+    MonteCarloReport { shots, failures, ler: failures as f64 / shots as f64 }
+}
+
+fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Shots assigned to worker `t` of `n` when splitting `total`.
+fn share(total: usize, n: usize, t: usize) -> usize {
+    total / n + usize::from(t < total % n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_partitions_exactly() {
+        for total in [0usize, 1, 7, 100, 101] {
+            for n in 1..=8 {
+                let sum: usize = (0..n).map(|t| share(total, n, t)).sum();
+                assert_eq!(sum, total, "total {total} over {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn eq1_mwpm_never_fails_at_k1() {
+        // Single mechanisms are always corrected by exact MWPM, so the
+        // k = 1 failure row must be zero.
+        let ctx = ExperimentContext::new(3, 1e-3);
+        let cfg = Eq1Config { k_max: 2, shots_per_k: 200, seed: 7, threads: 2 };
+        let report = run_eq1(&ctx, &[DecoderKind::Mwpm], &cfg);
+        assert_eq!(report.decoders[0].failures_per_k[1], 0);
+    }
+
+    #[test]
+    fn eq1_orders_decoders_sensibly() {
+        // Paired comparison at d=3: MWPM must not lose to Smith+Astrea.
+        let ctx = ExperimentContext::new(3, 1e-3);
+        let cfg = Eq1Config { k_max: 4, shots_per_k: 300, seed: 8, threads: 2 };
+        let report = run_eq1(
+            &ctx,
+            &[DecoderKind::Mwpm, DecoderKind::SmithAstrea],
+            &cfg,
+        );
+        let mwpm = report.ler_of(DecoderKind::Mwpm).unwrap();
+        let smith = report.ler_of(DecoderKind::SmithAstrea).unwrap();
+        // Min-weight decoding is not max-likelihood shot-by-shot, so a
+        // greedy decoder can win individual samples; allow a 10% margin.
+        assert!(
+            mwpm <= smith * 1.10 + 1e-9,
+            "MWPM {mwpm} vs Smith+Astrea {smith}"
+        );
+    }
+
+    #[test]
+    fn eq1_is_deterministic_given_seed() {
+        let ctx = ExperimentContext::new(3, 1e-3);
+        let cfg = Eq1Config { k_max: 3, shots_per_k: 100, seed: 9, threads: 2 };
+        let a = run_eq1(&ctx, &[DecoderKind::Mwpm], &cfg);
+        let b = run_eq1(&ctx, &[DecoderKind::Mwpm], &cfg);
+        assert_eq!(a.decoders[0].failures_per_k, b.decoders[0].failures_per_k);
+    }
+
+    #[test]
+    fn monte_carlo_reports_consistent_counts() {
+        let ctx = ExperimentContext::new(3, 2e-3);
+        let r = run_monte_carlo(&ctx, DecoderKind::Mwpm, 2000, 11, 2);
+        assert_eq!(r.shots, 2000);
+        assert!(r.ler <= 1.0);
+        assert_eq!(r.failures as f64 / r.shots as f64, r.ler);
+    }
+}

@@ -1,0 +1,116 @@
+//! Statistical helpers for failure-rate estimation.
+
+/// A two-sided confidence interval on a rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateInterval {
+    /// Point estimate (failures / trials).
+    pub estimate: f64,
+    /// Lower bound.
+    pub low: f64,
+    /// Upper bound.
+    pub high: f64,
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Well-behaved at the extremes this workspace lives in: with zero
+/// observed failures the upper bound is ≈ z²/n instead of the useless 0
+/// a normal approximation would give.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `failures > trials`.
+pub fn wilson_interval(failures: u64, trials: u64, z: f64) -> RateInterval {
+    assert!(trials > 0, "no trials");
+    assert!(failures <= trials, "failures {failures} > trials {trials}");
+    let n = trials as f64;
+    let p = failures as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    RateInterval {
+        estimate: p,
+        low: (center - half).max(0.0),
+        high: (center + half).min(1.0),
+    }
+}
+
+/// Propagates per-k Wilson intervals through the Equation-1 sum
+/// `LER = Σ_k P_o(k)·P_f(k)`, treating the per-k estimates as
+/// independent (conservative: bounds are summed).
+pub fn eq1_interval(
+    p_occ: &[f64],
+    failures_per_k: &[u64],
+    shots_per_k: u64,
+    z: f64,
+) -> RateInterval {
+    let mut est = 0.0;
+    let mut low = 0.0;
+    let mut high = 0.0;
+    for (k, &fails) in failures_per_k.iter().enumerate().skip(1) {
+        if k >= p_occ.len() {
+            break;
+        }
+        let iv = wilson_interval(fails, shots_per_k, z);
+        est += p_occ[k] * iv.estimate;
+        low += p_occ[k] * iv.low;
+        high += p_occ[k] * iv.high;
+    }
+    RateInterval { estimate: est, low, high }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_matches_textbook_values() {
+        // 5/10 at z = 1.96: center 0.5, half-width ≈ 0.2666.
+        let iv = wilson_interval(5, 10, 1.96);
+        assert!((iv.estimate - 0.5).abs() < 1e-12);
+        assert!((iv.low - 0.2366).abs() < 2e-3, "{iv:?}");
+        assert!((iv.high - 0.7634).abs() < 2e-3, "{iv:?}");
+    }
+
+    #[test]
+    fn zero_failures_have_informative_upper_bound() {
+        let iv = wilson_interval(0, 1000, 1.96);
+        assert_eq!(iv.estimate, 0.0);
+        assert_eq!(iv.low, 0.0);
+        assert!(iv.high > 1e-3 && iv.high < 1e-2, "{iv:?}");
+    }
+
+    #[test]
+    fn all_failures_have_informative_lower_bound() {
+        let iv = wilson_interval(100, 100, 1.96);
+        assert_eq!(iv.estimate, 1.0);
+        assert!(iv.high > 0.999, "{iv:?}");
+        assert!(iv.low > 0.9, "{iv:?}");
+    }
+
+    #[test]
+    fn interval_shrinks_with_sample_size() {
+        let small = wilson_interval(5, 50, 1.96);
+        let large = wilson_interval(100, 1000, 1.96);
+        assert!(large.high - large.low < small.high - small.low);
+    }
+
+    #[test]
+    fn eq1_interval_weights_by_occurrence() {
+        let p_occ = vec![0.9, 0.09, 0.009];
+        let fails = vec![0, 0, 5];
+        let iv = eq1_interval(&p_occ, &fails, 100, 1.96);
+        assert!((iv.estimate - 0.009 * 0.05).abs() < 1e-12);
+        assert!(iv.low < iv.estimate && iv.estimate < iv.high);
+        // k = 0 contributes nothing even with huge P_o.
+        let iv0 = eq1_interval(&p_occ, &[100, 0, 0], 100, 1.96);
+        assert_eq!(iv0.estimate, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no trials")]
+    fn zero_trials_rejected() {
+        wilson_interval(0, 0, 1.96);
+    }
+}

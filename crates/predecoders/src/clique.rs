@@ -1,0 +1,211 @@
+//! The Clique non-syndrome-modifying predecoder \[49\].
+//!
+//! Clique implements Delfosse's hierarchical idea in superconducting
+//! logic: a thin layer of local match units that can fully decode
+//! *trivial* syndromes — those whose decoding subgraph decomposes into
+//! isolated adjacent pairs and lone defects sitting next to the lattice
+//! boundary. Anything else is forwarded to the main decoder **without
+//! modification** (Figure 3(a) of the Promatch paper), so the main
+//! decoder's Hamming-weight limits still apply in full.
+
+use decoding_graph::{
+    DecodingGraph, DecodingSubgraph, DetectorId, PredecodeOutcome, Predecoder,
+};
+
+/// Fixed latency of the local match units (one 250 MHz cycle).
+const CLIQUE_LATENCY_NS: f64 = 4.0;
+
+/// The Clique NSM predecoder.
+#[derive(Clone, Debug)]
+pub struct CliquePredecoder<'a> {
+    graph: &'a DecodingGraph,
+}
+
+impl<'a> CliquePredecoder<'a> {
+    /// Creates the predecoder over `graph`.
+    pub fn new(graph: &'a DecodingGraph) -> Self {
+        CliquePredecoder { graph }
+    }
+
+    /// Whether the syndrome consists only of trivial local patterns.
+    pub fn is_trivial(&self, dets: &[DetectorId]) -> bool {
+        let sg = DecodingSubgraph::build(self.graph, dets);
+        let deg = sg.degrees();
+        let bd = self.graph.boundary_node();
+        sg.components().into_iter().all(|comp| match comp.len() {
+            1 => self.graph.edge_between(sg.nodes()[comp[0]], bd).is_some(),
+            2 => deg[comp[0]] == 1 && deg[comp[1]] == 1,
+            _ => false,
+        })
+    }
+}
+
+impl Predecoder for CliquePredecoder<'_> {
+    fn name(&self) -> &str {
+        "Clique"
+    }
+
+    fn predecode(&mut self, dets: &[DetectorId]) -> PredecodeOutcome {
+        let sg = DecodingSubgraph::build(self.graph, dets);
+        let deg = sg.degrees();
+        let bd = self.graph.boundary_node();
+        let mut pairs = Vec::new();
+        let mut boundary_matches = Vec::new();
+        let mut obs = 0u64;
+        let mut weight = 0i64;
+        for comp in sg.components() {
+            match comp.len() {
+                1 => {
+                    let d = sg.nodes()[comp[0]];
+                    let Some(e) = self.graph.edge_between(d, bd) else {
+                        // Interior lone defect: not locally decodable.
+                        return PredecodeOutcome {
+                            latency_ns: CLIQUE_LATENCY_NS,
+                            ..PredecodeOutcome::passthrough(dets)
+                        };
+                    };
+                    boundary_matches.push(d);
+                    obs ^= e.obs;
+                    weight += e.weight;
+                }
+                2 if deg[comp[0]] == 1 && deg[comp[1]] == 1 => {
+                    let (a, b) = (sg.nodes()[comp[0]], sg.nodes()[comp[1]]);
+                    let e = self.graph.edge_between(a, b).expect("component edge");
+                    pairs.push((a, b));
+                    obs ^= e.obs;
+                    weight += e.weight;
+                }
+                _ => {
+                    // Non-trivial pattern: forward the entire syndrome.
+                    return PredecodeOutcome {
+                        latency_ns: CLIQUE_LATENCY_NS,
+                        ..PredecodeOutcome::passthrough(dets)
+                    };
+                }
+            }
+        }
+        PredecodeOutcome {
+            remaining: Vec::new(),
+            pairs,
+            boundary_matches,
+            obs_flip: obs,
+            weight,
+            latency_ns: CLIQUE_LATENCY_NS,
+            aborted: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::extract_dem;
+    use surface_code::{NoiseModel, RotatedSurfaceCode};
+
+    fn graph(d: u32) -> DecodingGraph {
+        let code = RotatedSurfaceCode::new(d);
+        let circuit = code.memory_z_circuit(d, &NoiseModel::uniform(1e-3));
+        DecodingGraph::from_dem(&extract_dem(&circuit))
+    }
+
+    fn boundary_adjacent_det(g: &DecodingGraph) -> u32 {
+        let bd = g.boundary_node();
+        g.edges()
+            .iter()
+            .find(|e| e.u == bd || e.v == bd)
+            .map(|e| if e.u == bd { e.v } else { e.u })
+            .expect("boundary edge exists")
+    }
+
+    fn internal_pair(g: &DecodingGraph) -> (u32, u32) {
+        let bd = g.boundary_node();
+        g.edges()
+            .iter()
+            .find(|e| e.u != bd && e.v != bd)
+            .map(|e| (e.u.min(e.v), e.u.max(e.v)))
+            .expect("internal edge exists")
+    }
+
+    #[test]
+    fn fully_decodes_isolated_pair() {
+        let g = graph(3);
+        let (a, b) = internal_pair(&g);
+        let mut clique = CliquePredecoder::new(&g);
+        assert!(clique.is_trivial(&[a, b]));
+        let out = clique.predecode(&[a, b]);
+        assert!(out.remaining.is_empty());
+        assert_eq!(out.pairs, vec![(a, b)]);
+    }
+
+    #[test]
+    fn fully_decodes_boundary_singleton() {
+        let g = graph(3);
+        let d = boundary_adjacent_det(&g);
+        let mut clique = CliquePredecoder::new(&g);
+        let out = clique.predecode(&[d]);
+        assert!(out.remaining.is_empty());
+        assert_eq!(out.boundary_matches, vec![d]);
+        assert!(out.pairs.is_empty());
+    }
+
+    #[test]
+    fn forwards_nontrivial_syndromes_unmodified() {
+        let g = graph(5);
+        // Build a chain of three adjacent detectors: degree-2 middle node
+        // makes the component non-trivial.
+        let bd = g.boundary_node();
+        let mut chain = None;
+        'outer: for e in g.edges() {
+            if e.u == bd || e.v == bd {
+                continue;
+            }
+            for (c, _) in g.neighbors(e.v) {
+                if c != bd && c != e.u {
+                    chain = Some(vec![e.u, e.v, c]);
+                    break 'outer;
+                }
+            }
+        }
+        let mut dets = chain.unwrap();
+        dets.sort_unstable();
+        let mut clique = CliquePredecoder::new(&g);
+        assert!(!clique.is_trivial(&dets));
+        let out = clique.predecode(&dets);
+        assert_eq!(out.remaining, dets, "NSM: syndrome must pass through unmodified");
+        assert!(out.pairs.is_empty());
+        assert_eq!(out.obs_flip, 0);
+        assert_eq!(out.weight, 0);
+    }
+
+    #[test]
+    fn empty_syndrome_is_trivially_decoded() {
+        let g = graph(3);
+        let mut clique = CliquePredecoder::new(&g);
+        let out = clique.predecode(&[]);
+        assert!(out.remaining.is_empty());
+        assert!(out.pairs.is_empty());
+        assert!(out.boundary_matches.is_empty());
+    }
+
+    #[test]
+    fn correct_observable_for_single_boundary_mechanism() {
+        // A boundary mechanism's syndrome is a lone boundary-adjacent
+        // defect; Clique must reproduce its observable flip.
+        let code = RotatedSurfaceCode::new(3);
+        let circuit = code.memory_z_circuit(3, &NoiseModel::uniform(1e-3));
+        let dem = extract_dem(&circuit);
+        let g = DecodingGraph::from_dem(&dem);
+        let mut clique = CliquePredecoder::new(&g);
+        let mut checked = 0;
+        for e in &dem.errors {
+            if e.dets.len() == 1 {
+                let out = clique.predecode(e.dets.as_slice());
+                if out.remaining.is_empty() {
+                    assert_eq!(out.obs_flip, e.obs);
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+}

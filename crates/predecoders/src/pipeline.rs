@@ -1,0 +1,321 @@
+//! Decoder composition: `predecoder + main` and `A ‖ B`.
+
+use decoding_graph::{
+    DecodeOutcome, Decoder, DetectorId, MatchPair, MatchTarget, Predecoder,
+};
+
+/// Comparison overhead of a parallel (`A ‖ B`) composition: the 10 cycles
+/// at 250 MHz the paper reserves for comparing the two solutions (§6.4).
+pub const COMPARISON_OVERHEAD_NS: f64 = 40.0;
+
+/// `predecoder + main decoder` composition.
+///
+/// Following the paper's evaluation methodology, the predecoder engages
+/// only for syndromes whose Hamming weight exceeds `engage_above_hw`
+/// (10 — anything smaller goes straight to the main decoder, which
+/// handles it in real time).
+#[derive(Clone, Debug)]
+pub struct PipelineDecoder<P, D> {
+    pre: P,
+    main: D,
+    engage_above_hw: usize,
+    name: String,
+}
+
+impl<P: Predecoder, D: Decoder> PipelineDecoder<P, D> {
+    /// Composes `pre + main` with the paper's HW > 10 engagement rule.
+    pub fn new(pre: P, main: D) -> Self {
+        Self::with_threshold(pre, main, 10)
+    }
+
+    /// Composes with an explicit engagement threshold.
+    pub fn with_threshold(pre: P, main: D, engage_above_hw: usize) -> Self {
+        let name = format!("{} + {}", pre.name(), main.name());
+        PipelineDecoder { pre, main, engage_above_hw, name }
+    }
+
+    /// Access to the inner predecoder (for stats collection).
+    pub fn predecoder(&mut self) -> &mut P {
+        &mut self.pre
+    }
+}
+
+impl<P: Predecoder, D: Decoder> Decoder for PipelineDecoder<P, D> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decode(&mut self, dets: &[DetectorId]) -> DecodeOutcome {
+        if dets.len() <= self.engage_above_hw {
+            return self.main.decode(dets);
+        }
+        let pre = self.pre.predecode(dets);
+        if pre.aborted {
+            return DecodeOutcome::failure();
+        }
+        let mut main_out = self.main.decode(&pre.remaining);
+        let latency = pre.latency_ns + main_out.latency_ns.unwrap_or(0.0);
+        if main_out.failed {
+            return DecodeOutcome {
+                obs_flip: 0,
+                weight: None,
+                latency_ns: Some(latency),
+                failed: true,
+                matches: Vec::new(),
+            };
+        }
+        let mut matches: Vec<MatchPair> = pre
+            .pairs
+            .iter()
+            .map(|&(a, b)| MatchPair { a, b: MatchTarget::Detector(b) })
+            .collect();
+        matches.extend(
+            pre.boundary_matches
+                .iter()
+                .map(|&a| MatchPair { a, b: MatchTarget::Boundary }),
+        );
+        matches.append(&mut main_out.matches);
+        DecodeOutcome {
+            obs_flip: pre.obs_flip ^ main_out.obs_flip,
+            weight: main_out.weight.map(|w| w + pre.weight),
+            latency_ns: Some(latency),
+            failed: false,
+            matches,
+        }
+    }
+}
+
+/// Parallel composition `A ‖ B`: both decoders run on the same syndrome
+/// and the lower-weight valid solution wins.
+#[derive(Clone, Debug)]
+pub struct ParallelDecoder<A, B> {
+    a: A,
+    b: B,
+    name: String,
+}
+
+impl<A: Decoder, B: Decoder> ParallelDecoder<A, B> {
+    /// Composes `a ‖ b`.
+    pub fn new(a: A, b: B) -> Self {
+        let name = format!("{} || {}", a.name(), b.name());
+        ParallelDecoder { a, b, name }
+    }
+
+    /// Access to the first inner decoder.
+    pub fn first(&mut self) -> &mut A {
+        &mut self.a
+    }
+
+    /// Access to the second inner decoder.
+    pub fn second(&mut self) -> &mut B {
+        &mut self.b
+    }
+}
+
+impl<A: Decoder, B: Decoder> Decoder for ParallelDecoder<A, B> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decode(&mut self, dets: &[DetectorId]) -> DecodeOutcome {
+        let out_a = self.a.decode(dets);
+        let out_b = self.b.decode(dets);
+        let latency = |x: &DecodeOutcome, y: &DecodeOutcome| {
+            let la = x.latency_ns.unwrap_or(0.0);
+            let lb = y.latency_ns.unwrap_or(0.0);
+            Some(la.max(lb) + COMPARISON_OVERHEAD_NS)
+        };
+        match (out_a.failed, out_b.failed) {
+            (true, true) => DecodeOutcome::failure(),
+            (true, false) => {
+                let l = latency(&out_a, &out_b);
+                DecodeOutcome { latency_ns: l, ..out_b }
+            }
+            (false, true) => {
+                let l = latency(&out_a, &out_b);
+                DecodeOutcome { latency_ns: l, ..out_a }
+            }
+            (false, false) => {
+                let l = latency(&out_a, &out_b);
+                // Lower total weight wins; ties go to A.
+                let wa = out_a.weight.unwrap_or(i64::MAX);
+                let wb = out_b.weight.unwrap_or(i64::MAX);
+                if wa <= wb {
+                    DecodeOutcome { latency_ns: l, ..out_a }
+                } else {
+                    DecodeOutcome { latency_ns: l, ..out_b }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CliquePredecoder, SmithPredecoder};
+    use astrea::AstreaDecoder;
+    use decoding_graph::{DecodingGraph, PathTable};
+    use mwpm::MwpmDecoder;
+    use qsim::extract_dem;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use surface_code::{NoiseModel, RotatedSurfaceCode};
+
+    fn fixture(d: u32) -> (qsim::DetectorErrorModel, DecodingGraph) {
+        let code = RotatedSurfaceCode::new(d);
+        let circuit = code.memory_z_circuit(d, &NoiseModel::uniform(1e-3));
+        let dem = extract_dem(&circuit);
+        let graph = DecodingGraph::from_dem(&dem);
+        (dem, graph)
+    }
+
+    fn random_syndrome(rng: &mut StdRng, nd: usize, hw: usize) -> Vec<u32> {
+        let mut pool: Vec<u32> = (0..nd as u32).collect();
+        for i in 0..hw {
+            let j = rng.gen_range(i..nd);
+            pool.swap(i, j);
+        }
+        let mut dets = pool[..hw].to_vec();
+        dets.sort_unstable();
+        dets
+    }
+
+    #[test]
+    fn pipeline_skips_predecoding_at_low_hw() {
+        let (_, graph) = fixture(5);
+        let paths = PathTable::build(&graph);
+        let astrea = AstreaDecoder::new(&graph, &paths);
+        let smith = SmithPredecoder::new(&graph);
+        let mut pipe = PipelineDecoder::new(smith, astrea);
+        assert_eq!(pipe.name(), "Smith + Astrea");
+        let mut rng = StdRng::seed_from_u64(61);
+        let dets = random_syndrome(&mut rng, graph.num_detectors() as usize, 6);
+        let out = pipe.decode(&dets);
+        assert!(!out.failed);
+        // Latency equals Astrea's HW=6 latency: no predecode pass charged.
+        let astrea_alone = AstreaDecoder::new(&graph, &paths).latency_ns(6);
+        assert_eq!(out.latency_ns, Some(astrea_alone));
+    }
+
+    #[test]
+    fn smith_plus_astrea_fails_when_coverage_is_insufficient() {
+        // A syndrome of >10 pairwise-nonadjacent detectors: Smith cannot
+        // reduce it, Astrea cannot decode it -> failure.
+        let (_, graph) = fixture(5);
+        let paths = PathTable::build(&graph);
+        let astrea = AstreaDecoder::new(&graph, &paths);
+        let smith = SmithPredecoder::new(&graph);
+        let mut pipe = PipelineDecoder::new(smith, astrea);
+        // Greedily build an independent set of 12 detectors.
+        let mut independent: Vec<u32> = Vec::new();
+        for d in 0..graph.num_detectors() {
+            if independent.iter().all(|&x| graph.edge_between(x, d).is_none()) {
+                independent.push(d);
+                if independent.len() == 12 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(independent.len(), 12);
+        let out = pipe.decode(&independent);
+        assert!(out.failed, "uncovered high-HW syndrome must fail");
+    }
+
+    #[test]
+    fn clique_plus_astrea_fails_on_nontrivial_high_hw() {
+        let (_, graph) = fixture(5);
+        let paths = PathTable::build(&graph);
+        let astrea = AstreaDecoder::new(&graph, &paths);
+        let clique = CliquePredecoder::new(&graph);
+        let mut pipe = PipelineDecoder::new(clique, astrea);
+        let mut rng = StdRng::seed_from_u64(62);
+        // Random 14-detector syndromes are essentially never all-trivial.
+        let dets = random_syndrome(&mut rng, graph.num_detectors() as usize, 14);
+        let out = pipe.decode(&dets);
+        assert!(out.failed, "Clique forwards; Astrea rejects HW > 10");
+    }
+
+    #[test]
+    fn pipeline_composes_obs_and_weight() {
+        // Predecoder output must XOR/add with the main decoder's.
+        let (dem, graph) = fixture(5);
+        let paths = PathTable::build(&graph);
+        let mut rng = StdRng::seed_from_u64(63);
+        // Sample syndromes until one engages predecoding (HW > 10).
+        for _ in 0..200 {
+            let mech: Vec<usize> =
+                (0..8).map(|_| rng.gen_range(0..dem.errors.len())).collect();
+            let shot = dem.symptom_of(&mech);
+            if shot.dets.len() <= 10 {
+                continue;
+            }
+            let smith = SmithPredecoder::new(&graph);
+            let astrea = AstreaDecoder::new(&graph, &paths);
+            let mut pipe = PipelineDecoder::new(smith, astrea);
+            let out = pipe.decode(&shot.dets);
+            if out.failed {
+                continue;
+            }
+            // Reconstruct by hand.
+            let mut smith2 = SmithPredecoder::new(&graph);
+            let pre = smith2.predecode(&shot.dets);
+            let mut astrea2 = AstreaDecoder::new(&graph, &paths);
+            let main = astrea2.decode(&pre.remaining);
+            assert_eq!(out.obs_flip, pre.obs_flip ^ main.obs_flip);
+            assert_eq!(out.weight, main.weight.map(|w| w + pre.weight));
+            return;
+        }
+        panic!("no engaging syndrome found");
+    }
+
+    #[test]
+    fn parallel_picks_lower_weight_solution() {
+        let (_, graph) = fixture(5);
+        let paths = PathTable::build(&graph);
+        let mwpm = MwpmDecoder::new(&graph, &paths);
+        let astrea = AstreaDecoder::new(&graph, &paths);
+        let mut par = ParallelDecoder::new(astrea, mwpm);
+        assert_eq!(par.name(), "Astrea || MWPM");
+        let mut rng = StdRng::seed_from_u64(64);
+        let dets = random_syndrome(&mut rng, graph.num_detectors() as usize, 8);
+        let out = par.decode(&dets);
+        // Both are exact here, so the result must equal MWPM's weight.
+        let mut alone = MwpmDecoder::new(&graph, &paths);
+        assert_eq!(out.weight, alone.decode(&dets).weight);
+    }
+
+    #[test]
+    fn parallel_falls_back_when_one_side_fails() {
+        let (_, graph) = fixture(5);
+        let paths = PathTable::build(&graph);
+        // Astrea fails above HW 10; MWPM succeeds.
+        let astrea = AstreaDecoder::new(&graph, &paths);
+        let mwpm = MwpmDecoder::new(&graph, &paths);
+        let mut par = ParallelDecoder::new(astrea, mwpm);
+        let mut rng = StdRng::seed_from_u64(65);
+        let dets = random_syndrome(&mut rng, graph.num_detectors() as usize, 14);
+        let out = par.decode(&dets);
+        assert!(!out.failed);
+        let mut alone = MwpmDecoder::new(&graph, &paths);
+        assert_eq!(out.obs_flip, alone.decode(&dets).obs_flip);
+    }
+
+    #[test]
+    fn parallel_charges_comparison_overhead() {
+        let (_, graph) = fixture(3);
+        let paths = PathTable::build(&graph);
+        let a1 = AstreaDecoder::new(&graph, &paths);
+        let a2 = AstreaDecoder::new(&graph, &paths);
+        let mut par = ParallelDecoder::new(a1, a2);
+        let bd_det = graph
+            .edges()
+            .iter()
+            .find(|e| e.u == graph.boundary_node() || e.v == graph.boundary_node())
+            .map(|e| if e.u == graph.boundary_node() { e.v } else { e.u })
+            .unwrap();
+        let out = par.decode(&[bd_det]);
+        let single = AstreaDecoder::new(&graph, &paths).latency_ns(1);
+        assert_eq!(out.latency_ns, Some(single + COMPARISON_OVERHEAD_NS));
+    }
+}

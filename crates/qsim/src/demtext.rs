@@ -1,0 +1,277 @@
+//! Text serialization for detector error models.
+//!
+//! Uses Stim's `.dem` surface syntax so models can be exchanged with the
+//! wider QEC tool ecosystem:
+//!
+//! ```text
+//! error(0.00013) D0 D7 L0
+//! error(0.0001) D3
+//! detector(2, 4, 0) D0
+//! ```
+//!
+//! Only the subset this workspace produces is supported: `error`
+//! instructions with detector (`Dn`) and logical (`Ln`) targets, and
+//! `detector` coordinate annotations. Parsing is strict — malformed
+//! input is an error, not a guess.
+
+use crate::dem::{DemError, DetectorErrorModel};
+use crate::sparse::SparseBits;
+use std::fmt;
+
+/// Errors produced when parsing a textual detector error model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DemParseError {
+    /// A line did not start with a known instruction.
+    UnknownInstruction { line: usize, text: String },
+    /// A probability or coordinate failed to parse.
+    BadNumber { line: usize, token: String },
+    /// A target was not of the form `Dn` or `Ln`.
+    BadTarget { line: usize, token: String },
+    /// The model referenced detectors without declaring coordinates for
+    /// all of them.
+    MissingCoordinates { detector: u32 },
+}
+
+impl fmt::Display for DemParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DemParseError::UnknownInstruction { line, text } => {
+                write!(f, "line {line}: unknown instruction '{text}'")
+            }
+            DemParseError::BadNumber { line, token } => {
+                write!(f, "line {line}: invalid number '{token}'")
+            }
+            DemParseError::BadTarget { line, token } => {
+                write!(f, "line {line}: invalid target '{token}'")
+            }
+            DemParseError::MissingCoordinates { detector } => {
+                write!(f, "no coordinates declared for detector {detector}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DemParseError {}
+
+impl DetectorErrorModel {
+    /// Renders the model in Stim-compatible `.dem` text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.errors {
+            out.push_str(&format!("error({})", e.p));
+            for d in e.dets.iter() {
+                out.push_str(&format!(" D{d}"));
+            }
+            for l in 0..64 {
+                if e.obs >> l & 1 == 1 {
+                    out.push_str(&format!(" L{l}"));
+                }
+            }
+            out.push('\n');
+        }
+        for (d, c) in self.det_coords.iter().enumerate() {
+            out.push_str(&format!("detector({}, {}, {}) D{d}\n", c[0], c[1], c[2]));
+        }
+        out
+    }
+
+    /// Parses a model from `.dem` text produced by
+    /// [`DetectorErrorModel::to_text`] (or by Stim, for the supported
+    /// subset).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DemParseError`] describing the first malformed line.
+    pub fn parse(text: &str) -> Result<DetectorErrorModel, DemParseError> {
+        let mut errors: Vec<DemError> = Vec::new();
+        let mut coords: Vec<(u32, [f64; 3])> = Vec::new();
+        let mut max_det: i64 = -1;
+        let mut max_obs: i64 = -1;
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("error(") {
+                let Some((p_text, targets)) = rest.split_once(')') else {
+                    return Err(DemParseError::UnknownInstruction {
+                        line: line_no,
+                        text: line.to_string(),
+                    });
+                };
+                let p: f64 = p_text.trim().parse().map_err(|_| DemParseError::BadNumber {
+                    line: line_no,
+                    token: p_text.trim().to_string(),
+                })?;
+                let mut dets = SparseBits::new();
+                let mut obs = 0u64;
+                for tok in targets.split_whitespace() {
+                    if let Some(n) = tok.strip_prefix('D') {
+                        let d: u32 = n.parse().map_err(|_| DemParseError::BadTarget {
+                            line: line_no,
+                            token: tok.to_string(),
+                        })?;
+                        dets.toggle(d);
+                        max_det = max_det.max(d as i64);
+                    } else if let Some(n) = tok.strip_prefix('L') {
+                        let l: u32 = n.parse().map_err(|_| DemParseError::BadTarget {
+                            line: line_no,
+                            token: tok.to_string(),
+                        })?;
+                        if l >= 64 {
+                            return Err(DemParseError::BadTarget {
+                                line: line_no,
+                                token: tok.to_string(),
+                            });
+                        }
+                        obs ^= 1 << l;
+                        max_obs = max_obs.max(l as i64);
+                    } else {
+                        return Err(DemParseError::BadTarget {
+                            line: line_no,
+                            token: tok.to_string(),
+                        });
+                    }
+                }
+                errors.push(DemError { dets, obs, p });
+            } else if let Some(rest) = line.strip_prefix("detector(") {
+                let Some((coord_text, target)) = rest.split_once(')') else {
+                    return Err(DemParseError::UnknownInstruction {
+                        line: line_no,
+                        text: line.to_string(),
+                    });
+                };
+                let mut c = [0.0f64; 3];
+                for (i, tok) in coord_text.split(',').take(3).enumerate() {
+                    c[i] = tok.trim().parse().map_err(|_| DemParseError::BadNumber {
+                        line: line_no,
+                        token: tok.trim().to_string(),
+                    })?;
+                }
+                let target = target.trim();
+                let Some(n) = target.strip_prefix('D') else {
+                    return Err(DemParseError::BadTarget {
+                        line: line_no,
+                        token: target.to_string(),
+                    });
+                };
+                let d: u32 = n.parse().map_err(|_| DemParseError::BadTarget {
+                    line: line_no,
+                    token: target.to_string(),
+                })?;
+                max_det = max_det.max(d as i64);
+                coords.push((d, c));
+            } else {
+                return Err(DemParseError::UnknownInstruction {
+                    line: line_no,
+                    text: line.to_string(),
+                });
+            }
+        }
+        let num_detectors = (max_det + 1) as u32;
+        let mut det_coords = vec![[0.0f64; 3]; num_detectors as usize];
+        let mut have = vec![coords.is_empty(); num_detectors as usize];
+        for (d, c) in coords {
+            det_coords[d as usize] = c;
+            have[d as usize] = true;
+        }
+        if let Some(d) = have.iter().position(|&h| !h) {
+            return Err(DemParseError::MissingCoordinates { detector: d as u32 });
+        }
+        errors.sort_by(|a, b| (a.dets.as_slice(), a.obs).cmp(&(b.dets.as_slice(), b.obs)));
+        Ok(DetectorErrorModel {
+            num_detectors,
+            num_observables: (max_obs + 1).max(0) as u32,
+            errors,
+            det_coords,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use crate::sensitivity::extract_dem;
+
+    fn sample_dem() -> DetectorErrorModel {
+        let mut b = CircuitBuilder::new(3);
+        b.reset_z(&[0, 1, 2]);
+        b.x_error(&[0, 1], 1e-3);
+        b.depolarize1(&[2], 3e-3);
+        b.cx(&[(0, 2)]);
+        b.cx(&[(1, 2)]);
+        let m = b.measure_z(&[2]);
+        b.detector(&[m.start], [1.0, 2.0, 0.0]);
+        let md = b.measure_z(&[0, 1]);
+        b.detector(&[md.start], [0.0, 0.0, 1.0]);
+        b.observable(0, &[md.start]);
+        extract_dem(&b.finish().unwrap())
+    }
+
+    #[test]
+    fn round_trip_preserves_the_model() {
+        let dem = sample_dem();
+        let text = dem.to_text();
+        let back = DetectorErrorModel::parse(&text).unwrap();
+        assert_eq!(dem, back);
+    }
+
+    #[test]
+    fn correlated_error_model_round_trips() {
+        let mut b = CircuitBuilder::new(4);
+        b.reset_z(&[0, 1, 2, 3]);
+        b.depolarize2(&[(0, 1), (2, 3)], 2e-3);
+        let m = b.measure_z(&[0, 1, 2, 3]);
+        for (i, idx) in m.clone().enumerate() {
+            b.detector(&[idx], [i as f64, 0.0, 0.0]);
+        }
+        b.observable(0, &[m.start]);
+        let dem = extract_dem(&b.finish().unwrap());
+        let back = DetectorErrorModel::parse(&dem.to_text()).unwrap();
+        assert_eq!(dem, back);
+    }
+
+    #[test]
+    fn text_format_is_stim_like() {
+        let dem = sample_dem();
+        let text = dem.to_text();
+        assert!(text.contains("error(0.001) D0 D1 L0") || text.contains("error(0.001)"));
+        assert!(text.contains("detector(1, 2, 0) D0"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_instructions() {
+        let err = DetectorErrorModel::parse("repeat 3 {\n}").unwrap_err();
+        assert!(matches!(err, DemParseError::UnknownInstruction { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_bad_probability() {
+        let err = DetectorErrorModel::parse("error(nope) D0").unwrap_err();
+        assert!(matches!(err, DemParseError::BadNumber { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_bad_target() {
+        let err = DetectorErrorModel::parse("error(0.1) Q3").unwrap_err();
+        assert!(matches!(err, DemParseError::BadTarget { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_partial_coordinates() {
+        let text = "error(0.1) D0 D1\ndetector(0, 0, 0) D0\n";
+        let err = DetectorErrorModel::parse(text).unwrap_err();
+        assert_eq!(err, DemParseError::MissingCoordinates { detector: 1 });
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\nerror(0.25) D0 L0  \n";
+        let dem = DetectorErrorModel::parse(text).unwrap();
+        assert_eq!(dem.errors.len(), 1);
+        assert_eq!(dem.errors[0].obs, 1);
+        assert_eq!(dem.num_detectors, 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Phaseless Pauli operators and Pauli strings.
+//!
+//! Used by the surface-code crate to state and test stabilizer invariants
+//! (commutation relations, logical-operator anticommutation). Simulation
+//! itself uses the bit-packed representations in [`crate::frame`] and
+//! [`crate::tableau`].
+
+use std::fmt;
+
+/// A single-qubit Pauli operator, ignoring global phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Bit flip.
+    X,
+    /// Bit and phase flip.
+    Y,
+    /// Phase flip.
+    Z,
+}
+
+impl Pauli {
+    /// The (x, z) symplectic representation: X=(1,0), Z=(0,1), Y=(1,1).
+    pub fn xz(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// Builds a Pauli from its symplectic representation.
+    pub fn from_xz(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// Phaseless product of two Paulis (XY = Z up to phase, etc.).
+    pub fn mul(self, other: Pauli) -> Pauli {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        Pauli::from_xz(x1 ^ x2, z1 ^ z2)
+    }
+
+    /// Whether two single-qubit Paulis anticommute.
+    pub fn anticommutes(self, other: Pauli) -> bool {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        (x1 & z2) ^ (z1 & x2)
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => '_',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A phaseless n-qubit Pauli string in bit-packed symplectic form.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    n: usize,
+    x: Vec<u64>,
+    z: Vec<u64>,
+}
+
+impl PauliString {
+    /// The identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        PauliString {
+            n,
+            x: vec![0; words],
+            z: vec![0; words],
+        }
+    }
+
+    /// Builds a string that applies `pauli` on each listed qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit index is out of range.
+    pub fn from_ops(n: usize, ops: &[(usize, Pauli)]) -> Self {
+        let mut s = PauliString::identity(n);
+        for &(q, p) in ops {
+            s.set(q, s.get(q).mul(p));
+        }
+        s
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The Pauli acting on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= num_qubits()`.
+    pub fn get(&self, q: usize) -> Pauli {
+        assert!(q < self.n, "qubit {q} out of range {}", self.n);
+        let (w, b) = (q / 64, q % 64);
+        Pauli::from_xz((self.x[w] >> b) & 1 == 1, (self.z[w] >> b) & 1 == 1)
+    }
+
+    /// Sets the Pauli acting on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= num_qubits()`.
+    pub fn set(&mut self, q: usize, p: Pauli) {
+        assert!(q < self.n, "qubit {q} out of range {}", self.n);
+        let (w, b) = (q / 64, q % 64);
+        let (px, pz) = p.xz();
+        self.x[w] = (self.x[w] & !(1 << b)) | ((px as u64) << b);
+        self.z[w] = (self.z[w] & !(1 << b)) | ((pz as u64) << b);
+    }
+
+    /// Phaseless in-place product `self ← self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings act on different numbers of qubits.
+    pub fn mul_assign(&mut self, other: &PauliString) {
+        assert_eq!(self.n, other.n, "length mismatch");
+        for (a, b) in self.x.iter_mut().zip(&other.x) {
+            *a ^= b;
+        }
+        for (a, b) in self.z.iter_mut().zip(&other.z) {
+            *a ^= b;
+        }
+    }
+
+    /// Whether the two strings commute (symplectic product is zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings act on different numbers of qubits.
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        assert_eq!(self.n, other.n, "length mismatch");
+        let mut acc = 0u32;
+        for i in 0..self.x.len() {
+            acc ^= ((self.x[i] & other.z[i]).count_ones() ^ (self.z[i] & other.x[i]).count_ones())
+                & 1;
+        }
+        acc == 0
+    }
+
+    /// Number of non-identity positions.
+    pub fn weight(&self) -> usize {
+        self.x
+            .iter()
+            .zip(&self.z)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+}
+
+impl fmt::Debug for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PauliString(")?;
+        for q in 0..self.n {
+            write!(f, "{}", self.get(q))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pauli_products_match_group_table() {
+        use Pauli::*;
+        assert_eq!(X.mul(Y), Z);
+        assert_eq!(Y.mul(Z), X);
+        assert_eq!(Z.mul(X), Y);
+        assert_eq!(X.mul(X), I);
+        assert_eq!(I.mul(Z), Z);
+    }
+
+    #[test]
+    fn pauli_anticommutation_table() {
+        use Pauli::*;
+        assert!(X.anticommutes(Z));
+        assert!(X.anticommutes(Y));
+        assert!(Y.anticommutes(Z));
+        assert!(!X.anticommutes(X));
+        assert!(!I.anticommutes(X));
+        assert!(!Z.anticommutes(Z));
+    }
+
+    #[test]
+    fn string_set_get_roundtrip() {
+        let mut s = PauliString::identity(100);
+        s.set(0, Pauli::X);
+        s.set(63, Pauli::Y);
+        s.set(64, Pauli::Z);
+        s.set(99, Pauli::Y);
+        assert_eq!(s.get(0), Pauli::X);
+        assert_eq!(s.get(63), Pauli::Y);
+        assert_eq!(s.get(64), Pauli::Z);
+        assert_eq!(s.get(99), Pauli::Y);
+        assert_eq!(s.get(50), Pauli::I);
+        assert_eq!(s.weight(), 4);
+    }
+
+    #[test]
+    fn string_commutation_counts_anticommuting_positions() {
+        // XX vs ZZ commute (two anticommuting positions), XI vs ZI do not.
+        let xx = PauliString::from_ops(2, &[(0, Pauli::X), (1, Pauli::X)]);
+        let zz = PauliString::from_ops(2, &[(0, Pauli::Z), (1, Pauli::Z)]);
+        assert!(xx.commutes_with(&zz));
+        let xi = PauliString::from_ops(2, &[(0, Pauli::X)]);
+        let zi = PauliString::from_ops(2, &[(0, Pauli::Z)]);
+        assert!(!xi.commutes_with(&zi));
+    }
+
+    #[test]
+    fn string_product_is_positionwise() {
+        let mut a = PauliString::from_ops(3, &[(0, Pauli::X), (1, Pauli::Y)]);
+        let b = PauliString::from_ops(3, &[(0, Pauli::Z), (2, Pauli::Z)]);
+        a.mul_assign(&b);
+        assert_eq!(a.get(0), Pauli::Y);
+        assert_eq!(a.get(1), Pauli::Y);
+        assert_eq!(a.get(2), Pauli::Z);
+    }
+}

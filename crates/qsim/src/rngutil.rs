@@ -1,0 +1,103 @@
+//! Sampling utilities tuned for rare events.
+//!
+//! Circuit-level noise channels fire with probability ~1e-4, so per-bit
+//! Bernoulli draws would dominate sampling time. [`sample_bernoulli_hits`]
+//! uses geometric gap skipping: the expected cost is O(n·p) instead of
+//! O(n).
+
+use rand::Rng;
+
+/// Calls `f(i)` for each index `i < n` that fires an independent
+/// Bernoulli(p) trial, using geometric skipping.
+///
+/// Equivalent in distribution to `for i in 0..n { if rng.gen::<f64>() < p {
+/// f(i) } }` but with expected O(n·p) work.
+///
+/// # Panics
+///
+/// Panics if `p` is not a probability (`0.0..=1.0`) or is NaN.
+pub fn sample_bernoulli_hits<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64, mut f: impl FnMut(usize)) {
+    assert!((0.0..=1.0).contains(&p), "p = {p} is not a probability");
+    if p == 0.0 || n == 0 {
+        return;
+    }
+    if p >= 1.0 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let log1mp = (-p).ln_1p(); // ln(1 - p) < 0
+    let mut i: usize = 0;
+    loop {
+        // Geometric gap: number of failures before the next success.
+        let u: f64 = rng.gen::<f64>();
+        // u ∈ [0, 1); ln(1-u) avoids u == 0 producing gap 0 bias.
+        let gap = ((1.0 - u).ln() / log1mp).floor();
+        if !gap.is_finite() || gap >= (n - i) as f64 {
+            return;
+        }
+        i += gap as usize;
+        f(i);
+        i += 1;
+        if i >= n {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut count = 0;
+        sample_bernoulli_hits(&mut rng, 10_000, 0.0, |_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn unit_probability_always_fires() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hits = Vec::new();
+        sample_bernoulli_hits(&mut rng, 5, 1.0, |i| hits.push(i));
+        assert_eq!(hits, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn hit_rate_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 2_000_000;
+        let p = 0.01;
+        let mut count = 0usize;
+        sample_bernoulli_hits(&mut rng, n, p, |_| count += 1);
+        let expected = n as f64 * p;
+        let sigma = (n as f64 * p * (1.0 - p)).sqrt();
+        assert!(
+            (count as f64 - expected).abs() < 5.0 * sigma,
+            "count {count} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn indices_are_strictly_increasing_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut last: isize = -1;
+        sample_bernoulli_hits(&mut rng, 10_000, 0.05, |i| {
+            assert!(i < 10_000);
+            assert!(i as isize > last);
+            last = i as isize;
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn invalid_probability_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        sample_bernoulli_hits(&mut rng, 10, 1.5, |_| {});
+    }
+}

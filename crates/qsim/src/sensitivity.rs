@@ -1,0 +1,540 @@
+//! Detector error model extraction via backward sensitivity analysis.
+//!
+//! For every noise-channel component in a circuit we need the set of
+//! detectors and observables it flips. Rather than forward-propagating a
+//! Pauli frame per component (quadratic in circuit size), we walk the
+//! circuit *backwards* maintaining, per qubit, the set of detector /
+//! observable ids sensitive to an X (resp. Z) error at the current
+//! position. Clifford gates update these sets by linearity; measurements
+//! inject the ids of the detectors/observables consuming their record bit;
+//! resets clear them. Each noise component's symptom is then a small XOR
+//! of the current sensitivity sets — total cost O(circuit × symptom size).
+//!
+//! ## Graphlike decomposition
+//!
+//! Matching decoders need every mechanism to flip at most two detectors.
+//! Components with larger symptoms (e.g. hook errors on ancillas, or
+//! two-qubit depolarizing components) are decomposed:
+//!
+//! 1. split into per-qubit sub-components (exact in symptom space, since
+//!    symptoms compose by XOR);
+//! 2. any remaining >2-detector piece is greedily partitioned into blocks
+//!    that already occur as primitive (≤2-detector) symptoms elsewhere in
+//!    the model, mirroring Stim's `decompose_errors=True`;
+//! 3. as a last resort, leftover detectors are paired arbitrarily (counted
+//!    in [`ExtractionStats::fallback_decompositions`]).
+//!
+//! Observable masks are assigned from the primitive dictionary with the
+//! final block absorbing any remainder, so the total observable flip of
+//! the decomposition is always exact.
+
+use crate::circuit::{Circuit, Op};
+use crate::dem::{xor_probability, DemError, DetectorErrorModel};
+use crate::sparse::SparseBits;
+use std::collections::HashMap;
+
+/// Statistics about one extraction run, for diagnostics and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExtractionStats {
+    /// Noise components processed.
+    pub components: usize,
+    /// Components whose symptom already had ≤ 2 detectors.
+    pub graphlike_components: usize,
+    /// Components decomposed using the primitive dictionary.
+    pub dictionary_decompositions: usize,
+    /// Components that needed arbitrary pairing (should be zero for
+    /// well-formed surface-code circuits).
+    pub fallback_decompositions: usize,
+}
+
+/// Extracts the detector error model of `circuit`.
+///
+/// See the module documentation for the algorithm. The returned model is
+/// graphlike: every mechanism flips at most two detectors.
+pub fn extract_dem(circuit: &Circuit) -> DetectorErrorModel {
+    extract_dem_with_stats(circuit).0
+}
+
+/// [`extract_dem`] variant that also reports decomposition statistics.
+pub fn extract_dem_with_stats(circuit: &Circuit) -> (DetectorErrorModel, ExtractionStats) {
+    let num_det = circuit.num_detectors();
+    let nq = circuit.num_qubits() as usize;
+
+    // Map measurement index -> ids consuming it (detector ids and
+    // observable ids offset by num_det).
+    let mut consumers: Vec<SparseBits> = vec![SparseBits::new(); circuit.num_measurements()];
+    let mut det_index = 0u32;
+    for op in circuit.ops() {
+        match op {
+            Op::Detector { meas, .. } => {
+                for &m in meas {
+                    consumers[m].toggle(det_index);
+                }
+                det_index += 1;
+            }
+            Op::Observable { index, meas } => {
+                for &m in meas {
+                    consumers[m].toggle(num_det + *index as u32);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Per-qubit sensitivity sets.
+    let mut sens_x: Vec<SparseBits> = vec![SparseBits::new(); nq];
+    let mut sens_z: Vec<SparseBits> = vec![SparseBits::new(); nq];
+
+    // Raw components: (symptom ids, probability).
+    let mut raw: Vec<(SparseBits, f64)> = Vec::new();
+    let mut stats = ExtractionStats::default();
+
+    let mut next_m = circuit.num_measurements();
+    for op in circuit.ops().iter().rev() {
+        match op {
+            Op::ResetZ(qs) => {
+                for &q in qs {
+                    sens_x[q as usize] = SparseBits::new();
+                    sens_z[q as usize] = SparseBits::new();
+                }
+            }
+            Op::H(qs) => {
+                for &q in qs {
+                    let q = q as usize;
+                    std::mem::swap(&mut sens_x[q], &mut sens_z[q]);
+                }
+            }
+            Op::Cx(pairs) => {
+                // Processing backwards: an X on the control before the gate
+                // behaves like X⊗X after it; a Z on the target like Z⊗Z.
+                for &(c, t) in pairs.iter().rev() {
+                    let (c, t) = (c as usize, t as usize);
+                    let tx = sens_x[t].clone();
+                    sens_x[c].xor_in_place(&tx);
+                    let cz = sens_z[c].clone();
+                    sens_z[t].xor_in_place(&cz);
+                }
+            }
+            Op::MeasureZ(qs) => {
+                for &q in qs.iter().rev() {
+                    next_m -= 1;
+                    // An X (or Y) immediately before a Z measurement flips
+                    // its record bit, toggling every consumer.
+                    sens_x[q as usize].xor_in_place(&consumers[next_m]);
+                }
+            }
+            Op::XError { qubits, p } => {
+                for &q in qubits {
+                    push_component(&mut raw, &mut stats, &[sens_x[q as usize].clone()], *p);
+                }
+            }
+            Op::ZError { qubits, p } => {
+                for &q in qubits {
+                    push_component(&mut raw, &mut stats, &[sens_z[q as usize].clone()], *p);
+                }
+            }
+            Op::Depolarize1 { qubits, p } => {
+                let pc = p / 3.0;
+                for &q in qubits {
+                    let q = q as usize;
+                    let x = sens_x[q].clone();
+                    let z = sens_z[q].clone();
+                    let y = SparseBits::xor(x.clone(), &z);
+                    push_component(&mut raw, &mut stats, &[x], pc);
+                    push_component(&mut raw, &mut stats, &[z], pc);
+                    push_component(&mut raw, &mut stats, &[y], pc);
+                }
+            }
+            Op::Depolarize2 { pairs, p } => {
+                let pc = p / 15.0;
+                for &(a, b) in pairs {
+                    let (a, b) = (a as usize, b as usize);
+                    let pauli_syms = |x: &SparseBits, z: &SparseBits| -> [SparseBits; 4] {
+                        [
+                            SparseBits::new(),
+                            x.clone(),
+                            z.clone(),
+                            SparseBits::xor(x.clone(), z),
+                        ]
+                    };
+                    let sa = pauli_syms(&sens_x[a], &sens_z[a]);
+                    let sb = pauli_syms(&sens_x[b], &sens_z[b]);
+                    for ia in 0..4 {
+                        for ib in 0..4 {
+                            if ia == 0 && ib == 0 {
+                                continue;
+                            }
+                            push_component(
+                                &mut raw,
+                                &mut stats,
+                                &[sa[ia].clone(), sb[ib].clone()],
+                                pc,
+                            );
+                        }
+                    }
+                }
+            }
+            Op::Detector { .. } | Op::Observable { .. } => {}
+        }
+    }
+    debug_assert_eq!(next_m, 0);
+
+    let errors = decompose_and_merge(raw, num_det, &mut stats);
+
+    (
+        DetectorErrorModel {
+            num_detectors: num_det,
+            num_observables: circuit.num_observables(),
+            errors,
+            det_coords: circuit.detector_coords(),
+        },
+        stats,
+    )
+}
+
+/// Records a noise component given the symptoms of its per-qubit factors.
+fn push_component(
+    raw: &mut Vec<(SparseBits, f64)>,
+    stats: &mut ExtractionStats,
+    factor_symptoms: &[SparseBits],
+    p: f64,
+) {
+    if p <= 0.0 {
+        return;
+    }
+    stats.components += 1;
+    let mut full = SparseBits::new();
+    for s in factor_symptoms {
+        full.xor_in_place(s);
+    }
+    if full.is_empty() {
+        return; // component has no effect
+    }
+    raw.push((full, p));
+}
+
+/// Splits symptom ids into (detector set, observable mask).
+fn split_symptom(symptom: &SparseBits, num_det: u32) -> (Vec<u32>, u64) {
+    let mut dets = Vec::new();
+    let mut obs = 0u64;
+    for id in symptom.iter() {
+        if id < num_det {
+            dets.push(id);
+        } else {
+            obs |= 1 << (id - num_det);
+        }
+    }
+    (dets, obs)
+}
+
+fn decompose_and_merge(
+    raw: Vec<(SparseBits, f64)>,
+    num_det: u32,
+    stats: &mut ExtractionStats,
+) -> Vec<DemError> {
+    // Pass 1: register primitive (≤2-detector) symptoms and queue the rest.
+    let mut primitives: HashMap<Vec<u32>, u64> = HashMap::new();
+    let mut queued: Vec<(Vec<u32>, u64, f64)> = Vec::new();
+    let mut merged: HashMap<(Vec<u32>, u64), f64> = HashMap::new();
+
+    let add = |merged: &mut HashMap<(Vec<u32>, u64), f64>, dets: Vec<u32>, obs: u64, p: f64| {
+        if dets.is_empty() && obs == 0 {
+            return;
+        }
+        let slot = merged.entry((dets, obs)).or_insert(0.0);
+        *slot = xor_probability(*slot, p);
+    };
+
+    for (symptom, p) in raw {
+        let (dets, obs) = split_symptom(&symptom, num_det);
+        if dets.len() <= 2 {
+            stats.graphlike_components += 1;
+            primitives.entry(dets.clone()).or_insert(obs);
+            add(&mut merged, dets, obs, p);
+        } else {
+            queued.push((dets, obs, p));
+        }
+    }
+
+    // Pass 2: decompose queued components against the primitive dictionary.
+    for (dets, total_obs, p) in queued {
+        let mut remaining = dets;
+        let mut blocks: Vec<(Vec<u32>, u64)> = Vec::new();
+        let mut used_fallback = false;
+
+        while remaining.len() > 2 {
+            let mut found = None;
+            'outer: for i in 0..remaining.len() {
+                for j in (i + 1)..remaining.len() {
+                    let key = vec![remaining[i], remaining[j]];
+                    if let Some(&obs) = primitives.get(&key) {
+                        found = Some((i, j, key, obs));
+                        break 'outer;
+                    }
+                }
+            }
+            if let Some((i, j, key, obs)) = found {
+                remaining.remove(j);
+                remaining.remove(i);
+                blocks.push((key, obs));
+                continue;
+            }
+            // Try a primitive boundary singleton.
+            let single = (0..remaining.len())
+                .find(|&i| primitives.contains_key(&vec![remaining[i]][..].to_vec()));
+            if let Some(i) = single {
+                let key = vec![remaining[i]];
+                let obs = primitives[&key];
+                remaining.remove(i);
+                blocks.push((key, obs));
+                continue;
+            }
+            // Last resort: arbitrary pairing.
+            used_fallback = true;
+            let a = remaining.remove(0);
+            let b = remaining.remove(0);
+            blocks.push((vec![a, b], 0));
+        }
+
+        // The final block carries whatever observable flips remain, so the
+        // decomposition's total effect is exact.
+        let assigned: u64 = blocks.iter().map(|(_, o)| *o).fold(0, |a, b| a ^ b);
+        blocks.push((remaining, total_obs ^ assigned));
+
+        if used_fallback {
+            stats.fallback_decompositions += 1;
+        } else {
+            stats.dictionary_decompositions += 1;
+        }
+        for (dets, obs) in blocks {
+            add(&mut merged, dets, obs, p);
+        }
+    }
+
+    let mut errors: Vec<DemError> = merged
+        .into_iter()
+        .filter(|(_, p)| *p > 0.0)
+        .map(|((dets, obs), p)| DemError { dets: SparseBits::from_sorted(dets), obs, p })
+        .collect();
+    errors.sort_by(|a, b| (a.dets.as_slice(), a.obs).cmp(&(b.dets.as_slice(), b.obs)));
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use crate::frame::FrameSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// data 0,1 -> ancilla 2 parity check with an observable on data 0.
+    fn parity_circuit(p: f64) -> Circuit {
+        let mut b = CircuitBuilder::new(3);
+        b.reset_z(&[0, 1, 2]);
+        b.x_error(&[0, 1], p);
+        b.cx(&[(0, 2)]);
+        b.cx(&[(1, 2)]);
+        let m = b.measure_z(&[2]);
+        b.detector(&[m.start], [0.0; 3]);
+        let md = b.measure_z(&[0, 1]);
+        b.observable(0, &[md.start]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn x_errors_map_to_expected_mechanisms() {
+        let dem = extract_dem(&parity_circuit(1e-3));
+        // X on qubit 0 flips detector 0 and the observable; X on qubit 1
+        // flips only detector 0. They have distinct (dets, obs) signatures.
+        assert_eq!(dem.errors.len(), 2);
+        let with_obs: Vec<_> = dem.errors.iter().filter(|e| e.obs == 1).collect();
+        assert_eq!(with_obs.len(), 1);
+        assert_eq!(with_obs[0].dets.as_slice(), &[0]);
+        assert!((with_obs[0].p - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_sensitivity() {
+        let mut b = CircuitBuilder::new(1);
+        b.reset_z(&[0]);
+        b.x_error(&[0], 0.25);
+        b.reset_z(&[0]); // wipes the pending error
+        let m = b.measure_z(&[0]);
+        b.detector(&[m.start], [0.0; 3]);
+        let c = b.finish().unwrap();
+        let dem = extract_dem(&c);
+        assert!(dem.errors.is_empty());
+    }
+
+    #[test]
+    fn z_error_before_hadamard_flips_measurement() {
+        let mut b = CircuitBuilder::new(1);
+        b.reset_z(&[0]);
+        b.h(&[0]);
+        b.z_error(&[0], 0.125);
+        b.h(&[0]);
+        let m = b.measure_z(&[0]);
+        b.detector(&[m.start], [0.0; 3]);
+        let c = b.finish().unwrap();
+        let dem = extract_dem(&c);
+        assert_eq!(dem.errors.len(), 1);
+        assert_eq!(dem.errors[0].dets.as_slice(), &[0]);
+        assert!((dem.errors[0].p - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_symptoms_xor_combine() {
+        let mut b = CircuitBuilder::new(1);
+        b.reset_z(&[0]);
+        b.x_error(&[0], 0.1);
+        b.x_error(&[0], 0.2);
+        let m = b.measure_z(&[0]);
+        b.detector(&[m.start], [0.0; 3]);
+        let c = b.finish().unwrap();
+        let dem = extract_dem(&c);
+        assert_eq!(dem.errors.len(), 1);
+        assert!((dem.errors[0].p - 0.26).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarize1_on_data_merges_x_and_y() {
+        // In a Z-basis parity check, X and Y on data have the same symptom:
+        // they merge into one mechanism with XOR-combined probability; the
+        // Z component is invisible.
+        let mut b = CircuitBuilder::new(3);
+        b.reset_z(&[0, 1, 2]);
+        b.depolarize1(&[0], 0.3);
+        b.cx(&[(0, 2)]);
+        b.cx(&[(1, 2)]);
+        let m = b.measure_z(&[2]);
+        b.detector(&[m.start], [0.0; 3]);
+        let md = b.measure_z(&[0, 1]);
+        b.observable(0, &[md.start]);
+        let c = b.finish().unwrap();
+        let dem = extract_dem(&c);
+        assert_eq!(dem.errors.len(), 1);
+        let p = 0.1;
+        assert!((dem.errors[0].p - (2.0 * p - 2.0 * p * p)).abs() < 1e-12);
+        assert_eq!(dem.errors[0].obs, 1);
+    }
+
+    #[test]
+    fn measurement_flip_before_m_only_affects_that_record() {
+        let mut b = CircuitBuilder::new(2);
+        b.reset_z(&[0, 1]);
+        b.x_error(&[0], 0.01); // pre-measurement flip on ancilla role
+        let m0 = b.measure_z(&[0]);
+        let m1 = b.measure_z(&[1]);
+        b.detector(&[m0.start], [0.0; 3]);
+        b.detector(&[m1.start], [0.0; 3]);
+        let c = b.finish().unwrap();
+        let dem = extract_dem(&c);
+        assert_eq!(dem.errors.len(), 1);
+        assert_eq!(dem.errors[0].dets.as_slice(), &[0]);
+    }
+
+    /// Deterministic cross-check: for random Clifford circuits with a
+    /// single certain X error, the frame sampler and the sensitivity
+    /// analysis must agree on the symptom.
+    #[test]
+    fn sensitivity_matches_frame_sampler_on_random_circuits() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..200 {
+            let nq: u32 = 2 + (trial % 5) as u32;
+            let (circuit, _) = random_circuit_with_injection(nq, trial as u64, &mut rng);
+            let dem = extract_dem(&circuit);
+            let shots = FrameSampler::new(&circuit).sample_shots(1, &mut rng);
+            let expected = &shots[0];
+            // The circuit contains exactly one noise op (p = 1) so the DEM
+            // has exactly one mechanism (or zero if the error is harmless).
+            let mut dets = SparseBits::new();
+            let mut obs = 0u64;
+            for e in &dem.errors {
+                dets.xor_in_place(&e.dets);
+                obs ^= e.obs;
+            }
+            assert_eq!(dets.into_vec(), expected.dets, "trial {trial}");
+            assert_eq!(obs, expected.obs, "trial {trial}");
+        }
+    }
+
+    /// Builds a random R/H/CX circuit with one X error at probability 1,
+    /// final measurement of all qubits, and one detector per measurement.
+    fn random_circuit_with_injection(
+        nq: u32,
+        seed: u64,
+        _outer: &mut StdRng,
+    ) -> (Circuit, usize) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut b = CircuitBuilder::new(nq);
+        let all: Vec<u32> = (0..nq).collect();
+        b.reset_z(&all);
+        let n_gates = 12;
+        let inject_at = rng.gen_range(0..n_gates);
+        let mut inject_count = 0usize;
+        for g in 0..n_gates {
+            if g == inject_at {
+                let q = rng.gen_range(0..nq);
+                b.x_error(&[q], 1.0);
+                inject_count += 1;
+            }
+            match rng.gen_range(0..3) {
+                0 => {
+                    let q = rng.gen_range(0..nq);
+                    b.h(&[q]);
+                }
+                1 if nq >= 2 => {
+                    let c = rng.gen_range(0..nq);
+                    let mut t = rng.gen_range(0..nq);
+                    while t == c {
+                        t = rng.gen_range(0..nq);
+                    }
+                    b.cx(&[(c, t)]);
+                }
+                _ => {
+                    let q = rng.gen_range(0..nq);
+                    b.reset_z(&[q]);
+                }
+            }
+        }
+        let m = b.measure_z(&all);
+        for (i, idx) in m.clone().enumerate() {
+            b.detector(&[idx], [i as f64, 0.0, 0.0]);
+        }
+        b.observable(0, &[m.start]);
+        (b.finish().unwrap(), inject_count)
+    }
+
+    #[test]
+    fn hook_like_multi_detector_error_is_decomposed() {
+        // X on qubit 0 propagates to 3 targets, flipping 4 single-qubit
+        // detectors -> must be decomposed into ≤2-detector mechanisms.
+        let mut b = CircuitBuilder::new(4);
+        b.reset_z(&[0, 1, 2, 3]);
+        // Primitive errors that the dictionary can use.
+        b.x_error(&[0, 1, 2, 3], 0.001);
+        b.x_error(&[0], 0.01); // the hook: propagates to 1, 2, 3
+        b.cx(&[(0, 1)]);
+        b.cx(&[(0, 2)]);
+        b.cx(&[(0, 3)]);
+        let m = b.measure_z(&[0, 1, 2, 3]);
+        for (i, idx) in m.clone().enumerate() {
+            b.detector(&[idx], [i as f64, 0.0, 0.0]);
+        }
+        let c = b.finish().unwrap();
+        let (dem, stats) = extract_dem_with_stats(&c);
+        assert!(dem.max_symptom_size() <= 2, "graphlike violated: {dem:?}");
+        assert!(stats.dictionary_decompositions + stats.fallback_decompositions >= 1);
+    }
+
+    #[test]
+    fn extraction_stats_count_components() {
+        let c = parity_circuit(1e-3);
+        let (_, stats) = extract_dem_with_stats(&c);
+        assert_eq!(stats.components, 2);
+        assert_eq!(stats.graphlike_components, 2);
+        assert_eq!(stats.fallback_decompositions, 0);
+    }
+}

@@ -1,0 +1,450 @@
+//! CHP-style stabilizer (tableau) simulator.
+//!
+//! Implements the Aaronson–Gottesman algorithm ("Improved simulation of
+//! stabilizer circuits", 2004). The workspace uses it as an *oracle*: it
+//! executes noiseless circuits exactly and reports whether each
+//! measurement outcome is deterministic, which lets the test suite prove
+//! that every detector declared by a circuit really is a deterministic
+//! parity — the property Stim enforces for the Promatch paper's circuits.
+//!
+//! Performance is irrelevant here (it is never on a sampling path), so the
+//! implementation favours clarity: one byte per phase, plain bit getters.
+
+use crate::circuit::{Circuit, Op, Qubit};
+use rand::Rng;
+
+/// Result of running a noiseless circuit under the tableau simulator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableauRun {
+    /// Raw measurement outcomes, in record order.
+    pub measurements: Vec<bool>,
+    /// Whether each measurement outcome was deterministic.
+    pub deterministic: Vec<bool>,
+    /// Detector parities, in definition order.
+    pub detectors: Vec<bool>,
+    /// Observable parities as a bit mask.
+    pub observables: u64,
+}
+
+/// An Aaronson–Gottesman stabilizer tableau over `n` qubits.
+///
+/// Rows `0..n` are destabilizers, rows `n..2n` are stabilizers, and row
+/// `2n` is scratch space for deterministic-measurement evaluation.
+#[derive(Clone, Debug)]
+pub struct TableauSim {
+    n: usize,
+    words: usize,
+    /// X bit matrix, `(2n + 1)` rows by `words` words.
+    x: Vec<u64>,
+    /// Z bit matrix, same shape.
+    z: Vec<u64>,
+    /// Phase of each row, stored modulo 4 (always 0 or 2 between ops).
+    r: Vec<u8>,
+}
+
+impl TableauSim {
+    /// Creates a simulator in the all-|0⟩ state.
+    pub fn new(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        let rows = 2 * n + 1;
+        let mut sim = TableauSim {
+            n,
+            words,
+            x: vec![0; rows * words],
+            z: vec![0; rows * words],
+            r: vec![0; rows],
+        };
+        for i in 0..n {
+            sim.set_x(i, i, true); // destabilizer i = X_i
+            sim.set_z(n + i, i, true); // stabilizer i = Z_i
+        }
+        sim
+    }
+
+    fn get_x(&self, row: usize, q: usize) -> bool {
+        (self.x[row * self.words + q / 64] >> (q % 64)) & 1 == 1
+    }
+
+    fn get_z(&self, row: usize, q: usize) -> bool {
+        (self.z[row * self.words + q / 64] >> (q % 64)) & 1 == 1
+    }
+
+    fn set_x(&mut self, row: usize, q: usize, v: bool) {
+        let w = row * self.words + q / 64;
+        let m = 1u64 << (q % 64);
+        if v {
+            self.x[w] |= m;
+        } else {
+            self.x[w] &= !m;
+        }
+    }
+
+    fn set_z(&mut self, row: usize, q: usize, v: bool) {
+        let w = row * self.words + q / 64;
+        let m = 1u64 << (q % 64);
+        if v {
+            self.z[w] |= m;
+        } else {
+            self.z[w] &= !m;
+        }
+    }
+
+    /// Applies a Hadamard on qubit `q`.
+    pub fn h(&mut self, q: usize) {
+        assert!(q < self.n);
+        for row in 0..2 * self.n {
+            let xv = self.get_x(row, q);
+            let zv = self.get_z(row, q);
+            if xv && zv {
+                self.r[row] = (self.r[row] + 2) & 3;
+            }
+            self.set_x(row, q, zv);
+            self.set_z(row, q, xv);
+        }
+    }
+
+    /// Applies a phase gate S on qubit `q`.
+    pub fn s(&mut self, q: usize) {
+        assert!(q < self.n);
+        for row in 0..2 * self.n {
+            let xv = self.get_x(row, q);
+            let zv = self.get_z(row, q);
+            if xv && zv {
+                self.r[row] = (self.r[row] + 2) & 3;
+            }
+            self.set_z(row, q, zv ^ xv);
+        }
+    }
+
+    /// Applies a CNOT with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t` or either index is out of range.
+    pub fn cx(&mut self, c: usize, t: usize) {
+        assert!(c < self.n && t < self.n && c != t);
+        for row in 0..2 * self.n {
+            let xc = self.get_x(row, c);
+            let zc = self.get_z(row, c);
+            let xt = self.get_x(row, t);
+            let zt = self.get_z(row, t);
+            if xc && zt && (xt == zc) {
+                self.r[row] = (self.r[row] + 2) & 3;
+            }
+            self.set_x(row, t, xt ^ xc);
+            self.set_z(row, c, zc ^ zt);
+        }
+    }
+
+    /// Applies a Pauli X on qubit `q` (phase bookkeeping only).
+    pub fn x_gate(&mut self, q: usize) {
+        for row in 0..2 * self.n {
+            if self.get_z(row, q) {
+                self.r[row] = (self.r[row] + 2) & 3;
+            }
+        }
+    }
+
+    /// Row multiplication `row_h ← row_h · row_i` with phase tracking.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        // Accumulate the exponent of i modulo 4.
+        let mut g_sum: i32 = i32::from(self.r[h]) + i32::from(self.r[i]);
+        for q in 0..self.n {
+            let x1 = self.get_x(i, q);
+            let z1 = self.get_z(i, q);
+            let x2 = self.get_x(h, q);
+            let z2 = self.get_z(h, q);
+            let g = match (x1, z1) {
+                (false, false) => 0,
+                (true, true) => (z2 as i32) - (x2 as i32),
+                (true, false) => (z2 as i32) * (2 * (x2 as i32) - 1),
+                (false, true) => (x2 as i32) * (1 - 2 * (z2 as i32)),
+            };
+            g_sum += g;
+        }
+        self.r[h] = (g_sum.rem_euclid(4)) as u8;
+        for w in 0..self.words {
+            self.x[h * self.words + w] ^= self.x[i * self.words + w];
+            self.z[h * self.words + w] ^= self.z[i * self.words + w];
+        }
+    }
+
+    /// Measures qubit `q` in the Z basis.
+    ///
+    /// Returns `(outcome, deterministic)`. Random outcomes are drawn from
+    /// `rng`.
+    pub fn measure_z<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> (bool, bool) {
+        assert!(q < self.n);
+        let n = self.n;
+        let p = (n..2 * n).find(|&row| self.get_x(row, q));
+        match p {
+            Some(p) => {
+                // Outcome is random.
+                for row in 0..2 * n {
+                    if row != p && self.get_x(row, q) {
+                        self.rowsum(row, p);
+                    }
+                }
+                // Destabilizer p-n becomes the old stabilizer row p.
+                for w in 0..self.words {
+                    self.x[(p - n) * self.words + w] = self.x[p * self.words + w];
+                    self.z[(p - n) * self.words + w] = self.z[p * self.words + w];
+                }
+                self.r[p - n] = self.r[p];
+                // Row p becomes ±Z_q with a random sign.
+                for w in 0..self.words {
+                    self.x[p * self.words + w] = 0;
+                    self.z[p * self.words + w] = 0;
+                }
+                let outcome: bool = rng.gen();
+                self.set_z(p, q, true);
+                self.r[p] = if outcome { 2 } else { 0 };
+                (outcome, false)
+            }
+            None => {
+                // Outcome is deterministic; evaluate via the scratch row.
+                let scratch = 2 * n;
+                for w in 0..self.words {
+                    self.x[scratch * self.words + w] = 0;
+                    self.z[scratch * self.words + w] = 0;
+                }
+                self.r[scratch] = 0;
+                for i in 0..n {
+                    if self.get_x(i, q) {
+                        self.rowsum(scratch, i + n);
+                    }
+                }
+                (self.r[scratch] == 2, true)
+            }
+        }
+    }
+
+    /// Resets qubit `q` to |0⟩ (measure and correct).
+    pub fn reset_z<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) {
+        let (outcome, _) = self.measure_z(q, rng);
+        if outcome {
+            self.x_gate(q);
+        }
+    }
+
+    /// Runs a circuit (noise channels are ignored — this simulator models
+    /// the ideal circuit) and evaluates its detectors and observables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit acts on more qubits than the simulator.
+    pub fn run_circuit<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> TableauRun {
+        let mut sim = TableauSim::new(circuit.num_qubits() as usize);
+        let mut measurements: Vec<bool> = Vec::with_capacity(circuit.num_measurements());
+        let mut deterministic: Vec<bool> = Vec::with_capacity(circuit.num_measurements());
+        let mut detectors = Vec::with_capacity(circuit.num_detectors() as usize);
+        let mut observables: u64 = 0;
+        for op in circuit.ops() {
+            match op {
+                Op::ResetZ(qs) => {
+                    for &q in qs {
+                        sim.reset_z(q as usize, rng);
+                    }
+                }
+                Op::H(qs) => {
+                    for &q in qs {
+                        sim.h(q as usize);
+                    }
+                }
+                Op::Cx(pairs) => {
+                    for &(c, t) in pairs {
+                        sim.cx(c as usize, t as usize);
+                    }
+                }
+                Op::MeasureZ(qs) => {
+                    for &q in qs {
+                        let (v, det) = sim.measure_z(q as usize, rng);
+                        measurements.push(v);
+                        deterministic.push(det);
+                    }
+                }
+                Op::Detector { meas, .. } => {
+                    let parity = meas.iter().fold(false, |acc, &m| acc ^ measurements[m]);
+                    detectors.push(parity);
+                }
+                Op::Observable { index, meas } => {
+                    let parity = meas.iter().fold(false, |acc, &m| acc ^ measurements[m]);
+                    if parity {
+                        observables ^= 1 << index;
+                    }
+                }
+                // Noise is ignored: the tableau simulator is the noiseless oracle.
+                Op::Depolarize1 { .. }
+                | Op::Depolarize2 { .. }
+                | Op::XError { .. }
+                | Op::ZError { .. } => {}
+            }
+        }
+        TableauRun { measurements, deterministic, detectors, observables }
+    }
+
+    /// Applies an arbitrary Pauli (by name) for testing error propagation.
+    pub fn apply_pauli(&mut self, q: Qubit, pauli: crate::pauli::Pauli) {
+        use crate::pauli::Pauli::*;
+        match pauli {
+            I => {}
+            X => self.x_gate(q as usize),
+            Z => {
+                for row in 0..2 * self.n {
+                    if self.get_x(row, q as usize) {
+                        self.r[row] = (self.r[row] + 2) & 3;
+                    }
+                }
+            }
+            Y => {
+                self.apply_pauli(q, X);
+                self.apply_pauli(q, Z);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn fresh_qubit_measures_zero_deterministically() {
+        let mut sim = TableauSim::new(2);
+        let (v, det) = sim.measure_z(0, &mut rng());
+        assert!(!v);
+        assert!(det);
+    }
+
+    #[test]
+    fn hadamard_makes_outcome_random_then_repeatable() {
+        let mut sim = TableauSim::new(1);
+        sim.h(0);
+        let mut r = rng();
+        let (v1, det1) = sim.measure_z(0, &mut r);
+        assert!(!det1);
+        let (v2, det2) = sim.measure_z(0, &mut r);
+        assert!(det2, "second measurement must be deterministic");
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        let mut sim = TableauSim::new(1);
+        sim.x_gate(0);
+        let (v, det) = sim.measure_z(0, &mut rng());
+        assert!(v);
+        assert!(det);
+    }
+
+    #[test]
+    fn bell_pair_measurements_agree() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let mut sim = TableauSim::new(2);
+            sim.h(0);
+            sim.cx(0, 1);
+            let (v1, det1) = sim.measure_z(0, &mut r);
+            let (v2, det2) = sim.measure_z(1, &mut r);
+            assert!(!det1);
+            assert!(det2);
+            assert_eq!(v1, v2);
+        }
+    }
+
+    #[test]
+    fn ghz_parity_is_even() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let mut sim = TableauSim::new(3);
+            sim.h(0);
+            sim.cx(0, 1);
+            sim.cx(1, 2);
+            let (a, _) = sim.measure_z(0, &mut r);
+            let (b, _) = sim.measure_z(1, &mut r);
+            let (c, _) = sim.measure_z(2, &mut r);
+            assert_eq!(a, b);
+            assert_eq!(b, c);
+        }
+    }
+
+    #[test]
+    fn reset_after_excitation_returns_zero() {
+        let mut sim = TableauSim::new(1);
+        let mut r = rng();
+        sim.x_gate(0);
+        sim.reset_z(0, &mut r);
+        let (v, det) = sim.measure_z(0, &mut r);
+        assert!(!v);
+        assert!(det);
+    }
+
+    #[test]
+    fn s_gate_squares_to_z() {
+        // H S S H |0> = H Z H |0> = X |0> = |1>.
+        let mut sim = TableauSim::new(1);
+        let mut r = rng();
+        sim.h(0);
+        sim.s(0);
+        sim.s(0);
+        sim.h(0);
+        let (v, det) = sim.measure_z(0, &mut r);
+        assert!(det);
+        assert!(v);
+    }
+
+    #[test]
+    fn pauli_injection_flips_parity_check() {
+        // Z-parity check of two data qubits via ancilla.
+        let mut sim = TableauSim::new(3);
+        let mut r = rng();
+        sim.apply_pauli(0, crate::pauli::Pauli::X);
+        sim.cx(0, 2);
+        sim.cx(1, 2);
+        let (v, det) = sim.measure_z(2, &mut r);
+        assert!(det);
+        assert!(v, "ancilla must detect the X error");
+    }
+
+    #[test]
+    fn run_circuit_evaluates_detectors_and_observables() {
+        let mut b = CircuitBuilder::new(3);
+        b.reset_z(&[0, 1, 2]);
+        b.cx(&[(0, 2)]);
+        b.cx(&[(1, 2)]);
+        let m_anc = b.measure_z(&[2]);
+        b.detector(&[m_anc.start], [0.0; 3]);
+        let m_data = b.measure_z(&[0, 1]);
+        b.observable(0, &[m_data.start]);
+        let c = b.finish().unwrap();
+        let run = TableauSim::run_circuit(&c, &mut rng());
+        assert_eq!(run.detectors, vec![false]);
+        assert_eq!(run.observables, 0);
+        assert!(run.deterministic.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn detector_determinism_across_seeds() {
+        // A circuit with a genuinely random measurement whose *parity*
+        // across repeats is deterministic.
+        let mut b = CircuitBuilder::new(2);
+        b.reset_z(&[0, 1]);
+        b.h(&[0]);
+        b.cx(&[(0, 1)]);
+        let m = b.measure_z(&[0, 1]);
+        b.detector(&[m.start, m.start + 1], [0.0; 3]);
+        let c = b.finish().unwrap();
+        for seed in 0..32 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let run = TableauSim::run_circuit(&c, &mut r);
+            assert_eq!(run.detectors, vec![false], "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Rotated surface code lattice geometry.
+//!
+//! Coordinates: data qubits live on a `d × d` grid indexed by
+//! `(row, col)`. Stabilizers live on the `(d+1) × (d+1)` grid of plaquette
+//! corners; corner `(i, j)` touches the data qubits `(i−1, j−1)` (NW),
+//! `(i−1, j)` (NE), `(i, j−1)` (SW), `(i, j)` (SE), where in range. The
+//! corner colouring alternates: `(i + j)` even ⇒ Z-type, odd ⇒ X-type.
+//! All interior corners are stabilizers; on the boundary, weight-2 X
+//! stabilizers survive on the top/bottom edges and weight-2 Z stabilizers
+//! on the left/right edges, giving `d² − 1` stabilizers in total.
+//!
+//! The logical Z operator is the top row of data qubits; the logical X
+//! operator is the left column. (They intersect only at data `(0,0)`, so
+//! they anticommute.)
+
+use qsim::circuit::Qubit;
+use qsim::pauli::{Pauli, PauliString};
+
+/// Whether a stabilizer measures Z-parities or X-parities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StabilizerBasis {
+    /// Measures ⟨Z⊗Z⊗Z⊗Z⟩; detects X (bit-flip) errors on data.
+    Z,
+    /// Measures ⟨X⊗X⊗X⊗X⟩; detects Z (phase-flip) errors on data.
+    X,
+}
+
+/// One stabilizer of the rotated code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stabilizer {
+    /// Measurement basis.
+    pub basis: StabilizerBasis,
+    /// Corner coordinate `(i, j)` on the `(d+1)²` grid.
+    pub corner: (u32, u32),
+    /// Ancilla qubit index.
+    pub ancilla: Qubit,
+    /// Adjacent data qubits in geometric order `[NW, NE, SW, SE]`;
+    /// `None` where the plaquette extends past the lattice boundary.
+    pub data: [Option<Qubit>; 4],
+}
+
+impl Stabilizer {
+    /// Number of data qubits in the stabilizer's support (2 or 4).
+    pub fn weight(&self) -> usize {
+        self.data.iter().flatten().count()
+    }
+
+    /// Iterates over the data qubits in the support.
+    pub fn support(&self) -> impl Iterator<Item = Qubit> + '_ {
+        self.data.iter().flatten().copied()
+    }
+}
+
+/// CNOT schedule slot order for Z stabilizers, as indices into the
+/// geometric `[NW, NE, SW, SE]` array: NW, SW, NE, SE ("N" shape).
+///
+/// Together with [`X_SCHEDULE`] this is collision-free (each data qubit is
+/// touched by exactly one CNOT per layer) and hook-safe for both memory
+/// bases: the two data qubits hit by a mid-schedule ancilla fault are
+/// aligned *perpendicular* to the logical operator that their error type
+/// could build, so hook errors do not halve the effective distance. The
+/// `mwpm` integration tests verify this property empirically.
+pub const Z_SCHEDULE: [usize; 4] = [0, 2, 1, 3];
+
+/// CNOT schedule slot order for X stabilizers: NW, NE, SW, SE ("Z" shape).
+pub const X_SCHEDULE: [usize; 4] = [0, 1, 2, 3];
+
+/// A rotated surface code of odd distance `d`.
+#[derive(Clone, Debug)]
+pub struct RotatedSurfaceCode {
+    d: u32,
+    z_stabs: Vec<Stabilizer>,
+    x_stabs: Vec<Stabilizer>,
+}
+
+impl RotatedSurfaceCode {
+    /// Constructs the distance-`d` rotated surface code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is even or less than 3.
+    pub fn new(d: u32) -> Self {
+        assert!(d >= 3 && d % 2 == 1, "distance must be odd and ≥ 3, got {d}");
+        let mut z_stabs = Vec::new();
+        let mut x_stabs = Vec::new();
+        let mut next_ancilla = d * d;
+        for i in 0..=d {
+            for j in 0..=d {
+                let is_z = (i + j) % 2 == 0;
+                let interior = i >= 1 && i <= d - 1 && j >= 1 && j <= d - 1;
+                let keep = if interior {
+                    true
+                } else if (i == 0 || i == d) && (j >= 1 && j <= d - 1) {
+                    !is_z // top/bottom edges host weight-2 X stabilizers
+                } else if (j == 0 || j == d) && (i >= 1 && i <= d - 1) {
+                    is_z // left/right edges host weight-2 Z stabilizers
+                } else {
+                    false // corners of the corner-grid host nothing
+                };
+                if !keep {
+                    continue;
+                }
+                let data_at = |r: i64, c: i64| -> Option<Qubit> {
+                    if r >= 0 && c >= 0 && (r as u32) < d && (c as u32) < d {
+                        Some(r as u32 * d + c as u32)
+                    } else {
+                        None
+                    }
+                };
+                let (i64i, i64j) = (i as i64, j as i64);
+                let data = [
+                    data_at(i64i - 1, i64j - 1), // NW
+                    data_at(i64i - 1, i64j),     // NE
+                    data_at(i64i, i64j - 1),     // SW
+                    data_at(i64i, i64j),         // SE
+                ];
+                let stab = Stabilizer {
+                    basis: if is_z { StabilizerBasis::Z } else { StabilizerBasis::X },
+                    corner: (i, j),
+                    ancilla: next_ancilla,
+                    data,
+                };
+                next_ancilla += 1;
+                if is_z {
+                    z_stabs.push(stab);
+                } else {
+                    x_stabs.push(stab);
+                }
+            }
+        }
+        debug_assert_eq!((z_stabs.len() + x_stabs.len()) as u32, d * d - 1);
+        RotatedSurfaceCode { d, z_stabs, x_stabs }
+    }
+
+    /// The code distance.
+    pub fn distance(&self) -> u32 {
+        self.d
+    }
+
+    /// Number of data qubits (d²).
+    pub fn num_data(&self) -> u32 {
+        self.d * self.d
+    }
+
+    /// Number of ancilla qubits (d² − 1).
+    pub fn num_ancilla(&self) -> u32 {
+        self.d * self.d - 1
+    }
+
+    /// Total number of physical qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_data() + self.num_ancilla()
+    }
+
+    /// Index of the data qubit at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is out of range.
+    pub fn data_qubit(&self, row: u32, col: u32) -> Qubit {
+        assert!(row < self.d && col < self.d, "data ({row},{col}) out of range");
+        row * self.d + col
+    }
+
+    /// The Z-type stabilizers (whose ancilla measurements define the
+    /// memory-Z decoding graph).
+    pub fn z_stabilizers(&self) -> &[Stabilizer] {
+        &self.z_stabs
+    }
+
+    /// The X-type stabilizers.
+    pub fn x_stabilizers(&self) -> &[Stabilizer] {
+        &self.x_stabs
+    }
+
+    /// All stabilizers, Z-type first.
+    pub fn stabilizers(&self) -> impl Iterator<Item = &Stabilizer> {
+        self.z_stabs.iter().chain(self.x_stabs.iter())
+    }
+
+    /// Data qubits of the logical Z operator (top row).
+    pub fn logical_z_support(&self) -> Vec<Qubit> {
+        (0..self.d).map(|c| self.data_qubit(0, c)).collect()
+    }
+
+    /// Data qubits of the logical X operator (left column).
+    pub fn logical_x_support(&self) -> Vec<Qubit> {
+        (0..self.d).map(|r| self.data_qubit(r, 0)).collect()
+    }
+
+    /// The stabilizer as a Pauli string over all physical qubits
+    /// (identity on ancillas), for algebraic checks.
+    pub fn stabilizer_pauli(&self, stab: &Stabilizer) -> PauliString {
+        let pauli = match stab.basis {
+            StabilizerBasis::Z => Pauli::Z,
+            StabilizerBasis::X => Pauli::X,
+        };
+        let ops: Vec<(usize, Pauli)> =
+            stab.support().map(|q| (q as usize, pauli)).collect();
+        PauliString::from_ops(self.num_qubits() as usize, &ops)
+    }
+
+    /// The logical Z operator as a Pauli string.
+    pub fn logical_z_pauli(&self) -> PauliString {
+        let ops: Vec<(usize, Pauli)> = self
+            .logical_z_support()
+            .into_iter()
+            .map(|q| (q as usize, Pauli::Z))
+            .collect();
+        PauliString::from_ops(self.num_qubits() as usize, &ops)
+    }
+
+    /// The logical X operator as a Pauli string.
+    pub fn logical_x_pauli(&self) -> PauliString {
+        let ops: Vec<(usize, Pauli)> = self
+            .logical_x_support()
+            .into_iter()
+            .map(|q| (q as usize, Pauli::X))
+            .collect();
+        PauliString::from_ops(self.num_qubits() as usize, &ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stabilizer_counts_match_theory() {
+        for d in [3u32, 5, 7, 9, 11, 13] {
+            let code = RotatedSurfaceCode::new(d);
+            assert_eq!(code.z_stabilizers().len() as u32, (d * d - 1) / 2, "d={d}");
+            assert_eq!(code.x_stabilizers().len() as u32, (d * d - 1) / 2, "d={d}");
+            assert_eq!(code.num_qubits(), 2 * d * d - 1);
+        }
+    }
+
+    #[test]
+    fn boundary_stabilizers_have_weight_two() {
+        let code = RotatedSurfaceCode::new(5);
+        for stab in code.stabilizers() {
+            let (i, j) = stab.corner;
+            let interior = i >= 1 && i <= 4 && j >= 1 && j <= 4;
+            if interior {
+                assert_eq!(stab.weight(), 4, "interior {:?}", stab.corner);
+            } else {
+                assert_eq!(stab.weight(), 2, "boundary {:?}", stab.corner);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_two_count_is_2_d_minus_1() {
+        for d in [3u32, 5, 7] {
+            let code = RotatedSurfaceCode::new(d);
+            let w2 = code.stabilizers().filter(|s| s.weight() == 2).count() as u32;
+            assert_eq!(w2, 2 * (d - 1), "d={d}");
+        }
+    }
+
+    #[test]
+    fn all_stabilizers_commute_pairwise() {
+        let code = RotatedSurfaceCode::new(5);
+        let paulis: Vec<_> = code.stabilizers().map(|s| code.stabilizer_pauli(s)).collect();
+        for (a, pa) in paulis.iter().enumerate() {
+            for pb in paulis.iter().skip(a + 1) {
+                assert!(pa.commutes_with(pb), "stabilizers {a} do not commute");
+            }
+        }
+    }
+
+    #[test]
+    fn logicals_commute_with_stabilizers_and_anticommute_with_each_other() {
+        for d in [3u32, 5] {
+            let code = RotatedSurfaceCode::new(d);
+            let lz = code.logical_z_pauli();
+            let lx = code.logical_x_pauli();
+            for s in code.stabilizers() {
+                let sp = code.stabilizer_pauli(s);
+                assert!(lz.commutes_with(&sp), "Z_L vs {:?}", s.corner);
+                assert!(lx.commutes_with(&sp), "X_L vs {:?}", s.corner);
+            }
+            assert!(!lz.commutes_with(&lx), "logicals must anticommute (d={d})");
+        }
+    }
+
+    #[test]
+    fn logical_operators_have_weight_d() {
+        let code = RotatedSurfaceCode::new(7);
+        assert_eq!(code.logical_z_pauli().weight(), 7);
+        assert_eq!(code.logical_x_pauli().weight(), 7);
+    }
+
+    #[test]
+    fn every_data_qubit_is_in_at_most_two_z_stabilizers() {
+        let code = RotatedSurfaceCode::new(5);
+        let mut counts = vec![0u32; code.num_data() as usize];
+        for s in code.z_stabilizers() {
+            for q in s.support() {
+                counts[q as usize] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| (1..=2).contains(&c)));
+    }
+
+    #[test]
+    fn ancilla_indices_are_dense_and_disjoint_from_data() {
+        let code = RotatedSurfaceCode::new(3);
+        let mut ancillas: Vec<_> = code.stabilizers().map(|s| s.ancilla).collect();
+        ancillas.sort_unstable();
+        let expect: Vec<u32> = (9..17).collect();
+        assert_eq!(ancillas, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_distance_is_rejected() {
+        RotatedSurfaceCode::new(4);
+    }
+}

@@ -1,0 +1,352 @@
+//! Memory (state-preservation) experiment circuits.
+//!
+//! Builds the memory experiments of Promatch §5.3. The paper evaluates
+//! Z-basis memory only, noting (footnote 4) that X-basis memory is the
+//! equivalent experiment with |+⟩ initialization and Hadamard-basis
+//! measurement; both are provided here and the test suite checks the
+//! equivalence.
+//!
+//! A memory experiment prepares all data qubits in the basis state, runs
+//! `rounds` rounds of full syndrome extraction (both stabilizer types,
+//! so error propagation is faithful), and measures all data qubits in
+//! that basis. Detectors compare consecutive measurements of the
+//! *memory-basis* stabilizers; the logical observable is the matching
+//! logical operator evaluated on the final data measurement.
+
+use crate::layout::{RotatedSurfaceCode, StabilizerBasis, X_SCHEDULE, Z_SCHEDULE};
+use crate::noise::NoiseModel;
+use qsim::circuit::{Circuit, CircuitBuilder, Qubit};
+
+/// Which logical basis state a memory experiment preserves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemoryBasis {
+    /// Preserve |0⟩_L: Z-stabilizer detectors, logical Z observable.
+    Z,
+    /// Preserve |+⟩_L: X-stabilizer detectors, logical X observable.
+    X,
+}
+
+impl RotatedSurfaceCode {
+    /// Builds the `rounds`-round memory-Z experiment circuit under `noise`.
+    ///
+    /// Per round: start-of-round depolarization on data, ancilla reset
+    /// (with reset flips), Hadamards bracketing the X-type extraction,
+    /// four CNOT layers (each followed by two-qubit depolarization), and
+    /// ancilla measurement (with measurement flips). Detectors are emitted
+    /// for Z-type stabilizers only: `(rounds + 1)` layers of
+    /// `(d² − 1) / 2` detectors, with coordinates `(2·j, 2·i, t)` for
+    /// corner `(i, j)` at layer `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn memory_z_circuit(&self, rounds: u32, noise: &NoiseModel) -> Circuit {
+        self.memory_circuit(MemoryBasis::Z, rounds, noise)
+    }
+
+    /// Builds the `rounds`-round memory-X experiment circuit: data qubits
+    /// initialized to |+⟩ (reset + Hadamard), X-type stabilizer
+    /// detectors, and the logical X observable measured in the Hadamard
+    /// basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn memory_x_circuit(&self, rounds: u32, noise: &NoiseModel) -> Circuit {
+        self.memory_circuit(MemoryBasis::X, rounds, noise)
+    }
+
+    /// Builds a memory experiment in either basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn memory_circuit(
+        &self,
+        basis: MemoryBasis,
+        rounds: u32,
+        noise: &NoiseModel,
+    ) -> Circuit {
+        assert!(rounds >= 1, "at least one extraction round is required");
+        let data: Vec<Qubit> = (0..self.num_data()).collect();
+        let ancillas: Vec<Qubit> = self.stabilizers().map(|s| s.ancilla).collect();
+        let x_ancillas: Vec<Qubit> = self.x_stabilizers().iter().map(|s| s.ancilla).collect();
+        // Measurement order within a round: Z stabilizers then X
+        // stabilizers (the order `stabilizers()` yields).
+        let num_z = self.z_stabilizers().len();
+        let tracked: Vec<crate::layout::Stabilizer> = match basis {
+            MemoryBasis::Z => self.z_stabilizers().to_vec(),
+            MemoryBasis::X => self.x_stabilizers().to_vec(),
+        };
+        // Record-index offset of the tracked stabilizer block within a
+        // round's ancilla measurement.
+        let tracked_offset = match basis {
+            MemoryBasis::Z => 0,
+            MemoryBasis::X => num_z,
+        };
+
+        let mut b = CircuitBuilder::new(self.num_qubits());
+
+        // Initialization: reset everything; data resets suffer flips too.
+        b.reset_z(&data);
+        b.x_error(&data, noise.reset_flip);
+        if basis == MemoryBasis::X {
+            // |+⟩ preparation: transversal Hadamard (a gate, so it
+            // depolarizes its operands).
+            b.h(&data);
+            b.depolarize1(&data, noise.gate_depolarization);
+        }
+
+        // Per-tracked-stabilizer measurement index of the previous round.
+        let mut prev_round_meas: Vec<usize> = vec![usize::MAX; tracked.len()];
+
+        for round in 0..rounds {
+            // (1) Start-of-round data depolarization.
+            b.depolarize1(&data, noise.data_depolarization);
+
+            // (2) Ancilla reset.
+            b.reset_z(&ancillas);
+            b.x_error(&ancillas, noise.reset_flip);
+
+            // (3) Hadamards for X-type extraction.
+            b.h(&x_ancillas);
+            b.depolarize1(&x_ancillas, noise.gate_depolarization);
+
+            // (4) Four CNOT layers.
+            for slot in 0..4 {
+                let mut pairs: Vec<(Qubit, Qubit)> = Vec::new();
+                for stab in self.stabilizers() {
+                    let geom_index = match stab.basis {
+                        StabilizerBasis::Z => Z_SCHEDULE[slot],
+                        StabilizerBasis::X => X_SCHEDULE[slot],
+                    };
+                    if let Some(dq) = stab.data[geom_index] {
+                        let pair = match stab.basis {
+                            // Z-type: data controls, ancilla target.
+                            StabilizerBasis::Z => (dq, stab.ancilla),
+                            // X-type: ancilla controls, data target.
+                            StabilizerBasis::X => (stab.ancilla, dq),
+                        };
+                        pairs.push(pair);
+                    }
+                }
+                b.cx(&pairs);
+                b.depolarize2(&pairs, noise.gate_depolarization);
+            }
+
+            // (5) Undo the Hadamards.
+            b.h(&x_ancillas);
+            b.depolarize1(&x_ancillas, noise.gate_depolarization);
+
+            // (6) Measure all ancillas (flip noise just before).
+            b.x_error(&ancillas, noise.measurement_flip);
+            let meas = b.measure_z(&ancillas);
+
+            // (7) Memory-basis detectors. Layer 0 compares against the
+            // deterministic first-round value; later layers compare
+            // consecutive rounds.
+            for (ti, stab) in tracked.iter().enumerate() {
+                let m_now = meas.start + tracked_offset + ti;
+                let (i, j) = stab.corner;
+                let coords = [2.0 * j as f64, 2.0 * i as f64, round as f64];
+                if round == 0 {
+                    b.detector(&[m_now], coords);
+                } else {
+                    b.detector(&[m_now, prev_round_meas[ti]], coords);
+                }
+                prev_round_meas[ti] = m_now;
+            }
+        }
+
+        // Final transversal data measurement in the memory basis.
+        if basis == MemoryBasis::X {
+            b.h(&data);
+            b.depolarize1(&data, noise.gate_depolarization);
+        }
+        b.x_error(&data, noise.measurement_flip);
+        let data_meas = b.measure_z(&data);
+
+        // Closing detectors: data-derived stabilizer parity vs the last
+        // ancilla measurement.
+        for (ti, stab) in tracked.iter().enumerate() {
+            let mut meas_list: Vec<usize> =
+                stab.support().map(|q| data_meas.start + q as usize).collect();
+            meas_list.push(prev_round_meas[ti]);
+            let (i, j) = stab.corner;
+            b.detector(&meas_list, [2.0 * j as f64, 2.0 * i as f64, rounds as f64]);
+        }
+
+        // Logical observable in the memory basis.
+        let support = match basis {
+            MemoryBasis::Z => self.logical_z_support(),
+            MemoryBasis::X => self.logical_x_support(),
+        };
+        let obs_meas: Vec<usize> =
+            support.into_iter().map(|q| data_meas.start + q as usize).collect();
+        b.observable(0, &obs_meas);
+
+        b.finish().expect("memory circuit construction is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::frame::FrameSampler;
+    use qsim::sensitivity::extract_dem_with_stats;
+    use qsim::tableau::TableauSim;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn detector_count_matches_table8_reading() {
+        // d=11: 720 detectors; d=13: 1176 (12 resp. 14 layers of
+        // (d²−1)/2), the counts implied by the paper's Table 8 storage.
+        let c11 = RotatedSurfaceCode::new(11).memory_z_circuit(11, &NoiseModel::noiseless());
+        assert_eq!(c11.num_detectors(), 720);
+        let c13 = RotatedSurfaceCode::new(13).memory_z_circuit(13, &NoiseModel::noiseless());
+        assert_eq!(c13.num_detectors(), 1176);
+    }
+
+    #[test]
+    fn cnot_layers_touch_each_qubit_at_most_once() {
+        // CircuitBuilder rejects duplicate operands within a layer, so a
+        // successful build proves the schedules are collision-free.
+        for d in [3u32, 5, 7] {
+            let code = RotatedSurfaceCode::new(d);
+            let _ = code.memory_z_circuit(d, &NoiseModel::noiseless());
+            let _ = code.memory_x_circuit(d, &NoiseModel::noiseless());
+        }
+    }
+
+    #[test]
+    fn noiseless_circuits_have_deterministic_zero_detectors_both_bases() {
+        for d in [3u32, 5] {
+            let code = RotatedSurfaceCode::new(d);
+            for basis in [MemoryBasis::Z, MemoryBasis::X] {
+                let circuit = code.memory_circuit(basis, d, &NoiseModel::noiseless());
+                for seed in 0..4 {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let run = TableauSim::run_circuit(&circuit, &mut rng);
+                    assert!(
+                        run.detectors.iter().all(|&v| !v),
+                        "d={d} {basis:?} seed={seed}: nonzero detector"
+                    );
+                    assert_eq!(run.observables, 0, "d={d} {basis:?} seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frame_sampler_sees_no_events_without_noise() {
+        let code = RotatedSurfaceCode::new(3);
+        for basis in [MemoryBasis::Z, MemoryBasis::X] {
+            let circuit = code.memory_circuit(basis, 3, &NoiseModel::noiseless());
+            let mut rng = StdRng::seed_from_u64(9);
+            let shots = FrameSampler::new(&circuit).sample_shots(64, &mut rng);
+            assert!(shots.iter().all(|s| s.dets.is_empty() && s.obs == 0), "{basis:?}");
+        }
+    }
+
+    #[test]
+    fn dem_is_graphlike_and_fully_detectable_both_bases() {
+        for d in [3u32, 5] {
+            let code = RotatedSurfaceCode::new(d);
+            for basis in [MemoryBasis::Z, MemoryBasis::X] {
+                let circuit = code.memory_circuit(basis, d, &NoiseModel::uniform(1e-3));
+                let (dem, stats) = extract_dem_with_stats(&circuit);
+                dem.validate().expect("dem must validate");
+                assert!(dem.max_symptom_size() <= 2, "d={d} {basis:?}");
+                assert!(
+                    dem.undetectable_logical_mechanisms().is_empty(),
+                    "d={d} {basis:?}: undetectable logical error mechanisms exist"
+                );
+                assert_eq!(stats.fallback_decompositions, 0, "d={d} {basis:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bases_have_matching_problem_sizes() {
+        // The two bases are related by lattice symmetry: same detector
+        // counts and closely matched error-mechanism counts.
+        let code = RotatedSurfaceCode::new(5);
+        let z = code.memory_z_circuit(5, &NoiseModel::uniform(1e-3));
+        let x = code.memory_x_circuit(5, &NoiseModel::uniform(1e-3));
+        assert_eq!(z.num_detectors(), x.num_detectors());
+        let dem_z = qsim::extract_dem(&z);
+        let dem_x = qsim::extract_dem(&x);
+        let (nz, nx) = (dem_z.errors.len() as f64, dem_x.errors.len() as f64);
+        assert!(
+            (nz - nx).abs() / nz < 0.15,
+            "mechanism counts should be comparable: {nz} vs {nx}"
+        );
+        let (mz, mx) = (dem_z.expected_error_count(), dem_x.expected_error_count());
+        assert!((mz - mx).abs() / mz < 0.25, "error mass comparable: {mz} vs {mx}");
+    }
+
+    #[test]
+    fn detector_rate_is_small_and_nonzero_under_noise() {
+        let code = RotatedSurfaceCode::new(3);
+        let circuit = code.memory_z_circuit(3, &NoiseModel::uniform(1e-2));
+        let mut rng = StdRng::seed_from_u64(10);
+        let shots = FrameSampler::new(&circuit).sample_shots(2000, &mut rng);
+        let with_events = shots.iter().filter(|s| !s.dets.is_empty()).count();
+        assert!(with_events > 0, "noise must cause detection events");
+        assert!(with_events < 2000, "not every shot should fire");
+    }
+
+    #[test]
+    fn dem_expected_event_rate_matches_sampler() {
+        // Mean number of fired detectors per shot must agree between the
+        // DEM (analytic) and the frame sampler (Monte Carlo).
+        let code = RotatedSurfaceCode::new(3);
+        let circuit = code.memory_z_circuit(3, &NoiseModel::uniform(5e-3));
+        let (dem, _) = extract_dem_with_stats(&circuit);
+        // Exact per-detector firing rate under the DEM's independence
+        // model: P(det fires) = (1 − Π(1 − 2pᵢ)) / 2 over incident
+        // mechanisms.
+        let mut log_term = vec![0.0f64; dem.num_detectors as usize];
+        for e in &dem.errors {
+            for det in e.dets.iter() {
+                log_term[det as usize] += (1.0 - 2.0 * e.p).ln();
+            }
+        }
+        let analytic: f64 = log_term.iter().map(|l| (1.0 - l.exp()) / 2.0).sum();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 40_000;
+        let shots = FrameSampler::new(&circuit).sample_shots(n, &mut rng);
+        let mean = shots.iter().map(|s| s.dets.len()).sum::<usize>() as f64 / n as f64;
+        // Residual difference comes only from the graphlike-decomposition
+        // approximation of correlated errors, which is O(p) relative.
+        assert!(
+            (mean - analytic).abs() / analytic < 0.03,
+            "sampler {mean:.4} vs analytic {analytic:.4}"
+        );
+    }
+
+    #[test]
+    fn rounds_scale_detector_layers() {
+        let code = RotatedSurfaceCode::new(3);
+        for rounds in [1u32, 2, 5] {
+            let c = code.memory_z_circuit(rounds, &NoiseModel::noiseless());
+            assert_eq!(c.num_detectors(), (rounds + 1) * 4);
+        }
+    }
+
+    #[test]
+    fn observable_is_singleton_logical() {
+        let code = RotatedSurfaceCode::new(5);
+        for basis in [MemoryBasis::Z, MemoryBasis::X] {
+            let c = code.memory_circuit(basis, 5, &NoiseModel::noiseless());
+            assert_eq!(c.num_observables(), 1, "{basis:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_rounds_rejected() {
+        RotatedSurfaceCode::new(3).memory_z_circuit(0, &NoiseModel::noiseless());
+    }
+}

@@ -1,0 +1,139 @@
+//! The circuit-level noise model of Promatch §5.3.
+
+/// Probabilities for each of the four noise categories in the paper's
+/// uniform circuit-level model.
+///
+/// The paper always sets all four equal to a single physical error rate
+/// `p` (use [`NoiseModel::uniform`]); the fields are separate so that
+/// ablation studies can vary them independently.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// Start-of-round depolarizing probability on data qubits.
+    pub data_depolarization: f64,
+    /// Depolarizing probability after each gate, on all operands.
+    pub gate_depolarization: f64,
+    /// Measurement flip probability.
+    pub measurement_flip: f64,
+    /// Reset (initialization) flip probability.
+    pub reset_flip: f64,
+}
+
+impl NoiseModel {
+    /// The paper's uniform model: every category fires with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn uniform(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p = {p} is not a probability");
+        NoiseModel {
+            data_depolarization: p,
+            gate_depolarization: p,
+            measurement_flip: p,
+            reset_flip: p,
+        }
+    }
+
+    /// A noiseless model (all probabilities zero).
+    pub fn noiseless() -> Self {
+        NoiseModel::uniform(0.0)
+    }
+
+    /// Code-capacity noise: depolarizing errors on data qubits only, with
+    /// perfect gates and measurements. Combined with a single extraction
+    /// round this is the textbook spatial-decoding setting (bit-flip
+    /// threshold ≈ 10 % for MWPM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn code_capacity(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p = {p} is not a probability");
+        NoiseModel {
+            data_depolarization: p,
+            gate_depolarization: 0.0,
+            measurement_flip: 0.0,
+            reset_flip: 0.0,
+        }
+    }
+
+    /// Phenomenological noise: depolarizing data errors plus measurement
+    /// flips, with perfect gates (threshold ≈ 3 % for MWPM over d
+    /// rounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn phenomenological(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p = {p} is not a probability");
+        NoiseModel {
+            data_depolarization: p,
+            gate_depolarization: 0.0,
+            measurement_flip: p,
+            reset_flip: 0.0,
+        }
+    }
+
+    /// Whether every category is zero.
+    pub fn is_noiseless(&self) -> bool {
+        self.data_depolarization == 0.0
+            && self.gate_depolarization == 0.0
+            && self.measurement_flip == 0.0
+            && self.reset_flip == 0.0
+    }
+}
+
+impl Default for NoiseModel {
+    /// The paper's baseline physical error rate, p = 10⁻⁴.
+    fn default() -> Self {
+        NoiseModel::uniform(1e-4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sets_all_categories() {
+        let m = NoiseModel::uniform(0.25);
+        assert_eq!(m.data_depolarization, 0.25);
+        assert_eq!(m.gate_depolarization, 0.25);
+        assert_eq!(m.measurement_flip, 0.25);
+        assert_eq!(m.reset_flip, 0.25);
+        assert!(!m.is_noiseless());
+    }
+
+    #[test]
+    fn noiseless_is_noiseless() {
+        assert!(NoiseModel::noiseless().is_noiseless());
+    }
+
+    #[test]
+    fn default_is_paper_baseline() {
+        assert_eq!(NoiseModel::default(), NoiseModel::uniform(1e-4));
+    }
+
+    #[test]
+    fn code_capacity_only_touches_data() {
+        let m = NoiseModel::code_capacity(0.1);
+        assert_eq!(m.data_depolarization, 0.1);
+        assert_eq!(m.gate_depolarization, 0.0);
+        assert_eq!(m.measurement_flip, 0.0);
+        assert_eq!(m.reset_flip, 0.0);
+    }
+
+    #[test]
+    fn phenomenological_adds_measurement_noise() {
+        let m = NoiseModel::phenomenological(0.02);
+        assert_eq!(m.data_depolarization, 0.02);
+        assert_eq!(m.measurement_flip, 0.02);
+        assert_eq!(m.gate_depolarization, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn invalid_probability_panics() {
+        NoiseModel::uniform(2.0);
+    }
+}

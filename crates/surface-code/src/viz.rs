@@ -1,0 +1,136 @@
+//! ASCII rendering of lattices and syndromes.
+//!
+//! Debugging aid: draws the rotated lattice with data qubits, stabilizer
+//! ancillas, and fired detectors, one measurement layer at a time. Used
+//! by the examples and handy in test failure output.
+
+use crate::layout::{RotatedSurfaceCode, StabilizerBasis};
+use crate::memory::MemoryBasis;
+
+impl RotatedSurfaceCode {
+    /// Renders the lattice: `o` data qubits, `z`/`x` stabilizer corners.
+    ///
+    /// Rows/columns follow the corner grid; data qubits sit between
+    /// corners.
+    pub fn render_lattice(&self) -> String {
+        let d = self.distance();
+        let mut grid = vec![vec![' '; (2 * d + 1) as usize]; (2 * d + 1) as usize];
+        for r in 0..d {
+            for c in 0..d {
+                grid[(2 * r + 1) as usize][(2 * c + 1) as usize] = 'o';
+            }
+        }
+        for stab in self.stabilizers() {
+            let (i, j) = stab.corner;
+            grid[(2 * i) as usize][(2 * j) as usize] = match stab.basis {
+                StabilizerBasis::Z => 'z',
+                StabilizerBasis::X => 'x',
+            };
+        }
+        grid_to_string(&grid)
+    }
+
+    /// Renders the detector layers of a memory-experiment syndrome.
+    ///
+    /// `dets` are detector indices as produced by the corresponding
+    /// memory circuit (layer-major: layer `t` holds the tracked
+    /// stabilizers in definition order). Only layers containing fired
+    /// detectors are drawn; fired corners show as `#`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a detector index is out of range for `rounds`.
+    pub fn render_syndrome(&self, basis: MemoryBasis, rounds: u32, dets: &[u32]) -> String {
+        let tracked: Vec<(u32, u32)> = match basis {
+            MemoryBasis::Z => self.z_stabilizers().iter().map(|s| s.corner).collect(),
+            MemoryBasis::X => self.x_stabilizers().iter().map(|s| s.corner).collect(),
+        };
+        let per_layer = tracked.len() as u32;
+        let layers = rounds + 1;
+        let d = self.distance();
+        let mut out = String::new();
+        for layer in 0..layers {
+            let fired: Vec<u32> = dets
+                .iter()
+                .copied()
+                .filter(|&dd| dd / per_layer == layer)
+                .map(|dd| dd % per_layer)
+                .collect();
+            if fired.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("layer t={layer}:\n"));
+            let mut grid = vec![vec![' '; (2 * d + 1) as usize]; (2 * d + 1) as usize];
+            for r in 0..d {
+                for c in 0..d {
+                    grid[(2 * r + 1) as usize][(2 * c + 1) as usize] = 'o';
+                }
+            }
+            for (si, &(i, j)) in tracked.iter().enumerate() {
+                let mark = if fired.contains(&(si as u32)) { '#' } else { '.' };
+                grid[(2 * i) as usize][(2 * j) as usize] = mark;
+            }
+            for &si in &fired {
+                assert!(
+                    (si as usize) < tracked.len(),
+                    "detector index out of range for {rounds} rounds"
+                );
+            }
+            out.push_str(&grid_to_string(&grid));
+            out.push('\n');
+        }
+        if out.is_empty() {
+            out.push_str("(no fired detectors)\n");
+        }
+        out
+    }
+}
+
+fn grid_to_string(grid: &[Vec<char>]) -> String {
+    grid.iter()
+        .map(|row| row.iter().collect::<String>().trim_end().to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_rendering_shows_all_elements() {
+        let code = RotatedSurfaceCode::new(3);
+        let art = code.render_lattice();
+        assert_eq!(art.matches('o').count(), 9, "{art}");
+        assert_eq!(art.matches('z').count(), 4, "{art}");
+        assert_eq!(art.matches('x').count(), 4, "{art}");
+    }
+
+    #[test]
+    fn syndrome_rendering_marks_fired_detectors() {
+        let code = RotatedSurfaceCode::new(3);
+        // Detector 0 = first Z stabilizer, layer 0; detector 5 = second
+        // stabilizer of layer 1 (4 Z-stabs per layer at d=3).
+        let art = code.render_syndrome(MemoryBasis::Z, 3, &[0, 5]);
+        assert!(art.contains("layer t=0"), "{art}");
+        assert!(art.contains("layer t=1"), "{art}");
+        assert!(!art.contains("layer t=2"), "{art}");
+        assert_eq!(art.matches('#').count(), 2, "{art}");
+    }
+
+    #[test]
+    fn empty_syndrome_renders_placeholder() {
+        let code = RotatedSurfaceCode::new(3);
+        let art = code.render_syndrome(MemoryBasis::Z, 3, &[]);
+        assert_eq!(art, "(no fired detectors)\n");
+    }
+
+    #[test]
+    fn x_basis_uses_x_stabilizer_corners() {
+        let code = RotatedSurfaceCode::new(3);
+        let z_art = code.render_syndrome(MemoryBasis::Z, 3, &[0]);
+        let x_art = code.render_syndrome(MemoryBasis::X, 3, &[0]);
+        // Different stabilizer sets -> different fired positions.
+        assert_ne!(z_art, x_art);
+    }
+}

@@ -1,0 +1,453 @@
+//! Union-Find surface-code decoder (the AFS baseline).
+//!
+//! Implements the Delfosse–Nickerson union-find decoder with weighted
+//! cluster growth and a peeling stage, as used (in hardware form) by the
+//! AFS decoder \[18\] that Figure 4 of the Promatch paper compares against.
+//!
+//! Algorithm:
+//!
+//! 1. **Growth** — every flipped detector seeds a cluster. While any
+//!    cluster has odd defect parity and no boundary contact, all frontier
+//!    edges of such clusters grow by the minimum slack that completes at
+//!    least one edge (edges between two active clusters grow from both
+//!    ends). Completed internal edges merge clusters; completed boundary
+//!    edges anchor them.
+//! 2. **Peeling** — within each cluster, a spanning forest of grown edges
+//!    is peeled leaf-to-root, emitting correction edges that annihilate
+//!    all defects; anchored clusters root at a boundary-connected node and
+//!    may discharge one leftover defect through its boundary edge.
+//!
+//! Union-find trades accuracy for near-linear decoding time; at the
+//! near-term error rate p = 10⁻⁴ it is measurably less accurate than
+//! MWPM, which is the effect Figure 4 reports.
+
+use decoding_graph::{DecodeOutcome, Decoder, DecodingGraph, DetectorId};
+
+/// Union-find decoder over a decoding graph.
+#[derive(Clone, Debug)]
+pub struct UnionFindDecoder<'a> {
+    graph: &'a DecodingGraph,
+}
+
+/// Result details exposed for testing: the actual correction edge set.
+#[derive(Clone, Debug, Default)]
+pub struct UnionFindCorrection {
+    /// Indices into [`DecodingGraph::edges`] of the correction.
+    pub edges: Vec<usize>,
+}
+
+struct Dsu {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Unions the sets of `a` and `b`; returns the new root.
+    fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        hi
+    }
+}
+
+impl<'a> UnionFindDecoder<'a> {
+    /// Creates a union-find decoder over `graph`.
+    pub fn new(graph: &'a DecodingGraph) -> Self {
+        UnionFindDecoder { graph }
+    }
+
+    /// Decodes and also returns the concrete correction edge set.
+    pub fn decode_with_correction(
+        &mut self,
+        dets: &[DetectorId],
+    ) -> (DecodeOutcome, UnionFindCorrection) {
+        let g = self.graph;
+        let n = g.num_detectors() as usize;
+        let bd = g.boundary_node();
+        if dets.is_empty() {
+            return (
+                DecodeOutcome {
+                    obs_flip: 0,
+                    weight: Some(0),
+                    latency_ns: None,
+                    failed: false,
+                    matches: Vec::new(),
+                },
+                UnionFindCorrection::default(),
+            );
+        }
+
+        let mut defect = vec![false; n];
+        for &d in dets {
+            defect[d as usize] = true;
+        }
+        let mut dsu = Dsu::new(n);
+        // Per-root bookkeeping (indexed by current root).
+        let mut parity = vec![0u32; n];
+        let mut anchored = vec![false; n];
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &d in dets {
+            parity[d as usize] = 1;
+            members[d as usize] = vec![d];
+        }
+        let mut in_cluster = vec![false; n];
+        for &d in dets {
+            in_cluster[d as usize] = true;
+        }
+        let mut growth = vec![0i64; g.num_edges()];
+
+        // Growth stage.
+        loop {
+            let mut roots: Vec<u32> = dets
+                .iter()
+                .map(|&d| dsu.find(d))
+                .filter(|&r| parity[r as usize] % 2 == 1 && !anchored[r as usize])
+                .collect();
+            roots.sort_unstable();
+            roots.dedup();
+            if roots.is_empty() {
+                break;
+            }
+            // Collect frontier edges of active clusters; count how many
+            // active clusters each edge touches.
+            let mut frontier: Vec<(usize, i64, u32)> = Vec::new(); // (edge, slack, speed)
+            let mut edge_speed: std::collections::HashMap<usize, u32> =
+                std::collections::HashMap::new();
+            for &r in &roots {
+                for &v in &members[r as usize] {
+                    for &ei in incident(g, v) {
+                        let e = &g.edges()[ei as usize];
+                        if growth[ei as usize] >= e.weight {
+                            continue; // already grown
+                        }
+                        let other = if e.u == v { e.v } else { e.u };
+                        let internal = other != bd
+                            && in_cluster[other as usize]
+                            && dsu.find(other) == r;
+                        if !internal {
+                            *edge_speed.entry(ei as usize).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            if edge_speed.is_empty() {
+                break; // no room to grow (fully merged component)
+            }
+            for (&ei, &speed) in &edge_speed {
+                let e = &g.edges()[ei];
+                frontier.push((ei, e.weight - growth[ei], speed));
+            }
+            // Minimum delta completing at least one frontier edge.
+            let delta = frontier
+                .iter()
+                .map(|&(_, slack, speed)| (slack + speed as i64 - 1) / speed as i64)
+                .min()
+                .expect("frontier nonempty");
+            let mut completed: Vec<usize> = Vec::new();
+            for &(ei, _, speed) in &frontier {
+                growth[ei] += delta * speed as i64;
+                if growth[ei] >= g.edges()[ei].weight {
+                    completed.push(ei);
+                }
+            }
+            completed.sort_unstable();
+            for ei in completed {
+                let e = g.edges()[ei];
+                if e.u == bd || e.v == bd {
+                    let v = if e.u == bd { e.v } else { e.u };
+                    if in_cluster[v as usize] {
+                        let r = dsu.find(v);
+                        anchored[r as usize] = true;
+                    }
+                    continue;
+                }
+                // Absorb fresh nodes into clusters.
+                for v in [e.u, e.v] {
+                    if !in_cluster[v as usize] {
+                        in_cluster[v as usize] = true;
+                        members[v as usize] = vec![v];
+                        // parity 0, not a defect (defects seeded earlier)
+                    }
+                }
+                let (ru, rv) = (dsu.find(e.u), dsu.find(e.v));
+                if ru != rv {
+                    let keep = dsu.union(ru, rv);
+                    let drop = if keep == ru { rv } else { ru };
+                    parity[keep as usize] += parity[drop as usize];
+                    anchored[keep as usize] |= anchored[drop as usize];
+                    let moved = std::mem::take(&mut members[drop as usize]);
+                    members[keep as usize].extend(moved);
+                }
+            }
+        }
+
+        // Peeling stage: per cluster spanning forest over grown edges.
+        let mut correction: Vec<usize> = Vec::new();
+        let mut obs = 0u64;
+        let mut weight = 0i64;
+        let mut failed = false;
+
+        let mut visited = vec![false; n];
+        let mut roots: Vec<u32> = dets.iter().map(|&d| dsu.find(d)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        for r in roots {
+            // Choose a root node: prefer one with a grown boundary edge.
+            let nodes = &members[r as usize];
+            let mut root_node = nodes[0];
+            let mut root_boundary_edge: Option<usize> = None;
+            'outer: for &v in nodes {
+                for &ei in incident(g, v) {
+                    let e = &g.edges()[ei as usize];
+                    if (e.u == bd || e.v == bd) && growth[ei as usize] >= e.weight {
+                        root_node = v;
+                        root_boundary_edge = Some(ei as usize);
+                        break 'outer;
+                    }
+                }
+            }
+            // BFS spanning tree over grown internal edges.
+            let mut order: Vec<u32> = vec![root_node];
+            let mut parent_edge: Vec<Option<usize>> = vec![None; n];
+            visited[root_node as usize] = true;
+            let mut head = 0;
+            while head < order.len() {
+                let v = order[head];
+                head += 1;
+                for &ei in incident(g, v) {
+                    let e = &g.edges()[ei as usize];
+                    if growth[ei as usize] < e.weight {
+                        continue;
+                    }
+                    let other = if e.u == v { e.v } else { e.u };
+                    if other == bd || !in_cluster[other as usize] {
+                        continue;
+                    }
+                    if dsu.find(other) != r || visited[other as usize] {
+                        continue;
+                    }
+                    visited[other as usize] = true;
+                    parent_edge[other as usize] = Some(ei as usize);
+                    order.push(other);
+                }
+            }
+            // Peel in reverse BFS order.
+            let mut has_defect = vec![false; order.len()];
+            let index_of: std::collections::HashMap<u32, usize> =
+                order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+            for (i, &v) in order.iter().enumerate() {
+                has_defect[i] = defect[v as usize];
+            }
+            for i in (1..order.len()).rev() {
+                let v = order[i];
+                if !has_defect[i] {
+                    continue;
+                }
+                let ei = parent_edge[v as usize].expect("non-root has a parent edge");
+                let e = &g.edges()[ei];
+                let parent = if index_of[&e.u] == i { e.v } else { e.u };
+                correction.push(ei);
+                obs ^= e.obs;
+                weight += e.weight;
+                has_defect[i] = false;
+                let pi = index_of[&parent];
+                has_defect[pi] = !has_defect[pi];
+            }
+            if !order.is_empty() && has_defect[0] {
+                // Root keeps a defect: discharge through the boundary.
+                match root_boundary_edge {
+                    Some(ei) => {
+                        let e = &g.edges()[ei];
+                        correction.push(ei);
+                        obs ^= e.obs;
+                        weight += e.weight;
+                    }
+                    None => {
+                        // Odd unanchored cluster: growth failed (should
+                        // not happen on connected graphs).
+                        failed = true;
+                    }
+                }
+            }
+        }
+
+        (
+            DecodeOutcome {
+                obs_flip: obs,
+                weight: Some(weight),
+                latency_ns: None,
+                failed,
+                matches: Vec::new(),
+            },
+            UnionFindCorrection { edges: correction },
+        )
+    }
+}
+
+fn incident<'g>(g: &'g DecodingGraph, v: u32) -> impl Iterator<Item = &'g u32> {
+    // DecodingGraph exposes neighbors; reconstruct incident edge ids via
+    // the adjacency accessor pattern used elsewhere.
+    g.incident_edge_indices(v)
+}
+
+impl Decoder for UnionFindDecoder<'_> {
+    fn name(&self) -> &str {
+        "Union-Find (AFS)"
+    }
+
+    fn decode(&mut self, dets: &[DetectorId]) -> DecodeOutcome {
+        self.decode_with_correction(dets).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwpm::MwpmDecoder;
+    use qsim::extract_dem;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use surface_code::{NoiseModel, RotatedSurfaceCode};
+
+    fn fixture(d: u32, p: f64) -> (qsim::DetectorErrorModel, DecodingGraph) {
+        let code = RotatedSurfaceCode::new(d);
+        let circuit = code.memory_z_circuit(d, &NoiseModel::uniform(p));
+        let dem = extract_dem(&circuit);
+        let graph = DecodingGraph::from_dem(&dem);
+        (dem, graph)
+    }
+
+    /// XOR of det endpoints of the correction must equal the syndrome.
+    fn annihilates(g: &DecodingGraph, dets: &[u32], corr: &UnionFindCorrection) -> bool {
+        let mut acc: Vec<u32> = Vec::new();
+        let bd = g.boundary_node();
+        for &ei in &corr.edges {
+            let e = &g.edges()[ei];
+            for v in [e.u, e.v] {
+                if v != bd {
+                    acc.push(v);
+                }
+            }
+        }
+        let mut acc: std::collections::BTreeMap<u32, u32> =
+            acc.into_iter().fold(Default::default(), |mut m, v| {
+                *m.entry(v).or_insert(0) += 1;
+                m
+            });
+        acc.retain(|_, c| *c % 2 == 1);
+        let left: Vec<u32> = acc.into_keys().collect();
+        left == dets
+    }
+
+    #[test]
+    fn corrects_every_single_mechanism_d3() {
+        let (dem, graph) = fixture(3, 1e-3);
+        let mut uf = UnionFindDecoder::new(&graph);
+        for (i, e) in dem.errors.iter().enumerate() {
+            let (out, corr) = uf.decode_with_correction(e.dets.as_slice());
+            assert!(!out.failed, "mechanism {i}");
+            assert_eq!(out.obs_flip, e.obs, "mechanism {i}");
+            assert!(annihilates(&graph, e.dets.as_slice(), &corr), "mechanism {i}");
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_mechanism_d5() {
+        let (dem, graph) = fixture(5, 1e-3);
+        let mut uf = UnionFindDecoder::new(&graph);
+        for (i, e) in dem.errors.iter().enumerate() {
+            let (out, _) = uf.decode_with_correction(e.dets.as_slice());
+            assert!(!out.failed, "mechanism {i}");
+            assert_eq!(out.obs_flip, e.obs, "mechanism {i}");
+        }
+    }
+
+    #[test]
+    fn correction_always_annihilates_random_syndromes() {
+        let (dem, graph) = fixture(5, 2e-3);
+        let mut uf = UnionFindDecoder::new(&graph);
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..500 {
+            let shot = dem.sample_shot(&mut rng);
+            let (out, corr) = uf.decode_with_correction(&shot.dets);
+            assert!(!out.failed, "trial {trial}");
+            assert!(annihilates(&graph, &shot.dets, &corr), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn empty_syndrome_is_identity() {
+        let (_, graph) = fixture(3, 1e-3);
+        let mut uf = UnionFindDecoder::new(&graph);
+        let out = uf.decode(&[]);
+        assert!(!out.failed);
+        assert_eq!(out.obs_flip, 0);
+    }
+
+    #[test]
+    fn union_find_is_not_more_accurate_than_mwpm() {
+        // Paired comparison on identical shots: UF must not beat exact
+        // MWPM overall (allowing sampling noise of a few shots).
+        let (dem, graph) = fixture(3, 5e-3);
+        let paths = decoding_graph::PathTable::build(&graph);
+        let mut uf = UnionFindDecoder::new(&graph);
+        let mut mw = MwpmDecoder::new(&graph, &paths);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut uf_fail = 0;
+        let mut mw_fail = 0;
+        for _ in 0..4000 {
+            let shot = dem.sample_shot(&mut rng);
+            let u = uf.decode(&shot.dets);
+            let m = mw.decode(&shot.dets);
+            if u.failed || u.obs_flip != shot.obs {
+                uf_fail += 1;
+            }
+            if m.failed || m.obs_flip != shot.obs {
+                mw_fail += 1;
+            }
+        }
+        assert!(
+            uf_fail + 5 >= mw_fail,
+            "UF ({uf_fail}) should not beat MWPM ({mw_fail})"
+        );
+        assert!(mw_fail > 0 || uf_fail == 0, "sanity: some errors at this rate");
+    }
+
+    #[test]
+    fn weight_is_positive_for_nontrivial_corrections() {
+        let (dem, graph) = fixture(3, 1e-3);
+        let mut uf = UnionFindDecoder::new(&graph);
+        let e = &dem.errors[0];
+        let out = uf.decode(e.dets.as_slice());
+        assert!(out.weight.unwrap() > 0);
+    }
+}
