@@ -16,7 +16,10 @@ pub struct AstreaConfig {
 
 impl Default for AstreaConfig {
     fn default() -> Self {
-        AstreaConfig { max_hw: 10, latency: AstreaLatencyModel::default() }
+        AstreaConfig {
+            max_hw: 10,
+            latency: AstreaLatencyModel::default(),
+        }
     }
 }
 
@@ -157,7 +160,10 @@ impl Decoder for AstreaDecoder<'_> {
         for i in 0..k {
             if partner[i] == usize::MAX {
                 obs ^= self.paths.boundary_obs(dets[i]);
-                matches.push(MatchPair { a: dets[i], b: MatchTarget::Boundary });
+                matches.push(MatchPair {
+                    a: dets[i],
+                    b: MatchTarget::Boundary,
+                });
             } else if i < partner[i] {
                 obs ^= self.paths.path_obs(dets[i], dets[partner[i]]);
                 matches.push(MatchPair {

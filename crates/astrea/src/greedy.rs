@@ -70,7 +70,11 @@ impl<'a> AstreaGDecoder<'a> {
     ) -> Self {
         assert_eq!(paths.num_detectors(), graph.num_detectors() as usize);
         let prune_weight = DecodingGraph::weight_of_probability(config.prune_probability);
-        AstreaGDecoder { paths, config, prune_weight }
+        AstreaGDecoder {
+            paths,
+            config,
+            prune_weight,
+        }
     }
 
     /// The configuration in effect.
@@ -196,7 +200,10 @@ impl Decoder for AstreaGDecoder<'_> {
             match search.best_partner[i] {
                 usize::MAX => {
                     obs ^= self.paths.boundary_obs(dets[i]);
-                    matches.push(MatchPair { a: dets[i], b: MatchTarget::Boundary });
+                    matches.push(MatchPair {
+                        a: dets[i],
+                        b: MatchTarget::Boundary,
+                    });
                 }
                 j if j < k && i < j => {
                     obs ^= self.paths.path_obs(dets[i], dets[j]);
@@ -320,17 +327,17 @@ mod tests {
         let mut mwpm = MwpmDecoder::new(&graph, &paths);
         let mut rng = StdRng::seed_from_u64(34);
         let nd = graph.num_detectors() as usize;
-        let gap_at = |hw: usize, rng: &mut StdRng, ag: &mut AstreaGDecoder,
-                      mwpm: &mut MwpmDecoder| {
-            let mut gap = 0i64;
-            for _ in 0..60 {
-                let dets = random_syndrome(rng, nd, hw);
-                let g = ag.decode(&dets);
-                let m = mwpm.decode(&dets);
-                gap += g.weight.unwrap() - m.weight.unwrap();
-            }
-            gap
-        };
+        let gap_at =
+            |hw: usize, rng: &mut StdRng, ag: &mut AstreaGDecoder, mwpm: &mut MwpmDecoder| {
+                let mut gap = 0i64;
+                for _ in 0..60 {
+                    let dets = random_syndrome(rng, nd, hw);
+                    let g = ag.decode(&dets);
+                    let m = mwpm.decode(&dets);
+                    gap += g.weight.unwrap() - m.weight.unwrap();
+                }
+                gap
+            };
         let low = gap_at(4, &mut rng, &mut ag, &mut mwpm);
         let high = gap_at(28, &mut rng, &mut ag, &mut mwpm);
         assert!(
@@ -357,7 +364,10 @@ mod tests {
     #[test]
     fn tighter_budget_cannot_improve_quality() {
         let (graph, paths) = fixture(5);
-        let starved_cfg = AstreaGConfig { state_budget: 30, ..Default::default() };
+        let starved_cfg = AstreaGConfig {
+            state_budget: 30,
+            ..Default::default()
+        };
         let mut starved = AstreaGDecoder::with_config(&graph, &paths, starved_cfg);
         let mut full = AstreaGDecoder::new(&graph, &paths);
         let mut rng = StdRng::seed_from_u64(35);

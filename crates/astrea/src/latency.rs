@@ -24,7 +24,10 @@ pub struct AstreaLatencyModel {
 impl Default for AstreaLatencyModel {
     fn default() -> Self {
         // Calibrated so hw = 10 costs 456 ns: (9 + ⌈945/9⌉) × 4 ns.
-        AstreaLatencyModel { parallel_units: 9, setup_cycles: 9 }
+        AstreaLatencyModel {
+            parallel_units: 9,
+            setup_cycles: 9,
+        }
     }
 }
 
@@ -37,11 +40,15 @@ impl AstreaLatencyModel {
     /// Even hw: (hw−1)!! ; odd hw: hw!! (= hw · (hw−2)!!).
     pub fn matchings(hw: usize) -> u64 {
         match hw {
-            0 | 1 | 2 => 1,
+            0..=2 => 1,
             _ => {
                 // (hw-1)!! for even, hw!! for odd; both satisfy
                 // m(n) = (n odd ? n : n - 1) * m(n - 2).
-                let factor = if hw % 2 == 1 { hw as u64 } else { hw as u64 - 1 };
+                let factor = if hw % 2 == 1 {
+                    hw as u64
+                } else {
+                    hw as u64 - 1
+                };
                 factor * Self::matchings(hw - 2)
             }
         }
@@ -62,7 +69,9 @@ impl AstreaLatencyModel {
     /// nanoseconds, at most `max_hw`. Returns `None` if even the smallest
     /// nonzero weight does not fit.
     pub fn max_hw_within(&self, budget_ns: f64, max_hw: usize) -> Option<usize> {
-        (0..=max_hw).rev().find(|&hw| self.latency_ns(hw) <= budget_ns)
+        (0..=max_hw)
+            .rev()
+            .find(|&hw| self.latency_ns(hw) <= budget_ns)
     }
 }
 

@@ -69,9 +69,7 @@ fn bench_blossom_scaling(c: &mut Criterion) {
             }
         }
         group.bench_with_input(BenchmarkId::from_parameter(n), &edges, |b, edges| {
-            b.iter(|| {
-                std::hint::black_box(blossom::min_weight_perfect_matching(n, edges))
-            });
+            b.iter(|| std::hint::black_box(blossom::min_weight_perfect_matching(n, edges)));
         });
     }
     group.finish();

@@ -51,5 +51,10 @@ fn bench_path_table(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_frame_sampler, bench_dem_extraction, bench_path_table);
+criterion_group!(
+    benches,
+    bench_frame_sampler,
+    bench_dem_extraction,
+    bench_path_table
+);
 criterion_main!(benches);

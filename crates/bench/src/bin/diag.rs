@@ -6,9 +6,18 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let d: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(9);
-    let shots: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(500);
-    let k_max: usize = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let d: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+    let shots: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    let k_max: usize = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     let ctx = ExperimentContext::new(d, 1e-4);
     println!(
         "d={d} p=1e-4 shots/k={shots} mechanisms={} mean errors/shot={:.2}",

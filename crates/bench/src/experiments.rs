@@ -8,8 +8,8 @@ use crate::{fmt_rate, fmt_ratio, Scale};
 use astrea::AstreaLatencyModel;
 use decoding_graph::Decoder;
 use ler::{
-    run_eq1, run_predecoder_study, run_tradeoff_study, DecoderKind, Eq1Config,
-    ExperimentContext, InjectionSampler,
+    run_eq1, run_predecoder_study, run_tradeoff_study, DecoderKind, Eq1Config, ExperimentContext,
+    InjectionSampler,
 };
 use mwpm::MwpmDecoder;
 use promatch::{PathMetric, PromatchConfig, SingletonRule};
@@ -70,7 +70,11 @@ pub fn table2(scale: &Scale, w: &mut dyn Write) -> Result<()> {
 
 /// Table 3: Clique's LER.
 pub fn table3(scale: &Scale, w: &mut dyn Write) -> Result<()> {
-    writeln!(w, "# Table 3: Clique logical error rate at p = {:.0e}", scale.p)?;
+    writeln!(
+        w,
+        "# Table 3: Clique logical error rate at p = {:.0e}",
+        scale.p
+    )?;
     let kinds = [
         DecoderKind::Mwpm,
         DecoderKind::CliqueAstrea,
@@ -100,9 +104,18 @@ pub fn table3(scale: &Scale, w: &mut dyn Write) -> Result<()> {
 /// syndromes.
 pub fn table4_5(scale: &Scale, w: &mut dyn Write) -> Result<()> {
     writeln!(w, "# Table 4: Promatch predecoding latency, HW >= 10 (ns)")?;
-    writeln!(w, "# Table 5: Promatch + Astrea total latency, HW >= 10 (ns)")?;
-    writeln!(w, "# (paper d=11: max 824 / avg 68.2; total max 904 / avg 524.2)")?;
-    writeln!(w, "# (paper d=13: max 928 / avg 70.0; total max 960 / avg 526.0)")?;
+    writeln!(
+        w,
+        "# Table 5: Promatch + Astrea total latency, HW >= 10 (ns)"
+    )?;
+    writeln!(
+        w,
+        "# (paper d=11: max 824 / avg 68.2; total max 904 / avg 524.2)"
+    )?;
+    writeln!(
+        w,
+        "# (paper d=13: max 928 / avg 70.0; total max 960 / avg 526.0)"
+    )?;
     for &d in &scale.distances {
         let ctx = ExperimentContext::new(d, scale.p);
         let study = run_predecoder_study(&ctx, &study_config(scale));
@@ -117,15 +130,25 @@ pub fn table4_5(scale: &Scale, w: &mut dyn Write) -> Result<()> {
             "total      max {:>7.1} ns   avg {:>7.1} ns",
             study.total_max_ns, study.total_avg_ns
         )?;
-        writeln!(w, "P(exceeds 1us budget) = {}", fmt_rate(study.abort_probability))?;
+        writeln!(
+            w,
+            "P(exceeds 1us budget) = {}",
+            fmt_rate(study.abort_probability)
+        )?;
     }
     Ok(())
 }
 
 /// Table 6: step-usage frequency.
 pub fn table6(scale: &Scale, w: &mut dyn Write) -> Result<()> {
-    writeln!(w, "# Table 6: frequency of each Promatch step (high-HW syndromes)")?;
-    writeln!(w, "# (paper d=13: step1 0.9983, step2 0.00167, step3 7.3e-11, step4 1.8e-11)")?;
+    writeln!(
+        w,
+        "# Table 6: frequency of each Promatch step (high-HW syndromes)"
+    )?;
+    writeln!(
+        w,
+        "# (paper d=13: step1 0.9983, step2 0.00167, step3 7.3e-11, step4 1.8e-11)"
+    )?;
     for &d in &scale.distances {
         let ctx = ExperimentContext::new(d, scale.p);
         let study = run_predecoder_study(&ctx, &study_config(scale));
@@ -141,14 +164,29 @@ pub fn table6(scale: &Scale, w: &mut dyn Write) -> Result<()> {
 /// modeled pipeline characteristics instead (see DESIGN.md §3.3).
 pub fn table7(scale: &Scale, w: &mut dyn Write) -> Result<()> {
     writeln!(w, "# Table 7: FPGA utilization (SUBSTITUTED)")?;
-    writeln!(w, "# The paper synthesizes the edge-processing pipeline on a Kintex")?;
-    writeln!(w, "# UltraScale+ (3% LUT, 1% FF @ 250 MHz). A software reproduction")?;
-    writeln!(w, "# cannot regenerate synthesis results; the cycle model below is")?;
+    writeln!(
+        w,
+        "# The paper synthesizes the edge-processing pipeline on a Kintex"
+    )?;
+    writeln!(
+        w,
+        "# UltraScale+ (3% LUT, 1% FF @ 250 MHz). A software reproduction"
+    )?;
+    writeln!(
+        w,
+        "# cannot regenerate synthesis results; the cycle model below is"
+    )?;
     writeln!(w, "# what this workspace implements instead.")?;
     writeln!(w, "clock                         250 MHz (4 ns/cycle)")?;
     writeln!(w, "pipeline                      1 subgraph edge per cycle")?;
-    writeln!(w, "candidate registers           5 (2.1, 2.2, 3, 4.1, 4.2) + isolated-pairs")?;
-    writeln!(w, "parallel comparison overhead  10 cycles (Promatch || AG)")?;
+    writeln!(
+        w,
+        "candidate registers           5 (2.1, 2.2, 3, 4.1, 4.2) + isolated-pairs"
+    )?;
+    writeln!(
+        w,
+        "parallel comparison overhead  10 cycles (Promatch || AG)"
+    )?;
     for &d in &scale.distances {
         let ctx = ExperimentContext::new(d, scale.p);
         let storage = ctx.paths.storage_model(&ctx.graph);
@@ -164,7 +202,10 @@ pub fn table7(scale: &Scale, w: &mut dyn Write) -> Result<()> {
 /// Table 8: on-chip storage requirements.
 pub fn table8(scale: &Scale, w: &mut dyn Write) -> Result<()> {
     writeln!(w, "# Table 8: storage requirements")?;
-    writeln!(w, "# (paper: d=11 edge 3.6 KB / path 129 KB; d=13 edge 6 KB / path 345 KB)")?;
+    writeln!(
+        w,
+        "# (paper: d=11 edge 3.6 KB / path 129 KB; d=13 edge 6 KB / path 345 KB)"
+    )?;
     for &d in &scale.distances {
         let ctx = ExperimentContext::new(d, scale.p);
         let s = ctx.paths.storage_model(&ctx.graph);
@@ -182,12 +223,19 @@ pub fn table8(scale: &Scale, w: &mut dyn Write) -> Result<()> {
 
 /// Figure 1(b): predecoder accuracy/coverage tradeoff.
 pub fn fig1b(scale: &Scale, w: &mut dyn Write) -> Result<()> {
-    writeln!(w, "# Figure 1(b): accuracy vs coverage of predecoders (high-HW syndromes)")?;
+    writeln!(
+        w,
+        "# Figure 1(b): accuracy vs coverage of predecoders (high-HW syndromes)"
+    )?;
     let d = scale.max_distance();
     let ctx = ExperimentContext::new(d, scale.p);
     let points = run_tradeoff_study(&ctx, &study_config(scale));
     writeln!(w, "== distance {d}, p = {:.0e} ==", scale.p)?;
-    writeln!(w, "{:<10} {:>9} {:>9}", "predecoder", "accuracy", "coverage")?;
+    writeln!(
+        w,
+        "{:<10} {:>9} {:>9}",
+        "predecoder", "accuracy", "coverage"
+    )?;
     for p in points {
         writeln!(w, "{:<10} {:>9.4} {:>9.4}", p.name, p.accuracy, p.coverage)?;
     }
@@ -229,13 +277,16 @@ pub fn fig4(scale: &Scale, w: &mut dyn Write) -> Result<()> {
 /// high-HW syndromes.
 pub fn fig5(scale: &Scale, w: &mut dyn Write) -> Result<()> {
     let d = scale.max_distance();
-    writeln!(w, "# Figure 5: MWPM chain-length distribution, d={d}, HW > 10")?;
+    writeln!(
+        w,
+        "# Figure 5: MWPM chain-length distribution, d={d}, HW > 10"
+    )?;
     writeln!(w, "# (paper: >90% of chains have length 1)")?;
     let ctx = ExperimentContext::new(d, scale.p);
     let sampler = InjectionSampler::new(&ctx.dem);
     let p_occ = sampler.occurrence_probabilities(scale.k_max);
     let mut mwpm = MwpmDecoder::new(&ctx.graph, &ctx.paths);
-    let mut hist = vec![0.0f64; 16];
+    let mut hist = [0.0f64; 16];
     let mut total = 0.0;
     for k in 1..=scale.k_max {
         let mut rng = StdRng::seed_from_u64(scale.seed ^ ((k as u64) << 17));
@@ -287,10 +338,18 @@ pub fn fig14_15(scale: &Scale, distance: u32, w: &mut dyn Write) -> Result<()> {
 
 /// Figures 16/17: Hamming-weight distribution before/after predecoding.
 pub fn fig16_17(scale: &Scale, distance: u32, w: &mut dyn Write) -> Result<()> {
-    writeln!(w, "# Figure 16/17: HW distribution, d = {distance}, p = {:.0e}", scale.p)?;
+    writeln!(
+        w,
+        "# Figure 16/17: HW distribution, d = {distance}, p = {:.0e}",
+        scale.p
+    )?;
     let ctx = ExperimentContext::new(distance, scale.p);
     let study = run_predecoder_study(&ctx, &study_config(scale));
-    writeln!(w, "{:<4} {:>14} {:>16} {:>14}", "HW", "before", "after Promatch", "after Smith")?;
+    writeln!(
+        w,
+        "{:<4} {:>14} {:>16} {:>14}",
+        "HW", "before", "after Promatch", "after Smith"
+    )?;
     let maxh = study
         .hw_before
         .iter()
@@ -310,13 +369,21 @@ pub fn fig16_17(scale: &Scale, distance: u32, w: &mut dyn Write) -> Result<()> {
         )?;
     }
     let above = |hist: &[f64]| hist[11..].iter().sum::<f64>();
-    writeln!(w, "\nP(HW > 10) before:         {}", fmt_rate(above(&study.hw_before)))?;
+    writeln!(
+        w,
+        "\nP(HW > 10) before:         {}",
+        fmt_rate(above(&study.hw_before))
+    )?;
     writeln!(
         w,
         "P(HW > 10) after Promatch: {}",
         fmt_rate(above(&study.hw_after_promatch))
     )?;
-    writeln!(w, "P(HW > 10) after Smith:    {}", fmt_rate(above(&study.hw_after_smith)))?;
+    writeln!(
+        w,
+        "P(HW > 10) after Smith:    {}",
+        fmt_rate(above(&study.hw_after_smith))
+    )?;
     Ok(())
 }
 
@@ -357,16 +424,25 @@ fn eq1_custom(
 
 /// Ablation: hardware singleton logic (Fig 11) vs exact set test.
 pub fn ablate_singleton(scale: &Scale, w: &mut dyn Write) -> Result<()> {
-    writeln!(w, "# Ablation: singleton rule (hardware counters vs exact sets)")?;
+    writeln!(
+        w,
+        "# Ablation: singleton rule (hardware counters vs exact sets)"
+    )?;
     let d = scale.max_distance();
     let ctx = ExperimentContext::new(d, scale.p);
-    let mk = |rule: SingletonRule| PromatchConfig { singleton_rule: rule, ..Default::default() };
+    let mk = |rule: SingletonRule| PromatchConfig {
+        singleton_rule: rule,
+        ..Default::default()
+    };
     let decoders: Vec<(String, Box<dyn Decoder + '_>)> = vec![
         (
             "hardware (Fig 11)".into(),
             Box::new(ctx.promatch_with(mk(SingletonRule::HardwareApprox))),
         ),
-        ("exact".into(), Box::new(ctx.promatch_with(mk(SingletonRule::Exact)))),
+        (
+            "exact".into(),
+            Box::new(ctx.promatch_with(mk(SingletonRule::Exact))),
+        ),
     ];
     for (name, ler) in eq1_custom(&ctx, decoders, scale) {
         writeln!(w, "d={d} {name:<20} LER {}", fmt_rate(ler))?;
@@ -376,13 +452,25 @@ pub fn ablate_singleton(scale: &Scale, w: &mut dyn Write) -> Result<()> {
 
 /// Ablation: quantized (2-bit) vs exact path weights in Step 3.
 pub fn ablate_pathq(scale: &Scale, w: &mut dyn Write) -> Result<()> {
-    writeln!(w, "# Ablation: Step-3 path weights (2-bit classes vs exact)")?;
+    writeln!(
+        w,
+        "# Ablation: Step-3 path weights (2-bit classes vs exact)"
+    )?;
     let d = scale.max_distance();
     let ctx = ExperimentContext::new(d, scale.p);
-    let mk = |m: PathMetric| PromatchConfig { path_metric: m, ..Default::default() };
+    let mk = |m: PathMetric| PromatchConfig {
+        path_metric: m,
+        ..Default::default()
+    };
     let decoders: Vec<(String, Box<dyn Decoder + '_>)> = vec![
-        ("quantized (Table 8)".into(), Box::new(ctx.promatch_with(mk(PathMetric::Quantized)))),
-        ("exact".into(), Box::new(ctx.promatch_with(mk(PathMetric::Exact)))),
+        (
+            "quantized (Table 8)".into(),
+            Box::new(ctx.promatch_with(mk(PathMetric::Quantized))),
+        ),
+        (
+            "exact".into(),
+            Box::new(ctx.promatch_with(mk(PathMetric::Exact))),
+        ),
     ];
     for (name, ler) in eq1_custom(&ctx, decoders, scale) {
         writeln!(w, "d={d} {name:<20} LER {}", fmt_rate(ler))?;
@@ -392,9 +480,15 @@ pub fn ablate_pathq(scale: &Scale, w: &mut dyn Write) -> Result<()> {
 
 /// Ablation: Astrea parallel match units vs achievable stopping targets.
 pub fn ablate_astrea_units(_scale: &Scale, w: &mut dyn Write) -> Result<()> {
-    writeln!(w, "# Ablation: Astrea parallel units vs latency / affordable HW target")?;
+    writeln!(
+        w,
+        "# Ablation: Astrea parallel units vs latency / affordable HW target"
+    )?;
     for units in [3u32, 9, 27, 81] {
-        let model = AstreaLatencyModel { parallel_units: units, setup_cycles: 9 };
+        let model = AstreaLatencyModel {
+            parallel_units: units,
+            setup_cycles: 9,
+        };
         let hw10 = model.latency_ns(10);
         let afford = model.max_hw_within(960.0 - 70.0, 10);
         writeln!(
@@ -408,14 +502,19 @@ pub fn ablate_astrea_units(_scale: &Scale, w: &mut dyn Write) -> Result<()> {
 /// Ablation: replicated Promatch pipelines (§6.4's "run multiple
 /// pipelines in parallel" note) vs predecoding latency.
 pub fn ablate_pipelines(scale: &Scale, w: &mut dyn Write) -> Result<()> {
-    writeln!(w, "# Ablation: parallel Promatch pipelines vs predecode latency")?;
+    writeln!(
+        w,
+        "# Ablation: parallel Promatch pipelines vs predecode latency"
+    )?;
     let d = scale.max_distance();
     let ctx = ExperimentContext::new(d, scale.p);
     let sampler = InjectionSampler::new(&ctx.dem);
     for pipelines in [1u32, 2, 4] {
-        let cfg = PromatchConfig { parallel_pipelines: pipelines, ..Default::default() };
-        let mut pm =
-            promatch::PromatchPredecoder::with_config(&ctx.graph, &ctx.paths, cfg);
+        let cfg = PromatchConfig {
+            parallel_pipelines: pipelines,
+            ..Default::default()
+        };
+        let mut pm = promatch::PromatchPredecoder::with_config(&ctx.graph, &ctx.paths, cfg);
         use decoding_graph::Predecoder;
         let mut rng = StdRng::seed_from_u64(scale.seed);
         let mut total_ns = 0.0;
@@ -451,10 +550,19 @@ pub fn ablate_adaptive(scale: &Scale, w: &mut dyn Write) -> Result<()> {
     writeln!(w, "# Ablation: adaptive HW targets vs fixed")?;
     let d = scale.max_distance();
     let ctx = ExperimentContext::new(d, scale.p);
-    let mk = |targets: [usize; 3]| PromatchConfig { hw_targets: targets, ..Default::default() };
+    let mk = |targets: [usize; 3]| PromatchConfig {
+        hw_targets: targets,
+        ..Default::default()
+    };
     let decoders: Vec<(String, Box<dyn Decoder + '_>)> = vec![
-        ("adaptive {10,8,6}".into(), Box::new(ctx.promatch_with(mk([10, 8, 6])))),
-        ("fixed 10".into(), Box::new(ctx.promatch_with(mk([10, 10, 10])))),
+        (
+            "adaptive {10,8,6}".into(),
+            Box::new(ctx.promatch_with(mk([10, 8, 6]))),
+        ),
+        (
+            "fixed 10".into(),
+            Box::new(ctx.promatch_with(mk([10, 10, 10]))),
+        ),
         ("fixed 6".into(), Box::new(ctx.promatch_with(mk([6, 6, 6])))),
     ];
     for (name, ler) in eq1_custom(&ctx, decoders, scale) {
@@ -468,7 +576,13 @@ mod tests {
     use super::*;
 
     fn tiny_scale() -> Scale {
-        Scale { distances: vec![5], shots_per_k: 40, k_max: 8, p: 1e-3, seed: 3 }
+        Scale {
+            distances: vec![5],
+            shots_per_k: 40,
+            k_max: 8,
+            p: 1e-3,
+            seed: 3,
+        }
     }
 
     #[test]
@@ -498,7 +612,13 @@ mod tests {
     #[test]
     fn table8_reproduces_paper_storage_at_paper_scale() {
         // Storage is cheap to verify at the real distances.
-        let scale = Scale { distances: vec![11], shots_per_k: 1, k_max: 1, p: 1e-4, seed: 1 };
+        let scale = Scale {
+            distances: vec![11],
+            shots_per_k: 1,
+            k_max: 1,
+            p: 1e-4,
+            seed: 1,
+        };
         let mut sink = Vec::new();
         table8(&scale, &mut sink).unwrap();
         let text = String::from_utf8(sink).unwrap();

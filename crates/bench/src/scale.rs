@@ -26,12 +26,24 @@ pub struct Scale {
 impl Scale {
     /// Fast smoke-scale preset.
     pub fn quick() -> Self {
-        Scale { distances: vec![7, 9], shots_per_k: 300, k_max: 20, p: 1e-4, seed: 2024 }
+        Scale {
+            distances: vec![7, 9],
+            shots_per_k: 300,
+            k_max: 20,
+            p: 1e-4,
+            seed: 2024,
+        }
     }
 
     /// Paper-scale preset (d = 11, 13; k ≤ 24).
     pub fn paper() -> Self {
-        Scale { distances: vec![11, 13], shots_per_k: 1500, k_max: 24, p: 1e-4, seed: 2024 }
+        Scale {
+            distances: vec![11, 13],
+            shots_per_k: 1500,
+            k_max: 24,
+            p: 1e-4,
+            seed: 2024,
+        }
     }
 
     /// The largest configured distance (used by single-distance
@@ -60,8 +72,7 @@ impl Scale {
                         .map_err(|e| format!("distances: {e}"))?;
                 }
                 "shots" => {
-                    self.shots_per_k =
-                        value.parse().map_err(|e| format!("shots: {e}"))?;
+                    self.shots_per_k = value.parse().map_err(|e| format!("shots: {e}"))?;
                 }
                 "kmax" => self.k_max = value.parse().map_err(|e| format!("kmax: {e}"))?,
                 "p" => self.p = value.parse().map_err(|e| format!("p: {e}"))?,

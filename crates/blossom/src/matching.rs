@@ -40,8 +40,7 @@ pub fn max_weight_matching(
         assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
     }
     // Double the weights so that all duals remain integral.
-    let doubled: Vec<(usize, usize, i64)> =
-        edges.iter().map(|&(u, v, w)| (u, v, 2 * w)).collect();
+    let doubled: Vec<(usize, usize, i64)> = edges.iter().map(|&(u, v, w)| (u, v, 2 * w)).collect();
     let mut solver = Solver::new(n, doubled, max_cardinality);
     solver.solve();
     (0..n)
@@ -60,10 +59,7 @@ pub fn max_weight_matching(
 ///
 /// Returns `None` if no perfect matching exists (e.g. `n` is odd or the
 /// graph is not dense enough); otherwise `mates[v]` is v's partner.
-pub fn min_weight_perfect_matching(
-    n: usize,
-    edges: &[(usize, usize, i64)],
-) -> Option<Vec<usize>> {
+pub fn min_weight_perfect_matching(n: usize, edges: &[(usize, usize, i64)]) -> Option<Vec<usize>> {
     if n == 0 {
         return Some(Vec::new());
     }
@@ -73,8 +69,10 @@ pub fn min_weight_perfect_matching(
     let max_w = edges.iter().map(|e| e.2).max()?;
     // Maximizing Σ(C − w) over maximum-cardinality (= perfect, if one
     // exists) matchings minimizes Σw, for any constant C.
-    let flipped: Vec<(usize, usize, i64)> =
-        edges.iter().map(|&(u, v, w)| (u, v, max_w + 1 - w)).collect();
+    let flipped: Vec<(usize, usize, i64)> = edges
+        .iter()
+        .map(|&(u, v, w)| (u, v, max_w + 1 - w))
+        .collect();
     let mates = max_weight_matching(n, &flipped, true);
     mates.into_iter().collect::<Option<Vec<usize>>>()
 }
@@ -88,7 +86,9 @@ pub fn matching_weight(mates: &[Option<usize>], edges: &[(usize, usize, i64)]) -
     let mut best: HashMap<(usize, usize), i64> = HashMap::new();
     for &(u, v, w) in edges {
         let key = (u.min(v), u.max(v));
-        best.entry(key).and_modify(|b| *b = (*b).max(w)).or_insert(w);
+        best.entry(key)
+            .and_modify(|b| *b = (*b).max(w))
+            .or_insert(w);
     }
     let mut total = 0;
     for (v, m) in mates.iter().enumerate() {
@@ -142,7 +142,7 @@ impl Solver {
             neighbend[j].push(2 * k);
         }
         let mut dualvar = vec![maxweight; n];
-        dualvar.extend(std::iter::repeat(0).take(n));
+        dualvar.extend(std::iter::repeat_n(0, n));
         Solver {
             n,
             edges,
@@ -154,7 +154,7 @@ impl Solver {
             inblossom: (0..n).collect(),
             blossomparent: vec![NONE; 2 * n],
             blossomchilds: vec![None; 2 * n],
-            blossombase: (0..n).chain(std::iter::repeat(NONE).take(n)).collect(),
+            blossombase: (0..n).chain(std::iter::repeat_n(NONE, n)).collect(),
             blossomendps: vec![None; 2 * n],
             bestedge: vec![NONE; 2 * n],
             blossombestedges: vec![None; 2 * n],
@@ -168,7 +168,7 @@ impl Solver {
     /// Vertex at endpoint index `p`.
     fn endpoint(&self, p: usize) -> usize {
         let (i, j, _) = self.edges[p / 2];
-        if p % 2 == 0 {
+        if p.is_multiple_of(2) {
             i
         } else {
             j
@@ -193,7 +193,9 @@ impl Solver {
                 out.push(t);
             } else {
                 stack.extend(
-                    self.blossomchilds[t].as_ref().expect("expanded blossom has children"),
+                    self.blossomchilds[t]
+                        .as_ref()
+                        .expect("expanded blossom has children"),
                 );
             }
         }
@@ -342,8 +344,7 @@ impl Solver {
                     let bj = self.inblossom[j];
                     if bj != b
                         && self.label[bj] == 1
-                        && (bestedgeto[bj] == NONE
-                            || self.slack(k2) < self.slack(bestedgeto[bj]))
+                        && (bestedgeto[bj] == NONE || self.slack(k2) < self.slack(bestedgeto[bj]))
                     {
                         bestedgeto[bj] = k2;
                     }
@@ -391,8 +392,10 @@ impl Solver {
             debug_assert!(self.labelend[b] != NONE);
             let entrychild = self.inblossom[self.endpoint(self.labelend[b] ^ 1)];
             let endps = self.blossomendps[b].clone().expect("blossom has endpoints");
-            let mut j = childs.iter().position(|&c| c == entrychild).expect("entry child")
-                as i64;
+            let mut j = childs
+                .iter()
+                .position(|&c| c == entrychild)
+                .expect("entry child") as i64;
             let (jstep, endptrick): (i64, usize) = if j & 1 != 0 {
                 j -= childs.len() as i64;
                 (1, 0)
@@ -605,14 +608,11 @@ impl Solver {
                             }
                         } else if self.label[self.inblossom[w]] == 1 {
                             let b = self.inblossom[v];
-                            if self.bestedge[b] == NONE
-                                || kslack < self.slack(self.bestedge[b])
-                            {
+                            if self.bestedge[b] == NONE || kslack < self.slack(self.bestedge[b]) {
                                 self.bestedge[b] = k;
                             }
                         } else if self.label[w] == 0
-                            && (self.bestedge[w] == NONE
-                                || kslack < self.slack(self.bestedge[w]))
+                            && (self.bestedge[w] == NONE || kslack < self.slack(self.bestedge[w]))
                         {
                             self.bestedge[w] = k;
                         }
@@ -781,8 +781,10 @@ mod tests {
 
     fn check_valid(n: usize, edges: &[(usize, usize, i64)], mates: &[Option<usize>]) {
         use std::collections::HashSet;
-        let edge_set: HashSet<(usize, usize)> =
-            edges.iter().map(|&(u, v, _)| (u.min(v), u.max(v))).collect();
+        let edge_set: HashSet<(usize, usize)> = edges
+            .iter()
+            .map(|&(u, v, _)| (u.min(v), u.max(v)))
+            .collect();
         for v in 0..n {
             if let Some(u) = mates[v] {
                 assert_eq!(mates[u], Some(v), "mate symmetry broken at {v}<->{u}");
@@ -805,7 +807,10 @@ mod tests {
 
     #[test]
     fn empty_and_trivial_graphs() {
-        assert_eq!(max_weight_matching(0, &[], false), Vec::<Option<usize>>::new());
+        assert_eq!(
+            max_weight_matching(0, &[], false),
+            Vec::<Option<usize>>::new()
+        );
         assert_eq!(max_weight_matching(3, &[], false), vec![None, None, None]);
         let mates = max_weight_matching(2, &[(0, 1, 1)], false);
         assert_eq!(mates, vec![Some(1), Some(0)]);
@@ -858,10 +863,19 @@ mod tests {
         let mates = max_weight_matching(4, &edges, false);
         assert_eq!(mates, vec![Some(1), Some(0), Some(3), Some(2)]);
         // Extended with pendant edges: augmenting path through the blossom.
-        let edges =
-            [(0, 1, 8), (0, 2, 9), (1, 2, 10), (2, 3, 7), (0, 5, 5), (3, 4, 6)];
+        let edges = [
+            (0, 1, 8),
+            (0, 2, 9),
+            (1, 2, 10),
+            (2, 3, 7),
+            (0, 5, 5),
+            (3, 4, 6),
+        ];
         let mates = max_weight_matching(6, &edges, false);
-        assert_eq!(mates, vec![Some(5), Some(2), Some(1), Some(4), Some(3), Some(0)]);
+        assert_eq!(
+            mates,
+            vec![Some(5), Some(2), Some(1), Some(4), Some(3), Some(0)]
+        );
     }
 
     #[test]
@@ -966,7 +980,11 @@ mod tests {
             let (_, _, w) = solve_and_weight(n, &edges, false);
             assert_eq!(w, bw, "weight mode, trial {trial}, edges {edges:?}");
             let (_, card, w) = solve_and_weight(n, &edges, true);
-            assert_eq!((card, w), bcw, "maxcard mode, trial {trial}, edges {edges:?}");
+            assert_eq!(
+                (card, w),
+                bcw,
+                "maxcard mode, trial {trial}, edges {edges:?}"
+            );
         }
     }
 

@@ -2,9 +2,7 @@
 
 use crate::state::SubgraphState;
 use astrea::{AstreaLatencyModel, CYCLE_NS};
-use decoding_graph::{
-    DecodingGraph, DetectorId, PathTable, PredecodeOutcome, Predecoder,
-};
+use decoding_graph::{DecodingGraph, DetectorId, PathTable, PredecodeOutcome, Predecoder};
 
 /// Which singleton-creation test drives candidate classification.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -130,8 +128,16 @@ impl<'a> PromatchPredecoder<'a> {
         config: PromatchConfig,
     ) -> Self {
         assert_eq!(paths.num_detectors(), graph.num_detectors() as usize);
-        assert!(config.parallel_pipelines >= 1, "at least one pipeline required");
-        PromatchPredecoder { graph, paths, config, last_stats: PromatchStats::default() }
+        assert!(
+            config.parallel_pipelines >= 1,
+            "at least one pipeline required"
+        );
+        PromatchPredecoder {
+            graph,
+            paths,
+            config,
+            last_stats: PromatchStats::default(),
+        }
     }
 
     /// Cycles to scan `work` items through the replicated pipelines.
@@ -153,11 +159,9 @@ impl<'a> PromatchPredecoder<'a> {
     /// predecoding, or `None` if not even the smallest fits.
     fn affordable_target(&self, elapsed_ns: f64) -> Option<usize> {
         let remaining = self.config.time_budget_ns - elapsed_ns;
-        self.config
-            .hw_targets
-            .iter()
-            .copied()
-            .find(|&t| t <= self.config.main_max_hw && self.config.main_latency.latency_ns(t) <= remaining)
+        self.config.hw_targets.iter().copied().find(|&t| {
+            t <= self.config.main_max_hw && self.config.main_latency.latency_ns(t) <= remaining
+        })
     }
 
     fn no_singleton(&self, st: &SubgraphState, i: usize, j: usize) -> bool {
@@ -220,7 +224,7 @@ impl Predecoder for PromatchPredecoder<'_> {
             let mut c41: Option<Candidate> = None;
             let mut c42: Option<Candidate> = None;
             let consider = |slot: &mut Option<Candidate>, cand: Candidate| {
-                if slot.map_or(true, |cur| cand.weight < cur.weight) {
+                if slot.is_none_or(|cur| cand.weight < cur.weight) {
                     *slot = Some(cand);
                 }
             };
@@ -230,7 +234,11 @@ impl Predecoder for PromatchPredecoder<'_> {
                     if j <= i {
                         continue;
                     }
-                    let cand = Candidate { i, j, weight: n.weight };
+                    let cand = Candidate {
+                        i,
+                        j,
+                        weight: n.weight,
+                    };
                     if st.deg[i] == 1 && st.deg[j] == 1 {
                         isolated.push((i, j));
                         continue;
@@ -299,7 +307,14 @@ impl Predecoder for PromatchPredecoder<'_> {
                             if w == i64::MAX {
                                 continue;
                             }
-                            consider(&mut c3, Candidate { i: i.min(j), j: i.max(j), weight: w });
+                            consider(
+                                &mut c3,
+                                Candidate {
+                                    i: i.min(j),
+                                    j: i.max(j),
+                                    weight: w,
+                                },
+                            );
                         }
                     }
                 }
@@ -355,11 +370,7 @@ impl Predecoder for PromatchPredecoder<'_> {
 
         stats.pairs = pairs.len();
         stats.predecode_ns = stats.cycles as f64 * CYCLE_NS;
-        let remaining: Vec<DetectorId> = st
-            .live_slots()
-            .into_iter()
-            .map(|i| st.nodes[i])
-            .collect();
+        let remaining: Vec<DetectorId> = st.live_slots().into_iter().map(|i| st.nodes[i]).collect();
         self.last_stats = stats;
         if stats.aborted {
             return PredecodeOutcome {
@@ -403,7 +414,11 @@ mod tests {
                 p,
             })
             .collect();
-        errors.push(DemError { dets: SparseBits::singleton(0), obs: 0, p: 0.004 });
+        errors.push(DemError {
+            dets: SparseBits::singleton(0),
+            obs: 0,
+            p: 0.004,
+        });
         DecodingGraph::from_dem(&DetectorErrorModel {
             num_detectors: n,
             num_observables: 0,
@@ -417,7 +432,10 @@ mod tests {
     /// full algorithm.
     fn run(graph: &DecodingGraph, dets: &[u32]) -> (PredecodeOutcome, PromatchStats) {
         let paths = PathTable::build(graph);
-        let cfg = PromatchConfig { hw_targets: [0, 0, 0], ..Default::default() };
+        let cfg = PromatchConfig {
+            hw_targets: [0, 0, 0],
+            ..Default::default()
+        };
         let mut pm = PromatchPredecoder::with_config(graph, &paths, cfg);
         let out = pm.predecode(dets);
         let stats = *pm.last_stats();
@@ -447,11 +465,20 @@ mod tests {
         // singleton-safe edge; it must be matched before any (a,·).
         let g = graph_from_edges(
             6,
-            &[(0, 1, 0.01), (0, 2, 0.01), (0, 3, 0.01), (0, 4, 0.01), (4, 5, 0.01)],
+            &[
+                (0, 1, 0.01),
+                (0, 2, 0.01),
+                (0, 3, 0.01),
+                (0, 4, 0.01),
+                (4, 5, 0.01),
+            ],
         );
         let (out, _) = run(&g, &[0, 1, 2, 3, 4, 5]);
         let pairs = norm(&out.pairs);
-        assert!(pairs.contains(&(4, 5)), "safe pair (e,f) must be prematched: {pairs:?}");
+        assert!(
+            pairs.contains(&(4, 5)),
+            "safe pair (e,f) must be prematched: {pairs:?}"
+        );
     }
 
     #[test]
@@ -483,7 +510,10 @@ mod tests {
         // through the path table.
         let g = graph_from_edges(4, &[(0, 1, 0.01), (1, 2, 0.01), (2, 3, 0.01)]);
         let paths = PathTable::build(&g);
-        let cfg = PromatchConfig { hw_targets: [0, 0, 0], ..Default::default() };
+        let cfg = PromatchConfig {
+            hw_targets: [0, 0, 0],
+            ..Default::default()
+        };
         let mut pm = PromatchPredecoder::with_config(&g, &paths, cfg);
         let out = pm.predecode(&[0, 3]);
         assert!(!out.aborted);
@@ -505,8 +535,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(71);
         for trial in 0..300 {
             let k = rng.gen_range(6..=20);
-            let mech: Vec<usize> =
-                (0..k).map(|_| rng.gen_range(0..dem.errors.len())).collect();
+            let mech: Vec<usize> = (0..k).map(|_| rng.gen_range(0..dem.errors.len())).collect();
             let shot = dem.symptom_of(&mech);
             if shot.dets.len() <= 10 {
                 continue;
@@ -545,7 +574,9 @@ mod tests {
         let mut big_ns = 0.0;
         for _ in 0..30 {
             let small: Vec<usize> = (0..6).map(|_| rng.gen_range(0..dem.errors.len())).collect();
-            let big: Vec<usize> = (0..22).map(|_| rng.gen_range(0..dem.errors.len())).collect();
+            let big: Vec<usize> = (0..22)
+                .map(|_| rng.gen_range(0..dem.errors.len()))
+                .collect();
             let s = dem.symptom_of(&small);
             let b = dem.symptom_of(&big);
             pm.predecode(&s.dets);
@@ -560,7 +591,10 @@ mod tests {
     fn abort_when_budget_is_impossible() {
         let g = graph_from_edges(4, &[(0, 1, 0.01), (1, 2, 0.01), (2, 3, 0.01)]);
         let paths = PathTable::build(&g);
-        let cfg = PromatchConfig { time_budget_ns: 0.0, ..Default::default() };
+        let cfg = PromatchConfig {
+            time_budget_ns: 0.0,
+            ..Default::default()
+        };
         let mut pm = PromatchPredecoder::with_config(&g, &paths, cfg);
         let out = pm.predecode(&[0, 1, 2, 3]);
         assert!(out.aborted);
@@ -576,9 +610,15 @@ mod tests {
             &[(0, 1, 0.005), (1, 2, 0.01), (0, 2, 0.01), (2, 3, 0.02)],
         );
         let paths = PathTable::build(&g);
-        let cfg_exact =
-            PromatchConfig { singleton_rule: SingletonRule::Exact, hw_targets: [0, 0, 0], ..Default::default() };
-        let cfg_hw = PromatchConfig { hw_targets: [0, 0, 0], ..Default::default() };
+        let cfg_exact = PromatchConfig {
+            singleton_rule: SingletonRule::Exact,
+            hw_targets: [0, 0, 0],
+            ..Default::default()
+        };
+        let cfg_hw = PromatchConfig {
+            hw_targets: [0, 0, 0],
+            ..Default::default()
+        };
         let mut pm_hw = PromatchPredecoder::with_config(&g, &paths, cfg_hw);
         let mut pm_exact = PromatchPredecoder::with_config(&g, &paths, cfg_exact);
         let out_hw = pm_hw.predecode(&[0, 1, 2, 3]);

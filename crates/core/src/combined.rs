@@ -23,7 +23,12 @@ pub struct PromatchAstreaDecoder<'a> {
 impl<'a> PromatchAstreaDecoder<'a> {
     /// Creates the combined decoder with default configurations.
     pub fn new(graph: &'a DecodingGraph, paths: &'a PathTable) -> Self {
-        Self::with_configs(graph, paths, PromatchConfig::default(), AstreaConfig::default())
+        Self::with_configs(
+            graph,
+            paths,
+            PromatchConfig::default(),
+            AstreaConfig::default(),
+        )
     }
 
     /// Creates the combined decoder with explicit configurations.
@@ -85,7 +90,10 @@ impl Decoder for PromatchAstreaDecoder<'_> {
         let mut matches: Vec<MatchPair> = pre
             .pairs
             .iter()
-            .map(|&(a, b)| MatchPair { a, b: MatchTarget::Detector(b) })
+            .map(|&(a, b)| MatchPair {
+                a,
+                b: MatchTarget::Detector(b),
+            })
             .collect();
         matches.append(&mut main.matches);
         DecodeOutcome {
@@ -136,8 +144,7 @@ mod tests {
         let mut decoded_high = 0;
         for _ in 0..300 {
             let k = rng.gen_range(8..=16);
-            let mech: Vec<usize> =
-                (0..k).map(|_| rng.gen_range(0..dem.errors.len())).collect();
+            let mech: Vec<usize> = (0..k).map(|_| rng.gen_range(0..dem.errors.len())).collect();
             let shot = dem.symptom_of(&mech);
             if shot.dets.len() <= 10 {
                 continue;
@@ -183,8 +190,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(83);
         for _ in 0..200 {
             let k = rng.gen_range(2..=14);
-            let mech: Vec<usize> =
-                (0..k).map(|_| rng.gen_range(0..dem.errors.len())).collect();
+            let mech: Vec<usize> = (0..k).map(|_| rng.gen_range(0..dem.errors.len())).collect();
             let shot = dem.symptom_of(&mech);
             let ours = dec.decode(&shot.dets);
             if ours.failed {
@@ -205,8 +211,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(84);
         for _ in 0..100 {
             let k = rng.gen_range(10..=18);
-            let mech: Vec<usize> =
-                (0..k).map(|_| rng.gen_range(0..dem.errors.len())).collect();
+            let mech: Vec<usize> = (0..k).map(|_| rng.gen_range(0..dem.errors.len())).collect();
             let shot = dem.symptom_of(&mech);
             if shot.dets.len() <= 10 {
                 continue;
@@ -217,14 +222,10 @@ mod tests {
                 continue;
             }
             let stats = *dec.last_predecode_stats();
+            // Remaining HW after predecoding = dets - 2*pairs.
             let astrea_part =
-                AstreaDecoder::new(&graph, &paths).latency_ns(out.matches.len() * 0 + {
-                    // remaining HW = dets - 2*pairs
-                    shot.dets.len() - 2 * stats.pairs
-                });
-            assert!(
-                (out.latency_ns.unwrap() - (stats.predecode_ns + astrea_part)).abs() < 1e-9
-            );
+                AstreaDecoder::new(&graph, &paths).latency_ns(shot.dets.len() - 2 * stats.pairs);
+            assert!((out.latency_ns.unwrap() - (stats.predecode_ns + astrea_part)).abs() < 1e-9);
             return;
         }
     }

@@ -48,8 +48,16 @@ impl SubgraphState {
                     continue;
                 }
                 if let Some(&bi) = slot_of.get(&nbr) {
-                    adj[ai].push(Nbr { slot: bi, weight: e.weight, obs: e.obs });
-                    adj[bi].push(Nbr { slot: ai, weight: e.weight, obs: e.obs });
+                    adj[ai].push(Nbr {
+                        slot: bi,
+                        weight: e.weight,
+                        obs: e.obs,
+                    });
+                    adj[bi].push(Nbr {
+                        slot: ai,
+                        weight: e.weight,
+                        obs: e.obs,
+                    });
                 }
             }
         }
@@ -70,7 +78,10 @@ impl SubgraphState {
             if !self.alive[i] {
                 continue;
             }
-            count += list.iter().filter(|n| self.alive[n.slot] && n.slot > i).count();
+            count += list
+                .iter()
+                .filter(|n| self.alive[n.slot] && n.slot > i)
+                .count();
         }
         count
     }
@@ -107,9 +118,7 @@ impl SubgraphState {
             if k == i || k == j || !self.alive[k] {
                 continue;
             }
-            let orphaned = self
-                .live_neighbors(k)
-                .all(|m| m.slot == i || m.slot == j);
+            let orphaned = self.live_neighbors(k).all(|m| m.slot == i || m.slot == j);
             if orphaned {
                 return false;
             }
@@ -165,7 +174,11 @@ mod tests {
                 p: 0.01,
             })
             .collect();
-        errors.push(DemError { dets: SparseBits::singleton(0), obs: 0, p: 0.005 });
+        errors.push(DemError {
+            dets: SparseBits::singleton(0),
+            obs: 0,
+            p: 0.005,
+        });
         DecodingGraph::from_dem(&DetectorErrorModel {
             num_detectors: n,
             num_observables: 0,
@@ -184,7 +197,7 @@ mod tests {
         assert_eq!(st.dependents(0), 3);
         assert_eq!(st.deg[4], 2);
         assert_eq!(st.dependents(4), 1); // f depends on e
-        // Matching (a, b) would orphan c and d.
+                                         // Matching (a, b) would orphan c and d.
         assert!(!st.no_singleton_hw(0, 1));
         assert!(!st.no_singleton_exact(0, 1));
         // Matching (e, f) is safe.
@@ -212,7 +225,10 @@ mod tests {
         // exact rule must catch it.
         let g = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
         let st = SubgraphState::build(&g, &[0, 1, 2]);
-        assert!(st.no_singleton_hw(0, 1), "hardware approximation misses this");
+        assert!(
+            st.no_singleton_hw(0, 1),
+            "hardware approximation misses this"
+        );
         assert!(!st.no_singleton_exact(0, 1), "exact rule catches it");
     }
 

@@ -207,7 +207,13 @@ impl DecodingGraph {
                 }
             }
         }
-        ShortestPaths { source, dist, obs, hops, pred }
+        ShortestPaths {
+            source,
+            dist,
+            obs,
+            hops,
+            pred,
+        }
     }
 }
 

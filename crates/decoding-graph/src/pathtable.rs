@@ -60,7 +60,11 @@ impl PathTable {
         // weight, so classes correspond to chain lengths 1, 2, 3, ≥4.
         let mut edge_weights: Vec<i64> = graph.edges().iter().map(|e| e.weight).collect();
         edge_weights.sort_unstable();
-        let typical = edge_weights.get(edge_weights.len() / 2).copied().unwrap_or(1).max(1);
+        let typical = edge_weights
+            .get(edge_weights.len() / 2)
+            .copied()
+            .unwrap_or(1)
+            .max(1);
         let thresholds = [
             typical + typical / 2,     // ≤ 1.5 w: one hop
             2 * typical + typical / 2, // ≤ 2.5 w: two hops
@@ -77,7 +81,14 @@ impl PathTable {
                 }
             })
             .collect();
-        PathTable { n, dist, obs, hops, class, class_weights }
+        PathTable {
+            n,
+            dist,
+            obs,
+            hops,
+            class,
+            class_weights,
+        }
     }
 
     /// Number of detectors covered.
@@ -229,7 +240,12 @@ mod tests {
         pairs.sort_unstable();
         // Class is a non-decreasing function of exact distance.
         for w in pairs.windows(2) {
-            assert!(w[0].1 <= w[1].1, "class not monotone: {:?} -> {:?}", w[0], w[1]);
+            assert!(
+                w[0].1 <= w[1].1,
+                "class not monotone: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
         }
         // A d=5 memory graph spans all four weight classes.
         let mut seen = [false; 4];

@@ -34,7 +34,10 @@ pub struct DecodingSubgraph {
 impl DecodingSubgraph {
     /// Builds the subgraph induced by `dets` (must be sorted, unique).
     pub fn build(graph: &DecodingGraph, dets: &[DetectorId]) -> Self {
-        debug_assert!(dets.windows(2).all(|w| w[0] < w[1]), "detectors not sorted/unique");
+        debug_assert!(
+            dets.windows(2).all(|w| w[0] < w[1]),
+            "detectors not sorted/unique"
+        );
         let slot_of: HashMap<DetectorId, usize> =
             dets.iter().enumerate().map(|(i, &d)| (d, i)).collect();
         let mut edges = Vec::new();
@@ -50,13 +53,22 @@ impl DecodingSubgraph {
                 }
                 if let Some(&bi) = slot_of.get(&nbr) {
                     let idx = edges.len() as u32;
-                    edges.push(SubEdge { a: ai, b: bi, weight: e.weight, obs: e.obs });
+                    edges.push(SubEdge {
+                        a: ai,
+                        b: bi,
+                        weight: e.weight,
+                        obs: e.obs,
+                    });
                     adj[ai].push(idx);
                     adj[bi].push(idx);
                 }
             }
         }
-        DecodingSubgraph { nodes: dets.to_vec(), edges, adj }
+        DecodingSubgraph {
+            nodes: dets.to_vec(),
+            edges,
+            adj,
+        }
     }
 
     /// The flipped detectors, in slot order.

@@ -52,7 +52,9 @@ impl<'a> InjectionSampler<'a> {
     fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("nonempty");
         let x = rng.gen::<f64>() * total;
-        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < x)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Samples a syndrome with exactly `k` distinct mechanisms fired.
@@ -79,7 +81,13 @@ impl<'a> InjectionSampler<'a> {
             dets.xor_in_place(&self.dem.errors[i].dets);
             obs ^= self.dem.errors[i].obs;
         }
-        (Shot { dets: dets.into_vec(), obs }, chosen)
+        (
+            Shot {
+                dets: dets.into_vec(),
+                obs,
+            },
+            chosen,
+        )
     }
 }
 
@@ -95,10 +103,26 @@ mod tests {
             num_detectors: 4,
             num_observables: 1,
             errors: vec![
-                DemError { dets: SparseBits::from_sorted(vec![0, 1]), obs: 0, p: 0.1 },
-                DemError { dets: SparseBits::from_sorted(vec![1, 2]), obs: 0, p: 0.01 },
-                DemError { dets: SparseBits::from_sorted(vec![2, 3]), obs: 1, p: 0.01 },
-                DemError { dets: SparseBits::from_sorted(vec![3]), obs: 0, p: 0.001 },
+                DemError {
+                    dets: SparseBits::from_sorted(vec![0, 1]),
+                    obs: 0,
+                    p: 0.1,
+                },
+                DemError {
+                    dets: SparseBits::from_sorted(vec![1, 2]),
+                    obs: 0,
+                    p: 0.01,
+                },
+                DemError {
+                    dets: SparseBits::from_sorted(vec![2, 3]),
+                    obs: 1,
+                    p: 0.01,
+                },
+                DemError {
+                    dets: SparseBits::from_sorted(vec![3]),
+                    obs: 0,
+                    p: 0.001,
+                },
             ],
             det_coords: vec![[0.0; 3]; 4],
         }

@@ -31,6 +31,4 @@ pub use injection::InjectionSampler;
 pub use poisson::poisson_binomial;
 pub use runner::{run_eq1, run_monte_carlo, Eq1Config, Eq1Report, MonteCarloReport};
 pub use stats::{eq1_interval, wilson_interval, RateInterval};
-pub use study::{
-    run_predecoder_study, run_tradeoff_study, PredecoderStudy, TradeoffPoint,
-};
+pub use study::{run_predecoder_study, run_tradeoff_study, PredecoderStudy, TradeoffPoint};

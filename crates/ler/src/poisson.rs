@@ -76,7 +76,7 @@ mod tests {
     fn uniform_case_is_binomial() {
         let n = 100usize;
         let p = 0.02f64;
-        let q = poisson_binomial(std::iter::repeat(p).take(n), 5);
+        let q = poisson_binomial(std::iter::repeat_n(p, n), 5);
         // Binomial(100, 0.02) at k = 2: C(100,2)·p²·(1−p)⁹⁸.
         let expect = 4950.0 * p * p * (1.0 - p).powi(98);
         assert!((q[2] - expect).abs() < 1e-12, "{} vs {expect}", q[2]);

@@ -21,7 +21,12 @@ pub struct Eq1Config {
 
 impl Default for Eq1Config {
     fn default() -> Self {
-        Eq1Config { k_max: 24, shots_per_k: 2_000, seed: 0xA5B5C5, threads: 0 }
+        Eq1Config {
+            k_max: 24,
+            shots_per_k: 2_000,
+            seed: 0xA5B5C5,
+            threads: 0,
+        }
     }
 }
 
@@ -95,8 +100,7 @@ pub fn run_eq1(ctx: &ExperimentContext, kinds: &[DecoderKind], cfg: &Eq1Config) 
                 let mut decoders: Vec<_> =
                     kinds_ref.iter().map(|&kind| ctx.decoder(kind)).collect();
                 for k in 1..=cfg.k_max {
-                    let mut rng =
-                        StdRng::seed_from_u64(cfg.seed ^ (k as u64) << 32 ^ t as u64);
+                    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (k as u64) << 32 ^ t as u64);
                     let shots = share(cfg.shots_per_k, threads, t);
                     for _ in 0..shots {
                         let (shot, _) = sampler.sample_exact_k(&mut rng, k);
@@ -154,7 +158,11 @@ pub fn run_eq1(ctx: &ExperimentContext, kinds: &[DecoderKind], cfg: &Eq1Config) 
         })
         .collect();
 
-    Eq1Report { p_occ, shots_per_k: cfg.shots_per_k, decoders }
+    Eq1Report {
+        p_occ,
+        shots_per_k: cfg.shots_per_k,
+        decoders,
+    }
 }
 
 /// Direct Monte-Carlo result.
@@ -202,16 +210,25 @@ pub fn run_monte_carlo(
                 fails
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .sum()
     });
-    MonteCarloReport { shots, failures, ler: failures as f64 / shots as f64 }
+    MonteCarloReport {
+        shots,
+        failures,
+        ler: failures as f64 / shots as f64,
+    }
 }
 
 fn effective_threads(requested: usize) -> usize {
     if requested > 0 {
         requested
     } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 }
 
@@ -239,7 +256,12 @@ mod tests {
         // Single mechanisms are always corrected by exact MWPM, so the
         // k = 1 failure row must be zero.
         let ctx = ExperimentContext::new(3, 1e-3);
-        let cfg = Eq1Config { k_max: 2, shots_per_k: 200, seed: 7, threads: 2 };
+        let cfg = Eq1Config {
+            k_max: 2,
+            shots_per_k: 200,
+            seed: 7,
+            threads: 2,
+        };
         let report = run_eq1(&ctx, &[DecoderKind::Mwpm], &cfg);
         assert_eq!(report.decoders[0].failures_per_k[1], 0);
     }
@@ -248,12 +270,13 @@ mod tests {
     fn eq1_orders_decoders_sensibly() {
         // Paired comparison at d=3: MWPM must not lose to Smith+Astrea.
         let ctx = ExperimentContext::new(3, 1e-3);
-        let cfg = Eq1Config { k_max: 4, shots_per_k: 300, seed: 8, threads: 2 };
-        let report = run_eq1(
-            &ctx,
-            &[DecoderKind::Mwpm, DecoderKind::SmithAstrea],
-            &cfg,
-        );
+        let cfg = Eq1Config {
+            k_max: 4,
+            shots_per_k: 300,
+            seed: 8,
+            threads: 2,
+        };
+        let report = run_eq1(&ctx, &[DecoderKind::Mwpm, DecoderKind::SmithAstrea], &cfg);
         let mwpm = report.ler_of(DecoderKind::Mwpm).unwrap();
         let smith = report.ler_of(DecoderKind::SmithAstrea).unwrap();
         // Min-weight decoding is not max-likelihood shot-by-shot, so a
@@ -267,7 +290,12 @@ mod tests {
     #[test]
     fn eq1_is_deterministic_given_seed() {
         let ctx = ExperimentContext::new(3, 1e-3);
-        let cfg = Eq1Config { k_max: 3, shots_per_k: 100, seed: 9, threads: 2 };
+        let cfg = Eq1Config {
+            k_max: 3,
+            shots_per_k: 100,
+            seed: 9,
+            threads: 2,
+        };
         let a = run_eq1(&ctx, &[DecoderKind::Mwpm], &cfg);
         let b = run_eq1(&ctx, &[DecoderKind::Mwpm], &cfg);
         assert_eq!(a.decoders[0].failures_per_k, b.decoders[0].failures_per_k);

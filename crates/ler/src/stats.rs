@@ -57,7 +57,11 @@ pub fn eq1_interval(
         low += p_occ[k] * iv.low;
         high += p_occ[k] * iv.high;
     }
-    RateInterval { estimate: est, low, high }
+    RateInterval {
+        estimate: est,
+        low,
+        high,
+    }
 }
 
 #[cfg(test)]

@@ -28,7 +28,11 @@ pub struct StudyConfig {
 
 impl Default for StudyConfig {
     fn default() -> Self {
-        StudyConfig { k_max: 24, shots_per_k: 2_000, seed: 0xD00D }
+        StudyConfig {
+            k_max: 24,
+            shots_per_k: 2_000,
+            seed: 0xD00D,
+        }
     }
 }
 
@@ -157,7 +161,11 @@ pub fn run_predecoder_study(ctx: &ExperimentContext, cfg: &StudyConfig) -> Prede
             0.0
         },
         total_max_ns: total_max,
-        total_avg_ns: if high_weight_mass > 0.0 { total_sum / high_weight_mass } else { 0.0 },
+        total_avg_ns: if high_weight_mass > 0.0 {
+            total_sum / high_weight_mass
+        } else {
+            0.0
+        },
         abort_probability,
         step_usage,
     }
@@ -242,7 +250,11 @@ mod tests {
     use super::*;
 
     fn quick_cfg() -> StudyConfig {
-        StudyConfig { k_max: 10, shots_per_k: 150, seed: 13 }
+        StudyConfig {
+            k_max: 10,
+            shots_per_k: 150,
+            seed: 13,
+        }
     }
 
     #[test]
@@ -319,6 +331,9 @@ mod tests {
         assert!(smith.accuracy > 0.9, "{smith:?}");
         // Clique essentially never engages on high-HW syndromes.
         assert!(clique.coverage < 0.1, "{clique:?}");
-        assert!(clique.coverage < promatch.coverage, "{clique:?} vs {promatch:?}");
+        assert!(
+            clique.coverage < promatch.coverage,
+            "{clique:?} vs {promatch:?}"
+        );
     }
 }

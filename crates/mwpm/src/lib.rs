@@ -153,7 +153,10 @@ impl Decoder for MwpmDecoder<'_> {
                 debug_assert_eq!(m, k + i, "detector matched to foreign boundary image");
                 obs ^= self.paths.boundary_obs(dets[i]);
                 weight += self.paths.boundary_distance(dets[i]);
-                matches.push(MatchPair { a: dets[i], b: MatchTarget::Boundary });
+                matches.push(MatchPair {
+                    a: dets[i],
+                    b: MatchTarget::Boundary,
+                });
             }
         }
         DecodeOutcome {
@@ -363,7 +366,13 @@ mod tests {
             };
             let used_i = used | (1 << i);
             // Boundary match.
-            rec(paths, dets, used_i, best, acc + paths.boundary_distance(dets[i]));
+            rec(
+                paths,
+                dets,
+                used_i,
+                best,
+                acc + paths.boundary_distance(dets[i]),
+            );
             for j in (i + 1)..dets.len() {
                 if used_i & (1 << j) == 0 {
                     rec(

@@ -11,9 +11,7 @@
 //! The two decoders are exact-equivalent; the test suite asserts weight
 //! equality on random syndromes.
 
-use decoding_graph::{
-    DecodeOutcome, Decoder, DecodingGraph, DetectorId, MatchPair, MatchTarget,
-};
+use decoding_graph::{DecodeOutcome, Decoder, DecodingGraph, DetectorId, MatchPair, MatchTarget};
 
 /// Exact MWPM decoder with on-demand shortest paths.
 #[derive(Clone, Debug)]
@@ -75,12 +73,18 @@ impl Decoder for StreamingMwpmDecoder<'_> {
                 if i < m {
                     obs ^= sps[i].obs[dets[m] as usize];
                     weight += sps[i].dist[dets[m] as usize];
-                    matches.push(MatchPair { a: dets[i], b: MatchTarget::Detector(dets[m]) });
+                    matches.push(MatchPair {
+                        a: dets[i],
+                        b: MatchTarget::Detector(dets[m]),
+                    });
                 }
             } else {
                 obs ^= sps[i].obs[bd];
                 weight += sps[i].dist[bd];
-                matches.push(MatchPair { a: dets[i], b: MatchTarget::Boundary });
+                matches.push(MatchPair {
+                    a: dets[i],
+                    b: MatchTarget::Boundary,
+                });
             }
         }
         DecodeOutcome {
@@ -115,8 +119,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..200 {
             let k = rng.gen_range(1..=12);
-            let mech: Vec<usize> =
-                (0..k).map(|_| rng.gen_range(0..dem.errors.len())).collect();
+            let mech: Vec<usize> = (0..k).map(|_| rng.gen_range(0..dem.errors.len())).collect();
             let shot = dem.symptom_of(&mech);
             let a = table.decode(&shot.dets);
             let b = stream.decode(&shot.dets);
@@ -153,8 +156,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(15);
         for _ in 0..20 {
             let k = rng.gen_range(1..=10);
-            let mech: Vec<usize> =
-                (0..k).map(|_| rng.gen_range(0..dem.errors.len())).collect();
+            let mech: Vec<usize> = (0..k).map(|_| rng.gen_range(0..dem.errors.len())).collect();
             let shot = dem.symptom_of(&mech);
             let out = dec.decode(&shot.dets);
             assert!(!out.failed);

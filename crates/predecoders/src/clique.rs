@@ -8,9 +8,7 @@
 //! modification** (Figure 3(a) of the Promatch paper), so the main
 //! decoder's Hamming-weight limits still apply in full.
 
-use decoding_graph::{
-    DecodingGraph, DecodingSubgraph, DetectorId, PredecodeOutcome, Predecoder,
-};
+use decoding_graph::{DecodingGraph, DecodingSubgraph, DetectorId, PredecodeOutcome, Predecoder};
 
 /// Fixed latency of the local match units (one 250 MHz cycle).
 const CLIQUE_LATENCY_NS: f64 = 4.0;
@@ -171,7 +169,10 @@ mod tests {
         let mut clique = CliquePredecoder::new(&g);
         assert!(!clique.is_trivial(&dets));
         let out = clique.predecode(&dets);
-        assert_eq!(out.remaining, dets, "NSM: syndrome must pass through unmodified");
+        assert_eq!(
+            out.remaining, dets,
+            "NSM: syndrome must pass through unmodified"
+        );
         assert!(out.pairs.is_empty());
         assert_eq!(out.obs_flip, 0);
         assert_eq!(out.weight, 0);

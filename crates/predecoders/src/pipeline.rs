@@ -1,8 +1,6 @@
 //! Decoder composition: `predecoder + main` and `A ‖ B`.
 
-use decoding_graph::{
-    DecodeOutcome, Decoder, DetectorId, MatchPair, MatchTarget, Predecoder,
-};
+use decoding_graph::{DecodeOutcome, Decoder, DetectorId, MatchPair, MatchTarget, Predecoder};
 
 /// Comparison overhead of a parallel (`A ‖ B`) composition: the 10 cycles
 /// at 250 MHz the paper reserves for comparing the two solutions (§6.4).
@@ -31,7 +29,12 @@ impl<P: Predecoder, D: Decoder> PipelineDecoder<P, D> {
     /// Composes with an explicit engagement threshold.
     pub fn with_threshold(pre: P, main: D, engage_above_hw: usize) -> Self {
         let name = format!("{} + {}", pre.name(), main.name());
-        PipelineDecoder { pre, main, engage_above_hw, name }
+        PipelineDecoder {
+            pre,
+            main,
+            engage_above_hw,
+            name,
+        }
     }
 
     /// Access to the inner predecoder (for stats collection).
@@ -67,13 +70,15 @@ impl<P: Predecoder, D: Decoder> Decoder for PipelineDecoder<P, D> {
         let mut matches: Vec<MatchPair> = pre
             .pairs
             .iter()
-            .map(|&(a, b)| MatchPair { a, b: MatchTarget::Detector(b) })
+            .map(|&(a, b)| MatchPair {
+                a,
+                b: MatchTarget::Detector(b),
+            })
             .collect();
-        matches.extend(
-            pre.boundary_matches
-                .iter()
-                .map(|&a| MatchPair { a, b: MatchTarget::Boundary }),
-        );
+        matches.extend(pre.boundary_matches.iter().map(|&a| MatchPair {
+            a,
+            b: MatchTarget::Boundary,
+        }));
         matches.append(&mut main_out.matches);
         DecodeOutcome {
             obs_flip: pre.obs_flip ^ main_out.obs_flip,
@@ -129,11 +134,17 @@ impl<A: Decoder, B: Decoder> Decoder for ParallelDecoder<A, B> {
             (true, true) => DecodeOutcome::failure(),
             (true, false) => {
                 let l = latency(&out_a, &out_b);
-                DecodeOutcome { latency_ns: l, ..out_b }
+                DecodeOutcome {
+                    latency_ns: l,
+                    ..out_b
+                }
             }
             (false, true) => {
                 let l = latency(&out_a, &out_b);
-                DecodeOutcome { latency_ns: l, ..out_a }
+                DecodeOutcome {
+                    latency_ns: l,
+                    ..out_a
+                }
             }
             (false, false) => {
                 let l = latency(&out_a, &out_b);
@@ -141,9 +152,15 @@ impl<A: Decoder, B: Decoder> Decoder for ParallelDecoder<A, B> {
                 let wa = out_a.weight.unwrap_or(i64::MAX);
                 let wb = out_b.weight.unwrap_or(i64::MAX);
                 if wa <= wb {
-                    DecodeOutcome { latency_ns: l, ..out_a }
+                    DecodeOutcome {
+                        latency_ns: l,
+                        ..out_a
+                    }
                 } else {
-                    DecodeOutcome { latency_ns: l, ..out_b }
+                    DecodeOutcome {
+                        latency_ns: l,
+                        ..out_b
+                    }
                 }
             }
         }
@@ -210,7 +227,10 @@ mod tests {
         // Greedily build an independent set of 12 detectors.
         let mut independent: Vec<u32> = Vec::new();
         for d in 0..graph.num_detectors() {
-            if independent.iter().all(|&x| graph.edge_between(x, d).is_none()) {
+            if independent
+                .iter()
+                .all(|&x| graph.edge_between(x, d).is_none())
+            {
                 independent.push(d);
                 if independent.len() == 12 {
                     break;
@@ -244,8 +264,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(63);
         // Sample syndromes until one engages predecoding (HW > 10).
         for _ in 0..200 {
-            let mech: Vec<usize> =
-                (0..8).map(|_| rng.gen_range(0..dem.errors.len())).collect();
+            let mech: Vec<usize> = (0..8).map(|_| rng.gen_range(0..dem.errors.len())).collect();
             let shot = dem.symptom_of(&mech);
             if shot.dets.len() <= 10 {
                 continue;
@@ -312,7 +331,13 @@ mod tests {
             .edges()
             .iter()
             .find(|e| e.u == graph.boundary_node() || e.v == graph.boundary_node())
-            .map(|e| if e.u == graph.boundary_node() { e.v } else { e.u })
+            .map(|e| {
+                if e.u == graph.boundary_node() {
+                    e.v
+                } else {
+                    e.u
+                }
+            })
             .unwrap();
         let out = par.decode(&[bd_det]);
         let single = AstreaDecoder::new(&graph, &paths).latency_ns(1);

@@ -11,9 +11,7 @@
 //! rows of Table 2 and the residual HW > 10 tail in the "After Smith"
 //! histograms of Figures 16/17.
 
-use decoding_graph::{
-    DecodingGraph, DecodingSubgraph, DetectorId, PredecodeOutcome, Predecoder,
-};
+use decoding_graph::{DecodingGraph, DecodingSubgraph, DetectorId, PredecodeOutcome, Predecoder};
 
 /// Cycle time at the 250 MHz clock shared by all hardware models.
 const CYCLE_NS: f64 = 4.0;

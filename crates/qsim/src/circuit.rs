@@ -66,13 +66,19 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::DuplicateOperand { qubit } => {
                 write!(f, "qubit {qubit} appears more than once in one operation")
             }
             CircuitError::MeasurementOutOfRange { index, recorded } => {
-                write!(f, "measurement index {index} not yet recorded ({recorded} so far)")
+                write!(
+                    f,
+                    "measurement index {index} not yet recorded ({recorded} so far)"
+                )
             }
             CircuitError::InvalidProbability { p } => {
                 write!(f, "invalid probability {p}")
@@ -178,15 +184,17 @@ impl fmt::Display for Circuit {
     /// A Stim-flavoured textual rendering, for debugging.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn qs(list: &[Qubit]) -> String {
-            list.iter().map(|q| q.to_string()).collect::<Vec<_>>().join(" ")
+            list.iter()
+                .map(|q| q.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
         }
         for op in &self.ops {
             match op {
                 Op::ResetZ(q) => writeln!(f, "R {}", qs(q))?,
                 Op::H(q) => writeln!(f, "H {}", qs(q))?,
                 Op::Cx(pairs) => {
-                    let body: Vec<String> =
-                        pairs.iter().map(|(c, t)| format!("{c} {t}")).collect();
+                    let body: Vec<String> = pairs.iter().map(|(c, t)| format!("{c} {t}")).collect();
                     writeln!(f, "CX {}", body.join(" "))?;
                 }
                 Op::MeasureZ(q) => writeln!(f, "M {}", qs(q))?,
@@ -194,8 +202,7 @@ impl fmt::Display for Circuit {
                     writeln!(f, "DEPOLARIZE1({p}) {}", qs(qubits))?;
                 }
                 Op::Depolarize2 { pairs, p } => {
-                    let body: Vec<String> =
-                        pairs.iter().map(|(c, t)| format!("{c} {t}")).collect();
+                    let body: Vec<String> = pairs.iter().map(|(c, t)| format!("{c} {t}")).collect();
                     writeln!(f, "DEPOLARIZE2({p}) {}", body.join(" "))?;
                 }
                 Op::XError { qubits, p } => writeln!(f, "X_ERROR({p}) {}", qs(qubits))?,
@@ -324,7 +331,10 @@ impl CircuitBuilder {
         self.check_probability(p);
         self.check_qubits(qubits);
         if p > 0.0 && !qubits.is_empty() {
-            self.ops.push(Op::Depolarize1 { qubits: qubits.to_vec(), p });
+            self.ops.push(Op::Depolarize1 {
+                qubits: qubits.to_vec(),
+                p,
+            });
         }
         self
     }
@@ -335,7 +345,10 @@ impl CircuitBuilder {
         let flat: Vec<Qubit> = pairs.iter().flat_map(|&(c, t)| [c, t]).collect();
         self.check_qubits(&flat);
         if p > 0.0 && !pairs.is_empty() {
-            self.ops.push(Op::Depolarize2 { pairs: pairs.to_vec(), p });
+            self.ops.push(Op::Depolarize2 {
+                pairs: pairs.to_vec(),
+                p,
+            });
         }
         self
     }
@@ -345,7 +358,10 @@ impl CircuitBuilder {
         self.check_probability(p);
         self.check_qubits(qubits);
         if p > 0.0 && !qubits.is_empty() {
-            self.ops.push(Op::XError { qubits: qubits.to_vec(), p });
+            self.ops.push(Op::XError {
+                qubits: qubits.to_vec(),
+                p,
+            });
         }
         self
     }
@@ -355,7 +371,10 @@ impl CircuitBuilder {
         self.check_probability(p);
         self.check_qubits(qubits);
         if p > 0.0 && !qubits.is_empty() {
-            self.ops.push(Op::ZError { qubits: qubits.to_vec(), p });
+            self.ops.push(Op::ZError {
+                qubits: qubits.to_vec(),
+                p,
+            });
         }
         self
     }
@@ -366,7 +385,10 @@ impl CircuitBuilder {
         self.check_meas(meas);
         let id = self.det_count;
         self.det_count += 1;
-        self.ops.push(Op::Detector { meas: meas.to_vec(), coords });
+        self.ops.push(Op::Detector {
+            meas: meas.to_vec(),
+            coords,
+        });
         id
     }
 
@@ -378,7 +400,10 @@ impl CircuitBuilder {
         }
         self.check_meas(meas);
         self.obs_mask |= 1 << index;
-        self.ops.push(Op::Observable { index, meas: meas.to_vec() });
+        self.ops.push(Op::Observable {
+            index,
+            meas: meas.to_vec(),
+        });
         self
     }
 
@@ -443,7 +468,10 @@ mod tests {
         b.h(&[5]);
         assert_eq!(
             b.finish().unwrap_err(),
-            CircuitError::QubitOutOfRange { qubit: 5, num_qubits: 3 }
+            CircuitError::QubitOutOfRange {
+                qubit: 5,
+                num_qubits: 3
+            }
         );
     }
 
@@ -451,14 +479,20 @@ mod tests {
     fn duplicate_operand_is_reported() {
         let mut b = toy();
         b.cx(&[(0, 0)]);
-        assert_eq!(b.finish().unwrap_err(), CircuitError::DuplicateOperand { qubit: 0 });
+        assert_eq!(
+            b.finish().unwrap_err(),
+            CircuitError::DuplicateOperand { qubit: 0 }
+        );
     }
 
     #[test]
     fn duplicate_across_pairs_in_one_layer_is_reported() {
         let mut b = toy();
         b.cx(&[(0, 1), (1, 2)]);
-        assert_eq!(b.finish().unwrap_err(), CircuitError::DuplicateOperand { qubit: 1 });
+        assert_eq!(
+            b.finish().unwrap_err(),
+            CircuitError::DuplicateOperand { qubit: 1 }
+        );
     }
 
     #[test]
@@ -467,7 +501,10 @@ mod tests {
         b.detector(&[0], [0.0; 3]);
         assert_eq!(
             b.finish().unwrap_err(),
-            CircuitError::MeasurementOutOfRange { index: 0, recorded: 0 }
+            CircuitError::MeasurementOutOfRange {
+                index: 0,
+                recorded: 0
+            }
         );
     }
 
@@ -475,7 +512,10 @@ mod tests {
     fn invalid_probability_is_reported() {
         let mut b = toy();
         b.x_error(&[0], -0.1);
-        assert_eq!(b.finish().unwrap_err(), CircuitError::InvalidProbability { p: -0.1 });
+        assert_eq!(
+            b.finish().unwrap_err(),
+            CircuitError::InvalidProbability { p: -0.1 }
+        );
     }
 
     #[test]

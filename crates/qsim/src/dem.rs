@@ -65,7 +65,10 @@ impl DetectorErrorModel {
                 obs ^= e.obs;
             }
         }
-        Shot { dets: dets.into_vec(), obs }
+        Shot {
+            dets: dets.into_vec(),
+            obs,
+        }
     }
 
     /// Samples one shot quickly when all probabilities are equal.
@@ -80,7 +83,10 @@ impl DetectorErrorModel {
             dets.xor_in_place(&e.dets);
             obs ^= e.obs;
         });
-        Shot { dets: dets.into_vec(), obs }
+        Shot {
+            dets: dets.into_vec(),
+            obs,
+        }
     }
 
     /// Computes the combined symptom of firing the listed mechanisms.
@@ -91,7 +97,10 @@ impl DetectorErrorModel {
             dets.xor_in_place(&self.errors[i].dets);
             obs ^= self.errors[i].obs;
         }
-        Shot { dets: dets.into_vec(), obs }
+        Shot {
+            dets: dets.into_vec(),
+            obs,
+        }
     }
 
     /// Validates internal invariants; returns a description of the first
@@ -120,7 +129,10 @@ impl DetectorErrorModel {
                 }
             }
             if self.num_observables < 64 && e.obs >> self.num_observables != 0 {
-                return Err(format!("error {i}: observable mask {:b} out of range", e.obs));
+                return Err(format!(
+                    "error {i}: observable mask {:b} out of range",
+                    e.obs
+                ));
             }
         }
         Ok(())
@@ -156,9 +168,21 @@ mod tests {
             num_detectors: 3,
             num_observables: 1,
             errors: vec![
-                DemError { dets: SparseBits::from_sorted(vec![0, 1]), obs: 0, p: 0.1 },
-                DemError { dets: SparseBits::from_sorted(vec![1, 2]), obs: 0, p: 0.2 },
-                DemError { dets: SparseBits::from_sorted(vec![2]), obs: 1, p: 0.05 },
+                DemError {
+                    dets: SparseBits::from_sorted(vec![0, 1]),
+                    obs: 0,
+                    p: 0.1,
+                },
+                DemError {
+                    dets: SparseBits::from_sorted(vec![1, 2]),
+                    obs: 0,
+                    p: 0.2,
+                },
+                DemError {
+                    dets: SparseBits::from_sorted(vec![2]),
+                    obs: 1,
+                    p: 0.05,
+                },
             ],
             det_coords: vec![[0.0; 3]; 3],
         }
@@ -230,7 +254,11 @@ mod tests {
     #[test]
     fn undetectable_mechanisms_are_flagged() {
         let mut dem = tiny_dem();
-        dem.errors.push(DemError { dets: SparseBits::new(), obs: 1, p: 0.01 });
+        dem.errors.push(DemError {
+            dets: SparseBits::new(),
+            obs: 1,
+            p: 0.01,
+        });
         assert_eq!(dem.undetectable_logical_mechanisms(), vec![3]);
     }
 }

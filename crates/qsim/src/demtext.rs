@@ -100,10 +100,13 @@ impl DetectorErrorModel {
                         text: line.to_string(),
                     });
                 };
-                let p: f64 = p_text.trim().parse().map_err(|_| DemParseError::BadNumber {
-                    line: line_no,
-                    token: p_text.trim().to_string(),
-                })?;
+                let p: f64 = p_text
+                    .trim()
+                    .parse()
+                    .map_err(|_| DemParseError::BadNumber {
+                        line: line_no,
+                        token: p_text.trim().to_string(),
+                    })?;
                 let mut dets = SparseBits::new();
                 let mut obs = 0u64;
                 for tok in targets.split_whitespace() {
@@ -244,7 +247,10 @@ mod tests {
     #[test]
     fn parse_rejects_unknown_instructions() {
         let err = DetectorErrorModel::parse("repeat 3 {\n}").unwrap_err();
-        assert!(matches!(err, DemParseError::UnknownInstruction { line: 1, .. }));
+        assert!(matches!(
+            err,
+            DemParseError::UnknownInstruction { line: 1, .. }
+        ));
     }
 
     #[test]

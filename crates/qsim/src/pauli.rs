@@ -41,18 +41,22 @@ impl Pauli {
         }
     }
 
-    /// Phaseless product of two Paulis (XY = Z up to phase, etc.).
-    pub fn mul(self, other: Pauli) -> Pauli {
-        let (x1, z1) = self.xz();
-        let (x2, z2) = other.xz();
-        Pauli::from_xz(x1 ^ x2, z1 ^ z2)
-    }
-
     /// Whether two single-qubit Paulis anticommute.
     pub fn anticommutes(self, other: Pauli) -> bool {
         let (x1, z1) = self.xz();
         let (x2, z2) = other.xz();
         (x1 & z2) ^ (z1 & x2)
+    }
+}
+
+impl std::ops::Mul for Pauli {
+    type Output = Pauli;
+
+    /// Phaseless product of two Paulis (XY = Z up to phase, etc.).
+    fn mul(self, other: Pauli) -> Pauli {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        Pauli::from_xz(x1 ^ x2, z1 ^ z2)
     }
 }
 
@@ -95,7 +99,7 @@ impl PauliString {
     pub fn from_ops(n: usize, ops: &[(usize, Pauli)]) -> Self {
         let mut s = PauliString::identity(n);
         for &(q, p) in ops {
-            s.set(q, s.get(q).mul(p));
+            s.set(q, s.get(q) * p);
         }
         s
     }
@@ -153,8 +157,8 @@ impl PauliString {
         assert_eq!(self.n, other.n, "length mismatch");
         let mut acc = 0u32;
         for i in 0..self.x.len() {
-            acc ^= ((self.x[i] & other.z[i]).count_ones() ^ (self.z[i] & other.x[i]).count_ones())
-                & 1;
+            acc ^=
+                ((self.x[i] & other.z[i]).count_ones() ^ (self.z[i] & other.x[i]).count_ones()) & 1;
         }
         acc == 0
     }
@@ -186,11 +190,11 @@ mod tests {
     #[test]
     fn pauli_products_match_group_table() {
         use Pauli::*;
-        assert_eq!(X.mul(Y), Z);
-        assert_eq!(Y.mul(Z), X);
-        assert_eq!(Z.mul(X), Y);
-        assert_eq!(X.mul(X), I);
-        assert_eq!(I.mul(Z), Z);
+        assert_eq!(X * Y, Z);
+        assert_eq!(Y * Z, X);
+        assert_eq!(Z * X, Y);
+        assert_eq!(X * X, I);
+        assert_eq!(I * Z, Z);
     }
 
     #[test]

@@ -16,7 +16,12 @@ use rand::Rng;
 /// # Panics
 ///
 /// Panics if `p` is not a probability (`0.0..=1.0`) or is NaN.
-pub fn sample_bernoulli_hits<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64, mut f: impl FnMut(usize)) {
+pub fn sample_bernoulli_hits<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    p: f64,
+    mut f: impl FnMut(usize),
+) {
     assert!((0.0..=1.0).contains(&p), "p = {p} is not a probability");
     if p == 0.0 || n == 0 {
         return;

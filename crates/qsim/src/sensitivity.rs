@@ -281,7 +281,7 @@ fn decompose_and_merge(
             }
             // Try a primitive boundary singleton.
             let single = (0..remaining.len())
-                .find(|&i| primitives.contains_key(&vec![remaining[i]][..].to_vec()));
+                .find(|&i| primitives.contains_key(std::slice::from_ref(&remaining[i])));
             if let Some(i) = single {
                 let key = vec![remaining[i]];
                 let obs = primitives[&key];
@@ -314,7 +314,11 @@ fn decompose_and_merge(
     let mut errors: Vec<DemError> = merged
         .into_iter()
         .filter(|(_, p)| *p > 0.0)
-        .map(|((dets, obs), p)| DemError { dets: SparseBits::from_sorted(dets), obs, p })
+        .map(|((dets, obs), p)| DemError {
+            dets: SparseBits::from_sorted(dets),
+            obs,
+            p,
+        })
         .collect();
     errors.sort_by(|a, b| (a.dets.as_slice(), a.obs).cmp(&(b.dets.as_slice(), b.obs)));
     errors
@@ -461,11 +465,7 @@ mod tests {
 
     /// Builds a random R/H/CX circuit with one X error at probability 1,
     /// final measurement of all qubits, and one detector per measurement.
-    fn random_circuit_with_injection(
-        nq: u32,
-        seed: u64,
-        _outer: &mut StdRng,
-    ) -> (Circuit, usize) {
+    fn random_circuit_with_injection(nq: u32, seed: u64, _outer: &mut StdRng) -> (Circuit, usize) {
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15));
         let mut b = CircuitBuilder::new(nq);

@@ -280,7 +280,12 @@ impl TableauSim {
                 | Op::ZError { .. } => {}
             }
         }
-        TableauRun { measurements, deterministic, detectors, observables }
+        TableauRun {
+            measurements,
+            deterministic,
+            detectors,
+            observables,
+        }
     }
 
     /// Applies an arbitrary Pauli (by name) for testing error propagation.

@@ -80,19 +80,22 @@ impl RotatedSurfaceCode {
     ///
     /// Panics if `d` is even or less than 3.
     pub fn new(d: u32) -> Self {
-        assert!(d >= 3 && d % 2 == 1, "distance must be odd and ≥ 3, got {d}");
+        assert!(
+            d >= 3 && d % 2 == 1,
+            "distance must be odd and ≥ 3, got {d}"
+        );
         let mut z_stabs = Vec::new();
         let mut x_stabs = Vec::new();
         let mut next_ancilla = d * d;
         for i in 0..=d {
             for j in 0..=d {
                 let is_z = (i + j) % 2 == 0;
-                let interior = i >= 1 && i <= d - 1 && j >= 1 && j <= d - 1;
+                let interior = i >= 1 && i < d && j >= 1 && j < d;
                 let keep = if interior {
                     true
-                } else if (i == 0 || i == d) && (j >= 1 && j <= d - 1) {
+                } else if (i == 0 || i == d) && (j >= 1 && j < d) {
                     !is_z // top/bottom edges host weight-2 X stabilizers
-                } else if (j == 0 || j == d) && (i >= 1 && i <= d - 1) {
+                } else if (j == 0 || j == d) && (i >= 1 && i < d) {
                     is_z // left/right edges host weight-2 Z stabilizers
                 } else {
                     false // corners of the corner-grid host nothing
@@ -115,7 +118,11 @@ impl RotatedSurfaceCode {
                     data_at(i64i, i64j),         // SE
                 ];
                 let stab = Stabilizer {
-                    basis: if is_z { StabilizerBasis::Z } else { StabilizerBasis::X },
+                    basis: if is_z {
+                        StabilizerBasis::Z
+                    } else {
+                        StabilizerBasis::X
+                    },
                     corner: (i, j),
                     ancilla: next_ancilla,
                     data,
@@ -129,7 +136,11 @@ impl RotatedSurfaceCode {
             }
         }
         debug_assert_eq!((z_stabs.len() + x_stabs.len()) as u32, d * d - 1);
-        RotatedSurfaceCode { d, z_stabs, x_stabs }
+        RotatedSurfaceCode {
+            d,
+            z_stabs,
+            x_stabs,
+        }
     }
 
     /// The code distance.
@@ -158,7 +169,10 @@ impl RotatedSurfaceCode {
     ///
     /// Panics if either coordinate is out of range.
     pub fn data_qubit(&self, row: u32, col: u32) -> Qubit {
-        assert!(row < self.d && col < self.d, "data ({row},{col}) out of range");
+        assert!(
+            row < self.d && col < self.d,
+            "data ({row},{col}) out of range"
+        );
         row * self.d + col
     }
 
@@ -195,8 +209,7 @@ impl RotatedSurfaceCode {
             StabilizerBasis::Z => Pauli::Z,
             StabilizerBasis::X => Pauli::X,
         };
-        let ops: Vec<(usize, Pauli)> =
-            stab.support().map(|q| (q as usize, pauli)).collect();
+        let ops: Vec<(usize, Pauli)> = stab.support().map(|q| (q as usize, pauli)).collect();
         PauliString::from_ops(self.num_qubits() as usize, &ops)
     }
 
@@ -240,7 +253,7 @@ mod tests {
         let code = RotatedSurfaceCode::new(5);
         for stab in code.stabilizers() {
             let (i, j) = stab.corner;
-            let interior = i >= 1 && i <= 4 && j >= 1 && j <= 4;
+            let interior = (1..=4).contains(&i) && (1..=4).contains(&j);
             if interior {
                 assert_eq!(stab.weight(), 4, "interior {:?}", stab.corner);
             } else {
@@ -261,7 +274,10 @@ mod tests {
     #[test]
     fn all_stabilizers_commute_pairwise() {
         let code = RotatedSurfaceCode::new(5);
-        let paulis: Vec<_> = code.stabilizers().map(|s| code.stabilizer_pauli(s)).collect();
+        let paulis: Vec<_> = code
+            .stabilizers()
+            .map(|s| code.stabilizer_pauli(s))
+            .collect();
         for (a, pa) in paulis.iter().enumerate() {
             for pb in paulis.iter().skip(a + 1) {
                 assert!(pa.commutes_with(pb), "stabilizers {a} do not commute");

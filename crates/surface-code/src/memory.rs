@@ -61,12 +61,7 @@ impl RotatedSurfaceCode {
     /// # Panics
     ///
     /// Panics if `rounds == 0`.
-    pub fn memory_circuit(
-        &self,
-        basis: MemoryBasis,
-        rounds: u32,
-        noise: &NoiseModel,
-    ) -> Circuit {
+    pub fn memory_circuit(&self, basis: MemoryBasis, rounds: u32, noise: &NoiseModel) -> Circuit {
         assert!(rounds >= 1, "at least one extraction round is required");
         let data: Vec<Qubit> = (0..self.num_data()).collect();
         let ancillas: Vec<Qubit> = self.stabilizers().map(|s| s.ancilla).collect();
@@ -169,8 +164,10 @@ impl RotatedSurfaceCode {
         // Closing detectors: data-derived stabilizer parity vs the last
         // ancilla measurement.
         for (ti, stab) in tracked.iter().enumerate() {
-            let mut meas_list: Vec<usize> =
-                stab.support().map(|q| data_meas.start + q as usize).collect();
+            let mut meas_list: Vec<usize> = stab
+                .support()
+                .map(|q| data_meas.start + q as usize)
+                .collect();
             meas_list.push(prev_round_meas[ti]);
             let (i, j) = stab.corner;
             b.detector(&meas_list, [2.0 * j as f64, 2.0 * i as f64, rounds as f64]);
@@ -181,11 +178,14 @@ impl RotatedSurfaceCode {
             MemoryBasis::Z => self.logical_z_support(),
             MemoryBasis::X => self.logical_x_support(),
         };
-        let obs_meas: Vec<usize> =
-            support.into_iter().map(|q| data_meas.start + q as usize).collect();
+        let obs_meas: Vec<usize> = support
+            .into_iter()
+            .map(|q| data_meas.start + q as usize)
+            .collect();
         b.observable(0, &obs_meas);
 
-        b.finish().expect("memory circuit construction is infallible")
+        b.finish()
+            .expect("memory circuit construction is infallible")
     }
 }
 
@@ -245,7 +245,10 @@ mod tests {
             let circuit = code.memory_circuit(basis, 3, &NoiseModel::noiseless());
             let mut rng = StdRng::seed_from_u64(9);
             let shots = FrameSampler::new(&circuit).sample_shots(64, &mut rng);
-            assert!(shots.iter().all(|s| s.dets.is_empty() && s.obs == 0), "{basis:?}");
+            assert!(
+                shots.iter().all(|s| s.dets.is_empty() && s.obs == 0),
+                "{basis:?}"
+            );
         }
     }
 
@@ -283,7 +286,10 @@ mod tests {
             "mechanism counts should be comparable: {nz} vs {nx}"
         );
         let (mz, mx) = (dem_z.expected_error_count(), dem_x.expected_error_count());
-        assert!((mz - mx).abs() / mz < 0.25, "error mass comparable: {mz} vs {mx}");
+        assert!(
+            (mz - mx).abs() / mz < 0.25,
+            "error mass comparable: {mz} vs {mx}"
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl RotatedSurfaceCode {
                 }
             }
             for (si, &(i, j)) in tracked.iter().enumerate() {
-                let mark = if fired.contains(&(si as u32)) { '#' } else { '.' };
+                let mark = if fired.contains(&(si as u32)) {
+                    '#'
+                } else {
+                    '.'
+                };
                 grid[(2 * i) as usize][(2 * j) as usize] = mark;
             }
             for &si in &fired {

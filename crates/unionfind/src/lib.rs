@@ -43,7 +43,10 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Dsu { parent: (0..n as u32).collect(), rank: vec![0; n] }
+        Dsu {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
     }
 
     fn find(&mut self, x: u32) -> u32 {
@@ -150,9 +153,8 @@ impl<'a> UnionFindDecoder<'a> {
                             continue; // already grown
                         }
                         let other = if e.u == v { e.v } else { e.u };
-                        let internal = other != bd
-                            && in_cluster[other as usize]
-                            && dsu.find(other) == r;
+                        let internal =
+                            other != bd && in_cluster[other as usize] && dsu.find(other) == r;
                         if !internal {
                             *edge_speed.entry(ei as usize).or_insert(0) += 1;
                         }
@@ -313,7 +315,7 @@ impl<'a> UnionFindDecoder<'a> {
     }
 }
 
-fn incident<'g>(g: &'g DecodingGraph, v: u32) -> impl Iterator<Item = &'g u32> {
+fn incident(g: &DecodingGraph, v: u32) -> impl Iterator<Item = &u32> {
     // DecodingGraph exposes neighbors; reconstruct incident edge ids via
     // the adjacency accessor pattern used elsewhere.
     g.incident_edge_indices(v)
@@ -376,7 +378,10 @@ mod tests {
             let (out, corr) = uf.decode_with_correction(e.dets.as_slice());
             assert!(!out.failed, "mechanism {i}");
             assert_eq!(out.obs_flip, e.obs, "mechanism {i}");
-            assert!(annihilates(&graph, e.dets.as_slice(), &corr), "mechanism {i}");
+            assert!(
+                annihilates(&graph, e.dets.as_slice(), &corr),
+                "mechanism {i}"
+            );
         }
     }
 
@@ -439,7 +444,10 @@ mod tests {
             uf_fail + 5 >= mw_fail,
             "UF ({uf_fail}) should not beat MWPM ({mw_fail})"
         );
-        assert!(mw_fail > 0 || uf_fail == 0, "sanity: some errors at this rate");
+        assert!(
+            mw_fail > 0 || uf_fail == 0,
+            "sanity: some errors at this rate"
+        );
     }
 
     #[test]

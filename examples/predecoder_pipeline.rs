@@ -52,10 +52,16 @@ fn main() {
     let stats = promatch.last_stats();
     println!("\nPromatch result:");
     println!("  prematched pairs : {:?}", out.pairs);
-    println!("  remaining HW     : {} (Astrea handles <= 10)", out.remaining.len());
+    println!(
+        "  remaining HW     : {} (Astrea handles <= 10)",
+        out.remaining.len()
+    );
     println!("  rounds           : {}", stats.rounds);
     println!("  highest step used: {:?}", stats.highest_step);
-    println!("  pipeline cycles  : {} ({} ns at 250 MHz)", stats.cycles, stats.predecode_ns);
+    println!(
+        "  pipeline cycles  : {} ({} ns at 250 MHz)",
+        stats.cycles, stats.predecode_ns
+    );
     println!(
         "  1 us budget      : {} ns predecode + Astrea(HW={}) fits in 960 ns",
         stats.predecode_ns,

@@ -37,7 +37,10 @@ fn main() {
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |q: f64| latencies[(q * (latencies.len() - 1) as f64) as usize];
     let mean: f64 = latencies.iter().sum::<f64>() / latencies.len() as f64;
-    println!("Promatch + Astrea latency over {} high-HW syndromes (d={d}):", latencies.len());
+    println!(
+        "Promatch + Astrea latency over {} high-HW syndromes (d={d}):",
+        latencies.len()
+    );
     println!("  mean  {:>7.1} ns", mean);
     println!("  p50   {:>7.1} ns", pct(0.50));
     println!("  p90   {:>7.1} ns", pct(0.90));

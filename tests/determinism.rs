@@ -35,7 +35,12 @@ fn eq1_runs_are_reproducible_across_thread_counts() {
     // legitimately repartition. Verify same-count determinism.
     let ctx = ExperimentContext::new(3, 1e-3);
     for threads in [1usize, 3] {
-        let cfg = Eq1Config { k_max: 4, shots_per_k: 120, seed: 77, threads };
+        let cfg = Eq1Config {
+            k_max: 4,
+            shots_per_k: 120,
+            seed: 77,
+            threads,
+        };
         let a = run_eq1(&ctx, &[DecoderKind::Mwpm, DecoderKind::AstreaG], &cfg);
         let b = run_eq1(&ctx, &[DecoderKind::Mwpm, DecoderKind::AstreaG], &cfg);
         for (x, y) in a.decoders.iter().zip(&b.decoders) {
@@ -48,8 +53,12 @@ fn eq1_runs_are_reproducible_across_thread_counts() {
 #[test]
 fn circuit_text_rendering_is_stable() {
     let code = RotatedSurfaceCode::new(3);
-    let c1 = code.memory_z_circuit(3, &NoiseModel::uniform(1e-4)).to_string();
-    let c2 = code.memory_z_circuit(3, &NoiseModel::uniform(1e-4)).to_string();
+    let c1 = code
+        .memory_z_circuit(3, &NoiseModel::uniform(1e-4))
+        .to_string();
+    let c2 = code
+        .memory_z_circuit(3, &NoiseModel::uniform(1e-4))
+        .to_string();
     assert_eq!(c1, c2);
     assert!(c1.contains("DETECTOR"));
     assert!(c1.contains("OBSERVABLE_INCLUDE(0)"));

@@ -2,9 +2,7 @@
 //! construction through every decoder configuration, asserting the
 //! paper's qualitative results at test scale.
 
-use promatch_repro::ler::{
-    run_eq1, DecoderKind, Eq1Config, ExperimentContext, InjectionSampler,
-};
+use promatch_repro::ler::{run_eq1, DecoderKind, Eq1Config, ExperimentContext, InjectionSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -69,7 +67,12 @@ fn paired_failure_ordering_matches_paper_structure() {
 #[test]
 fn eq1_report_is_internally_consistent() {
     let ctx = small_ctx();
-    let cfg = Eq1Config { k_max: 6, shots_per_k: 150, seed: 3, threads: 2 };
+    let cfg = Eq1Config {
+        k_max: 6,
+        shots_per_k: 150,
+        seed: 3,
+        threads: 2,
+    };
     let report = run_eq1(
         &ctx,
         &[DecoderKind::Mwpm, DecoderKind::PromatchAstrea],
@@ -171,6 +174,12 @@ fn smith_leaves_uncovered_high_hw_syndromes() {
         }
     }
     assert!(samples > 100);
-    assert!(smith_overflow > 0, "Smith must leave some HW > 10 remainders");
-    assert_eq!(promatch_overflow, 0, "Promatch guarantees sufficient coverage");
+    assert!(
+        smith_overflow > 0,
+        "Smith must leave some HW > 10 remainders"
+    );
+    assert_eq!(
+        promatch_overflow, 0,
+        "Promatch guarantees sufficient coverage"
+    );
 }

@@ -66,7 +66,7 @@ fn phenomenological_below_threshold_distance_helps() {
     let f3 = failures(3, 3, &noise, 30_000, 5);
     let f5 = failures(5, 5, &noise, 30_000, 6);
     assert!(
-        f5 * 2 < f3.max(1) * 1,
+        f5 * 2 < f3.max(1),
         "below threshold d=5 ({f5}) must improve on d=3 ({f3})"
     );
 }

@@ -1,0 +1,299 @@
+//! Offline stand-in for the crates.io `criterion` crate, implementing the
+//! API subset the workspace's benches use.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace vendors its external dependencies (see
+//! `vendor/README.md`). This shim keeps the bench sources identical to
+//! what they would be against real criterion — groups, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!`/`criterion_main!` —
+//! while the measurement core is a simple calibrated timing loop:
+//!
+//! 1. warm up for ~`WARMUP` per benchmark,
+//! 2. size an iteration batch so one sample takes ≳1 ms,
+//! 3. take `sample_size` samples and report min / mean / max ns per
+//!    iteration (plus derived throughput when one was declared).
+//!
+//! There is no statistical regression machinery, no plotting, and no
+//! saved baselines; numbers print to stdout. That is deliberate: the
+//! benches exist so hot-path changes are *measurable*, and swapping the
+//! real criterion back in later is a one-line manifest change.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(300);
+const TARGET_SAMPLE: Duration = Duration::from_millis(1);
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// Substring filter from the command line; only matching benchmark
+    /// ids run.
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads CLI configuration (`cargo bench -- <filter>`), ignoring the
+    /// harness flags cargo itself passes.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.filter.as_deref(), 20, None, |b| f(b));
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group, e.g. `Mwpm/14`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput, enabling elem/s / MB/s output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&full) {
+            run_one(&full, None, self.sample_size, self.throughput, |b| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if self.criterion.matches(&full) {
+            run_one(&full, None, self.sample_size, self.throughput, |b| f(b));
+        }
+        self
+    }
+
+    /// Ends the group. (No cross-benchmark reporting in the shim.)
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it `iters` times back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(id: &str, filter: Option<&str>, sample_size: usize, tp: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = filter {
+        if !id.contains(filter) {
+            return;
+        }
+    }
+
+    // Warm-up and batch calibration: grow the batch until one sample
+    // costs at least TARGET_SAMPLE.
+    let mut iters: u64 = 1;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || warm_start.elapsed() >= WARMUP {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter_ns.first().copied().unwrap_or(0.0);
+    let max = per_iter_ns.last().copied().unwrap_or(0.0);
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+
+    let tp_str = match tp {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.3} Melem/s)", n as f64 * 1e3 / mean)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.3} MiB/s)", n as f64 * 1e9 / mean / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<48} time: [{} {} {}]{tp_str}",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("decode", 14).id, "decode/14");
+        assert_eq!(BenchmarkId::from_parameter(9).id, "9");
+    }
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(1), &3u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nope".into()),
+        };
+        let mut ran = false;
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        group.finish();
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for the crates.io `proptest` crate, implementing the
+//! API subset this workspace's property tests use.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors its external dependencies (see `vendor/README.md`).
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   `name in strategy` argument bindings;
+//! * [`strategy::any`] for primitive types, plus integer ranges
+//!   (`1usize..24`, `0..=7i64`, ...) used directly as strategies;
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assert_ne!`],
+//!   which fail the current case with the captured inputs in the panic
+//!   message.
+//!
+//! Unlike the real proptest there is **no shrinking**: a failing case
+//! reports the raw inputs that triggered it. Generation is deterministic —
+//! every test function draws from a fixed-seed [`rand::rngs::StdRng`], so
+//! failures reproduce exactly on re-run.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runtime re-exports for the generated code. Not part of the public API.
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// FNV-1a over the test name: gives each generated test its own
+    /// deterministic stream without any global state.
+    pub const fn fnv1a(name: &str) -> u64 {
+        let bytes = name.as_bytes();
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut i = 0;
+        while i < bytes.len() {
+            hash ^= bytes[i] as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            i += 1;
+        }
+        hash
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running `body` for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                $crate::__rt::fnv1a(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for __case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                let __inputs = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n",)*),
+                    $(&$arg,)*
+                );
+                let __outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs:\n{}",
+                        __case + 1,
+                        config.cases,
+                        e,
+                        __inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case (with an optional formatted message) if the
+/// condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` ({})\n  both: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(k in 1usize..24, v in -5i64..=5) {
+            prop_assert!((1..24).contains(&k));
+            prop_assert!((-5..=5).contains(&v));
+        }
+
+        #[test]
+        fn any_u64_varies(a in any::<u64>(), b in any::<u64>()) {
+            // Two independent 64-bit draws collide with probability 2^-64
+            // per case; a false failure here is astronomically unlikely.
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0usize..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            // No #[test] here: the fn is invoked manually so the panic
+            // can be asserted on by the enclosing test.
+            fn inner(x in 0usize..10) {
+                prop_assert!(x > 100, "x = {x} is never > 100");
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,76 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] produces one value per test case from the runner's RNG.
+//! Primitive types get [`any`]; integer and float ranges are strategies
+//! themselves, so `k in 1usize..24` works directly in [`proptest!`].
+//!
+//! [`proptest!`]: crate::proptest
+
+use rand::distributions::uniform::SampleUniform;
+use rand::distributions::{Distribution, Standard};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Generates values of an associated type from the runner's RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws the value for one test case.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Strategy for "any value of `T`"; see [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns a strategy generating arbitrary values of `T` — uniform over
+/// the whole domain for integers, `[0, 1)` for floats, fair for `bool`.
+pub fn any<T>() -> Any<T>
+where
+    Standard: Distribution<T>,
+{
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    Standard: Distribution<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A fixed value, generated every case. Handy for pinning one argument
+/// while others vary.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}

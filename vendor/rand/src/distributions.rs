@@ -1,0 +1,264 @@
+//! Distributions: the [`Standard`] distribution behind [`Rng::gen`] and
+//! the uniform range machinery behind [`Rng::gen_range`].
+//!
+//! [`Rng::gen`]: crate::Rng::gen
+//! [`Rng::gen_range`]: crate::Rng::gen_range
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: uniform over all values for
+/// integers, uniform `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Top bit of the raw word.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform on `[0, 1)` with 53 bits of precision (multiply-based
+    /// conversion, the same construction the real crate uses).
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges, mirroring `rand::distributions::uniform`.
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that [`Rng::gen_range`](crate::Rng::gen_range) can sample.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Uniform sample from `[low, high)` (`inclusive = false`) or
+        /// `[low, high]` (`inclusive = true`). Bounds are validated by
+        /// the caller.
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    /// Range argument accepted by `gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_uniform(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "cannot sample empty range");
+            T::sample_uniform(rng, low, high, true)
+        }
+    }
+
+    /// Unbiased uniform draw from `[0, span)`; `span == 0` means the full
+    /// 2^64 range. Widening-multiply method (Lemire) with rejection.
+    #[inline]
+    fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        if span == 0 {
+            return rng.next_u64();
+        }
+        // 2^64 mod span: draws whose low product word falls below this
+        // threshold land in the over-represented slice and are rejected.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128).wrapping_mul(span as u128);
+            if m as u64 >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    // Work in i128 so subtraction never overflows, even
+                    // for full-width i64/u64 bounds.
+                    let lo = low as i128;
+                    let hi = high as i128;
+                    let span = (hi - lo + if inclusive { 1 } else { 0 }) as u128;
+                    // span fits in u64 unless the range covers all 2^64
+                    // values, which uniform_u64 encodes as 0.
+                    let draw = uniform_u64(rng, span as u64);
+                    (lo + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! uniform_float {
+        ($($t:ty, $bits:expr;)*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    // One mantissa's worth of uniform bits per draw.
+                    let denom_open = (1u64 << $bits) as $t;
+                    let denom_closed = ((1u64 << $bits) - 1) as $t;
+                    if inclusive {
+                        // unit ∈ [0, 1] exactly: both endpoints reachable.
+                        let unit = (rng.next_u64() >> (64 - $bits)) as $t / denom_closed;
+                        return low + unit * (high - low);
+                    }
+                    // Half-open: `low + unit*(high-low)` can round up to
+                    // `high` even though unit < 1; reject and redraw
+                    // (unit = 0 always yields `low`, so this terminates).
+                    loop {
+                        let unit = (rng.next_u64() >> (64 - $bits)) as $t / denom_open;
+                        let v = low + unit * (high - low);
+                        if v < high {
+                            return v;
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(f32, 24; f64, 53;);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn lemire_is_unbiased_enough() {
+        // Chi-square sanity check over a small span.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0..7usize)] += 1;
+        }
+        let expect = n as f64 / 7.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum();
+        // 6 dof; p=0.001 critical value is 22.46.
+        assert!(chi2 < 22.46, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn full_width_ranges_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let _: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+        let v: i64 = rng.gen_range(-30..=30);
+        assert!((-30..=30).contains(&v));
+    }
+
+    #[test]
+    fn float_ranges() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let y: f32 = rng.gen_range(0.0f32..1.0);
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn half_open_float_excludes_high_even_under_rounding() {
+        // A degenerate span one ULP wide: naive `low + unit*(high-low)`
+        // rounds to `high` for roughly half of all draws.
+        let low = 1.0f64;
+        let high = f64::from_bits(low.to_bits() + 1);
+        let mut rng = StdRng::seed_from_u64(19);
+        for _ in 0..1000 {
+            assert_eq!(rng.gen_range(low..high), low);
+        }
+    }
+
+    #[test]
+    fn inclusive_float_reaches_both_endpoints() {
+        // Over a one-ULP span every draw rounds to an endpoint, each with
+        // ~50% probability, so 1000 draws hit both essentially surely.
+        let low = 1.0f64;
+        let high = f64::from_bits(low.to_bits() + 1);
+        let mut rng = StdRng::seed_from_u64(23);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..1000 {
+            let x = rng.gen_range(low..=high);
+            assert!(x == low || x == high);
+            lo |= x == low;
+            hi |= x == high;
+        }
+        assert!(lo && hi, "inclusive float range missed an endpoint");
+    }
+}
