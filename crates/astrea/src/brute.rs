@@ -2,7 +2,8 @@
 
 use crate::latency::AstreaLatencyModel;
 use decoding_graph::{
-    DecodeOutcome, Decoder, DecodingGraph, DetectorId, MatchPair, MatchTarget, PathTable,
+    DecodeOutcome, DecodeWorkspace, Decoder, DecodingGraph, DetectorId, MatchPair, MatchTarget,
+    PathTable,
 };
 
 /// Configuration of the brute-force engine.
@@ -32,6 +33,7 @@ impl Default for AstreaConfig {
 pub struct AstreaDecoder<'a> {
     paths: &'a PathTable,
     config: AstreaConfig,
+    ws: DecodeWorkspace,
 }
 
 impl<'a> AstreaDecoder<'a> {
@@ -51,7 +53,11 @@ impl<'a> AstreaDecoder<'a> {
         config: AstreaConfig,
     ) -> Self {
         assert_eq!(paths.num_detectors(), graph.num_detectors() as usize);
-        AstreaDecoder { paths, config }
+        AstreaDecoder {
+            paths,
+            config,
+            ws: DecodeWorkspace::new(),
+        }
     }
 
     /// The configuration in effect.
@@ -64,15 +70,19 @@ impl<'a> AstreaDecoder<'a> {
         self.config.latency.latency_ns(hw)
     }
 
-    /// Exhaustive search over pairings. Returns (weight, partner vector)
-    /// where `partner[i] = j` for a pair or `usize::MAX` for a boundary
-    /// match.
-    fn search(&self, dets: &[DetectorId]) -> (i64, Vec<usize>) {
+    /// Exhaustive search over pairings. Returns the best weight and
+    /// leaves the partner vector in `self.ws.best_partner`
+    /// (`partner[i] = j` for a pair, `usize::MAX` for a boundary match).
+    fn search(&mut self, dets: &[DetectorId]) -> i64 {
         const BOUNDARY: usize = usize::MAX;
         let k = dets.len();
         let mut best = i64::MAX;
-        let mut best_partner = vec![BOUNDARY; k];
-        let mut partner = vec![BOUNDARY; k];
+        let best_partner = &mut self.ws.best_partner;
+        best_partner.clear();
+        best_partner.resize(k, BOUNDARY);
+        let partner = &mut self.ws.partner;
+        partner.clear();
+        partner.resize(k, BOUNDARY);
         // DFS with branch-and-bound on the running weight.
         fn rec(
             paths: &PathTable,
@@ -122,12 +132,12 @@ impl<'a> AstreaDecoder<'a> {
             self.paths,
             dets,
             &mut used,
-            &mut partner,
+            partner,
             0,
             &mut best,
-            &mut best_partner,
+            best_partner,
         );
-        (best, best_partner)
+        best
     }
 }
 
@@ -151,10 +161,11 @@ impl Decoder for AstreaDecoder<'_> {
                 matches: Vec::new(),
             };
         }
-        let (best, partner) = self.search(dets);
+        let best = self.search(dets);
         if best == i64::MAX {
             return DecodeOutcome::failure();
         }
+        let partner = &self.ws.best_partner;
         let mut obs = 0u64;
         let mut matches = Vec::with_capacity(k);
         for i in 0..k {

@@ -2,7 +2,8 @@
 
 use crate::latency::CYCLE_NS;
 use decoding_graph::{
-    DecodeOutcome, Decoder, DecodingGraph, DetectorId, MatchPair, MatchTarget, PathTable,
+    DecodeOutcome, DecodeWorkspace, Decoder, DecodingGraph, DetectorId, MatchPair, MatchTarget,
+    PathTable,
 };
 
 /// Configuration of the Astrea-G search.
@@ -49,6 +50,10 @@ pub struct AstreaGDecoder<'a> {
     paths: &'a PathTable,
     config: AstreaGConfig,
     prune_weight: i64,
+    ws: DecodeWorkspace,
+    /// Per-bit partner options, reused across shots (outer and inner
+    /// vectors keep their capacity).
+    options: Vec<Vec<(i64, usize)>>,
 }
 
 impl<'a> AstreaGDecoder<'a> {
@@ -74,6 +79,8 @@ impl<'a> AstreaGDecoder<'a> {
             paths,
             config,
             prune_weight,
+            ws: DecodeWorkspace::new(),
+            options: Vec::new(),
         }
     }
 
@@ -84,29 +91,22 @@ impl<'a> AstreaGDecoder<'a> {
 }
 
 struct Search<'p> {
-    paths: &'p PathTable,
-    dets: &'p [DetectorId],
+    k: usize,
     /// Partner options per bit, sorted by weight (boundary encoded as
     /// `usize::MAX`).
-    options: Vec<Vec<(i64, usize)>>,
+    options: &'p mut [Vec<(i64, usize)>],
     states: u32,
     budget: u32,
     best: i64,
-    best_partner: Vec<usize>,
+    best_partner: &'p mut [usize],
 }
 
 impl Search<'_> {
-    fn run(&mut self) {
-        let mut partner = vec![usize::MAX - 1; self.dets.len()];
-        let mut used = vec![false; self.dets.len()];
-        self.dfs(&mut used, &mut partner, 0);
-    }
-
     fn dfs(&mut self, used: &mut [bool], partner: &mut [usize], acc: i64) {
         if self.states >= self.budget || acc >= self.best {
             return;
         }
-        let Some(i) = (0..self.dets.len()).find(|&i| !used[i]) else {
+        let Some(i) = (0..self.k).find(|&i| !used[i]) else {
             self.best = acc;
             self.best_partner.copy_from_slice(partner);
             return;
@@ -152,11 +152,15 @@ impl Decoder for AstreaGDecoder<'_> {
                 matches: Vec::new(),
             };
         }
-        // Build pruned, weight-sorted partner options. The boundary is
-        // never pruned: it guarantees a complete solution exists.
-        let mut options: Vec<Vec<(i64, usize)>> = Vec::with_capacity(k);
+        // Build pruned, weight-sorted partner options into the reusable
+        // per-bit option lists. The boundary is never pruned: it
+        // guarantees a complete solution exists.
+        if self.options.len() < k {
+            self.options.resize_with(k, Vec::new);
+        }
         for i in 0..k {
-            let mut opts: Vec<(i64, usize)> = Vec::new();
+            let opts = &mut self.options[i];
+            opts.clear();
             for j in 0..k {
                 if i == j {
                     continue;
@@ -171,19 +175,25 @@ impl Decoder for AstreaGDecoder<'_> {
                 opts.push((bd, usize::MAX));
             }
             opts.sort_unstable();
-            options.push(opts);
         }
+        let best_partner = &mut self.ws.best_partner;
+        best_partner.clear();
+        best_partner.resize(k, usize::MAX - 1);
+        let partner = &mut self.ws.partner;
+        partner.clear();
+        partner.resize(k, usize::MAX - 1);
+        let used = &mut self.ws.used;
+        used.clear();
+        used.resize(k, false);
         let mut search = Search {
-            paths: self.paths,
-            dets,
-            options,
+            k,
+            options: &mut self.options[..k],
             states: 0,
             budget: self.config.state_budget,
             best: i64::MAX,
-            best_partner: vec![usize::MAX - 1; k],
+            best_partner,
         };
-        search.run();
-        let _ = search.paths;
+        search.dfs(used, partner, 0);
         if search.best == i64::MAX {
             // Budget exhausted before any complete matching was found.
             return DecodeOutcome {

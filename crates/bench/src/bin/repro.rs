@@ -30,8 +30,12 @@ fn main() -> ExitCode {
         eprintln!("             fig1b fig4 fig5 fig14 fig15 fig16 fig17");
         eprintln!("             ablate-singleton ablate-pathq ablate-astrea-units");
         eprintln!("             ablate-adaptive ablate-pipelines all");
+        eprintln!("       repro bench [--scale tiny|quick|paper] [key=value ...]");
         return ExitCode::FAILURE;
     };
+    if name == "bench" {
+        return run_perf_bench(&args[1..]);
+    }
 
     let mut scale = Scale::quick();
     let mut overrides = Vec::new();
@@ -59,6 +63,52 @@ fn main() -> ExitCode {
         Ok(false) => {
             eprintln!("unknown experiment '{name}'");
             ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro bench`: wall-clock decode snapshot, written to `BENCH.json`.
+fn run_perf_bench(args: &[String]) -> ExitCode {
+    use bench_suite::BenchScale;
+    let mut scale = BenchScale::quick();
+    let mut overrides = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--scale" {
+            let Some(name) = it.next() else {
+                eprintln!("error: --scale needs a value (tiny|quick|paper)");
+                return ExitCode::FAILURE;
+            };
+            let Some(named) = BenchScale::named(name) else {
+                eprintln!("error: unknown scale '{name}' (tiny|quick|paper)");
+                return ExitCode::FAILURE;
+            };
+            scale = named;
+        } else if let Some(name) = arg.strip_prefix("--scale=") {
+            let Some(named) = BenchScale::named(name) else {
+                eprintln!("error: unknown scale '{name}' (tiny|quick|paper)");
+                return ExitCode::FAILURE;
+            };
+            scale = named;
+        } else {
+            overrides.push(arg.clone());
+        }
+    }
+    if let Err(e) = scale.apply_overrides(&overrides) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let started = std::time::Instant::now();
+    match bench_suite::run_bench(&scale, &mut out) {
+        Ok(()) => {
+            let _ = writeln!(out, "\n[done in {:.1?}]", started.elapsed());
+            ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("io error: {e}");

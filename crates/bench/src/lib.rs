@@ -11,8 +11,10 @@
 //! See `EXPERIMENTS.md` for a side-by-side record.
 
 pub mod experiments;
+pub mod perf;
 pub mod scale;
 
+pub use perf::{run_bench, BenchPoint, BenchScale};
 pub use scale::Scale;
 
 /// Formats a rate in the paper's scientific style (e.g. `2.6e-14`).

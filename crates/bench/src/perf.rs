@@ -1,0 +1,349 @@
+//! `repro bench` — wall-clock decode-throughput snapshot (`BENCH.json`).
+//!
+//! Times the *software* cost of `Decoder::decode_batch` per shot, per
+//! [`DecoderKind`], at fixed `(d, p, k)` points, and writes a
+//! machine-readable `BENCH.json` so every future change can be measured
+//! against a recorded baseline. This complements the criterion benches:
+//! criterion tracks statistical microbenchmarks interactively, while
+//! `BENCH.json` is a schema-stable artifact CI can archive per commit.
+//!
+//! Schema (`schema_version` 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "git_rev": "abc1234",
+//!   "seed": 2024,
+//!   "results": [
+//!     {"decoder": "MWPM (Ideal)", "d": 11, "p": 1e-4, "k": 12,
+//!      "shots": 512, "reps": 3, "ns_per_shot": 10431.7}
+//!   ]
+//! }
+//! ```
+
+use decoding_graph::SyndromeBatch;
+use ler::{DecoderKind, ExperimentContext, InjectionSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use std::time::Instant;
+
+/// One measured `(decoder, d, p, k)` point.
+#[derive(Clone, Debug)]
+pub struct BenchPoint {
+    /// Paper-style decoder label.
+    pub decoder: &'static str,
+    /// Code distance.
+    pub d: u32,
+    /// Physical error rate.
+    pub p: f64,
+    /// Injected mechanism count of the sampled syndromes.
+    pub k: usize,
+    /// Shots per timed repetition.
+    pub shots: usize,
+    /// Timed repetitions over the same batch.
+    pub reps: usize,
+    /// Mean decode cost per shot, in nanoseconds.
+    pub ns_per_shot: f64,
+}
+
+/// Configuration of a `repro bench` run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchScale {
+    /// Code distances to measure.
+    pub distances: Vec<u32>,
+    /// Physical error rate.
+    pub p: f64,
+    /// Injected mechanism counts (one timed point per `k`).
+    pub ks: Vec<usize>,
+    /// Shots per batch.
+    pub shots: usize,
+    /// Timed repetitions per point.
+    pub reps: usize,
+    /// RNG seed for syndrome sampling.
+    pub seed: u64,
+    /// Output path for the JSON artifact.
+    pub out_path: String,
+}
+
+impl BenchScale {
+    /// CI smoke scale: one small distance, seconds of runtime.
+    pub fn tiny() -> Self {
+        BenchScale {
+            distances: vec![5],
+            p: 1e-3,
+            ks: vec![2, 6],
+            shots: 64,
+            reps: 2,
+            seed: 2024,
+            out_path: "BENCH.json".into(),
+        }
+    }
+
+    /// Laptop scale: the perf-tracking configuration (d = 11, the
+    /// distance the acceptance numbers are quoted at).
+    pub fn quick() -> Self {
+        BenchScale {
+            distances: vec![11],
+            p: 1e-4,
+            ks: vec![4, 12],
+            shots: 256,
+            reps: 3,
+            seed: 2024,
+            out_path: "BENCH.json".into(),
+        }
+    }
+
+    /// Paper scale: both evaluation distances, more shots.
+    pub fn paper() -> Self {
+        BenchScale {
+            distances: vec![11, 13],
+            p: 1e-4,
+            ks: vec![4, 12, 20],
+            shots: 512,
+            reps: 5,
+            seed: 2024,
+            out_path: "BENCH.json".into(),
+        }
+    }
+
+    /// Resolves a `--scale` name.
+    pub fn named(name: &str) -> Option<Self> {
+        match name {
+            "tiny" => Some(Self::tiny()),
+            "quick" => Some(Self::quick()),
+            "paper" => Some(Self::paper()),
+            _ => None,
+        }
+    }
+
+    /// Parses `key=value` overrides (`shots=`, `reps=`, `seed=`, `p=`,
+    /// `distances=`, `ks=`, `out=`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown keys or unparsable values.
+    pub fn apply_overrides(&mut self, args: &[String]) -> Result<(), String> {
+        for arg in args {
+            let Some((key, value)) = arg.split_once('=') else {
+                return Err(format!("expected key=value, got '{arg}'"));
+            };
+            match key {
+                "distances" => {
+                    self.distances = value
+                        .split(',')
+                        .map(|s| s.trim().parse::<u32>())
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(|e| format!("distances: {e}"))?;
+                }
+                "ks" => {
+                    self.ks = value
+                        .split(',')
+                        .map(|s| s.trim().parse::<usize>())
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(|e| format!("ks: {e}"))?;
+                }
+                "shots" => self.shots = value.parse().map_err(|e| format!("shots: {e}"))?,
+                "reps" => self.reps = value.parse().map_err(|e| format!("reps: {e}"))?,
+                "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
+                "p" => self.p = value.parse().map_err(|e| format!("p: {e}"))?,
+                "out" => self.out_path = value.to_string(),
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The decoder configurations tracked in `BENCH.json`: Table 2 plus the
+/// union-find (AFS) baseline.
+pub fn tracked_kinds() -> Vec<DecoderKind> {
+    let mut kinds = DecoderKind::table2().to_vec();
+    kinds.push(DecoderKind::UnionFind);
+    kinds
+}
+
+/// Runs the snapshot and writes the JSON artifact.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the progress writer or the JSON file.
+pub fn run_bench(scale: &BenchScale, w: &mut dyn Write) -> std::io::Result<()> {
+    let mut points: Vec<BenchPoint> = Vec::new();
+    for &d in &scale.distances {
+        writeln!(w, "# bench: building context d={d}, p={:.0e}", scale.p)?;
+        let ctx = ExperimentContext::new(d, scale.p);
+        let sampler = InjectionSampler::new(&ctx.dem);
+        for &k in &scale.ks {
+            let mut rng = StdRng::seed_from_u64(scale.seed ^ (k as u64) << 32);
+            let mut batch = SyndromeBatch::new();
+            for _ in 0..scale.shots {
+                let (shot, _) = sampler.sample_exact_k(&mut rng, k);
+                batch.push(&shot.dets);
+            }
+            for kind in tracked_kinds() {
+                let mut dec = ctx.decoder(kind);
+                let mut out = Vec::new();
+                // Warmup: populate workspaces and fault in the batch.
+                dec.decode_batch(&batch, &mut out);
+                let started = Instant::now();
+                for _ in 0..scale.reps {
+                    dec.decode_batch(&batch, &mut out);
+                    std::hint::black_box(&out);
+                }
+                let elapsed = started.elapsed();
+                let ns_per_shot =
+                    elapsed.as_nanos() as f64 / (scale.reps * scale.shots).max(1) as f64;
+                writeln!(
+                    w,
+                    "  d={d} k={k:>2} {:<24} {:>12.1} ns/shot",
+                    kind.label(),
+                    ns_per_shot
+                )?;
+                points.push(BenchPoint {
+                    decoder: kind.label(),
+                    d,
+                    p: scale.p,
+                    k,
+                    shots: scale.shots,
+                    reps: scale.reps,
+                    ns_per_shot,
+                });
+            }
+        }
+    }
+    let json = render_json(&points, scale.seed);
+    std::fs::write(&scale.out_path, &json)?;
+    writeln!(w, "# wrote {} ({} points)", scale.out_path, points.len())?;
+    Ok(())
+}
+
+/// Renders the schema-stable JSON document.
+pub fn render_json(points: &[BenchPoint], seed: u64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"decoder\": \"{}\", \"d\": {}, \"p\": {}, \"k\": {}, \
+             \"shots\": {}, \"reps\": {}, \"ns_per_shot\": {:.1}}}{}\n",
+            escape(p.decoder),
+            p.d,
+            p.p,
+            p.k,
+            p.shots,
+            p.reps,
+            p.ns_per_shot,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Short git revision of the working tree, or `"unknown"` outside a
+/// repository.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_scales_resolve() {
+        assert!(BenchScale::named("tiny").is_some());
+        assert!(BenchScale::named("quick").is_some());
+        assert!(BenchScale::named("paper").is_some());
+        assert!(BenchScale::named("bogus").is_none());
+        assert!(BenchScale::tiny().shots < BenchScale::paper().shots);
+    }
+
+    #[test]
+    fn overrides_parse_and_reject() {
+        let mut s = BenchScale::tiny();
+        s.apply_overrides(&[
+            "distances=3".into(),
+            "ks=2".into(),
+            "shots=8".into(),
+            "reps=1".into(),
+            "seed=7".into(),
+            "out=/tmp/b.json".into(),
+        ])
+        .unwrap();
+        assert_eq!(s.distances, vec![3]);
+        assert_eq!(s.ks, vec![2]);
+        assert_eq!(s.shots, 8);
+        assert_eq!(s.out_path, "/tmp/b.json");
+        assert!(s.apply_overrides(&["bogus=1".into()]).is_err());
+        assert!(s.apply_overrides(&["shots".into()]).is_err());
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let points = vec![BenchPoint {
+            decoder: "MWPM (Ideal)",
+            d: 11,
+            p: 1e-4,
+            k: 12,
+            shots: 256,
+            reps: 3,
+            ns_per_shot: 10431.66,
+        }];
+        let json = render_json(&points, 2024);
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"seed\": 2024"));
+        assert!(json.contains("\"git_rev\": \""));
+        assert!(json.contains(
+            "{\"decoder\": \"MWPM (Ideal)\", \"d\": 11, \"p\": 0.0001, \"k\": 12, \
+             \"shots\": 256, \"reps\": 3, \"ns_per_shot\": 10431.7}"
+        ));
+        // No trailing comma on the last element.
+        assert!(!json.contains("},\n  ]"));
+    }
+
+    #[test]
+    fn tracked_kinds_cover_table2_and_afs() {
+        let kinds = tracked_kinds();
+        assert!(kinds.contains(&DecoderKind::Mwpm));
+        assert!(kinds.contains(&DecoderKind::UnionFind));
+        assert_eq!(kinds.len(), 7);
+    }
+
+    #[test]
+    fn tiny_bench_runs_end_to_end() {
+        let dir = std::env::temp_dir().join("promatch_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH.json");
+        let mut scale = BenchScale {
+            distances: vec![3],
+            p: 1e-3,
+            ks: vec![2],
+            shots: 4,
+            reps: 1,
+            seed: 1,
+            out_path: out.to_string_lossy().into_owned(),
+        };
+        scale.apply_overrides(&[]).unwrap();
+        let mut sink = Vec::new();
+        run_bench(&scale, &mut sink).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"ns_per_shot\""));
+    }
+}

@@ -28,4 +28,7 @@
 
 mod matching;
 
-pub use matching::{matching_weight, max_weight_matching, min_weight_perfect_matching};
+pub use matching::{
+    matching_weight, max_weight_matching, max_weight_matching_with, min_weight_perfect_matching,
+    min_weight_perfect_matching_with, MatchingWorkspace,
+};

@@ -10,6 +10,13 @@
 //!
 //! All weights are doubled on entry so every dual variable and delta stays
 //! an exact integer.
+//!
+//! All solver state lives in a [`MatchingWorkspace`]: a long-lived caller
+//! (one per decode worker) solves millions of instances against the same
+//! workspace, and every buffer — adjacency CSR, dual variables, blossom
+//! child lists — is cleared between solves, never freed. The convenience
+//! wrappers [`max_weight_matching`] / [`min_weight_perfect_matching`]
+//! build a throwaway workspace per call.
 
 /// Sentinel for "no vertex / no edge / no endpoint".
 const NONE: usize = usize::MAX;
@@ -32,27 +39,46 @@ pub fn max_weight_matching(
     edges: &[(usize, usize, i64)],
     max_cardinality: bool,
 ) -> Vec<Option<usize>> {
+    let mut ws = MatchingWorkspace::new();
+    let mut out = Vec::new();
+    max_weight_matching_with(&mut ws, n, edges, max_cardinality, &mut out);
+    out
+}
+
+/// [`max_weight_matching`] against a reusable [`MatchingWorkspace`].
+///
+/// Writes `mates` into `out` (cleared first). Repeated calls against the
+/// same workspace perform no steady-state heap allocation.
+///
+/// # Panics
+///
+/// Panics on self-loops or vertex indices ≥ `n`.
+pub fn max_weight_matching_with(
+    ws: &mut MatchingWorkspace,
+    n: usize,
+    edges: &[(usize, usize, i64)],
+    max_cardinality: bool,
+    out: &mut Vec<Option<usize>>,
+) {
+    out.clear();
     if n == 0 || edges.is_empty() {
-        return vec![None; n];
+        out.resize(n, None);
+        return;
     }
     for &(u, v, _) in edges {
         assert!(u != v, "self-loop on vertex {u}");
         assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
     }
-    // Double the weights so that all duals remain integral.
-    let doubled: Vec<(usize, usize, i64)> = edges.iter().map(|&(u, v, w)| (u, v, 2 * w)).collect();
-    let mut solver = Solver::new(n, doubled, max_cardinality);
-    solver.solve();
-    (0..n)
-        .map(|v| {
-            let m = solver.mate[v];
-            if m == NONE {
-                None
-            } else {
-                Some(solver.endpoint(m))
-            }
-        })
-        .collect()
+    ws.prepare(n, edges, max_cardinality);
+    ws.solve();
+    out.extend((0..n).map(|v| {
+        let m = ws.mate[v];
+        if m == NONE {
+            None
+        } else {
+            Some(ws.endpoint(m))
+        }
+    }));
 }
 
 /// Computes a minimum-weight perfect matching.
@@ -60,21 +86,43 @@ pub fn max_weight_matching(
 /// Returns `None` if no perfect matching exists (e.g. `n` is odd or the
 /// graph is not dense enough); otherwise `mates[v]` is v's partner.
 pub fn min_weight_perfect_matching(n: usize, edges: &[(usize, usize, i64)]) -> Option<Vec<usize>> {
+    let mut ws = MatchingWorkspace::new();
+    let mut out = Vec::new();
+    min_weight_perfect_matching_with(&mut ws, n, edges, &mut out).then_some(out)
+}
+
+/// [`min_weight_perfect_matching`] against a reusable workspace.
+///
+/// Writes the partner vector into `out` (cleared first) and returns
+/// whether a perfect matching exists; on `false`, `out` is left empty.
+pub fn min_weight_perfect_matching_with(
+    ws: &mut MatchingWorkspace,
+    n: usize,
+    edges: &[(usize, usize, i64)],
+    out: &mut Vec<usize>,
+) -> bool {
+    out.clear();
     if n == 0 {
-        return Some(Vec::new());
+        return true;
     }
-    if n % 2 == 1 {
-        return None;
+    if n % 2 == 1 || edges.is_empty() {
+        return false;
     }
-    let max_w = edges.iter().map(|e| e.2).max()?;
+    let max_w = edges.iter().map(|e| e.2).max().expect("nonempty");
     // Maximizing Σ(C − w) over maximum-cardinality (= perfect, if one
     // exists) matchings minimizes Σw, for any constant C.
-    let flipped: Vec<(usize, usize, i64)> = edges
-        .iter()
-        .map(|&(u, v, w)| (u, v, max_w + 1 - w))
-        .collect();
-    let mates = max_weight_matching(n, &flipped, true);
-    mates.into_iter().collect::<Option<Vec<usize>>>()
+    let mut flipped = std::mem::take(&mut ws.flip_edges);
+    flipped.clear();
+    flipped.extend(edges.iter().map(|&(u, v, w)| (u, v, max_w + 1 - w)));
+    let mut opt = std::mem::take(&mut ws.opt_mates);
+    max_weight_matching_with(ws, n, &flipped, true, &mut opt);
+    ws.flip_edges = flipped;
+    let perfect = opt.iter().all(|m| m.is_some());
+    if perfect {
+        out.extend(opt.iter().map(|m| m.expect("perfect")));
+    }
+    ws.opt_mates = opt;
+    perfect
 }
 
 /// Total weight of a matching, given the edge list it was computed from.
@@ -103,12 +151,22 @@ pub fn matching_weight(mates: &[Option<usize>], edges: &[(usize, usize, i64)]) -
     total
 }
 
-struct Solver {
+/// Reusable solver state for the blossom algorithm.
+///
+/// Create one per long-lived decoder (or worker thread) and pass it to
+/// [`max_weight_matching_with`] / [`min_weight_perfect_matching_with`];
+/// every buffer is sized on first use and cleared — not dropped — between
+/// solves, so the steady-state solve loop performs no heap allocation.
+#[derive(Clone, Debug, Default)]
+pub struct MatchingWorkspace {
     n: usize,
-    edges: Vec<(usize, usize, i64)>,
     max_cardinality: bool,
-    /// `neighbend[v]`: remote endpoint indices of edges incident to v.
-    neighbend: Vec<Vec<usize>>,
+    /// Problem edges with doubled weights.
+    edges: Vec<(usize, usize, i64)>,
+    /// CSR adjacency: remote endpoint indices of edges incident to each
+    /// vertex, delimited by `neigh_start[v]..neigh_start[v + 1]`.
+    neigh_flat: Vec<usize>,
+    neigh_start: Vec<usize>,
     /// `mate[v]`: remote endpoint of v's matched edge, or NONE.
     mate: Vec<usize>,
     /// Label per vertex/blossom id: 0 free, 1 S, 2 T (5 = scan marker).
@@ -130,39 +188,118 @@ struct Solver {
     dualvar: Vec<i64>,
     allowedge: Vec<bool>,
     queue: Vec<usize>,
+    // --- scratch, cleared per use ---
+    /// DFS stack for blossom-leaf walks.
+    leaves: Vec<usize>,
+    /// Collected leaves of one blossom.
+    leaf_buf: Vec<usize>,
+    /// Alternating-tree trace of `scan_blossom`.
+    scan_path: Vec<usize>,
+    /// Children copy scanned while building a new blossom's best edges.
+    child_scan: Vec<usize>,
+    /// Per-blossom least-slack candidate during `add_blossom`
+    /// (NONE-filled; reset via `bestedgeto_touched`).
+    bestedgeto: Vec<usize>,
+    bestedgeto_touched: Vec<usize>,
+    /// Recycled child/endpoint/best-edge lists.
+    pool: Vec<Vec<usize>>,
+    /// Weight-flipped edge copy for the min-perfect reduction.
+    flip_edges: Vec<(usize, usize, i64)>,
+    /// `Option`-mates scratch for the min-perfect reduction.
+    opt_mates: Vec<Option<usize>>,
 }
 
-impl Solver {
-    fn new(n: usize, edges: Vec<(usize, usize, i64)>, max_cardinality: bool) -> Self {
+/// Clears `v` and refills it to `len` copies of `val`, keeping capacity.
+fn refill<T: Clone>(v: &mut Vec<T>, len: usize, val: T) {
+    v.clear();
+    v.resize(len, val);
+}
+
+impl MatchingWorkspace {
+    /// Creates an empty workspace; buffers are sized on first solve.
+    pub fn new() -> Self {
+        MatchingWorkspace::default()
+    }
+
+    /// Takes a recycled list from the pool (or an empty one).
+    fn alloc_list(&mut self) -> Vec<usize> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a list to the pool for reuse.
+    fn recycle(&mut self, mut list: Vec<usize>) {
+        list.clear();
+        self.pool.push(list);
+    }
+
+    /// Loads a problem instance, doubling the weights so that all duals
+    /// remain integral, and resets all solver state.
+    fn prepare(&mut self, n: usize, edges: &[(usize, usize, i64)], max_cardinality: bool) {
+        self.n = n;
+        self.max_cardinality = max_cardinality;
         let nedge = edges.len();
-        let maxweight = edges.iter().map(|e| e.2).max().unwrap_or(0).max(0);
-        let mut neighbend = vec![Vec::new(); n];
+        self.edges.clear();
+        self.edges
+            .extend(edges.iter().map(|&(u, v, w)| (u, v, 2 * w)));
+        let maxweight = self.edges.iter().map(|e| e.2).max().unwrap_or(0).max(0);
+        // CSR adjacency via the shifted-cursor fill.
+        refill(&mut self.neigh_start, n + 2, 0);
+        for &(i, j, _) in edges {
+            self.neigh_start[i + 2] += 1;
+            self.neigh_start[j + 2] += 1;
+        }
+        for v in 2..n + 2 {
+            self.neigh_start[v] += self.neigh_start[v - 1];
+        }
+        refill(&mut self.neigh_flat, 2 * nedge, 0);
         for (k, &(i, j, _)) in edges.iter().enumerate() {
-            neighbend[i].push(2 * k + 1);
-            neighbend[j].push(2 * k);
+            self.neigh_flat[self.neigh_start[i + 1]] = 2 * k + 1;
+            self.neigh_start[i + 1] += 1;
+            self.neigh_flat[self.neigh_start[j + 1]] = 2 * k;
+            self.neigh_start[j + 1] += 1;
         }
-        let mut dualvar = vec![maxweight; n];
-        dualvar.extend(std::iter::repeat_n(0, n));
-        Solver {
-            n,
-            edges,
-            max_cardinality,
-            neighbend,
-            mate: vec![NONE; n],
-            label: vec![0; 2 * n],
-            labelend: vec![NONE; 2 * n],
-            inblossom: (0..n).collect(),
-            blossomparent: vec![NONE; 2 * n],
-            blossomchilds: vec![None; 2 * n],
-            blossombase: (0..n).chain(std::iter::repeat_n(NONE, n)).collect(),
-            blossomendps: vec![None; 2 * n],
-            bestedge: vec![NONE; 2 * n],
-            blossombestedges: vec![None; 2 * n],
-            unusedblossoms: (n..2 * n).collect(),
-            dualvar,
-            allowedge: vec![false; nedge],
-            queue: Vec::new(),
+        self.neigh_start.pop();
+        // Solver state.
+        refill(&mut self.mate, n, NONE);
+        refill(&mut self.label, 2 * n, 0);
+        refill(&mut self.labelend, 2 * n, NONE);
+        self.inblossom.clear();
+        self.inblossom.extend(0..n);
+        refill(&mut self.blossomparent, 2 * n, NONE);
+        for slot in &mut self.blossomchilds {
+            if let Some(mut list) = slot.take() {
+                list.clear();
+                self.pool.push(list);
+            }
         }
+        self.blossomchilds.resize(2 * n, None);
+        for slot in &mut self.blossomendps {
+            if let Some(mut list) = slot.take() {
+                list.clear();
+                self.pool.push(list);
+            }
+        }
+        self.blossomendps.resize(2 * n, None);
+        self.blossombase.clear();
+        self.blossombase.extend(0..n);
+        self.blossombase.resize(2 * n, NONE);
+        refill(&mut self.bestedge, 2 * n, NONE);
+        for slot in &mut self.blossombestedges {
+            if let Some(mut list) = slot.take() {
+                list.clear();
+                self.pool.push(list);
+            }
+        }
+        self.blossombestedges.resize(2 * n, None);
+        self.unusedblossoms.clear();
+        self.unusedblossoms.extend(n..2 * n);
+        self.dualvar.clear();
+        self.dualvar.resize(n, maxweight);
+        self.dualvar.resize(2 * n, 0);
+        refill(&mut self.allowedge, nedge, false);
+        self.queue.clear();
+        refill(&mut self.bestedgeto, 2 * n, NONE);
+        self.bestedgeto_touched.clear();
     }
 
     /// Vertex at endpoint index `p`.
@@ -181,13 +318,16 @@ impl Solver {
         self.dualvar[i] + self.dualvar[j] - 2 * wt
     }
 
-    /// All vertices contained (recursively) in blossom/vertex `b`.
-    fn blossom_leaves(&self, b: usize) -> Vec<usize> {
+    /// Appends all vertices contained (recursively) in blossom/vertex `b`
+    /// to `out`, using the workspace leaf stack as scratch.
+    fn push_leaves(&mut self, b: usize, out: &mut Vec<usize>) {
         if b < self.n {
-            return vec![b];
+            out.push(b);
+            return;
         }
-        let mut out = Vec::new();
-        let mut stack = vec![b];
+        let mut stack = std::mem::take(&mut self.leaves);
+        debug_assert!(stack.is_empty());
+        stack.push(b);
         while let Some(t) = stack.pop() {
             if t < self.n {
                 out.push(t);
@@ -195,11 +335,20 @@ impl Solver {
                 stack.extend(
                     self.blossomchilds[t]
                         .as_ref()
-                        .expect("expanded blossom has children"),
+                        .expect("expanded blossom has children")
+                        .iter()
+                        .copied(),
                 );
             }
         }
-        out
+        self.leaves = stack;
+    }
+
+    /// Pushes all leaves of blossom/vertex `b` onto the scan queue.
+    fn queue_leaves(&mut self, b: usize) {
+        let mut queue = std::mem::take(&mut self.queue);
+        self.push_leaves(b, &mut queue);
+        self.queue = queue;
     }
 
     /// Assigns label `t` to the top-level blossom of vertex `w`, entered
@@ -215,8 +364,7 @@ impl Solver {
         self.bestedge[b] = NONE;
         if t == 1 {
             // S-blossom: scan its vertices.
-            let leaves = self.blossom_leaves(b);
-            self.queue.extend(leaves);
+            self.queue_leaves(b);
         } else if t == 2 {
             // T-blossom: its mate (through the base) becomes an S-vertex.
             let base = self.blossombase[b];
@@ -232,7 +380,7 @@ impl Solver {
     /// vertex, or NONE if the trees have different roots (an augmenting
     /// path exists).
     fn scan_blossom(&mut self, v: usize, w: usize) -> usize {
-        let mut path = Vec::new();
+        self.scan_path.clear();
         let mut base = NONE;
         let (mut v, mut w) = (v, w);
         while v != NONE || w != NONE {
@@ -242,7 +390,7 @@ impl Solver {
                 break;
             }
             debug_assert_eq!(self.label[b], 1);
-            path.push(b);
+            self.scan_path.push(b);
             self.label[b] = 5;
             debug_assert_eq!(self.labelend[b], self.mate[self.blossombase[b]]);
             if self.labelend[b] == NONE {
@@ -258,10 +406,28 @@ impl Solver {
                 std::mem::swap(&mut v, &mut w);
             }
         }
-        for b in path {
+        for i in 0..self.scan_path.len() {
+            let b = self.scan_path[i];
             self.label[b] = 1;
         }
         base
+    }
+
+    /// Considers edge `k2` as a least-slack candidate from new blossom
+    /// `b` to the S-blossom at its far end.
+    fn consider_bestedgeto(&mut self, b: usize, k2: usize) {
+        let (i, j, _) = self.edges[k2];
+        let j = if self.inblossom[j] == b { i } else { j };
+        let bj = self.inblossom[j];
+        if bj != b && self.label[bj] == 1 {
+            let cur = self.bestedgeto[bj];
+            if cur == NONE || self.slack(k2) < self.slack(cur) {
+                if cur == NONE {
+                    self.bestedgeto_touched.push(bj);
+                }
+                self.bestedgeto[bj] = k2;
+            }
+        }
     }
 
     /// Creates a new blossom with base `base` through tight edge `k`.
@@ -275,8 +441,8 @@ impl Solver {
         self.blossomparent[b] = NONE;
         self.blossomparent[bb] = b;
         // Trace from v back to the base, collecting sub-blossoms.
-        let mut path = Vec::new();
-        let mut endps = Vec::new();
+        let mut path = self.alloc_list();
+        let mut endps = self.alloc_list();
         while bv != bb {
             self.blossomparent[bv] = b;
             path.push(bv);
@@ -308,8 +474,12 @@ impl Solver {
             w = self.endpoint(self.labelend[bw]);
             bw = self.inblossom[w];
         }
-        // Register the children before walking the new blossom's leaves.
-        self.blossomchilds[b] = Some(path.clone());
+        // Register the children before walking the new blossom's leaves,
+        // keeping a scratch copy for the best-edge scan below.
+        let mut scan = std::mem::take(&mut self.child_scan);
+        scan.clear();
+        scan.extend_from_slice(&path);
+        self.blossomchilds[b] = Some(path);
         self.blossomendps[b] = Some(endps);
         // The new blossom is an S-blossom.
         debug_assert_eq!(self.label[bb], 1);
@@ -317,42 +487,55 @@ impl Solver {
         self.labelend[b] = self.labelend[bb];
         self.dualvar[b] = 0;
         // Relabel contained vertices; former T-vertices become S.
-        for leaf in self.blossom_leaves(b) {
+        let mut buf = std::mem::take(&mut self.leaf_buf);
+        buf.clear();
+        self.push_leaves(b, &mut buf);
+        for &leaf in &buf {
             if self.label[self.inblossom[leaf]] == 2 {
                 self.queue.push(leaf);
             }
             self.inblossom[leaf] = b;
         }
         // Compute the blossom's least-slack edges to other S-blossoms.
-        let mut bestedgeto = vec![NONE; 2 * self.n];
-        for &bv in &path {
-            let nblists: Vec<Vec<usize>> = match self.blossombestedges[bv].take() {
-                Some(list) => vec![list],
-                None => self
-                    .blossom_leaves(bv)
-                    .into_iter()
-                    .map(|leaf| self.neighbend[leaf].iter().map(|p| p / 2).collect())
-                    .collect(),
-            };
-            for nblist in nblists {
-                for k2 in nblist {
-                    let (mut i, mut j, _) = self.edges[k2];
-                    if self.inblossom[j] == b {
-                        std::mem::swap(&mut i, &mut j);
+        debug_assert!(self.bestedgeto_touched.is_empty());
+        for &bv in &scan {
+            match self.blossombestedges[bv].take() {
+                Some(list) => {
+                    for idx in 0..list.len() {
+                        self.consider_bestedgeto(b, list[idx]);
                     }
-                    let _ = i;
-                    let bj = self.inblossom[j];
-                    if bj != b
-                        && self.label[bj] == 1
-                        && (bestedgeto[bj] == NONE || self.slack(k2) < self.slack(bestedgeto[bj]))
-                    {
-                        bestedgeto[bj] = k2;
+                    self.recycle(list);
+                }
+                None => {
+                    buf.clear();
+                    self.push_leaves(bv, &mut buf);
+                    for &leaf in &buf {
+                        let (s, e) = (self.neigh_start[leaf], self.neigh_start[leaf + 1]);
+                        for idx in s..e {
+                            let k2 = self.neigh_flat[idx] / 2;
+                            self.consider_bestedgeto(b, k2);
+                        }
                     }
                 }
             }
             self.bestedge[bv] = NONE;
         }
-        let best_list: Vec<usize> = bestedgeto.into_iter().filter(|&k2| k2 != NONE).collect();
+        self.leaf_buf = buf;
+        self.child_scan = scan;
+        let mut best_list = self.alloc_list();
+        // Ascending blossom-id order, matching the dense-array scan this
+        // replaces (keeps slack tie-breaking — and thus exact outputs —
+        // unchanged).
+        self.bestedgeto_touched.sort_unstable();
+        for idx in 0..self.bestedgeto_touched.len() {
+            let bj = self.bestedgeto_touched[idx];
+            let k2 = self.bestedgeto[bj];
+            if k2 != NONE {
+                best_list.push(k2);
+                self.bestedgeto[bj] = NONE;
+            }
+        }
+        self.bestedgeto_touched.clear();
         self.bestedge[b] = NONE;
         for &k2 in &best_list {
             if self.bestedge[b] == NONE || self.slack(k2) < self.slack(self.bestedge[b]) {
@@ -373,7 +556,8 @@ impl Solver {
     /// expands zero-dual sub-blossoms; otherwise relabels along the
     /// even-length path to preserve the alternating tree.
     fn expand_blossom(&mut self, b: usize, endstage: bool) {
-        let childs = self.blossomchilds[b].clone().expect("blossom has children");
+        let childs = self.blossomchilds[b].take().expect("blossom has children");
+        let endps = self.blossomendps[b].take().expect("blossom has endpoints");
         for &s in &childs {
             self.blossomparent[s] = NONE;
             if s < self.n {
@@ -381,9 +565,13 @@ impl Solver {
             } else if endstage && self.dualvar[s] == 0 {
                 self.expand_blossom(s, endstage);
             } else {
-                for leaf in self.blossom_leaves(s) {
+                let mut buf = std::mem::take(&mut self.leaf_buf);
+                buf.clear();
+                self.push_leaves(s, &mut buf);
+                for &leaf in &buf {
                     self.inblossom[leaf] = s;
                 }
+                self.leaf_buf = buf;
             }
         }
         if !endstage && self.label[b] == 2 {
@@ -391,7 +579,6 @@ impl Solver {
             // from its entry child to its base, and clear the rest.
             debug_assert!(self.labelend[b] != NONE);
             let entrychild = self.inblossom[self.endpoint(self.labelend[b] ^ 1)];
-            let endps = self.blossomendps[b].clone().expect("blossom has endpoints");
             let mut j = childs
                 .iter()
                 .position(|&c| c == entrychild)
@@ -437,12 +624,16 @@ impl Solver {
                     continue;
                 }
                 let mut labeled_vertex = NONE;
-                for leaf in self.blossom_leaves(bv) {
+                let mut buf = std::mem::take(&mut self.leaf_buf);
+                buf.clear();
+                self.push_leaves(bv, &mut buf);
+                for &leaf in &buf {
                     if self.label[leaf] != 0 {
                         labeled_vertex = leaf;
                         break;
                     }
                 }
+                self.leaf_buf = buf;
                 if labeled_vertex != NONE {
                     let v = labeled_vertex;
                     debug_assert_eq!(self.label[v], 2);
@@ -457,14 +648,16 @@ impl Solver {
                 j += jstep;
             }
         }
-        // Recycle the blossom id.
+        // Recycle the blossom id and its lists.
         self.label[b] = 0;
         self.labelend[b] = NONE;
-        self.blossomchilds[b] = None;
-        self.blossomendps[b] = None;
         self.blossombase[b] = NONE;
-        self.blossombestedges[b] = None;
+        if let Some(list) = self.blossombestedges[b].take() {
+            self.recycle(list);
+        }
         self.bestedge[b] = NONE;
+        self.recycle(childs);
+        self.recycle(endps);
         self.unusedblossoms.push(b);
     }
 
@@ -479,8 +672,8 @@ impl Solver {
         if t >= self.n {
             self.augment_blossom(t, v);
         }
-        let childs = self.blossomchilds[b].clone().expect("children");
-        let endps = self.blossomendps[b].clone().expect("endps");
+        let childs = self.blossomchilds[b].take().expect("children");
+        let endps = self.blossomendps[b].take().expect("endps");
         let i = childs.iter().position(|&c| c == t).expect("child position");
         let mut j = i as i64;
         let (jstep, endptrick): (i64, usize) = if i & 1 != 0 {
@@ -560,7 +753,9 @@ impl Solver {
             self.label.iter_mut().for_each(|l| *l = 0);
             self.bestedge.iter_mut().for_each(|e| *e = NONE);
             for b in n..2 * n {
-                self.blossombestedges[b] = None;
+                if let Some(list) = self.blossombestedges[b].take() {
+                    self.recycle(list);
+                }
             }
             self.allowedge.iter_mut().for_each(|a| *a = false);
             self.queue.clear();
@@ -573,9 +768,10 @@ impl Solver {
             loop {
                 while let Some(v) = self.queue.pop() {
                     debug_assert_eq!(self.label[self.inblossom[v]], 1);
-                    let ends: Vec<usize> = self.neighbend[v].clone();
+                    let (nb_start, nb_end) = (self.neigh_start[v], self.neigh_start[v + 1]);
                     let mut did_augment = false;
-                    for p in ends {
+                    for nb_idx in nb_start..nb_end {
+                        let p = self.neigh_flat[nb_idx];
                         let k = p / 2;
                         let w = self.endpoint(p);
                         if self.inblossom[v] == self.inblossom[w] {
@@ -1088,6 +1284,84 @@ mod tests {
     #[should_panic(expected = "self-loop")]
     fn self_loop_rejected() {
         max_weight_matching(2, &[(1, 1, 5)], false);
+    }
+
+    /// Matching-validity invariants on random weighted graphs: every
+    /// vertex appears in at most one pair, `mate` is symmetric, matched
+    /// pairs are actual edges, and the total weight equals a brute-force
+    /// optimum for n ≤ 8.
+    #[test]
+    fn validity_invariants_on_random_weighted_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(46);
+        for trial in 0..300 {
+            let n = rng.gen_range(2..=8);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen::<f64>() < 0.5 {
+                        edges.push((u, v, rng.gen_range(-20..=60)));
+                    }
+                }
+            }
+            if edges.is_empty() {
+                continue;
+            }
+            for maxcard in [false, true] {
+                let mates = max_weight_matching(n, &edges, maxcard);
+                // At most one pair per vertex is structural (one mate
+                // slot); symmetry and edge-membership are checked
+                // explicitly.
+                check_valid(n, &edges, &mates);
+                let w = matching_weight(&mates, &edges);
+                let (best_w, best_cw) = brute_force(n, &edges);
+                if maxcard {
+                    let card = mates.iter().flatten().count() / 2;
+                    assert_eq!((card, w), best_cw, "maxcard trial {trial}: {edges:?}");
+                } else {
+                    assert_eq!(w, best_w, "trial {trial}: {edges:?}");
+                }
+            }
+        }
+    }
+
+    /// A long-lived workspace reused across heterogeneous instances must
+    /// produce outputs bit-identical to fresh per-call solves.
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_fresh_solves() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(47);
+        let mut ws = MatchingWorkspace::new();
+        let mut reused = Vec::new();
+        let mut reused_perfect = Vec::new();
+        for trial in 0..200 {
+            // Vary n so buffers grow and shrink across calls.
+            let n = rng.gen_range(2..=12);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen::<f64>() < 0.7 {
+                        edges.push((u, v, rng.gen_range(-40..=80)));
+                    }
+                }
+            }
+            if edges.is_empty() {
+                continue;
+            }
+            for maxcard in [false, true] {
+                max_weight_matching_with(&mut ws, n, &edges, maxcard, &mut reused);
+                let fresh = max_weight_matching(n, &edges, maxcard);
+                assert_eq!(reused, fresh, "trial {trial} maxcard={maxcard}: {edges:?}");
+            }
+            let ok = min_weight_perfect_matching_with(&mut ws, n, &edges, &mut reused_perfect);
+            let fresh = min_weight_perfect_matching(n, &edges);
+            assert_eq!(ok, fresh.is_some(), "trial {trial}: {edges:?}");
+            if let Some(fresh) = fresh {
+                assert_eq!(reused_perfect, fresh, "trial {trial}: {edges:?}");
+            }
+        }
     }
 
     #[test]

@@ -94,12 +94,17 @@ pub struct PromatchStats {
 }
 
 /// The Promatch predecoder (Algorithm 1).
+///
+/// Owns a persistent subgraph state plus scan scratch; a long-lived
+/// predecoder rebuilds them in place per shot instead of reallocating.
 #[derive(Clone, Debug)]
 pub struct PromatchPredecoder<'a> {
     graph: &'a DecodingGraph,
     paths: &'a PathTable,
     config: PromatchConfig,
     last_stats: PromatchStats,
+    state: SubgraphState,
+    isolated_scratch: Vec<(usize, usize)>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -137,6 +142,8 @@ impl<'a> PromatchPredecoder<'a> {
             paths,
             config,
             last_stats: PromatchStats::default(),
+            state: SubgraphState::default(),
+            isolated_scratch: Vec::new(),
         }
     }
 
@@ -185,7 +192,12 @@ impl Predecoder for PromatchPredecoder<'_> {
     }
 
     fn predecode(&mut self, dets: &[DetectorId]) -> PredecodeOutcome {
-        let mut st = SubgraphState::build(self.graph, dets);
+        // Take the persistent buffers out of `self` for the duration of
+        // the call (restored before returning): rebuilding in place keeps
+        // the hot loop free of scratch allocation.
+        let mut st = std::mem::take(&mut self.state);
+        let mut isolated = std::mem::take(&mut self.isolated_scratch);
+        st.rebuild(self.graph, dets);
         let mut stats = PromatchStats::default();
         let mut pairs: Vec<(DetectorId, DetectorId)> = Vec::new();
         let mut obs = 0u64;
@@ -218,7 +230,7 @@ impl Predecoder for PromatchPredecoder<'_> {
             let edges_now = st.live_edges();
 
             // --- One pipeline pass over the live edges (Figure 10). ---
-            let mut isolated: Vec<(usize, usize)> = Vec::new();
+            isolated.clear();
             let mut c21: Option<Candidate> = None;
             let mut c22: Option<Candidate> = None;
             let mut c41: Option<Candidate> = None;
@@ -264,7 +276,7 @@ impl Predecoder for PromatchPredecoder<'_> {
             // target would underutilize the exact main decoder, §2.6).
             if !isolated.is_empty() {
                 stats.cycles += self.scan_cycles(edges_now);
-                for (i, j) in isolated {
+                for &(i, j) in &isolated {
                     if st.hw <= round_target {
                         break;
                     }
@@ -290,32 +302,29 @@ impl Predecoder for PromatchPredecoder<'_> {
             let mut c3: Option<Candidate> = None;
             let mut step3_paths = 0usize;
             if c21.is_none() && c22.is_none() {
-                let singles = st.singletons();
-                if !singles.is_empty() {
-                    for &j in &singles {
-                        for i in st.live_slots() {
-                            if i == j {
-                                continue;
-                            }
-                            step3_paths += 1;
-                            // Removing i must not orphan i's dependents;
-                            // removing a singleton orphans nobody.
-                            if st.dependents(i) != 0 {
-                                continue;
-                            }
-                            let w = self.step3_weight(st.nodes[i], st.nodes[j]);
-                            if w == i64::MAX {
-                                continue;
-                            }
-                            consider(
-                                &mut c3,
-                                Candidate {
-                                    i: i.min(j),
-                                    j: i.max(j),
-                                    weight: w,
-                                },
-                            );
+                for j in st.singleton_slots() {
+                    for i in st.live_slots() {
+                        if i == j {
+                            continue;
                         }
+                        step3_paths += 1;
+                        // Removing i must not orphan i's dependents;
+                        // removing a singleton orphans nobody.
+                        if st.dependents(i) != 0 {
+                            continue;
+                        }
+                        let w = self.step3_weight(st.nodes[i], st.nodes[j]);
+                        if w == i64::MAX {
+                            continue;
+                        }
+                        consider(
+                            &mut c3,
+                            Candidate {
+                                i: i.min(j),
+                                j: i.max(j),
+                                weight: w,
+                            },
+                        );
                     }
                 }
             }
@@ -370,8 +379,12 @@ impl Predecoder for PromatchPredecoder<'_> {
 
         stats.pairs = pairs.len();
         stats.predecode_ns = stats.cycles as f64 * CYCLE_NS;
-        let remaining: Vec<DetectorId> = st.live_slots().into_iter().map(|i| st.nodes[i]).collect();
+        let remaining: Vec<DetectorId> = st.live_slots().map(|i| st.nodes[i]).collect();
         self.last_stats = stats;
+        // Hand the persistent buffers back for the next shot.
+        self.state = st;
+        isolated.clear();
+        self.isolated_scratch = isolated;
         if stats.aborted {
             return PredecodeOutcome {
                 remaining: dets.to_vec(),

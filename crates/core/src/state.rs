@@ -5,8 +5,7 @@
 //! property arrays — `deg` and `#dependent` — that feed the singleton
 //! detection and step-candidate logic of Figures 10/11.
 
-use decoding_graph::{DecodingGraph, DetectorId};
-use std::collections::HashMap;
+use decoding_graph::{DecodingGraph, DetectorId, SlotMap};
 
 /// One neighbor entry in the subgraph adjacency.
 #[derive(Clone, Copy, Debug)]
@@ -20,7 +19,11 @@ pub(crate) struct Nbr {
 }
 
 /// Mutable subgraph state over one syndrome.
-#[derive(Clone, Debug)]
+///
+/// Supports in-place [`SubgraphState::rebuild`]: the Promatch predecoder
+/// keeps one instance alive across shots and only clears — never frees —
+/// the adjacency and slot-map buffers.
+#[derive(Clone, Debug, Default)]
 pub(crate) struct SubgraphState {
     /// Flipped detectors by slot.
     pub nodes: Vec<DetectorId>,
@@ -33,27 +36,52 @@ pub(crate) struct SubgraphState {
     pub deg: Vec<u32>,
     /// Number of live nodes.
     pub hw: usize,
+    /// Dense detector→slot map, reset in O(k) per rebuild.
+    slots: SlotMap,
 }
 
 impl SubgraphState {
-    /// Builds the state for `dets` (sorted, unique).
+    /// Builds the state for `dets` (sorted, unique). Production code
+    /// rebuilds a persistent instance instead; this one-shot constructor
+    /// serves the unit tests.
+    #[cfg(test)]
     pub fn build(graph: &DecodingGraph, dets: &[DetectorId]) -> Self {
-        let slot_of: HashMap<DetectorId, usize> =
-            dets.iter().enumerate().map(|(i, &d)| (d, i)).collect();
-        let mut adj: Vec<Vec<Nbr>> = vec![Vec::new(); dets.len()];
+        let mut st = SubgraphState::default();
+        st.rebuild(graph, dets);
+        st
+    }
+
+    /// Rebuilds the state in place for a new syndrome.
+    pub fn rebuild(&mut self, graph: &DecodingGraph, dets: &[DetectorId]) {
+        let k = dets.len();
+        self.nodes.clear();
+        self.nodes.extend_from_slice(dets);
+        self.alive.clear();
+        self.alive.resize(k, true);
+        if self.adj.len() < k {
+            self.adj.resize_with(k, Vec::new);
+        }
+        for list in &mut self.adj[..k] {
+            list.clear();
+        }
+        self.hw = k;
+        self.slots.reset(graph.num_detectors() as usize);
+        for (i, &d) in dets.iter().enumerate() {
+            self.slots.insert(d, i);
+        }
         let bd = graph.boundary_node();
         for (ai, &a) in dets.iter().enumerate() {
             for (nbr, e) in graph.neighbors(a) {
                 if nbr == bd || nbr <= a {
                     continue;
                 }
-                if let Some(&bi) = slot_of.get(&nbr) {
-                    adj[ai].push(Nbr {
+                if let Some(bi) = self.slots.get(nbr) {
+                    self.adj[ai].push(Nbr {
                         slot: bi,
                         weight: e.weight,
                         obs: e.obs,
                     });
-                    adj[bi].push(Nbr {
+                    self.adj[bi].push(Nbr {
                         slot: ai,
                         weight: e.weight,
                         obs: e.obs,
@@ -61,20 +89,15 @@ impl SubgraphState {
                 }
             }
         }
-        let deg: Vec<u32> = adj.iter().map(|l| l.len() as u32).collect();
-        SubgraphState {
-            nodes: dets.to_vec(),
-            alive: vec![true; dets.len()],
-            adj,
-            deg,
-            hw: dets.len(),
-        }
+        self.deg.clear();
+        self.deg
+            .extend(self.adj[..k].iter().map(|l| l.len() as u32));
     }
 
     /// Live-edge count (each edge counted once).
     pub fn live_edges(&self) -> usize {
         let mut count = 0;
-        for (i, list) in self.adj.iter().enumerate() {
+        for (i, list) in self.adj[..self.nodes.len()].iter().enumerate() {
             if !self.alive[i] {
                 continue;
             }
@@ -134,7 +157,8 @@ impl SubgraphState {
             self.hw -= 1;
         }
         for slot in [i, j] {
-            for n in self.adj[slot].clone() {
+            for ni in 0..self.adj[slot].len() {
+                let n = self.adj[slot][ni];
                 if self.alive[n.slot] {
                     self.deg[n.slot] -= 1;
                 }
@@ -145,15 +169,13 @@ impl SubgraphState {
     }
 
     /// Live slots that are singletons (degree 0).
-    pub fn singletons(&self) -> Vec<usize> {
-        (0..self.nodes.len())
-            .filter(|&i| self.alive[i] && self.deg[i] == 0)
-            .collect()
+    pub fn singleton_slots(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.nodes.len()).filter(|&i| self.alive[i] && self.deg[i] == 0)
     }
 
     /// Live slot indices.
-    pub fn live_slots(&self) -> Vec<usize> {
-        (0..self.nodes.len()).filter(|&i| self.alive[i]).collect()
+    pub fn live_slots(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.nodes.len()).filter(|&i| self.alive[i])
     }
 }
 
@@ -236,7 +258,7 @@ mod tests {
     fn singletons_are_isolated_live_nodes() {
         let g = graph_from_edges(3, &[(0, 1)]);
         let st = SubgraphState::build(&g, &[0, 1, 2]);
-        assert_eq!(st.singletons(), vec![2]);
+        assert_eq!(st.singleton_slots().collect::<Vec<_>>(), vec![2]);
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   of one syndrome (Figure 6 of the paper), the object all
 //!   predecoders inspect.
 //! * [`Decoder`] / [`Predecoder`] traits with [`DecodeOutcome`] /
-//!   [`PredecodeOutcome`] result types.
+//!   [`PredecodeOutcome`] result types, plus the batched
+//!   [`Decoder::decode_batch`] entry point.
+//! * [`DecodeWorkspace`] / [`SlotMap`] / [`SyndromeBatch`] — reusable
+//!   scratch arenas and flat shot batches that keep the steady-state
+//!   decode loop free of per-shot scratch allocation.
 //!
 //! # Example
 //!
@@ -36,11 +40,13 @@ mod graph;
 mod pathtable;
 mod subgraph;
 mod traits;
+mod workspace;
 
 pub use graph::{DecodingGraph, Edge, ShortestPaths, WEIGHT_SCALE};
 pub use pathtable::{PathTable, StorageModel};
 pub use subgraph::DecodingSubgraph;
 pub use traits::{DecodeOutcome, Decoder, MatchPair, MatchTarget, PredecodeOutcome, Predecoder};
+pub use workspace::{DecodeWorkspace, SlotMap, SyndromeBatch};
 
 /// Index of a detector within a decoding graph.
 pub type DetectorId = u32;

@@ -6,8 +6,8 @@
 //! "dependent" counts drive Promatch's candidate selection.
 
 use crate::graph::DecodingGraph;
+use crate::workspace::SlotMap;
 use crate::DetectorId;
-use std::collections::HashMap;
 
 /// An edge of the decoding subgraph, in node-slot indices.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,24 +24,54 @@ pub struct SubEdge {
 
 /// The subgraph of the decoding graph induced by a set of flipped
 /// detectors.
-#[derive(Clone, Debug)]
+///
+/// Supports in-place [`DecodingSubgraph::rebuild`], so a long-lived
+/// predecoder reuses the node/edge/adjacency buffers (and the dense
+/// detector→slot map) across shots instead of reallocating them.
+#[derive(Clone, Debug, Default)]
 pub struct DecodingSubgraph {
     nodes: Vec<DetectorId>,
     edges: Vec<SubEdge>,
     adj: Vec<Vec<u32>>, // node slot -> edge indices
+    deg: Vec<u32>,
+    slots: SlotMap,
 }
 
 impl DecodingSubgraph {
+    /// Creates an empty subgraph (populate with
+    /// [`DecodingSubgraph::rebuild`]).
+    pub fn new() -> Self {
+        DecodingSubgraph::default()
+    }
+
     /// Builds the subgraph induced by `dets` (must be sorted, unique).
     pub fn build(graph: &DecodingGraph, dets: &[DetectorId]) -> Self {
+        let mut sg = DecodingSubgraph::new();
+        sg.rebuild(graph, dets);
+        sg
+    }
+
+    /// Rebuilds the subgraph in place for a new syndrome, clearing — not
+    /// freeing — all internal buffers.
+    pub fn rebuild(&mut self, graph: &DecodingGraph, dets: &[DetectorId]) {
         debug_assert!(
             dets.windows(2).all(|w| w[0] < w[1]),
             "detectors not sorted/unique"
         );
-        let slot_of: HashMap<DetectorId, usize> =
-            dets.iter().enumerate().map(|(i, &d)| (d, i)).collect();
-        let mut edges = Vec::new();
-        let mut adj = vec![Vec::new(); dets.len()];
+        let k = dets.len();
+        self.nodes.clear();
+        self.nodes.extend_from_slice(dets);
+        self.edges.clear();
+        if self.adj.len() < k {
+            self.adj.resize_with(k, Vec::new);
+        }
+        for list in &mut self.adj[..k] {
+            list.clear();
+        }
+        self.slots.reset(graph.num_detectors() as usize);
+        for (i, &d) in dets.iter().enumerate() {
+            self.slots.insert(d, i);
+        }
         for (ai, &a) in dets.iter().enumerate() {
             for (nbr, e) in graph.neighbors(a) {
                 if nbr == graph.boundary_node() {
@@ -51,23 +81,24 @@ impl DecodingSubgraph {
                 if nbr <= a {
                     continue;
                 }
-                if let Some(&bi) = slot_of.get(&nbr) {
-                    let idx = edges.len() as u32;
-                    edges.push(SubEdge {
+                if let Some(bi) = self.slots.get(nbr) {
+                    let idx = self.edges.len() as u32;
+                    self.edges.push(SubEdge {
                         a: ai,
                         b: bi,
                         weight: e.weight,
                         obs: e.obs,
                     });
-                    adj[ai].push(idx);
-                    adj[bi].push(idx);
+                    self.adj[ai].push(idx);
+                    self.adj[bi].push(idx);
                 }
             }
         }
-        DecodingSubgraph {
-            nodes: dets.to_vec(),
-            edges,
-            adj,
+        self.deg.clear();
+        self.deg.resize(k, 0);
+        for e in &self.edges {
+            self.deg[e.a] += 1;
+            self.deg[e.b] += 1;
         }
     }
 
@@ -91,14 +122,9 @@ impl DecodingSubgraph {
         &self.adj[slot]
     }
 
-    /// Degree of every node slot.
-    pub fn degrees(&self) -> Vec<u32> {
-        let mut deg = vec![0u32; self.nodes.len()];
-        for e in &self.edges {
-            deg[e.a] += 1;
-            deg[e.b] += 1;
-        }
-        deg
+    /// Degree of every node slot (cached at build time).
+    pub fn degrees(&self) -> &[u32] {
+        &self.deg
     }
 
     /// Neighbor slots of `slot`.

@@ -1,5 +1,6 @@
 //! Decoder and predecoder interfaces shared across the workspace.
 
+use crate::workspace::SyndromeBatch;
 use crate::DetectorId;
 
 /// The partner a detector was matched to.
@@ -61,6 +62,20 @@ pub trait Decoder {
     /// Decodes one syndrome given as the sorted list of flipped
     /// detectors.
     fn decode(&mut self, dets: &[DetectorId]) -> DecodeOutcome;
+
+    /// Decodes a whole batch of syndromes into `out` (cleared first).
+    ///
+    /// Long-lived decoders keep their internal workspaces warm across the
+    /// batch, so streaming chunks of shots through this entry point keeps
+    /// the steady-state decode loop free of scratch allocation. `out` is
+    /// caller-owned and reusable across batches.
+    fn decode_batch(&mut self, batch: &SyndromeBatch, out: &mut Vec<DecodeOutcome>) {
+        out.clear();
+        out.reserve(batch.len());
+        for dets in batch.iter() {
+            out.push(self.decode(dets));
+        }
+    }
 }
 
 /// Result of running a predecoder on one syndrome.
@@ -141,5 +156,41 @@ mod tests {
     fn traits_are_object_safe() {
         fn _takes_decoder(_: &mut dyn Decoder) {}
         fn _takes_predecoder(_: &mut dyn Predecoder) {}
+    }
+
+    /// A decoder that reports the syndrome weight as its obs mask.
+    struct CountingDecoder;
+
+    impl Decoder for CountingDecoder {
+        fn name(&self) -> &str {
+            "counting"
+        }
+
+        fn decode(&mut self, dets: &[DetectorId]) -> DecodeOutcome {
+            DecodeOutcome {
+                obs_flip: dets.len() as u64,
+                weight: None,
+                latency_ns: None,
+                failed: false,
+                matches: Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_batch_clears_and_covers_every_shot() {
+        let mut dec = CountingDecoder;
+        let mut batch = SyndromeBatch::new();
+        batch.push(&[1, 2, 3]);
+        batch.push(&[]);
+        batch.push(&[7]);
+        let mut out = vec![DecodeOutcome::failure()]; // stale entry
+        dec.decode_batch(&batch, &mut out);
+        let weights: Vec<u64> = out.iter().map(|o| o.obs_flip).collect();
+        assert_eq!(weights, vec![3, 0, 1]);
+        // Works through a trait object, too.
+        let dyn_dec: &mut dyn Decoder = &mut dec;
+        dyn_dec.decode_batch(&batch, &mut out);
+        assert_eq!(out.len(), 3);
     }
 }

@@ -1,10 +1,27 @@
 //! The Equation-1 LER estimator and direct Monte-Carlo runner.
+//!
+//! Both runners are **thread-count independent**: work is split into
+//! fixed-size shot chunks, every chunk carries its own RNG stream seeded
+//! by `(seed, k, chunk)`, and chunks are assigned to workers round-robin.
+//! The same seed therefore yields bit-identical reports whether the run
+//! uses 1 thread or N — only wall-clock time changes. Each worker builds
+//! its decoders once and streams whole chunks through
+//! [`Decoder::decode_batch`](decoding_graph::Decoder), so the
+//! steady-state decode loop performs no scratch allocation.
 
 use crate::context::{DecoderKind, ExperimentContext};
 use crate::injection::InjectionSampler;
+use decoding_graph::{DecodeOutcome, SyndromeBatch};
 use qsim::FrameSampler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Shots per seeding chunk of [`run_eq1`]. Fixed so that results do not
+/// depend on the worker-thread count.
+pub const EQ1_SHOT_CHUNK: usize = 64;
+
+/// Shots per seeding chunk of [`run_monte_carlo`].
+pub const MONTE_CARLO_SHOT_CHUNK: usize = 1024;
 
 /// Configuration of an Equation-1 run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -15,7 +32,9 @@ pub struct Eq1Config {
     pub shots_per_k: usize,
     /// RNG seed; every decoder sees identical syndromes.
     pub seed: u64,
-    /// Worker threads (0 = use available parallelism).
+    /// Worker threads (0 = `PROMATCH_THREADS` env override, falling back
+    /// to the available parallelism). The thread count never affects the
+    /// results, only the wall-clock time.
     pub threads: usize,
 }
 
@@ -87,6 +106,7 @@ pub fn run_eq1(ctx: &ExperimentContext, kinds: &[DecoderKind], cfg: &Eq1Config) 
     let sampler = InjectionSampler::new(&ctx.dem);
     let p_occ = sampler.occurrence_probabilities(cfg.k_max);
     let threads = effective_threads(cfg.threads);
+    let num_chunks = cfg.shots_per_k.div_ceil(EQ1_SHOT_CHUNK);
 
     // (failures[d][k], excess[d][k])
     let (failures, excess): (Vec<Vec<u64>>, Vec<Vec<u64>>) = std::thread::scope(|scope| {
@@ -97,24 +117,43 @@ pub fn run_eq1(ctx: &ExperimentContext, kinds: &[DecoderKind], cfg: &Eq1Config) 
             handles.push(scope.spawn(move || {
                 let mut local = vec![vec![0u64; cfg.k_max + 1]; kinds_ref.len()];
                 let mut local_excess = vec![vec![0u64; cfg.k_max + 1]; kinds_ref.len()];
+                // One long-lived decoder set per worker: their internal
+                // workspaces stay warm across every chunk.
                 let mut decoders: Vec<_> =
                     kinds_ref.iter().map(|&kind| ctx.decoder(kind)).collect();
+                let mut batch = SyndromeBatch::new();
+                let mut obs_buf: Vec<u64> = Vec::new();
+                let mut outcomes: Vec<DecodeOutcome> = Vec::new();
+                let mut base_failed: Vec<bool> = Vec::new();
                 for k in 1..=cfg.k_max {
-                    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (k as u64) << 32 ^ t as u64);
-                    let shots = share(cfg.shots_per_k, threads, t);
-                    for _ in 0..shots {
-                        let (shot, _) = sampler.sample_exact_k(&mut rng, k);
-                        let mut baseline_failed = false;
+                    // Chunks are assigned round-robin; each carries its
+                    // own (seed, k, chunk)-derived RNG stream, so the
+                    // failure totals cannot depend on the thread count.
+                    for chunk in (t..num_chunks).step_by(threads) {
+                        let mut rng = StdRng::seed_from_u64(chunk_seed(cfg.seed, k, chunk));
+                        let lo = chunk * EQ1_SHOT_CHUNK;
+                        let hi = ((chunk + 1) * EQ1_SHOT_CHUNK).min(cfg.shots_per_k);
+                        batch.clear();
+                        obs_buf.clear();
+                        for _ in lo..hi {
+                            let (shot, _) = sampler.sample_exact_k(&mut rng, k);
+                            batch.push(&shot.dets);
+                            obs_buf.push(shot.obs);
+                        }
+                        base_failed.clear();
+                        base_failed.resize(batch.len(), false);
                         for (d, dec) in decoders.iter_mut().enumerate() {
-                            let out = dec.decode(&shot.dets);
-                            let failed = out.failed || out.obs_flip != shot.obs;
-                            if d == 0 {
-                                baseline_failed = failed;
-                            }
-                            if failed {
-                                local[d][k] += 1;
-                                if !baseline_failed {
-                                    local_excess[d][k] += 1;
+                            dec.decode_batch(&batch, &mut outcomes);
+                            for (s, out) in outcomes.iter().enumerate() {
+                                let failed = out.failed || out.obs_flip != obs_buf[s];
+                                if d == 0 {
+                                    base_failed[s] = failed;
+                                }
+                                if failed {
+                                    local[d][k] += 1;
+                                    if !base_failed[s] {
+                                        local_excess[d][k] += 1;
+                                    }
                                 }
                             }
                         }
@@ -178,7 +217,8 @@ pub struct MonteCarloReport {
 
 /// Samples `shots` circuit-level shots and decodes them with `kind`,
 /// counting logical failures. Suitable when the LER is large enough to
-/// observe directly (the regime of the quickstart examples).
+/// observe directly (the regime of the quickstart examples). Like
+/// [`run_eq1`], the report is identical for every thread count.
 pub fn run_monte_carlo(
     ctx: &ExperimentContext,
     kind: DecoderKind,
@@ -187,25 +227,24 @@ pub fn run_monte_carlo(
     threads: usize,
 ) -> MonteCarloReport {
     let threads = effective_threads(threads);
+    let num_chunks = (shots as usize).div_ceil(MONTE_CARLO_SHOT_CHUNK);
     let failures: u64 = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             handles.push(scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37));
                 let sampler = FrameSampler::new(&ctx.circuit);
                 let mut dec = ctx.decoder(kind);
-                let my_shots = share(shots as usize, threads, t);
                 let mut fails = 0u64;
-                let mut remaining = my_shots;
-                while remaining > 0 {
-                    let batch = remaining.min(1024);
-                    for shot in sampler.sample_shots(batch, &mut rng) {
+                for chunk in (t..num_chunks).step_by(threads) {
+                    let mut rng = StdRng::seed_from_u64(chunk_seed(seed, 0, chunk));
+                    let lo = chunk * MONTE_CARLO_SHOT_CHUNK;
+                    let hi = ((chunk + 1) * MONTE_CARLO_SHOT_CHUNK).min(shots as usize);
+                    for shot in sampler.sample_shots(hi - lo, &mut rng) {
                         let out = dec.decode(&shot.dets);
                         if out.failed || out.obs_flip != shot.obs {
                             fails += 1;
                         }
                     }
-                    remaining -= batch;
                 }
                 fails
             }));
@@ -222,19 +261,31 @@ pub fn run_monte_carlo(
     }
 }
 
-fn effective_threads(requested: usize) -> usize {
-    if requested > 0 {
-        requested
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    }
+/// RNG seed of one `(k, chunk)` shot stream: independent of which worker
+/// thread processes the chunk.
+fn chunk_seed(seed: u64, k: usize, chunk: usize) -> u64 {
+    // SplitMix64-style mixing keeps nearby (k, chunk) pairs decorrelated.
+    let mut z = seed ^ ((k as u64) << 32) ^ chunk as u64;
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
-/// Shots assigned to worker `t` of `n` when splitting `total`.
-fn share(total: usize, n: usize, t: usize) -> usize {
-    total / n + usize::from(t < total % n)
+fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(env) = std::env::var("PROMATCH_THREADS") {
+        if let Ok(n) = env.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -242,13 +293,48 @@ mod tests {
     use super::*;
 
     #[test]
-    fn share_partitions_exactly() {
-        for total in [0usize, 1, 7, 100, 101] {
-            for n in 1..=8 {
-                let sum: usize = (0..n).map(|t| share(total, n, t)).sum();
-                assert_eq!(sum, total, "total {total} over {n}");
+    fn chunk_seeds_are_distinct_across_k_and_chunk() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for k in 0..16 {
+            for chunk in 0..64 {
+                assert!(seen.insert(chunk_seed(42, k, chunk)), "k={k} chunk={chunk}");
             }
         }
+    }
+
+    /// Satellite regression for the thread-count–dependence bug: the same
+    /// seed must yield bit-identical reports at `threads = 1` and
+    /// `threads = 4` (shots_per_k chosen to not divide the chunk size).
+    #[test]
+    fn eq1_reports_are_identical_across_thread_counts() {
+        let ctx = ExperimentContext::new(3, 2e-3);
+        let report = |threads: usize| {
+            let cfg = Eq1Config {
+                k_max: 4,
+                shots_per_k: 150,
+                seed: 0xDEC0DE,
+                threads,
+            };
+            run_eq1(&ctx, &[DecoderKind::Mwpm, DecoderKind::AstreaG], &cfg)
+        };
+        let one = report(1);
+        for threads in [2usize, 4] {
+            let many = report(threads);
+            for (a, b) in one.decoders.iter().zip(&many.decoders) {
+                assert_eq!(a.failures_per_k, b.failures_per_k, "threads={threads}");
+                assert_eq!(a.excess_per_k, b.excess_per_k, "threads={threads}");
+                assert_eq!(a.ler, b.ler, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn monte_carlo_is_identical_across_thread_counts() {
+        let ctx = ExperimentContext::new(3, 2e-3);
+        let one = run_monte_carlo(&ctx, DecoderKind::Mwpm, 2500, 31, 1);
+        let four = run_monte_carlo(&ctx, DecoderKind::Mwpm, 2500, 31, 4);
+        assert_eq!(one, four);
     }
 
     #[test]

@@ -40,15 +40,23 @@ mod streaming;
 
 pub use streaming::StreamingMwpmDecoder;
 
+use blossom::MatchingWorkspace;
 use decoding_graph::{
-    DecodeOutcome, Decoder, DecodingGraph, DetectorId, MatchPair, MatchTarget, PathTable,
+    DecodeOutcome, DecodeWorkspace, Decoder, DecodingGraph, DetectorId, MatchPair, MatchTarget,
+    PathTable,
 };
 
 /// Exact MWPM decoder over a decoding graph.
+///
+/// The decoder owns a persistent [`DecodeWorkspace`] and blossom
+/// [`MatchingWorkspace`]; keep one instance alive per worker thread and
+/// the steady-state decode loop performs no scratch allocation.
 #[derive(Clone, Debug)]
 pub struct MwpmDecoder<'a> {
     graph: &'a DecodingGraph,
     paths: &'a PathTable,
+    ws: DecodeWorkspace,
+    blossom_ws: MatchingWorkspace,
 }
 
 impl<'a> MwpmDecoder<'a> {
@@ -63,7 +71,12 @@ impl<'a> MwpmDecoder<'a> {
             graph.num_detectors() as usize,
             "path table does not match graph"
         );
-        MwpmDecoder { graph, paths }
+        MwpmDecoder {
+            graph,
+            paths,
+            ws: DecodeWorkspace::new(),
+            blossom_ws: MatchingWorkspace::new(),
+        }
     }
 
     /// The underlying decoding graph.
@@ -107,8 +120,10 @@ impl Decoder for MwpmDecoder<'_> {
                 matches: Vec::new(),
             };
         }
-        // Complete graph on detectors + one boundary image per detector.
-        let mut edges: Vec<(usize, usize, i64)> = Vec::with_capacity(k * k);
+        // Complete graph on detectors + one boundary image per detector,
+        // built into the reusable workspace edge list.
+        let edges = &mut self.ws.edges;
+        edges.clear();
         let mut feasible = true;
         for i in 0..k {
             for j in (i + 1)..k {
@@ -132,9 +147,15 @@ impl Decoder for MwpmDecoder<'_> {
         if !feasible && edges.is_empty() {
             return DecodeOutcome::failure();
         }
-        let Some(mates) = blossom::min_weight_perfect_matching(2 * k, &edges) else {
+        if !blossom::min_weight_perfect_matching_with(
+            &mut self.blossom_ws,
+            2 * k,
+            edges,
+            &mut self.ws.mates,
+        ) {
             return DecodeOutcome::failure();
-        };
+        }
+        let mates = &self.ws.mates;
         let mut obs = 0u64;
         let mut weight = 0i64;
         let mut matches = Vec::with_capacity(k);

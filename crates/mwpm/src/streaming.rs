@@ -11,18 +11,27 @@
 //! The two decoders are exact-equivalent; the test suite asserts weight
 //! equality on random syndromes.
 
-use decoding_graph::{DecodeOutcome, Decoder, DecodingGraph, DetectorId, MatchPair, MatchTarget};
+use blossom::MatchingWorkspace;
+use decoding_graph::{
+    DecodeOutcome, DecodeWorkspace, Decoder, DecodingGraph, DetectorId, MatchPair, MatchTarget,
+};
 
 /// Exact MWPM decoder with on-demand shortest paths.
 #[derive(Clone, Debug)]
 pub struct StreamingMwpmDecoder<'a> {
     graph: &'a DecodingGraph,
+    ws: DecodeWorkspace,
+    blossom_ws: MatchingWorkspace,
 }
 
 impl<'a> StreamingMwpmDecoder<'a> {
     /// Creates a streaming decoder over `graph`.
     pub fn new(graph: &'a DecodingGraph) -> Self {
-        StreamingMwpmDecoder { graph }
+        StreamingMwpmDecoder {
+            graph,
+            ws: DecodeWorkspace::new(),
+            blossom_ws: MatchingWorkspace::new(),
+        }
     }
 }
 
@@ -45,7 +54,8 @@ impl Decoder for StreamingMwpmDecoder<'_> {
         let bd = self.graph.boundary_node() as usize;
         // One Dijkstra per flipped detector.
         let sps: Vec<_> = dets.iter().map(|&d| self.graph.dijkstra(d)).collect();
-        let mut edges: Vec<(usize, usize, i64)> = Vec::with_capacity(k * k);
+        let edges = &mut self.ws.edges;
+        edges.clear();
         for i in 0..k {
             for j in (i + 1)..k {
                 let d = sps[i].dist[dets[j] as usize];
@@ -61,9 +71,15 @@ impl Decoder for StreamingMwpmDecoder<'_> {
                 edges.push((k + i, k + j, 0));
             }
         }
-        let Some(mates) = blossom::min_weight_perfect_matching(2 * k, &edges) else {
+        if !blossom::min_weight_perfect_matching_with(
+            &mut self.blossom_ws,
+            2 * k,
+            edges,
+            &mut self.ws.mates,
+        ) {
             return DecodeOutcome::failure();
-        };
+        }
+        let mates = &self.ws.mates;
         let mut obs = 0u64;
         let mut weight = 0i64;
         let mut matches = Vec::with_capacity(k);

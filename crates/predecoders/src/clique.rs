@@ -14,15 +14,21 @@ use decoding_graph::{DecodingGraph, DecodingSubgraph, DetectorId, PredecodeOutco
 const CLIQUE_LATENCY_NS: f64 = 4.0;
 
 /// The Clique NSM predecoder.
+///
+/// Keeps its decoding subgraph alive across shots (rebuilt in place).
 #[derive(Clone, Debug)]
 pub struct CliquePredecoder<'a> {
     graph: &'a DecodingGraph,
+    sg: DecodingSubgraph,
 }
 
 impl<'a> CliquePredecoder<'a> {
     /// Creates the predecoder over `graph`.
     pub fn new(graph: &'a DecodingGraph) -> Self {
-        CliquePredecoder { graph }
+        CliquePredecoder {
+            graph,
+            sg: DecodingSubgraph::new(),
+        }
     }
 
     /// Whether the syndrome consists only of trivial local patterns.
@@ -44,7 +50,8 @@ impl Predecoder for CliquePredecoder<'_> {
     }
 
     fn predecode(&mut self, dets: &[DetectorId]) -> PredecodeOutcome {
-        let sg = DecodingSubgraph::build(self.graph, dets);
+        self.sg.rebuild(self.graph, dets);
+        let sg = &self.sg;
         let deg = sg.degrees();
         let bd = self.graph.boundary_node();
         let mut pairs = Vec::new();

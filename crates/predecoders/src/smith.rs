@@ -17,15 +17,24 @@ use decoding_graph::{DecodingGraph, DecodingSubgraph, DetectorId, PredecodeOutco
 const CYCLE_NS: f64 = 4.0;
 
 /// The Smith et al. one-pass local predecoder.
+///
+/// Keeps its decoding subgraph and match flags alive across shots
+/// (rebuilt in place, not reallocated).
 #[derive(Clone, Debug)]
 pub struct SmithPredecoder<'a> {
     graph: &'a DecodingGraph,
+    sg: DecodingSubgraph,
+    matched: Vec<bool>,
 }
 
 impl<'a> SmithPredecoder<'a> {
     /// Creates the predecoder over `graph`.
     pub fn new(graph: &'a DecodingGraph) -> Self {
-        SmithPredecoder { graph }
+        SmithPredecoder {
+            graph,
+            sg: DecodingSubgraph::new(),
+            matched: Vec::new(),
+        }
     }
 }
 
@@ -35,9 +44,12 @@ impl Predecoder for SmithPredecoder<'_> {
     }
 
     fn predecode(&mut self, dets: &[DetectorId]) -> PredecodeOutcome {
-        let sg = DecodingSubgraph::build(self.graph, dets);
+        self.sg.rebuild(self.graph, dets);
+        let sg = &self.sg;
         let deg = sg.degrees();
-        let mut matched = vec![false; sg.num_nodes()];
+        let matched = &mut self.matched;
+        matched.clear();
+        matched.resize(sg.num_nodes(), false);
         let mut pairs = Vec::new();
         let mut obs = 0u64;
         let mut weight = 0i64;

@@ -24,9 +24,15 @@
 use decoding_graph::{DecodeOutcome, Decoder, DecodingGraph, DetectorId};
 
 /// Union-find decoder over a decoding graph.
+///
+/// All scratch state (DSU arrays, cluster membership, edge growth, BFS
+/// order) lives in a persistent workspace that is cleared in O(touched)
+/// between shots, so a long-lived decoder performs no steady-state heap
+/// allocation.
 #[derive(Clone, Debug)]
 pub struct UnionFindDecoder<'a> {
     graph: &'a DecodingGraph,
+    scratch: UfScratch,
 }
 
 /// Result details exposed for testing: the actual correction edge set.
@@ -36,56 +42,147 @@ pub struct UnionFindCorrection {
     pub edges: Vec<usize>,
 }
 
-struct Dsu {
+/// Sentinel for "no parent edge".
+const NO_EDGE: usize = usize::MAX;
+
+/// Reusable per-decoder scratch. Dense per-node / per-edge arrays are
+/// reset through the `touched_*` lists, so clearing costs O(cluster
+/// size), not O(graph).
+#[derive(Clone, Debug, Default)]
+struct UfScratch {
+    // Per-node state (sized to the detector count).
     parent: Vec<u32>,
     rank: Vec<u8>,
+    defect: Vec<bool>,
+    parity: Vec<u32>,
+    anchored: Vec<bool>,
+    members: Vec<Vec<u32>>,
+    in_cluster: Vec<bool>,
+    parent_edge: Vec<usize>,
+    order_index: Vec<u32>,
+    visited: Vec<bool>,
+    // Per-edge state.
+    growth: Vec<i64>,
+    edge_speed: Vec<u32>,
+    // Reset tracking.
+    touched_nodes: Vec<u32>,
+    touched_edges: Vec<u32>,
+    speed_touched: Vec<u32>,
+    // Transients.
+    roots: Vec<u32>,
+    frontier: Vec<(usize, i64, u32)>,
+    completed: Vec<usize>,
+    order: Vec<u32>,
+    has_defect: Vec<bool>,
+    correction: Vec<usize>,
 }
 
-impl Dsu {
-    fn new(n: usize) -> Self {
-        Dsu {
-            parent: (0..n as u32).collect(),
-            rank: vec![0; n],
+impl UfScratch {
+    /// Grows the dense arrays to cover `n` nodes and `m` edges.
+    fn ensure(&mut self, n: usize, m: usize) {
+        if self.parent.len() < n {
+            let old = self.parent.len() as u32;
+            self.parent.extend(old..n as u32);
+            self.rank.resize(n, 0);
+            self.defect.resize(n, false);
+            self.parity.resize(n, 0);
+            self.anchored.resize(n, false);
+            self.members.resize_with(n, Vec::new);
+            self.in_cluster.resize(n, false);
+            self.parent_edge.resize(n, NO_EDGE);
+            self.order_index.resize(n, u32::MAX);
+            self.visited.resize(n, false);
+        }
+        if self.growth.len() < m {
+            self.growth.resize(m, 0);
+            self.edge_speed.resize(m, 0);
         }
     }
 
-    fn find(&mut self, x: u32) -> u32 {
-        let mut root = x;
-        while self.parent[root as usize] != root {
-            root = self.parent[root as usize];
+    /// Restores the dense arrays touched by the previous decode.
+    fn reset(&mut self) {
+        for &t in &self.touched_nodes {
+            let t = t as usize;
+            self.parent[t] = t as u32;
+            self.rank[t] = 0;
+            self.defect[t] = false;
+            self.parity[t] = 0;
+            self.anchored[t] = false;
+            self.members[t].clear();
+            self.in_cluster[t] = false;
+            self.parent_edge[t] = NO_EDGE;
+            self.order_index[t] = u32::MAX;
+            self.visited[t] = false;
         }
-        let mut cur = x;
-        while self.parent[cur as usize] != root {
-            let next = self.parent[cur as usize];
-            self.parent[cur as usize] = root;
-            cur = next;
+        self.touched_nodes.clear();
+        for &e in &self.touched_edges {
+            self.growth[e as usize] = 0;
         }
-        root
+        self.touched_edges.clear();
+        debug_assert!(self.speed_touched.is_empty());
+        self.roots.clear();
+        self.frontier.clear();
+        self.completed.clear();
+        self.order.clear();
+        self.has_defect.clear();
+        self.correction.clear();
     }
+}
 
-    /// Unions the sets of `a` and `b`; returns the new root.
-    fn union(&mut self, a: u32, b: u32) -> u32 {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra == rb {
-            return ra;
-        }
-        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
-        self.parent[lo as usize] = hi;
-        if self.rank[hi as usize] == self.rank[lo as usize] {
-            self.rank[hi as usize] += 1;
-        }
-        hi
+/// DSU find with path compression, as a free function so callers can
+/// hold disjoint borrows of the other scratch fields.
+fn dsu_find(parent: &mut [u32], x: u32) -> u32 {
+    let mut root = x;
+    while parent[root as usize] != root {
+        root = parent[root as usize];
     }
+    let mut cur = x;
+    while parent[cur as usize] != root {
+        let next = parent[cur as usize];
+        parent[cur as usize] = root;
+        cur = next;
+    }
+    root
+}
+
+/// Unions the sets rooted at `ra` and `rb` (must be roots); returns the
+/// surviving root.
+fn dsu_union(parent: &mut [u32], rank: &mut [u8], ra: u32, rb: u32) -> u32 {
+    debug_assert_ne!(ra, rb);
+    let (hi, lo) = if rank[ra as usize] >= rank[rb as usize] {
+        (ra, rb)
+    } else {
+        (rb, ra)
+    };
+    parent[lo as usize] = hi;
+    if rank[hi as usize] == rank[lo as usize] {
+        rank[hi as usize] += 1;
+    }
+    hi
+}
+
+/// Moves `members[from]` onto the end of `members[to]`, preserving both
+/// allocations.
+fn move_members(members: &mut [Vec<u32>], from: usize, to: usize) {
+    debug_assert_ne!(from, to);
+    let (src, dst) = if from < to {
+        let (l, r) = members.split_at_mut(to);
+        (&mut l[from], &mut r[0])
+    } else {
+        let (l, r) = members.split_at_mut(from);
+        (&mut r[0], &mut l[to])
+    };
+    dst.extend_from_slice(src);
+    src.clear();
 }
 
 impl<'a> UnionFindDecoder<'a> {
     /// Creates a union-find decoder over `graph`.
     pub fn new(graph: &'a DecodingGraph) -> Self {
-        UnionFindDecoder { graph }
+        UnionFindDecoder {
+            graph,
+            scratch: UfScratch::default(),
+        }
     }
 
     /// Decodes and also returns the concrete correction edge set.
@@ -93,144 +190,174 @@ impl<'a> UnionFindDecoder<'a> {
         &mut self,
         dets: &[DetectorId],
     ) -> (DecodeOutcome, UnionFindCorrection) {
+        let out = self.decode_inner(dets);
+        (
+            out,
+            UnionFindCorrection {
+                edges: self.scratch.correction.clone(),
+            },
+        )
+    }
+
+    /// The decode hot path; leaves the correction edge set in
+    /// `self.scratch.correction`.
+    fn decode_inner(&mut self, dets: &[DetectorId]) -> DecodeOutcome {
         let g = self.graph;
         let n = g.num_detectors() as usize;
         let bd = g.boundary_node();
         if dets.is_empty() {
-            return (
-                DecodeOutcome {
-                    obs_flip: 0,
-                    weight: Some(0),
-                    latency_ns: None,
-                    failed: false,
-                    matches: Vec::new(),
-                },
-                UnionFindCorrection::default(),
-            );
+            self.scratch.correction.clear();
+            return DecodeOutcome {
+                obs_flip: 0,
+                weight: Some(0),
+                latency_ns: None,
+                failed: false,
+                matches: Vec::new(),
+            };
         }
 
-        let mut defect = vec![false; n];
+        let s = &mut self.scratch;
+        s.ensure(n, g.num_edges());
+        s.reset();
         for &d in dets {
-            defect[d as usize] = true;
+            s.defect[d as usize] = true;
+            s.parity[d as usize] = 1;
+            s.members[d as usize].push(d);
+            s.in_cluster[d as usize] = true;
+            s.touched_nodes.push(d);
         }
-        let mut dsu = Dsu::new(n);
-        // Per-root bookkeeping (indexed by current root).
-        let mut parity = vec![0u32; n];
-        let mut anchored = vec![false; n];
-        let mut members: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for &d in dets {
-            parity[d as usize] = 1;
-            members[d as usize] = vec![d];
-        }
-        let mut in_cluster = vec![false; n];
-        for &d in dets {
-            in_cluster[d as usize] = true;
-        }
-        let mut growth = vec![0i64; g.num_edges()];
 
         // Growth stage.
         loop {
-            let mut roots: Vec<u32> = dets
-                .iter()
-                .map(|&d| dsu.find(d))
-                .filter(|&r| parity[r as usize] % 2 == 1 && !anchored[r as usize])
-                .collect();
-            roots.sort_unstable();
-            roots.dedup();
-            if roots.is_empty() {
+            // Active roots: odd parity, not anchored to the boundary.
+            s.roots.clear();
+            for &d in dets {
+                let r = dsu_find(&mut s.parent, d);
+                if s.parity[r as usize] % 2 == 1 && !s.anchored[r as usize] {
+                    s.roots.push(r);
+                }
+            }
+            s.roots.sort_unstable();
+            s.roots.dedup();
+            if s.roots.is_empty() {
                 break;
             }
             // Collect frontier edges of active clusters; count how many
-            // active clusters each edge touches.
-            let mut frontier: Vec<(usize, i64, u32)> = Vec::new(); // (edge, slack, speed)
-            let mut edge_speed: std::collections::HashMap<usize, u32> =
-                std::collections::HashMap::new();
-            for &r in &roots {
-                for &v in &members[r as usize] {
+            // active clusters each edge touches (its growth speed).
+            for ri in 0..s.roots.len() {
+                let r = s.roots[ri];
+                for mi in 0..s.members[r as usize].len() {
+                    let v = s.members[r as usize][mi];
                     for &ei in incident(g, v) {
                         let e = &g.edges()[ei as usize];
-                        if growth[ei as usize] >= e.weight {
+                        if s.growth[ei as usize] >= e.weight {
                             continue; // already grown
                         }
                         let other = if e.u == v { e.v } else { e.u };
-                        let internal =
-                            other != bd && in_cluster[other as usize] && dsu.find(other) == r;
+                        let internal = other != bd
+                            && s.in_cluster[other as usize]
+                            && dsu_find(&mut s.parent, other) == r;
                         if !internal {
-                            *edge_speed.entry(ei as usize).or_insert(0) += 1;
+                            if s.edge_speed[ei as usize] == 0 {
+                                s.speed_touched.push(ei);
+                            }
+                            s.edge_speed[ei as usize] += 1;
                         }
                     }
                 }
             }
-            if edge_speed.is_empty() {
+            if s.speed_touched.is_empty() {
                 break; // no room to grow (fully merged component)
             }
-            for (&ei, &speed) in &edge_speed {
-                let e = &g.edges()[ei];
-                frontier.push((ei, e.weight - growth[ei], speed));
+            s.frontier.clear();
+            for &ei in &s.speed_touched {
+                let e = &g.edges()[ei as usize];
+                s.frontier.push((
+                    ei as usize,
+                    e.weight - s.growth[ei as usize],
+                    s.edge_speed[ei as usize],
+                ));
             }
             // Minimum delta completing at least one frontier edge.
-            let delta = frontier
+            let delta = s
+                .frontier
                 .iter()
                 .map(|&(_, slack, speed)| (slack + speed as i64 - 1) / speed as i64)
                 .min()
                 .expect("frontier nonempty");
-            let mut completed: Vec<usize> = Vec::new();
-            for &(ei, _, speed) in &frontier {
-                growth[ei] += delta * speed as i64;
-                if growth[ei] >= g.edges()[ei].weight {
-                    completed.push(ei);
+            s.completed.clear();
+            for fi in 0..s.frontier.len() {
+                let (ei, _, speed) = s.frontier[fi];
+                if s.growth[ei] == 0 {
+                    s.touched_edges.push(ei as u32);
+                }
+                s.growth[ei] += delta * speed as i64;
+                if s.growth[ei] >= g.edges()[ei].weight {
+                    s.completed.push(ei);
                 }
             }
-            completed.sort_unstable();
-            for ei in completed {
+            // Per-round speed counters are reset eagerly (the per-shot
+            // reset only restores growth).
+            for &ei in &s.speed_touched {
+                s.edge_speed[ei as usize] = 0;
+            }
+            s.speed_touched.clear();
+            s.completed.sort_unstable();
+            for ci in 0..s.completed.len() {
+                let ei = s.completed[ci];
                 let e = g.edges()[ei];
                 if e.u == bd || e.v == bd {
                     let v = if e.u == bd { e.v } else { e.u };
-                    if in_cluster[v as usize] {
-                        let r = dsu.find(v);
-                        anchored[r as usize] = true;
+                    if s.in_cluster[v as usize] {
+                        let r = dsu_find(&mut s.parent, v);
+                        s.anchored[r as usize] = true;
                     }
                     continue;
                 }
                 // Absorb fresh nodes into clusters.
                 for v in [e.u, e.v] {
-                    if !in_cluster[v as usize] {
-                        in_cluster[v as usize] = true;
-                        members[v as usize] = vec![v];
+                    if !s.in_cluster[v as usize] {
+                        s.in_cluster[v as usize] = true;
+                        s.members[v as usize].push(v);
+                        s.touched_nodes.push(v);
                         // parity 0, not a defect (defects seeded earlier)
                     }
                 }
-                let (ru, rv) = (dsu.find(e.u), dsu.find(e.v));
+                let (ru, rv) = (dsu_find(&mut s.parent, e.u), dsu_find(&mut s.parent, e.v));
                 if ru != rv {
-                    let keep = dsu.union(ru, rv);
-                    let drop = if keep == ru { rv } else { ru };
-                    parity[keep as usize] += parity[drop as usize];
-                    anchored[keep as usize] |= anchored[drop as usize];
-                    let moved = std::mem::take(&mut members[drop as usize]);
-                    members[keep as usize].extend(moved);
+                    let keep = dsu_union(&mut s.parent, &mut s.rank, ru, rv);
+                    let dropped = if keep == ru { rv } else { ru };
+                    s.parity[keep as usize] += s.parity[dropped as usize];
+                    let was_anchored = s.anchored[dropped as usize];
+                    s.anchored[keep as usize] |= was_anchored;
+                    move_members(&mut s.members, dropped as usize, keep as usize);
                 }
             }
         }
 
         // Peeling stage: per cluster spanning forest over grown edges.
-        let mut correction: Vec<usize> = Vec::new();
         let mut obs = 0u64;
         let mut weight = 0i64;
         let mut failed = false;
+        s.correction.clear();
 
-        let mut visited = vec![false; n];
-        let mut roots: Vec<u32> = dets.iter().map(|&d| dsu.find(d)).collect();
-        roots.sort_unstable();
-        roots.dedup();
-        for r in roots {
+        s.roots.clear();
+        for &d in dets {
+            let r = dsu_find(&mut s.parent, d);
+            s.roots.push(r);
+        }
+        s.roots.sort_unstable();
+        s.roots.dedup();
+        for ri in 0..s.roots.len() {
+            let r = s.roots[ri];
             // Choose a root node: prefer one with a grown boundary edge.
-            let nodes = &members[r as usize];
-            let mut root_node = nodes[0];
+            let mut root_node = s.members[r as usize][0];
             let mut root_boundary_edge: Option<usize> = None;
-            'outer: for &v in nodes {
+            'outer: for mi in 0..s.members[r as usize].len() {
+                let v = s.members[r as usize][mi];
                 for &ei in incident(g, v) {
                     let e = &g.edges()[ei as usize];
-                    if (e.u == bd || e.v == bd) && growth[ei as usize] >= e.weight {
+                    if (e.u == bd || e.v == bd) && s.growth[ei as usize] >= e.weight {
                         root_node = v;
                         root_boundary_edge = Some(ei as usize);
                         break 'outer;
@@ -238,58 +365,63 @@ impl<'a> UnionFindDecoder<'a> {
                 }
             }
             // BFS spanning tree over grown internal edges.
-            let mut order: Vec<u32> = vec![root_node];
-            let mut parent_edge: Vec<Option<usize>> = vec![None; n];
-            visited[root_node as usize] = true;
+            s.order.clear();
+            s.order.push(root_node);
+            s.visited[root_node as usize] = true;
+            s.order_index[root_node as usize] = 0;
             let mut head = 0;
-            while head < order.len() {
-                let v = order[head];
+            while head < s.order.len() {
+                let v = s.order[head];
                 head += 1;
                 for &ei in incident(g, v) {
                     let e = &g.edges()[ei as usize];
-                    if growth[ei as usize] < e.weight {
+                    if s.growth[ei as usize] < e.weight {
                         continue;
                     }
                     let other = if e.u == v { e.v } else { e.u };
-                    if other == bd || !in_cluster[other as usize] {
+                    if other == bd || !s.in_cluster[other as usize] {
                         continue;
                     }
-                    if dsu.find(other) != r || visited[other as usize] {
+                    if s.visited[other as usize] || dsu_find(&mut s.parent, other) != r {
                         continue;
                     }
-                    visited[other as usize] = true;
-                    parent_edge[other as usize] = Some(ei as usize);
-                    order.push(other);
+                    s.visited[other as usize] = true;
+                    s.parent_edge[other as usize] = ei as usize;
+                    s.order_index[other as usize] = s.order.len() as u32;
+                    s.order.push(other);
                 }
             }
             // Peel in reverse BFS order.
-            let mut has_defect = vec![false; order.len()];
-            let index_of: std::collections::HashMap<u32, usize> =
-                order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-            for (i, &v) in order.iter().enumerate() {
-                has_defect[i] = defect[v as usize];
+            s.has_defect.clear();
+            for &v in &s.order {
+                s.has_defect.push(s.defect[v as usize]);
             }
-            for i in (1..order.len()).rev() {
-                let v = order[i];
-                if !has_defect[i] {
+            for i in (1..s.order.len()).rev() {
+                let v = s.order[i];
+                if !s.has_defect[i] {
                     continue;
                 }
-                let ei = parent_edge[v as usize].expect("non-root has a parent edge");
+                let ei = s.parent_edge[v as usize];
+                debug_assert_ne!(ei, NO_EDGE, "non-root has a parent edge");
                 let e = &g.edges()[ei];
-                let parent = if index_of[&e.u] == i { e.v } else { e.u };
-                correction.push(ei);
+                let parent = if s.order_index[e.u as usize] == i as u32 {
+                    e.v
+                } else {
+                    e.u
+                };
+                s.correction.push(ei);
                 obs ^= e.obs;
                 weight += e.weight;
-                has_defect[i] = false;
-                let pi = index_of[&parent];
-                has_defect[pi] = !has_defect[pi];
+                s.has_defect[i] = false;
+                let pi = s.order_index[parent as usize] as usize;
+                s.has_defect[pi] = !s.has_defect[pi];
             }
-            if !order.is_empty() && has_defect[0] {
+            if !s.order.is_empty() && s.has_defect[0] {
                 // Root keeps a defect: discharge through the boundary.
                 match root_boundary_edge {
                     Some(ei) => {
                         let e = &g.edges()[ei];
-                        correction.push(ei);
+                        s.correction.push(ei);
                         obs ^= e.obs;
                         weight += e.weight;
                     }
@@ -302,16 +434,13 @@ impl<'a> UnionFindDecoder<'a> {
             }
         }
 
-        (
-            DecodeOutcome {
-                obs_flip: obs,
-                weight: Some(weight),
-                latency_ns: None,
-                failed,
-                matches: Vec::new(),
-            },
-            UnionFindCorrection { edges: correction },
-        )
+        DecodeOutcome {
+            obs_flip: obs,
+            weight: Some(weight),
+            latency_ns: None,
+            failed,
+            matches: Vec::new(),
+        }
     }
 }
 
@@ -327,7 +456,7 @@ impl Decoder for UnionFindDecoder<'_> {
     }
 
     fn decode(&mut self, dets: &[DetectorId]) -> DecodeOutcome {
-        self.decode_with_correction(dets).0
+        self.decode_inner(dets)
     }
 }
 

@@ -3,6 +3,7 @@
 
 use promatch_repro::decoding_graph::DecodingGraph;
 use promatch_repro::ler::{run_eq1, DecoderKind, Eq1Config, ExperimentContext};
+use promatch_repro::qsim::dem::DetectorErrorModel;
 use promatch_repro::qsim::extract_dem;
 use promatch_repro::surface_code::{NoiseModel, RotatedSurfaceCode};
 
@@ -30,22 +31,53 @@ fn decoding_graph_construction_is_deterministic() {
 
 #[test]
 fn eq1_runs_are_reproducible_across_thread_counts() {
-    // Shot streams are seeded per (k, thread), so one vs two threads with
-    // the same thread count reproduce exactly; different thread counts
-    // legitimately repartition. Verify same-count determinism.
+    // Shot streams are seeded per (k, chunk) with a fixed chunk size, so
+    // the same seed yields bit-identical reports no matter how many
+    // worker threads process the chunks.
     let ctx = ExperimentContext::new(3, 1e-3);
-    for threads in [1usize, 3] {
+    let report = |threads: usize| {
         let cfg = Eq1Config {
             k_max: 4,
             shots_per_k: 120,
             seed: 77,
             threads,
         };
-        let a = run_eq1(&ctx, &[DecoderKind::Mwpm, DecoderKind::AstreaG], &cfg);
-        let b = run_eq1(&ctx, &[DecoderKind::Mwpm, DecoderKind::AstreaG], &cfg);
-        for (x, y) in a.decoders.iter().zip(&b.decoders) {
+        run_eq1(&ctx, &[DecoderKind::Mwpm, DecoderKind::AstreaG], &cfg)
+    };
+    let baseline = report(1);
+    for threads in [1usize, 3, 4] {
+        let b = report(threads);
+        for (x, y) in baseline.decoders.iter().zip(&b.decoders) {
             assert_eq!(x.failures_per_k, y.failures_per_k, "threads={threads}");
+            assert_eq!(x.excess_per_k, y.excess_per_k, "threads={threads}");
             assert_eq!(x.ler, y.ler, "threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn dem_text_round_trip_is_a_fixed_point() {
+    // parse → emit → parse must be a fixed point of the `.dem` text
+    // codec, and the decoding graphs built from both sides must match.
+    for d in [3u32, 5] {
+        let code = RotatedSurfaceCode::new(d);
+        let circuit = code.memory_z_circuit(d, &NoiseModel::uniform(1e-3));
+        let dem = extract_dem(&circuit);
+
+        let text = dem.to_text();
+        let parsed = DetectorErrorModel::parse(&text).expect("emitted text parses");
+        let text2 = parsed.to_text();
+        let parsed2 = DetectorErrorModel::parse(&text2).expect("re-emitted text parses");
+        assert_eq!(parsed, parsed2, "d={d}: parse→emit→parse not a fixed point");
+        assert_eq!(text2, parsed2.to_text(), "d={d}: emitted text not stable");
+
+        // Both sides of the round trip build identical decoding graphs.
+        let g1 = DecodingGraph::from_dem(&dem);
+        let g2 = DecodingGraph::from_dem(&parsed);
+        assert_eq!(g1.num_detectors(), g2.num_detectors(), "d={d}");
+        assert_eq!(g1.num_edges(), g2.num_edges(), "d={d}");
+        for (a, b) in g1.edges().iter().zip(g2.edges()) {
+            assert_eq!(a, b, "d={d}");
         }
     }
 }

@@ -5,7 +5,7 @@ use promatch_repro::ler::{DecoderKind, ExperimentContext, InjectionSampler};
 use promatch_repro::promatch::PromatchPredecoder;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::sync::OnceLock;
 
 /// One shared context: building it per proptest case would dominate.
@@ -83,6 +83,29 @@ proptest! {
             let out = dec.decode(&shot.dets);
             if let (false, Some(w)) = (out.failed, out.weight) {
                 prop_assert!(w >= base, "{} found weight {w} < MWPM {base}", kind.label());
+            }
+        }
+    }
+
+    /// Workspace reuse is invisible: a long-lived decoder that has been
+    /// streaming shots through its reusable workspaces returns a
+    /// `DecodeOutcome` bit-identical to a fresh decoder built per shot,
+    /// for every decoder configuration in Table 2.
+    #[test]
+    fn workspace_reuse_matches_fresh_decoders(seed in any::<u64>(), k in 1usize..20) {
+        let ctx = ctx();
+        let sampler = InjectionSampler::new(&ctx.dem);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for kind in DecoderKind::table2() {
+            let mut long_lived = ctx.decoder(kind);
+            // Several shots of varying weight, so the persistent buffers
+            // grow, shrink, and carry state between calls.
+            for _ in 0..4 {
+                let kk = rng.gen_range(1..=k);
+                let (shot, _) = sampler.sample_exact_k(&mut rng, kk);
+                let reused = long_lived.decode(&shot.dets);
+                let fresh = ctx.decoder(kind).decode(&shot.dets);
+                prop_assert_eq!(reused, fresh, "{} at k={}", kind.label(), kk);
             }
         }
     }
