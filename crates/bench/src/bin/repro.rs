@@ -16,9 +16,14 @@
 //!   kmax=24                  maximum injected error count
 //!   p=1e-4                   physical error rate
 //!   seed=2024                RNG seed
+//!
+//! scenario subcommands (named noise × distance × decoder workloads):
+//!   repro scenarios                            list the registry
+//!   repro ler --scenario <name> [key=value]    Eq.-1 LER study -> BENCH.json
+//!   repro bench [--scale ...] [--scenario <name>] [key=value ...]
 //! ```
 
-use bench_suite::{experiments, Scale};
+use bench_suite::{experiments, LerRunConfig, Scale, ScenarioRegistry};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -30,11 +35,31 @@ fn main() -> ExitCode {
         eprintln!("             fig1b fig4 fig5 fig14 fig15 fig16 fig17");
         eprintln!("             ablate-singleton ablate-pathq ablate-astrea-units");
         eprintln!("             ablate-adaptive ablate-pipelines all");
-        eprintln!("       repro bench [--scale tiny|quick|paper] [key=value ...]");
+        eprintln!("       repro scenarios");
+        eprintln!("       repro ler --scenario <name> [key=value ...]");
+        eprintln!(
+            "       repro bench [--scale tiny|quick|paper] [--scenario <name>] [key=value ...]"
+        );
         return ExitCode::FAILURE;
     };
     if name == "bench" {
         return run_perf_bench(&args[1..]);
+    }
+    if name == "scenarios" {
+        let registry = ScenarioRegistry::builtin();
+        println!("{:<14} {:<10} description", "name", "d/rounds");
+        for sc in registry.iter() {
+            println!(
+                "{:<14} {:<10} {}",
+                sc.name,
+                format!("{}/{}", sc.distance, sc.rounds),
+                sc.description
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    if name == "ler" {
+        return run_scenario_ler(&args[1..]);
     }
 
     let mut scale = Scale::quick();
@@ -71,6 +96,76 @@ fn main() -> ExitCode {
     }
 }
 
+/// Parses one `--flag value` / `--flag=value` occurrence. `Ok(Some)`
+/// carries the value, `Ok(None)` means `arg` is not this flag, `Err`
+/// means the space-separated form was missing its value.
+fn flag_value(
+    arg: &str,
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<Option<String>, String> {
+    if arg == flag {
+        return match it.next() {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(format!("{flag} needs a value")),
+        };
+    }
+    Ok(arg
+        .strip_prefix(flag)
+        .and_then(|rest| rest.strip_prefix('='))
+        .map(str::to_string))
+}
+
+/// `repro ler --scenario <name>`: Equation-1 LER study of a named
+/// scenario, written to `BENCH.json` (schema v2).
+fn run_scenario_ler(args: &[String]) -> ExitCode {
+    let mut scenario_name: Option<String> = None;
+    let mut overrides = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match flag_value(arg, &mut it, "--scenario") {
+            Err(e) => {
+                eprintln!("error: {e} (see `repro scenarios`)");
+                return ExitCode::FAILURE;
+            }
+            Ok(Some(name)) => scenario_name = Some(name),
+            Ok(None) => overrides.push(arg.clone()),
+        }
+    }
+    let Some(scenario_name) = scenario_name else {
+        eprintln!(
+            "usage: repro ler --scenario <name> [shots=N] [kmax=N] [seed=N] [threads=N] [out=PATH]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let registry = ScenarioRegistry::builtin();
+    let Some(scenario) = registry.get(&scenario_name) else {
+        eprintln!(
+            "error: unknown scenario '{scenario_name}' (known: {})",
+            registry.names().join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = LerRunConfig::default();
+    if let Err(e) = cfg.apply_overrides(&overrides) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let started = std::time::Instant::now();
+    match bench_suite::run_scenario_ler_study(scenario, &cfg, &mut out) {
+        Ok(()) => {
+            let _ = writeln!(out, "\n[done in {:.1?}]", started.elapsed());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `repro bench`: wall-clock decode snapshot, written to `BENCH.json`.
 fn run_perf_bench(args: &[String]) -> ExitCode {
     use bench_suite::BenchScale;
@@ -78,24 +173,31 @@ fn run_perf_bench(args: &[String]) -> ExitCode {
     let mut overrides = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if arg == "--scale" {
-            let Some(name) = it.next() else {
-                eprintln!("error: --scale needs a value (tiny|quick|paper)");
+        let scale_flag = match flag_value(arg, &mut it, "--scale") {
+            Err(e) => {
+                eprintln!("error: {e} (tiny|quick|paper)");
                 return ExitCode::FAILURE;
-            };
-            let Some(named) = BenchScale::named(name) else {
+            }
+            Ok(v) => v,
+        };
+        if let Some(name) = scale_flag {
+            let Some(named) = BenchScale::named(&name) else {
                 eprintln!("error: unknown scale '{name}' (tiny|quick|paper)");
                 return ExitCode::FAILURE;
             };
+            // Presets never carry a scenario; keep one already parsed.
+            let scenario = scale.scenario.take();
             scale = named;
-        } else if let Some(name) = arg.strip_prefix("--scale=") {
-            let Some(named) = BenchScale::named(name) else {
-                eprintln!("error: unknown scale '{name}' (tiny|quick|paper)");
+            scale.scenario = scenario;
+            continue;
+        }
+        match flag_value(arg, &mut it, "--scenario") {
+            Err(e) => {
+                eprintln!("error: {e} (see `repro scenarios`)");
                 return ExitCode::FAILURE;
-            };
-            scale = named;
-        } else {
-            overrides.push(arg.clone());
+            }
+            Ok(Some(name)) => scale.scenario = Some(name),
+            Ok(None) => overrides.push(arg.clone()),
         }
     }
     if let Err(e) = scale.apply_overrides(&overrides) {

@@ -13,9 +13,13 @@
 pub mod experiments;
 pub mod perf;
 pub mod scale;
+pub mod scenario;
 
-pub use perf::{run_bench, BenchPoint, BenchScale};
+pub use perf::{render_json, run_bench, BenchDoc, BenchPoint, BenchScale, LerPoint};
 pub use scale::Scale;
+pub use scenario::{
+    run_scenario_ler, run_scenario_ler_study, LerRunConfig, NoiseSpec, Scenario, ScenarioRegistry,
+};
 
 /// Formats a rate in the paper's scientific style (e.g. `2.6e-14`).
 pub fn fmt_rate(x: f64) -> String {

@@ -1,32 +1,50 @@
-//! `repro bench` — wall-clock decode-throughput snapshot (`BENCH.json`).
+//! `repro bench` / `repro ler` — machine-readable snapshots
+//! (`BENCH.json`).
 //!
 //! Times the *software* cost of `Decoder::decode_batch` per shot, per
 //! [`DecoderKind`], at fixed `(d, p, k)` points, and writes a
 //! machine-readable `BENCH.json` so every future change can be measured
 //! against a recorded baseline. This complements the criterion benches:
 //! criterion tracks statistical microbenchmarks interactively, while
-//! `BENCH.json` is a schema-stable artifact CI can archive per commit.
+//! `BENCH.json` is a schema-stable artifact CI can archive per commit —
+//! and, since schema v2, per scenario.
 //!
-//! Schema (`schema_version` 1):
+//! Schema (`schema_version` 2; see README.md for the field-by-field
+//! description):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "git_rev": "abc1234",
 //!   "seed": 2024,
+//!   "threads": 4,
+//!   "scenario": "sd6-d11",
 //!   "results": [
 //!     {"decoder": "MWPM (Ideal)", "d": 11, "p": 1e-4, "k": 12,
 //!      "shots": 512, "reps": 3, "ns_per_shot": 10431.7}
+//!   ],
+//!   "ler": [
+//!     {"scenario": "sd6-d11", "decoder": "MWPM (Ideal)", "d": 11,
+//!      "rounds": 11, "p": 1e-4, "k_max": 20, "shots_per_k": 150,
+//!      "ler": 2.1e-13, "low": 1.5e-13, "high": 3.0e-13}
 //!   ]
 //! }
 //! ```
+//!
+//! `repro bench` fills `results` (perf trajectory); `repro ler`
+//! fills `ler` (accuracy trajectory). `scenario` is `"default"` for the
+//! classic injection benchmark, otherwise the registry name.
 
+use crate::scenario::{Scenario, ScenarioRegistry};
 use decoding_graph::SyndromeBatch;
-use ler::{DecoderKind, ExperimentContext, InjectionSampler};
+use ler::{effective_threads, DecoderKind, ExperimentContext, InjectionSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Write;
 use std::time::Instant;
+
+/// Version of the `BENCH.json` schema this build writes.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// One measured `(decoder, d, p, k)` point.
 #[derive(Clone, Debug)]
@@ -47,12 +65,55 @@ pub struct BenchPoint {
     pub ns_per_shot: f64,
 }
 
+/// One `(scenario, decoder)` logical-error-rate point with 95 % Wilson
+/// bounds.
+#[derive(Clone, Debug)]
+pub struct LerPoint {
+    /// Scenario name the point was measured under.
+    pub scenario: String,
+    /// Paper-style decoder label.
+    pub decoder: &'static str,
+    /// Code distance.
+    pub d: u32,
+    /// Syndrome-extraction rounds.
+    pub rounds: u32,
+    /// Physical error rate.
+    pub p: f64,
+    /// Maximum injected mechanism count of the Equation-1 study.
+    pub k_max: usize,
+    /// Injection samples per `k`.
+    pub shots_per_k: usize,
+    /// Equation-1 LER estimate.
+    pub ler: f64,
+    /// Lower 95 % Wilson bound.
+    pub low: f64,
+    /// Upper 95 % Wilson bound.
+    pub high: f64,
+}
+
+/// Everything that goes into one `BENCH.json` document.
+#[derive(Clone, Debug, Default)]
+pub struct BenchDoc {
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Effective worker-thread count of the run.
+    pub threads: usize,
+    /// Scenario name, or `None` for the classic injection benchmark
+    /// (serialized as `"default"`).
+    pub scenario: Option<String>,
+    /// Perf points (`repro bench`).
+    pub results: Vec<BenchPoint>,
+    /// Accuracy points (`repro ler`).
+    pub ler: Vec<LerPoint>,
+}
+
 /// Configuration of a `repro bench` run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchScale {
-    /// Code distances to measure.
+    /// Code distances to measure (ignored when `scenario` is set — the
+    /// scenario supplies its own distance and noise model).
     pub distances: Vec<u32>,
-    /// Physical error rate.
+    /// Physical error rate (ignored when `scenario` is set).
     pub p: f64,
     /// Injected mechanism counts (one timed point per `k`).
     pub ks: Vec<usize>,
@@ -62,6 +123,8 @@ pub struct BenchScale {
     pub reps: usize,
     /// RNG seed for syndrome sampling.
     pub seed: u64,
+    /// Named scenario to measure under, if any.
+    pub scenario: Option<String>,
     /// Output path for the JSON artifact.
     pub out_path: String,
 }
@@ -76,6 +139,7 @@ impl BenchScale {
             shots: 64,
             reps: 2,
             seed: 2024,
+            scenario: None,
             out_path: "BENCH.json".into(),
         }
     }
@@ -90,6 +154,7 @@ impl BenchScale {
             shots: 256,
             reps: 3,
             seed: 2024,
+            scenario: None,
             out_path: "BENCH.json".into(),
         }
     }
@@ -103,6 +168,7 @@ impl BenchScale {
             shots: 512,
             reps: 5,
             seed: 2024,
+            scenario: None,
             out_path: "BENCH.json".into(),
         }
     }
@@ -118,7 +184,7 @@ impl BenchScale {
     }
 
     /// Parses `key=value` overrides (`shots=`, `reps=`, `seed=`, `p=`,
-    /// `distances=`, `ks=`, `out=`).
+    /// `distances=`, `ks=`, `scenario=`, `out=`).
     ///
     /// # Errors
     ///
@@ -147,6 +213,7 @@ impl BenchScale {
                 "reps" => self.reps = value.parse().map_err(|e| format!("reps: {e}"))?,
                 "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
                 "p" => self.p = value.parse().map_err(|e| format!("p: {e}"))?,
+                "scenario" => self.scenario = Some(value.to_string()),
                 "out" => self.out_path = value.to_string(),
                 other => return Err(format!("unknown option '{other}'")),
             }
@@ -163,25 +230,82 @@ pub fn tracked_kinds() -> Vec<DecoderKind> {
     kinds
 }
 
-/// Runs the snapshot and writes the JSON artifact.
+/// Runs the snapshot and writes the JSON artifact. With a scenario set,
+/// the context comes from the [`ScenarioRegistry`] (scenario noise model
+/// and distance) and the timed decoder set is the scenario's; otherwise
+/// the classic uniform-noise injection benchmark runs over
+/// [`tracked_kinds`].
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the progress writer or the JSON file.
+/// Propagates I/O errors, and reports an unknown scenario name as
+/// [`std::io::ErrorKind::InvalidInput`].
 pub fn run_bench(scale: &BenchScale, w: &mut dyn Write) -> std::io::Result<()> {
     let mut points: Vec<BenchPoint> = Vec::new();
-    for &d in &scale.distances {
-        writeln!(w, "# bench: building context d={d}, p={:.0e}", scale.p)?;
-        let ctx = ExperimentContext::new(d, scale.p);
+    let registry = ScenarioRegistry::builtin();
+    // Per-config plan: contexts are built lazily inside the loop (one
+    // at a time — a paper-scale run holds only one d's path table in
+    // memory at once).
+    let plans: Vec<(u32, f64, Vec<DecoderKind>, Option<&Scenario>)> = match &scale.scenario {
+        Some(name) => {
+            let sc = registry.get(name).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!(
+                        "unknown scenario '{name}' (known: {})",
+                        registry.names().join(", ")
+                    ),
+                )
+            })?;
+            vec![(sc.distance, sc.p, sc.decoders.clone(), Some(sc))]
+        }
+        None => scale
+            .distances
+            .iter()
+            .map(|&d| (d, scale.p, tracked_kinds(), None))
+            .collect(),
+    };
+    for (d, p, kinds, sc) in plans {
+        let ctx = match sc {
+            Some(sc) => {
+                writeln!(
+                    w,
+                    "# bench: scenario {} ({} noise, d={}, p={:.0e})",
+                    sc.name,
+                    sc.noise.label(),
+                    sc.distance,
+                    sc.p
+                )?;
+                sc.context()
+            }
+            None => {
+                writeln!(w, "# bench: building context d={d}, p={:.0e}", p)?;
+                ExperimentContext::new(d, p)
+            }
+        };
         let sampler = InjectionSampler::new(&ctx.dem);
-        for &k in &scale.ks {
+        // Small DEMs (e.g. code-capacity d=3) may carry fewer mechanisms
+        // than a preset's largest k; injection requires k ≤ mechanisms.
+        let (ks, skipped): (Vec<usize>, Vec<usize>) = scale
+            .ks
+            .iter()
+            .copied()
+            .partition(|&k| k <= sampler.num_mechanisms());
+        if !skipped.is_empty() {
+            writeln!(
+                w,
+                "# skipping k={skipped:?}: the d={d} model has only {} mechanisms",
+                sampler.num_mechanisms()
+            )?;
+        }
+        for k in ks {
             let mut rng = StdRng::seed_from_u64(scale.seed ^ (k as u64) << 32);
             let mut batch = SyndromeBatch::new();
             for _ in 0..scale.shots {
                 let (shot, _) = sampler.sample_exact_k(&mut rng, k);
                 batch.push(&shot.dets);
             }
-            for kind in tracked_kinds() {
+            for &kind in &kinds {
                 let mut dec = ctx.decoder(kind);
                 let mut out = Vec::new();
                 // Warmup: populate workspaces and fault in the batch.
@@ -203,7 +327,7 @@ pub fn run_bench(scale: &BenchScale, w: &mut dyn Write) -> std::io::Result<()> {
                 points.push(BenchPoint {
                     decoder: kind.label(),
                     d,
-                    p: scale.p,
+                    p,
                     k,
                     shots: scale.shots,
                     reps: scale.reps,
@@ -212,21 +336,38 @@ pub fn run_bench(scale: &BenchScale, w: &mut dyn Write) -> std::io::Result<()> {
             }
         }
     }
-    let json = render_json(&points, scale.seed);
+    let doc = BenchDoc {
+        seed: scale.seed,
+        threads: effective_threads(0),
+        scenario: scale.scenario.clone(),
+        results: points,
+        ler: Vec::new(),
+    };
+    let json = render_json(&doc);
     std::fs::write(&scale.out_path, &json)?;
-    writeln!(w, "# wrote {} ({} points)", scale.out_path, points.len())?;
+    writeln!(
+        w,
+        "# wrote {} ({} points)",
+        scale.out_path,
+        doc.results.len()
+    )?;
     Ok(())
 }
 
-/// Renders the schema-stable JSON document.
-pub fn render_json(points: &[BenchPoint], seed: u64) -> String {
+/// Renders the schema-stable JSON document (schema v2).
+pub fn render_json(doc: &BenchDoc) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str(&format!("  \"schema_version\": {BENCH_SCHEMA_VERSION},\n"));
     s.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
-    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"seed\": {},\n", doc.seed));
+    s.push_str(&format!("  \"threads\": {},\n", doc.threads));
+    s.push_str(&format!(
+        "  \"scenario\": \"{}\",\n",
+        escape(doc.scenario.as_deref().unwrap_or("default"))
+    ));
     s.push_str("  \"results\": [\n");
-    for (i, p) in points.iter().enumerate() {
+    for (i, p) in doc.results.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"decoder\": \"{}\", \"d\": {}, \"p\": {}, \"k\": {}, \
              \"shots\": {}, \"reps\": {}, \"ns_per_shot\": {:.1}}}{}\n",
@@ -237,7 +378,27 @@ pub fn render_json(points: &[BenchPoint], seed: u64) -> String {
             p.shots,
             p.reps,
             p.ns_per_shot,
-            if i + 1 < points.len() { "," } else { "" }
+            if i + 1 < doc.results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"ler\": [\n");
+    for (i, p) in doc.ler.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"decoder\": \"{}\", \"d\": {}, \
+             \"rounds\": {}, \"p\": {}, \"k_max\": {}, \"shots_per_k\": {}, \
+             \"ler\": {:e}, \"low\": {:e}, \"high\": {:e}}}{}\n",
+            escape(&p.scenario),
+            escape(p.decoder),
+            p.d,
+            p.rounds,
+            p.p,
+            p.k_max,
+            p.shots_per_k,
+            p.ler,
+            p.low,
+            p.high,
+            if i + 1 < doc.ler.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");
@@ -283,38 +444,72 @@ mod tests {
             "shots=8".into(),
             "reps=1".into(),
             "seed=7".into(),
+            "scenario=cc-d3".into(),
             "out=/tmp/b.json".into(),
         ])
         .unwrap();
         assert_eq!(s.distances, vec![3]);
         assert_eq!(s.ks, vec![2]);
         assert_eq!(s.shots, 8);
+        assert_eq!(s.scenario.as_deref(), Some("cc-d3"));
         assert_eq!(s.out_path, "/tmp/b.json");
         assert!(s.apply_overrides(&["bogus=1".into()]).is_err());
         assert!(s.apply_overrides(&["shots".into()]).is_err());
     }
 
     #[test]
-    fn json_schema_is_stable() {
-        let points = vec![BenchPoint {
-            decoder: "MWPM (Ideal)",
-            d: 11,
-            p: 1e-4,
-            k: 12,
-            shots: 256,
-            reps: 3,
-            ns_per_shot: 10431.66,
-        }];
-        let json = render_json(&points, 2024);
-        assert!(json.contains("\"schema_version\": 1"));
+    fn json_schema_v2_is_stable() {
+        let doc = BenchDoc {
+            seed: 2024,
+            threads: 4,
+            scenario: Some("sd6-d11".into()),
+            results: vec![BenchPoint {
+                decoder: "MWPM (Ideal)",
+                d: 11,
+                p: 1e-4,
+                k: 12,
+                shots: 256,
+                reps: 3,
+                ns_per_shot: 10431.66,
+            }],
+            ler: vec![LerPoint {
+                scenario: "sd6-d11".into(),
+                decoder: "MWPM (Ideal)",
+                d: 11,
+                rounds: 11,
+                p: 1e-4,
+                k_max: 20,
+                shots_per_k: 150,
+                ler: 2.1e-13,
+                low: 1.5e-13,
+                high: 3.0e-13,
+            }],
+        };
+        let json = render_json(&doc);
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"seed\": 2024"));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"scenario\": \"sd6-d11\""));
         assert!(json.contains("\"git_rev\": \""));
         assert!(json.contains(
             "{\"decoder\": \"MWPM (Ideal)\", \"d\": 11, \"p\": 0.0001, \"k\": 12, \
              \"shots\": 256, \"reps\": 3, \"ns_per_shot\": 10431.7}"
         ));
-        // No trailing comma on the last element.
+        assert!(json.contains("\"k_max\": 20"));
+        assert!(json.contains("\"ler\": 2.1e-13"));
+        // No trailing comma on the last element of either array.
         assert!(!json.contains("},\n  ]"));
+    }
+
+    #[test]
+    fn default_scenario_serializes_as_default() {
+        let json = render_json(&BenchDoc {
+            seed: 1,
+            threads: 1,
+            ..BenchDoc::default()
+        });
+        assert!(json.contains("\"scenario\": \"default\""));
+        assert!(json.contains("\"ler\": [\n  ]"));
     }
 
     #[test]
@@ -337,13 +532,67 @@ mod tests {
             shots: 4,
             reps: 1,
             seed: 1,
+            scenario: None,
             out_path: out.to_string_lossy().into_owned(),
         };
         scale.apply_overrides(&[]).unwrap();
         let mut sink = Vec::new();
         run_bench(&scale, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"schema_version\": 2"));
         assert!(text.contains("\"ns_per_shot\""));
+        assert!(text.contains("\"threads\":"));
+    }
+
+    #[test]
+    fn scenario_bench_records_the_scenario_name() {
+        let dir = std::env::temp_dir().join("promatch_bench_scenario_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH.json");
+        let mut scale = BenchScale::tiny();
+        scale.ks = vec![2];
+        scale.shots = 4;
+        scale.reps = 1;
+        scale.scenario = Some("cc-d3".into());
+        scale.out_path = out.to_string_lossy().into_owned();
+        let mut sink = Vec::new();
+        run_bench(&scale, &mut sink).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("\"scenario\": \"cc-d3\""));
+        // The scenario's own decoder set is what gets timed.
+        assert!(text.contains("AFS (Union-Find)"));
+        assert!(!text.contains("Promatch || AG"));
+    }
+
+    #[test]
+    fn oversized_ks_are_skipped_not_panicked() {
+        // cc-d3's code-capacity DEM has only a handful of mechanisms;
+        // a preset k above that count must be skipped with a note, not
+        // trip the injection sampler's assert.
+        let dir = std::env::temp_dir().join("promatch_bench_ks_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH.json");
+        let mut scale = BenchScale::tiny();
+        scale.ks = vec![2, 1000];
+        scale.shots = 4;
+        scale.reps = 1;
+        scale.scenario = Some("cc-d3".into());
+        scale.out_path = out.to_string_lossy().into_owned();
+        let mut sink = Vec::new();
+        run_bench(&scale, &mut sink).unwrap();
+        let log = String::from_utf8(sink).unwrap();
+        assert!(log.contains("skipping k=[1000]"), "{log}");
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("\"k\": 2"));
+        assert!(!text.contains("\"k\": 1000"));
+    }
+
+    #[test]
+    fn unknown_scenario_is_reported() {
+        let mut scale = BenchScale::tiny();
+        scale.scenario = Some("nope".into());
+        let mut sink = Vec::new();
+        let err = run_bench(&scale, &mut sink).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 }

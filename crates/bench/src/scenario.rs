@@ -1,0 +1,456 @@
+//! Named evaluation scenarios: noise model × distance × rounds ×
+//! decoder set.
+//!
+//! A [`Scenario`] pins down everything needed to reproduce one accuracy
+//! or performance trajectory — the workload axis the paper varies in
+//! §6 — and the [`ScenarioRegistry`] names the configurations the
+//! `repro` CLI exposes (`repro ler --scenario sd6-d11`,
+//! `repro bench --scenario biased-z-d5`). Scenario names are serialized
+//! into `BENCH.json` so artifacts from different commits compare
+//! like-for-like per workload.
+
+use crate::perf::LerPoint;
+use ler::{run_eq1, DecoderKind, Eq1Config, ExperimentContext};
+use std::io::Write;
+use surface_code::{MemoryBasis, NoiseModel};
+
+/// The noise-model family of a scenario, instantiated at the scenario's
+/// physical error rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NoiseSpec {
+    /// Data depolarization only, perfect circuit.
+    CodeCapacity,
+    /// Data depolarization plus measurement flips.
+    Phenomenological,
+    /// The paper's uniform circuit-level model (§5.3).
+    CircuitUniform,
+    /// SD6-style standard circuit-level model: uniform plus depolarizing
+    /// idle errors during readout.
+    Sd6,
+    /// SD6 with the idle channel biased toward Z by `eta`.
+    BiasedZ {
+        /// Bias factor `pz / (px + py)` of the idle channel.
+        eta: f64,
+    },
+}
+
+impl NoiseSpec {
+    /// Instantiates the family at physical error rate `p`.
+    pub fn model(&self, p: f64) -> NoiseModel {
+        match self {
+            NoiseSpec::CodeCapacity => NoiseModel::code_capacity(p),
+            NoiseSpec::Phenomenological => NoiseModel::phenomenological(p),
+            NoiseSpec::CircuitUniform => NoiseModel::uniform(p),
+            NoiseSpec::Sd6 => NoiseModel::sd6(p),
+            NoiseSpec::BiasedZ { eta } => NoiseModel::biased_z(p, *eta),
+        }
+    }
+
+    /// Human-readable family label.
+    pub fn label(&self) -> String {
+        match self {
+            NoiseSpec::CodeCapacity => "code-capacity".into(),
+            NoiseSpec::Phenomenological => "phenomenological".into(),
+            NoiseSpec::CircuitUniform => "circuit-uniform".into(),
+            NoiseSpec::Sd6 => "sd6".into(),
+            NoiseSpec::BiasedZ { eta } => format!("biased-z(eta={eta})"),
+        }
+    }
+}
+
+/// One named evaluation configuration.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Registry key, e.g. `sd6-d11`.
+    pub name: &'static str,
+    /// One-line description for `repro scenarios`.
+    pub description: &'static str,
+    /// Noise-model family.
+    pub noise: NoiseSpec,
+    /// Code distance.
+    pub distance: u32,
+    /// Syndrome-extraction rounds.
+    pub rounds: u32,
+    /// Physical error rate the family is instantiated at.
+    pub p: f64,
+    /// Decoder configurations evaluated under this scenario.
+    pub decoders: Vec<DecoderKind>,
+    /// Default maximum injected mechanism count for LER studies.
+    pub k_max: usize,
+    /// Default injection samples per `k`.
+    pub shots_per_k: usize,
+}
+
+impl Scenario {
+    /// Builds the experiment context (circuit, DEM, graph, paths) for
+    /// this scenario.
+    pub fn context(&self) -> ExperimentContext {
+        ExperimentContext::with_noise(
+            MemoryBasis::Z,
+            self.distance,
+            self.rounds,
+            &self.noise.model(self.p),
+            self.p,
+        )
+    }
+}
+
+/// The named scenarios known to the `repro` CLI.
+#[derive(Clone, Debug)]
+pub struct ScenarioRegistry {
+    scenarios: Vec<Scenario>,
+}
+
+impl ScenarioRegistry {
+    /// The built-in registry. Names follow `<family>-d<distance>`.
+    pub fn builtin() -> Self {
+        let table2 = DecoderKind::table2().to_vec();
+        let baselines = vec![DecoderKind::Mwpm, DecoderKind::UnionFind];
+        let scenarios = vec![
+            Scenario {
+                name: "cc-d3",
+                description: "code-capacity smoke test, d=3, 1 round, p=1e-2",
+                noise: NoiseSpec::CodeCapacity,
+                distance: 3,
+                rounds: 1,
+                p: 1e-2,
+                decoders: baselines.clone(),
+                k_max: 8,
+                shots_per_k: 500,
+            },
+            Scenario {
+                name: "phenom-d5",
+                description: "phenomenological noise, d=5, 5 rounds, p=5e-3",
+                noise: NoiseSpec::Phenomenological,
+                distance: 5,
+                rounds: 5,
+                p: 5e-3,
+                decoders: baselines,
+                k_max: 12,
+                shots_per_k: 400,
+            },
+            Scenario {
+                name: "uniform-d5",
+                description: "paper's uniform circuit-level model, d=5, p=1e-3",
+                noise: NoiseSpec::CircuitUniform,
+                distance: 5,
+                rounds: 5,
+                p: 1e-3,
+                decoders: table2.clone(),
+                k_max: 16,
+                shots_per_k: 300,
+            },
+            Scenario {
+                name: "sd6-d5",
+                description: "SD6 circuit-level model, d=5, p=1e-3",
+                noise: NoiseSpec::Sd6,
+                distance: 5,
+                rounds: 5,
+                p: 1e-3,
+                decoders: table2.clone(),
+                k_max: 16,
+                shots_per_k: 300,
+            },
+            Scenario {
+                name: "sd6-d7",
+                description: "SD6 circuit-level model, d=7, p=1e-3",
+                noise: NoiseSpec::Sd6,
+                distance: 7,
+                rounds: 7,
+                p: 1e-3,
+                decoders: table2.clone(),
+                k_max: 20,
+                shots_per_k: 200,
+            },
+            Scenario {
+                name: "sd6-d11",
+                description: "SD6 circuit-level model at the paper's d=11, p=1e-4",
+                noise: NoiseSpec::Sd6,
+                distance: 11,
+                rounds: 11,
+                p: 1e-4,
+                decoders: table2,
+                k_max: 20,
+                shots_per_k: 150,
+            },
+            Scenario {
+                name: "biased-z-d5",
+                description: "Z-biased idling (eta=10) over SD6 gates, d=5, p=1e-3",
+                noise: NoiseSpec::BiasedZ { eta: 10.0 },
+                distance: 5,
+                rounds: 5,
+                p: 1e-3,
+                decoders: vec![
+                    DecoderKind::Mwpm,
+                    DecoderKind::PromatchParAg,
+                    DecoderKind::AstreaG,
+                    DecoderKind::UnionFind,
+                ],
+                k_max: 16,
+                shots_per_k: 300,
+            },
+        ];
+        ScenarioRegistry { scenarios }
+    }
+
+    /// Looks up a scenario by name.
+    pub fn get(&self, name: &str) -> Option<&Scenario> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// All registered scenarios, in definition order.
+    pub fn iter(&self) -> impl Iterator<Item = &Scenario> {
+        self.scenarios.iter()
+    }
+
+    /// Registered scenario names.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.scenarios.iter().map(|s| s.name).collect()
+    }
+}
+
+/// Configuration of a `repro ler --scenario` run. `None` fields fall
+/// back to the scenario's own defaults.
+#[derive(Clone, Debug)]
+pub struct LerRunConfig {
+    /// Injection samples per `k` (default: scenario's).
+    pub shots_per_k: Option<usize>,
+    /// Maximum injected mechanism count (default: scenario's).
+    pub k_max: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads (0 = `PROMATCH_THREADS` / available parallelism).
+    pub threads: usize,
+    /// Output path for the BENCH.json artifact.
+    pub out_path: String,
+}
+
+impl Default for LerRunConfig {
+    fn default() -> Self {
+        LerRunConfig {
+            shots_per_k: None,
+            k_max: None,
+            seed: 2024,
+            threads: 0,
+            out_path: "BENCH.json".into(),
+        }
+    }
+}
+
+impl LerRunConfig {
+    /// Parses `key=value` overrides (`shots=`, `kmax=`, `seed=`,
+    /// `threads=`, `out=`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown keys or unparsable values.
+    pub fn apply_overrides(&mut self, args: &[String]) -> Result<(), String> {
+        for arg in args {
+            let Some((key, value)) = arg.split_once('=') else {
+                return Err(format!("expected key=value, got '{arg}'"));
+            };
+            match key {
+                "shots" => {
+                    self.shots_per_k = Some(value.parse().map_err(|e| format!("shots: {e}"))?);
+                }
+                "kmax" => self.k_max = Some(value.parse().map_err(|e| format!("kmax: {e}"))?),
+                "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
+                "threads" => self.threads = value.parse().map_err(|e| format!("threads: {e}"))?,
+                "out" => self.out_path = value.to_string(),
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the Equation-1 LER study of one scenario and returns the
+/// per-decoder points (with 95 % Wilson bounds) that go into
+/// `BENCH.json`.
+pub fn run_scenario_ler(
+    scenario: &Scenario,
+    cfg: &LerRunConfig,
+    w: &mut dyn Write,
+) -> std::io::Result<Vec<LerPoint>> {
+    let shots_per_k = cfg.shots_per_k.unwrap_or(scenario.shots_per_k);
+    let k_max = cfg.k_max.unwrap_or(scenario.k_max);
+    writeln!(
+        w,
+        "# scenario {}: {} noise, d={}, rounds={}, p={:.0e}",
+        scenario.name,
+        scenario.noise.label(),
+        scenario.distance,
+        scenario.rounds,
+        scenario.p
+    )?;
+    writeln!(w, "# building context...")?;
+    let ctx = scenario.context();
+    writeln!(
+        w,
+        "# {} detectors, {} mechanisms; eq1 with k_max={k_max}, shots/k={shots_per_k}",
+        ctx.dem.num_detectors,
+        ctx.dem.errors.len()
+    )?;
+    let eq1 = Eq1Config {
+        k_max,
+        shots_per_k,
+        seed: cfg.seed,
+        threads: cfg.threads,
+    };
+    let report = run_eq1(&ctx, &scenario.decoders, &eq1);
+    let mut points = Vec::new();
+    writeln!(w, "{:<24} {:>10}  {:>22}", "decoder", "LER", "95% Wilson")?;
+    for kind in &scenario.decoders {
+        let iv = report
+            .ler_interval_of(*kind)
+            .expect("decoder was part of the run");
+        writeln!(
+            w,
+            "{:<24} {:>10}  [{}, {}]",
+            kind.label(),
+            crate::fmt_rate(iv.estimate),
+            crate::fmt_rate(iv.low),
+            crate::fmt_rate(iv.high),
+        )?;
+        points.push(LerPoint {
+            scenario: scenario.name.to_string(),
+            decoder: kind.label(),
+            d: scenario.distance,
+            rounds: scenario.rounds,
+            p: scenario.p,
+            k_max,
+            shots_per_k,
+            ler: iv.estimate,
+            low: iv.low,
+            high: iv.high,
+        });
+    }
+    Ok(points)
+}
+
+/// Runs [`run_scenario_ler`] and writes the points as a schema-v2
+/// `BENCH.json` document at `cfg.out_path` (the accuracy counterpart of
+/// `repro bench`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the progress writer or the JSON file.
+pub fn run_scenario_ler_study(
+    scenario: &Scenario,
+    cfg: &LerRunConfig,
+    w: &mut dyn Write,
+) -> std::io::Result<()> {
+    let points = run_scenario_ler(scenario, cfg, w)?;
+    let doc = crate::perf::BenchDoc {
+        seed: cfg.seed,
+        threads: ler::effective_threads(cfg.threads),
+        scenario: Some(scenario.name.to_string()),
+        results: Vec::new(),
+        ler: points,
+    };
+    let json = crate::perf::render_json(&doc);
+    std::fs::write(&cfg.out_path, &json)?;
+    writeln!(w, "# wrote {} ({} ler points)", cfg.out_path, doc.ler.len())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        use std::collections::HashSet;
+        let reg = ScenarioRegistry::builtin();
+        let names = reg.names();
+        let set: HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+        for name in &names {
+            assert!(reg.get(name).is_some());
+        }
+        assert!(reg.get("sd6-d11").is_some());
+        assert!(reg.get("bogus").is_none());
+    }
+
+    #[test]
+    fn every_scenario_has_decoders_and_valid_noise() {
+        for sc in ScenarioRegistry::builtin().iter() {
+            assert!(!sc.decoders.is_empty(), "{}", sc.name);
+            sc.noise.model(sc.p).validate().unwrap();
+            assert!(sc.rounds >= 1 && sc.distance >= 3, "{}", sc.name);
+        }
+    }
+
+    #[test]
+    fn circuit_level_flag_matches_family() {
+        // One definition of "circuit-level" (NoiseModel's, field-based)
+        // classifies the instantiated families as expected.
+        assert!(!NoiseSpec::CodeCapacity.model(1e-3).is_circuit_level());
+        assert!(!NoiseSpec::Phenomenological.model(1e-3).is_circuit_level());
+        assert!(NoiseSpec::Sd6.model(1e-3).is_circuit_level());
+        assert!(NoiseSpec::BiasedZ { eta: 10.0 }
+            .model(1e-3)
+            .is_circuit_level());
+    }
+
+    #[test]
+    fn ler_overrides_parse_and_reject() {
+        let mut cfg = LerRunConfig::default();
+        cfg.apply_overrides(&[
+            "shots=50".into(),
+            "kmax=6".into(),
+            "seed=7".into(),
+            "threads=2".into(),
+            "out=/tmp/x.json".into(),
+        ])
+        .unwrap();
+        assert_eq!(cfg.shots_per_k, Some(50));
+        assert_eq!(cfg.k_max, Some(6));
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.threads, 2);
+        assert!(cfg.apply_overrides(&["nope=1".into()]).is_err());
+    }
+
+    #[test]
+    fn ler_study_writes_scenario_tagged_schema_v2() {
+        let dir = std::env::temp_dir().join("promatch_ler_scenario_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH.json");
+        let reg = ScenarioRegistry::builtin();
+        let sc = reg.get("cc-d3").unwrap();
+        let cfg = LerRunConfig {
+            shots_per_k: Some(30),
+            k_max: Some(2),
+            seed: 3,
+            threads: 1,
+            out_path: out.to_string_lossy().into_owned(),
+        };
+        let mut sink = Vec::new();
+        run_scenario_ler_study(sc, &cfg, &mut sink).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("\"schema_version\": 2"));
+        assert!(text.contains("\"scenario\": \"cc-d3\""));
+        assert!(text.contains("\"threads\": 1"));
+        assert!(text.contains("\"k_max\": 2"));
+    }
+
+    #[test]
+    fn small_scenario_ler_runs_end_to_end() {
+        let reg = ScenarioRegistry::builtin();
+        let sc = reg.get("cc-d3").unwrap();
+        let cfg = LerRunConfig {
+            shots_per_k: Some(40),
+            k_max: Some(3),
+            seed: 11,
+            threads: 1,
+            out_path: String::new(),
+        };
+        let mut sink = Vec::new();
+        let points = run_scenario_ler(sc, &cfg, &mut sink).unwrap();
+        assert_eq!(points.len(), sc.decoders.len());
+        for pt in &points {
+            assert_eq!(pt.scenario, "cc-d3");
+            assert!(pt.low <= pt.ler && pt.ler <= pt.high);
+        }
+    }
+}

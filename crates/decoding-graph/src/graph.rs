@@ -111,9 +111,28 @@ impl DecodingGraph {
         assert!(p > 0.0 && p < 1.0, "probability {p} out of range");
         let w = ((1.0 - p) / p).ln() * WEIGHT_SCALE;
         // Clamp to ≥ 0: mechanisms with p > 0.5 would otherwise create
-        // negative weights that break Dijkstra; such mechanisms cannot
-        // occur in the sub-threshold regime this crate targets.
+        // negative weights that break Dijkstra. Biased or merged
+        // channels can push individual edges to p ≥ 0.5 even while the
+        // code is below threshold (e.g. a strongly Z-biased idle channel
+        // XOR-accumulating onto one boundary edge); clamping makes such
+        // edges free rather than ill-formed, matching the convention of
+        // matching-based decoders.
         w.round().max(0.0) as i64
+    }
+
+    /// Whether `edge` connects a detector to the virtual boundary node.
+    pub fn is_boundary_edge(&self, edge: &Edge) -> bool {
+        edge.u == self.boundary_node() || edge.v == self.boundary_node()
+    }
+
+    /// Minimum and maximum edge weight in the graph, or `None` when the
+    /// graph has no edges. Asymmetric noise (biased idling, unequal
+    /// channel strengths) shows up here as a wide spread; the uniform
+    /// models of the paper produce only a handful of distinct weights.
+    pub fn weight_range(&self) -> Option<(i64, i64)> {
+        let min = self.edges.iter().map(|e| e.weight).min()?;
+        let max = self.edges.iter().map(|e| e.weight).max()?;
+        Some((min, max))
     }
 
     /// Number of detector nodes.
@@ -366,6 +385,46 @@ mod tests {
         let path = sp.path_to(3, &g).unwrap();
         assert_eq!(path, vec![0, 1, 2, 3]);
         assert_eq!(sp.path_to(0, &g).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn high_probability_biased_edges_clamp_to_zero_weight() {
+        // p = 0.5 maps to exactly zero; p > 0.5 (a heavily biased or
+        // XOR-merged channel) clamps to zero instead of going negative.
+        assert_eq!(DecodingGraph::weight_of_probability(0.5), 0);
+        assert_eq!(DecodingGraph::weight_of_probability(0.7), 0);
+        // A graph containing such an edge still supports Dijkstra.
+        let mut dem = line_dem();
+        dem.errors[1].p = 0.5;
+        let g = DecodingGraph::from_dem(&dem);
+        assert_eq!(g.edge_between(0, 1).unwrap().weight, 0);
+        let sp = g.dijkstra(0);
+        assert_eq!(sp.dist[1], 0);
+        assert!(sp.dist.iter().all(|&d| d != i64::MAX));
+    }
+
+    #[test]
+    fn asymmetric_boundary_edges_keep_distinct_weights() {
+        // Unequal channel strengths on the two boundary sides must
+        // survive graph construction as distinct weights, and routing
+        // must pick the cheap side.
+        let mut dem = line_dem();
+        dem.errors[0].p = 0.05; // boundary at detector 0: strong
+        dem.errors[4].p = 0.0005; // boundary at detector 3: weak
+        let g = DecodingGraph::from_dem(&dem);
+        let b = g.boundary_node();
+        let w0 = g.edge_between(0, b).unwrap().weight;
+        let w3 = g.edge_between(3, b).unwrap().weight;
+        assert!(w3 > w0, "weaker channel must cost more: {w3} vs {w0}");
+        assert!(g.is_boundary_edge(g.edge_between(0, b).unwrap()));
+        assert!(!g.is_boundary_edge(g.edge_between(0, 1).unwrap()));
+        let (min, max) = g.weight_range().unwrap();
+        assert!(min <= w0 && w3 <= max && min < max);
+        // From the boundary, detector 0 is reached directly; detector 3
+        // routes through its own (expensive) boundary edge only if
+        // cheaper than the path through 0.
+        let sp = g.dijkstra(b);
+        assert_eq!(sp.dist[0], w0);
     }
 
     #[test]

@@ -105,8 +105,28 @@ impl ExperimentContext {
     /// Builds a configuration for either memory basis (the paper uses Z
     /// only, footnote 4; X is the symmetric experiment).
     pub fn with_basis(basis: MemoryBasis, distance: u32, rounds: u32, p: f64) -> Self {
+        Self::with_noise(basis, distance, rounds, &NoiseModel::uniform(p), p)
+    }
+
+    /// Builds a configuration under an arbitrary noise model — the entry
+    /// point for scenario studies (circuit-level SD6, biased idling,
+    /// custom ablations). `p` is the scenario's nominal physical error
+    /// rate, recorded for reporting; the channels actually applied come
+    /// entirely from `noise`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` fails validation.
+    pub fn with_noise(
+        basis: MemoryBasis,
+        distance: u32,
+        rounds: u32,
+        noise: &NoiseModel,
+        p: f64,
+    ) -> Self {
+        noise.validate().expect("noise model must validate");
         let code = RotatedSurfaceCode::new(distance);
-        let circuit = code.memory_circuit(basis, rounds, &NoiseModel::uniform(p));
+        let circuit = code.memory_circuit(basis, rounds, noise);
         let dem = qsim::extract_dem(&circuit);
         let graph = DecodingGraph::from_dem(&dem);
         let paths = PathTable::build(&graph);
@@ -123,42 +143,7 @@ impl ExperimentContext {
 
     /// Instantiates a decoder of the given kind, borrowing this context.
     pub fn decoder(&self, kind: DecoderKind) -> Box<dyn Decoder + Send + '_> {
-        match kind {
-            DecoderKind::Mwpm => Box::new(MwpmDecoder::new(&self.graph, &self.paths)),
-            DecoderKind::Astrea => Box::new(AstreaDecoder::new(&self.graph, &self.paths)),
-            DecoderKind::AstreaG => Box::new(AstreaGDecoder::new(&self.graph, &self.paths)),
-            DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(&self.graph)),
-            DecoderKind::PromatchAstrea => {
-                Box::new(PromatchAstreaDecoder::new(&self.graph, &self.paths))
-            }
-            DecoderKind::PromatchParAg => Box::new(ParallelDecoder::new(
-                PromatchAstreaDecoder::new(&self.graph, &self.paths),
-                AstreaGDecoder::new(&self.graph, &self.paths),
-            )),
-            DecoderKind::SmithAstrea => Box::new(PipelineDecoder::new(
-                SmithPredecoder::new(&self.graph),
-                AstreaDecoder::new(&self.graph, &self.paths),
-            )),
-            DecoderKind::SmithParAg => Box::new(ParallelDecoder::new(
-                PipelineDecoder::new(
-                    SmithPredecoder::new(&self.graph),
-                    AstreaDecoder::new(&self.graph, &self.paths),
-                ),
-                AstreaGDecoder::new(&self.graph, &self.paths),
-            )),
-            DecoderKind::CliqueAstrea => Box::new(PipelineDecoder::new(
-                CliquePredecoder::new(&self.graph),
-                AstreaDecoder::new(&self.graph, &self.paths),
-            )),
-            DecoderKind::CliqueAg => Box::new(PipelineDecoder::new(
-                CliquePredecoder::new(&self.graph),
-                AstreaGDecoder::new(&self.graph, &self.paths),
-            )),
-            DecoderKind::CliqueMwpm => Box::new(PipelineDecoder::new(
-                CliquePredecoder::new(&self.graph),
-                MwpmDecoder::new(&self.graph, &self.paths),
-            )),
-        }
+        build_decoder(kind, &self.graph, &self.paths)
     }
 
     /// A Promatch + Astrea decoder with a custom Promatch configuration
@@ -170,6 +155,51 @@ impl ExperimentContext {
             config,
             astrea::AstreaConfig::default(),
         )
+    }
+}
+
+/// Instantiates a decoder of the given kind over a standalone graph and
+/// path table — for callers that obtained their decoding problem from
+/// somewhere other than a memory-experiment circuit (e.g. a `.dem`
+/// fixture file).
+pub fn build_decoder<'a>(
+    kind: DecoderKind,
+    graph: &'a DecodingGraph,
+    paths: &'a PathTable,
+) -> Box<dyn Decoder + Send + 'a> {
+    match kind {
+        DecoderKind::Mwpm => Box::new(MwpmDecoder::new(graph, paths)),
+        DecoderKind::Astrea => Box::new(AstreaDecoder::new(graph, paths)),
+        DecoderKind::AstreaG => Box::new(AstreaGDecoder::new(graph, paths)),
+        DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(graph)),
+        DecoderKind::PromatchAstrea => Box::new(PromatchAstreaDecoder::new(graph, paths)),
+        DecoderKind::PromatchParAg => Box::new(ParallelDecoder::new(
+            PromatchAstreaDecoder::new(graph, paths),
+            AstreaGDecoder::new(graph, paths),
+        )),
+        DecoderKind::SmithAstrea => Box::new(PipelineDecoder::new(
+            SmithPredecoder::new(graph),
+            AstreaDecoder::new(graph, paths),
+        )),
+        DecoderKind::SmithParAg => Box::new(ParallelDecoder::new(
+            PipelineDecoder::new(
+                SmithPredecoder::new(graph),
+                AstreaDecoder::new(graph, paths),
+            ),
+            AstreaGDecoder::new(graph, paths),
+        )),
+        DecoderKind::CliqueAstrea => Box::new(PipelineDecoder::new(
+            CliquePredecoder::new(graph),
+            AstreaDecoder::new(graph, paths),
+        )),
+        DecoderKind::CliqueAg => Box::new(PipelineDecoder::new(
+            CliquePredecoder::new(graph),
+            AstreaGDecoder::new(graph, paths),
+        )),
+        DecoderKind::CliqueMwpm => Box::new(PipelineDecoder::new(
+            CliquePredecoder::new(graph),
+            MwpmDecoder::new(graph, paths),
+        )),
     }
 }
 
@@ -226,6 +256,41 @@ mod tests {
                 let out = dec.decode(e.dets.as_slice());
                 assert!(!out.failed, "{}", kind.label());
                 assert_eq!(out.obs_flip, e.obs, "{}", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn with_noise_builds_circuit_level_scenarios() {
+        let sd6 = ExperimentContext::with_noise(MemoryBasis::Z, 3, 3, &NoiseModel::sd6(1e-3), 1e-3);
+        let uni = ExperimentContext::new(3, 1e-3);
+        assert_eq!(sd6.circuit.num_detectors(), uni.circuit.num_detectors());
+        // The idle channel adds error mass but keeps the DEM well-formed.
+        assert!(sd6.dem.expected_error_count() > uni.dem.expected_error_count());
+        assert!(sd6.dem.validate().is_ok());
+        let mut dec = sd6.decoder(DecoderKind::Mwpm);
+        for e in &sd6.dem.errors {
+            let out = dec.decode(e.dets.as_slice());
+            assert!(!out.failed);
+            assert_eq!(out.obs_flip, e.obs);
+        }
+    }
+
+    #[test]
+    fn standalone_decoder_factory_matches_context_decoders() {
+        // A decoder built from the context's own parts must behave
+        // identically to one built through the context.
+        let ctx = ExperimentContext::new(3, 1e-3);
+        for kind in DecoderKind::table2() {
+            let mut a = ctx.decoder(kind);
+            let mut b = build_decoder(kind, &ctx.graph, &ctx.paths);
+            for e in ctx.dem.errors.iter().take(8) {
+                assert_eq!(
+                    a.decode(e.dets.as_slice()),
+                    b.decode(e.dets.as_slice()),
+                    "{}",
+                    kind.label()
+                );
             }
         }
     }

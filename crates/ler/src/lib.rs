@@ -26,9 +26,11 @@ pub mod runner;
 pub mod stats;
 pub mod study;
 
-pub use context::{DecoderKind, ExperimentContext};
+pub use context::{build_decoder, DecoderKind, ExperimentContext};
 pub use injection::InjectionSampler;
 pub use poisson::poisson_binomial;
-pub use runner::{run_eq1, run_monte_carlo, Eq1Config, Eq1Report, MonteCarloReport};
+pub use runner::{
+    effective_threads, run_eq1, run_monte_carlo, Eq1Config, Eq1Report, MonteCarloReport,
+};
 pub use stats::{eq1_interval, wilson_interval, RateInterval};
 pub use study::{run_predecoder_study, run_tradeoff_study, PredecoderStudy, TradeoffPoint};

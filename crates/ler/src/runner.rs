@@ -272,7 +272,11 @@ fn chunk_seed(seed: u64, k: usize, chunk: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-fn effective_threads(requested: usize) -> usize {
+/// Resolves a requested worker-thread count: `0` defers to the
+/// `PROMATCH_THREADS` environment override, then to the machine's
+/// available parallelism. Exposed so reporting artifacts (BENCH.json)
+/// can record the thread count a run actually used.
+pub fn effective_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }

@@ -37,6 +37,16 @@ pub enum Op {
     XError { qubits: Vec<Qubit>, p: f64 },
     /// Independent Z error with probability `p` on each listed qubit.
     ZError { qubits: Vec<Qubit>, p: f64 },
+    /// Biased single-qubit Pauli channel: on each listed qubit, exactly
+    /// one of X, Y, Z fires with probability `px`, `py`, `pz`
+    /// respectively (Stim's `PAULI_CHANNEL_1`). Models noise with
+    /// unequal Pauli components, e.g. Z-biased idling errors.
+    PauliError {
+        qubits: Vec<Qubit>,
+        px: f64,
+        py: f64,
+        pz: f64,
+    },
     /// A parity of measurement-record bits that is deterministic when the
     /// circuit is noiseless. `meas` holds absolute record indices.
     Detector { meas: Vec<usize>, coords: [f64; 3] },
@@ -58,6 +68,8 @@ pub enum CircuitError {
     MeasurementOutOfRange { index: usize, recorded: usize },
     /// A noise probability was outside [0, 1].
     InvalidProbability { p: f64 },
+    /// The component probabilities of a Pauli channel summed past 1.
+    ChannelTotalTooLarge { total: f64 },
     /// An observable index was ≥ 64.
     ObservableIndexTooLarge { index: u8 },
 }
@@ -82,6 +94,9 @@ impl fmt::Display for CircuitError {
             }
             CircuitError::InvalidProbability { p } => {
                 write!(f, "invalid probability {p}")
+            }
+            CircuitError::ChannelTotalTooLarge { total } => {
+                write!(f, "Pauli channel probabilities sum to {total} > 1")
             }
             CircuitError::ObservableIndexTooLarge { index } => {
                 write!(f, "observable index {index} exceeds the maximum of 63")
@@ -151,6 +166,7 @@ impl Circuit {
                         | Op::Depolarize2 { .. }
                         | Op::XError { .. }
                         | Op::ZError { .. }
+                        | Op::PauliError { .. }
                 )
             })
             .cloned()
@@ -174,6 +190,7 @@ impl Circuit {
                 Op::Depolarize2 { pairs, .. } => pairs.len(),
                 Op::XError { qubits, .. } => qubits.len(),
                 Op::ZError { qubits, .. } => qubits.len(),
+                Op::PauliError { qubits, .. } => qubits.len(),
                 _ => 0,
             })
             .sum()
@@ -207,6 +224,9 @@ impl fmt::Display for Circuit {
                 }
                 Op::XError { qubits, p } => writeln!(f, "X_ERROR({p}) {}", qs(qubits))?,
                 Op::ZError { qubits, p } => writeln!(f, "Z_ERROR({p}) {}", qs(qubits))?,
+                Op::PauliError { qubits, px, py, pz } => {
+                    writeln!(f, "PAULI_CHANNEL_1({px}, {py}, {pz}) {}", qs(qubits))?;
+                }
                 Op::Detector { meas, coords } => {
                     let body: Vec<String> = meas.iter().map(|m| format!("rec[{m}]")).collect();
                     writeln!(
@@ -379,6 +399,30 @@ impl CircuitBuilder {
         self
     }
 
+    /// Appends a biased single-qubit Pauli channel: exactly one of X, Y,
+    /// Z fires with probability `px`, `py`, `pz` (no-op when all zero).
+    /// The component probabilities must each lie in [0, 1] and sum to at
+    /// most 1.
+    pub fn pauli_error(&mut self, qubits: &[Qubit], px: f64, py: f64, pz: f64) -> &mut Self {
+        self.check_probability(px);
+        self.check_probability(py);
+        self.check_probability(pz);
+        let total = px + py + pz;
+        if total > 1.0 {
+            self.record_error(CircuitError::ChannelTotalTooLarge { total });
+        }
+        self.check_qubits(qubits);
+        if total > 0.0 && total <= 1.0 && !qubits.is_empty() {
+            self.ops.push(Op::PauliError {
+                qubits: qubits.to_vec(),
+                px,
+                py,
+                pz,
+            });
+        }
+        self
+    }
+
     /// Defines a detector over absolute measurement-record indices and
     /// returns its id (detectors are numbered in definition order).
     pub fn detector(&mut self, meas: &[usize], coords: [f64; 3]) -> u32 {
@@ -523,9 +567,30 @@ mod tests {
         let mut b = toy();
         b.x_error(&[0], 0.0);
         b.depolarize1(&[1], 0.0);
+        b.pauli_error(&[2], 0.0, 0.0, 0.0);
         let c = b.finish().unwrap();
         assert!(c.ops().is_empty());
         assert_eq!(c.num_noise_sites(), 0);
+    }
+
+    #[test]
+    fn pauli_channel_validates_component_sum() {
+        let mut b = toy();
+        b.pauli_error(&[0], 0.5, 0.4, 0.3);
+        assert_eq!(
+            b.finish().unwrap_err(),
+            CircuitError::ChannelTotalTooLarge { total: 1.2 }
+        );
+    }
+
+    #[test]
+    fn pauli_channel_counts_sites_and_displays() {
+        let mut b = toy();
+        b.pauli_error(&[0, 1], 0.01, 0.0, 0.25);
+        let c = b.finish().unwrap();
+        assert_eq!(c.num_noise_sites(), 2);
+        assert!(c.to_string().contains("PAULI_CHANNEL_1(0.01, 0, 0.25) 0 1"));
+        assert!(c.without_noise().ops().is_empty());
     }
 
     #[test]

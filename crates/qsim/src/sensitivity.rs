@@ -133,6 +133,17 @@ pub fn extract_dem_with_stats(circuit: &Circuit) -> (DetectorErrorModel, Extract
                     push_component(&mut raw, &mut stats, &[sens_z[q as usize].clone()], *p);
                 }
             }
+            Op::PauliError { qubits, px, py, pz } => {
+                for &q in qubits {
+                    let q = q as usize;
+                    let x = sens_x[q].clone();
+                    let z = sens_z[q].clone();
+                    let y = SparseBits::xor(x.clone(), &z);
+                    push_component(&mut raw, &mut stats, &[x], *px);
+                    push_component(&mut raw, &mut stats, &[y], *py);
+                    push_component(&mut raw, &mut stats, &[z], *pz);
+                }
+            }
             Op::Depolarize1 { qubits, p } => {
                 let pc = p / 3.0;
                 for &q in qubits {
@@ -421,6 +432,33 @@ mod tests {
         let p = 0.1;
         assert!((dem.errors[0].p - (2.0 * p - 2.0 * p * p)).abs() < 1e-12);
         assert_eq!(dem.errors[0].obs, 1);
+    }
+
+    #[test]
+    fn pauli_channel_splits_into_per_component_mechanisms() {
+        // The X component propagates through the CX onto qubit 1's
+        // record, while the Z component survives on the control and is
+        // rotated into a flip of qubit 0's record by the Hadamard — two
+        // distinct mechanisms at px and pz.
+        let mut b = CircuitBuilder::new(2);
+        b.reset_z(&[0, 1]);
+        b.pauli_error(&[0], 0.01, 0.0, 0.02);
+        b.cx(&[(0, 1)]);
+        b.h(&[0]);
+        let m0 = b.measure_z(&[0]);
+        let m1 = b.measure_z(&[1]);
+        b.detector(&[m0.start], [0.0; 3]);
+        b.detector(&[m1.start], [1.0, 0.0, 0.0]);
+        let c = b.finish().unwrap();
+        let dem = extract_dem(&c);
+        assert_eq!(dem.errors.len(), 2);
+        let by_dets: Vec<(&[u32], f64)> = dem
+            .errors
+            .iter()
+            .map(|e| (e.dets.as_slice(), e.p))
+            .collect();
+        assert!(by_dets.contains(&([1].as_slice(), 0.01)));
+        assert!(by_dets.contains(&([0].as_slice(), 0.02)));
     }
 
     #[test]

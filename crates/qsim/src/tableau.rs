@@ -277,7 +277,8 @@ impl TableauSim {
                 Op::Depolarize1 { .. }
                 | Op::Depolarize2 { .. }
                 | Op::XError { .. }
-                | Op::ZError { .. } => {}
+                | Op::ZError { .. }
+                | Op::PauliError { .. } => {}
             }
         }
         TableauRun {

@@ -3,15 +3,19 @@
 //! This crate builds the quantum workload of the Promatch paper: rotated
 //! surface code logical qubits of odd distance `d` (d² data qubits,
 //! d² − 1 stabilizers) and the Z-basis state-preservation ("memory")
-//! experiment circuits used for every evaluation, under the uniform
-//! circuit-level depolarizing noise model of §5.3:
+//! experiment circuits used for every evaluation, under a configurable
+//! circuit-level noise family (see [`NoiseModel`]). The paper's §5.3
+//! uniform model is [`NoiseModel::uniform`]:
 //!
 //! 1. start-of-round single-qubit depolarizing noise on every data qubit,
 //! 2. depolarizing noise after every gate on all operands,
 //! 3. measurement flip errors,
 //! 4. reset flip errors,
 //!
-//! each with probability `p`.
+//! each with probability `p`; the wider family adds independent
+//! per-channel strengths, SD6-style idle errors, and Z-biased idling
+//! ([`NoiseModel::sd6`], [`NoiseModel::biased_z`],
+//! [`NoiseModel::custom`]).
 //!
 //! Detectors are emitted for **Z-type stabilizers only** — the paper runs
 //! Z-memory experiments exclusively (footnote 4) and counts syndrome
@@ -37,4 +41,4 @@ mod viz;
 
 pub use layout::{RotatedSurfaceCode, Stabilizer, StabilizerBasis};
 pub use memory::MemoryBasis;
-pub use noise::NoiseModel;
+pub use noise::{NoiseModel, NoiseModelBuilder, NoiseModelError, PauliChannel};

@@ -31,8 +31,10 @@ impl RotatedSurfaceCode {
     ///
     /// Per round: start-of-round depolarization on data, ancilla reset
     /// (with reset flips), Hadamards bracketing the X-type extraction,
-    /// four CNOT layers (each followed by two-qubit depolarization), and
-    /// ancilla measurement (with measurement flips). Detectors are emitted
+    /// four CNOT layers (each followed by two-qubit depolarization at
+    /// the CX rate), ancilla measurement (with measurement flips), and
+    /// the idle channel on data qubits through the readout window.
+    /// Detectors are emitted
     /// for Z-type stabilizers only: `(rounds + 1)` layers of
     /// `(d² − 1) / 2` detectors, with coordinates `(2·j, 2·i, t)` for
     /// corner `(i, j)` at layer `t`.
@@ -126,16 +128,19 @@ impl RotatedSurfaceCode {
                     }
                 }
                 b.cx(&pairs);
-                b.depolarize2(&pairs, noise.gate_depolarization);
+                b.depolarize2(&pairs, noise.cx_depolarization);
             }
 
             // (5) Undo the Hadamards.
             b.h(&x_ancillas);
             b.depolarize1(&x_ancillas, noise.gate_depolarization);
 
-            // (6) Measure all ancillas (flip noise just before).
+            // (6) Measure all ancillas (flip noise just before). Data
+            // qubits idle through the readout window and suffer the
+            // (possibly biased) idle channel.
             b.x_error(&ancillas, noise.measurement_flip);
             let meas = b.measure_z(&ancillas);
+            b.pauli_error(&data, noise.idle.px, noise.idle.py, noise.idle.pz);
 
             // (7) Memory-basis detectors. Layer 0 compares against the
             // deterministic first-round value; later layers compare
@@ -330,6 +335,56 @@ mod tests {
             (mean - analytic).abs() / analytic < 0.03,
             "sampler {mean:.4} vs analytic {analytic:.4}"
         );
+    }
+
+    #[test]
+    fn sd6_adds_idle_mechanisms_over_uniform() {
+        // The SD6 preset layers an idle channel on top of the uniform
+        // model: same detector structure, strictly more error mass, and
+        // still a well-formed graphlike DEM.
+        let code = RotatedSurfaceCode::new(3);
+        let uni = code.memory_z_circuit(3, &NoiseModel::uniform(1e-3));
+        let sd6 = code.memory_z_circuit(3, &NoiseModel::sd6(1e-3));
+        assert_eq!(uni.num_detectors(), sd6.num_detectors());
+        assert!(sd6.num_noise_sites() > uni.num_noise_sites());
+        let (dem_uni, _) = extract_dem_with_stats(&uni);
+        let (dem_sd6, stats) = extract_dem_with_stats(&sd6);
+        assert!(dem_sd6.expected_error_count() > dem_uni.expected_error_count());
+        dem_sd6.validate().expect("sd6 dem must validate");
+        assert!(dem_sd6.max_symptom_size() <= 2);
+        assert!(dem_sd6.undetectable_logical_mechanisms().is_empty());
+        assert_eq!(stats.fallback_decompositions, 0);
+    }
+
+    #[test]
+    fn z_biased_idle_contributes_less_visible_error_mass() {
+        // In a memory-Z experiment, Z-biased idling mostly dephases —
+        // invisible to Z stabilizers — so its DEM carries less visible
+        // error mass than the same idle strength spent depolarizing.
+        let code = RotatedSurfaceCode::new(3);
+        let dep = qsim::extract_dem(&code.memory_z_circuit(3, &NoiseModel::sd6(1e-3)));
+        let biased =
+            qsim::extract_dem(&code.memory_z_circuit(3, &NoiseModel::biased_z(1e-3, 50.0)));
+        biased.validate().expect("biased dem must validate");
+        assert!(biased.expected_error_count() < dep.expected_error_count());
+    }
+
+    #[test]
+    fn custom_model_with_asymmetric_channels_builds_clean_dems() {
+        let noise = NoiseModel::custom()
+            .data_depolarization(5e-4)
+            .cx_depolarization(2e-3)
+            .measurement_flip(4e-3)
+            .idle(crate::noise::PauliChannel::biased_z(1e-3, 10.0))
+            .build()
+            .unwrap();
+        let code = RotatedSurfaceCode::new(3);
+        let circuit = code.memory_z_circuit(3, &noise);
+        let (dem, stats) = extract_dem_with_stats(&circuit);
+        dem.validate().expect("custom dem must validate");
+        assert!(dem.max_symptom_size() <= 2);
+        assert!(dem.undetectable_logical_mechanisms().is_empty());
+        assert_eq!(stats.fallback_decompositions, 0);
     }
 
     #[test]

@@ -1,25 +1,168 @@
-//! The circuit-level noise model of Promatch §5.3.
+//! Circuit-level noise models.
+//!
+//! The core family extends Promatch §5.3's uniform model into the full
+//! circuit-level design space the predecoder literature evaluates on:
+//! independent strengths per channel (single-qubit-gate vs CX
+//! depolarization, measurement vs reset flips), a biased idle channel
+//! for the readout window, an SD6-style standard preset, and a `custom`
+//! builder for ablations. Every named evaluation setup maps onto one
+//! constructor:
+//!
+//! * [`NoiseModel::uniform`] — the paper's model (Tables 2/3, Figs 4/14);
+//! * [`NoiseModel::code_capacity`] — spatial-only decoding sanity checks;
+//! * [`NoiseModel::phenomenological`] — data + measurement noise;
+//! * [`NoiseModel::sd6`] — standard-depolarizing 6-step cycle: uniform
+//!   plus depolarizing idle errors during the readout window;
+//! * [`NoiseModel::biased_z`] — SD6 with the idle channel biased toward
+//!   Z by a factor `eta`, the superconducting-idling regime;
+//! * [`NoiseModel::custom`] — free-form builder with validation.
 
-/// Probabilities for each of the four noise categories in the paper's
-/// uniform circuit-level model.
+use std::fmt;
+
+/// A biased single-qubit Pauli channel: exactly one of X, Y, Z fires
+/// with the given component probability.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PauliChannel {
+    /// X-component probability.
+    pub px: f64,
+    /// Y-component probability.
+    pub py: f64,
+    /// Z-component probability.
+    pub pz: f64,
+}
+
+impl PauliChannel {
+    /// The silent channel.
+    pub const ZERO: PauliChannel = PauliChannel {
+        px: 0.0,
+        py: 0.0,
+        pz: 0.0,
+    };
+
+    /// A depolarizing channel of total strength `p` (each component
+    /// `p/3`).
+    pub fn depolarizing(p: f64) -> Self {
+        PauliChannel {
+            px: p / 3.0,
+            py: p / 3.0,
+            pz: p / 3.0,
+        }
+    }
+
+    /// A Z-biased channel of total strength `p` and bias
+    /// `eta = pz / (px + py)`: `pz = p·η/(η+1)`, `px = py = p/(2(η+1))`.
+    /// `eta = 0.5` recovers [`PauliChannel::depolarizing`]; large `eta`
+    /// approaches a pure-dephasing channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is negative.
+    pub fn biased_z(p: f64, eta: f64) -> Self {
+        assert!(eta >= 0.0, "bias eta = {eta} must be non-negative");
+        let denom = eta + 1.0;
+        PauliChannel {
+            px: p / (2.0 * denom),
+            py: p / (2.0 * denom),
+            pz: p * eta / denom,
+        }
+    }
+
+    /// Total firing probability `px + py + pz`.
+    pub fn total(&self) -> f64 {
+        self.px + self.py + self.pz
+    }
+
+    /// Whether the channel never fires.
+    pub fn is_zero(&self) -> bool {
+        self.px == 0.0 && self.py == 0.0 && self.pz == 0.0
+    }
+
+    /// Checks that every component is a probability and the total does
+    /// not exceed 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), NoiseModelError> {
+        for (name, v) in [("px", self.px), ("py", self.py), ("pz", self.pz)] {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(NoiseModelError::InvalidProbability {
+                    field: name,
+                    value: v,
+                });
+            }
+        }
+        if self.total() > 1.0 {
+            return Err(NoiseModelError::ChannelTotalTooLarge {
+                total: self.total(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Validation errors for [`NoiseModel`] and [`PauliChannel`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NoiseModelError {
+    /// A field was outside [0, 1] (or NaN).
+    InvalidProbability {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A Pauli channel's components summed past 1.
+    ChannelTotalTooLarge {
+        /// The offending component sum.
+        total: f64,
+    },
+}
+
+impl fmt::Display for NoiseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoiseModelError::InvalidProbability { field, value } => {
+                write!(f, "{field} = {value} is not a probability")
+            }
+            NoiseModelError::ChannelTotalTooLarge { total } => {
+                write!(f, "Pauli channel components sum to {total} > 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NoiseModelError {}
+
+/// Per-channel probabilities of the circuit-level noise model.
 ///
-/// The paper always sets all four equal to a single physical error rate
-/// `p` (use [`NoiseModel::uniform`]); the fields are separate so that
-/// ablation studies can vary them independently.
+/// The paper's uniform model sets the first five categories to a single
+/// physical error rate `p` and leaves the idle channel silent (use
+/// [`NoiseModel::uniform`]); the fields are separate so that scenario
+/// studies and ablations can vary them independently.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NoiseModel {
     /// Start-of-round depolarizing probability on data qubits.
     pub data_depolarization: f64,
-    /// Depolarizing probability after each gate, on all operands.
+    /// Depolarizing probability after each single-qubit gate (Hadamard
+    /// layers), on all operands.
     pub gate_depolarization: f64,
+    /// Two-qubit depolarizing probability after each CX, on both
+    /// operands jointly (each of the 15 non-identity two-qubit Paulis
+    /// with `p/15`).
+    pub cx_depolarization: f64,
     /// Measurement flip probability.
     pub measurement_flip: f64,
     /// Reset (initialization) flip probability.
     pub reset_flip: f64,
+    /// Idle error channel applied to data qubits during the ancilla
+    /// readout window of every round. Biasing this channel toward Z
+    /// models the dephasing-dominated idling of superconducting qubits.
+    pub idle: PauliChannel,
 }
 
 impl NoiseModel {
-    /// The paper's uniform model: every category fires with probability `p`.
+    /// The paper's uniform model: every gate/measurement/reset category
+    /// fires with probability `p`; idling is noiseless.
     ///
     /// # Panics
     ///
@@ -29,8 +172,10 @@ impl NoiseModel {
         NoiseModel {
             data_depolarization: p,
             gate_depolarization: p,
+            cx_depolarization: p,
             measurement_flip: p,
             reset_flip: p,
+            idle: PauliChannel::ZERO,
         }
     }
 
@@ -51,9 +196,7 @@ impl NoiseModel {
         assert!((0.0..=1.0).contains(&p), "p = {p} is not a probability");
         NoiseModel {
             data_depolarization: p,
-            gate_depolarization: 0.0,
-            measurement_flip: 0.0,
-            reset_flip: 0.0,
+            ..NoiseModel::noiseless()
         }
     }
 
@@ -68,9 +211,46 @@ impl NoiseModel {
         assert!((0.0..=1.0).contains(&p), "p = {p} is not a probability");
         NoiseModel {
             data_depolarization: p,
-            gate_depolarization: 0.0,
             measurement_flip: p,
-            reset_flip: 0.0,
+            ..NoiseModel::noiseless()
+        }
+    }
+
+    /// SD6-style standard circuit-level model: the uniform model plus a
+    /// depolarizing idle channel of strength `p` on data qubits during
+    /// the readout window — every qubit suffers noise in every step of
+    /// the 6-step extraction cycle, as in Stim's standard `SD6` family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn sd6(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p = {p} is not a probability");
+        NoiseModel {
+            idle: PauliChannel::depolarizing(p),
+            ..NoiseModel::uniform(p)
+        }
+    }
+
+    /// SD6 with the idle channel biased toward Z by `eta`
+    /// (see [`PauliChannel::biased_z`]): gate noise stays depolarizing at
+    /// `p`, idling dephases preferentially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]` or `eta` is negative.
+    pub fn biased_z(p: f64, eta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p = {p} is not a probability");
+        NoiseModel {
+            idle: PauliChannel::biased_z(p, eta),
+            ..NoiseModel::uniform(p)
+        }
+    }
+
+    /// Starts a [`NoiseModelBuilder`] from the noiseless model.
+    pub fn custom() -> NoiseModelBuilder {
+        NoiseModelBuilder {
+            model: NoiseModel::noiseless(),
         }
     }
 
@@ -78,8 +258,41 @@ impl NoiseModel {
     pub fn is_noiseless(&self) -> bool {
         self.data_depolarization == 0.0
             && self.gate_depolarization == 0.0
+            && self.cx_depolarization == 0.0
             && self.measurement_flip == 0.0
             && self.reset_flip == 0.0
+            && self.idle.is_zero()
+    }
+
+    /// Whether any gate-level channel fires (the defining property of
+    /// circuit-level — as opposed to code-capacity or phenomenological —
+    /// noise).
+    pub fn is_circuit_level(&self) -> bool {
+        self.gate_depolarization > 0.0 || self.cx_depolarization > 0.0 || self.reset_flip > 0.0
+    }
+
+    /// Checks every field is a probability and the idle channel is
+    /// well-formed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), NoiseModelError> {
+        for (name, v) in [
+            ("data_depolarization", self.data_depolarization),
+            ("gate_depolarization", self.gate_depolarization),
+            ("cx_depolarization", self.cx_depolarization),
+            ("measurement_flip", self.measurement_flip),
+            ("reset_flip", self.reset_flip),
+        ] {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(NoiseModelError::InvalidProbability {
+                    field: name,
+                    value: v,
+                });
+            }
+        }
+        self.idle.validate()
     }
 }
 
@@ -90,23 +303,95 @@ impl Default for NoiseModel {
     }
 }
 
+/// Fluent builder for custom [`NoiseModel`]s, validated at
+/// [`NoiseModelBuilder::build`].
+///
+/// ```
+/// use surface_code::{NoiseModel, PauliChannel};
+///
+/// let noise = NoiseModel::custom()
+///     .data_depolarization(1e-3)
+///     .cx_depolarization(2e-3)
+///     .measurement_flip(5e-3)
+///     .idle(PauliChannel::biased_z(1e-3, 10.0))
+///     .build()
+///     .unwrap();
+/// assert!(noise.is_circuit_level());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct NoiseModelBuilder {
+    model: NoiseModel,
+}
+
+impl NoiseModelBuilder {
+    /// Sets the start-of-round data depolarization probability.
+    pub fn data_depolarization(mut self, p: f64) -> Self {
+        self.model.data_depolarization = p;
+        self
+    }
+
+    /// Sets the single-qubit-gate depolarization probability.
+    pub fn gate_depolarization(mut self, p: f64) -> Self {
+        self.model.gate_depolarization = p;
+        self
+    }
+
+    /// Sets the per-CX two-qubit depolarization probability.
+    pub fn cx_depolarization(mut self, p: f64) -> Self {
+        self.model.cx_depolarization = p;
+        self
+    }
+
+    /// Sets the measurement flip probability.
+    pub fn measurement_flip(mut self, p: f64) -> Self {
+        self.model.measurement_flip = p;
+        self
+    }
+
+    /// Sets the reset flip probability.
+    pub fn reset_flip(mut self, p: f64) -> Self {
+        self.model.reset_flip = p;
+        self
+    }
+
+    /// Sets the idle channel.
+    pub fn idle(mut self, channel: PauliChannel) -> Self {
+        self.model.idle = channel;
+        self
+    }
+
+    /// Validates and returns the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint violated by the configured fields.
+    pub fn build(self) -> Result<NoiseModel, NoiseModelError> {
+        self.model.validate()?;
+        Ok(self.model)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn uniform_sets_all_categories() {
+    fn uniform_sets_all_gate_categories() {
         let m = NoiseModel::uniform(0.25);
         assert_eq!(m.data_depolarization, 0.25);
         assert_eq!(m.gate_depolarization, 0.25);
+        assert_eq!(m.cx_depolarization, 0.25);
         assert_eq!(m.measurement_flip, 0.25);
         assert_eq!(m.reset_flip, 0.25);
+        assert!(m.idle.is_zero());
         assert!(!m.is_noiseless());
+        assert!(m.is_circuit_level());
     }
 
     #[test]
     fn noiseless_is_noiseless() {
         assert!(NoiseModel::noiseless().is_noiseless());
+        assert!(!NoiseModel::noiseless().is_circuit_level());
     }
 
     #[test]
@@ -119,8 +404,10 @@ mod tests {
         let m = NoiseModel::code_capacity(0.1);
         assert_eq!(m.data_depolarization, 0.1);
         assert_eq!(m.gate_depolarization, 0.0);
+        assert_eq!(m.cx_depolarization, 0.0);
         assert_eq!(m.measurement_flip, 0.0);
         assert_eq!(m.reset_flip, 0.0);
+        assert!(!m.is_circuit_level());
     }
 
     #[test]
@@ -129,6 +416,77 @@ mod tests {
         assert_eq!(m.data_depolarization, 0.02);
         assert_eq!(m.measurement_flip, 0.02);
         assert_eq!(m.gate_depolarization, 0.0);
+        assert!(!m.is_circuit_level());
+    }
+
+    #[test]
+    fn sd6_is_uniform_plus_depolarizing_idle() {
+        let m = NoiseModel::sd6(1e-3);
+        assert_eq!(
+            NoiseModel {
+                idle: PauliChannel::ZERO,
+                ..m
+            },
+            NoiseModel::uniform(1e-3)
+        );
+        assert!((m.idle.total() - 1e-3).abs() < 1e-15);
+        assert_eq!(m.idle.px, m.idle.pz);
+    }
+
+    #[test]
+    fn biased_z_concentrates_idle_mass_on_z() {
+        let m = NoiseModel::biased_z(1e-3, 100.0);
+        assert!((m.idle.total() - 1e-3).abs() < 1e-15);
+        assert!(m.idle.pz > 50.0 * m.idle.px);
+        // eta = 0.5 recovers the depolarizing split.
+        let dep = PauliChannel::biased_z(0.3, 0.5);
+        let ref_dep = PauliChannel::depolarizing(0.3);
+        assert!((dep.px - ref_dep.px).abs() < 1e-15);
+        assert!((dep.pz - ref_dep.pz).abs() < 1e-15);
+    }
+
+    #[test]
+    fn builder_builds_and_validates() {
+        let m = NoiseModel::custom()
+            .data_depolarization(1e-3)
+            .gate_depolarization(2e-3)
+            .cx_depolarization(3e-3)
+            .measurement_flip(4e-3)
+            .reset_flip(5e-3)
+            .idle(PauliChannel::biased_z(1e-3, 10.0))
+            .build()
+            .unwrap();
+        assert_eq!(m.cx_depolarization, 3e-3);
+        assert!(m.validate().is_ok());
+
+        let err = NoiseModel::custom()
+            .measurement_flip(1.5)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NoiseModelError::InvalidProbability {
+                field: "measurement_flip",
+                value: 1.5
+            }
+        );
+
+        let err = NoiseModel::custom()
+            .idle(PauliChannel {
+                px: 0.5,
+                py: 0.4,
+                pz: 0.3,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NoiseModelError::ChannelTotalTooLarge { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let mut m = NoiseModel::uniform(1e-3);
+        m.cx_depolarization = f64::NAN;
+        assert!(m.validate().is_err());
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Golden-fixture regression tests.
+//!
+//! Each fixture pins one noise scenario's physics end to end:
+//!
+//! * `tests/fixtures/<name>.dem` — the extracted detector error model in
+//!   Stim-compatible text. Re-extracting the DEM from the live circuit
+//!   builder must reproduce it **bit-exactly**; any drift in the noise
+//!   layer, the sensitivity analysis, or the graphlike decomposition
+//!   shows up as a diff here.
+//! * `tests/fixtures/<name>.corrections.tsv` — expected decode outputs
+//!   (observable flip, failure flag, solution weight, and the full
+//!   matching) for a fixed set of sampled syndromes, for every Table 2
+//!   decoder kind. Decode output must stay bit-exact.
+//!
+//! Regenerate after an *intentional* physics change with:
+//!
+//! ```text
+//! PROMATCH_BLESS=1 cargo test --test golden
+//! ```
+
+use promatch_repro::decoding_graph::{DecodingGraph, MatchTarget, PathTable};
+use promatch_repro::ler::{build_decoder, DecoderKind, InjectionSampler};
+use promatch_repro::qsim::{extract_dem, DetectorErrorModel};
+use promatch_repro::surface_code::{NoiseModel, RotatedSurfaceCode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// One pinned scenario: name, noise model, distance, rounds, RNG seed
+/// for the syndrome set.
+struct GoldenCase {
+    name: &'static str,
+    noise: NoiseModel,
+    distance: u32,
+    rounds: u32,
+    seed: u64,
+}
+
+fn cases() -> Vec<GoldenCase> {
+    vec![
+        GoldenCase {
+            name: "cc_d3",
+            noise: NoiseModel::code_capacity(1e-2),
+            distance: 3,
+            rounds: 1,
+            seed: 101,
+        },
+        GoldenCase {
+            name: "phenom_d5",
+            noise: NoiseModel::phenomenological(5e-3),
+            distance: 5,
+            rounds: 5,
+            seed: 102,
+        },
+        GoldenCase {
+            name: "sd6_d5",
+            noise: NoiseModel::sd6(1e-3),
+            distance: 5,
+            rounds: 5,
+            seed: 103,
+        },
+        GoldenCase {
+            name: "biased_z_d3",
+            noise: NoiseModel::biased_z(2e-3, 10.0),
+            distance: 3,
+            rounds: 3,
+            seed: 104,
+        },
+    ]
+}
+
+/// Number of syndromes pinned per fixture; injected mechanism counts
+/// cycle 1..=6 so both sparse and dense syndromes are covered.
+const SHOTS_PER_FIXTURE: usize = 12;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+fn blessing() -> bool {
+    std::env::var("PROMATCH_BLESS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn build_dem(case: &GoldenCase) -> DetectorErrorModel {
+    let code = RotatedSurfaceCode::new(case.distance);
+    let circuit = code.memory_z_circuit(case.rounds, &case.noise);
+    extract_dem(&circuit)
+}
+
+/// Serializes the expected decode outputs of every Table 2 decoder over
+/// the fixture's pinned syndrome set.
+fn render_corrections(dem: &DetectorErrorModel, seed: u64) -> String {
+    let graph = DecodingGraph::from_dem(dem);
+    let paths = PathTable::build(&graph);
+    let sampler = InjectionSampler::new(dem);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut syndromes = Vec::new();
+    for shot in 0..SHOTS_PER_FIXTURE {
+        let k = 1 + shot % 6;
+        let (s, _) = sampler.sample_exact_k(&mut rng, k.min(dem.errors.len()));
+        syndromes.push(s.dets);
+    }
+    let mut out = String::from("# shot\tdets\tdecoder\tobs\tfailed\tweight\tmatches\n");
+    for kind in DecoderKind::table2() {
+        let mut dec = build_decoder(kind, &graph, &paths);
+        for (i, dets) in syndromes.iter().enumerate() {
+            let o = dec.decode(dets);
+            let dets_txt = if dets.is_empty() {
+                "-".to_string()
+            } else {
+                dets.iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let weight_txt = o.weight.map_or("-".to_string(), |w| w.to_string());
+            let matches_txt = if o.matches.is_empty() {
+                "-".to_string()
+            } else {
+                o.matches
+                    .iter()
+                    .map(|m| match m.b {
+                        MatchTarget::Detector(b) => format!("{}:{}", m.a, b),
+                        MatchTarget::Boundary => format!("{}:B", m.a),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            out.push_str(&format!(
+                "{i}\t{dets_txt}\t{}\t{}\t{}\t{weight_txt}\t{matches_txt}\n",
+                kind.label(),
+                o.obs_flip,
+                u8::from(o.failed),
+            ));
+        }
+    }
+    out
+}
+
+fn check_or_bless(path: &PathBuf, actual: &str, what: &str) {
+    if blessing() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing {what} fixture {} ({e}); run PROMATCH_BLESS=1 cargo test --test golden",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{what} drifted from fixture {}; if the physics change is intentional, \
+         regenerate with PROMATCH_BLESS=1 cargo test --test golden",
+        path.display()
+    );
+}
+
+#[test]
+fn dem_extraction_matches_golden_fixtures() {
+    for case in cases() {
+        let dem = build_dem(&case);
+        dem.validate().expect(case.name);
+        let path = fixture_dir().join(format!("{}.dem", case.name));
+        check_or_bless(&path, &dem.to_text(), case.name);
+        // The fixture itself must round-trip through the text parser to
+        // the same model the circuit produced.
+        if !blessing() {
+            let parsed =
+                DetectorErrorModel::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+            assert_eq!(
+                parsed, dem,
+                "{}: text fixture does not round-trip",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn table2_decoders_reproduce_golden_corrections() {
+    for case in cases() {
+        // Decode against the *fixture* DEM (not the live one) so this
+        // test isolates decoder drift from noise-layer drift.
+        let path = fixture_dir().join(format!("{}.dem", case.name));
+        let dem = if blessing() {
+            build_dem(&case)
+        } else {
+            DetectorErrorModel::parse(&std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "missing fixture {} ({e}); run PROMATCH_BLESS=1 cargo test --test golden",
+                    path.display()
+                )
+            }))
+            .unwrap()
+        };
+        let actual = render_corrections(&dem, case.seed);
+        let cpath = fixture_dir().join(format!("{}.corrections.tsv", case.name));
+        check_or_bless(&cpath, &actual, case.name);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests over the circuit-level noise layer.
+//!
+//! For arbitrary generated [`NoiseModel`]s the pipeline must uphold:
+//! probabilities stay in [0, 1], extracted DEMs are well-formed
+//! (graphlike, no dangling detectors, boundary reachable from every
+//! detector), and `extract_dem` is deterministic across runs.
+
+use promatch_repro::decoding_graph::DecodingGraph;
+use promatch_repro::qsim::extract_dem;
+use promatch_repro::surface_code::{NoiseModel, PauliChannel, RotatedSurfaceCode};
+use proptest::prelude::*;
+
+/// Generated channel strengths stay small enough that XOR-merged
+/// mechanisms remain below the 0.5 probability cap `validate` enforces.
+fn small_p() -> impl Strategy<Value = f64> {
+    0.0..0.02f64
+}
+
+/// Strictly positive measurement noise guarantees every detector has at
+/// least one incident mechanism (each detector consumes an ancilla
+/// measurement record), which in turn pins down boundary reachability.
+fn positive_p() -> impl Strategy<Value = f64> {
+    1e-4..0.02f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary builder inputs either validate (and then every stored
+    /// field is a probability) or are rejected — never a silently
+    /// malformed model.
+    #[test]
+    fn generated_models_validate_iff_fields_are_probabilities(
+        data in small_p(),
+        gate in small_p(),
+        cx in small_p(),
+        meas in small_p(),
+        reset in small_p(),
+        idle_p in small_p(),
+        eta in 0.0..200.0f64,
+    ) {
+        let noise = NoiseModel::custom()
+            .data_depolarization(data)
+            .gate_depolarization(gate)
+            .cx_depolarization(cx)
+            .measurement_flip(meas)
+            .reset_flip(reset)
+            .idle(PauliChannel::biased_z(idle_p, eta))
+            .build()
+            .unwrap();
+        for v in [
+            noise.data_depolarization,
+            noise.gate_depolarization,
+            noise.cx_depolarization,
+            noise.measurement_flip,
+            noise.reset_flip,
+            noise.idle.px,
+            noise.idle.py,
+            noise.idle.pz,
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        prop_assert!((noise.idle.total() - idle_p).abs() < 1e-12);
+    }
+
+    /// Every generated model yields a well-formed DEM: graphlike
+    /// symptoms, in-range detectors, legal probabilities, no mechanism
+    /// that flips an observable invisibly.
+    #[test]
+    fn generated_models_yield_wellformed_dems(
+        data in small_p(),
+        cx in small_p(),
+        meas in positive_p(),
+        reset in small_p(),
+        idle_p in small_p(),
+        eta in 0.0..50.0f64,
+    ) {
+        let noise = NoiseModel::custom()
+            .data_depolarization(data)
+            .gate_depolarization(cx / 2.0)
+            .cx_depolarization(cx)
+            .measurement_flip(meas)
+            .reset_flip(reset)
+            .idle(PauliChannel::biased_z(idle_p, eta))
+            .build()
+            .unwrap();
+        let circuit = RotatedSurfaceCode::new(3).memory_z_circuit(2, &noise);
+        let dem = extract_dem(&circuit);
+        prop_assert!(dem.validate().is_ok(), "{:?}", dem.validate());
+        prop_assert!(dem.max_symptom_size() <= 2);
+        prop_assert!(dem.undetectable_logical_mechanisms().is_empty());
+    }
+
+    /// No dangling detectors: with measurement noise on, every detector
+    /// has an incident mechanism and reaches the boundary, and the
+    /// boundary is entered symmetrically (several distinct boundary
+    /// edges, not a single funnel).
+    #[test]
+    fn generated_dems_have_no_dangling_detectors(
+        data in small_p(),
+        cx in small_p(),
+        meas in positive_p(),
+        idle_p in small_p(),
+        eta in 0.0..50.0f64,
+    ) {
+        let noise = NoiseModel::custom()
+            .data_depolarization(data)
+            .cx_depolarization(cx)
+            .measurement_flip(meas)
+            .idle(PauliChannel::biased_z(idle_p, eta))
+            .build()
+            .unwrap();
+        let circuit = RotatedSurfaceCode::new(3).memory_z_circuit(2, &noise);
+        let dem = extract_dem(&circuit);
+        let mut touched = vec![false; dem.num_detectors as usize];
+        for e in &dem.errors {
+            for d in e.dets.iter() {
+                touched[d as usize] = true;
+            }
+        }
+        prop_assert!(touched.iter().all(|&t| t), "dangling detector: {touched:?}");
+        let graph = DecodingGraph::from_dem(&dem);
+        let sp = graph.dijkstra(graph.boundary_node());
+        prop_assert!(sp.dist.iter().all(|&d| d != i64::MAX));
+        let boundary_edges = graph
+            .edges()
+            .iter()
+            .filter(|e| graph.is_boundary_edge(e))
+            .count();
+        prop_assert!(boundary_edges >= 2, "boundary edges: {boundary_edges}");
+    }
+
+    /// `extract_dem` is deterministic: two extractions from circuits
+    /// built twice from the same model are identical, mechanism for
+    /// mechanism.
+    #[test]
+    fn extraction_is_deterministic_across_runs(
+        data in small_p(),
+        cx in small_p(),
+        meas in small_p(),
+        idle_p in small_p(),
+    ) {
+        let noise = NoiseModel::custom()
+            .data_depolarization(data)
+            .cx_depolarization(cx)
+            .measurement_flip(meas)
+            .idle(PauliChannel::depolarizing(idle_p))
+            .build()
+            .unwrap();
+        let code = RotatedSurfaceCode::new(3);
+        let a = extract_dem(&code.memory_z_circuit(2, &noise));
+        let b = extract_dem(&code.memory_z_circuit(2, &noise));
+        prop_assert_eq!(&a, &b);
+        // And through the text round-trip, for golden-fixture stability.
+        let back = promatch_repro::qsim::DetectorErrorModel::parse(&a.to_text()).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    /// Out-of-range builder inputs are rejected, never clamped.
+    #[test]
+    fn out_of_range_inputs_are_rejected(p in 1.0001..10.0f64) {
+        prop_assert!(NoiseModel::custom().measurement_flip(p).build().is_err());
+        prop_assert!(NoiseModel::custom().cx_depolarization(-p).build().is_err());
+        let bad_idle = PauliChannel { px: p, py: 0.0, pz: 0.0 };
+        prop_assert!(NoiseModel::custom().idle(bad_idle).build().is_err());
+    }
+}

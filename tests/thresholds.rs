@@ -7,9 +7,10 @@
 //! from the threshold for small-sample statistics to be decisive.
 
 use promatch_repro::decoding_graph::{Decoder, DecodingGraph, PathTable};
+use promatch_repro::ler::{run_eq1, DecoderKind, Eq1Config, ExperimentContext, RateInterval};
 use promatch_repro::mwpm::MwpmDecoder;
 use promatch_repro::qsim::{extract_dem, FrameSampler};
-use promatch_repro::surface_code::{NoiseModel, RotatedSurfaceCode};
+use promatch_repro::surface_code::{MemoryBasis, NoiseModel, RotatedSurfaceCode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -82,6 +83,74 @@ fn circuit_level_below_threshold_distance_helps() {
         f5 < f3.max(2),
         "below threshold d=5 ({f5}) must improve on d=3 ({f3})"
     );
+}
+
+/// Equation-1 MWPM Wilson interval under SD6 circuit-level noise at
+/// p = 1e-3 (the statistical acceptance configuration; run_eq1 is
+/// bit-identical for every worker-thread count, so these numbers do not
+/// depend on `PROMATCH_THREADS`).
+fn sd6_mwpm_interval(d: u32) -> RateInterval {
+    let ctx = ExperimentContext::with_noise(MemoryBasis::Z, d, d, &NoiseModel::sd6(1e-3), 1e-3);
+    let cfg = Eq1Config {
+        k_max: 16,
+        shots_per_k: 300,
+        seed: 2024,
+        threads: 0,
+    };
+    let report = run_eq1(&ctx, &[DecoderKind::Mwpm], &cfg);
+    report.ler_interval_of(DecoderKind::Mwpm).unwrap()
+}
+
+/// Statistical acceptance: the circuit-level MWPM LER at (d = 5, 7;
+/// p = 1e-3) must fall in precomputed confidence bands. The bands are
+/// the blessed point estimates widened by 4x in both directions —
+/// generous against sampling-configuration tweaks, decisive against
+/// physics drift (a lost noise channel or broken detector moves the
+/// estimate by an order of magnitude). Too slow for debug builds; CI
+/// runs this under `--release`.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "statistical suite runs in release (see CI)"
+)]
+fn circuit_level_ler_falls_in_precomputed_bands() {
+    // Blessed estimates (seed 2024, k_max 16, 300 shots/k):
+    // d=5: 2.7e-4, d=7: 7.9e-5.
+    for (d, blessed) in [(5u32, 2.7e-4), (7, 7.9e-5)] {
+        let iv = sd6_mwpm_interval(d);
+        let (lo, hi) = (blessed / 4.0, blessed * 4.0);
+        assert!(
+            iv.estimate >= lo && iv.estimate <= hi,
+            "d={d}: estimate {:.3e} outside precomputed band [{lo:.3e}, {hi:.3e}]",
+            iv.estimate
+        );
+        assert!(
+            iv.low <= iv.estimate && iv.estimate <= iv.high,
+            "d={d}: malformed interval {iv:?}"
+        );
+        // The Wilson interval must be informative at this sample size.
+        assert!(iv.high < 5e-2, "d={d}: upper bound degenerate: {iv:?}");
+    }
+}
+
+/// Statistical acceptance: under circuit-level noise below threshold,
+/// the MWPM LER must decrease strictly with distance.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "statistical suite runs in release (see CI)"
+)]
+fn circuit_level_mwpm_ler_decreases_with_distance() {
+    let l3 = sd6_mwpm_interval(3).estimate;
+    let l5 = sd6_mwpm_interval(5).estimate;
+    let l7 = sd6_mwpm_interval(7).estimate;
+    assert!(
+        l3 > l5 && l5 > l7,
+        "LER must fall with d: d3={l3:.3e}, d5={l5:.3e}, d7={l7:.3e}"
+    );
+    // Below threshold the suppression per distance step should be
+    // substantial, not marginal.
+    assert!(l3 > 2.0 * l5, "d3={l3:.3e} vs d5={l5:.3e}");
 }
 
 #[test]
