@@ -9,8 +9,11 @@
 //! match units. With the defaults (U = 9, setup = 9) the model lands on
 //! the paper's 456 ns for HW = 10.
 
-/// Nanoseconds per cycle at the 250 MHz clock used throughout the paper.
-pub const CYCLE_NS: f64 = 4.0;
+use decoding_graph::latency::LatencyModel;
+
+/// Nanoseconds per cycle at the 250 MHz clock used throughout the paper
+/// (re-exported from the workspace-wide constant in `decoding-graph`).
+pub use decoding_graph::latency::CYCLE_NS;
 
 /// Latency model for Astrea's brute-force matching engine.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -75,6 +78,16 @@ impl AstreaLatencyModel {
     }
 }
 
+impl LatencyModel for AstreaLatencyModel {
+    fn name(&self) -> &str {
+        "astrea-brute"
+    }
+
+    fn latency_ns(&self, hw: usize) -> f64 {
+        AstreaLatencyModel::latency_ns(self, hw)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +117,16 @@ mod tests {
         let m = AstreaLatencyModel::default();
         for hw in 0..10 {
             assert!(m.latency_ns(hw) <= m.latency_ns(hw + 1), "hw={hw}");
+        }
+    }
+
+    #[test]
+    fn latency_model_trait_matches_inherent_method() {
+        let m = AstreaLatencyModel::default();
+        let dyn_m: &dyn LatencyModel = &m;
+        assert_eq!(dyn_m.name(), "astrea-brute");
+        for hw in 0..=10 {
+            assert_eq!(dyn_m.latency_ns(hw), m.latency_ns(hw));
         }
     }
 

@@ -21,9 +21,15 @@
 //!   repro scenarios                            list the registry
 //!   repro ler --scenario <name> [key=value]    Eq.-1 LER study -> BENCH.json
 //!   repro bench [--scale ...] [--scenario <name>] [key=value ...]
+//!   repro realtime --scenario <name> [--window W] [--commit C]
+//!                  [key=value ...]             streaming reaction-time study
+//!
+//! `--threads N` is accepted by every subcommand (equivalent to the
+//! `threads=N` override; 0 defers to PROMATCH_THREADS, then to the
+//! machine's parallelism).
 //! ```
 
-use bench_suite::{experiments, LerRunConfig, Scale, ScenarioRegistry};
+use bench_suite::{experiments, LerRunConfig, RealtimeRunConfig, Scale, ScenarioRegistry};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -40,6 +46,10 @@ fn main() -> ExitCode {
         eprintln!(
             "       repro bench [--scale tiny|quick|paper] [--scenario <name>] [key=value ...]"
         );
+        eprintln!(
+            "       repro realtime --scenario <name> [--window W] [--commit C] [key=value ...]"
+        );
+        eprintln!("       (--threads N works with every subcommand)");
         return ExitCode::FAILURE;
     };
     if name == "bench" {
@@ -61,14 +71,25 @@ fn main() -> ExitCode {
     if name == "ler" {
         return run_scenario_ler(&args[1..]);
     }
+    if name == "realtime" {
+        return run_scenario_realtime(&args[1..]);
+    }
 
     let mut scale = Scale::quick();
     let mut overrides = Vec::new();
-    for arg in &args[1..] {
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--paper" => scale = Scale::paper(),
             "--quick" => scale = Scale::quick(),
-            other => overrides.push(other.to_string()),
+            other => match flag_value(other, &mut it, "--threads") {
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(Some(n)) => overrides.push(format!("threads={n}")),
+                Ok(None) => overrides.push(other.to_string()),
+            },
         }
     }
     if let Err(e) = scale.apply_overrides(&overrides) {
@@ -128,7 +149,18 @@ fn run_scenario_ler(args: &[String]) -> ExitCode {
                 eprintln!("error: {e} (see `repro scenarios`)");
                 return ExitCode::FAILURE;
             }
-            Ok(Some(name)) => scenario_name = Some(name),
+            Ok(Some(name)) => {
+                scenario_name = Some(name);
+                continue;
+            }
+            Ok(None) => {}
+        }
+        match flag_value(arg, &mut it, "--threads") {
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(Some(n)) => overrides.push(format!("threads={n}")),
             Ok(None) => overrides.push(arg.clone()),
         }
     }
@@ -166,6 +198,76 @@ fn run_scenario_ler(args: &[String]) -> ExitCode {
     }
 }
 
+/// `repro realtime`: streaming reaction-time study of a named scenario
+/// (sliding-window decoding + backlog simulation), written to
+/// `BENCH.json` (schema v3).
+fn run_scenario_realtime(args: &[String]) -> ExitCode {
+    let mut scenario_name: Option<String> = None;
+    let mut overrides = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut matched = false;
+        for (flag, key) in [
+            ("--scenario", None),
+            ("--window", Some("window")),
+            ("--commit", Some("commit")),
+            ("--threads", Some("threads")),
+        ] {
+            match flag_value(arg, &mut it, flag) {
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(Some(value)) => {
+                    match key {
+                        None => scenario_name = Some(value),
+                        Some(key) => overrides.push(format!("{key}={value}")),
+                    }
+                    matched = true;
+                    break;
+                }
+                Ok(None) => {}
+            }
+        }
+        if !matched {
+            overrides.push(arg.clone());
+        }
+    }
+    let Some(scenario_name) = scenario_name else {
+        eprintln!(
+            "usage: repro realtime --scenario <name> [--window W] [--commit C] [--threads N] \
+             [shots=N] [seed=N] [round=NS] [deadline=NS] [out=PATH]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let registry = ScenarioRegistry::builtin();
+    let Some(scenario) = registry.get(&scenario_name) else {
+        eprintln!(
+            "error: unknown scenario '{scenario_name}' (known: {})",
+            registry.names().join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = RealtimeRunConfig::default();
+    if let Err(e) = cfg.apply_overrides(&overrides) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let started = std::time::Instant::now();
+    match bench_suite::run_scenario_realtime_study(scenario, &cfg, &mut out) {
+        Ok(()) => {
+            let _ = writeln!(out, "\n[done in {:.1?}]", started.elapsed());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `repro bench`: wall-clock decode snapshot, written to `BENCH.json`.
 fn run_perf_bench(args: &[String]) -> ExitCode {
     use bench_suite::BenchScale;
@@ -196,7 +298,18 @@ fn run_perf_bench(args: &[String]) -> ExitCode {
                 eprintln!("error: {e} (see `repro scenarios`)");
                 return ExitCode::FAILURE;
             }
-            Ok(Some(name)) => scale.scenario = Some(name),
+            Ok(Some(name)) => {
+                scale.scenario = Some(name);
+                continue;
+            }
+            Ok(None) => {}
+        }
+        match flag_value(arg, &mut it, "--threads") {
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(Some(n)) => overrides.push(format!("threads={n}")),
             Ok(None) => overrides.push(arg.clone()),
         }
     }

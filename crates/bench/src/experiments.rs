@@ -22,7 +22,7 @@ fn eq1_config(scale: &Scale) -> Eq1Config {
         k_max: scale.k_max,
         shots_per_k: scale.shots_per_k,
         seed: scale.seed,
-        threads: 0,
+        threads: scale.threads,
     }
 }
 
@@ -582,6 +582,7 @@ mod tests {
             k_max: 8,
             p: 1e-3,
             seed: 3,
+            threads: 0,
         }
     }
 
@@ -618,6 +619,7 @@ mod tests {
             k_max: 1,
             p: 1e-4,
             seed: 1,
+            threads: 0,
         };
         let mut sink = Vec::new();
         table8(&scale, &mut sink).unwrap();

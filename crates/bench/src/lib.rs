@@ -12,10 +12,12 @@
 
 pub mod experiments;
 pub mod perf;
+pub mod realtime;
 pub mod scale;
 pub mod scenario;
 
-pub use perf::{render_json, run_bench, BenchDoc, BenchPoint, BenchScale, LerPoint};
+pub use self::realtime::{run_scenario_realtime, run_scenario_realtime_study, RealtimeRunConfig};
+pub use perf::{render_json, run_bench, BenchDoc, BenchPoint, BenchScale, LatencyPoint, LerPoint};
 pub use scale::Scale;
 pub use scenario::{
     run_scenario_ler, run_scenario_ler_study, LerRunConfig, NoiseSpec, Scenario, ScenarioRegistry,

@@ -9,12 +9,12 @@
 //! `BENCH.json` is a schema-stable artifact CI can archive per commit —
 //! and, since schema v2, per scenario.
 //!
-//! Schema (`schema_version` 2; see README.md for the field-by-field
+//! Schema (`schema_version` 3; see README.md for the field-by-field
 //! description):
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "git_rev": "abc1234",
 //!   "seed": 2024,
 //!   "threads": 4,
@@ -27,13 +27,21 @@
 //!     {"scenario": "sd6-d11", "decoder": "MWPM (Ideal)", "d": 11,
 //!      "rounds": 11, "p": 1e-4, "k_max": 20, "shots_per_k": 150,
 //!      "ler": 2.1e-13, "low": 1.5e-13, "high": 3.0e-13}
+//!   ],
+//!   "latency": [
+//!     {"scenario": "sd6-d5", "decoder": "Promatch || AG", "window": 4,
+//!      "commit": 2, "round_ns": 1000, "shots": 200, "layers_per_shot": 6,
+//!      "p50_ns": 76, "p99_ns": 412, "max_ns": 964, "mean_ns": 98.2,
+//!      "miss_fraction": 0, "max_backlog": 1, "mean_backlog": 1,
+//!      "failures": 0}
 //!   ]
 //! }
 //! ```
 //!
-//! `repro bench` fills `results` (perf trajectory); `repro ler`
-//! fills `ler` (accuracy trajectory). `scenario` is `"default"` for the
-//! classic injection benchmark, otherwise the registry name.
+//! `repro bench` fills `results` (perf trajectory); `repro ler` fills
+//! `ler` (accuracy trajectory); `repro realtime` fills `latency` (tail
+//! reaction-time trajectory — schema v3). `scenario` is `"default"` for
+//! the classic injection benchmark, otherwise the registry name.
 
 use crate::scenario::{Scenario, ScenarioRegistry};
 use decoding_graph::SyndromeBatch;
@@ -44,7 +52,7 @@ use std::io::Write;
 use std::time::Instant;
 
 /// Version of the `BENCH.json` schema this build writes.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// One measured `(decoder, d, p, k)` point.
 #[derive(Clone, Debug)]
@@ -91,6 +99,42 @@ pub struct LerPoint {
     pub high: f64,
 }
 
+/// One `(scenario, decoder)` streaming reaction-time point from the
+/// realtime backlog simulation (`repro realtime`).
+#[derive(Clone, Debug)]
+pub struct LatencyPoint {
+    /// Scenario name the point was measured under.
+    pub scenario: String,
+    /// Paper-style decoder label.
+    pub decoder: &'static str,
+    /// Sliding-window size in round layers.
+    pub window: u32,
+    /// Committed layers per window step.
+    pub commit: u32,
+    /// Syndrome round period, ns.
+    pub round_ns: f64,
+    /// Shots streamed.
+    pub shots: usize,
+    /// Round layers per shot.
+    pub layers_per_shot: u32,
+    /// Median reaction time, ns.
+    pub p50_ns: f64,
+    /// 99th-percentile reaction time, ns.
+    pub p99_ns: f64,
+    /// Worst reaction time, ns.
+    pub max_ns: f64,
+    /// Mean reaction time, ns.
+    pub mean_ns: f64,
+    /// Fraction of windows missing the reaction deadline.
+    pub miss_fraction: f64,
+    /// Deepest decode backlog observed.
+    pub max_backlog: usize,
+    /// Mean decode backlog.
+    pub mean_backlog: f64,
+    /// Streaming logical failures over the run.
+    pub failures: u64,
+}
+
 /// Everything that goes into one `BENCH.json` document.
 #[derive(Clone, Debug, Default)]
 pub struct BenchDoc {
@@ -105,11 +149,18 @@ pub struct BenchDoc {
     pub results: Vec<BenchPoint>,
     /// Accuracy points (`repro ler`).
     pub ler: Vec<LerPoint>,
+    /// Streaming tail-latency points (`repro realtime`).
+    pub latency: Vec<LatencyPoint>,
 }
 
 /// Configuration of a `repro bench` run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchScale {
+    /// Worker threads recorded in the artifact (0 = `PROMATCH_THREADS`
+    /// env override, then available parallelism). The timing loop itself
+    /// streams batches through one decoder at a time; the thread count
+    /// is recorded because wall-clock numbers are machine-dependent.
+    pub threads: usize,
     /// Code distances to measure (ignored when `scenario` is set — the
     /// scenario supplies its own distance and noise model).
     pub distances: Vec<u32>,
@@ -133,6 +184,7 @@ impl BenchScale {
     /// CI smoke scale: one small distance, seconds of runtime.
     pub fn tiny() -> Self {
         BenchScale {
+            threads: 0,
             distances: vec![5],
             p: 1e-3,
             ks: vec![2, 6],
@@ -148,6 +200,7 @@ impl BenchScale {
     /// distance the acceptance numbers are quoted at).
     pub fn quick() -> Self {
         BenchScale {
+            threads: 0,
             distances: vec![11],
             p: 1e-4,
             ks: vec![4, 12],
@@ -162,6 +215,7 @@ impl BenchScale {
     /// Paper scale: both evaluation distances, more shots.
     pub fn paper() -> Self {
         BenchScale {
+            threads: 0,
             distances: vec![11, 13],
             p: 1e-4,
             ks: vec![4, 12, 20],
@@ -211,6 +265,7 @@ impl BenchScale {
                 }
                 "shots" => self.shots = value.parse().map_err(|e| format!("shots: {e}"))?,
                 "reps" => self.reps = value.parse().map_err(|e| format!("reps: {e}"))?,
+                "threads" => self.threads = value.parse().map_err(|e| format!("threads: {e}"))?,
                 "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
                 "p" => self.p = value.parse().map_err(|e| format!("p: {e}"))?,
                 "scenario" => self.scenario = Some(value.to_string()),
@@ -338,10 +393,11 @@ pub fn run_bench(scale: &BenchScale, w: &mut dyn Write) -> std::io::Result<()> {
     }
     let doc = BenchDoc {
         seed: scale.seed,
-        threads: effective_threads(0),
+        threads: effective_threads(scale.threads),
         scenario: scale.scenario.clone(),
         results: points,
         ler: Vec::new(),
+        latency: Vec::new(),
     };
     let json = render_json(&doc);
     std::fs::write(&scale.out_path, &json)?;
@@ -401,6 +457,33 @@ pub fn render_json(doc: &BenchDoc) -> String {
             if i + 1 < doc.ler.len() { "," } else { "" }
         ));
     }
+    s.push_str("  ],\n");
+    s.push_str("  \"latency\": [\n");
+    for (i, p) in doc.latency.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"decoder\": \"{}\", \"window\": {}, \
+             \"commit\": {}, \"round_ns\": {}, \"shots\": {}, \
+             \"layers_per_shot\": {}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \
+             \"max_ns\": {:.1}, \"mean_ns\": {:.1}, \"miss_fraction\": {}, \
+             \"max_backlog\": {}, \"mean_backlog\": {:.2}, \"failures\": {}}}{}\n",
+            escape(&p.scenario),
+            escape(p.decoder),
+            p.window,
+            p.commit,
+            p.round_ns,
+            p.shots,
+            p.layers_per_shot,
+            p.p50_ns,
+            p.p99_ns,
+            p.max_ns,
+            p.mean_ns,
+            p.miss_fraction,
+            p.max_backlog,
+            p.mean_backlog,
+            p.failures,
+            if i + 1 < doc.latency.len() { "," } else { "" }
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -444,11 +527,13 @@ mod tests {
             "shots=8".into(),
             "reps=1".into(),
             "seed=7".into(),
+            "threads=2".into(),
             "scenario=cc-d3".into(),
             "out=/tmp/b.json".into(),
         ])
         .unwrap();
         assert_eq!(s.distances, vec![3]);
+        assert_eq!(s.threads, 2);
         assert_eq!(s.ks, vec![2]);
         assert_eq!(s.shots, 8);
         assert_eq!(s.scenario.as_deref(), Some("cc-d3"));
@@ -458,7 +543,7 @@ mod tests {
     }
 
     #[test]
-    fn json_schema_v2_is_stable() {
+    fn json_schema_v3_is_stable() {
         let doc = BenchDoc {
             seed: 2024,
             threads: 4,
@@ -484,9 +569,26 @@ mod tests {
                 low: 1.5e-13,
                 high: 3.0e-13,
             }],
+            latency: vec![LatencyPoint {
+                scenario: "sd6-d11".into(),
+                decoder: "Promatch || AG",
+                window: 6,
+                commit: 3,
+                round_ns: 1000.0,
+                shots: 200,
+                layers_per_shot: 12,
+                p50_ns: 76.0,
+                p99_ns: 412.0,
+                max_ns: 964.0,
+                mean_ns: 98.25,
+                miss_fraction: 0.0,
+                max_backlog: 1,
+                mean_backlog: 1.0,
+                failures: 0,
+            }],
         };
         let json = render_json(&doc);
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"seed\": 2024"));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"scenario\": \"sd6-d11\""));
@@ -497,6 +599,13 @@ mod tests {
         ));
         assert!(json.contains("\"k_max\": 20"));
         assert!(json.contains("\"ler\": 2.1e-13"));
+        assert!(json.contains(
+            "{\"scenario\": \"sd6-d11\", \"decoder\": \"Promatch || AG\", \
+             \"window\": 6, \"commit\": 3, \"round_ns\": 1000, \"shots\": 200, \
+             \"layers_per_shot\": 12, \"p50_ns\": 76.0, \"p99_ns\": 412.0, \
+             \"max_ns\": 964.0, \"mean_ns\": 98.2, \"miss_fraction\": 0, \
+             \"max_backlog\": 1, \"mean_backlog\": 1.00, \"failures\": 0}"
+        ));
         // No trailing comma on the last element of either array.
         assert!(!json.contains("},\n  ]"));
     }
@@ -509,7 +618,8 @@ mod tests {
             ..BenchDoc::default()
         });
         assert!(json.contains("\"scenario\": \"default\""));
-        assert!(json.contains("\"ler\": [\n  ]"));
+        assert!(json.contains("\"ler\": [\n  ],"));
+        assert!(json.contains("\"latency\": [\n  ]"));
     }
 
     #[test]
@@ -526,6 +636,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("BENCH.json");
         let mut scale = BenchScale {
+            threads: 0,
             distances: vec![3],
             p: 1e-3,
             ks: vec![2],
@@ -539,7 +650,7 @@ mod tests {
         let mut sink = Vec::new();
         run_bench(&scale, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 2"));
+        assert!(text.contains("\"schema_version\": 3"));
         assert!(text.contains("\"ns_per_shot\""));
         assert!(text.contains("\"threads\":"));
     }

@@ -1,0 +1,368 @@
+//! `repro realtime` — streaming reaction-time snapshots per scenario.
+//!
+//! Runs the realtime runtime (`crates/realtime`) over a named scenario:
+//! every decoder in the scenario's set streams the same seeded shots
+//! round-by-round, decodes them through sliding windows, and feeds the
+//! modeled per-window latencies into the backlog simulator. The output
+//! is the tail-latency counterpart of `repro bench`: p50/p99/max
+//! reaction times, backlog-depth traces, and deadline-miss fractions,
+//! written into the `latency` array of the schema-v3 `BENCH.json`.
+
+use crate::perf::{BenchDoc, LatencyPoint};
+use crate::scenario::Scenario;
+use ler::effective_threads;
+use realtime::{run_stream, BacklogConfig, StreamRunConfig, StreamRunResult, WindowConfig};
+use std::io::Write;
+
+/// Configuration of a `repro realtime` run. `None` fields fall back to
+/// the scenario's own defaults.
+#[derive(Clone, Debug)]
+pub struct RealtimeRunConfig {
+    /// Sliding-window size in round layers (default: scenario's).
+    pub window: Option<u32>,
+    /// Committed layers per window step (default: scenario's).
+    pub commit: Option<u32>,
+    /// Syndrome round period in nanoseconds.
+    pub round_ns: f64,
+    /// Reaction deadline in nanoseconds (default: `commit × round_ns`,
+    /// the steady-state throughput condition).
+    pub deadline_ns: Option<f64>,
+    /// Shots to stream per decoder.
+    pub shots: usize,
+    /// Stream RNG seed (every decoder sees identical shots).
+    pub seed: u64,
+    /// Worker threads for the per-decoder fan-out (0 =
+    /// `PROMATCH_THREADS` / available parallelism). Results are
+    /// thread-count independent.
+    pub threads: usize,
+    /// Output path for the BENCH.json artifact.
+    pub out_path: String,
+}
+
+impl Default for RealtimeRunConfig {
+    fn default() -> Self {
+        RealtimeRunConfig {
+            window: None,
+            commit: None,
+            round_ns: 1000.0,
+            deadline_ns: None,
+            shots: 200,
+            seed: 2024,
+            threads: 0,
+            out_path: "BENCH.json".into(),
+        }
+    }
+}
+
+impl RealtimeRunConfig {
+    /// Parses `key=value` overrides (`shots=`, `seed=`, `round=`,
+    /// `deadline=`, `window=`, `commit=`, `threads=`, `out=`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown keys or unparsable values.
+    pub fn apply_overrides(&mut self, args: &[String]) -> Result<(), String> {
+        for arg in args {
+            let Some((key, value)) = arg.split_once('=') else {
+                return Err(format!("expected key=value, got '{arg}'"));
+            };
+            match key {
+                "shots" => self.shots = value.parse().map_err(|e| format!("shots: {e}"))?,
+                "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
+                "round" => self.round_ns = value.parse().map_err(|e| format!("round: {e}"))?,
+                "deadline" => {
+                    self.deadline_ns = Some(value.parse().map_err(|e| format!("deadline: {e}"))?);
+                }
+                "window" => self.window = Some(value.parse().map_err(|e| format!("window: {e}"))?),
+                "commit" => self.commit = Some(value.parse().map_err(|e| format!("commit: {e}"))?),
+                "threads" => self.threads = value.parse().map_err(|e| format!("threads: {e}"))?,
+                "out" => self.out_path = value.to_string(),
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the `(window, commit, deadline)` triple against a
+    /// scenario's defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an invalid `(window, commit)` split.
+    pub fn resolve(&self, scenario: &Scenario) -> Result<(WindowConfig, BacklogConfig), String> {
+        let window = self.window.unwrap_or(scenario.rt_window);
+        let commit = self.commit.unwrap_or(scenario.rt_commit);
+        let wc = WindowConfig::new(window, commit)?;
+        let backlog = match self.deadline_ns {
+            Some(deadline_ns) => BacklogConfig {
+                round_ns: self.round_ns,
+                deadline_ns,
+            },
+            None => BacklogConfig::with_commit_deadline(self.round_ns, commit),
+        };
+        Ok((wc, backlog))
+    }
+}
+
+/// Runs the streaming study of one scenario and returns the per-decoder
+/// points that go into `BENCH.json`.
+///
+/// Every decoder streams identical shots (same seed); the per-decoder
+/// runs are independent, so they are fanned out over worker threads
+/// round-robin without affecting the results.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the progress writer, and reports an
+/// invalid window configuration as [`std::io::ErrorKind::InvalidInput`].
+pub fn run_scenario_realtime(
+    scenario: &Scenario,
+    cfg: &RealtimeRunConfig,
+    w: &mut dyn Write,
+) -> std::io::Result<Vec<LatencyPoint>> {
+    let (wc, backlog) = cfg
+        .resolve(scenario)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    let layers = scenario.rounds + 1;
+    if wc.window > layers {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "window {} exceeds the {} round layers of scenario {}",
+                wc.window, layers, scenario.name
+            ),
+        ));
+    }
+    writeln!(
+        w,
+        "# realtime {}: {} noise, d={}, rounds={}, p={:.0e}",
+        scenario.name,
+        scenario.noise.label(),
+        scenario.distance,
+        scenario.rounds,
+        scenario.p
+    )?;
+    writeln!(
+        w,
+        "# window={} commit={} round={}ns deadline={}ns shots={} seed={}",
+        wc.window, wc.commit, backlog.round_ns, backlog.deadline_ns, cfg.shots, cfg.seed
+    )?;
+    writeln!(w, "# building context...")?;
+    let ctx = scenario.context();
+    let run_cfg = StreamRunConfig {
+        shots: cfg.shots,
+        seed: cfg.seed,
+        window: wc,
+        backlog,
+    };
+    let threads = effective_threads(cfg.threads)
+        .min(scenario.decoders.len())
+        .max(1);
+    // Independent per-decoder runs, fanned out round-robin: results land
+    // in input order regardless of the thread count.
+    let results: Vec<StreamRunResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let ctx = &ctx;
+            let kinds = &scenario.decoders;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                for i in (t..kinds.len()).step_by(threads) {
+                    local.push((i, run_stream(&ctx.graph, &ctx.circuit, kinds[i], &run_cfg)));
+                }
+                local
+            }));
+        }
+        let mut slots: Vec<Option<StreamRunResult>> = vec![None; scenario.decoders.len()];
+        for h in handles {
+            for (i, r) in h.join().expect("realtime worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every decoder ran"))
+            .collect()
+    });
+    writeln!(
+        w,
+        "{:<24} {:>9} {:>9} {:>9} {:>7} {:>6} {:>9}",
+        "decoder", "p50 ns", "p99 ns", "max ns", "miss%", "maxQ", "fail/shot"
+    )?;
+    let mut points = Vec::new();
+    for (kind, run) in scenario.decoders.iter().zip(&results) {
+        writeln!(
+            w,
+            "{:<24} {:>9.0} {:>9.0} {:>9.0} {:>6.1}% {:>6} {:>9}",
+            kind.label(),
+            run.backlog.reaction.p50_ns,
+            run.backlog.reaction.p99_ns,
+            run.backlog.reaction.max_ns,
+            100.0 * run.backlog.miss_fraction,
+            run.backlog.max_backlog,
+            format!("{}/{}", run.failures, run.shots),
+        )?;
+        let buckets = run.backlog.trace_buckets(24);
+        let depths: Vec<String> = buckets.iter().map(|d| d.to_string()).collect();
+        writeln!(w, "  backlog depth over stream: [{}]", depths.join(" "))?;
+        points.push(LatencyPoint {
+            scenario: scenario.name.to_string(),
+            decoder: kind.label(),
+            window: wc.window,
+            commit: wc.commit,
+            round_ns: backlog.round_ns,
+            shots: run.shots,
+            layers_per_shot: run.layers_per_shot,
+            p50_ns: run.backlog.reaction.p50_ns,
+            p99_ns: run.backlog.reaction.p99_ns,
+            max_ns: run.backlog.reaction.max_ns,
+            mean_ns: run.backlog.reaction.mean_ns,
+            miss_fraction: run.backlog.miss_fraction,
+            max_backlog: run.backlog.max_backlog,
+            mean_backlog: run.backlog.mean_backlog,
+            failures: run.failures,
+        });
+    }
+    Ok(points)
+}
+
+/// Runs [`run_scenario_realtime`] and writes the points as a schema-v3
+/// `BENCH.json` document at `cfg.out_path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the progress writer or the JSON file.
+pub fn run_scenario_realtime_study(
+    scenario: &Scenario,
+    cfg: &RealtimeRunConfig,
+    w: &mut dyn Write,
+) -> std::io::Result<()> {
+    let points = run_scenario_realtime(scenario, cfg, w)?;
+    let doc = BenchDoc {
+        seed: cfg.seed,
+        threads: effective_threads(cfg.threads),
+        scenario: Some(scenario.name.to_string()),
+        results: Vec::new(),
+        ler: Vec::new(),
+        latency: points,
+    };
+    let json = crate::perf::render_json(&doc);
+    std::fs::write(&cfg.out_path, &json)?;
+    writeln!(
+        w,
+        "# wrote {} ({} latency points)",
+        cfg.out_path,
+        doc.latency.len()
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioRegistry;
+
+    #[test]
+    fn overrides_parse_and_reject() {
+        let mut cfg = RealtimeRunConfig::default();
+        cfg.apply_overrides(&[
+            "shots=16".into(),
+            "seed=5".into(),
+            "round=500".into(),
+            "deadline=2500".into(),
+            "window=3".into(),
+            "commit=2".into(),
+            "threads=2".into(),
+            "out=/tmp/rt.json".into(),
+        ])
+        .unwrap();
+        assert_eq!(cfg.shots, 16);
+        assert_eq!(cfg.seed, 5);
+        assert_eq!(cfg.round_ns, 500.0);
+        assert_eq!(cfg.deadline_ns, Some(2500.0));
+        assert_eq!(cfg.window, Some(3));
+        assert_eq!(cfg.commit, Some(2));
+        assert_eq!(cfg.threads, 2);
+        assert!(cfg.apply_overrides(&["nope=1".into()]).is_err());
+        assert!(cfg.apply_overrides(&["shots".into()]).is_err());
+    }
+
+    #[test]
+    fn resolve_uses_scenario_defaults_and_commit_deadline() {
+        let reg = ScenarioRegistry::builtin();
+        let sc = reg.get("sd6-d5").unwrap();
+        let cfg = RealtimeRunConfig::default();
+        let (wc, backlog) = cfg.resolve(sc).unwrap();
+        assert_eq!(wc.window, sc.rt_window);
+        assert_eq!(wc.commit, sc.rt_commit);
+        assert_eq!(backlog.deadline_ns, backlog.round_ns * sc.rt_commit as f64);
+        // Invalid override split is rejected.
+        let mut bad = RealtimeRunConfig::default();
+        bad.apply_overrides(&["window=2".into(), "commit=3".into()])
+            .unwrap();
+        assert!(bad.resolve(sc).is_err());
+    }
+
+    #[test]
+    fn every_scenario_has_a_valid_realtime_default() {
+        for sc in ScenarioRegistry::builtin().iter() {
+            let wc = WindowConfig::new(sc.rt_window, sc.rt_commit)
+                .unwrap_or_else(|e| panic!("{}: {e}", sc.name));
+            assert!(
+                wc.window <= sc.rounds + 1,
+                "{}: window exceeds layers",
+                sc.name
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_realtime_study_runs_end_to_end() {
+        let dir = std::env::temp_dir().join("promatch_realtime_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH.json");
+        let reg = ScenarioRegistry::builtin();
+        let sc = reg.get("cc-d3").unwrap();
+        let mut cfg = RealtimeRunConfig {
+            shots: 24,
+            seed: 3,
+            threads: 2,
+            out_path: out.to_string_lossy().into_owned(),
+            ..RealtimeRunConfig::default()
+        };
+        let mut sink = Vec::new();
+        run_scenario_realtime_study(sc, &cfg, &mut sink).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("\"schema_version\": 3"));
+        assert!(text.contains("\"scenario\": \"cc-d3\""));
+        assert!(text.contains("\"p50_ns\""));
+        assert!(text.contains("\"miss_fraction\""));
+        let log = String::from_utf8(sink).unwrap();
+        assert!(log.contains("backlog depth over stream"));
+        // Same seed, different thread count: identical points.
+        cfg.threads = 1;
+        let mut sink1 = Vec::new();
+        let p1 = run_scenario_realtime(sc, &cfg, &mut sink1).unwrap();
+        cfg.threads = 3;
+        let mut sink3 = Vec::new();
+        let p3 = run_scenario_realtime(sc, &cfg, &mut sink3).unwrap();
+        assert_eq!(p1.len(), p3.len());
+        for (a, b) in p1.iter().zip(&p3) {
+            assert_eq!(a.p50_ns, b.p50_ns);
+            assert_eq!(a.max_ns, b.max_ns);
+            assert_eq!(a.failures, b.failures);
+        }
+    }
+
+    #[test]
+    fn oversized_window_is_reported() {
+        let reg = ScenarioRegistry::builtin();
+        let sc = reg.get("cc-d3").unwrap(); // 2 layers
+        let mut cfg = RealtimeRunConfig::default();
+        cfg.apply_overrides(&["window=5".into(), "commit=2".into()])
+            .unwrap();
+        let mut sink = Vec::new();
+        let err = run_scenario_realtime(sc, &cfg, &mut sink).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+}

@@ -21,6 +21,10 @@ pub struct Scale {
     pub p: f64,
     /// RNG seed for reproducibility.
     pub seed: u64,
+    /// Worker threads for the Eq.-1 runners (0 = `PROMATCH_THREADS` env
+    /// override, then available parallelism; results are identical for
+    /// any count).
+    pub threads: usize,
 }
 
 impl Scale {
@@ -32,6 +36,7 @@ impl Scale {
             k_max: 20,
             p: 1e-4,
             seed: 2024,
+            threads: 0,
         }
     }
 
@@ -43,6 +48,7 @@ impl Scale {
             k_max: 24,
             p: 1e-4,
             seed: 2024,
+            threads: 0,
         }
     }
 
@@ -53,7 +59,7 @@ impl Scale {
     }
 
     /// Parses `key=value` style overrides, e.g.
-    /// `distances=11,13 shots=2000 kmax=24 p=2e-4 seed=7`.
+    /// `distances=11,13 shots=2000 kmax=24 p=2e-4 seed=7 threads=4`.
     ///
     /// # Errors
     ///
@@ -77,6 +83,7 @@ impl Scale {
                 "kmax" => self.k_max = value.parse().map_err(|e| format!("kmax: {e}"))?,
                 "p" => self.p = value.parse().map_err(|e| format!("p: {e}"))?,
                 "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
+                "threads" => self.threads = value.parse().map_err(|e| format!("threads: {e}"))?,
                 other => return Err(format!("unknown option '{other}'")),
             }
         }
@@ -105,6 +112,7 @@ mod tests {
             "kmax=12".into(),
             "p=0.0002".into(),
             "seed=99".into(),
+            "threads=3".into(),
         ])
         .unwrap();
         assert_eq!(s.distances, vec![5, 7]);
@@ -112,6 +120,7 @@ mod tests {
         assert_eq!(s.k_max, 12);
         assert_eq!(s.p, 2e-4);
         assert_eq!(s.seed, 99);
+        assert_eq!(s.threads, 3);
     }
 
     #[test]

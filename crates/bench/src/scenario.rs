@@ -79,6 +79,10 @@ pub struct Scenario {
     pub k_max: usize,
     /// Default injection samples per `k`.
     pub shots_per_k: usize,
+    /// Default sliding-window size (round layers) for `repro realtime`.
+    pub rt_window: u32,
+    /// Default committed layers per window step for `repro realtime`.
+    pub rt_commit: u32,
 }
 
 impl Scenario {
@@ -117,6 +121,11 @@ impl ScenarioRegistry {
                 decoders: baselines.clone(),
                 k_max: 8,
                 shots_per_k: 500,
+                // One-layer windows over the 2-layer experiment: the CI
+                // smoke artifact exercises window advance (two windows
+                // per shot), not just the degenerate whole-shot window.
+                rt_window: 1,
+                rt_commit: 1,
             },
             Scenario {
                 name: "phenom-d5",
@@ -128,6 +137,8 @@ impl ScenarioRegistry {
                 decoders: baselines,
                 k_max: 12,
                 shots_per_k: 400,
+                rt_window: 4,
+                rt_commit: 2,
             },
             Scenario {
                 name: "uniform-d5",
@@ -139,6 +150,8 @@ impl ScenarioRegistry {
                 decoders: table2.clone(),
                 k_max: 16,
                 shots_per_k: 300,
+                rt_window: 4,
+                rt_commit: 2,
             },
             Scenario {
                 name: "sd6-d5",
@@ -150,6 +163,8 @@ impl ScenarioRegistry {
                 decoders: table2.clone(),
                 k_max: 16,
                 shots_per_k: 300,
+                rt_window: 4,
+                rt_commit: 2,
             },
             Scenario {
                 name: "sd6-d7",
@@ -161,6 +176,8 @@ impl ScenarioRegistry {
                 decoders: table2.clone(),
                 k_max: 20,
                 shots_per_k: 200,
+                rt_window: 4,
+                rt_commit: 2,
             },
             Scenario {
                 name: "sd6-d11",
@@ -172,6 +189,8 @@ impl ScenarioRegistry {
                 decoders: table2,
                 k_max: 20,
                 shots_per_k: 150,
+                rt_window: 6,
+                rt_commit: 3,
             },
             Scenario {
                 name: "biased-z-d5",
@@ -188,6 +207,8 @@ impl ScenarioRegistry {
                 ],
                 k_max: 16,
                 shots_per_k: 300,
+                rt_window: 4,
+                rt_commit: 2,
             },
         ];
         ScenarioRegistry { scenarios }
@@ -328,7 +349,7 @@ pub fn run_scenario_ler(
     Ok(points)
 }
 
-/// Runs [`run_scenario_ler`] and writes the points as a schema-v2
+/// Runs [`run_scenario_ler`] and writes the points as a schema-v3
 /// `BENCH.json` document at `cfg.out_path` (the accuracy counterpart of
 /// `repro bench`).
 ///
@@ -347,6 +368,7 @@ pub fn run_scenario_ler_study(
         scenario: Some(scenario.name.to_string()),
         results: Vec::new(),
         ler: points,
+        latency: Vec::new(),
     };
     let json = crate::perf::render_json(&doc);
     std::fs::write(&cfg.out_path, &json)?;
@@ -412,7 +434,7 @@ mod tests {
     }
 
     #[test]
-    fn ler_study_writes_scenario_tagged_schema_v2() {
+    fn ler_study_writes_scenario_tagged_schema_v3() {
         let dir = std::env::temp_dir().join("promatch_ler_scenario_test");
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("BENCH.json");
@@ -428,7 +450,7 @@ mod tests {
         let mut sink = Vec::new();
         run_scenario_ler_study(sc, &cfg, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 2"));
+        assert!(text.contains("\"schema_version\": 3"));
         assert!(text.contains("\"scenario\": \"cc-d3\""));
         assert!(text.contains("\"threads\": 1"));
         assert!(text.contains("\"k_max\": 2"));

@@ -1,7 +1,8 @@
 //! Algorithm 1: the Promatch adaptive predecoding loop.
 
 use crate::state::SubgraphState;
-use astrea::{AstreaLatencyModel, CYCLE_NS};
+use astrea::AstreaLatencyModel;
+use decoding_graph::latency::CYCLE_NS;
 use decoding_graph::{DecodingGraph, DetectorId, PathTable, PredecodeOutcome, Predecoder};
 
 /// Which singleton-creation test drives candidate classification.

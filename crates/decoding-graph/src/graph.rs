@@ -102,6 +102,50 @@ impl DecodingGraph {
         }
     }
 
+    /// Builds a graph directly from an edge list (used by window-view
+    /// extraction, which filters a parent graph's edges rather than
+    /// re-deriving them from a DEM). Edges must reference detectors
+    /// `< num_detectors` or the boundary node `== num_detectors`; they
+    /// are sorted and indexed here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of range or `coords` does not
+    /// have one entry per detector.
+    pub fn from_parts(
+        num_detectors: u32,
+        num_observables: u32,
+        mut edges: Vec<Edge>,
+        coords: Vec<[f64; 3]>,
+    ) -> Self {
+        assert_eq!(
+            coords.len(),
+            num_detectors as usize,
+            "one coord per detector"
+        );
+        for e in &edges {
+            assert!(
+                e.u <= num_detectors && e.v <= num_detectors,
+                "endpoint out of range"
+            );
+        }
+        edges.sort_by_key(|e| (e.u, e.v));
+        let mut adj = vec![Vec::new(); num_detectors as usize + 1];
+        for (i, e) in edges.iter().enumerate() {
+            adj[e.u as usize].push(i as u32);
+            if e.v != e.u {
+                adj[e.v as usize].push(i as u32);
+            }
+        }
+        DecodingGraph {
+            num_detectors,
+            num_observables,
+            edges,
+            adj,
+            coords,
+        }
+    }
+
     /// Converts a probability to a scaled integer weight.
     ///
     /// # Panics

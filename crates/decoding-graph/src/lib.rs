@@ -21,6 +21,12 @@
 //! * [`DecodeWorkspace`] / [`SlotMap`] / [`SyndromeBatch`] — reusable
 //!   scratch arenas and flat shot batches that keep the steady-state
 //!   decode loop free of per-shot scratch allocation.
+//! * [`LayerMap`] / [`GraphWindow`] — detector ⇄ round-layer mapping and
+//!   detector-range window subgraphs (with [`SeamPolicy`] handling at
+//!   the open seam) for the sliding-window streaming runtime in
+//!   `crates/realtime`.
+//! * [`latency`] — the shared 250 MHz cycle constants and the
+//!   [`LatencyModel`] trait every modeled hardware latency implements.
 //!
 //! # Example
 //!
@@ -37,15 +43,19 @@
 //! ```
 
 mod graph;
+pub mod latency;
 mod pathtable;
 mod subgraph;
 mod traits;
+mod window;
 mod workspace;
 
 pub use graph::{DecodingGraph, Edge, ShortestPaths, WEIGHT_SCALE};
+pub use latency::{FixedLatency, LatencyModel, PolynomialLatency};
 pub use pathtable::{PathTable, StorageModel};
 pub use subgraph::DecodingSubgraph;
 pub use traits::{DecodeOutcome, Decoder, MatchPair, MatchTarget, PredecodeOutcome, Predecoder};
+pub use window::{GraphWindow, LayerMap, SeamPolicy};
 pub use workspace::{DecodeWorkspace, SlotMap, SyndromeBatch};
 
 /// Index of a detector within a decoding graph.

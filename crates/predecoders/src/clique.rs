@@ -8,10 +8,11 @@
 //! modification** (Figure 3(a) of the Promatch paper), so the main
 //! decoder's Hamming-weight limits still apply in full.
 
+use decoding_graph::latency::cycles_to_ns;
 use decoding_graph::{DecodingGraph, DecodingSubgraph, DetectorId, PredecodeOutcome, Predecoder};
 
-/// Fixed latency of the local match units (one 250 MHz cycle).
-const CLIQUE_LATENCY_NS: f64 = 4.0;
+/// Cycles charged by the local match units (one 250 MHz cycle).
+const CLIQUE_LATENCY_CYCLES: u64 = 1;
 
 /// The Clique NSM predecoder.
 ///
@@ -65,7 +66,7 @@ impl Predecoder for CliquePredecoder<'_> {
                     let Some(e) = self.graph.edge_between(d, bd) else {
                         // Interior lone defect: not locally decodable.
                         return PredecodeOutcome {
-                            latency_ns: CLIQUE_LATENCY_NS,
+                            latency_ns: cycles_to_ns(CLIQUE_LATENCY_CYCLES),
                             ..PredecodeOutcome::passthrough(dets)
                         };
                     };
@@ -83,7 +84,7 @@ impl Predecoder for CliquePredecoder<'_> {
                 _ => {
                     // Non-trivial pattern: forward the entire syndrome.
                     return PredecodeOutcome {
-                        latency_ns: CLIQUE_LATENCY_NS,
+                        latency_ns: cycles_to_ns(CLIQUE_LATENCY_CYCLES),
                         ..PredecodeOutcome::passthrough(dets)
                     };
                 }
@@ -95,7 +96,7 @@ impl Predecoder for CliquePredecoder<'_> {
             boundary_matches,
             obs_flip: obs,
             weight,
-            latency_ns: CLIQUE_LATENCY_NS,
+            latency_ns: cycles_to_ns(CLIQUE_LATENCY_CYCLES),
             aborted: false,
         }
     }

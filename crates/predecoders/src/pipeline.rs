@@ -4,7 +4,9 @@ use decoding_graph::{DecodeOutcome, Decoder, DetectorId, MatchPair, MatchTarget,
 
 /// Comparison overhead of a parallel (`A ‖ B`) composition: the 10 cycles
 /// at 250 MHz the paper reserves for comparing the two solutions (§6.4).
-pub const COMPARISON_OVERHEAD_NS: f64 = 40.0;
+/// Re-exported from the workspace-wide latency module so no decoder
+/// hard-codes nanoseconds locally.
+pub use decoding_graph::latency::COMPARISON_OVERHEAD_NS;
 
 /// `predecoder + main decoder` composition.
 ///
@@ -57,12 +59,16 @@ impl<P: Predecoder, D: Decoder> Decoder for PipelineDecoder<P, D> {
             return DecodeOutcome::failure();
         }
         let mut main_out = self.main.decode(&pre.remaining);
-        let latency = pre.latency_ns + main_out.latency_ns.unwrap_or(0.0);
+        // A software main decoder (latency None) keeps the pipeline's
+        // latency unknown: predecode-only nanoseconds would misrepresent
+        // the composition as hardware-fast, and harnesses (the realtime
+        // backlog simulator) fall back to their software models on None.
+        let latency = main_out.latency_ns.map(|m| pre.latency_ns + m);
         if main_out.failed {
             return DecodeOutcome {
                 obs_flip: 0,
                 weight: None,
-                latency_ns: Some(latency),
+                latency_ns: latency,
                 failed: true,
                 matches: Vec::new(),
             };
@@ -83,7 +89,7 @@ impl<P: Predecoder, D: Decoder> Decoder for PipelineDecoder<P, D> {
         DecodeOutcome {
             obs_flip: pre.obs_flip ^ main_out.obs_flip,
             weight: main_out.weight.map(|w| w + pre.weight),
-            latency_ns: Some(latency),
+            latency_ns: latency,
             failed: false,
             matches,
         }
@@ -318,6 +324,25 @@ mod tests {
         assert!(!out.failed);
         let mut alone = MwpmDecoder::new(&graph, &paths);
         assert_eq!(out.obs_flip, alone.decode(&dets).obs_flip);
+    }
+
+    #[test]
+    fn software_main_keeps_pipeline_latency_unknown() {
+        // Clique + MWPM on an engaging (HW > 10) syndrome: MWPM reports
+        // no hardware latency, so the pipeline must report None rather
+        // than the predecoder's lone nanoseconds (harnesses would
+        // otherwise price a software decode at one match-unit cycle).
+        let (_, graph) = fixture(5);
+        let paths = PathTable::build(&graph);
+        let mut pipe = PipelineDecoder::new(
+            CliquePredecoder::new(&graph),
+            MwpmDecoder::new(&graph, &paths),
+        );
+        let mut rng = StdRng::seed_from_u64(66);
+        let dets = random_syndrome(&mut rng, graph.num_detectors() as usize, 14);
+        let out = pipe.decode(&dets);
+        assert!(!out.failed);
+        assert_eq!(out.latency_ns, None);
     }
 
     #[test]

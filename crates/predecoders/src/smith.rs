@@ -11,10 +11,8 @@
 //! rows of Table 2 and the residual HW > 10 tail in the "After Smith"
 //! histograms of Figures 16/17.
 
+use decoding_graph::latency::cycles_to_ns;
 use decoding_graph::{DecodingGraph, DecodingSubgraph, DetectorId, PredecodeOutcome, Predecoder};
-
-/// Cycle time at the 250 MHz clock shared by all hardware models.
-const CYCLE_NS: f64 = 4.0;
 
 /// The Smith et al. one-pass local predecoder.
 ///
@@ -75,7 +73,7 @@ impl Predecoder for SmithPredecoder<'_> {
             obs_flip: obs,
             weight,
             // One pipeline pass over the subgraph edges.
-            latency_ns: sg.edges().len().max(1) as f64 * CYCLE_NS,
+            latency_ns: cycles_to_ns(sg.edges().len().max(1) as u64),
             aborted: false,
         }
     }

@@ -1,0 +1,208 @@
+//! The streaming harness: stream → sliding windows → backlog simulator.
+//!
+//! Ties the three runtime pieces together for one `(circuit, decoder)`
+//! pair: sample shots as a round-by-round stream, decode them through a
+//! [`SlidingWindowDecoder`], convert every window decode into a
+//! [`WindowTiming`] (modeled hardware latency where the decoder reports
+//! one, a per-kind fallback [`LatencyModel`] otherwise), and run the
+//! FIFO backlog simulation over the whole stream.
+
+use crate::backlog::{service_ns, simulate_backlog, BacklogConfig, BacklogReport, WindowTiming};
+use crate::stream::SyndromeStream;
+use crate::window::{SlidingWindowDecoder, WindowConfig};
+use astrea::AstreaLatencyModel;
+use decoding_graph::{DecodingGraph, LatencyModel, LayerMap, PolynomialLatency};
+use ler::DecoderKind;
+use qsim::circuit::Circuit;
+
+/// Fallback latency model for decoder kinds that report no hardware
+/// latency of their own.
+///
+/// * MWPM-based software decoding gets a quadratic-in-HW model fitted to
+///   this repository's measured `BENCH.json` trajectory (~5.5 µs at
+///   HW ≈ 8, ~68 µs at HW ≈ 24 on the reference machine);
+/// * union-find gets the corresponding linear fit;
+/// * every hardware kind falls back to the Astrea cycle model (they
+///   normally report their own latency, so this is a safety net).
+pub fn fallback_latency_model(kind: DecoderKind) -> Box<dyn LatencyModel + Send> {
+    match kind {
+        DecoderKind::Mwpm | DecoderKind::CliqueMwpm => Box::new(PolynomialLatency {
+            base_ns: 500.0,
+            linear_ns: 0.0,
+            quadratic_ns: 100.0,
+        }),
+        DecoderKind::UnionFind => Box::new(PolynomialLatency {
+            base_ns: 300.0,
+            linear_ns: 950.0,
+            quadratic_ns: 0.0,
+        }),
+        _ => Box::new(AstreaLatencyModel::default()),
+    }
+}
+
+/// Configuration of one streaming run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamRunConfig {
+    /// Shots to stream.
+    pub shots: usize,
+    /// Stream RNG seed.
+    pub seed: u64,
+    /// The sliding-window split.
+    pub window: WindowConfig,
+    /// Arrival cadence and reaction deadline.
+    pub backlog: BacklogConfig,
+}
+
+/// Result of one streaming run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamRunResult {
+    /// Shots streamed.
+    pub shots: usize,
+    /// Round layers per shot.
+    pub layers_per_shot: u32,
+    /// Logical failures (wrong committed correction, or any failed
+    /// window decode).
+    pub failures: u64,
+    /// Shots with at least one failed window decode (subset of
+    /// `failures`).
+    pub decode_failures: u64,
+    /// Observed streaming logical error rate per shot.
+    pub ler: f64,
+    /// The backlog / reaction-time simulation over the whole stream.
+    pub backlog: BacklogReport,
+}
+
+/// Streams `cfg.shots` shots of `circuit` through a sliding-window
+/// decoder of `kind` and simulates the decode queue.
+///
+/// Deterministic given `cfg.seed`: the stream, the windowed corrections,
+/// and the modeled timings are all derived from seeded RNG and modeled
+/// latencies (never wall-clock time).
+///
+/// # Panics
+///
+/// Panics if `graph`'s detectors carry no layer structure (see
+/// [`LayerMap::from_graph`]) or the window exceeds the layer count.
+pub fn run_stream(
+    graph: &DecodingGraph,
+    circuit: &Circuit,
+    kind: DecoderKind,
+    cfg: &StreamRunConfig,
+) -> StreamRunResult {
+    let layers = LayerMap::from_graph(graph).expect("graph has a layer structure");
+    let layers_per_shot = layers.num_layers();
+    let mut stream = SyndromeStream::new(circuit, layers.clone(), cfg.seed);
+    let mut swd = SlidingWindowDecoder::new(graph, layers, kind, cfg.window);
+    let fallback = fallback_latency_model(kind);
+    let mut timings: Vec<WindowTiming> = Vec::new();
+    let mut failures = 0u64;
+    let mut decode_failures = 0u64;
+    for shot_idx in 0..cfg.shots {
+        let shot = stream.next_shot();
+        let out = swd.decode_shot(&shot.dets);
+        if out.failed {
+            decode_failures += 1;
+        }
+        if out.failed || out.obs_flip != shot.obs {
+            failures += 1;
+        }
+        let base_round = shot_idx as u64 * layers_per_shot as u64;
+        for w in &out.windows {
+            timings.push(WindowTiming {
+                ready_round: base_round + w.hi_layer as u64,
+                service_ns: service_ns(w.latency_ns, w.hw, fallback.as_ref()),
+            });
+        }
+    }
+    let backlog = simulate_backlog(&timings, &cfg.backlog);
+    StreamRunResult {
+        shots: cfg.shots,
+        layers_per_shot,
+        failures,
+        decode_failures,
+        ler: if cfg.shots == 0 {
+            0.0
+        } else {
+            failures as f64 / cfg.shots as f64
+        },
+        backlog,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ler::ExperimentContext;
+
+    fn run(kind: DecoderKind, shots: usize, seed: u64) -> StreamRunResult {
+        let ctx = ExperimentContext::with_rounds(3, 5, 1e-3);
+        let cfg = StreamRunConfig {
+            shots,
+            seed,
+            window: WindowConfig::new(4, 2).unwrap(),
+            backlog: BacklogConfig::with_commit_deadline(1000.0, 2),
+        };
+        run_stream(&ctx.graph, &ctx.circuit, kind, &cfg)
+    }
+
+    #[test]
+    fn stream_run_is_deterministic() {
+        let a = run(DecoderKind::Mwpm, 120, 9);
+        let b = run(DecoderKind::Mwpm, 120, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn windows_cover_the_whole_stream() {
+        let r = run(DecoderKind::Mwpm, 64, 5);
+        // 6 layers, window 4, commit 2: 2 windows per shot.
+        assert_eq!(r.layers_per_shot, 6);
+        assert_eq!(r.backlog.windows, 64 * 2);
+        assert!(r.backlog.reaction.max_ns > 0.0);
+    }
+
+    #[test]
+    fn low_noise_stream_mostly_succeeds() {
+        let r = run(DecoderKind::Mwpm, 400, 11);
+        assert!(
+            (r.ler) < 0.05,
+            "windowed MWPM should succeed at d=3, p=1e-3: ler {}",
+            r.ler
+        );
+        assert_eq!(r.decode_failures, 0);
+    }
+
+    #[test]
+    fn hardware_decoder_reports_modeled_latency() {
+        // Astrea-G reports its own hardware latency for every window, so
+        // reaction times are bounded by budget + queueing, not the
+        // software fallback scale.
+        let r = run(DecoderKind::AstreaG, 100, 13);
+        assert!(r.backlog.reaction.max_ns > 0.0);
+        // All service times fit the 960 ns budget; with 2000 ns between
+        // windows the queue never builds up.
+        assert_eq!(r.backlog.max_backlog, 1);
+        assert_eq!(r.backlog.miss_fraction, 0.0);
+    }
+
+    #[test]
+    fn fallback_models_cover_every_kind() {
+        for kind in [
+            DecoderKind::Mwpm,
+            DecoderKind::UnionFind,
+            DecoderKind::Astrea,
+            DecoderKind::AstreaG,
+            DecoderKind::PromatchAstrea,
+            DecoderKind::PromatchParAg,
+            DecoderKind::SmithAstrea,
+            DecoderKind::SmithParAg,
+            DecoderKind::CliqueAstrea,
+            DecoderKind::CliqueAg,
+            DecoderKind::CliqueMwpm,
+        ] {
+            let m = fallback_latency_model(kind);
+            assert!(m.latency_ns(4) > 0.0, "{:?}", kind);
+            assert!(m.latency_ns(8) >= m.latency_ns(2), "{:?}", kind);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Real-time streaming decode runtime.
+//!
+//! Everything else in this workspace decodes complete, pre-assembled
+//! shots. Real hardware cannot: detection events arrive one measurement
+//! round at a time (~1 µs apart), and a decoder that waits for a whole
+//! shot — or that processes rounds slower than they arrive — accumulates
+//! an exponentially growing backlog (Promatch §2). This crate is the
+//! layer between sampling and decoding that models that regime:
+//!
+//! * [`SyndromeStream`] — a round-by-round detection-event source driven
+//!   by the `qsim` frame sampler, slicing shots by the graph's
+//!   [`decoding_graph::LayerMap`];
+//! * [`SlidingWindowDecoder`] — overlapping-window ("sandwich") decoding
+//!   over any [`ler::DecoderKind`]: decode `window` layers, commit the
+//!   matches confined to the oldest `commit` layers, defer the rest into
+//!   the next window (seam edges are cut per
+//!   [`decoding_graph::SeamPolicy::Cut`], so committed corrections never
+//!   cross a seam);
+//! * [`simulate_backlog`] — a discrete-event FIFO queue fed at a
+//!   configurable round period, producing reaction-time distributions
+//!   (p50/p99/max), backlog-depth traces, and deadline-miss fractions;
+//! * [`run_stream`] — the glue harness the `repro realtime` subcommand
+//!   builds on.
+//!
+//! # Example
+//!
+//! ```
+//! use ler::{DecoderKind, ExperimentContext};
+//! use realtime::{run_stream, BacklogConfig, StreamRunConfig, WindowConfig};
+//!
+//! let ctx = ExperimentContext::with_rounds(3, 5, 1e-3);
+//! let cfg = StreamRunConfig {
+//!     shots: 32,
+//!     seed: 7,
+//!     window: WindowConfig::new(4, 2).unwrap(),
+//!     backlog: BacklogConfig::with_commit_deadline(1000.0, 2),
+//! };
+//! let run = run_stream(&ctx.graph, &ctx.circuit, DecoderKind::AstreaG, &cfg);
+//! assert_eq!(run.backlog.windows, 32 * 2);
+//! assert!(run.backlog.reaction.p50_ns > 0.0);
+//! ```
+
+mod backlog;
+mod harness;
+mod stream;
+mod window;
+
+pub use backlog::{
+    service_ns, simulate_backlog, BacklogConfig, BacklogReport, BacklogSample, LatencyStats,
+    WindowTiming,
+};
+pub use harness::{fallback_latency_model, run_stream, StreamRunConfig, StreamRunResult};
+pub use stream::{StreamedShot, SyndromeStream};
+pub use window::{SlidingWindowDecoder, WindowConfig, WindowRecord, WindowedOutcome};

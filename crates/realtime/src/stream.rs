@@ -1,0 +1,203 @@
+//! Round-by-round syndrome streams.
+//!
+//! Real decoders never receive a complete shot: detection events arrive
+//! one measurement round at a time, every ~1 µs. [`SyndromeStream`]
+//! turns the batch-oriented [`qsim::FrameSampler`] into that delivery
+//! model — it samples shots in chunks (so the word-parallel sampler
+//! stays efficient) and re-slices each shot into per-round-layer
+//! detection events using the graph's [`LayerMap`].
+
+use decoding_graph::{DetectorId, LayerMap};
+use qsim::circuit::Circuit;
+use qsim::frame::Shot;
+use qsim::FrameSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One shot, sliced by measurement-round layer.
+///
+/// `dets` is the usual sorted flipped-detector list; `bounds` delimits
+/// the per-layer slices, exploiting the layer-contiguous detector
+/// numbering that [`LayerMap`] verifies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamedShot {
+    /// Sorted flipped detectors of the whole shot.
+    pub dets: Vec<DetectorId>,
+    /// True logical-observable flips (for scoring the decode).
+    pub obs: u64,
+    /// `bounds[ℓ]..bounds[ℓ+1]` delimits layer `ℓ` within `dets`.
+    bounds: Vec<usize>,
+}
+
+impl StreamedShot {
+    /// Slices `shot` by the layer structure of `layers`.
+    pub fn new(shot: &Shot, layers: &LayerMap) -> Self {
+        let num_layers = layers.num_layers();
+        let mut bounds = Vec::with_capacity(num_layers as usize + 1);
+        bounds.push(0);
+        let mut i = 0usize;
+        for layer in 0..num_layers {
+            let end = layers.det_range(layer, layer + 1).end;
+            while i < shot.dets.len() && shot.dets[i] < end {
+                i += 1;
+            }
+            bounds.push(i);
+        }
+        debug_assert_eq!(i, shot.dets.len(), "detector beyond the last layer");
+        StreamedShot {
+            dets: shot.dets.clone(),
+            obs: shot.obs,
+            bounds,
+        }
+    }
+
+    /// Number of layers the shot is sliced into.
+    pub fn num_layers(&self) -> u32 {
+        self.bounds.len() as u32 - 1
+    }
+
+    /// The detection events of layer `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer(&self, layer: u32) -> &[DetectorId] {
+        &self.dets[self.bounds[layer as usize]..self.bounds[layer as usize + 1]]
+    }
+
+    /// The detection events of layers `lo..hi` (a contiguous slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= hi <= num_layers()`.
+    pub fn in_layers(&self, lo: u32, hi: u32) -> &[DetectorId] {
+        assert!(lo <= hi && hi <= self.num_layers());
+        &self.dets[self.bounds[lo as usize]..self.bounds[hi as usize]]
+    }
+
+    /// Total number of detection events.
+    pub fn hamming_weight(&self) -> usize {
+        self.dets.len()
+    }
+}
+
+/// Shots sampled per sampler refill.
+const REFILL_CHUNK: usize = 256;
+
+/// A continuous source of round-sliced shots from a noisy circuit.
+///
+/// Deterministic given its seed: the stream samples shots through
+/// [`FrameSampler`] in fixed-size chunks from a single seeded RNG, so
+/// two streams with the same circuit and seed emit identical shots
+/// regardless of how the consumer paces its reads.
+#[derive(Clone, Debug)]
+pub struct SyndromeStream<'a> {
+    sampler: FrameSampler<'a>,
+    layers: LayerMap,
+    rng: StdRng,
+    buf: Vec<Shot>,
+    next: usize,
+    emitted: u64,
+}
+
+impl<'a> SyndromeStream<'a> {
+    /// Creates a stream over `circuit`, slicing shots by `layers`.
+    pub fn new(circuit: &'a Circuit, layers: LayerMap, seed: u64) -> Self {
+        SyndromeStream {
+            sampler: FrameSampler::new(circuit),
+            layers,
+            rng: StdRng::seed_from_u64(seed),
+            buf: Vec::new(),
+            next: 0,
+            emitted: 0,
+        }
+    }
+
+    /// The layer structure shots are sliced by.
+    pub fn layers(&self) -> &LayerMap {
+        &self.layers
+    }
+
+    /// Shots emitted so far.
+    pub fn shots_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Samples (or takes from the buffer) the next shot of the stream.
+    pub fn next_shot(&mut self) -> StreamedShot {
+        if self.next == self.buf.len() {
+            self.sampler
+                .sample_shots_into(REFILL_CHUNK, &mut self.rng, &mut self.buf);
+            self.next = 0;
+        }
+        let shot = &self.buf[self.next];
+        self.next += 1;
+        self.emitted += 1;
+        StreamedShot::new(shot, &self.layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoding_graph::DecodingGraph;
+    use surface_code::{NoiseModel, RotatedSurfaceCode};
+
+    fn fixture(d: u32, rounds: u32) -> (qsim::Circuit, LayerMap) {
+        let code = RotatedSurfaceCode::new(d);
+        let circuit = code.memory_z_circuit(rounds, &NoiseModel::uniform(2e-3));
+        let graph = DecodingGraph::from_dem(&qsim::extract_dem(&circuit));
+        let layers = LayerMap::from_graph(&graph).unwrap();
+        (circuit, layers)
+    }
+
+    #[test]
+    fn layer_slices_partition_the_shot() {
+        let (circuit, layers) = fixture(3, 4);
+        let mut stream = SyndromeStream::new(&circuit, layers, 7);
+        for _ in 0..50 {
+            let shot = stream.next_shot();
+            let mut rebuilt: Vec<u32> = Vec::new();
+            for l in 0..shot.num_layers() {
+                let slice = shot.layer(l);
+                // Every event sits in its layer's detector range.
+                for &d in slice {
+                    assert_eq!(stream.layers().layer_of(d), l);
+                }
+                rebuilt.extend_from_slice(slice);
+            }
+            assert_eq!(rebuilt, shot.dets);
+            assert_eq!(shot.in_layers(0, shot.num_layers()), &shot.dets[..]);
+        }
+        assert_eq!(stream.shots_emitted(), 50);
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_matches_batch_sampling() {
+        let (circuit, layers) = fixture(3, 3);
+        let mut a = SyndromeStream::new(&circuit, layers.clone(), 42);
+        let mut b = SyndromeStream::new(&circuit, layers, 42);
+        // Same seed -> identical shots, and identical to direct batch
+        // sampling with the same chunking.
+        let mut rng = StdRng::seed_from_u64(42);
+        let direct = FrameSampler::new(&circuit).sample_shots(REFILL_CHUNK, &mut rng);
+        for shot in direct.iter().take(300) {
+            let sa = a.next_shot();
+            let sb = b.next_shot();
+            assert_eq!(sa, sb);
+            assert_eq!(sa.dets, shot.dets);
+            assert_eq!(sa.obs, shot.obs);
+        }
+    }
+
+    #[test]
+    fn stream_refills_across_chunk_boundaries() {
+        let (circuit, layers) = fixture(3, 2);
+        let mut stream = SyndromeStream::new(&circuit, layers, 3);
+        for _ in 0..(2 * REFILL_CHUNK + 10) {
+            let shot = stream.next_shot();
+            assert_eq!(shot.num_layers(), 3);
+        }
+        assert_eq!(stream.shots_emitted(), (2 * REFILL_CHUNK + 10) as u64);
+    }
+}

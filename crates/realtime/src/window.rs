@@ -1,0 +1,415 @@
+//! Sliding-window ("sandwich") decoding with a commit/defer rule.
+//!
+//! The decoder only ever sees a window of `window` consecutive round
+//! layers. After decoding the window it **commits** every match whose
+//! endpoints all lie in the oldest `commit` layers — those corrections
+//! are final — and **defers** every other match: the involved defects
+//! roll into the next window (which starts `commit` layers later) and
+//! are re-decoded there with more future context. The overlap
+//! `window − commit` is the defer margin that keeps seam artifacts out
+//! of the committed stream; the final window of a shot commits
+//! everything.
+//!
+//! Window subgraphs come from [`decoding_graph::GraphWindow`] with
+//! [`SeamPolicy::Cut`]: the open-seam edges are dropped rather than
+//! redirected to an artificial boundary, so a *committed* boundary match
+//! can never route through the seam. Matches distorted by the cut can
+//! only involve the defer margin, and those are discarded and re-decoded
+//! by construction.
+
+use decoding_graph::{
+    DecodingGraph, DetectorId, GraphWindow, LayerMap, MatchTarget, PathTable, SeamPolicy,
+};
+use ler::{build_decoder, DecoderKind};
+use std::collections::HashMap;
+
+/// The `(window, commit)` split of a sliding-window run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Layers visible to one decode call.
+    pub window: u32,
+    /// Oldest layers finalized per step (the window advance).
+    pub commit: u32,
+}
+
+impl WindowConfig {
+    /// Validates a `(window, commit)` split.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message unless `1 <= commit <= window`.
+    pub fn new(window: u32, commit: u32) -> Result<Self, String> {
+        if commit == 0 {
+            return Err("commit must be at least 1 layer".into());
+        }
+        if commit > window {
+            return Err(format!("commit {commit} exceeds window {window}"));
+        }
+        Ok(WindowConfig { window, commit })
+    }
+}
+
+/// One window decode of a shot, for the backlog simulator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowRecord {
+    /// First layer of the commit region (the window step position).
+    pub start_layer: u32,
+    /// First layer actually extracted (≤ `start_layer` when carried
+    /// defects reach back).
+    pub lo_layer: u32,
+    /// One past the last extracted layer; the window becomes decodable
+    /// when round layer `hi_layer − 1` has been measured.
+    pub hi_layer: u32,
+    /// Layers `< commit_end` were finalized by this window.
+    pub commit_end: u32,
+    /// Defects decoded in this window (carried + newly arrived).
+    pub hw: usize,
+    /// Modeled hardware latency reported by the decoder, if any
+    /// (software decoders report `None`; the backlog simulator then
+    /// falls back to a [`decoding_graph::LatencyModel`]).
+    pub latency_ns: Option<f64>,
+    /// Defects deferred into the next window.
+    pub deferred: usize,
+    /// The window decode failed (e.g. exceeded the decoder's supported
+    /// Hamming weight); the whole shot counts as a logical failure.
+    pub failed: bool,
+}
+
+/// Result of sliding-window decoding one whole shot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowedOutcome {
+    /// XOR of the committed corrections' observable flips.
+    pub obs_flip: u64,
+    /// Some window decode failed; callers count the shot as a logical
+    /// error.
+    pub failed: bool,
+    /// Per-window decode records, in stream order.
+    pub windows: Vec<WindowRecord>,
+}
+
+/// A window subgraph with its path table, cached per layer range.
+struct WindowCtx {
+    win: GraphWindow,
+    paths: PathTable,
+}
+
+/// Sliding-window driver for any [`DecoderKind`].
+///
+/// Window subgraphs and their path tables are cached per extracted layer
+/// range: across a long stream the same few ranges recur (one per window
+/// position, plus occasional carried-defect extensions), so steady-state
+/// decoding rebuilds nothing.
+pub struct SlidingWindowDecoder<'g> {
+    parent: &'g DecodingGraph,
+    layers: LayerMap,
+    kind: DecoderKind,
+    cfg: WindowConfig,
+    cache: HashMap<(u32, u32), WindowCtx>,
+}
+
+impl<'g> SlidingWindowDecoder<'g> {
+    /// Creates a windowed driver for `kind` over `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` does not cover the graph's detectors or the
+    /// window exceeds the layer count.
+    pub fn new(
+        parent: &'g DecodingGraph,
+        layers: LayerMap,
+        kind: DecoderKind,
+        cfg: WindowConfig,
+    ) -> Self {
+        assert_eq!(
+            layers.num_detectors(),
+            parent.num_detectors(),
+            "layer map does not cover the graph"
+        );
+        assert!(
+            cfg.window <= layers.num_layers(),
+            "window {} exceeds the {} layers of the experiment",
+            cfg.window,
+            layers.num_layers()
+        );
+        SlidingWindowDecoder {
+            parent,
+            layers,
+            kind,
+            cfg,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The layer structure decoded over.
+    pub fn layers(&self) -> &LayerMap {
+        &self.layers
+    }
+
+    /// The `(window, commit)` split in effect.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    /// Number of distinct window ranges built so far (cache size).
+    pub fn cached_windows(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Decodes one whole shot window-by-window, as the streaming runtime
+    /// would, and returns the committed correction plus the per-window
+    /// records the backlog simulator consumes.
+    ///
+    /// `dets` is the complete sorted flipped-detector list of the shot;
+    /// the driver itself re-slices it into arrival order (detectors are
+    /// layer-contiguous), so callers can replay both live streams and
+    /// pre-sampled shots.
+    pub fn decode_shot(&mut self, dets: &[DetectorId]) -> WindowedOutcome {
+        let num_layers = self.layers.num_layers();
+        let mut pending: Vec<DetectorId> = Vec::new();
+        let mut obs = 0u64;
+        let mut failed = false;
+        let mut windows = Vec::new();
+        let mut next_new = 0usize;
+        let mut s = 0u32;
+        loop {
+            let hi = (s + self.cfg.window).min(num_layers);
+            let is_last = hi == num_layers;
+            let commit_end = if is_last {
+                num_layers
+            } else {
+                s + self.cfg.commit
+            };
+            let hi_det = self.layers.det_range(0, hi).end;
+            // Active defects: deferred carry-overs plus the events of the
+            // newly arrived layers.
+            let mut active = std::mem::take(&mut pending);
+            while next_new < dets.len() && dets[next_new] < hi_det {
+                active.push(dets[next_new]);
+                next_new += 1;
+            }
+            active.sort_unstable();
+            // Carried defects may reach back before the step position;
+            // extend the extraction range to cover them.
+            let lo_layer = match active.first() {
+                Some(&d) => self.layers.layer_of(d).min(s),
+                None => s,
+            };
+            let mut record = WindowRecord {
+                start_layer: s,
+                lo_layer,
+                hi_layer: hi,
+                commit_end,
+                hw: active.len(),
+                latency_ns: None,
+                deferred: 0,
+                failed: false,
+            };
+            if !active.is_empty() {
+                let parent = self.parent;
+                let layers = &self.layers;
+                let ctx = self.cache.entry((lo_layer, hi)).or_insert_with(|| {
+                    let win = GraphWindow::extract(
+                        parent,
+                        layers.det_range(lo_layer, hi),
+                        SeamPolicy::Cut,
+                    );
+                    let paths = PathTable::build(win.graph());
+                    WindowCtx { win, paths }
+                });
+                let lo_det = ctx.win.det_range().start;
+                let local: Vec<DetectorId> = active.iter().map(|&d| d - lo_det).collect();
+                // The decoder is rebuilt per window: it borrows the cached
+                // graph + path table, so storing it inside the cache entry
+                // would make WindowCtx self-referential. Construction is
+                // one Box plus empty (unallocated) workspace vectors; the
+                // expensive per-range state (graph extraction, all-pairs
+                // paths) is what the cache keeps warm. The zero-allocation
+                // convention binds the *measured* decode paths (`repro
+                // bench`, `run_eq1`) — here latency is modeled, so the
+                // simulator's own wall-clock is not a reported quantity.
+                let mut dec = build_decoder(self.kind, ctx.win.graph(), &ctx.paths);
+                let out = dec.decode(&local);
+                record.latency_ns = out.latency_ns;
+                if out.failed {
+                    failed = true;
+                    record.failed = true;
+                    // The shot is already lost; nothing rolls forward.
+                } else {
+                    for m in &out.matches {
+                        let ga = m.a + lo_det;
+                        match m.b {
+                            MatchTarget::Boundary => {
+                                if self.layers.layer_of(ga) < commit_end {
+                                    obs ^= ctx.paths.boundary_obs(m.a);
+                                } else {
+                                    pending.push(ga);
+                                    record.deferred += 1;
+                                }
+                            }
+                            MatchTarget::Detector(lb) => {
+                                let gb = lb + lo_det;
+                                let top = self.layers.layer_of(ga).max(self.layers.layer_of(gb));
+                                if top < commit_end {
+                                    obs ^= ctx.paths.path_obs(m.a, lb);
+                                } else {
+                                    pending.push(ga);
+                                    pending.push(gb);
+                                    record.deferred += 2;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            windows.push(record);
+            if is_last {
+                break;
+            }
+            s += self.cfg.commit;
+        }
+        debug_assert_eq!(next_new, dets.len(), "events beyond the final layer");
+        WindowedOutcome {
+            obs_flip: obs,
+            failed,
+            windows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ler::ExperimentContext;
+
+    fn ctx(d: u32, rounds: u32) -> ExperimentContext {
+        ExperimentContext::with_rounds(d, rounds, 1e-3)
+    }
+
+    fn windowed<'a>(
+        ctx: &'a ExperimentContext,
+        kind: DecoderKind,
+        window: u32,
+        commit: u32,
+    ) -> SlidingWindowDecoder<'a> {
+        let layers = LayerMap::from_graph(&ctx.graph).unwrap();
+        SlidingWindowDecoder::new(
+            &ctx.graph,
+            layers,
+            kind,
+            WindowConfig::new(window, commit).unwrap(),
+        )
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_splits() {
+        assert!(WindowConfig::new(4, 0).is_err());
+        assert!(WindowConfig::new(2, 3).is_err());
+        assert!(WindowConfig::new(3, 3).is_ok());
+        assert!(WindowConfig::new(4, 2).is_ok());
+    }
+
+    #[test]
+    fn empty_shot_produces_empty_windows() {
+        let ctx = ctx(3, 6);
+        let mut swd = windowed(&ctx, DecoderKind::Mwpm, 4, 2);
+        let out = swd.decode_shot(&[]);
+        assert!(!out.failed);
+        assert_eq!(out.obs_flip, 0);
+        // 7 layers, window 4, commit 2: steps at 0, 2, 4 (last).
+        assert_eq!(out.windows.len(), 3);
+        assert!(out.windows.iter().all(|w| w.hw == 0 && w.deferred == 0));
+        assert_eq!(out.windows.last().unwrap().hi_layer, 7);
+        assert_eq!(out.windows.last().unwrap().commit_end, 7);
+        // Empty windows never build graphs.
+        assert_eq!(swd.cached_windows(), 0);
+    }
+
+    #[test]
+    fn single_mechanisms_are_corrected_windowed() {
+        let ctx = ctx(3, 6);
+        let mut swd = windowed(&ctx, DecoderKind::Mwpm, 4, 2);
+        for e in &ctx.dem.errors {
+            let out = swd.decode_shot(e.dets.as_slice());
+            assert!(!out.failed);
+            assert_eq!(out.obs_flip, e.obs, "mechanism {:?}", e);
+        }
+    }
+
+    #[test]
+    fn deferred_defects_roll_into_the_next_window() {
+        let ctx = ctx(3, 6);
+        let layers = LayerMap::from_graph(&ctx.graph).unwrap();
+        // A mechanism whose defects sit at the first commit boundary so
+        // its window-0 match must be deferred (top layer >= commit_end).
+        let e = ctx
+            .dem
+            .errors
+            .iter()
+            .find(|e| {
+                e.dets.len() == 2
+                    && layers.layer_of(e.dets.as_slice()[0]) < 2
+                    && layers.layer_of(e.dets.as_slice()[1]) >= 2
+            })
+            .expect("a commit-boundary-straddling mechanism exists");
+        let mut swd = windowed(&ctx, DecoderKind::Mwpm, 4, 2);
+        let out = swd.decode_shot(e.dets.as_slice());
+        assert!(!out.failed);
+        assert_eq!(out.obs_flip, e.obs);
+        assert!(
+            out.windows[0].deferred > 0,
+            "straddling match must defer: {:?}",
+            out.windows
+        );
+        // The carried defect reaches back before window 1's step layer.
+        assert!(out.windows[1].lo_layer < out.windows[1].start_layer);
+    }
+
+    #[test]
+    fn window_cache_is_reused_across_shots() {
+        let ctx = ctx(3, 6);
+        let mut swd = windowed(&ctx, DecoderKind::Mwpm, 4, 2);
+        for e in ctx.dem.errors.iter().take(40) {
+            let _ = swd.decode_shot(e.dets.as_slice());
+        }
+        let after_first = swd.cached_windows();
+        for e in ctx.dem.errors.iter().take(40) {
+            let _ = swd.decode_shot(e.dets.as_slice());
+        }
+        assert_eq!(
+            swd.cached_windows(),
+            after_first,
+            "no new windows on replay"
+        );
+        // Far fewer distinct ranges than total window decodes.
+        assert!(after_first <= 8, "cache stayed small: {after_first}");
+    }
+
+    #[test]
+    fn hw_limited_decoder_fails_the_shot_on_window_overflow() {
+        let ctx = ctx(5, 8);
+        let layers = LayerMap::from_graph(&ctx.graph).unwrap();
+        // 12 defects inside one window overflow Astrea's HW <= 10 limit.
+        let range = layers.det_range(1, 2);
+        let dets: Vec<u32> = (range.start..range.start + 12).collect();
+        let mut swd = windowed(&ctx, DecoderKind::Astrea, 4, 2);
+        let out = swd.decode_shot(&dets);
+        assert!(out.failed);
+        assert!(out.windows.iter().any(|w| w.failed));
+    }
+
+    #[test]
+    fn whole_shot_window_equals_direct_decode() {
+        // window == all layers: one window, everything committed — must
+        // equal the plain decoder bit for bit.
+        let ctx = ctx(3, 4);
+        let mut swd = windowed(&ctx, DecoderKind::Mwpm, 5, 5);
+        let mut direct = ctx.decoder(DecoderKind::Mwpm);
+        for e in &ctx.dem.errors {
+            let w = swd.decode_shot(e.dets.as_slice());
+            let d = direct.decode(e.dets.as_slice());
+            assert_eq!(w.failed, d.failed);
+            assert_eq!(w.obs_flip, d.obs_flip, "mechanism {:?}", e);
+            assert_eq!(w.windows.len(), 1);
+        }
+    }
+}

@@ -13,5 +13,6 @@ pub use mwpm;
 pub use predecoders;
 pub use promatch;
 pub use qsim;
+pub use realtime;
 pub use surface_code;
 pub use unionfind;
