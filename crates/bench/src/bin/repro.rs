@@ -23,13 +23,18 @@
 //!   repro bench [--scale ...] [--scenario <name>] [key=value ...]
 //!   repro realtime --scenario <name> [--window W] [--commit C]
 //!                  [key=value ...]             streaming reaction-time study
+//!   repro serve --scenario <name> --qubits Q --shards S [--rate R]
+//!               [--decoder K] [--window W] [--commit C] [key=value ...]
+//!                                              multi-tenant decode service
 //!
 //! `--threads N` is accepted by every subcommand (equivalent to the
-//! `threads=N` override; 0 defers to PROMATCH_THREADS, then to the
-//! machine's parallelism).
+//! `threads=N` override; omit it to defer to PROMATCH_THREADS, then to
+//! the machine's parallelism — an explicit 0 is rejected).
 //! ```
 
-use bench_suite::{experiments, LerRunConfig, RealtimeRunConfig, Scale, ScenarioRegistry};
+use bench_suite::{
+    experiments, LerRunConfig, RealtimeRunConfig, Scale, ScenarioRegistry, ServeConfig,
+};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -49,11 +54,17 @@ fn main() -> ExitCode {
         eprintln!(
             "       repro realtime --scenario <name> [--window W] [--commit C] [key=value ...]"
         );
+        eprintln!(
+            "       repro serve --scenario <name> --qubits Q --shards S [--rate R] [key=value ...]"
+        );
         eprintln!("       (--threads N works with every subcommand)");
         return ExitCode::FAILURE;
     };
     if name == "bench" {
         return run_perf_bench(&args[1..]);
+    }
+    if name == "serve" {
+        return run_scenario_serve(&args[1..]);
     }
     if name == "scenarios" {
         let registry = ScenarioRegistry::builtin();
@@ -257,6 +268,81 @@ fn run_scenario_realtime(args: &[String]) -> ExitCode {
     let mut out = stdout.lock();
     let started = std::time::Instant::now();
     match bench_suite::run_scenario_realtime_study(scenario, &cfg, &mut out) {
+        Ok(()) => {
+            let _ = writeln!(out, "\n[done in {:.1?}]", started.elapsed());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro serve`: multi-tenant decode-service study, written to
+/// `BENCH.json` (schema v4, `service` points array).
+fn run_scenario_serve(args: &[String]) -> ExitCode {
+    let mut scenario_name: Option<String> = None;
+    let mut overrides = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut matched = false;
+        for (flag, key) in [
+            ("--scenario", None),
+            ("--qubits", Some("qubits")),
+            ("--shards", Some("shards")),
+            ("--rate", Some("rate")),
+            ("--decoder", Some("decoder")),
+            ("--window", Some("window")),
+            ("--commit", Some("commit")),
+            ("--transport", Some("transport")),
+            ("--threads", Some("threads")),
+        ] {
+            match flag_value(arg, &mut it, flag) {
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(Some(value)) => {
+                    match key {
+                        None => scenario_name = Some(value),
+                        Some(key) => overrides.push(format!("{key}={value}")),
+                    }
+                    matched = true;
+                    break;
+                }
+                Ok(None) => {}
+            }
+        }
+        if !matched {
+            overrides.push(arg.clone());
+        }
+    }
+    let Some(scenario_name) = scenario_name else {
+        eprintln!(
+            "usage: repro serve --scenario <name> --qubits Q --shards S [--rate R] \
+             [--decoder K] [--window W] [--commit C] [--transport channel|tcp] \
+             [shots=N] [seed=N] [deadline=NS] [queue=N] [inflight=N] [out=PATH]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let registry = ScenarioRegistry::builtin();
+    let Some(scenario) = registry.get(&scenario_name) else {
+        eprintln!(
+            "error: unknown scenario '{scenario_name}' (known: {})",
+            registry.names().join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = ServeConfig::default();
+    if let Err(e) = cfg.apply_overrides(&overrides) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let started = std::time::Instant::now();
+    match bench_suite::run_serve_study(scenario, &cfg, &mut out) {
         Ok(()) => {
             let _ = writeln!(out, "\n[done in {:.1?}]", started.elapsed());
             ExitCode::SUCCESS

@@ -15,13 +15,17 @@ pub mod perf;
 pub mod realtime;
 pub mod scale;
 pub mod scenario;
+pub mod serve;
 
 pub use self::realtime::{run_scenario_realtime, run_scenario_realtime_study, RealtimeRunConfig};
-pub use perf::{render_json, run_bench, BenchDoc, BenchPoint, BenchScale, LatencyPoint, LerPoint};
+pub use perf::{
+    render_json, run_bench, BenchDoc, BenchPoint, BenchScale, LatencyPoint, LerPoint, ServicePoint,
+};
 pub use scale::Scale;
 pub use scenario::{
     run_scenario_ler, run_scenario_ler_study, LerRunConfig, NoiseSpec, Scenario, ScenarioRegistry,
 };
+pub use serve::{run_serve, run_serve_study, ServeConfig, ServeTransport};
 
 /// Formats a rate in the paper's scientific style (e.g. `2.6e-14`).
 pub fn fmt_rate(x: f64) -> String {

@@ -9,12 +9,12 @@
 //! `BENCH.json` is a schema-stable artifact CI can archive per commit —
 //! and, since schema v2, per scenario.
 //!
-//! Schema (`schema_version` 3; see README.md for the field-by-field
+//! Schema (`schema_version` 4; see README.md for the field-by-field
 //! description):
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "git_rev": "abc1234",
 //!   "seed": 2024,
 //!   "threads": 4,
@@ -28,6 +28,14 @@
 //!      "rounds": 11, "p": 1e-4, "k_max": 20, "shots_per_k": 150,
 //!      "ler": 2.1e-13, "low": 1.5e-13, "high": 3.0e-13}
 //!   ],
+//!   "service": [
+//!     {"scenario": "sd6-d5", "decoder": "Promatch || AG", "qubits": 16,
+//!      "shards": 4, "qubit": 0, "shard": 2, "window": 4, "commit": 2,
+//!      "round_ns": 4000, "deadline_ns": 8000, "shots": 200,
+//!      "windows": 600, "shed": 0, "deadline_misses": 0, "p50_ns": 410.0,
+//!      "p99_ns": 890.0, "max_ns": 1410.0, "mean_ns": 433.1,
+//!      "failures": 0, "rounds_per_s": 1450000}
+//!   ],
 //!   "latency": [
 //!     {"scenario": "sd6-d5", "decoder": "Promatch || AG", "window": 4,
 //!      "commit": 2, "round_ns": 1000, "shots": 200, "layers_per_shot": 6,
@@ -40,8 +48,10 @@
 //!
 //! `repro bench` fills `results` (perf trajectory); `repro ler` fills
 //! `ler` (accuracy trajectory); `repro realtime` fills `latency` (tail
-//! reaction-time trajectory — schema v3). `scenario` is `"default"` for
-//! the classic injection benchmark, otherwise the registry name.
+//! reaction-time trajectory — schema v3); `repro serve` fills `service`
+//! (multi-tenant decode-service trajectory — schema v4, one row per
+//! tenant). `scenario` is `"default"` for the classic injection
+//! benchmark, otherwise the registry name.
 
 use crate::scenario::{Scenario, ScenarioRegistry};
 use decoding_graph::SyndromeBatch;
@@ -52,7 +62,7 @@ use std::io::Write;
 use std::time::Instant;
 
 /// Version of the `BENCH.json` schema this build writes.
-pub const BENCH_SCHEMA_VERSION: u32 = 3;
+pub const BENCH_SCHEMA_VERSION: u32 = 4;
 
 /// One measured `(decoder, d, p, k)` point.
 #[derive(Clone, Debug)]
@@ -135,6 +145,53 @@ pub struct LatencyPoint {
     pub failures: u64,
 }
 
+/// One `(scenario, tenant)` row of a multi-tenant decode-service run
+/// (`repro serve`, schema v4).
+#[derive(Clone, Debug)]
+pub struct ServicePoint {
+    /// Scenario name the service was loaded with.
+    pub scenario: String,
+    /// Paper-style decoder label every tenant registered.
+    pub decoder: &'static str,
+    /// Tenants driven in the run.
+    pub qubits: u32,
+    /// Decode shards of the worker pool.
+    pub shards: usize,
+    /// This row's tenant id.
+    pub qubit: u32,
+    /// Shard that owned the tenant.
+    pub shard: u32,
+    /// Sliding-window size in round layers.
+    pub window: u32,
+    /// Committed layers per window step.
+    pub commit: u32,
+    /// Syndrome round period, ns (from the `--rate` flag).
+    pub round_ns: f64,
+    /// Reaction deadline per window, ns.
+    pub deadline_ns: f64,
+    /// Shots committed for this tenant.
+    pub shots: u64,
+    /// Windows decoded for this tenant.
+    pub windows: u64,
+    /// Windows shed by admission control.
+    pub shed: u64,
+    /// Windows whose modeled reaction exceeded the deadline.
+    pub deadline_misses: u64,
+    /// Median modeled reaction time, ns.
+    pub p50_ns: f64,
+    /// 99th-percentile modeled reaction time, ns.
+    pub p99_ns: f64,
+    /// Worst modeled reaction time, ns.
+    pub max_ns: f64,
+    /// Mean modeled reaction time, ns.
+    pub mean_ns: f64,
+    /// Logical failures scored client-side for this tenant.
+    pub failures: u64,
+    /// Measured whole-service decode throughput, syndrome rounds per
+    /// wall-clock second (identical across a run's rows).
+    pub rounds_per_s: f64,
+}
+
 /// Everything that goes into one `BENCH.json` document.
 #[derive(Clone, Debug, Default)]
 pub struct BenchDoc {
@@ -151,6 +208,8 @@ pub struct BenchDoc {
     pub ler: Vec<LerPoint>,
     /// Streaming tail-latency points (`repro realtime`).
     pub latency: Vec<LatencyPoint>,
+    /// Multi-tenant decode-service points (`repro serve` — schema v4).
+    pub service: Vec<ServicePoint>,
 }
 
 /// Configuration of a `repro bench` run.
@@ -265,7 +324,7 @@ impl BenchScale {
                 }
                 "shots" => self.shots = value.parse().map_err(|e| format!("shots: {e}"))?,
                 "reps" => self.reps = value.parse().map_err(|e| format!("reps: {e}"))?,
-                "threads" => self.threads = value.parse().map_err(|e| format!("threads: {e}"))?,
+                "threads" => self.threads = crate::scale::parse_threads(value)?,
                 "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
                 "p" => self.p = value.parse().map_err(|e| format!("p: {e}"))?,
                 "scenario" => self.scenario = Some(value.to_string()),
@@ -331,11 +390,11 @@ pub fn run_bench(scale: &BenchScale, w: &mut dyn Write) -> std::io::Result<()> {
                     sc.distance,
                     sc.p
                 )?;
-                sc.context()
+                sc.shared_context()
             }
             None => {
                 writeln!(w, "# bench: building context d={d}, p={:.0e}", p)?;
-                ExperimentContext::new(d, p)
+                std::sync::Arc::new(ExperimentContext::new(d, p))
             }
         };
         let sampler = InjectionSampler::new(&ctx.dem);
@@ -396,8 +455,7 @@ pub fn run_bench(scale: &BenchScale, w: &mut dyn Write) -> std::io::Result<()> {
         threads: effective_threads(scale.threads),
         scenario: scale.scenario.clone(),
         results: points,
-        ler: Vec::new(),
-        latency: Vec::new(),
+        ..BenchDoc::default()
     };
     let json = render_json(&doc);
     std::fs::write(&scale.out_path, &json)?;
@@ -410,7 +468,7 @@ pub fn run_bench(scale: &BenchScale, w: &mut dyn Write) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Renders the schema-stable JSON document (schema v2).
+/// Renders the schema-stable JSON document.
 pub fn render_json(doc: &BenchDoc) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -455,6 +513,40 @@ pub fn render_json(doc: &BenchDoc) -> String {
             p.low,
             p.high,
             if i + 1 < doc.ler.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"service\": [\n");
+    for (i, p) in doc.service.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"decoder\": \"{}\", \"qubits\": {}, \
+             \"shards\": {}, \"qubit\": {}, \"shard\": {}, \"window\": {}, \
+             \"commit\": {}, \"round_ns\": {}, \"deadline_ns\": {}, \
+             \"shots\": {}, \"windows\": {}, \"shed\": {}, \
+             \"deadline_misses\": {}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \
+             \"max_ns\": {:.1}, \"mean_ns\": {:.1}, \"failures\": {}, \
+             \"rounds_per_s\": {:.0}}}{}\n",
+            escape(&p.scenario),
+            escape(p.decoder),
+            p.qubits,
+            p.shards,
+            p.qubit,
+            p.shard,
+            p.window,
+            p.commit,
+            p.round_ns,
+            p.deadline_ns,
+            p.shots,
+            p.windows,
+            p.shed,
+            p.deadline_misses,
+            p.p50_ns,
+            p.p99_ns,
+            p.max_ns,
+            p.mean_ns,
+            p.failures,
+            p.rounds_per_s,
+            if i + 1 < doc.service.len() { "," } else { "" }
         ));
     }
     s.push_str("  ],\n");
@@ -543,11 +635,33 @@ mod tests {
     }
 
     #[test]
-    fn json_schema_v3_is_stable() {
+    fn json_schema_v4_is_stable() {
         let doc = BenchDoc {
             seed: 2024,
             threads: 4,
             scenario: Some("sd6-d11".into()),
+            service: vec![ServicePoint {
+                scenario: "sd6-d11".into(),
+                decoder: "Promatch || AG",
+                qubits: 16,
+                shards: 4,
+                qubit: 3,
+                shard: 1,
+                window: 6,
+                commit: 3,
+                round_ns: 4000.0,
+                deadline_ns: 12000.0,
+                shots: 200,
+                windows: 800,
+                shed: 0,
+                deadline_misses: 0,
+                p50_ns: 410.0,
+                p99_ns: 890.25,
+                max_ns: 1410.0,
+                mean_ns: 433.125,
+                failures: 1,
+                rounds_per_s: 1_450_000.4,
+            }],
             results: vec![BenchPoint {
                 decoder: "MWPM (Ideal)",
                 d: 11,
@@ -588,7 +702,7 @@ mod tests {
             }],
         };
         let json = render_json(&doc);
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
         assert!(json.contains("\"seed\": 2024"));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"scenario\": \"sd6-d11\""));
@@ -606,7 +720,16 @@ mod tests {
              \"max_ns\": 964.0, \"mean_ns\": 98.2, \"miss_fraction\": 0, \
              \"max_backlog\": 1, \"mean_backlog\": 1.00, \"failures\": 0}"
         ));
-        // No trailing comma on the last element of either array.
+        assert!(json.contains(
+            "{\"scenario\": \"sd6-d11\", \"decoder\": \"Promatch || AG\", \
+             \"qubits\": 16, \"shards\": 4, \"qubit\": 3, \"shard\": 1, \
+             \"window\": 6, \"commit\": 3, \"round_ns\": 4000, \
+             \"deadline_ns\": 12000, \"shots\": 200, \"windows\": 800, \
+             \"shed\": 0, \"deadline_misses\": 0, \"p50_ns\": 410.0, \
+             \"p99_ns\": 890.2, \"max_ns\": 1410.0, \"mean_ns\": 433.1, \
+             \"failures\": 1, \"rounds_per_s\": 1450000}"
+        ));
+        // No trailing comma on the last element of any array.
         assert!(!json.contains("},\n  ]"));
     }
 
@@ -650,7 +773,7 @@ mod tests {
         let mut sink = Vec::new();
         run_bench(&scale, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 3"));
+        assert!(text.contains("\"schema_version\": 4"));
         assert!(text.contains("\"ns_per_shot\""));
         assert!(text.contains("\"threads\":"));
     }

@@ -10,9 +10,13 @@
 
 use crate::perf::{BenchDoc, LatencyPoint};
 use crate::scenario::Scenario;
+use decoding_graph::{SeamPolicy, WindowCache};
 use ler::effective_threads;
-use realtime::{run_stream, BacklogConfig, StreamRunConfig, StreamRunResult, WindowConfig};
+use realtime::{
+    run_stream_with_cache, BacklogConfig, StreamRunConfig, StreamRunResult, WindowConfig,
+};
 use std::io::Write;
+use std::sync::Arc;
 
 /// Configuration of a `repro realtime` run. `None` fields fall back to
 /// the scenario's own defaults.
@@ -75,7 +79,7 @@ impl RealtimeRunConfig {
                 }
                 "window" => self.window = Some(value.parse().map_err(|e| format!("window: {e}"))?),
                 "commit" => self.commit = Some(value.parse().map_err(|e| format!("commit: {e}"))?),
-                "threads" => self.threads = value.parse().map_err(|e| format!("threads: {e}"))?,
+                "threads" => self.threads = crate::scale::parse_threads(value)?,
                 "out" => self.out_path = value.to_string(),
                 other => return Err(format!("unknown option '{other}'")),
             }
@@ -148,7 +152,7 @@ pub fn run_scenario_realtime(
         wc.window, wc.commit, backlog.round_ns, backlog.deadline_ns, cfg.shots, cfg.seed
     )?;
     writeln!(w, "# building context...")?;
-    let ctx = scenario.context();
+    let ctx = scenario.shared_context();
     let run_cfg = StreamRunConfig {
         shots: cfg.shots,
         seed: cfg.seed,
@@ -158,17 +162,25 @@ pub fn run_scenario_realtime(
     let threads = effective_threads(cfg.threads)
         .min(scenario.decoders.len())
         .max(1);
+    // Every decoder walks the same window positions over the same graph,
+    // so the whole fan-out shares one window cache: each subgraph + path
+    // table is built once, not once per decoder.
+    let cache = Arc::new(WindowCache::new(&ctx.graph, SeamPolicy::Cut));
     // Independent per-decoder runs, fanned out round-robin: results land
     // in input order regardless of the thread count.
     let results: Vec<StreamRunResult> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let ctx = &ctx;
+            let cache = &cache;
             let kinds = &scenario.decoders;
             handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 for i in (t..kinds.len()).step_by(threads) {
-                    local.push((i, run_stream(&ctx.graph, &ctx.circuit, kinds[i], &run_cfg)));
+                    local.push((
+                        i,
+                        run_stream_with_cache(&ctx.graph, &ctx.circuit, kinds[i], &run_cfg, cache),
+                    ));
                 }
                 local
             }));
@@ -242,9 +254,8 @@ pub fn run_scenario_realtime_study(
         seed: cfg.seed,
         threads: effective_threads(cfg.threads),
         scenario: Some(scenario.name.to_string()),
-        results: Vec::new(),
-        ler: Vec::new(),
         latency: points,
+        ..BenchDoc::default()
     };
     let json = crate::perf::render_json(&doc);
     std::fs::write(&cfg.out_path, &json)?;
@@ -333,7 +344,7 @@ mod tests {
         let mut sink = Vec::new();
         run_scenario_realtime_study(sc, &cfg, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 3"));
+        assert!(text.contains("\"schema_version\": 4"));
         assert!(text.contains("\"scenario\": \"cc-d3\""));
         assert!(text.contains("\"p50_ns\""));
         assert!(text.contains("\"miss_fraction\""));

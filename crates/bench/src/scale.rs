@@ -1,5 +1,41 @@
 //! Experiment scale presets and CLI parsing.
 
+/// Parses a thread-count override, rejecting `0` with a clear error.
+///
+/// Internally `threads == 0` is the "automatic" sentinel
+/// (`PROMATCH_THREADS`, then available parallelism), but a user typing
+/// `--threads 0` or `threads=0` almost certainly expects either an error
+/// or a serial run — not a silent fallback — so the CLI layer refuses
+/// it and explains how to get the automatic behavior.
+///
+/// # Errors
+///
+/// Returns a message for unparsable values and for `0`.
+pub fn parse_threads(value: &str) -> Result<usize, String> {
+    let n: usize = value.parse().map_err(|e| format!("threads: {e}"))?;
+    if n == 0 {
+        return Err(
+            "threads must be at least 1 (omit the flag to use PROMATCH_THREADS or all cores)"
+                .into(),
+        );
+    }
+    Ok(n)
+}
+
+/// Parses a strictly positive integer CLI value (`--qubits`, `--shards`,
+/// ...), rejecting `0` with an error naming the flag.
+///
+/// # Errors
+///
+/// Returns a message for unparsable values and for `0`.
+pub fn parse_positive(flag: &str, value: &str) -> Result<u64, String> {
+    let n: u64 = value.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be at least 1"));
+    }
+    Ok(n)
+}
+
 /// How big an experiment run should be.
 ///
 /// The paper evaluates d = 11, 13 with millions of samples; the presets
@@ -83,7 +119,7 @@ impl Scale {
                 "kmax" => self.k_max = value.parse().map_err(|e| format!("kmax: {e}"))?,
                 "p" => self.p = value.parse().map_err(|e| format!("p: {e}"))?,
                 "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
-                "threads" => self.threads = value.parse().map_err(|e| format!("threads: {e}"))?,
+                "threads" => self.threads = parse_threads(value)?,
                 other => return Err(format!("unknown option '{other}'")),
             }
         }
@@ -129,5 +165,30 @@ mod tests {
         assert!(s.apply_overrides(&["bogus=1".into()]).is_err());
         assert!(s.apply_overrides(&["shots".into()]).is_err());
         assert!(s.apply_overrides(&["shots=abc".into()]).is_err());
+    }
+
+    #[test]
+    fn zero_threads_is_rejected_with_guidance() {
+        let mut s = Scale::quick();
+        let err = s.apply_overrides(&["threads=0".into()]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(err.contains("omit"), "{err}");
+        // The preset's own auto sentinel is untouched.
+        assert_eq!(s.threads, 0);
+        assert!(parse_threads("abc").is_err());
+        assert_eq!(parse_threads("3").unwrap(), 3);
+    }
+
+    #[test]
+    fn positive_parser_names_the_flag() {
+        assert_eq!(parse_positive("--qubits", "16").unwrap(), 16);
+        let err = parse_positive("--qubits", "0").unwrap_err();
+        assert!(
+            err.contains("--qubits") && err.contains("at least 1"),
+            "{err}"
+        );
+        assert!(parse_positive("--shards", "x")
+            .unwrap_err()
+            .contains("--shards"));
     }
 }

@@ -11,7 +11,9 @@
 
 use crate::perf::LerPoint;
 use ler::{run_eq1, DecoderKind, Eq1Config, ExperimentContext};
+use std::collections::HashMap;
 use std::io::Write;
+use std::sync::{Arc, Mutex, OnceLock};
 use surface_code::{MemoryBasis, NoiseModel};
 
 /// The noise-model family of a scenario, instantiated at the scenario's
@@ -85,9 +87,14 @@ pub struct Scenario {
     pub rt_commit: u32,
 }
 
+/// Process-wide cache of built scenario contexts (see
+/// [`Scenario::shared_context`]).
+static CONTEXT_CACHE: OnceLock<Mutex<HashMap<String, Arc<ExperimentContext>>>> = OnceLock::new();
+
 impl Scenario {
     /// Builds the experiment context (circuit, DEM, graph, paths) for
-    /// this scenario.
+    /// this scenario, from scratch. Prefer [`Scenario::shared_context`]
+    /// unless a private mutable copy is genuinely needed.
     pub fn context(&self) -> ExperimentContext {
         ExperimentContext::with_noise(
             MemoryBasis::Z,
@@ -96,6 +103,28 @@ impl Scenario {
             &self.noise.model(self.p),
             self.p,
         )
+    }
+
+    /// The scenario's experiment context behind a process-wide `Arc`
+    /// cache: the first call per configuration builds (circuit, DEM,
+    /// graph, all-pairs path table), every later call — a second
+    /// subcommand in the same process, another test, or the Q-th tenant
+    /// registering with the decode service — reuses that immutable state
+    /// instead of rebuilding it. The cache key covers every field that
+    /// shapes the context, so ad-hoc `Scenario` values with a reused
+    /// name cannot collide.
+    pub fn shared_context(&self) -> Arc<ExperimentContext> {
+        let key = format!(
+            "{}|d{}|r{}|p{:016x}|{}",
+            self.name,
+            self.distance,
+            self.rounds,
+            self.p.to_bits(),
+            self.noise.label()
+        );
+        let cache = CONTEXT_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("context cache poisoned");
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(self.context())))
     }
 }
 
@@ -276,7 +305,7 @@ impl LerRunConfig {
                 }
                 "kmax" => self.k_max = Some(value.parse().map_err(|e| format!("kmax: {e}"))?),
                 "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
-                "threads" => self.threads = value.parse().map_err(|e| format!("threads: {e}"))?,
+                "threads" => self.threads = crate::scale::parse_threads(value)?,
                 "out" => self.out_path = value.to_string(),
                 other => return Err(format!("unknown option '{other}'")),
             }
@@ -305,7 +334,7 @@ pub fn run_scenario_ler(
         scenario.p
     )?;
     writeln!(w, "# building context...")?;
-    let ctx = scenario.context();
+    let ctx = scenario.shared_context();
     writeln!(
         w,
         "# {} detectors, {} mechanisms; eq1 with k_max={k_max}, shots/k={shots_per_k}",
@@ -366,9 +395,8 @@ pub fn run_scenario_ler_study(
         seed: cfg.seed,
         threads: ler::effective_threads(cfg.threads),
         scenario: Some(scenario.name.to_string()),
-        results: Vec::new(),
         ler: points,
-        latency: Vec::new(),
+        ..crate::perf::BenchDoc::default()
     };
     let json = crate::perf::render_json(&doc);
     std::fs::write(&cfg.out_path, &json)?;
@@ -450,7 +478,7 @@ mod tests {
         let mut sink = Vec::new();
         run_scenario_ler_study(sc, &cfg, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 3"));
+        assert!(text.contains("\"schema_version\": 4"));
         assert!(text.contains("\"scenario\": \"cc-d3\""));
         assert!(text.contains("\"threads\": 1"));
         assert!(text.contains("\"k_max\": 2"));

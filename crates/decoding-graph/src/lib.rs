@@ -24,7 +24,10 @@
 //! * [`LayerMap`] / [`GraphWindow`] — detector ⇄ round-layer mapping and
 //!   detector-range window subgraphs (with [`SeamPolicy`] handling at
 //!   the open seam) for the sliding-window streaming runtime in
-//!   `crates/realtime`.
+//!   `crates/realtime`, plus the thread-safe [`WindowCache`] of
+//!   [`WindowContext`]s (window graph + path table behind `Arc`) that
+//!   lets many streams — or many tenants of the decode service — share
+//!   one copy of the immutable per-range state.
 //! * [`latency`] — the shared 250 MHz cycle constants and the
 //!   [`LatencyModel`] trait every modeled hardware latency implements.
 //!
@@ -55,7 +58,7 @@ pub use latency::{FixedLatency, LatencyModel, PolynomialLatency};
 pub use pathtable::{PathTable, StorageModel};
 pub use subgraph::DecodingSubgraph;
 pub use traits::{DecodeOutcome, Decoder, MatchPair, MatchTarget, PredecodeOutcome, Predecoder};
-pub use window::{GraphWindow, LayerMap, SeamPolicy};
+pub use window::{GraphWindow, LayerMap, SeamPolicy, WindowCache, WindowContext};
 pub use workspace::{DecodeWorkspace, SlotMap, SyndromeBatch};
 
 /// Index of a detector within a decoding graph.

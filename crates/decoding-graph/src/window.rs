@@ -20,8 +20,11 @@
 //! in the workspace run on it unchanged.
 
 use crate::graph::{DecodingGraph, Edge};
+use crate::pathtable::PathTable;
 use crate::DetectorId;
+use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::{Arc, Mutex};
 
 /// Detector ⇄ time-layer correspondence of a decoding graph.
 ///
@@ -271,6 +274,142 @@ impl GraphWindow {
     }
 }
 
+/// One extracted window together with its all-pairs path table — the
+/// immutable per-layer-range state a sliding-window decoder needs.
+///
+/// Building one of these is the expensive part of window decoding
+/// (subgraph extraction plus an all-pairs Dijkstra), while using one is
+/// read-only. [`WindowCache`] therefore hands them out behind [`Arc`] so
+/// any number of concurrent consumers — the per-decoder fan-out of
+/// `repro realtime`, or every tenant of a multi-tenant decode service —
+/// share a single copy per layer range.
+#[derive(Clone, Debug)]
+pub struct WindowContext {
+    win: GraphWindow,
+    paths: PathTable,
+}
+
+impl WindowContext {
+    /// Extracts the window over `range` and builds its path table.
+    pub fn build(parent: &DecodingGraph, range: Range<DetectorId>, seam: SeamPolicy) -> Self {
+        let win = GraphWindow::extract(parent, range, seam);
+        let paths = PathTable::build(win.graph());
+        WindowContext { win, paths }
+    }
+
+    /// The extracted window (local detector ids, global range).
+    pub fn window(&self) -> &GraphWindow {
+        &self.win
+    }
+
+    /// The window's decoding graph.
+    pub fn graph(&self) -> &DecodingGraph {
+        self.win.graph()
+    }
+
+    /// All-pairs shortest-path data over the window graph.
+    pub fn paths(&self) -> &PathTable {
+        &self.paths
+    }
+}
+
+/// A thread-safe, share-by-`Arc` cache of [`WindowContext`]s, keyed by
+/// `(lo_layer, hi_layer)` range.
+///
+/// All entries must be extracted from the **same parent graph** (one
+/// cache per scenario); the cache checks this with the parent's detector
+/// count on every call. The internal lock is only taken on lookup-or-
+/// build — consumers are expected to memoize the returned `Arc`s locally
+/// (as `realtime::SlidingWindowDecoder` does), keeping their steady-state
+/// decode path lock-free.
+#[derive(Debug)]
+pub struct WindowCache {
+    seam: SeamPolicy,
+    fingerprint: GraphFingerprint,
+    inner: Mutex<HashMap<(u32, u32), Arc<WindowContext>>>,
+}
+
+/// Cheap structural identity of a graph, used to catch a cache being
+/// fed a different parent than it was built for. Detector count alone
+/// is not enough — two scenarios at the same distance and round count
+/// (e.g. `sd6-d5` vs `uniform-d5`) have identical detector counts but
+/// different edges/weights.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct GraphFingerprint {
+    num_detectors: u32,
+    num_edges: usize,
+    weight_range: Option<(i64, i64)>,
+}
+
+impl GraphFingerprint {
+    fn of(graph: &DecodingGraph) -> Self {
+        GraphFingerprint {
+            num_detectors: graph.num_detectors(),
+            num_edges: graph.num_edges(),
+            weight_range: graph.weight_range(),
+        }
+    }
+}
+
+impl WindowCache {
+    /// An empty cache for windows of `parent` extracted under `seam`.
+    pub fn new(parent: &DecodingGraph, seam: SeamPolicy) -> Self {
+        WindowCache {
+            seam,
+            fingerprint: GraphFingerprint::of(parent),
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The seam policy every cached window was extracted with.
+    pub fn seam_policy(&self) -> SeamPolicy {
+        self.seam
+    }
+
+    /// Number of distinct layer ranges built so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("window cache poisoned").len()
+    }
+
+    /// Whether the cache holds no windows yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the cached window for layers `key = (lo, hi)` covering
+    /// detector `range`, building (and retaining) it on first use.
+    ///
+    /// The expensive build (subgraph extraction plus an all-pairs
+    /// Dijkstra) runs *outside* the lock, so concurrent consumers
+    /// warming different ranges build in parallel and hits never stall
+    /// behind a miss. Racing builders of the same range may construct
+    /// twice; the first insert wins and both callers get that copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` does not structurally match the graph the
+    /// cache was created for (detector/edge-count + weight-range
+    /// fingerprint).
+    pub fn get_or_build(
+        &self,
+        parent: &DecodingGraph,
+        range: Range<DetectorId>,
+        key: (u32, u32),
+    ) -> Arc<WindowContext> {
+        assert_eq!(
+            GraphFingerprint::of(parent),
+            self.fingerprint,
+            "window cache used with a different parent graph"
+        );
+        if let Some(ctx) = self.inner.lock().expect("window cache poisoned").get(&key) {
+            return Arc::clone(ctx);
+        }
+        let built = Arc::new(WindowContext::build(parent, range, self.seam));
+        let mut map = self.inner.lock().expect("window cache poisoned");
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +540,79 @@ mod tests {
         assert_eq!(win.to_local(12), None);
         assert_eq!(win.to_global(7), 11);
         assert!(win.contains(4) && !win.contains(12));
+    }
+
+    #[test]
+    fn window_cache_shares_contexts_across_consumers() {
+        let g = graph(3, 4);
+        let layers = LayerMap::from_graph(&g).unwrap();
+        let cache = Arc::new(WindowCache::new(&g, SeamPolicy::Cut));
+        assert!(cache.is_empty());
+        let a = cache.get_or_build(&g, layers.det_range(0, 3), (0, 3));
+        let b = cache.get_or_build(&g, layers.det_range(0, 3), (0, 3));
+        // Same Arc, not a rebuilt copy.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        let c = cache.get_or_build(&g, layers.det_range(2, 5), (2, 5));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        // The cached context matches a direct build.
+        let direct = WindowContext::build(&g, layers.det_range(0, 3), SeamPolicy::Cut);
+        assert_eq!(a.graph().num_edges(), direct.graph().num_edges());
+        assert_eq!(a.window().det_range(), direct.window().det_range());
+        assert_eq!(
+            a.paths().boundary_distance(0),
+            direct.paths().boundary_distance(0)
+        );
+        assert_eq!(cache.seam_policy(), SeamPolicy::Cut);
+    }
+
+    #[test]
+    fn window_cache_is_shareable_across_threads() {
+        let g = graph(3, 4);
+        let layers = LayerMap::from_graph(&g).unwrap();
+        let cache = Arc::new(WindowCache::new(&g, SeamPolicy::Cut));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let g = &g;
+                let layers = &layers;
+                scope.spawn(move || {
+                    for lo in 0..3u32 {
+                        let ctx = cache.get_or_build(g, layers.det_range(lo, lo + 2), (lo, lo + 2));
+                        assert_eq!(ctx.graph().num_detectors(), 8);
+                    }
+                });
+            }
+        });
+        // Racing builders may construct twice, but exactly one context
+        // per range is retained.
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different parent graph")]
+    fn window_cache_rejects_a_different_parent() {
+        let g = graph(3, 4);
+        let other = graph(3, 6);
+        let cache = WindowCache::new(&g, SeamPolicy::Cut);
+        let _ = cache.get_or_build(&other, 0..4, (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "different parent graph")]
+    fn window_cache_rejects_same_shape_different_weights() {
+        // Same detector count and structure, different error rates: the
+        // weight-range fingerprint still tells the graphs apart.
+        let code = RotatedSurfaceCode::new(3);
+        let a = DecodingGraph::from_dem(&extract_dem(
+            &code.memory_z_circuit(4, &NoiseModel::uniform(1e-3)),
+        ));
+        let b = DecodingGraph::from_dem(&extract_dem(
+            &code.memory_z_circuit(4, &NoiseModel::uniform(2e-3)),
+        ));
+        let cache = WindowCache::new(&a, SeamPolicy::Cut);
+        let _ = cache.get_or_build(&b, 0..4, (0, 1));
     }
 
     #[test]

@@ -66,6 +66,57 @@ impl DecoderKind {
             DecoderKind::SmithAstrea,
         ]
     }
+
+    /// Every decoder configuration, in stable wire-code order.
+    pub const ALL: [DecoderKind; 11] = [
+        DecoderKind::Mwpm,
+        DecoderKind::Astrea,
+        DecoderKind::AstreaG,
+        DecoderKind::UnionFind,
+        DecoderKind::PromatchAstrea,
+        DecoderKind::PromatchParAg,
+        DecoderKind::SmithAstrea,
+        DecoderKind::SmithParAg,
+        DecoderKind::CliqueAstrea,
+        DecoderKind::CliqueAg,
+        DecoderKind::CliqueMwpm,
+    ];
+
+    /// Stable single-byte code for wire protocols and artifacts. Codes
+    /// are append-only: existing assignments never change meaning.
+    pub fn code(self) -> u8 {
+        DecoderKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("every kind is in ALL") as u8
+    }
+
+    /// Inverse of [`DecoderKind::code`].
+    pub fn from_code(code: u8) -> Option<DecoderKind> {
+        DecoderKind::ALL.get(code as usize).copied()
+    }
+
+    /// Stable kebab-case key for CLIs and config files.
+    pub fn key(self) -> &'static str {
+        match self {
+            DecoderKind::Mwpm => "mwpm",
+            DecoderKind::Astrea => "astrea",
+            DecoderKind::AstreaG => "astrea-g",
+            DecoderKind::UnionFind => "union-find",
+            DecoderKind::PromatchAstrea => "promatch-astrea",
+            DecoderKind::PromatchParAg => "promatch-par-ag",
+            DecoderKind::SmithAstrea => "smith-astrea",
+            DecoderKind::SmithParAg => "smith-par-ag",
+            DecoderKind::CliqueAstrea => "clique-astrea",
+            DecoderKind::CliqueAg => "clique-ag",
+            DecoderKind::CliqueMwpm => "clique-mwpm",
+        }
+    }
+
+    /// Parses a [`DecoderKind::key`] string.
+    pub fn parse(key: &str) -> Option<DecoderKind> {
+        DecoderKind::ALL.iter().copied().find(|k| k.key() == key)
+    }
 }
 
 /// A fully-built experiment configuration.
@@ -300,5 +351,23 @@ mod tests {
         use std::collections::HashSet;
         let labels: HashSet<&str> = DecoderKind::table2().iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn wire_codes_and_keys_round_trip() {
+        use std::collections::HashSet;
+        let mut codes = HashSet::new();
+        let mut keys = HashSet::new();
+        for kind in DecoderKind::ALL {
+            assert_eq!(DecoderKind::from_code(kind.code()), Some(kind));
+            assert_eq!(DecoderKind::parse(kind.key()), Some(kind));
+            assert!(codes.insert(kind.code()), "{:?}", kind);
+            assert!(keys.insert(kind.key()), "{:?}", kind);
+        }
+        assert_eq!(codes.len(), DecoderKind::ALL.len());
+        assert_eq!(DecoderKind::from_code(200), None);
+        assert_eq!(DecoderKind::parse("bogus"), None);
+        // Code 0 is pinned to MWPM — the append-only contract's anchor.
+        assert_eq!(DecoderKind::Mwpm.code(), 0);
     }
 }

@@ -11,9 +11,12 @@ use crate::backlog::{service_ns, simulate_backlog, BacklogConfig, BacklogReport,
 use crate::stream::SyndromeStream;
 use crate::window::{SlidingWindowDecoder, WindowConfig};
 use astrea::AstreaLatencyModel;
-use decoding_graph::{DecodingGraph, LatencyModel, LayerMap, PolynomialLatency};
+use decoding_graph::{
+    DecodingGraph, LatencyModel, LayerMap, PolynomialLatency, SeamPolicy, WindowCache,
+};
 use ler::DecoderKind;
 use qsim::circuit::Circuit;
+use std::sync::Arc;
 
 /// Fallback latency model for decoder kinds that report no hardware
 /// latency of their own.
@@ -89,10 +92,26 @@ pub fn run_stream(
     kind: DecoderKind,
     cfg: &StreamRunConfig,
 ) -> StreamRunResult {
-    let layers = LayerMap::from_graph(graph).expect("graph has a layer structure");
+    let cache = Arc::new(WindowCache::new(graph, SeamPolicy::Cut));
+    run_stream_with_cache(graph, circuit, kind, cfg, &cache)
+}
+
+/// [`run_stream`] with a caller-provided shared [`WindowCache`], so
+/// concurrent runs over the same graph (e.g. the per-decoder fan-out of
+/// `repro realtime`) build each window subgraph and path table once
+/// instead of once per run. Results are identical to [`run_stream`].
+pub fn run_stream_with_cache(
+    graph: &DecodingGraph,
+    circuit: &Circuit,
+    kind: DecoderKind,
+    cfg: &StreamRunConfig,
+    cache: &Arc<WindowCache>,
+) -> StreamRunResult {
+    let layers = Arc::new(LayerMap::from_graph(graph).expect("graph has a layer structure"));
     let layers_per_shot = layers.num_layers();
-    let mut stream = SyndromeStream::new(circuit, layers.clone(), cfg.seed);
-    let mut swd = SlidingWindowDecoder::new(graph, layers, kind, cfg.window);
+    let mut stream = SyndromeStream::with_shared_layers(circuit, Arc::clone(&layers), cfg.seed);
+    let mut swd =
+        SlidingWindowDecoder::with_cache(graph, layers, kind, cfg.window, Arc::clone(cache));
     let fallback = fallback_latency_model(kind);
     let mut timings: Vec<WindowTiming> = Vec::new();
     let mut failures = 0u64;
@@ -183,6 +202,25 @@ mod tests {
         // windows the queue never builds up.
         assert_eq!(r.backlog.max_backlog, 1);
         assert_eq!(r.backlog.miss_fraction, 0.0);
+    }
+
+    #[test]
+    fn shared_cache_runs_match_private_cache_runs() {
+        let ctx = ExperimentContext::with_rounds(3, 5, 1e-3);
+        let cfg = StreamRunConfig {
+            shots: 60,
+            seed: 17,
+            window: WindowConfig::new(4, 2).unwrap(),
+            backlog: BacklogConfig::with_commit_deadline(1000.0, 2),
+        };
+        let cache = Arc::new(WindowCache::new(&ctx.graph, SeamPolicy::Cut));
+        for kind in [DecoderKind::Mwpm, DecoderKind::AstreaG] {
+            let private = run_stream(&ctx.graph, &ctx.circuit, kind, &cfg);
+            let shared = run_stream_with_cache(&ctx.graph, &ctx.circuit, kind, &cfg, &cache);
+            assert_eq!(private, shared, "{:?}", kind);
+        }
+        // Both kinds walked the same window ranges through one cache.
+        assert!(!cache.is_empty());
     }
 
     #[test]

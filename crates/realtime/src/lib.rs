@@ -49,6 +49,8 @@ pub use backlog::{
     service_ns, simulate_backlog, BacklogConfig, BacklogReport, BacklogSample, LatencyStats,
     WindowTiming,
 };
-pub use harness::{fallback_latency_model, run_stream, StreamRunConfig, StreamRunResult};
+pub use harness::{
+    fallback_latency_model, run_stream, run_stream_with_cache, StreamRunConfig, StreamRunResult,
+};
 pub use stream::{StreamedShot, SyndromeStream};
 pub use window::{SlidingWindowDecoder, WindowConfig, WindowRecord, WindowedOutcome};

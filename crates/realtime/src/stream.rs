@@ -13,6 +13,7 @@ use qsim::frame::Shot;
 use qsim::FrameSampler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// One shot, sliced by measurement-round layer.
 ///
@@ -93,7 +94,7 @@ const REFILL_CHUNK: usize = 256;
 #[derive(Clone, Debug)]
 pub struct SyndromeStream<'a> {
     sampler: FrameSampler<'a>,
-    layers: LayerMap,
+    layers: Arc<LayerMap>,
     rng: StdRng,
     buf: Vec<Shot>,
     next: usize,
@@ -103,6 +104,13 @@ pub struct SyndromeStream<'a> {
 impl<'a> SyndromeStream<'a> {
     /// Creates a stream over `circuit`, slicing shots by `layers`.
     pub fn new(circuit: &'a Circuit, layers: LayerMap, seed: u64) -> Self {
+        Self::with_shared_layers(circuit, Arc::new(layers), seed)
+    }
+
+    /// Creates a stream sharing `layers` with other stream handles over
+    /// the same circuit — the multi-tenant form: Q tenant streams of one
+    /// scenario hold one layer map between them instead of Q copies.
+    pub fn with_shared_layers(circuit: &'a Circuit, layers: Arc<LayerMap>, seed: u64) -> Self {
         SyndromeStream {
             sampler: FrameSampler::new(circuit),
             layers,
@@ -187,6 +195,20 @@ mod tests {
             assert_eq!(sa, sb);
             assert_eq!(sa.dets, shot.dets);
             assert_eq!(sa.obs, shot.obs);
+        }
+    }
+
+    #[test]
+    fn shared_layer_streams_match_owned_layer_streams() {
+        let (circuit, layers) = fixture(3, 3);
+        let shared = Arc::new(layers.clone());
+        let mut a = SyndromeStream::new(&circuit, layers, 9);
+        let mut b = SyndromeStream::with_shared_layers(&circuit, Arc::clone(&shared), 9);
+        let mut c = SyndromeStream::with_shared_layers(&circuit, shared, 9);
+        for _ in 0..40 {
+            let sa = a.next_shot();
+            assert_eq!(sa, b.next_shot());
+            assert_eq!(sa, c.next_shot());
         }
     }
 

@@ -18,10 +18,12 @@
 //! by construction.
 
 use decoding_graph::{
-    DecodingGraph, DetectorId, GraphWindow, LayerMap, MatchTarget, PathTable, SeamPolicy,
+    DecodingGraph, DetectorId, LayerMap, MatchTarget, SeamPolicy, SyndromeBatch, WindowCache,
+    WindowContext,
 };
 use ler::{build_decoder, DecoderKind};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// The `(window, commit)` split of a sliding-window run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,10 +89,13 @@ pub struct WindowedOutcome {
     pub windows: Vec<WindowRecord>,
 }
 
-/// A window subgraph with its path table, cached per layer range.
-struct WindowCtx {
-    win: GraphWindow,
-    paths: PathTable,
+/// Per-shot streaming state while a shot walks through its windows.
+struct ShotState {
+    pending: Vec<DetectorId>,
+    next_new: usize,
+    obs: u64,
+    failed: bool,
+    windows: Vec<WindowRecord>,
 }
 
 /// Sliding-window driver for any [`DecoderKind`].
@@ -98,17 +103,25 @@ struct WindowCtx {
 /// Window subgraphs and their path tables are cached per extracted layer
 /// range: across a long stream the same few ranges recur (one per window
 /// position, plus occasional carried-defect extensions), so steady-state
-/// decoding rebuilds nothing.
+/// decoding rebuilds nothing. The cache lives in a shareable
+/// [`decoding_graph::WindowCache`]: drivers built with
+/// [`SlidingWindowDecoder::with_cache`] — e.g. every decoder of a
+/// `repro realtime` fan-out, or every tenant of one decode-service
+/// scenario — share a single copy of each window graph and path table.
+/// Returned `Arc`s are memoized locally, so the steady-state decode path
+/// never touches the shared cache's lock.
 pub struct SlidingWindowDecoder<'g> {
     parent: &'g DecodingGraph,
-    layers: LayerMap,
+    layers: Arc<LayerMap>,
     kind: DecoderKind,
     cfg: WindowConfig,
-    cache: HashMap<(u32, u32), WindowCtx>,
+    shared: Arc<WindowCache>,
+    local: HashMap<(u32, u32), Arc<WindowContext>>,
 }
 
 impl<'g> SlidingWindowDecoder<'g> {
-    /// Creates a windowed driver for `kind` over `parent`.
+    /// Creates a windowed driver for `kind` over `parent` with a private
+    /// window cache.
     ///
     /// # Panics
     ///
@@ -119,6 +132,26 @@ impl<'g> SlidingWindowDecoder<'g> {
         layers: LayerMap,
         kind: DecoderKind,
         cfg: WindowConfig,
+    ) -> Self {
+        let cache = Arc::new(WindowCache::new(parent, SeamPolicy::Cut));
+        Self::with_cache(parent, Arc::new(layers), kind, cfg, cache)
+    }
+
+    /// Creates a windowed driver sharing `cache` (and `layers`) with
+    /// other drivers over the same parent graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` does not cover the graph's detectors, the
+    /// window exceeds the layer count, or the cache was built with a
+    /// seam policy other than [`SeamPolicy::Cut`] (the only policy whose
+    /// committed corrections are sound; see the module docs).
+    pub fn with_cache(
+        parent: &'g DecodingGraph,
+        layers: Arc<LayerMap>,
+        kind: DecoderKind,
+        cfg: WindowConfig,
+        cache: Arc<WindowCache>,
     ) -> Self {
         assert_eq!(
             layers.num_detectors(),
@@ -131,12 +164,18 @@ impl<'g> SlidingWindowDecoder<'g> {
             cfg.window,
             layers.num_layers()
         );
+        assert_eq!(
+            cache.seam_policy(),
+            SeamPolicy::Cut,
+            "sliding-window commits require SeamPolicy::Cut windows"
+        );
         SlidingWindowDecoder {
             parent,
             layers,
             kind,
             cfg,
-            cache: HashMap::new(),
+            shared: cache,
+            local: HashMap::new(),
         }
     }
 
@@ -150,9 +189,27 @@ impl<'g> SlidingWindowDecoder<'g> {
         self.cfg
     }
 
-    /// Number of distinct window ranges built so far (cache size).
+    /// Number of distinct window ranges this driver has used so far.
     pub fn cached_windows(&self) -> usize {
-        self.cache.len()
+        self.local.len()
+    }
+
+    /// The shared window cache (for wiring further drivers to it).
+    pub fn cache(&self) -> &Arc<WindowCache> {
+        &self.shared
+    }
+
+    /// Looks up (or builds) the window context for layers `lo..hi`,
+    /// memoizing the `Arc` locally so replays skip the shared lock.
+    fn window_ctx(&mut self, lo: u32, hi: u32) -> Arc<WindowContext> {
+        if let Some(ctx) = self.local.get(&(lo, hi)) {
+            return Arc::clone(ctx);
+        }
+        let ctx = self
+            .shared
+            .get_or_build(self.parent, self.layers.det_range(lo, hi), (lo, hi));
+        self.local.insert((lo, hi), Arc::clone(&ctx));
+        ctx
     }
 
     /// Decodes one whole shot window-by-window, as the streaming runtime
@@ -164,12 +221,34 @@ impl<'g> SlidingWindowDecoder<'g> {
     /// layer-contiguous), so callers can replay both live streams and
     /// pre-sampled shots.
     pub fn decode_shot(&mut self, dets: &[DetectorId]) -> WindowedOutcome {
+        self.decode_shots(&[dets])
+            .pop()
+            .expect("one outcome per shot")
+    }
+
+    /// Decodes a batch of shots in window lockstep, bit-identical to
+    /// decoding each shot alone.
+    ///
+    /// All shots advance through the same window steps together; at each
+    /// step, windows that share an extracted layer range are decoded
+    /// through one decoder instance via [`decoding_graph::Decoder::
+    /// decode_batch`], so the decoder's construction cost and warm
+    /// workspaces amortize over the batch (the multi-tenant service's
+    /// per-shard batching path). Per-window results are identical to the
+    /// one-shot path because workspace-reusing decoders are bit-identical
+    /// to fresh ones (the PR-2 contract, enforced by proptests).
+    pub fn decode_shots(&mut self, shots: &[&[DetectorId]]) -> Vec<WindowedOutcome> {
         let num_layers = self.layers.num_layers();
-        let mut pending: Vec<DetectorId> = Vec::new();
-        let mut obs = 0u64;
-        let mut failed = false;
-        let mut windows = Vec::new();
-        let mut next_new = 0usize;
+        let mut st: Vec<ShotState> = shots
+            .iter()
+            .map(|_| ShotState {
+                pending: Vec::new(),
+                next_new: 0,
+                obs: 0,
+                failed: false,
+                windows: Vec::new(),
+            })
+            .collect();
         let mut s = 0u32;
         loop {
             let hi = (s + self.cfg.window).min(num_layers);
@@ -180,69 +259,79 @@ impl<'g> SlidingWindowDecoder<'g> {
                 s + self.cfg.commit
             };
             let hi_det = self.layers.det_range(0, hi).end;
-            // Active defects: deferred carry-overs plus the events of the
-            // newly arrived layers.
-            let mut active = std::mem::take(&mut pending);
-            while next_new < dets.len() && dets[next_new] < hi_det {
-                active.push(dets[next_new]);
-                next_new += 1;
-            }
-            active.sort_unstable();
-            // Carried defects may reach back before the step position;
-            // extend the extraction range to cover them.
-            let lo_layer = match active.first() {
-                Some(&d) => self.layers.layer_of(d).min(s),
-                None => s,
-            };
-            let mut record = WindowRecord {
-                start_layer: s,
-                lo_layer,
-                hi_layer: hi,
-                commit_end,
-                hw: active.len(),
-                latency_ns: None,
-                deferred: 0,
-                failed: false,
-            };
-            if !active.is_empty() {
-                let parent = self.parent;
-                let layers = &self.layers;
-                let ctx = self.cache.entry((lo_layer, hi)).or_insert_with(|| {
-                    let win = GraphWindow::extract(
-                        parent,
-                        layers.det_range(lo_layer, hi),
-                        SeamPolicy::Cut,
-                    );
-                    let paths = PathTable::build(win.graph());
-                    WindowCtx { win, paths }
+            // Active defects per shot: deferred carry-overs plus the
+            // events of the newly arrived layers. Windows sharing an
+            // extracted range are grouped for one batched decode; BTreeMap
+            // keeps group order deterministic.
+            let mut actives: Vec<Vec<DetectorId>> = Vec::with_capacity(shots.len());
+            let mut groups: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
+            for (i, (state, dets)) in st.iter_mut().zip(shots).enumerate() {
+                let mut active = std::mem::take(&mut state.pending);
+                while state.next_new < dets.len() && dets[state.next_new] < hi_det {
+                    active.push(dets[state.next_new]);
+                    state.next_new += 1;
+                }
+                active.sort_unstable();
+                // Carried defects may reach back before the step
+                // position; extend the extraction range to cover them.
+                let lo_layer = match active.first() {
+                    Some(&d) => self.layers.layer_of(d).min(s),
+                    None => s,
+                };
+                state.windows.push(WindowRecord {
+                    start_layer: s,
+                    lo_layer,
+                    hi_layer: hi,
+                    commit_end,
+                    hw: active.len(),
+                    latency_ns: None,
+                    deferred: 0,
+                    failed: false,
                 });
-                let lo_det = ctx.win.det_range().start;
-                let local: Vec<DetectorId> = active.iter().map(|&d| d - lo_det).collect();
-                // The decoder is rebuilt per window: it borrows the cached
+                if !active.is_empty() {
+                    groups.entry((lo_layer, hi)).or_default().push(i);
+                }
+                actives.push(active);
+            }
+            for ((lo_layer, hi), idxs) in groups {
+                let ctx = self.window_ctx(lo_layer, hi);
+                let lo_det = ctx.window().det_range().start;
+                let mut batch = SyndromeBatch::new();
+                let mut local: Vec<DetectorId> = Vec::new();
+                for &i in &idxs {
+                    local.clear();
+                    local.extend(actives[i].iter().map(|&d| d - lo_det));
+                    batch.push(&local);
+                }
+                // The decoder is rebuilt per group: it borrows the cached
                 // graph + path table, so storing it inside the cache entry
-                // would make WindowCtx self-referential. Construction is
-                // one Box plus empty (unallocated) workspace vectors; the
-                // expensive per-range state (graph extraction, all-pairs
-                // paths) is what the cache keeps warm. The zero-allocation
-                // convention binds the *measured* decode paths (`repro
-                // bench`, `run_eq1`) — here latency is modeled, so the
-                // simulator's own wall-clock is not a reported quantity.
-                let mut dec = build_decoder(self.kind, ctx.win.graph(), &ctx.paths);
-                let out = dec.decode(&local);
-                record.latency_ns = out.latency_ns;
-                if out.failed {
-                    failed = true;
-                    record.failed = true;
-                    // The shot is already lost; nothing rolls forward.
-                } else {
+                // would make WindowContext self-referential. Construction
+                // is one Box plus empty (unallocated) workspace vectors;
+                // the expensive per-range state (graph extraction,
+                // all-pairs paths) is what the cache keeps warm, and the
+                // batched decode keeps its workspaces warm across the
+                // group's shots.
+                let mut dec = build_decoder(self.kind, ctx.graph(), ctx.paths());
+                let mut outs = Vec::new();
+                dec.decode_batch(&batch, &mut outs);
+                for (&i, out) in idxs.iter().zip(&outs) {
+                    let state = &mut st[i];
+                    let record = state.windows.last_mut().expect("record pushed above");
+                    record.latency_ns = out.latency_ns;
+                    if out.failed {
+                        state.failed = true;
+                        record.failed = true;
+                        // The shot is already lost; nothing rolls forward.
+                        continue;
+                    }
                     for m in &out.matches {
                         let ga = m.a + lo_det;
                         match m.b {
                             MatchTarget::Boundary => {
                                 if self.layers.layer_of(ga) < commit_end {
-                                    obs ^= ctx.paths.boundary_obs(m.a);
+                                    state.obs ^= ctx.paths().boundary_obs(m.a);
                                 } else {
-                                    pending.push(ga);
+                                    state.pending.push(ga);
                                     record.deferred += 1;
                                 }
                             }
@@ -250,10 +339,10 @@ impl<'g> SlidingWindowDecoder<'g> {
                                 let gb = lb + lo_det;
                                 let top = self.layers.layer_of(ga).max(self.layers.layer_of(gb));
                                 if top < commit_end {
-                                    obs ^= ctx.paths.path_obs(m.a, lb);
+                                    state.obs ^= ctx.paths().path_obs(m.a, lb);
                                 } else {
-                                    pending.push(ga);
-                                    pending.push(gb);
+                                    state.pending.push(ga);
+                                    state.pending.push(gb);
                                     record.deferred += 2;
                                 }
                             }
@@ -261,18 +350,21 @@ impl<'g> SlidingWindowDecoder<'g> {
                     }
                 }
             }
-            windows.push(record);
             if is_last {
                 break;
             }
             s += self.cfg.commit;
         }
-        debug_assert_eq!(next_new, dets.len(), "events beyond the final layer");
-        WindowedOutcome {
-            obs_flip: obs,
-            failed,
-            windows,
-        }
+        st.iter()
+            .zip(shots)
+            .for_each(|(state, dets)| debug_assert_eq!(state.next_new, dets.len()));
+        st.into_iter()
+            .map(|state| WindowedOutcome {
+                obs_flip: state.obs,
+                failed: state.failed,
+                windows: state.windows,
+            })
+            .collect()
     }
 }
 
@@ -382,6 +474,69 @@ mod tests {
         );
         // Far fewer distinct ranges than total window decodes.
         assert!(after_first <= 8, "cache stayed small: {after_first}");
+    }
+
+    #[test]
+    fn batched_decode_matches_sequential_bit_for_bit() {
+        let ctx = ctx(3, 6);
+        let shots: Vec<&[DetectorId]> = ctx
+            .dem
+            .errors
+            .iter()
+            .take(24)
+            .map(|e| e.dets.as_slice())
+            .collect();
+        for kind in [
+            DecoderKind::Mwpm,
+            DecoderKind::UnionFind,
+            DecoderKind::AstreaG,
+            DecoderKind::PromatchParAg,
+        ] {
+            let mut batched = windowed(&ctx, kind, 4, 2);
+            let got = batched.decode_shots(&shots);
+            let mut sequential = windowed(&ctx, kind, 4, 2);
+            for (dets, b) in shots.iter().zip(&got) {
+                let s = sequential.decode_shot(dets);
+                assert_eq!(&s, b, "{:?}", kind);
+            }
+        }
+    }
+
+    #[test]
+    fn drivers_share_one_window_cache() {
+        let ctx = ctx(3, 6);
+        let layers = Arc::new(LayerMap::from_graph(&ctx.graph).unwrap());
+        let cache = Arc::new(WindowCache::new(&ctx.graph, SeamPolicy::Cut));
+        let cfg = WindowConfig::new(4, 2).unwrap();
+        let mut a = SlidingWindowDecoder::with_cache(
+            &ctx.graph,
+            Arc::clone(&layers),
+            DecoderKind::Mwpm,
+            cfg,
+            Arc::clone(&cache),
+        );
+        // Same kind: both drivers walk identical window ranges (defer
+        // decisions, and therefore carried-defect extensions, are
+        // kind-dependent).
+        let mut b = SlidingWindowDecoder::with_cache(
+            &ctx.graph,
+            layers,
+            DecoderKind::Mwpm,
+            cfg,
+            Arc::clone(&cache),
+        );
+        for e in ctx.dem.errors.iter().take(30) {
+            let _ = a.decode_shot(e.dets.as_slice());
+        }
+        let after_a = cache.len();
+        assert_eq!(after_a, a.cached_windows());
+        for e in ctx.dem.errors.iter().take(30) {
+            let _ = b.decode_shot(e.dets.as_slice());
+        }
+        // The second driver replays the same ranges: nothing is rebuilt.
+        assert_eq!(cache.len(), after_a);
+        assert_eq!(b.cached_windows(), after_a);
+        assert!(Arc::ptr_eq(a.cache(), &cache));
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Admission control and per-tenant SLO accounting.
+//!
+//! Two cooperating mechanisms bound a tenant's impact on shared decode
+//! resources:
+//!
+//! * **Live gating** — [`TenantGate`], a lock-free per-tenant in-flight
+//!   shot counter checked at enqueue. A client that floods past its
+//!   budget gets an immediate shed [`crate::protocol::Frame::
+//!   CommitResult`] instead of queue growth; a well-behaved closed-loop
+//!   client (in-flight ≤ capacity) is never shed. This is the only
+//!   admission state the hot submit path touches, and it is per-tenant
+//!   atomics — no cross-shard locks.
+//! * **Modeled accounting** — [`simulate_shard`], the multi-tenant
+//!   generalization of [`realtime::simulate_backlog`]. Each shard is one
+//!   modeled decode engine serving its tenants' windows FIFO in modeled
+//!   ready order (windows arrive on the syndrome cadence, not the wall
+//!   clock, so reports are deterministic and machine-independent). A
+//!   window arriving while its tenant already has `queue_capacity`
+//!   windows waiting is **shed**; served windows whose reaction exceeds
+//!   the deadline are **deadline misses**. Per-tenant reaction
+//!   percentiles come out of the same [`realtime::LatencyStats`]
+//!   machinery the single-tenant backlog simulator uses.
+
+use realtime::LatencyStats;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Timing and bounds of one shard's modeled decode queue.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionConfig {
+    /// Syndrome measurement round period in nanoseconds.
+    pub round_ns: f64,
+    /// Reaction deadline per window, ns.
+    pub deadline_ns: f64,
+    /// Modeled bound on one tenant's waiting windows; arrivals beyond it
+    /// are shed.
+    pub queue_capacity: usize,
+}
+
+/// One decoded window's modeled arrival, tagged with its tenant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowArrival {
+    /// Tenant (logical qubit) id.
+    pub qubit: u32,
+    /// Global round index after which the window is decodable.
+    pub ready_round: u64,
+    /// Modeled decode service time, ns.
+    pub service_ns: f64,
+}
+
+/// Per-tenant outcome of one shard's modeled admission simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantReport {
+    /// Tenant id.
+    pub qubit: u32,
+    /// Windows that arrived for this tenant.
+    pub windows: u64,
+    /// Windows actually served (windows − shed).
+    pub served: u64,
+    /// Windows shed by the bounded per-tenant queue.
+    pub shed: u64,
+    /// Served windows whose reaction exceeded the deadline.
+    pub deadline_misses: u64,
+    /// Reaction-time distribution of the served windows.
+    pub reaction: LatencyStats,
+}
+
+/// Runs one shard's modeled FIFO decode engine over `arrivals` and
+/// returns per-tenant reports, sorted by qubit id.
+///
+/// `arrivals` is sorted in place by `(ready_round, qubit)` — the modeled
+/// arrival order — so callers may pass windows in any collection order
+/// (real submissions interleave nondeterministically across tenants; the
+/// modeled timeline must not).
+pub fn simulate_shard(arrivals: &mut [WindowArrival], cfg: &AdmissionConfig) -> Vec<TenantReport> {
+    arrivals.sort_by(|a, b| {
+        a.ready_round
+            .cmp(&b.ready_round)
+            .then(a.qubit.cmp(&b.qubit))
+    });
+    struct TenantAcc {
+        windows: u64,
+        shed: u64,
+        misses: u64,
+        reactions: Vec<f64>,
+        /// Modeled finish times of this tenant's in-queue windows
+        /// (non-decreasing; drained as modeled time advances).
+        in_queue: VecDeque<f64>,
+    }
+    let mut tenants: HashMap<u32, TenantAcc> = HashMap::new();
+    let mut server_free = 0.0f64;
+    for w in arrivals.iter() {
+        let ready = w.ready_round as f64 * cfg.round_ns;
+        let acc = tenants.entry(w.qubit).or_insert_with(|| TenantAcc {
+            windows: 0,
+            shed: 0,
+            misses: 0,
+            reactions: Vec::new(),
+            in_queue: VecDeque::new(),
+        });
+        acc.windows += 1;
+        while acc.in_queue.front().is_some_and(|&f| f <= ready) {
+            acc.in_queue.pop_front();
+        }
+        if acc.in_queue.len() >= cfg.queue_capacity {
+            acc.shed += 1;
+            continue;
+        }
+        let start = server_free.max(ready);
+        let finish = start + w.service_ns;
+        server_free = finish;
+        let reaction = finish - ready;
+        if reaction > cfg.deadline_ns {
+            acc.misses += 1;
+        }
+        acc.reactions.push(reaction);
+        acc.in_queue.push_back(finish);
+    }
+    let mut reports: Vec<TenantReport> = tenants
+        .into_iter()
+        .map(|(qubit, mut acc)| TenantReport {
+            qubit,
+            windows: acc.windows,
+            served: acc.reactions.len() as u64,
+            shed: acc.shed,
+            deadline_misses: acc.misses,
+            reaction: LatencyStats::from_samples(&mut acc.reactions),
+        })
+        .collect();
+    reports.sort_by_key(|r| r.qubit);
+    reports
+}
+
+/// Lock-free live admission gate: bounds one tenant's in-flight shots.
+#[derive(Debug)]
+pub struct TenantGate {
+    capacity: usize,
+    in_flight: AtomicUsize,
+    shed: AtomicU64,
+}
+
+impl TenantGate {
+    /// A gate admitting at most `capacity` concurrent in-flight shots.
+    pub fn new(capacity: usize) -> Self {
+        TenantGate {
+            capacity,
+            in_flight: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Tries to admit one shot; on rejection the shed counter advances.
+    pub fn try_admit(&self) -> bool {
+        let admitted = self
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.capacity).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        admitted
+    }
+
+    /// Marks one admitted shot as finished.
+    pub fn complete(&self) {
+        let prev = self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "complete() without a matching try_admit()");
+    }
+
+    /// Shots currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Shots shed so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realtime::{simulate_backlog, BacklogConfig, WindowTiming};
+
+    fn uniform(qubit: u32, n: u64, every: u64, service: f64) -> Vec<WindowArrival> {
+        (0..n)
+            .map(|i| WindowArrival {
+                qubit,
+                ready_round: (i + 1) * every,
+                service_ns: service,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_tenant_unbounded_matches_the_backlog_simulator() {
+        // With one tenant and an effectively unbounded queue, the
+        // multi-tenant simulation degenerates to realtime's single-server
+        // FIFO — hold it to that, number for number.
+        let mut arrivals = uniform(5, 80, 2, 3000.0);
+        let cfg = AdmissionConfig {
+            round_ns: 1000.0,
+            deadline_ns: 2000.0,
+            queue_capacity: usize::MAX,
+        };
+        let reports = simulate_shard(&mut arrivals, &cfg);
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        let timings: Vec<WindowTiming> = arrivals
+            .iter()
+            .map(|w| WindowTiming {
+                ready_round: w.ready_round,
+                service_ns: w.service_ns,
+            })
+            .collect();
+        let backlog = simulate_backlog(
+            &timings,
+            &BacklogConfig {
+                round_ns: 1000.0,
+                deadline_ns: 2000.0,
+            },
+        );
+        assert_eq!(r.qubit, 5);
+        assert_eq!(r.windows, 80);
+        assert_eq!(r.served, 80);
+        assert_eq!(r.shed, 0);
+        assert_eq!(r.reaction, backlog.reaction);
+        assert_eq!(
+            r.deadline_misses as f64 / r.windows as f64,
+            backlog.miss_fraction
+        );
+    }
+
+    #[test]
+    fn fair_interleaving_of_two_identical_tenants() {
+        // Two tenants on the same cadence, capacity ample, light load:
+        // identical per-tenant distributions.
+        let mut arrivals = uniform(0, 50, 4, 500.0);
+        arrivals.extend(uniform(1, 50, 4, 500.0));
+        let cfg = AdmissionConfig {
+            round_ns: 1000.0,
+            deadline_ns: 4000.0,
+            queue_capacity: 8,
+        };
+        let reports = simulate_shard(&mut arrivals, &cfg);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].qubit, 0);
+        assert_eq!(reports[1].qubit, 1);
+        assert_eq!(reports[0].shed + reports[1].shed, 0);
+        assert_eq!(reports[0].deadline_misses, 0);
+        // Tenant 0 is served first at each tie, tenant 1 queues behind it.
+        assert_eq!(reports[0].reaction.p50_ns, 500.0);
+        assert_eq!(reports[1].reaction.p50_ns, 1000.0);
+    }
+
+    #[test]
+    fn collection_order_does_not_change_the_reports() {
+        let mut a = uniform(0, 30, 3, 800.0);
+        a.extend(uniform(1, 30, 5, 400.0));
+        let mut b: Vec<WindowArrival> = a.iter().rev().copied().collect();
+        let cfg = AdmissionConfig {
+            round_ns: 1000.0,
+            deadline_ns: 3000.0,
+            queue_capacity: 4,
+        };
+        assert_eq!(simulate_shard(&mut a, &cfg), simulate_shard(&mut b, &cfg));
+    }
+
+    #[test]
+    fn overloaded_tenant_sheds_beyond_its_queue_capacity() {
+        // Service 5× the arrival period: the queue saturates at the
+        // capacity and every further arrival sheds.
+        let mut arrivals = uniform(2, 60, 1, 5000.0);
+        let cfg = AdmissionConfig {
+            round_ns: 1000.0,
+            deadline_ns: 1000.0,
+            queue_capacity: 3,
+        };
+        let reports = simulate_shard(&mut arrivals, &cfg);
+        let r = &reports[0];
+        assert_eq!(r.windows, 60);
+        assert!(r.shed > 30, "saturated queue sheds most arrivals: {r:?}");
+        assert_eq!(r.served + r.shed, r.windows);
+        // Whatever is served waits behind at most `capacity` windows.
+        assert!(r.reaction.max_ns <= 3.0 * 5000.0 + 5000.0);
+        // Shedding bounds the backlog, not the lateness of served work.
+        assert!(r.deadline_misses > 0);
+    }
+
+    #[test]
+    fn shedding_protects_the_other_tenant() {
+        // Tenant 0 floods (service ≫ cadence); tenant 1 is light. With a
+        // tight queue bound, tenant 1 still meets a generous deadline.
+        let mut arrivals = uniform(0, 40, 1, 4000.0);
+        arrivals.extend(uniform(1, 10, 8, 100.0));
+        let cfg = AdmissionConfig {
+            round_ns: 1000.0,
+            deadline_ns: 10_000.0,
+            queue_capacity: 2,
+        };
+        let reports = simulate_shard(&mut arrivals, &cfg);
+        let flood = &reports[0];
+        let light = &reports[1];
+        assert!(flood.shed > 0);
+        assert_eq!(light.shed, 0);
+        assert_eq!(light.deadline_misses, 0, "{light:?}");
+    }
+
+    #[test]
+    fn gate_admits_up_to_capacity_and_counts_sheds() {
+        let gate = TenantGate::new(2);
+        assert!(gate.try_admit());
+        assert!(gate.try_admit());
+        assert!(!gate.try_admit());
+        assert_eq!(gate.in_flight(), 2);
+        assert_eq!(gate.shed_count(), 1);
+        gate.complete();
+        assert!(gate.try_admit());
+        assert_eq!(gate.shed_count(), 1);
+        gate.complete();
+        gate.complete();
+        assert_eq!(gate.in_flight(), 0);
+    }
+}

@@ -1,0 +1,624 @@
+//! The decode service's length-prefixed binary wire protocol.
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! ┌───────────────┬──────────┬──────────────┬─────────────┐
+//! │ length: u32   │ type: u8 │ version: u16 │ payload ... │
+//! └───────────────┴──────────┴──────────────┴─────────────┘
+//! ```
+//!
+//! The length prefix covers everything after itself (type byte, version,
+//! payload); all integers are little-endian; floats travel as IEEE-754
+//! bit patterns (`f64::to_bits`), so encode → decode → encode is an
+//! exact byte-level fixed point; strings are `u16` length + UTF-8 bytes.
+//! Each frame carries [`PROTOCOL_VERSION`] so that client and server can
+//! reject a mismatched peer with a clear error instead of misparsing.
+//!
+//! | code | frame | direction | purpose |
+//! |------|-------|-----------|---------|
+//! | 0 | [`Frame::RegisterQubit`] | client → server | attach a tenant to a scenario + decoder |
+//! | 1 | [`Frame::RegisterAck`]   | server → client | accept/reject, report owning shard |
+//! | 2 | [`Frame::SubmitRounds`]  | client → server | one shot's detection events, in round order |
+//! | 3 | [`Frame::CommitResult`]  | server → client | committed correction for one shot |
+//! | 4 | [`Frame::StatsRequest`]  | client → server | ask for per-tenant SLO accounting |
+//! | 5 | [`Frame::StatsReport`]   | server → client | per-tenant reaction stats, sheds, misses |
+//! | 6 | [`Frame::Shutdown`]      | client → server | end the session |
+//! | 7 | [`Frame::ShutdownAck`]   | server → client | session is done |
+//! | 8 | [`Frame::Error`]         | server → client | protocol or routing error |
+//!
+//! The same bytes flow over both transports (loopback TCP and in-process
+//! channels; see [`crate::transport`]), so protocol coverage is
+//! identical regardless of how the service is deployed.
+
+use std::io::{Read, Write};
+
+/// Version stamped into (and checked on) every frame.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on one frame's encoded size (sanity check against
+/// corrupted length prefixes; generous for any realistic syndrome).
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// Errors arising while encoding, decoding, or transporting frames.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Underlying transport I/O failed.
+    Io(std::io::Error),
+    /// The bytes were readable but not a valid frame, or the peer broke
+    /// the request/response contract.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "transport i/o error: {e}"),
+            ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+/// Per-tenant SLO accounting row of a [`Frame::StatsReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantStatsWire {
+    /// Tenant (logical qubit) id.
+    pub qubit: u32,
+    /// Shard that owns the tenant's decode state.
+    pub shard: u32,
+    /// Shots committed for this tenant.
+    pub shots: u64,
+    /// Windows decoded (committed shots × windows per shot).
+    pub windows: u64,
+    /// Windows shed by admission control, uniformly in window units:
+    /// live gate rejections (counted in shots, scaled by the tenant's
+    /// windows per shot) plus modeled bounded-queue sheds.
+    pub shed: u64,
+    /// Windows whose modeled reaction time exceeded the deadline.
+    pub deadline_misses: u64,
+    /// Mean modeled reaction time, ns.
+    pub mean_ns: f64,
+    /// Median modeled reaction time, ns.
+    pub p50_ns: f64,
+    /// 99th-percentile modeled reaction time, ns.
+    pub p99_ns: f64,
+    /// Worst modeled reaction time, ns.
+    pub max_ns: f64,
+}
+
+/// One protocol message. See the module docs for the frame table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Attach logical qubit `qubit` to `scenario`, decoded by the
+    /// decoder with wire code `decoder` ([`ler::DecoderKind::code`])
+    /// through a `(window, commit)` sliding-window split.
+    RegisterQubit {
+        /// Tenant id (unique per server).
+        qubit: u32,
+        /// Decoder wire code.
+        decoder: u8,
+        /// Sliding-window size in round layers.
+        window: u32,
+        /// Committed layers per window step.
+        commit: u32,
+        /// Scenario name the server must have preloaded.
+        scenario: String,
+    },
+    /// Registration outcome.
+    RegisterAck {
+        /// Tenant id echoed back.
+        qubit: u32,
+        /// Whether the tenant was attached.
+        ok: bool,
+        /// Owning shard (meaningful when `ok`).
+        shard: u32,
+        /// Rejection reason (empty when `ok`).
+        message: String,
+    },
+    /// One shot's sorted detection events for tenant `qubit`. `shot`
+    /// must increase by one per tenant, starting at 0.
+    SubmitRounds {
+        /// Tenant id.
+        qubit: u32,
+        /// Per-tenant shot sequence number.
+        shot: u64,
+        /// Sorted flipped detectors of the whole shot.
+        dets: Vec<u32>,
+    },
+    /// The committed correction for one submitted shot.
+    CommitResult {
+        /// Tenant id.
+        qubit: u32,
+        /// Shot sequence number echoed back.
+        shot: u64,
+        /// XOR of the committed corrections' observable flips.
+        obs_flip: u64,
+        /// Some window decode failed; the shot counts as a logical error.
+        failed: bool,
+        /// The shot was shed by live admission control and never decoded.
+        shed: bool,
+        /// Windows decoded for this shot.
+        windows: u32,
+        /// Sum of the modeled per-window service times, ns.
+        service_ns_total: f64,
+    },
+    /// Ask the server for per-tenant SLO accounting.
+    StatsRequest,
+    /// Per-tenant SLO accounting over everything decoded so far.
+    StatsReport {
+        /// One row per registered tenant, sorted by qubit id.
+        tenants: Vec<TenantStatsWire>,
+    },
+    /// End the session.
+    Shutdown,
+    /// The session is done; no further frames follow.
+    ShutdownAck,
+    /// The server could not process a frame.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// The frame's type code (first byte after the length prefix).
+    pub fn type_code(&self) -> u8 {
+        match self {
+            Frame::RegisterQubit { .. } => 0,
+            Frame::RegisterAck { .. } => 1,
+            Frame::SubmitRounds { .. } => 2,
+            Frame::CommitResult { .. } => 3,
+            Frame::StatsRequest => 4,
+            Frame::StatsReport { .. } => 5,
+            Frame::Shutdown => 6,
+            Frame::ShutdownAck => 7,
+            Frame::Error { .. } => 8,
+        }
+    }
+
+    /// Encodes the frame body (everything the length prefix covers).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(self.type_code());
+        put_u16(&mut out, PROTOCOL_VERSION);
+        match self {
+            Frame::RegisterQubit {
+                qubit,
+                decoder,
+                window,
+                commit,
+                scenario,
+            } => {
+                put_u32(&mut out, *qubit);
+                out.push(*decoder);
+                put_u32(&mut out, *window);
+                put_u32(&mut out, *commit);
+                put_str(&mut out, scenario);
+            }
+            Frame::RegisterAck {
+                qubit,
+                ok,
+                shard,
+                message,
+            } => {
+                put_u32(&mut out, *qubit);
+                out.push(u8::from(*ok));
+                put_u32(&mut out, *shard);
+                put_str(&mut out, message);
+            }
+            Frame::SubmitRounds { qubit, shot, dets } => {
+                put_u32(&mut out, *qubit);
+                put_u64(&mut out, *shot);
+                put_u32(&mut out, dets.len() as u32);
+                for &d in dets {
+                    put_u32(&mut out, d);
+                }
+            }
+            Frame::CommitResult {
+                qubit,
+                shot,
+                obs_flip,
+                failed,
+                shed,
+                windows,
+                service_ns_total,
+            } => {
+                put_u32(&mut out, *qubit);
+                put_u64(&mut out, *shot);
+                put_u64(&mut out, *obs_flip);
+                out.push(u8::from(*failed) | (u8::from(*shed) << 1));
+                put_u32(&mut out, *windows);
+                put_f64(&mut out, *service_ns_total);
+            }
+            Frame::StatsRequest | Frame::Shutdown | Frame::ShutdownAck => {}
+            Frame::StatsReport { tenants } => {
+                put_u32(&mut out, tenants.len() as u32);
+                for t in tenants {
+                    put_u32(&mut out, t.qubit);
+                    put_u32(&mut out, t.shard);
+                    put_u64(&mut out, t.shots);
+                    put_u64(&mut out, t.windows);
+                    put_u64(&mut out, t.shed);
+                    put_u64(&mut out, t.deadline_misses);
+                    put_f64(&mut out, t.mean_ns);
+                    put_f64(&mut out, t.p50_ns);
+                    put_f64(&mut out, t.p99_ns);
+                    put_f64(&mut out, t.max_ns);
+                }
+            }
+            Frame::Error { message } => put_str(&mut out, message),
+        }
+        out
+    }
+
+    /// Decodes a frame body produced by [`Frame::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Protocol`] for truncated bodies, unknown
+    /// type codes, version mismatches, or trailing garbage.
+    pub fn decode(body: &[u8]) -> Result<Frame, ServiceError> {
+        let mut r = Reader { buf: body, pos: 0 };
+        let ty = r.u8()?;
+        let version = r.u16()?;
+        if version != PROTOCOL_VERSION {
+            return Err(ServiceError::Protocol(format!(
+                "protocol version {version} (this build speaks {PROTOCOL_VERSION})"
+            )));
+        }
+        let frame = match ty {
+            0 => Frame::RegisterQubit {
+                qubit: r.u32()?,
+                decoder: r.u8()?,
+                window: r.u32()?,
+                commit: r.u32()?,
+                scenario: r.str16()?,
+            },
+            1 => Frame::RegisterAck {
+                qubit: r.u32()?,
+                ok: r.u8()? != 0,
+                shard: r.u32()?,
+                message: r.str16()?,
+            },
+            2 => {
+                let qubit = r.u32()?;
+                let shot = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut dets = Vec::with_capacity(n.min(MAX_FRAME_LEN / 4));
+                for _ in 0..n {
+                    dets.push(r.u32()?);
+                }
+                Frame::SubmitRounds { qubit, shot, dets }
+            }
+            3 => {
+                let qubit = r.u32()?;
+                let shot = r.u64()?;
+                let obs_flip = r.u64()?;
+                let flags = r.u8()?;
+                Frame::CommitResult {
+                    qubit,
+                    shot,
+                    obs_flip,
+                    failed: flags & 1 != 0,
+                    shed: flags & 2 != 0,
+                    windows: r.u32()?,
+                    service_ns_total: r.f64()?,
+                }
+            }
+            4 => Frame::StatsRequest,
+            5 => {
+                let n = r.u32()? as usize;
+                let mut tenants = Vec::with_capacity(n.min(MAX_FRAME_LEN / 64));
+                for _ in 0..n {
+                    tenants.push(TenantStatsWire {
+                        qubit: r.u32()?,
+                        shard: r.u32()?,
+                        shots: r.u64()?,
+                        windows: r.u64()?,
+                        shed: r.u64()?,
+                        deadline_misses: r.u64()?,
+                        mean_ns: r.f64()?,
+                        p50_ns: r.f64()?,
+                        p99_ns: r.f64()?,
+                        max_ns: r.f64()?,
+                    });
+                }
+                Frame::StatsReport { tenants }
+            }
+            6 => Frame::Shutdown,
+            7 => Frame::ShutdownAck,
+            8 => Frame::Error {
+                message: r.str16()?,
+            },
+            other => {
+                return Err(ServiceError::Protocol(format!(
+                    "unknown frame type {other}"
+                )));
+            }
+        };
+        if r.pos != body.len() {
+            return Err(ServiceError::Protocol(format!(
+                "{} trailing bytes after a type-{ty} frame",
+                body.len() - r.pos
+            )));
+        }
+        Ok(frame)
+    }
+
+    /// Encodes the frame with its length prefix — the exact bytes both
+    /// transports put on the wire.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let body = self.encode();
+        let mut wire = Vec::with_capacity(4 + body.len());
+        put_u32(&mut wire, body.len() as u32);
+        wire.extend_from_slice(&body);
+        wire
+    }
+
+    /// Writes the length-prefixed frame to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_to(&self, w: &mut dyn Write) -> Result<(), ServiceError> {
+        w.write_all(&self.to_wire())?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads one length-prefixed frame from `r`. Returns `None` on a
+    /// clean EOF at a frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Io`] for mid-frame EOF or transport
+    /// failures, [`ServiceError::Protocol`] for oversized or malformed
+    /// frames.
+    pub fn read_from(r: &mut dyn Read) -> Result<Option<Frame>, ServiceError> {
+        let mut len_buf = [0u8; 4];
+        match r.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(ServiceError::Protocol(format!(
+                "frame length {len} exceeds the {MAX_FRAME_LEN}-byte limit"
+            )));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        Frame::decode(&body).map(Some)
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "string field too long");
+    put_u16(out, bytes.len() as u16);
+    out.extend_from_slice(bytes);
+}
+
+/// Cursor over a frame body with truncation-checked reads.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], ServiceError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ServiceError::Protocol(format!(
+                "truncated frame: wanted {n} bytes at offset {}, body is {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ServiceError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ServiceError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, ServiceError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServiceError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, ServiceError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str16(&mut self) -> Result<String, ServiceError> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| ServiceError::Protocol(format!("invalid UTF-8 in string field: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::RegisterQubit {
+                qubit: 7,
+                decoder: 5,
+                window: 4,
+                commit: 2,
+                scenario: "sd6-d5".into(),
+            },
+            Frame::RegisterAck {
+                qubit: 7,
+                ok: true,
+                shard: 3,
+                message: String::new(),
+            },
+            Frame::RegisterAck {
+                qubit: 9,
+                ok: false,
+                shard: 0,
+                message: "unknown scenario 'x'".into(),
+            },
+            Frame::SubmitRounds {
+                qubit: 7,
+                shot: 41,
+                dets: vec![1, 5, 9, 1000],
+            },
+            Frame::SubmitRounds {
+                qubit: 0,
+                shot: 0,
+                dets: Vec::new(),
+            },
+            Frame::CommitResult {
+                qubit: 7,
+                shot: 41,
+                obs_flip: 1,
+                failed: false,
+                shed: true,
+                windows: 3,
+                service_ns_total: 812.5,
+            },
+            Frame::StatsRequest,
+            Frame::StatsReport {
+                tenants: vec![TenantStatsWire {
+                    qubit: 7,
+                    shard: 3,
+                    shots: 100,
+                    windows: 300,
+                    shed: 2,
+                    deadline_misses: 1,
+                    mean_ns: 420.25,
+                    p50_ns: 400.0,
+                    p99_ns: 900.0,
+                    max_ns: 1400.0,
+                }],
+            },
+            Frame::Shutdown,
+            Frame::ShutdownAck,
+            Frame::Error {
+                message: "qubit 12 is not registered".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for f in sample_frames() {
+            let body = f.encode();
+            let back = Frame::decode(&body).unwrap();
+            assert_eq!(back, f);
+            // Byte-level fixed point.
+            assert_eq!(back.encode(), body);
+        }
+    }
+
+    #[test]
+    fn framed_io_round_trips_over_a_byte_pipe() {
+        let mut wire = Vec::new();
+        for f in sample_frames() {
+            f.write_to(&mut wire).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        for f in sample_frames() {
+            let got = Frame::read_from(&mut cursor).unwrap().unwrap();
+            assert_eq!(got, f);
+        }
+        // Clean EOF at a frame boundary is end-of-stream, not an error.
+        assert!(Frame::read_from(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut body = Frame::Shutdown.encode();
+        body[1] = 99; // clobber the version field
+        let err = Frame::decode(&body).unwrap_err();
+        assert!(matches!(err, ServiceError::Protocol(_)), "{err}");
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected() {
+        // Unknown type.
+        let mut body = Frame::Shutdown.encode();
+        body[0] = 42;
+        assert!(Frame::decode(&body).is_err());
+        // Truncated payload.
+        let body = Frame::SubmitRounds {
+            qubit: 1,
+            shot: 2,
+            dets: vec![3, 4],
+        }
+        .encode();
+        assert!(Frame::decode(&body[..body.len() - 2]).is_err());
+        // Trailing garbage.
+        let mut body = Frame::StatsRequest.encode();
+        body.push(0);
+        assert!(Frame::decode(&body).is_err());
+        // Empty body.
+        assert!(Frame::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut cursor = std::io::Cursor::new(wire);
+        let err = Frame::read_from(&mut cursor).unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_io_error_not_end_of_stream() {
+        let wire = Frame::Shutdown.to_wire();
+        let mut cursor = std::io::Cursor::new(&wire[..wire.len() - 1]);
+        assert!(matches!(
+            Frame::read_from(&mut cursor),
+            Err(ServiceError::Io(_))
+        ));
+    }
+}

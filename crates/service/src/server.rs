@@ -1,0 +1,612 @@
+//! The multi-tenant decode server.
+//!
+//! A [`DecodeServer`] is configured with a [`ServiceConfig`] and a set
+//! of preloaded [`ScenarioContext`]s (one per scenario it will accept
+//! registrations for — graph, path table, layer map, and shared window
+//! cache, all behind `Arc` so Q tenants share one copy of the immutable
+//! state). [`DecodeServer::serve`] runs the worker pool over any
+//! number of transport sessions:
+//!
+//! ```text
+//!  client ──frames──▶ router (1/session) ──channel──▶ shard 0..S-1
+//!                        │   qubit→shard: stable hash,    │ owns per-qubit
+//!                        │   least-loaded steal at        │ SlidingWindowDecoder
+//!                        │   registration only            │ + timeline
+//!  client ◀─frames── writer (1/session) ◀──channel───────┘
+//! ```
+//!
+//! Tenants are pinned: a qubit's decode state lives on exactly one shard
+//! (assigned at registration by stable hash, with a deterministic
+//! least-loaded fallback — "work stealing at enqueue" — when the hash
+//! shard is already busier than the lightest one). The submit hot path
+//! touches only the tenant's own [`crate::admission::TenantGate`]
+//! atomics and the owning shard's channel; no cross-shard locks.
+
+use crate::admission::TenantGate;
+use crate::protocol::{Frame, ServiceError, TenantStatsWire};
+use crate::shard::{run_shard, ShardRequest};
+use crate::transport::{tcp_endpoint, Endpoint, FrameSource};
+use decoding_graph::{LayerMap, SeamPolicy, WindowCache};
+use ler::{DecoderKind, ExperimentContext};
+use realtime::WindowConfig;
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, RwLock};
+
+use crate::admission::AdmissionConfig;
+
+/// Sizing and SLO parameters of one server.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceConfig {
+    /// Decode shards (worker threads).
+    pub shards: usize,
+    /// Syndrome measurement round period, ns (the modeled cadence every
+    /// tenant produces rounds at).
+    pub round_ns: f64,
+    /// Reaction deadline per window, ns.
+    pub deadline_ns: f64,
+    /// Modeled bound on one tenant's waiting windows (see
+    /// [`crate::admission::simulate_shard`]).
+    pub queue_capacity: usize,
+    /// Live bound on one tenant's in-flight shots; submissions beyond it
+    /// are shed at the session router without decoding.
+    pub max_inflight_shots: usize,
+    /// Most requests a shard drains per wakeup (bounds the per-tenant
+    /// decode batch).
+    pub batch_max: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 1,
+            round_ns: 1000.0,
+            deadline_ns: 2000.0,
+            queue_capacity: 4,
+            max_inflight_shots: 4,
+            batch_max: 16,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Validates the sizing parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("shards must be at least 1".into());
+        }
+        if !self.round_ns.is_finite() || self.round_ns <= 0.0 {
+            return Err(format!("round_ns must be positive, got {}", self.round_ns));
+        }
+        if !self.deadline_ns.is_finite() || self.deadline_ns <= 0.0 {
+            return Err(format!(
+                "deadline_ns must be positive, got {}",
+                self.deadline_ns
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be at least 1".into());
+        }
+        if self.max_inflight_shots == 0 {
+            return Err("max_inflight_shots must be at least 1".into());
+        }
+        if self.batch_max == 0 {
+            return Err("batch_max must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// The modeled admission parameters shards simulate under.
+    pub fn admission(&self) -> AdmissionConfig {
+        AdmissionConfig {
+            round_ns: self.round_ns,
+            deadline_ns: self.deadline_ns,
+            queue_capacity: self.queue_capacity,
+        }
+    }
+}
+
+/// One scenario's shared read-only decode state: experiment context
+/// (circuit, DEM, graph, path table), layer map, and window cache, all
+/// behind `Arc` so every tenant of the scenario shares a single copy.
+#[derive(Clone, Debug)]
+pub struct ScenarioContext {
+    name: String,
+    ctx: Arc<ExperimentContext>,
+    layers: Arc<LayerMap>,
+    cache: Arc<WindowCache>,
+}
+
+impl ScenarioContext {
+    /// Wraps a (typically registry-cached) experiment context for
+    /// serving under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the context's graph has no layer structure.
+    pub fn new(name: impl Into<String>, ctx: Arc<ExperimentContext>) -> Result<Self, String> {
+        let layers = Arc::new(LayerMap::from_graph(&ctx.graph)?);
+        let cache = Arc::new(WindowCache::new(&ctx.graph, SeamPolicy::Cut));
+        Ok(ScenarioContext {
+            name: name.into(),
+            ctx,
+            layers,
+            cache,
+        })
+    }
+
+    /// The scenario name clients register against.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared experiment context.
+    pub fn context(&self) -> &Arc<ExperimentContext> {
+        &self.ctx
+    }
+
+    /// The shared detector ⇄ layer map.
+    pub fn layers(&self) -> &Arc<LayerMap> {
+        &self.layers
+    }
+
+    /// The shared window-subgraph cache.
+    pub fn window_cache(&self) -> &Arc<WindowCache> {
+        &self.cache
+    }
+}
+
+/// SplitMix64 — the stable qubit→shard hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The stable home shard of a qubit (before load balancing).
+pub fn preferred_shard(qubit: u32, shards: usize) -> usize {
+    (splitmix64(qubit as u64) % shards as u64) as usize
+}
+
+/// A registered tenant's routing entry, shared across sessions.
+#[derive(Clone, Debug)]
+struct TenantRoute {
+    shard: usize,
+    gate: Arc<TenantGate>,
+}
+
+/// qubit → shard routing, written at registration, read on submit (and
+/// memoized per session, so steady-state submits skip even the read
+/// lock).
+struct Registry {
+    inner: RwLock<RegistryInner>,
+}
+
+struct RegistryInner {
+    routes: HashMap<u32, TenantRoute>,
+    loads: Vec<usize>,
+}
+
+impl Registry {
+    fn new(shards: usize) -> Self {
+        Registry {
+            inner: RwLock::new(RegistryInner {
+                routes: HashMap::new(),
+                loads: vec![0; shards],
+            }),
+        }
+    }
+
+    /// Assigns `qubit` a shard: its stable hash home, unless that shard
+    /// is already busier than the least-loaded one (then the tenant is
+    /// "stolen" to the least-loaded shard, lowest id on ties —
+    /// deterministic for a fixed registration order).
+    fn assign(&self, qubit: u32, gate: Arc<TenantGate>) -> Result<TenantRoute, String> {
+        let mut g = self.inner.write().expect("registry poisoned");
+        if g.routes.contains_key(&qubit) {
+            return Err(format!("qubit {qubit} is already registered"));
+        }
+        let pref = preferred_shard(qubit, g.loads.len());
+        let (min_shard, &min_load) = g
+            .loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &l)| (l, i))
+            .expect("at least one shard");
+        let shard = if g.loads[pref] > min_load {
+            min_shard
+        } else {
+            pref
+        };
+        g.loads[shard] += 1;
+        let route = TenantRoute { shard, gate };
+        g.routes.insert(qubit, route.clone());
+        Ok(route)
+    }
+
+    fn lookup(&self, qubit: u32) -> Option<TenantRoute> {
+        self.inner
+            .read()
+            .expect("registry poisoned")
+            .routes
+            .get(&qubit)
+            .cloned()
+    }
+}
+
+/// A configured, scenario-loaded decode server.
+#[derive(Debug)]
+pub struct DecodeServer {
+    cfg: ServiceConfig,
+    scenarios: Vec<ScenarioContext>,
+}
+
+impl DecodeServer {
+    /// Builds a server for `scenarios` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an invalid config, no scenarios, or
+    /// duplicate scenario names.
+    pub fn new(cfg: ServiceConfig, scenarios: Vec<ScenarioContext>) -> Result<Self, String> {
+        cfg.validate()?;
+        if scenarios.is_empty() {
+            return Err("a decode server needs at least one scenario".into());
+        }
+        for (i, a) in scenarios.iter().enumerate() {
+            if scenarios[..i].iter().any(|b| b.name == a.name) {
+                return Err(format!("duplicate scenario name '{}'", a.name));
+            }
+        }
+        Ok(DecodeServer { cfg, scenarios })
+    }
+
+    /// The server's sizing and SLO parameters.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Serves the given transport sessions to completion (each ends on
+    /// `Shutdown` or peer close), then tears the worker pool down.
+    pub fn serve(&self, endpoints: Vec<Endpoint>) {
+        let (tx, rx) = channel();
+        for ep in endpoints {
+            tx.send(ep).expect("receiver alive");
+        }
+        drop(tx);
+        self.serve_stream(rx);
+    }
+
+    /// Accepts `sessions` TCP connections on `listener` (bind it to port
+    /// 0 for an ephemeral port) and serves them concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept/clone failures; sessions already started keep
+    /// running to completion first.
+    pub fn serve_tcp(&self, listener: &TcpListener, sessions: usize) -> Result<(), ServiceError> {
+        let (tx, rx) = channel();
+        std::thread::scope(|scope| {
+            let acceptor = scope.spawn(move || -> Result<(), ServiceError> {
+                for _ in 0..sessions {
+                    let (stream, _) = listener.accept()?;
+                    let ep = tcp_endpoint(stream)?;
+                    if tx.send(ep).is_err() {
+                        break;
+                    }
+                }
+                Ok(())
+            });
+            self.serve_stream(rx);
+            acceptor.join().expect("acceptor panicked")
+        })
+    }
+
+    /// Core loop: spawn shards, then one router + one writer thread per
+    /// arriving endpoint; return once every session and shard is done.
+    fn serve_stream(&self, endpoints: Receiver<Endpoint>) {
+        let registry = Registry::new(self.cfg.shards);
+        std::thread::scope(|scope| {
+            let mut shard_txs: Vec<Sender<ShardRequest>> = Vec::with_capacity(self.cfg.shards);
+            for sid in 0..self.cfg.shards {
+                let (tx, rx) = channel();
+                shard_txs.push(tx);
+                let cfg = &self.cfg;
+                let scenarios = &self.scenarios;
+                scope.spawn(move || run_shard(sid, cfg, scenarios, rx));
+            }
+            let registry = &registry;
+            for ep in endpoints {
+                let Endpoint { mut sink, source } = ep;
+                let (reply_tx, reply_rx) = channel::<Frame>();
+                scope.spawn(move || {
+                    while let Ok(frame) = reply_rx.recv() {
+                        if sink.send(&frame).is_err() {
+                            break;
+                        }
+                    }
+                });
+                let shard_txs = shard_txs.clone();
+                let cfg = &self.cfg;
+                let scenarios = &self.scenarios;
+                scope.spawn(move || {
+                    route_session(source, reply_tx, shard_txs, registry, cfg, scenarios);
+                });
+            }
+            drop(shard_txs);
+        });
+    }
+}
+
+/// Validates a registration frame against the server's scenarios.
+fn validate_register(
+    scenarios: &[ScenarioContext],
+    decoder: u8,
+    window: u32,
+    commit: u32,
+    scenario: &str,
+) -> Result<(usize, DecoderKind, WindowConfig), String> {
+    let idx = scenarios
+        .iter()
+        .position(|s| s.name == scenario)
+        .ok_or_else(|| {
+            let known: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+            format!(
+                "unknown scenario '{scenario}' (this server loaded: {})",
+                known.join(", ")
+            )
+        })?;
+    let kind =
+        DecoderKind::from_code(decoder).ok_or_else(|| format!("unknown decoder code {decoder}"))?;
+    let wc = WindowConfig::new(window, commit)?;
+    let layers = scenarios[idx].layers().num_layers();
+    if wc.window > layers {
+        return Err(format!(
+            "window {window} exceeds the {layers} round layers of scenario {scenario}"
+        ));
+    }
+    Ok((idx, kind, wc))
+}
+
+/// One session's request router: reads frames until shutdown/EOF and
+/// forwards them to the owning shards.
+fn route_session(
+    mut source: Box<dyn FrameSource>,
+    reply_tx: Sender<Frame>,
+    shard_txs: Vec<Sender<ShardRequest>>,
+    registry: &Registry,
+    cfg: &ServiceConfig,
+    scenarios: &[ScenarioContext],
+) {
+    // Session-local route memo: steady-state submits touch no lock.
+    let mut routes: HashMap<u32, TenantRoute> = HashMap::new();
+    loop {
+        let frame = match source.recv() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(e) => {
+                let _ = reply_tx.send(Frame::Error {
+                    message: e.to_string(),
+                });
+                break;
+            }
+        };
+        match frame {
+            Frame::RegisterQubit {
+                qubit,
+                decoder,
+                window,
+                commit,
+                scenario,
+            } => {
+                let outcome = validate_register(scenarios, decoder, window, commit, &scenario)
+                    .and_then(|(idx, kind, wc)| {
+                        let gate = Arc::new(TenantGate::new(cfg.max_inflight_shots));
+                        let route = registry.assign(qubit, Arc::clone(&gate))?;
+                        Ok((idx, kind, wc, gate, route))
+                    });
+                match outcome {
+                    Err(message) => {
+                        let _ = reply_tx.send(Frame::RegisterAck {
+                            qubit,
+                            ok: false,
+                            shard: 0,
+                            message,
+                        });
+                    }
+                    Ok((idx, kind, wc, gate, route)) => {
+                        routes.insert(qubit, route.clone());
+                        // The shard sends the ack so that it is ordered
+                        // after the tenant state actually exists.
+                        let _ = shard_txs[route.shard].send(ShardRequest::Register {
+                            qubit,
+                            scenario: idx,
+                            kind,
+                            window: wc,
+                            gate,
+                            reply: reply_tx.clone(),
+                        });
+                    }
+                }
+            }
+            Frame::SubmitRounds { qubit, shot, dets } => {
+                let route = match routes.get(&qubit) {
+                    Some(r) => r.clone(),
+                    None => match registry.lookup(qubit) {
+                        Some(r) => {
+                            routes.insert(qubit, r.clone());
+                            r
+                        }
+                        None => {
+                            let _ = reply_tx.send(Frame::Error {
+                                message: format!("qubit {qubit} is not registered"),
+                            });
+                            continue;
+                        }
+                    },
+                };
+                if route.gate.try_admit() {
+                    let _ = shard_txs[route.shard].send(ShardRequest::Submit {
+                        qubit,
+                        shot,
+                        dets,
+                        reply: reply_tx.clone(),
+                    });
+                } else {
+                    // Live admission: queue full, shed without decoding.
+                    let _ = reply_tx.send(Frame::CommitResult {
+                        qubit,
+                        shot,
+                        obs_flip: 0,
+                        failed: true,
+                        shed: true,
+                        windows: 0,
+                        service_ns_total: 0.0,
+                    });
+                }
+            }
+            Frame::StatsRequest => {
+                let (stx, srx) = channel();
+                for tx in &shard_txs {
+                    let _ = tx.send(ShardRequest::Stats { reply: stx.clone() });
+                }
+                drop(stx);
+                let mut tenants: Vec<TenantStatsWire> = srx.iter().flatten().collect();
+                tenants.sort_by_key(|t| t.qubit);
+                let _ = reply_tx.send(Frame::StatsReport { tenants });
+            }
+            Frame::Shutdown => {
+                let _ = reply_tx.send(Frame::ShutdownAck);
+                break;
+            }
+            other => {
+                let _ = reply_tx.send(Frame::Error {
+                    message: format!("unexpected frame type {} from a client", other.type_code()),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_names_the_offending_field() {
+        assert!(ServiceConfig::default().validate().is_ok());
+        let cases: [(ServiceConfig, &str); 5] = [
+            (
+                ServiceConfig {
+                    shards: 0,
+                    ..Default::default()
+                },
+                "shards",
+            ),
+            (
+                ServiceConfig {
+                    round_ns: 0.0,
+                    ..Default::default()
+                },
+                "round_ns",
+            ),
+            (
+                ServiceConfig {
+                    deadline_ns: -5.0,
+                    ..Default::default()
+                },
+                "deadline_ns",
+            ),
+            (
+                ServiceConfig {
+                    queue_capacity: 0,
+                    ..Default::default()
+                },
+                "queue_capacity",
+            ),
+            (
+                ServiceConfig {
+                    max_inflight_shots: 0,
+                    ..Default::default()
+                },
+                "max_inflight",
+            ),
+        ];
+        for (cfg, field) in cases {
+            let err = cfg.validate().unwrap_err();
+            assert!(err.contains(field), "{err} should mention {field}");
+        }
+    }
+
+    #[test]
+    fn preferred_shard_is_stable_and_in_range() {
+        for shards in 1..6 {
+            for q in 0..64 {
+                let s = preferred_shard(q, shards);
+                assert!(s < shards);
+                assert_eq!(s, preferred_shard(q, shards), "stable");
+            }
+        }
+        // The hash actually spreads qubits (not all on shard 0).
+        let spread: std::collections::HashSet<usize> =
+            (0..16).map(|q| preferred_shard(q, 4)).collect();
+        assert!(spread.len() > 1);
+    }
+
+    #[test]
+    fn registration_steals_to_the_least_loaded_shard() {
+        let registry = Registry::new(2);
+        let mut loads = [0usize; 2];
+        for q in 0..10 {
+            let route = registry.assign(q, Arc::new(TenantGate::new(1))).unwrap();
+            loads[route.shard] += 1;
+            // Work stealing at enqueue keeps the imbalance within 1.
+            assert!(
+                loads[0].abs_diff(loads[1]) <= 1,
+                "after qubit {q}: {loads:?}"
+            );
+        }
+        // Double registration is rejected.
+        let err = registry
+            .assign(3, Arc::new(TenantGate::new(1)))
+            .unwrap_err();
+        assert!(err.contains("already registered"));
+        assert!(registry.lookup(3).is_some());
+        assert!(registry.lookup(99).is_none());
+    }
+
+    #[test]
+    fn register_validation_rejects_bad_frames() {
+        let ctx = Arc::new(ExperimentContext::with_rounds(3, 3, 1e-3));
+        let scenarios = vec![ScenarioContext::new("test", ctx).unwrap()];
+        // 4 layers: window 4 ok, window 5 too big.
+        assert!(validate_register(&scenarios, 0, 4, 2, "test").is_ok());
+        assert!(validate_register(&scenarios, 0, 5, 2, "test")
+            .unwrap_err()
+            .contains("exceeds"));
+        assert!(validate_register(&scenarios, 0, 4, 0, "test").is_err());
+        assert!(validate_register(&scenarios, 0, 2, 3, "test").is_err());
+        assert!(validate_register(&scenarios, 250, 4, 2, "test")
+            .unwrap_err()
+            .contains("decoder code"));
+        assert!(validate_register(&scenarios, 0, 4, 2, "nope")
+            .unwrap_err()
+            .contains("unknown scenario"));
+    }
+
+    #[test]
+    fn server_rejects_empty_or_duplicate_scenarios() {
+        assert!(DecodeServer::new(ServiceConfig::default(), Vec::new()).is_err());
+        let ctx = Arc::new(ExperimentContext::with_rounds(3, 2, 1e-3));
+        let a = ScenarioContext::new("dup", Arc::clone(&ctx)).unwrap();
+        let b = ScenarioContext::new("dup", ctx).unwrap();
+        let err = DecodeServer::new(ServiceConfig::default(), vec![a, b]).unwrap_err();
+        assert!(err.contains("duplicate"));
+    }
+}

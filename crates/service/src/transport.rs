@@ -1,0 +1,184 @@
+//! Frame transports: loopback TCP and in-process channels behind one
+//! pair of traits.
+//!
+//! A transport endpoint is a ([`FrameSink`], [`FrameSource`]) pair —
+//! split halves, so the server can hand the sink to a writer thread
+//! while a router thread blocks on the source. Both implementations
+//! move the **same encoded bytes** (see [`crate::protocol`]): the
+//! channel transport ships `Vec<u8>` wire frames through `std::sync::
+//! mpsc`, the TCP transport writes them to a `TcpStream`. In-process
+//! tests therefore exercise the full serialization path, and switching a
+//! deployment from channels to TCP changes nothing but the endpoint
+//! constructor.
+
+use crate::protocol::{Frame, ServiceError, MAX_FRAME_LEN};
+use std::net::TcpStream;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// The sending half of a transport endpoint.
+pub trait FrameSink: Send {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the peer is gone or the transport failed.
+    fn send(&mut self, frame: &Frame) -> Result<(), ServiceError>;
+}
+
+/// The receiving half of a transport endpoint.
+pub trait FrameSource: Send {
+    /// Receives the next frame; `None` means the peer closed cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed bytes or transport failures.
+    fn recv(&mut self) -> Result<Option<Frame>, ServiceError>;
+}
+
+/// One side of a connection: a sink to the peer and a source from it.
+pub struct Endpoint {
+    /// Frames written here reach the peer's source.
+    pub sink: Box<dyn FrameSink>,
+    /// Frames from the peer's sink arrive here.
+    pub source: Box<dyn FrameSource>,
+}
+
+// ---------------------------------------------------------------------
+// In-process channel transport.
+
+struct ChannelSink {
+    tx: Sender<Vec<u8>>,
+}
+
+impl FrameSink for ChannelSink {
+    fn send(&mut self, frame: &Frame) -> Result<(), ServiceError> {
+        self.tx
+            .send(frame.to_wire())
+            .map_err(|_| ServiceError::Protocol("channel peer hung up".into()))
+    }
+}
+
+struct ChannelSource {
+    rx: Receiver<Vec<u8>>,
+}
+
+impl FrameSource for ChannelSource {
+    fn recv(&mut self) -> Result<Option<Frame>, ServiceError> {
+        match self.rx.recv() {
+            Ok(wire) => {
+                if wire.len() < 4 {
+                    return Err(ServiceError::Protocol("short wire frame".into()));
+                }
+                let len = u32::from_le_bytes(wire[..4].try_into().expect("4 bytes")) as usize;
+                if len > MAX_FRAME_LEN || wire.len() != 4 + len {
+                    return Err(ServiceError::Protocol(format!(
+                        "wire frame length {} does not match prefix {len}",
+                        wire.len() - 4
+                    )));
+                }
+                Frame::decode(&wire[4..]).map(Some)
+            }
+            // Sender dropped: clean end-of-stream, like TCP EOF.
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+/// Creates a connected (client, server) pair of in-process endpoints.
+pub fn channel_pair() -> (Endpoint, Endpoint) {
+    let (client_tx, server_rx) = channel();
+    let (server_tx, client_rx) = channel();
+    (
+        Endpoint {
+            sink: Box::new(ChannelSink { tx: client_tx }),
+            source: Box::new(ChannelSource { rx: client_rx }),
+        },
+        Endpoint {
+            sink: Box::new(ChannelSink { tx: server_tx }),
+            source: Box::new(ChannelSource { rx: server_rx }),
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// Loopback TCP transport.
+
+struct TcpSink {
+    stream: TcpStream,
+}
+
+impl FrameSink for TcpSink {
+    fn send(&mut self, frame: &Frame) -> Result<(), ServiceError> {
+        frame.write_to(&mut self.stream)
+    }
+}
+
+struct TcpSource {
+    stream: TcpStream,
+}
+
+impl FrameSource for TcpSource {
+    fn recv(&mut self) -> Result<Option<Frame>, ServiceError> {
+        Frame::read_from(&mut self.stream)
+    }
+}
+
+/// Wraps a connected TCP stream as a transport endpoint (the writer half
+/// is a `try_clone` of the stream, so sink and source can live on
+/// different threads).
+///
+/// # Errors
+///
+/// Propagates the `try_clone` failure.
+pub fn tcp_endpoint(stream: TcpStream) -> Result<Endpoint, ServiceError> {
+    let writer = stream.try_clone()?;
+    Ok(Endpoint {
+        sink: Box::new(TcpSink { stream: writer }),
+        source: Box::new(TcpSource { stream }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn ping() -> Frame {
+        Frame::SubmitRounds {
+            qubit: 3,
+            shot: 8,
+            dets: vec![2, 4, 6],
+        }
+    }
+
+    #[test]
+    fn channel_pair_delivers_frames_both_ways() {
+        let (mut client, mut server) = channel_pair();
+        client.sink.send(&ping()).unwrap();
+        assert_eq!(server.source.recv().unwrap(), Some(ping()));
+        server.sink.send(&Frame::ShutdownAck).unwrap();
+        assert_eq!(client.source.recv().unwrap(), Some(Frame::ShutdownAck));
+        // Dropping the client's sink ends the server's stream cleanly.
+        drop(client);
+        assert_eq!(server.source.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn tcp_endpoints_deliver_frames_over_loopback() {
+        // Ephemeral port (bind to 0) so parallel test runs never collide.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut ep = tcp_endpoint(stream).unwrap();
+            let got = ep.source.recv().unwrap().unwrap();
+            ep.sink.send(&got).unwrap();
+            assert_eq!(ep.source.recv().unwrap(), None);
+        });
+        let mut client = tcp_endpoint(TcpStream::connect(addr).unwrap()).unwrap();
+        client.sink.send(&ping()).unwrap();
+        assert_eq!(client.source.recv().unwrap(), Some(ping()));
+        drop(client);
+        server.join().unwrap();
+    }
+}

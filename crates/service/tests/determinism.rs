@@ -1,0 +1,148 @@
+//! Service determinism: commit streams are a function of seeds alone.
+//!
+//! The acceptance criteria of the decode-service PR pin down two
+//! properties with bit-level equality:
+//!
+//! * **Transport-order independence** — with a fixed seed, Q qubits
+//!   sharded over S=1 vs S=4 produce identical per-qubit commit streams
+//!   (shard assignment and request interleaving must not leak into
+//!   decode results);
+//! * **Single-tenant equivalence** — every tenant's commit stream equals
+//!   the single-tenant sliding-window replay (`repro realtime`'s decode
+//!   path) of the same seeded stream.
+
+use ler::{DecoderKind, ExperimentContext};
+use realtime::{SlidingWindowDecoder, SyndromeStream, WindowConfig};
+use service::{
+    channel_pair, qubit_seed, run_loadgen, tcp_endpoint, DecodeServer, LoadgenConfig,
+    LoadgenReport, ScenarioContext, ServiceConfig,
+};
+use std::sync::Arc;
+
+fn loadgen_cfg(qubits: u32, shots: u64, kind: DecoderKind) -> LoadgenConfig {
+    LoadgenConfig {
+        scenario: "det".into(),
+        qubits,
+        shots_per_qubit: shots,
+        seed: 2024,
+        decoder: kind,
+        window: 4,
+        commit: 2,
+        inflight: 3,
+    }
+}
+
+fn serve_channel(
+    ctx: &Arc<ExperimentContext>,
+    shards: usize,
+    cfg: &LoadgenConfig,
+) -> LoadgenReport {
+    let scenario = ScenarioContext::new("det", Arc::clone(ctx)).unwrap();
+    let server = DecodeServer::new(
+        ServiceConfig {
+            shards,
+            ..ServiceConfig::default()
+        },
+        vec![scenario.clone()],
+    )
+    .unwrap();
+    let (client, server_end) = channel_pair();
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.serve(vec![server_end]));
+        run_loadgen(client, ctx, scenario.layers(), cfg).unwrap()
+    })
+}
+
+#[test]
+fn q4_commit_streams_are_identical_for_s1_and_s4() {
+    let ctx = Arc::new(ExperimentContext::with_rounds(3, 5, 2e-3));
+    for kind in [DecoderKind::Mwpm, DecoderKind::PromatchParAg] {
+        let cfg = loadgen_cfg(4, 30, kind);
+        let s1 = serve_channel(&ctx, 1, &cfg);
+        let s4 = serve_channel(&ctx, 4, &cfg);
+        assert_eq!(s1.tenants.len(), 4);
+        for (a, b) in s1.tenants.iter().zip(&s4.tenants) {
+            assert_eq!(a.qubit, b.qubit);
+            assert_eq!(a.seed, b.seed);
+            // The commit stream — (shot, obs_flip, failed, shed) per
+            // shot — is bit-identical across shardings.
+            assert_eq!(a.commits, b.commits, "qubit {} ({:?})", a.qubit, kind);
+            assert_eq!(a.failures, b.failures);
+        }
+        // Tenants actually spread over the 4 shards.
+        let shards: std::collections::HashSet<u32> = s4.tenants.iter().map(|t| t.shard).collect();
+        assert!(shards.len() > 1, "4 qubits landed on one shard: {shards:?}");
+    }
+}
+
+#[test]
+fn tenant_commit_streams_equal_single_tenant_windowed_replay() {
+    let ctx = Arc::new(ExperimentContext::with_rounds(3, 5, 2e-3));
+    let cfg = loadgen_cfg(4, 25, DecoderKind::Mwpm);
+    let report = serve_channel(&ctx, 2, &cfg);
+    let layers = decoding_graph::LayerMap::from_graph(&ctx.graph).unwrap();
+    for tenant in &report.tenants {
+        // The single-tenant path `repro realtime` uses: one seeded
+        // stream, one sliding-window decoder, same (window, commit).
+        let mut stream = SyndromeStream::new(&ctx.circuit, layers.clone(), tenant.seed);
+        let mut swd = SlidingWindowDecoder::new(
+            &ctx.graph,
+            layers.clone(),
+            DecoderKind::Mwpm,
+            WindowConfig::new(cfg.window, cfg.commit).unwrap(),
+        );
+        assert_eq!(tenant.seed, qubit_seed(cfg.seed, tenant.qubit));
+        for commit in &tenant.commits {
+            let shot = stream.next_shot();
+            let out = swd.decode_shot(&shot.dets);
+            assert!(!commit.shed);
+            assert_eq!(
+                (commit.obs_flip, commit.failed),
+                (out.obs_flip, out.failed),
+                "qubit {} shot {}",
+                tenant.qubit,
+                commit.shot
+            );
+        }
+    }
+}
+
+#[test]
+fn tcp_loopback_session_matches_the_channel_transport() {
+    let ctx = Arc::new(ExperimentContext::with_rounds(3, 4, 2e-3));
+    let cfg = LoadgenConfig {
+        window: 3,
+        ..loadgen_cfg(3, 12, DecoderKind::AstreaG)
+    };
+    let channel_report = serve_channel(&ctx, 2, &cfg);
+    let scenario = ScenarioContext::new("det", Arc::clone(&ctx)).unwrap();
+    let server = DecodeServer::new(
+        ServiceConfig {
+            shards: 2,
+            ..ServiceConfig::default()
+        },
+        vec![scenario.clone()],
+    )
+    .unwrap();
+    // Ephemeral port (bind to 0) so parallel CI runs never collide.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let tcp_report = std::thread::scope(|scope| {
+        scope.spawn(|| server.serve_tcp(&listener, 1).unwrap());
+        let endpoint = tcp_endpoint(std::net::TcpStream::connect(addr).unwrap()).unwrap();
+        run_loadgen(endpoint, &ctx, scenario.layers(), &cfg).unwrap()
+    });
+    assert_eq!(channel_report.tenants.len(), tcp_report.tenants.len());
+    for (a, b) in channel_report.tenants.iter().zip(&tcp_report.tenants) {
+        assert_eq!(a.commits, b.commits, "qubit {}", a.qubit);
+    }
+    // Server-side accounting agrees wherever it is deterministic (the
+    // modeled timeline is a function of the commit streams alone).
+    for (a, b) in channel_report.stats.iter().zip(&tcp_report.stats) {
+        assert_eq!(a.qubit, b.qubit);
+        assert_eq!(a.windows, b.windows);
+        assert_eq!(a.p50_ns, b.p50_ns);
+        assert_eq!(a.p99_ns, b.p99_ns);
+        assert_eq!(a.deadline_misses, b.deadline_misses);
+    }
+}

@@ -14,5 +14,6 @@ pub use predecoders;
 pub use promatch;
 pub use qsim;
 pub use realtime;
+pub use service;
 pub use surface_code;
 pub use unionfind;
