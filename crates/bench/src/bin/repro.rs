@@ -19,12 +19,15 @@
 //!
 //! scenario subcommands (named noise × distance × decoder workloads):
 //!   repro scenarios                            list the registry
-//!   repro ler --scenario <name> [key=value]    Eq.-1 LER study -> BENCH.json
+//!   repro ler --scenario <name> [--predecode off|batch] [key=value]
+//!                                              LER study -> BENCH.json
 //!   repro bench [--scale ...] [--scenario <name>] [key=value ...]
 //!   repro realtime --scenario <name> [--window W] [--commit C]
-//!                  [key=value ...]             streaming reaction-time study
+//!                  [--predecode off|batch] [key=value ...]
+//!                                              streaming reaction-time study
 //!   repro serve --scenario <name> --qubits Q --shards S [--rate R]
-//!               [--decoder K] [--window W] [--commit C] [key=value ...]
+//!               [--decoder K] [--window W] [--commit C]
+//!               [--predecode off|batch] [key=value ...]
 //!                                              multi-tenant decode service
 //!
 //! `--threads N` is accepted by every subcommand (equivalent to the
@@ -155,29 +158,36 @@ fn run_scenario_ler(args: &[String]) -> ExitCode {
     let mut overrides = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        match flag_value(arg, &mut it, "--scenario") {
-            Err(e) => {
-                eprintln!("error: {e} (see `repro scenarios`)");
-                return ExitCode::FAILURE;
+        let mut matched = false;
+        for (flag, key) in [
+            ("--scenario", None),
+            ("--predecode", Some("predecode")),
+            ("--threads", Some("threads")),
+        ] {
+            match flag_value(arg, &mut it, flag) {
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(Some(value)) => {
+                    match key {
+                        None => scenario_name = Some(value),
+                        Some(key) => overrides.push(format!("{key}={value}")),
+                    }
+                    matched = true;
+                    break;
+                }
+                Ok(None) => {}
             }
-            Ok(Some(name)) => {
-                scenario_name = Some(name);
-                continue;
-            }
-            Ok(None) => {}
         }
-        match flag_value(arg, &mut it, "--threads") {
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-            Ok(Some(n)) => overrides.push(format!("threads={n}")),
-            Ok(None) => overrides.push(arg.clone()),
+        if !matched {
+            overrides.push(arg.clone());
         }
     }
     let Some(scenario_name) = scenario_name else {
         eprintln!(
-            "usage: repro ler --scenario <name> [shots=N] [kmax=N] [seed=N] [threads=N] [out=PATH]"
+            "usage: repro ler --scenario <name> [--predecode off|batch] [shots=N] [kmax=N] \
+             [seed=N] [threads=N] [out=PATH]"
         );
         return ExitCode::FAILURE;
     };
@@ -222,6 +232,7 @@ fn run_scenario_realtime(args: &[String]) -> ExitCode {
             ("--scenario", None),
             ("--window", Some("window")),
             ("--commit", Some("commit")),
+            ("--predecode", Some("predecode")),
             ("--threads", Some("threads")),
         ] {
             match flag_value(arg, &mut it, flag) {
@@ -246,8 +257,9 @@ fn run_scenario_realtime(args: &[String]) -> ExitCode {
     }
     let Some(scenario_name) = scenario_name else {
         eprintln!(
-            "usage: repro realtime --scenario <name> [--window W] [--commit C] [--threads N] \
-             [shots=N] [seed=N] [round=NS] [deadline=NS] [out=PATH]"
+            "usage: repro realtime --scenario <name> [--window W] [--commit C] \
+             [--predecode off|batch] [--threads N] [shots=N] [seed=N] [round=NS] \
+             [deadline=NS] [out=PATH]"
         );
         return ExitCode::FAILURE;
     };
@@ -295,6 +307,7 @@ fn run_scenario_serve(args: &[String]) -> ExitCode {
             ("--decoder", Some("decoder")),
             ("--window", Some("window")),
             ("--commit", Some("commit")),
+            ("--predecode", Some("predecode")),
             ("--transport", Some("transport")),
             ("--threads", Some("threads")),
         ] {
@@ -321,8 +334,9 @@ fn run_scenario_serve(args: &[String]) -> ExitCode {
     let Some(scenario_name) = scenario_name else {
         eprintln!(
             "usage: repro serve --scenario <name> --qubits Q --shards S [--rate R] \
-             [--decoder K] [--window W] [--commit C] [--transport channel|tcp] \
-             [shots=N] [seed=N] [deadline=NS] [queue=N] [inflight=N] [out=PATH]"
+             [--decoder K] [--window W] [--commit C] [--predecode off|batch] \
+             [--transport channel|tcp] [shots=N] [seed=N] [deadline=NS] [queue=N] \
+             [inflight=N] [out=PATH]"
         );
         return ExitCode::FAILURE;
     };

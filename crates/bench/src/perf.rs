@@ -9,12 +9,12 @@
 //! `BENCH.json` is a schema-stable artifact CI can archive per commit —
 //! and, since schema v2, per scenario.
 //!
-//! Schema (`schema_version` 4; see README.md for the field-by-field
+//! Schema (`schema_version` 5; see README.md for the field-by-field
 //! description):
 //!
 //! ```json
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "git_rev": "abc1234",
 //!   "seed": 2024,
 //!   "threads": 4,
@@ -26,22 +26,26 @@
 //!   "ler": [
 //!     {"scenario": "sd6-d11", "decoder": "MWPM (Ideal)", "d": 11,
 //!      "rounds": 11, "p": 1e-4, "k_max": 20, "shots_per_k": 150,
-//!      "ler": 2.1e-13, "low": 1.5e-13, "high": 3.0e-13}
+//!      "predecode": "off", "ler": 2.1e-13, "low": 1.5e-13,
+//!      "high": 3.0e-13}
 //!   ],
 //!   "service": [
 //!     {"scenario": "sd6-d5", "decoder": "Promatch || AG", "qubits": 16,
 //!      "shards": 4, "qubit": 0, "shard": 2, "window": 4, "commit": 2,
-//!      "round_ns": 4000, "deadline_ns": 8000, "shots": 200,
-//!      "windows": 600, "shed": 0, "deadline_misses": 0, "p50_ns": 410.0,
-//!      "p99_ns": 890.0, "max_ns": 1410.0, "mean_ns": 433.1,
-//!      "failures": 0, "rounds_per_s": 1450000}
+//!      "predecode": "batch", "round_ns": 4000, "deadline_ns": 8000,
+//!      "shots": 200, "windows": 600, "shed": 0, "deadline_misses": 0,
+//!      "p50_ns": 410.0, "p99_ns": 890.0, "max_ns": 1410.0,
+//!      "mean_ns": 433.1, "l1_rounds_fraction": 0.9417,
+//!      "escalation_fraction": 0.0567, "failures": 0,
+//!      "rounds_per_s": 1450000}
 //!   ],
 //!   "latency": [
 //!     {"scenario": "sd6-d5", "decoder": "Promatch || AG", "window": 4,
-//!      "commit": 2, "round_ns": 1000, "shots": 200, "layers_per_shot": 6,
-//!      "p50_ns": 76, "p99_ns": 412, "max_ns": 964, "mean_ns": 98.2,
-//!      "miss_fraction": 0, "max_backlog": 1, "mean_backlog": 1,
-//!      "failures": 0}
+//!      "commit": 2, "predecode": "off", "round_ns": 1000, "shots": 200,
+//!      "layers_per_shot": 6, "p50_ns": 76, "p99_ns": 412, "max_ns": 964,
+//!      "mean_ns": 98.2, "miss_fraction": 0, "max_backlog": 1,
+//!      "mean_backlog": 1, "l1_rounds_fraction": 0.0000,
+//!      "escalation_fraction": 0.0000, "failures": 0}
 //!   ]
 //! }
 //! ```
@@ -50,8 +54,10 @@
 //! `ler` (accuracy trajectory); `repro realtime` fills `latency` (tail
 //! reaction-time trajectory — schema v3); `repro serve` fills `service`
 //! (multi-tenant decode-service trajectory — schema v4, one row per
-//! tenant). `scenario` is `"default"` for the classic injection
-//! benchmark, otherwise the registry name.
+//! tenant). Schema v5 stamps every ler/latency/service row with its
+//! `predecode` mode and reports the L1 batch-predecoder's resolved-round
+//! and escalation fractions. `scenario` is `"default"` for the classic
+//! injection benchmark, otherwise the registry name.
 
 use crate::scenario::{Scenario, ScenarioRegistry};
 use decoding_graph::SyndromeBatch;
@@ -62,7 +68,7 @@ use std::io::Write;
 use std::time::Instant;
 
 /// Version of the `BENCH.json` schema this build writes.
-pub const BENCH_SCHEMA_VERSION: u32 = 4;
+pub const BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// One measured `(decoder, d, p, k)` point.
 #[derive(Clone, Debug)]
@@ -101,6 +107,8 @@ pub struct LerPoint {
     pub k_max: usize,
     /// Injection samples per `k`.
     pub shots_per_k: usize,
+    /// Predecode mode label (`off` or `batch`).
+    pub predecode: &'static str,
     /// Equation-1 LER estimate.
     pub ler: f64,
     /// Lower 95 % Wilson bound.
@@ -121,6 +129,8 @@ pub struct LatencyPoint {
     pub window: u32,
     /// Committed layers per window step.
     pub commit: u32,
+    /// Predecode mode label (`off` or `batch`).
+    pub predecode: &'static str,
     /// Syndrome round period, ns.
     pub round_ns: f64,
     /// Shots streamed.
@@ -141,6 +151,11 @@ pub struct LatencyPoint {
     pub max_backlog: usize,
     /// Mean decode backlog.
     pub mean_backlog: f64,
+    /// Fraction of streamed rounds the L1 tier resolved before any
+    /// matching solver ran (0 with predecoding off).
+    pub l1_rounds_fraction: f64,
+    /// Fraction of windows escalated past the L1 tier to the solver.
+    pub escalation_fraction: f64,
     /// Streaming logical failures over the run.
     pub failures: u64,
 }
@@ -165,6 +180,8 @@ pub struct ServicePoint {
     pub window: u32,
     /// Committed layers per window step.
     pub commit: u32,
+    /// Predecode mode label (`off` or `batch`).
+    pub predecode: &'static str,
     /// Syndrome round period, ns (from the `--rate` flag).
     pub round_ns: f64,
     /// Reaction deadline per window, ns.
@@ -185,6 +202,11 @@ pub struct ServicePoint {
     pub max_ns: f64,
     /// Mean modeled reaction time, ns.
     pub mean_ns: f64,
+    /// Fraction of this tenant's submitted rounds the L1 tier resolved
+    /// before any matching solver ran (0 with predecoding off).
+    pub l1_rounds_fraction: f64,
+    /// Fraction of this tenant's windows escalated past the L1 tier.
+    pub escalation_fraction: f64,
     /// Logical failures scored client-side for this tenant.
     pub failures: u64,
     /// Measured whole-service decode throughput, syndrome rounds per
@@ -501,7 +523,8 @@ pub fn render_json(doc: &BenchDoc) -> String {
         s.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"decoder\": \"{}\", \"d\": {}, \
              \"rounds\": {}, \"p\": {}, \"k_max\": {}, \"shots_per_k\": {}, \
-             \"ler\": {:e}, \"low\": {:e}, \"high\": {:e}}}{}\n",
+             \"predecode\": \"{}\", \"ler\": {:e}, \"low\": {:e}, \
+             \"high\": {:e}}}{}\n",
             escape(&p.scenario),
             escape(p.decoder),
             p.d,
@@ -509,6 +532,7 @@ pub fn render_json(doc: &BenchDoc) -> String {
             p.p,
             p.k_max,
             p.shots_per_k,
+            p.predecode,
             p.ler,
             p.low,
             p.high,
@@ -521,11 +545,12 @@ pub fn render_json(doc: &BenchDoc) -> String {
         s.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"decoder\": \"{}\", \"qubits\": {}, \
              \"shards\": {}, \"qubit\": {}, \"shard\": {}, \"window\": {}, \
-             \"commit\": {}, \"round_ns\": {}, \"deadline_ns\": {}, \
-             \"shots\": {}, \"windows\": {}, \"shed\": {}, \
-             \"deadline_misses\": {}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \
-             \"max_ns\": {:.1}, \"mean_ns\": {:.1}, \"failures\": {}, \
-             \"rounds_per_s\": {:.0}}}{}\n",
+             \"commit\": {}, \"predecode\": \"{}\", \"round_ns\": {}, \
+             \"deadline_ns\": {}, \"shots\": {}, \"windows\": {}, \
+             \"shed\": {}, \"deadline_misses\": {}, \"p50_ns\": {:.1}, \
+             \"p99_ns\": {:.1}, \"max_ns\": {:.1}, \"mean_ns\": {:.1}, \
+             \"l1_rounds_fraction\": {:.4}, \"escalation_fraction\": {:.4}, \
+             \"failures\": {}, \"rounds_per_s\": {:.0}}}{}\n",
             escape(&p.scenario),
             escape(p.decoder),
             p.qubits,
@@ -534,6 +559,7 @@ pub fn render_json(doc: &BenchDoc) -> String {
             p.shard,
             p.window,
             p.commit,
+            p.predecode,
             p.round_ns,
             p.deadline_ns,
             p.shots,
@@ -544,6 +570,8 @@ pub fn render_json(doc: &BenchDoc) -> String {
             p.p99_ns,
             p.max_ns,
             p.mean_ns,
+            p.l1_rounds_fraction,
+            p.escalation_fraction,
             p.failures,
             p.rounds_per_s,
             if i + 1 < doc.service.len() { "," } else { "" }
@@ -554,14 +582,17 @@ pub fn render_json(doc: &BenchDoc) -> String {
     for (i, p) in doc.latency.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"decoder\": \"{}\", \"window\": {}, \
-             \"commit\": {}, \"round_ns\": {}, \"shots\": {}, \
-             \"layers_per_shot\": {}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \
-             \"max_ns\": {:.1}, \"mean_ns\": {:.1}, \"miss_fraction\": {}, \
-             \"max_backlog\": {}, \"mean_backlog\": {:.2}, \"failures\": {}}}{}\n",
+             \"commit\": {}, \"predecode\": \"{}\", \"round_ns\": {}, \
+             \"shots\": {}, \"layers_per_shot\": {}, \"p50_ns\": {:.1}, \
+             \"p99_ns\": {:.1}, \"max_ns\": {:.1}, \"mean_ns\": {:.1}, \
+             \"miss_fraction\": {}, \"max_backlog\": {}, \
+             \"mean_backlog\": {:.2}, \"l1_rounds_fraction\": {:.4}, \
+             \"escalation_fraction\": {:.4}, \"failures\": {}}}{}\n",
             escape(&p.scenario),
             escape(p.decoder),
             p.window,
             p.commit,
+            p.predecode,
             p.round_ns,
             p.shots,
             p.layers_per_shot,
@@ -572,6 +603,8 @@ pub fn render_json(doc: &BenchDoc) -> String {
             p.miss_fraction,
             p.max_backlog,
             p.mean_backlog,
+            p.l1_rounds_fraction,
+            p.escalation_fraction,
             p.failures,
             if i + 1 < doc.latency.len() { "," } else { "" }
         ));
@@ -635,7 +668,7 @@ mod tests {
     }
 
     #[test]
-    fn json_schema_v4_is_stable() {
+    fn json_schema_v5_is_stable() {
         let doc = BenchDoc {
             seed: 2024,
             threads: 4,
@@ -649,6 +682,7 @@ mod tests {
                 shard: 1,
                 window: 6,
                 commit: 3,
+                predecode: "batch",
                 round_ns: 4000.0,
                 deadline_ns: 12000.0,
                 shots: 200,
@@ -659,6 +693,8 @@ mod tests {
                 p99_ns: 890.25,
                 max_ns: 1410.0,
                 mean_ns: 433.125,
+                l1_rounds_fraction: 0.94175,
+                escalation_fraction: 0.056725,
                 failures: 1,
                 rounds_per_s: 1_450_000.4,
             }],
@@ -679,6 +715,7 @@ mod tests {
                 p: 1e-4,
                 k_max: 20,
                 shots_per_k: 150,
+                predecode: "off",
                 ler: 2.1e-13,
                 low: 1.5e-13,
                 high: 3.0e-13,
@@ -688,6 +725,7 @@ mod tests {
                 decoder: "Promatch || AG",
                 window: 6,
                 commit: 3,
+                predecode: "off",
                 round_ns: 1000.0,
                 shots: 200,
                 layers_per_shot: 12,
@@ -698,11 +736,13 @@ mod tests {
                 miss_fraction: 0.0,
                 max_backlog: 1,
                 mean_backlog: 1.0,
+                l1_rounds_fraction: 0.0,
+                escalation_fraction: 0.0,
                 failures: 0,
             }],
         };
         let json = render_json(&doc);
-        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"schema_version\": 5"));
         assert!(json.contains("\"seed\": 2024"));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"scenario\": \"sd6-d11\""));
@@ -712,22 +752,27 @@ mod tests {
              \"shots\": 256, \"reps\": 3, \"ns_per_shot\": 10431.7}"
         ));
         assert!(json.contains("\"k_max\": 20"));
+        assert!(json.contains("\"predecode\": \"off\""));
         assert!(json.contains("\"ler\": 2.1e-13"));
         assert!(json.contains(
             "{\"scenario\": \"sd6-d11\", \"decoder\": \"Promatch || AG\", \
-             \"window\": 6, \"commit\": 3, \"round_ns\": 1000, \"shots\": 200, \
-             \"layers_per_shot\": 12, \"p50_ns\": 76.0, \"p99_ns\": 412.0, \
-             \"max_ns\": 964.0, \"mean_ns\": 98.2, \"miss_fraction\": 0, \
-             \"max_backlog\": 1, \"mean_backlog\": 1.00, \"failures\": 0}"
+             \"window\": 6, \"commit\": 3, \"predecode\": \"off\", \
+             \"round_ns\": 1000, \"shots\": 200, \"layers_per_shot\": 12, \
+             \"p50_ns\": 76.0, \"p99_ns\": 412.0, \"max_ns\": 964.0, \
+             \"mean_ns\": 98.2, \"miss_fraction\": 0, \"max_backlog\": 1, \
+             \"mean_backlog\": 1.00, \"l1_rounds_fraction\": 0.0000, \
+             \"escalation_fraction\": 0.0000, \"failures\": 0}"
         ));
         assert!(json.contains(
             "{\"scenario\": \"sd6-d11\", \"decoder\": \"Promatch || AG\", \
              \"qubits\": 16, \"shards\": 4, \"qubit\": 3, \"shard\": 1, \
-             \"window\": 6, \"commit\": 3, \"round_ns\": 4000, \
-             \"deadline_ns\": 12000, \"shots\": 200, \"windows\": 800, \
-             \"shed\": 0, \"deadline_misses\": 0, \"p50_ns\": 410.0, \
-             \"p99_ns\": 890.2, \"max_ns\": 1410.0, \"mean_ns\": 433.1, \
-             \"failures\": 1, \"rounds_per_s\": 1450000}"
+             \"window\": 6, \"commit\": 3, \"predecode\": \"batch\", \
+             \"round_ns\": 4000, \"deadline_ns\": 12000, \"shots\": 200, \
+             \"windows\": 800, \"shed\": 0, \"deadline_misses\": 0, \
+             \"p50_ns\": 410.0, \"p99_ns\": 890.2, \"max_ns\": 1410.0, \
+             \"mean_ns\": 433.1, \"l1_rounds_fraction\": 0.9417, \
+             \"escalation_fraction\": 0.0567, \"failures\": 1, \
+             \"rounds_per_s\": 1450000}"
         ));
         // No trailing comma on the last element of any array.
         assert!(!json.contains("},\n  ]"));
@@ -773,7 +818,7 @@ mod tests {
         let mut sink = Vec::new();
         run_bench(&scale, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 4"));
+        assert!(text.contains("\"schema_version\": 5"));
         assert!(text.contains("\"ns_per_shot\""));
         assert!(text.contains("\"threads\":"));
     }

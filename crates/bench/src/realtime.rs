@@ -13,7 +13,8 @@ use crate::scenario::Scenario;
 use decoding_graph::{SeamPolicy, WindowCache};
 use ler::effective_threads;
 use realtime::{
-    run_stream_with_cache, BacklogConfig, StreamRunConfig, StreamRunResult, WindowConfig,
+    run_stream_with_cache, BacklogConfig, PredecodeMode, StreamRunConfig, StreamRunResult,
+    WindowConfig,
 };
 use std::io::Write;
 use std::sync::Arc;
@@ -31,6 +32,8 @@ pub struct RealtimeRunConfig {
     /// Reaction deadline in nanoseconds (default: `commit × round_ns`,
     /// the steady-state throughput condition).
     pub deadline_ns: Option<f64>,
+    /// Batch-predecoder (L1) mode applied ahead of every decoder.
+    pub predecode: PredecodeMode,
     /// Shots to stream per decoder.
     pub shots: usize,
     /// Stream RNG seed (every decoder sees identical shots).
@@ -50,6 +53,7 @@ impl Default for RealtimeRunConfig {
             commit: None,
             round_ns: 1000.0,
             deadline_ns: None,
+            predecode: PredecodeMode::Off,
             shots: 200,
             seed: 2024,
             threads: 0,
@@ -60,7 +64,8 @@ impl Default for RealtimeRunConfig {
 
 impl RealtimeRunConfig {
     /// Parses `key=value` overrides (`shots=`, `seed=`, `round=`,
-    /// `deadline=`, `window=`, `commit=`, `threads=`, `out=`).
+    /// `deadline=`, `window=`, `commit=`, `predecode=`, `threads=`,
+    /// `out=`).
     ///
     /// # Errors
     ///
@@ -79,6 +84,10 @@ impl RealtimeRunConfig {
                 }
                 "window" => self.window = Some(value.parse().map_err(|e| format!("window: {e}"))?),
                 "commit" => self.commit = Some(value.parse().map_err(|e| format!("commit: {e}"))?),
+                "predecode" => {
+                    self.predecode =
+                        PredecodeMode::parse(value).map_err(|e| format!("predecode: {e}"))?;
+                }
                 "threads" => self.threads = crate::scale::parse_threads(value)?,
                 "out" => self.out_path = value.to_string(),
                 other => return Err(format!("unknown option '{other}'")),
@@ -148,8 +157,14 @@ pub fn run_scenario_realtime(
     )?;
     writeln!(
         w,
-        "# window={} commit={} round={}ns deadline={}ns shots={} seed={}",
-        wc.window, wc.commit, backlog.round_ns, backlog.deadline_ns, cfg.shots, cfg.seed
+        "# window={} commit={} predecode={} round={}ns deadline={}ns shots={} seed={}",
+        wc.window,
+        wc.commit,
+        cfg.predecode.label(),
+        backlog.round_ns,
+        backlog.deadline_ns,
+        cfg.shots,
+        cfg.seed
     )?;
     writeln!(w, "# building context...")?;
     let ctx = scenario.shared_context();
@@ -158,6 +173,7 @@ pub fn run_scenario_realtime(
         seed: cfg.seed,
         window: wc,
         backlog,
+        predecode: cfg.predecode,
     };
     let threads = effective_threads(cfg.threads)
         .min(scenario.decoders.len())
@@ -222,6 +238,7 @@ pub fn run_scenario_realtime(
             decoder: kind.label(),
             window: wc.window,
             commit: wc.commit,
+            predecode: cfg.predecode.label(),
             round_ns: backlog.round_ns,
             shots: run.shots,
             layers_per_shot: run.layers_per_shot,
@@ -232,6 +249,8 @@ pub fn run_scenario_realtime(
             miss_fraction: run.backlog.miss_fraction,
             max_backlog: run.backlog.max_backlog,
             mean_backlog: run.backlog.mean_backlog,
+            l1_rounds_fraction: run.l1_rounds_fraction(),
+            escalation_fraction: run.escalation_fraction(),
             failures: run.failures,
         });
     }
@@ -283,6 +302,7 @@ mod tests {
             "deadline=2500".into(),
             "window=3".into(),
             "commit=2".into(),
+            "predecode=batch".into(),
             "threads=2".into(),
             "out=/tmp/rt.json".into(),
         ])
@@ -293,9 +313,11 @@ mod tests {
         assert_eq!(cfg.deadline_ns, Some(2500.0));
         assert_eq!(cfg.window, Some(3));
         assert_eq!(cfg.commit, Some(2));
+        assert_eq!(cfg.predecode, PredecodeMode::Batch);
         assert_eq!(cfg.threads, 2);
         assert!(cfg.apply_overrides(&["nope=1".into()]).is_err());
         assert!(cfg.apply_overrides(&["shots".into()]).is_err());
+        assert!(cfg.apply_overrides(&["predecode=pinball".into()]).is_err());
     }
 
     #[test]
@@ -344,10 +366,12 @@ mod tests {
         let mut sink = Vec::new();
         run_scenario_realtime_study(sc, &cfg, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 4"));
+        assert!(text.contains("\"schema_version\": 5"));
         assert!(text.contains("\"scenario\": \"cc-d3\""));
+        assert!(text.contains("\"predecode\": \"off\""));
         assert!(text.contains("\"p50_ns\""));
         assert!(text.contains("\"miss_fraction\""));
+        assert!(text.contains("\"l1_rounds_fraction\": 0.0000"));
         let log = String::from_utf8(sink).unwrap();
         assert!(log.contains("backlog depth over stream"));
         // Same seed, different thread count: identical points.

@@ -10,7 +10,11 @@
 //! like-for-like per workload.
 
 use crate::perf::LerPoint;
-use ler::{run_eq1, DecoderKind, Eq1Config, ExperimentContext};
+use decoding_graph::{SeamPolicy, WindowCache};
+use ler::{run_eq1, wilson_interval, DecoderKind, Eq1Config, ExperimentContext};
+use realtime::{
+    run_stream_with_cache, BacklogConfig, PredecodeMode, StreamRunConfig, WindowConfig,
+};
 use std::collections::HashMap;
 use std::io::Write;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -269,6 +273,12 @@ pub struct LerRunConfig {
     pub k_max: Option<usize>,
     /// RNG seed.
     pub seed: u64,
+    /// Batch-predecoder (L1) mode. `Off` runs the Equation-1 injection
+    /// study; `Batch` runs a streamed sliding-window Monte-Carlo study
+    /// so the predecoder's round cancellation actually participates
+    /// (Equation-1 decodes whole shots, which has no window seams for
+    /// the L1 tier to respect).
+    pub predecode: PredecodeMode,
     /// Worker threads (0 = `PROMATCH_THREADS` / available parallelism).
     pub threads: usize,
     /// Output path for the BENCH.json artifact.
@@ -281,6 +291,7 @@ impl Default for LerRunConfig {
             shots_per_k: None,
             k_max: None,
             seed: 2024,
+            predecode: PredecodeMode::Off,
             threads: 0,
             out_path: "BENCH.json".into(),
         }
@@ -289,7 +300,7 @@ impl Default for LerRunConfig {
 
 impl LerRunConfig {
     /// Parses `key=value` overrides (`shots=`, `kmax=`, `seed=`,
-    /// `threads=`, `out=`).
+    /// `predecode=`, `threads=`, `out=`).
     ///
     /// # Errors
     ///
@@ -305,6 +316,10 @@ impl LerRunConfig {
                 }
                 "kmax" => self.k_max = Some(value.parse().map_err(|e| format!("kmax: {e}"))?),
                 "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
+                "predecode" => {
+                    self.predecode =
+                        PredecodeMode::parse(value).map_err(|e| format!("predecode: {e}"))?;
+                }
                 "threads" => self.threads = crate::scale::parse_threads(value)?,
                 "out" => self.out_path = value.to_string(),
                 other => return Err(format!("unknown option '{other}'")),
@@ -312,6 +327,73 @@ impl LerRunConfig {
         }
         Ok(())
     }
+}
+
+/// Runs the streamed sliding-window Monte-Carlo LER study of one
+/// scenario with the batch predecoder enabled: every decoder streams the
+/// same `shots_per_k × k_max` seeded shots round-by-round through
+/// L1 + escalation, and the logical error rate comes straight from the
+/// committed observable flips with a 95 % Wilson interval.
+fn run_scenario_ler_windowed(
+    scenario: &Scenario,
+    cfg: &LerRunConfig,
+    w: &mut dyn Write,
+) -> std::io::Result<Vec<LerPoint>> {
+    let shots_per_k = cfg.shots_per_k.unwrap_or(scenario.shots_per_k);
+    let k_max = cfg.k_max.unwrap_or(scenario.k_max);
+    let shots = shots_per_k * k_max.max(1);
+    let wc = WindowConfig::new(scenario.rt_window, scenario.rt_commit)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    writeln!(w, "# building context...")?;
+    let ctx = scenario.shared_context();
+    writeln!(
+        w,
+        "# windowed Monte-Carlo LER: predecode={}, window={}, commit={}, shots={shots}",
+        cfg.predecode.label(),
+        wc.window,
+        wc.commit
+    )?;
+    let run_cfg = StreamRunConfig {
+        shots,
+        seed: cfg.seed,
+        window: wc,
+        backlog: BacklogConfig::with_commit_deadline(1000.0, wc.commit),
+        predecode: cfg.predecode,
+    };
+    let cache = Arc::new(WindowCache::new(&ctx.graph, SeamPolicy::Cut));
+    let mut points = Vec::new();
+    writeln!(
+        w,
+        "{:<24} {:>10}  {:>22} {:>6}",
+        "decoder", "LER", "95% Wilson", "L1%"
+    )?;
+    for kind in &scenario.decoders {
+        let run = run_stream_with_cache(&ctx.graph, &ctx.circuit, *kind, &run_cfg, &cache);
+        let iv = wilson_interval(run.failures, run.shots as u64, 1.96);
+        writeln!(
+            w,
+            "{:<24} {:>10}  [{}, {}] {:>5.1}%",
+            kind.label(),
+            crate::fmt_rate(iv.estimate),
+            crate::fmt_rate(iv.low),
+            crate::fmt_rate(iv.high),
+            100.0 * run.l1_rounds_fraction(),
+        )?;
+        points.push(LerPoint {
+            scenario: scenario.name.to_string(),
+            decoder: kind.label(),
+            d: scenario.distance,
+            rounds: scenario.rounds,
+            p: scenario.p,
+            k_max,
+            shots_per_k,
+            predecode: cfg.predecode.label(),
+            ler: iv.estimate,
+            low: iv.low,
+            high: iv.high,
+        });
+    }
+    Ok(points)
 }
 
 /// Runs the Equation-1 LER study of one scenario and returns the
@@ -333,6 +415,9 @@ pub fn run_scenario_ler(
         scenario.rounds,
         scenario.p
     )?;
+    if cfg.predecode != PredecodeMode::Off {
+        return run_scenario_ler_windowed(scenario, cfg, w);
+    }
     writeln!(w, "# building context...")?;
     let ctx = scenario.shared_context();
     writeln!(
@@ -370,6 +455,7 @@ pub fn run_scenario_ler(
             p: scenario.p,
             k_max,
             shots_per_k,
+            predecode: cfg.predecode.label(),
             ler: iv.estimate,
             low: iv.low,
             high: iv.high,
@@ -450,6 +536,7 @@ mod tests {
             "shots=50".into(),
             "kmax=6".into(),
             "seed=7".into(),
+            "predecode=batch".into(),
             "threads=2".into(),
             "out=/tmp/x.json".into(),
         ])
@@ -457,8 +544,10 @@ mod tests {
         assert_eq!(cfg.shots_per_k, Some(50));
         assert_eq!(cfg.k_max, Some(6));
         assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.predecode, PredecodeMode::Batch);
         assert_eq!(cfg.threads, 2);
         assert!(cfg.apply_overrides(&["nope=1".into()]).is_err());
+        assert!(cfg.apply_overrides(&["predecode=pinball".into()]).is_err());
     }
 
     #[test]
@@ -472,16 +561,41 @@ mod tests {
             shots_per_k: Some(30),
             k_max: Some(2),
             seed: 3,
+            predecode: PredecodeMode::Off,
             threads: 1,
             out_path: out.to_string_lossy().into_owned(),
         };
         let mut sink = Vec::new();
         run_scenario_ler_study(sc, &cfg, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 4"));
+        assert!(text.contains("\"schema_version\": 5"));
         assert!(text.contains("\"scenario\": \"cc-d3\""));
         assert!(text.contains("\"threads\": 1"));
         assert!(text.contains("\"k_max\": 2"));
+        assert!(text.contains("\"predecode\": \"off\""));
+    }
+
+    #[test]
+    fn windowed_ler_path_runs_with_batch_predecoding() {
+        let reg = ScenarioRegistry::builtin();
+        let sc = reg.get("cc-d3").unwrap();
+        let cfg = LerRunConfig {
+            shots_per_k: Some(20),
+            k_max: Some(2),
+            seed: 9,
+            predecode: PredecodeMode::Batch,
+            threads: 1,
+            out_path: String::new(),
+        };
+        let mut sink = Vec::new();
+        let points = run_scenario_ler(sc, &cfg, &mut sink).unwrap();
+        assert_eq!(points.len(), sc.decoders.len());
+        for pt in &points {
+            assert_eq!(pt.predecode, "batch");
+            assert!(pt.low <= pt.ler && pt.ler <= pt.high);
+        }
+        let log = String::from_utf8(sink).unwrap();
+        assert!(log.contains("windowed Monte-Carlo LER"), "{log}");
     }
 
     #[test]
@@ -492,6 +606,7 @@ mod tests {
             shots_per_k: Some(40),
             k_max: Some(3),
             seed: 11,
+            predecode: PredecodeMode::Off,
             threads: 1,
             out_path: String::new(),
         };

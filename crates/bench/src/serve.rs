@@ -12,6 +12,7 @@ use crate::perf::{BenchDoc, ServicePoint};
 use crate::scale::{parse_positive, parse_threads};
 use crate::scenario::Scenario;
 use ler::DecoderKind;
+use realtime::PredecodeMode;
 use service::{
     channel_pair, run_loadgen, tcp_endpoint, DecodeServer, LoadgenConfig, LoadgenReport,
     ScenarioContext, ServiceConfig,
@@ -54,6 +55,8 @@ pub struct ServeConfig {
     /// Reaction deadline in nanoseconds (default: `commit × round`,
     /// the steady-state throughput condition).
     pub deadline_ns: Option<f64>,
+    /// Batch-predecoder (L1) mode every tenant registers with.
+    pub predecode: PredecodeMode,
     /// Modeled bound on one tenant's waiting windows.
     pub queue: usize,
     /// Closed-loop depth: outstanding shots per tenant (also the live
@@ -77,6 +80,7 @@ impl Default for ServeConfig {
             window: None,
             commit: None,
             deadline_ns: None,
+            predecode: PredecodeMode::Off,
             queue: 4,
             inflight: 2,
             transport: ServeTransport::Channel,
@@ -88,8 +92,8 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Parses `key=value` overrides (`qubits=`, `shards=`, `rate=`,
     /// `shots=`, `seed=`, `decoder=`, `window=`, `commit=`, `deadline=`,
-    /// `queue=`, `inflight=`, `transport=`, `out=`), rejecting zero
-    /// sizes with a clear error.
+    /// `predecode=`, `queue=`, `inflight=`, `transport=`, `out=`),
+    /// rejecting zero sizes with a clear error.
     ///
     /// # Errors
     ///
@@ -124,6 +128,10 @@ impl ServeConfig {
                 }
                 "deadline" => {
                     self.deadline_ns = Some(value.parse().map_err(|e| format!("deadline: {e}"))?);
+                }
+                "predecode" => {
+                    self.predecode =
+                        PredecodeMode::parse(value).map_err(|e| format!("predecode: {e}"))?;
                 }
                 "queue" => self.queue = parse_positive("queue", value)? as usize,
                 "inflight" => self.inflight = parse_positive("inflight", value)? as usize,
@@ -183,11 +191,13 @@ pub fn run_serve(
     writeln!(
         w,
         "# qubits={} shards={} decoder={} window={window} commit={commit} \
-         rate={:.0}/s (round={round_ns:.0}ns) deadline={deadline_ns:.0}ns \
-         queue={} inflight={} shots/qubit={} seed={} transport={:?}",
+         predecode={} rate={:.0}/s (round={round_ns:.0}ns) \
+         deadline={deadline_ns:.0}ns queue={} inflight={} shots/qubit={} \
+         seed={} transport={:?}",
         cfg.qubits,
         cfg.shards,
         cfg.decoder.key(),
+        cfg.predecode.label(),
         cfg.rate,
         cfg.queue,
         cfg.inflight,
@@ -231,6 +241,7 @@ pub fn run_serve(
         window,
         commit,
         inflight: cfg.inflight,
+        predecode: cfg.predecode,
     };
     let service_err = |e: service::ServiceError| std::io::Error::other(e.to_string());
     let report: LoadgenReport = match cfg.transport {
@@ -267,7 +278,7 @@ pub fn run_serve(
     )?;
     writeln!(
         w,
-        "{:<6} {:>5} {:>7} {:>8} {:>5} {:>7} {:>9} {:>9} {:>9} {:>10}",
+        "{:<6} {:>5} {:>7} {:>8} {:>5} {:>7} {:>9} {:>9} {:>9} {:>7} {:>10}",
         "qubit",
         "shard",
         "shots",
@@ -277,13 +288,27 @@ pub fn run_serve(
         "p50 ns",
         "p99 ns",
         "max ns",
+        "L1%",
         "fail/shot"
     )?;
+    let layers_per_shot = u64::from(scenario_ctx.layers().num_layers());
     let mut points = Vec::new();
     for (tenant, stats) in report.tenants.iter().zip(&report.stats) {
+        // L1-resolved rounds over all streamed rounds; escalations over
+        // all decoded windows. Both are zero with predecoding off.
+        let l1_rounds_fraction = if stats.shots > 0 {
+            stats.l1_rounds as f64 / (stats.shots * layers_per_shot) as f64
+        } else {
+            0.0
+        };
+        let escalation_fraction = if stats.windows > 0 {
+            stats.escalated_windows as f64 / stats.windows as f64
+        } else {
+            0.0
+        };
         writeln!(
             w,
-            "{:<6} {:>5} {:>7} {:>8} {:>5} {:>7} {:>9.0} {:>9.0} {:>9.0} {:>10}",
+            "{:<6} {:>5} {:>7} {:>8} {:>5} {:>7} {:>9.0} {:>9.0} {:>9.0} {:>6.1}% {:>10}",
             tenant.qubit,
             tenant.shard,
             stats.shots,
@@ -293,6 +318,7 @@ pub fn run_serve(
             stats.p50_ns,
             stats.p99_ns,
             stats.max_ns,
+            100.0 * l1_rounds_fraction,
             format!("{}/{}", tenant.failures, tenant.commits.len()),
         )?;
         points.push(ServicePoint {
@@ -304,6 +330,7 @@ pub fn run_serve(
             shard: tenant.shard,
             window,
             commit,
+            predecode: cfg.predecode.label(),
             round_ns,
             deadline_ns,
             shots: stats.shots,
@@ -314,6 +341,8 @@ pub fn run_serve(
             p99_ns: stats.p99_ns,
             max_ns: stats.max_ns,
             mean_ns: stats.mean_ns,
+            l1_rounds_fraction,
+            escalation_fraction,
             failures: tenant.failures,
             rounds_per_s,
         });
@@ -325,6 +354,19 @@ pub fn run_serve(
         "# total: {total_shed} shed, {total_misses} deadline misses across {} tenants",
         points.len()
     )?;
+    if cfg.predecode != PredecodeMode::Off {
+        let rounds: u64 = points.iter().map(|p| p.shots * layers_per_shot).sum();
+        let l1: f64 = points
+            .iter()
+            .map(|p| p.l1_rounds_fraction * (p.shots * layers_per_shot) as f64)
+            .sum();
+        writeln!(
+            w,
+            "# predecode={}: {:.1}% of {rounds} rounds resolved at L1 before any solver",
+            cfg.predecode.label(),
+            100.0 * l1 / rounds.max(1) as f64,
+        )?;
+    }
     Ok(points)
 }
 
@@ -376,6 +418,7 @@ mod tests {
             "window=3".into(),
             "commit=1".into(),
             "deadline=5000".into(),
+            "predecode=batch".into(),
             "queue=6".into(),
             "inflight=3".into(),
             "transport=tcp".into(),
@@ -391,6 +434,7 @@ mod tests {
         assert_eq!(cfg.window, Some(3));
         assert_eq!(cfg.commit, Some(1));
         assert_eq!(cfg.deadline_ns, Some(5000.0));
+        assert_eq!(cfg.predecode, PredecodeMode::Batch);
         assert_eq!(cfg.queue, 6);
         assert_eq!(cfg.inflight, 3);
         assert_eq!(cfg.transport, ServeTransport::Tcp);
@@ -403,6 +447,7 @@ mod tests {
         assert!(cfg.apply_overrides(&["rate=0".into()]).is_err());
         assert!(cfg.apply_overrides(&["decoder=bogus".into()]).is_err());
         assert!(cfg.apply_overrides(&["transport=smoke".into()]).is_err());
+        assert!(cfg.apply_overrides(&["predecode=pinball".into()]).is_err());
         assert!(cfg.apply_overrides(&["nope=1".into()]).is_err());
     }
 
@@ -425,9 +470,11 @@ mod tests {
         let mut sink = Vec::new();
         run_serve_study(sc, &cfg, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 4"));
+        assert!(text.contains("\"schema_version\": 5"));
         assert!(text.contains("\"scenario\": \"cc-d3\""));
         assert!(text.contains("\"qubits\": 4"));
+        assert!(text.contains("\"predecode\": \"off\""));
+        assert!(text.contains("\"l1_rounds_fraction\": 0.0000"));
         assert!(text.contains("\"rounds_per_s\""));
         // One service point per tenant.
         assert_eq!(text.matches("\"qubit\":").count(), 4);
@@ -445,6 +492,20 @@ mod tests {
         for p in &channel_points {
             assert_eq!(p.shots, 20);
         }
+        // With batch predecoding the same tiny run sheds most rounds at
+        // L1 (cc-d3 at its default p is sparse) and tags the points.
+        cfg.transport = ServeTransport::Channel;
+        cfg.predecode = PredecodeMode::Batch;
+        let mut sink_l1 = Vec::new();
+        let l1_points = run_serve(sc, &cfg, &mut sink_l1).unwrap();
+        assert_eq!(l1_points.len(), 4);
+        for p in &l1_points {
+            assert_eq!(p.predecode, "batch");
+            assert!(p.l1_rounds_fraction > 0.5, "{}", p.l1_rounds_fraction);
+            assert!(p.escalation_fraction < 0.5, "{}", p.escalation_fraction);
+        }
+        let log_l1 = String::from_utf8(sink_l1).unwrap();
+        assert!(log_l1.contains("resolved at L1"), "{log_l1}");
     }
 
     #[test]

@@ -27,6 +27,18 @@ pub fn cycles_to_ns(cycles: u64) -> f64 {
     cycles as f64 * CYCLE_NS
 }
 
+/// Modeled latency of the L1 batch predecoder, in nanoseconds: two
+/// cycles at the 250 MHz clock (one for the round-cancellation bit
+/// operation, one for the local match units). Windows the L1 tier fully
+/// resolves are charged this instead of the L2 decoder's model.
+pub const BATCH_PREDECODE_NS: f64 = 2.0 * CYCLE_NS;
+
+/// The L1 batch predecoder's [`LatencyModel`]: the admission simulator
+/// charges L1-resolved windows this fixed service time.
+pub const BATCH_PREDECODE_LATENCY: FixedLatency = FixedLatency {
+    ns: BATCH_PREDECODE_NS,
+};
+
 /// Maps a syndrome's Hamming weight to a modeled decode latency.
 ///
 /// Implemented by `astrea::AstreaLatencyModel` (the brute-force engine's
@@ -97,6 +109,13 @@ mod tests {
         assert_eq!(COMPARISON_OVERHEAD_NS, 40.0);
         assert_eq!(cycles_to_ns(COMPARISON_OVERHEAD_CYCLES), 40.0);
         assert_eq!(cycles_to_ns(1), CYCLE_NS);
+    }
+
+    #[test]
+    fn batch_predecode_charge_is_two_cycles() {
+        assert_eq!(BATCH_PREDECODE_NS, 8.0);
+        assert_eq!(BATCH_PREDECODE_LATENCY.latency_ns(0), 8.0);
+        assert_eq!(BATCH_PREDECODE_LATENCY.latency_ns(64), 8.0);
     }
 
     #[test]

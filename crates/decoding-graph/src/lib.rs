@@ -54,7 +54,9 @@ mod window;
 mod workspace;
 
 pub use graph::{DecodingGraph, Edge, ShortestPaths, WEIGHT_SCALE};
-pub use latency::{FixedLatency, LatencyModel, PolynomialLatency};
+pub use latency::{
+    FixedLatency, LatencyModel, PolynomialLatency, BATCH_PREDECODE_LATENCY, BATCH_PREDECODE_NS,
+};
 pub use pathtable::{PathTable, StorageModel};
 pub use subgraph::DecodingSubgraph;
 pub use traits::{DecodeOutcome, Decoder, MatchPair, MatchTarget, PredecodeOutcome, Predecoder};

@@ -1,0 +1,713 @@
+//! The Pinball-style batch predecoder (L1 tier).
+//!
+//! Pinball batches consecutive measurement rounds and resolves the two
+//! overwhelmingly common syndrome shapes *before* any matching solver
+//! runs:
+//!
+//! 1. **Measurement-error pairs.** A flipped measurement fires the same
+//!    stabilizer in two consecutive rounds; the two defects sit on a
+//!    time-like edge of the decoding graph. Pinball cancels them with a
+//!    pure bit operation per round pair — `and = curr & prev;
+//!    curr ^= and; prev ^= and` — committing the time edge's correction.
+//! 2. **Weight-≤2 trivial chains.** Isolated components of the decoding
+//!    subgraph: a lone defect next to the lattice boundary, or an
+//!    isolated adjacent pair. Both are resolved by a single local edge
+//!    lookup, exactly like the Clique match units.
+//!
+//! A batch is classified **non-complex** only when that local resolution
+//! is provably the *unique* minimum-weight matching of the whole batch,
+//! verified with capped Dijkstra probes of each defect's neighborhood:
+//!
+//! * a lone defect's direct boundary edge must be strictly cheaper than
+//!   every alternative boundary path;
+//! * a pair's connecting edge must be strictly cheaper than both the
+//!   cheapest alternative path between the two defects and the cost of
+//!   sending each to the boundary separately;
+//! * components must be weight-isolated: any path between defects of
+//!   different components must cost strictly more than resolving both
+//!   components locally (ties escalate — a tied matcher may legally pick
+//!   a different-parity correction).
+//!
+//! Everything else makes the batch **complex**: the predecoder still
+//! cancels measurement pairs and strips trivial chains, but the residual
+//! syndrome is escalated to the full L2 decoder (Promatch/MWPM/…). The
+//! uniqueness proof is what makes L1 commits bit-identical to the
+//! un-predecoded path whenever `complex == false` — the differential
+//! equivalence contract `tests/predecode.rs` pins for every Table-2
+//! decoder kind.
+
+use decoding_graph::latency::cycles_to_ns;
+use decoding_graph::{DecodingGraph, DecodingSubgraph, DetectorId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Cycles charged by the batch predecoder per window: one cycle for the
+/// round-cancellation bit operation plus one for the local match units
+/// (both are combinational arrays in the Pinball design).
+pub const BATCH_PREDECODE_CYCLES: u64 = 2;
+
+/// Largest batch the L1 match units attempt to classify; denser windows
+/// escalate immediately (the Pinball design has a fixed number of match
+/// units, and dense batches are overwhelmingly complex anyway).
+pub const MAX_L1_DEFECTS: usize = 12;
+
+/// Sentinel for "no path within the probe cap".
+const UNREACHED: i64 = i64::MAX;
+
+/// Effectively-uncapped probe budget (kept far from `i64::MAX` so caps
+/// derived from it survive `saturating_add`).
+const PROBE_CAP: i64 = i64::MAX / 4;
+
+/// One locally resolved match: the correction the L1 tier commits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocalMatch {
+    /// The matched detector.
+    pub a: DetectorId,
+    /// Its partner (`None` = the lattice boundary).
+    pub b: Option<DetectorId>,
+    /// Observable flips of the committing edge.
+    pub obs: u64,
+    /// Weight of the committing edge (scaled integer).
+    pub weight: i64,
+}
+
+/// Result of predecoding one batch (one sliding-window step).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchOutcome {
+    /// Locally resolved matches, in deterministic (sorted-input) order.
+    pub matches: Vec<LocalMatch>,
+    /// Defects left for the L2 decoder (sorted). Empty iff the batch is
+    /// not complex.
+    pub residual: Vec<DetectorId>,
+    /// The batch needed escalation: `residual` must be decoded by the
+    /// full decoder.
+    pub complex: bool,
+    /// Measurement-error pairs cancelled by the round-cancellation
+    /// sweep (complex batches only; non-complex batches resolve their
+    /// time pairs as trivial chains).
+    pub cancelled_pairs: usize,
+    /// Modeled predecode latency in nanoseconds.
+    pub latency_ns: f64,
+}
+
+impl BatchOutcome {
+    /// Total weight of the locally committed matches.
+    pub fn weight(&self) -> i64 {
+        self.matches.iter().map(|m| m.weight).sum()
+    }
+}
+
+/// The batch predecoder.
+///
+/// Holds the precomputed time-adjacency (which detector is the same
+/// stabilizer one round earlier) and a reusable decoding subgraph, so
+/// steady-state predecoding allocates nothing beyond the outcome.
+#[derive(Clone, Debug)]
+pub struct BatchPredecoder<'a> {
+    graph: &'a DecodingGraph,
+    /// `time_prev[d]` = the same-coordinate detector one layer earlier,
+    /// when the decoding graph has an edge between them.
+    time_prev: Vec<Option<DetectorId>>,
+    sg: DecodingSubgraph,
+    /// Scratch: `active[d]` while a call is in flight.
+    active: Vec<bool>,
+    /// Dijkstra scratch: tentative distances (boundary node included).
+    dist: Vec<i64>,
+    /// Dijkstra scratch: nodes whose `dist` entry must be reset.
+    touched: Vec<u32>,
+    /// Dijkstra scratch: the frontier heap.
+    heap: BinaryHeap<Reverse<(i64, u32)>>,
+}
+
+impl<'a> BatchPredecoder<'a> {
+    /// Builds the predecoder over `graph`, precomputing the time-like
+    /// adjacency from the detector coordinates (same `(x, y)`, layers
+    /// one apart, connected by an edge).
+    pub fn new(graph: &'a DecodingGraph) -> Self {
+        let n = graph.num_detectors() as usize;
+        let coords = graph.coords();
+        let bd = graph.boundary_node();
+        let mut time_prev: Vec<Option<DetectorId>> = vec![None; n];
+        for e in graph.edges() {
+            if e.u == bd || e.v == bd {
+                continue;
+            }
+            let (cu, cv) = (coords[e.u as usize], coords[e.v as usize]);
+            if (cu[0] - cv[0]).abs() > 1e-9 || (cu[1] - cv[1]).abs() > 1e-9 {
+                continue;
+            }
+            let dz = cv[2] - cu[2];
+            if (dz - 1.0).abs() < 1e-9 {
+                time_prev[e.v as usize] = Some(e.u);
+            } else if (dz + 1.0).abs() < 1e-9 {
+                time_prev[e.u as usize] = Some(e.v);
+            }
+        }
+        BatchPredecoder {
+            graph,
+            time_prev,
+            sg: DecodingSubgraph::new(),
+            active: vec![false; n],
+            dist: vec![UNREACHED; n + 1],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Capped Dijkstra probe: the cheapest path `src → dst` of cost
+    /// ≤ `cap`, optionally excluding one direct edge (to ask "is there
+    /// an *alternative* at this price?"). Returns [`UNREACHED`] when
+    /// every such path costs more than `cap` — the only fact the
+    /// classifier needs, so the search never expands past the cap. The
+    /// boundary node is a sink: matching paths may end there but never
+    /// pass through it.
+    fn probe(&mut self, src: u32, dst: u32, cap: i64, exclude: Option<(u32, u32)>) -> i64 {
+        let bd = self.graph.boundary_node();
+        debug_assert!(src != bd);
+        self.heap.clear();
+        self.dist[src as usize] = 0;
+        self.touched.push(src);
+        self.heap.push(Reverse((0, src)));
+        let mut found = UNREACHED;
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if d > cap {
+                break;
+            }
+            if d > self.dist[u as usize] {
+                continue;
+            }
+            if u == dst {
+                found = d;
+                break;
+            }
+            if u == bd {
+                continue; // sink: no transit through the boundary
+            }
+            for (v, e) in self.graph.neighbors(u) {
+                if let Some((x, y)) = exclude {
+                    if (u == x && v == y) || (u == y && v == x) {
+                        continue;
+                    }
+                }
+                let nd = d.saturating_add(e.weight);
+                if nd <= cap && nd < self.dist[v as usize] {
+                    self.dist[v as usize] = nd;
+                    self.touched.push(v);
+                    self.heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        for &t in &self.touched {
+            self.dist[t as usize] = UNREACHED;
+        }
+        self.touched.clear();
+        found
+    }
+
+    /// Weight of `d`'s direct boundary edge, or [`UNREACHED`] if it has
+    /// none.
+    fn boundary_weight(&self, d: DetectorId) -> i64 {
+        let bd = self.graph.boundary_node();
+        self.graph
+            .edge_between(d, bd)
+            .map_or(UNREACHED, |e| e.weight)
+    }
+
+    /// Verifies that resolving component `comp` (a trivial shape) through
+    /// its own edge is strictly cheaper than every alternative, and
+    /// returns the resolution's `(match, cost)`. `None` ⇒ ambiguous or
+    /// suboptimal ⇒ the component must escalate.
+    fn verify_component(
+        &mut self,
+        nodes: &[DetectorId],
+        comp: &[usize],
+    ) -> Option<(LocalMatch, i64)> {
+        let bd = self.graph.boundary_node();
+        match comp {
+            [slot] => {
+                let a = nodes[*slot];
+                let e = self.graph.edge_between(a, bd)?;
+                let (w, obs) = (e.weight, e.obs);
+                // The direct boundary edge must be the unique cheapest
+                // way out — a tied alternative could carry different
+                // observable parity.
+                if self.probe(a, bd, w, Some((a, bd))) != UNREACHED {
+                    return None;
+                }
+                Some((
+                    LocalMatch {
+                        a,
+                        b: None,
+                        obs,
+                        weight: w,
+                    },
+                    w,
+                ))
+            }
+            [sa, sb] => self.verify_pair(nodes[*sa], nodes[*sb]),
+            _ => None,
+        }
+    }
+
+    /// Verifies that matching `a` directly to `b` is strictly cheaper
+    /// than splitting the pair to the boundary and than every indirect
+    /// `a → b` path, and returns the resolution's `(match, cost)`.
+    fn verify_pair(&mut self, a: DetectorId, b: DetectorId) -> Option<(LocalMatch, i64)> {
+        let e = self.graph.edge_between(a, b)?;
+        let (w, obs) = (e.weight, e.obs);
+        if self
+            .boundary_weight(a)
+            .saturating_add(self.boundary_weight(b))
+            <= w
+        {
+            return None;
+        }
+        if self.probe(a, b, w, Some((a, b))) != UNREACHED {
+            return None;
+        }
+        Some((
+            LocalMatch {
+                a: a.min(b),
+                b: Some(a.max(b)),
+                obs,
+                weight: w,
+            },
+            w,
+        ))
+    }
+
+    /// Exchange-argument isolation: stripping `members` at `cost` is
+    /// provably part of *every* minimum-weight matching of the batch iff
+    /// every other batch defect `v` is further from every member than
+    /// `cost` plus `v`'s own shortest boundary escape (any matching that
+    /// pairs into `members` can then be strictly improved by resolving
+    /// `members` locally and routing `v` to the boundary). `db` memoizes
+    /// the boundary distances across pieces of the same batch.
+    fn isolated_from_rest(
+        &mut self,
+        members: &[DetectorId],
+        cost: i64,
+        all: &[DetectorId],
+        db: &mut [Option<i64>],
+    ) -> bool {
+        let bd = self.graph.boundary_node();
+        for (i, &v) in all.iter().enumerate() {
+            if members.contains(&v) {
+                continue;
+            }
+            let escape = match db[i] {
+                Some(e) => e,
+                None => {
+                    let e = self.probe(v, bd, PROBE_CAP, None);
+                    db[i] = Some(e);
+                    e
+                }
+            };
+            let cap = cost.saturating_add(escape);
+            for &u in members {
+                if self.probe(u, v, cap, None) != UNREACHED {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The same-stabilizer detector one round earlier, if the decoding
+    /// graph carries a measurement (time-like) edge to it.
+    pub fn time_prev(&self, d: DetectorId) -> Option<DetectorId> {
+        self.time_prev[d as usize]
+    }
+
+    /// Pinball round cancellation over a batch of active defects.
+    ///
+    /// `dets` must be sorted (ascending detector id ⇒ ascending layer).
+    /// Sweeps the batch oldest round first: whenever a defect and its
+    /// same-stabilizer predecessor are both active, both are cleared and
+    /// the pair `(prev, curr)` is recorded — the bitwise
+    /// `and = curr & prev; curr ^= and; prev ^= and` of the Pinball
+    /// paper, expressed on sparse defect lists. Chains of an odd length
+    /// leave their newest defect standing, exactly like the sequential
+    /// bit operation.
+    ///
+    /// Returns `(survivors, cancelled_pairs)`; survivors stay sorted.
+    pub fn cancel_rounds(
+        &mut self,
+        dets: &[DetectorId],
+    ) -> (Vec<DetectorId>, Vec<(DetectorId, DetectorId)>) {
+        for &d in dets {
+            self.active[d as usize] = true;
+        }
+        let mut pairs = Vec::new();
+        // Ascending id = ascending layer (LayerMap detectors are
+        // layer-contiguous), so each defect sees its predecessor's
+        // post-cancellation state: the sequential pairwise sweep.
+        for &d in dets {
+            if !self.active[d as usize] {
+                continue;
+            }
+            if let Some(p) = self.time_prev[d as usize] {
+                if self.active[p as usize] {
+                    self.active[p as usize] = false;
+                    self.active[d as usize] = false;
+                    pairs.push((p, d));
+                }
+            }
+        }
+        let survivors: Vec<DetectorId> = dets
+            .iter()
+            .copied()
+            .filter(|&d| self.active[d as usize])
+            .collect();
+        for &d in dets {
+            self.active[d as usize] = false;
+        }
+        (survivors, pairs)
+    }
+
+    /// Whether `dets` would be classified non-complex: every component of
+    /// its decoding subgraph is a trivial chain (lone boundary-adjacent
+    /// defect or isolated adjacent pair) whose local resolution is the
+    /// provably unique minimum-weight matching of the batch.
+    pub fn is_trivial(&mut self, dets: &[DetectorId]) -> bool {
+        if dets.is_empty() {
+            return true;
+        }
+        if dets.len() > MAX_L1_DEFECTS {
+            return false;
+        }
+        self.sg.rebuild(self.graph, dets);
+        self.try_resolve_verified().is_some()
+    }
+
+    /// Attempts the verified non-complex resolution of the current
+    /// subgraph. Every component must be a trivial shape, every local
+    /// edge must strictly beat its alternatives, and components must be
+    /// weight-isolated from one another (see module docs). `None` ⇒
+    /// something is ambiguous, suboptimal, or non-trivial and the batch
+    /// must escalate.
+    fn try_resolve_verified(&mut self) -> Option<Vec<LocalMatch>> {
+        let comps = self.sg.components();
+        let nodes = self.sg.nodes().to_vec();
+        let deg = self.sg.degrees().to_vec();
+        let mut matches = Vec::with_capacity(comps.len());
+        let mut costs = Vec::with_capacity(comps.len());
+        for comp in &comps {
+            if comp.len() == 2 && !(deg[comp[0]] == 1 && deg[comp[1]] == 1) {
+                return None;
+            }
+            let (m, cost) = self.verify_component(&nodes, comp)?;
+            matches.push(m);
+            costs.push(cost);
+        }
+        // Weight isolation: a matching that pairs defects of *different*
+        // components must cost strictly more than resolving both
+        // components locally. With every cross distance above that bar,
+        // any alternating cycle through k components pays k cross paths
+        // against 2×(k local resolutions) — strictly worse, so the local
+        // matching is the unique optimum.
+        for i in 0..comps.len() {
+            for j in i + 1..comps.len() {
+                let cap = costs[i].saturating_add(costs[j]);
+                for &su in &comps[i] {
+                    for &sv in &comps[j] {
+                        if self.probe(nodes[su], nodes[sv], cap, None) != UNREACHED {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+        Some(matches)
+    }
+
+    /// Predecodes one batch of active defects (sorted detector ids).
+    ///
+    /// Non-complex batches — every subgraph component is a trivial chain
+    /// whose local resolution is verified to be the unique minimum-weight
+    /// matching of the batch — are fully resolved at L1. Complex batches
+    /// run the round-cancellation sweep, strip the verified trivial
+    /// chains that survive it, and escalate the rest as `residual`.
+    pub fn decode_batch(&mut self, dets: &[DetectorId]) -> BatchOutcome {
+        let latency_ns = cycles_to_ns(BATCH_PREDECODE_CYCLES);
+        if dets.is_empty() {
+            return BatchOutcome {
+                matches: Vec::new(),
+                residual: Vec::new(),
+                complex: false,
+                cancelled_pairs: 0,
+                latency_ns,
+            };
+        }
+        self.sg.rebuild(self.graph, dets);
+        if dets.len() <= MAX_L1_DEFECTS {
+            if let Some(matches) = self.try_resolve_verified() {
+                return BatchOutcome {
+                    matches,
+                    residual: Vec::new(),
+                    complex: false,
+                    cancelled_pairs: 0,
+                    latency_ns,
+                };
+            }
+        }
+        // Complex batch: the verified all-trivial fast path failed. Run
+        // the round-cancellation sweep, then strip only the pieces —
+        // cancelled measurement pairs and trivial surviving chains —
+        // that provably belong to every minimum-weight matching of the
+        // batch (local uniqueness plus a strict isolation margin
+        // against every other batch defect). Anything ambiguous stays
+        // in the residual for the L2 solver: shedding may never trade
+        // away a correction the solver would have gotten right.
+        let (mut survivors, cancelled) = self.cancel_rounds(dets);
+        let mut db: Vec<Option<i64>> = vec![None; dets.len()];
+        let mut matches: Vec<LocalMatch> = Vec::new();
+        let mut cancelled_pairs = 0usize;
+        for &(p, d) in &cancelled {
+            let committed = self
+                .verify_pair(p, d)
+                .filter(|&(_, cost)| self.isolated_from_rest(&[p, d], cost, dets, &mut db));
+            if let Some((m, _)) = committed {
+                matches.push(m);
+                cancelled_pairs += 1;
+            } else {
+                survivors.push(p);
+                survivors.push(d);
+            }
+        }
+        survivors.sort_unstable();
+        self.sg.rebuild(self.graph, &survivors);
+        let comps = self.sg.components();
+        let nodes = self.sg.nodes().to_vec();
+        let deg = self.sg.degrees().to_vec();
+        let mut residual: Vec<DetectorId> = Vec::new();
+        for comp in &comps {
+            let shape_ok = match comp.len() {
+                1 => true,
+                2 => deg[comp[0]] == 1 && deg[comp[1]] == 1,
+                _ => false,
+            };
+            let stripped = if shape_ok {
+                self.verify_component(&nodes, comp).filter(|&(_, cost)| {
+                    let members: Vec<DetectorId> = comp.iter().map(|&slot| nodes[slot]).collect();
+                    self.isolated_from_rest(&members, cost, dets, &mut db)
+                })
+            } else {
+                None
+            };
+            if let Some((m, _)) = stripped {
+                matches.push(m);
+            } else {
+                residual.extend(comp.iter().map(|&slot| nodes[slot]));
+            }
+        }
+        residual.sort_unstable();
+        BatchOutcome {
+            matches,
+            residual,
+            complex: true,
+            cancelled_pairs,
+            latency_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::extract_dem;
+    use surface_code::{NoiseModel, RotatedSurfaceCode};
+
+    fn graph(d: u32, rounds: u32) -> DecodingGraph {
+        let code = RotatedSurfaceCode::new(d);
+        let circuit = code.memory_z_circuit(rounds, &NoiseModel::sd6(1e-3));
+        DecodingGraph::from_dem(&extract_dem(&circuit))
+    }
+
+    /// A (prev, curr) measurement pair: same coordinate, adjacent layers.
+    fn time_pair(g: &DecodingGraph, pre: &BatchPredecoder<'_>) -> (u32, u32) {
+        (0..g.num_detectors())
+            .find_map(|d| pre.time_prev(d).map(|p| (p, d)))
+            .expect("a time-like edge exists under circuit noise")
+    }
+
+    #[test]
+    fn time_adjacency_matches_coordinates() {
+        let g = graph(3, 4);
+        let pre = BatchPredecoder::new(&g);
+        let coords = g.coords();
+        let mut found = 0;
+        for d in 0..g.num_detectors() {
+            if let Some(p) = pre.time_prev(d) {
+                let (cp, cd) = (coords[p as usize], coords[d as usize]);
+                assert_eq!(cp[0], cd[0]);
+                assert_eq!(cp[1], cd[1]);
+                assert_eq!(cp[2] + 1.0, cd[2]);
+                assert!(g.edge_between(p, d).is_some());
+                found += 1;
+            }
+        }
+        assert!(found > 0, "circuit noise must produce time-like edges");
+    }
+
+    #[test]
+    fn cancellation_annihilates_synthetic_measurement_pairs() {
+        let g = graph(3, 4);
+        let mut pre = BatchPredecoder::new(&g);
+        let (p, d) = time_pair(&g, &pre);
+        let (survivors, pairs) = pre.cancel_rounds(&[p, d]);
+        assert!(survivors.is_empty());
+        assert_eq!(pairs, vec![(p, d)]);
+    }
+
+    #[test]
+    fn cancellation_is_self_inverse_on_synthetic_pairs() {
+        // The bit identity behind `curr ^= and; prev ^= and`: XORing the
+        // cancelled pairs back into the survivor set restores the
+        // original batch, and re-cancelling an already-cancelled batch
+        // is a no-op (and == 0).
+        let g = graph(3, 5);
+        let mut pre = BatchPredecoder::new(&g);
+        let (p0, d0) = time_pair(&g, &pre);
+        // A second, disjoint pair one layer up, if one exists.
+        let extra = (0..g.num_detectors())
+            .find_map(|d| {
+                pre.time_prev(d)
+                    .filter(|&p| p != p0 && p != d0 && d != p0 && d != d0)
+                    .map(|p| (p, d))
+            })
+            .expect("a second time pair");
+        let mut batch = vec![p0, d0, extra.0, extra.1];
+        batch.sort_unstable();
+        batch.dedup();
+        let (survivors, pairs) = pre.cancel_rounds(&batch);
+        // Toggle the cancelled defects back in: the original batch.
+        let mut restored = survivors.clone();
+        for (a, b) in &pairs {
+            restored.push(*a);
+            restored.push(*b);
+        }
+        restored.sort_unstable();
+        assert_eq!(restored, batch, "cancel is invertible from its record");
+        // Idempotence: the survivors share no further time pairs.
+        let (again, more) = pre.cancel_rounds(&survivors);
+        assert_eq!(again, survivors);
+        assert!(more.is_empty(), "cancel(cancel(x)) == cancel(x)");
+    }
+
+    #[test]
+    fn cancellation_is_a_no_op_on_empty_rounds() {
+        let g = graph(3, 3);
+        let mut pre = BatchPredecoder::new(&g);
+        let (survivors, pairs) = pre.cancel_rounds(&[]);
+        assert!(survivors.is_empty());
+        assert!(pairs.is_empty());
+        let out = pre.decode_batch(&[]);
+        assert!(!out.complex);
+        assert!(out.matches.is_empty());
+        assert!(out.residual.is_empty());
+    }
+
+    #[test]
+    fn odd_time_chain_leaves_the_newest_defect() {
+        // Three defects on one stabilizer across three rounds: the
+        // sequential pairwise sweep cancels the two oldest and leaves
+        // the newest standing.
+        let g = graph(3, 5);
+        let mut pre = BatchPredecoder::new(&g);
+        let chain = (0..g.num_detectors())
+            .find_map(|d| {
+                let p = pre.time_prev(d)?;
+                let pp = pre.time_prev(p)?;
+                Some([pp, p, d])
+            })
+            .expect("a three-round stabilizer chain");
+        let (survivors, pairs) = pre.cancel_rounds(&chain);
+        assert_eq!(pairs, vec![(chain[0], chain[1])]);
+        assert_eq!(survivors, vec![chain[2]]);
+    }
+
+    #[test]
+    fn trivial_batches_resolve_without_escalation() {
+        let g = graph(3, 4);
+        let mut pre = BatchPredecoder::new(&g);
+        let (p, d) = time_pair(&g, &pre);
+        let out = pre.decode_batch(&[p, d]);
+        assert!(!out.complex, "an isolated time pair is a trivial chain");
+        assert!(out.residual.is_empty());
+        let e = g.edge_between(p, d).unwrap();
+        assert_eq!(
+            out.matches,
+            vec![LocalMatch {
+                a: p,
+                b: Some(d),
+                obs: e.obs,
+                weight: e.weight,
+            }]
+        );
+    }
+
+    #[test]
+    fn complex_batches_cancel_then_escalate_the_residual() {
+        let g = graph(5, 5);
+        let mut pre = BatchPredecoder::new(&g);
+        let (p, d) = time_pair(&g, &pre);
+        // Glue a non-trivial chain of three space-adjacent defects to
+        // the batch so it cannot be all-trivial.
+        let bd = g.boundary_node();
+        let mut chain = None;
+        'outer: for e in g.edges() {
+            if e.u == bd || e.v == bd || e.u == p || e.u == d || e.v == p || e.v == d {
+                continue;
+            }
+            for (c, _) in g.neighbors(e.v) {
+                if c != bd && c != e.u && c != p && c != d {
+                    chain = Some([e.u, e.v, c]);
+                    break 'outer;
+                }
+            }
+        }
+        let chain = chain.expect("an interior 3-chain exists at d = 5");
+        let mut batch = vec![p, d, chain[0], chain[1], chain[2]];
+        batch.sort_unstable();
+        batch.dedup();
+        let out = pre.decode_batch(&batch);
+        assert!(out.complex);
+        // The time pair cancelled (unless it touches the chain, in
+        // which case the whole cluster escalates); the residual is what
+        // the L2 decoder will see, and never contains a cancelled det.
+        for m in &out.matches {
+            assert!(!out.residual.contains(&m.a));
+            if let Some(b) = m.b {
+                assert!(!out.residual.contains(&b));
+            }
+        }
+        assert!(!out.residual.is_empty());
+        let mut sorted = out.residual.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, out.residual, "residual is sorted");
+    }
+
+    #[test]
+    fn interior_lone_defect_escalates() {
+        let g = graph(5, 5);
+        let bd = g.boundary_node();
+        let interior = (0..g.num_detectors())
+            .find(|&d| g.edge_between(d, bd).is_none())
+            .expect("an interior detector exists at d = 5");
+        let mut pre = BatchPredecoder::new(&g);
+        let out = pre.decode_batch(&[interior]);
+        assert!(out.complex);
+        assert_eq!(out.residual, vec![interior]);
+        assert!(out.matches.is_empty());
+    }
+
+    #[test]
+    fn latency_is_the_fixed_two_cycle_charge() {
+        let g = graph(3, 3);
+        let mut pre = BatchPredecoder::new(&g);
+        let out = pre.decode_batch(&[]);
+        assert_eq!(out.latency_ns, cycles_to_ns(BATCH_PREDECODE_CYCLES));
+        assert_eq!(out.latency_ns, 8.0);
+    }
+}

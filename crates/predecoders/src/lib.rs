@@ -20,11 +20,18 @@
 //! * [`ParallelDecoder`] — `A ‖ B` composition: run both, take the
 //!   lower-weight solution, charging the 10-cycle comparison overhead
 //!   the paper budgets for Promatch ‖ AG.
+//! * [`BatchPredecoder`] — the Pinball-style L1 batch tier: cancels
+//!   measurement-error pairs between consecutive rounds (`curr & prev`),
+//!   locally resolves weight-≤2 trivial chains, and escalates the
+//!   residual of `complex` batches to the full decoder. Consumed by the
+//!   real-time sliding-window runtime as its opt-in first stage.
 
+mod batch;
 mod clique;
 mod pipeline;
 mod smith;
 
+pub use batch::{BatchOutcome, BatchPredecoder, LocalMatch, BATCH_PREDECODE_CYCLES};
 pub use clique::CliquePredecoder;
 pub use pipeline::{ParallelDecoder, PipelineDecoder, COMPARISON_OVERHEAD_NS};
 pub use smith::SmithPredecoder;

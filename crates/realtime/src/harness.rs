@@ -9,7 +9,7 @@
 
 use crate::backlog::{service_ns, simulate_backlog, BacklogConfig, BacklogReport, WindowTiming};
 use crate::stream::SyndromeStream;
-use crate::window::{SlidingWindowDecoder, WindowConfig};
+use crate::window::{PredecodeMode, SlidingWindowDecoder, WindowConfig};
 use astrea::AstreaLatencyModel;
 use decoding_graph::{
     DecodingGraph, LatencyModel, LayerMap, PolynomialLatency, SeamPolicy, WindowCache,
@@ -54,6 +54,8 @@ pub struct StreamRunConfig {
     pub window: WindowConfig,
     /// Arrival cadence and reaction deadline.
     pub backlog: BacklogConfig,
+    /// Whether the L1 batch predecoder runs ahead of the solver.
+    pub predecode: PredecodeMode,
 }
 
 /// Result of one streaming run.
@@ -71,8 +73,36 @@ pub struct StreamRunResult {
     pub decode_failures: u64,
     /// Observed streaming logical error rate per shot.
     pub ler: f64,
+    /// Round layers finalized without waking a matching solver (zero
+    /// with predecoding off).
+    pub l1_rounds: u64,
+    /// Windows whose residual syndrome was escalated to the solver
+    /// (zero with predecoding off).
+    pub escalated_windows: u64,
     /// The backlog / reaction-time simulation over the whole stream.
     pub backlog: BacklogReport,
+}
+
+impl StreamRunResult {
+    /// Fraction of all streamed rounds the L1 tier resolved before any
+    /// matching solver ran.
+    pub fn l1_rounds_fraction(&self) -> f64 {
+        let total = self.shots as u64 * self.layers_per_shot as u64;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_rounds as f64 / total as f64
+        }
+    }
+
+    /// Fraction of all windows escalated to the matching solver.
+    pub fn escalation_fraction(&self) -> f64 {
+        if self.backlog.windows == 0 {
+            0.0
+        } else {
+            self.escalated_windows as f64 / self.backlog.windows as f64
+        }
+    }
 }
 
 /// Streams `cfg.shots` shots of `circuit` through a sliding-window
@@ -111,11 +141,14 @@ pub fn run_stream_with_cache(
     let layers_per_shot = layers.num_layers();
     let mut stream = SyndromeStream::with_shared_layers(circuit, Arc::clone(&layers), cfg.seed);
     let mut swd =
-        SlidingWindowDecoder::with_cache(graph, layers, kind, cfg.window, Arc::clone(cache));
+        SlidingWindowDecoder::with_cache(graph, layers, kind, cfg.window, Arc::clone(cache))
+            .with_predecode(cfg.predecode);
     let fallback = fallback_latency_model(kind);
     let mut timings: Vec<WindowTiming> = Vec::new();
     let mut failures = 0u64;
     let mut decode_failures = 0u64;
+    let mut l1_rounds = 0u64;
+    let mut escalated_windows = 0u64;
     for shot_idx in 0..cfg.shots {
         let shot = stream.next_shot();
         let out = swd.decode_shot(&shot.dets);
@@ -125,11 +158,13 @@ pub fn run_stream_with_cache(
         if out.failed || out.obs_flip != shot.obs {
             failures += 1;
         }
+        l1_rounds += out.l1_rounds();
+        escalated_windows += out.escalated_windows();
         let base_round = shot_idx as u64 * layers_per_shot as u64;
         for w in &out.windows {
             timings.push(WindowTiming {
                 ready_round: base_round + w.hi_layer as u64,
-                service_ns: service_ns(w.latency_ns, w.hw, fallback.as_ref()),
+                service_ns: service_ns(w.latency_ns, w.solver_hw, fallback.as_ref()),
             });
         }
     }
@@ -144,6 +179,8 @@ pub fn run_stream_with_cache(
         } else {
             failures as f64 / cfg.shots as f64
         },
+        l1_rounds,
+        escalated_windows,
         backlog,
     }
 }
@@ -160,6 +197,7 @@ mod tests {
             seed,
             window: WindowConfig::new(4, 2).unwrap(),
             backlog: BacklogConfig::with_commit_deadline(1000.0, 2),
+            predecode: PredecodeMode::Off,
         };
         run_stream(&ctx.graph, &ctx.circuit, kind, &cfg)
     }
@@ -212,6 +250,7 @@ mod tests {
             seed: 17,
             window: WindowConfig::new(4, 2).unwrap(),
             backlog: BacklogConfig::with_commit_deadline(1000.0, 2),
+            predecode: PredecodeMode::Off,
         };
         let cache = Arc::new(WindowCache::new(&ctx.graph, SeamPolicy::Cut));
         for kind in [DecoderKind::Mwpm, DecoderKind::AstreaG] {
@@ -221,6 +260,41 @@ mod tests {
         }
         // Both kinds walked the same window ranges through one cache.
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn batch_predecoding_sheds_solver_work_at_low_noise() {
+        let ctx = ExperimentContext::with_rounds(3, 5, 1e-3);
+        let mut cfg = StreamRunConfig {
+            shots: 200,
+            seed: 23,
+            window: WindowConfig::new(4, 2).unwrap(),
+            backlog: BacklogConfig::with_commit_deadline(1000.0, 2),
+            predecode: PredecodeMode::Batch,
+        };
+        let on = run_stream(&ctx.graph, &ctx.circuit, DecoderKind::Mwpm, &cfg);
+        let on_again = run_stream(&ctx.graph, &ctx.circuit, DecoderKind::Mwpm, &cfg);
+        assert_eq!(on, on_again);
+        cfg.predecode = PredecodeMode::Off;
+        let off = run_stream(&ctx.graph, &ctx.circuit, DecoderKind::Mwpm, &cfg);
+        // The counters are exclusive to batch mode.
+        assert_eq!(off.l1_rounds, 0);
+        assert_eq!(off.escalated_windows, 0);
+        assert!(
+            on.l1_rounds_fraction() > 0.5,
+            "L1 should finalize most d=3, p=1e-3 rounds: {}",
+            on.l1_rounds_fraction()
+        );
+        assert!(on.escalation_fraction() < 0.5);
+        // L1-resolved windows are serviced at the fixed two-cycle charge
+        // instead of the MWPM fallback model, so typical reaction times
+        // drop with predecoding on.
+        assert!(
+            on.backlog.reaction.p50_ns < off.backlog.reaction.p50_ns,
+            "L1 p50 {} should beat solver-only p50 {}",
+            on.backlog.reaction.p50_ns,
+            off.backlog.reaction.p50_ns
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //!
 //! ```
 //! use ler::{DecoderKind, ExperimentContext};
-//! use realtime::{run_stream, BacklogConfig, StreamRunConfig, WindowConfig};
+//! use realtime::{run_stream, BacklogConfig, PredecodeMode, StreamRunConfig, WindowConfig};
 //!
 //! let ctx = ExperimentContext::with_rounds(3, 5, 1e-3);
 //! let cfg = StreamRunConfig {
@@ -34,6 +34,7 @@
 //!     seed: 7,
 //!     window: WindowConfig::new(4, 2).unwrap(),
 //!     backlog: BacklogConfig::with_commit_deadline(1000.0, 2),
+//!     predecode: PredecodeMode::Off,
 //! };
 //! let run = run_stream(&ctx.graph, &ctx.circuit, DecoderKind::AstreaG, &cfg);
 //! assert_eq!(run.backlog.windows, 32 * 2);
@@ -53,4 +54,6 @@ pub use harness::{
     fallback_latency_model, run_stream, run_stream_with_cache, StreamRunConfig, StreamRunResult,
 };
 pub use stream::{StreamedShot, SyndromeStream};
-pub use window::{SlidingWindowDecoder, WindowConfig, WindowRecord, WindowedOutcome};
+pub use window::{
+    PredecodeMode, SlidingWindowDecoder, WindowConfig, WindowRecord, WindowedOutcome,
+};

@@ -19,11 +19,64 @@
 
 use decoding_graph::{
     DecodingGraph, DetectorId, LayerMap, MatchTarget, SeamPolicy, SyndromeBatch, WindowCache,
-    WindowContext,
+    WindowContext, BATCH_PREDECODE_NS,
 };
 use ler::{build_decoder, DecoderKind};
+use predecoders::BatchPredecoder;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+
+/// Whether the L1 batch predecoder runs ahead of the window decoder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PredecodeMode {
+    /// Every non-empty window goes straight to the matching solver.
+    #[default]
+    Off,
+    /// The Pinball-style [`predecoders::BatchPredecoder`] runs first:
+    /// trivial windows commit their local corrections without waking
+    /// any solver; `complex` windows escalate their residual syndrome.
+    Batch,
+}
+
+impl PredecodeMode {
+    /// Parses the CLI spelling (`off` or `batch`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted spellings.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(PredecodeMode::Off),
+            "batch" => Ok(PredecodeMode::Batch),
+            other => Err(format!("unknown predecode mode '{other}' (off|batch)")),
+        }
+    }
+
+    /// The CLI/report spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            PredecodeMode::Off => "off",
+            PredecodeMode::Batch => "batch",
+        }
+    }
+
+    /// Stable wire code (`RegisterQubit` frames).
+    pub fn code(self) -> u8 {
+        match self {
+            PredecodeMode::Off => 0,
+            PredecodeMode::Batch => 1,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(PredecodeMode::Off),
+            1 => Some(PredecodeMode::Batch),
+            _ => None,
+        }
+    }
+}
 
 /// The `(window, commit)` split of a sliding-window run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +128,26 @@ pub struct WindowRecord {
     /// The window decode failed (e.g. exceeded the decoder's supported
     /// Hamming weight); the whole shot counts as a logical failure.
     pub failed: bool,
+    /// Defects the matching solver actually decoded: equals `hw` with
+    /// predecoding off, the escalated residual's weight with it on.
+    pub solver_hw: usize,
+    /// Predecoding was on and the batch verified non-complex: the L1
+    /// tier fully resolved the window with the provably unique
+    /// minimum-weight matching (or it was empty). Bit-identical to the
+    /// un-predecoded path by construction.
+    pub l1_resolved: bool,
+    /// Predecoding was on and the batch was classified complex: the L1
+    /// tier fell back to greedy round cancellation and handed the
+    /// (possibly drained) residual to the matching solver.
+    pub escalated: bool,
+}
+
+impl WindowRecord {
+    /// Round layers this window finalized (its commit region, net of
+    /// what earlier windows already committed).
+    pub fn rounds_committed(&self) -> u32 {
+        self.commit_end - self.start_layer
+    }
 }
 
 /// Result of sliding-window decoding one whole shot.
@@ -87,6 +160,24 @@ pub struct WindowedOutcome {
     pub failed: bool,
     /// Per-window decode records, in stream order.
     pub windows: Vec<WindowRecord>,
+}
+
+impl WindowedOutcome {
+    /// Round layers finalized without waking a matching solver (the L1
+    /// tier's shed; zero with predecoding off).
+    pub fn l1_rounds(&self) -> u64 {
+        self.windows
+            .iter()
+            .filter(|w| w.l1_resolved)
+            .map(|w| w.rounds_committed() as u64)
+            .sum()
+    }
+
+    /// Windows whose batch was classified complex and escalated past the
+    /// verified L1 fast path.
+    pub fn escalated_windows(&self) -> u64 {
+        self.windows.iter().filter(|w| w.escalated).count() as u64
+    }
 }
 
 /// Per-shot streaming state while a shot walks through its windows.
@@ -117,6 +208,7 @@ pub struct SlidingWindowDecoder<'g> {
     cfg: WindowConfig,
     shared: Arc<WindowCache>,
     local: HashMap<(u32, u32), Arc<WindowContext>>,
+    l1: Option<BatchPredecoder<'g>>,
 }
 
 impl<'g> SlidingWindowDecoder<'g> {
@@ -176,6 +268,31 @@ impl<'g> SlidingWindowDecoder<'g> {
             cfg,
             shared: cache,
             local: HashMap::new(),
+            l1: None,
+        }
+    }
+
+    /// Switches the L1 batch-predecode tier on or off.
+    pub fn set_predecode(&mut self, mode: PredecodeMode) {
+        self.l1 = match mode {
+            PredecodeMode::Off => None,
+            PredecodeMode::Batch => Some(BatchPredecoder::new(self.parent)),
+        };
+    }
+
+    /// Chainable [`SlidingWindowDecoder::set_predecode`].
+    #[must_use]
+    pub fn with_predecode(mut self, mode: PredecodeMode) -> Self {
+        self.set_predecode(mode);
+        self
+    }
+
+    /// The predecode mode in effect.
+    pub fn predecode(&self) -> PredecodeMode {
+        if self.l1.is_some() {
+            PredecodeMode::Batch
+        } else {
+            PredecodeMode::Off
         }
     }
 
@@ -272,6 +389,50 @@ impl<'g> SlidingWindowDecoder<'g> {
                     state.next_new += 1;
                 }
                 active.sort_unstable();
+                let hw = active.len();
+                let mut latency_ns = None;
+                let mut deferred = 0usize;
+                let mut l1_resolved = false;
+                let mut escalated = false;
+                // L1 stage: locally resolve the window, commit/defer the
+                // local matches by the same rule as solver matches, and
+                // keep only the escalated residual for the solver.
+                if let Some(l1) = self.l1.as_mut() {
+                    let out = l1.decode_batch(&active);
+                    for m in &out.matches {
+                        let top = match m.b {
+                            Some(b) => self.layers.layer_of(m.a).max(self.layers.layer_of(b)),
+                            None => self.layers.layer_of(m.a),
+                        };
+                        if top < commit_end {
+                            state.obs ^= m.obs;
+                        } else {
+                            state.pending.push(m.a);
+                            deferred += 1;
+                            if let Some(b) = m.b {
+                                state.pending.push(b);
+                                deferred += 1;
+                            }
+                        }
+                    }
+                    active = out.residual;
+                    if out.complex {
+                        // Complex batches escalate even when the greedy
+                        // cancellation drained the residual: their
+                        // resolution is no longer the verified-unique
+                        // matching, so they are outside the L1
+                        // bit-identity contract. A drained residual
+                        // still pays only the L1 charge; the solver's
+                        // charge is added when it actually runs.
+                        escalated = true;
+                        if active.is_empty() {
+                            latency_ns = Some(BATCH_PREDECODE_NS);
+                        }
+                    } else {
+                        l1_resolved = true;
+                        latency_ns = Some(BATCH_PREDECODE_NS);
+                    }
+                }
                 // Carried defects may reach back before the step
                 // position; extend the extraction range to cover them.
                 let lo_layer = match active.first() {
@@ -283,10 +444,13 @@ impl<'g> SlidingWindowDecoder<'g> {
                     lo_layer,
                     hi_layer: hi,
                     commit_end,
-                    hw: active.len(),
-                    latency_ns: None,
-                    deferred: 0,
+                    hw,
+                    latency_ns,
+                    deferred,
                     failed: false,
+                    solver_hw: active.len(),
+                    l1_resolved,
+                    escalated,
                 });
                 if !active.is_empty() {
                     groups.entry((lo_layer, hi)).or_default().push(i);
@@ -317,7 +481,14 @@ impl<'g> SlidingWindowDecoder<'g> {
                 for (&i, out) in idxs.iter().zip(&outs) {
                     let state = &mut st[i];
                     let record = state.windows.last_mut().expect("record pushed above");
-                    record.latency_ns = out.latency_ns;
+                    // Escalated windows pay the L1 charge on top of the
+                    // solver's modeled latency (software decoders report
+                    // none; their fallback model covers the residual).
+                    record.latency_ns = if record.escalated {
+                        out.latency_ns.map(|l| l + BATCH_PREDECODE_NS)
+                    } else {
+                        out.latency_ns
+                    };
                     if out.failed {
                         state.failed = true;
                         record.failed = true;
@@ -550,6 +721,89 @@ mod tests {
         let out = swd.decode_shot(&dets);
         assert!(out.failed);
         assert!(out.windows.iter().any(|w| w.failed));
+    }
+
+    #[test]
+    fn predecode_mode_round_trips_through_labels_and_codes() {
+        for mode in [PredecodeMode::Off, PredecodeMode::Batch] {
+            assert_eq!(PredecodeMode::parse(mode.label()), Ok(mode));
+            assert_eq!(PredecodeMode::from_code(mode.code()), Some(mode));
+        }
+        assert_eq!(PredecodeMode::default(), PredecodeMode::Off);
+        assert!(PredecodeMode::parse("clique").is_err());
+        assert_eq!(PredecodeMode::from_code(7), None);
+    }
+
+    #[test]
+    fn l1_resolved_windows_commit_correct_matches_without_the_solver() {
+        let ctx = ctx(3, 6);
+        for kind in [DecoderKind::Mwpm, DecoderKind::AstreaG] {
+            let mut swd = windowed(&ctx, kind, 4, 2).with_predecode(PredecodeMode::Batch);
+            assert_eq!(swd.predecode(), PredecodeMode::Batch);
+            let mut l1_windows = 0usize;
+            for e in &ctx.dem.errors {
+                let out = swd.decode_shot(e.dets.as_slice());
+                assert!(!out.failed);
+                assert_eq!(out.obs_flip, e.obs, "{kind:?} mechanism {e:?}");
+                for w in &out.windows {
+                    assert!(!(w.l1_resolved && w.escalated));
+                    if w.l1_resolved {
+                        l1_windows += 1;
+                        assert_eq!(w.solver_hw, 0);
+                        assert_eq!(w.latency_ns, Some(BATCH_PREDECODE_NS));
+                    }
+                }
+            }
+            assert!(l1_windows > 0, "{kind:?}: L1 resolved no windows");
+        }
+    }
+
+    #[test]
+    fn escalated_windows_pay_the_solver_plus_the_l1_charge() {
+        let ctx = ctx(5, 6);
+        // A lone interior defect is never a trivial chain, so L1 must
+        // escalate it to the solver with the two-cycle charge on top.
+        let bd = ctx.graph.boundary_node();
+        let layers = LayerMap::from_graph(&ctx.graph).unwrap();
+        let interior = (0..ctx.graph.num_detectors())
+            .find(|&d| layers.layer_of(d) == 1 && ctx.graph.edge_between(d, bd).is_none())
+            .expect("an interior layer-1 detector exists");
+        let mut off = windowed(&ctx, DecoderKind::AstreaG, 4, 2);
+        let base = off.decode_shot(&[interior]);
+        let mut on =
+            windowed(&ctx, DecoderKind::AstreaG, 4, 2).with_predecode(PredecodeMode::Batch);
+        let out = on.decode_shot(&[interior]);
+        assert_eq!(out.obs_flip, base.obs_flip);
+        let w_on = &out.windows[0];
+        let w_off = &base.windows[0];
+        assert!(w_on.escalated && !w_on.l1_resolved);
+        assert_eq!(w_on.solver_hw, 1);
+        assert_eq!(
+            w_on.latency_ns,
+            w_off.latency_ns.map(|l| l + BATCH_PREDECODE_NS),
+            "escalation adds exactly the L1 charge"
+        );
+    }
+
+    #[test]
+    fn batched_decode_matches_sequential_with_predecoding_on() {
+        let ctx = ctx(3, 6);
+        let shots: Vec<&[DetectorId]> = ctx
+            .dem
+            .errors
+            .iter()
+            .take(24)
+            .map(|e| e.dets.as_slice())
+            .collect();
+        for kind in [DecoderKind::Mwpm, DecoderKind::AstreaG] {
+            let mut batched = windowed(&ctx, kind, 4, 2).with_predecode(PredecodeMode::Batch);
+            let got = batched.decode_shots(&shots);
+            let mut sequential = windowed(&ctx, kind, 4, 2).with_predecode(PredecodeMode::Batch);
+            for (dets, b) in shots.iter().zip(&got) {
+                let s = sequential.decode_shot(dets);
+                assert_eq!(&s, b, "{:?}", kind);
+            }
+        }
     }
 
     #[test]

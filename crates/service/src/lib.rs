@@ -33,6 +33,7 @@
 //!     channel_pair, run_loadgen, DecodeServer, LoadgenConfig, ScenarioContext, ServiceConfig,
 //! };
 //! use ler::{DecoderKind, ExperimentContext};
+//! use realtime::PredecodeMode;
 //!
 //! let ctx = Arc::new(ExperimentContext::with_rounds(3, 3, 1e-3));
 //! let scenario = ScenarioContext::new("demo", Arc::clone(&ctx)).unwrap();
@@ -52,6 +53,7 @@
 //!         decoder: DecoderKind::Mwpm,
 //!         window: 3,
 //!         commit: 2,
+//!         predecode: PredecodeMode::Off,
 //!         inflight: 2,
 //!     };
 //!     run_loadgen(client, &ctx, scenario.layers(), &cfg).unwrap()
@@ -77,6 +79,7 @@ pub use transport::{channel_pair, tcp_endpoint, Endpoint, FrameSink, FrameSource
 mod tests {
     use super::*;
     use ler::{DecoderKind, ExperimentContext};
+    use realtime::PredecodeMode;
     use std::sync::Arc;
 
     fn small_ctx() -> Arc<ExperimentContext> {
@@ -92,6 +95,7 @@ mod tests {
             decoder: DecoderKind::Mwpm,
             window: 3,
             commit: 2,
+            predecode: PredecodeMode::Off,
             inflight: 2,
         }
     }
@@ -191,6 +195,7 @@ mod tests {
                 decoder: DecoderKind::Mwpm.code(),
                 window: 3,
                 commit: 2,
+                predecode: 0,
                 scenario: "t".into(),
             };
             client.sink.send(&reg).unwrap();
@@ -234,6 +239,7 @@ mod tests {
                     decoder: DecoderKind::Mwpm.code(),
                     window: 3,
                     commit: 2,
+                    predecode: 0,
                     scenario: "t".into(),
                 })
                 .unwrap();
@@ -352,6 +358,7 @@ mod tests {
                     decoder: DecoderKind::Mwpm.code(),
                     window: 3,
                     commit: 2,
+                    predecode: 0,
                     scenario: "t".into(),
                 })
                 .unwrap();

@@ -19,7 +19,7 @@ use crate::protocol::{Frame, ServiceError, TenantStatsWire};
 use crate::transport::Endpoint;
 use decoding_graph::LayerMap;
 use ler::{DecoderKind, ExperimentContext};
-use realtime::SyndromeStream;
+use realtime::{PredecodeMode, SyndromeStream};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -47,6 +47,8 @@ pub struct LoadgenConfig {
     pub window: u32,
     /// Committed layers per window step.
     pub commit: u32,
+    /// Predecode mode every tenant registers with.
+    pub predecode: PredecodeMode,
     /// Maximum outstanding shots per tenant (the closed loop's depth).
     pub inflight: usize,
 }
@@ -151,6 +153,7 @@ pub fn run_loadgen(
             decoder: cfg.decoder.code(),
             window: cfg.window,
             commit: cfg.commit,
+            predecode: cfg.predecode.code(),
             scenario: cfg.scenario.clone(),
         })?;
     }

@@ -34,7 +34,10 @@
 use std::io::{Read, Write};
 
 /// Version stamped into (and checked on) every frame.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2 added the predecode byte to [`Frame::RegisterQubit`] and the
+/// `l1_rounds` / `escalated_windows` counters to [`TenantStatsWire`].
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on one frame's encoded size (sanity check against
 /// corrupted length prefixes; generous for any realistic syndrome).
@@ -92,6 +95,12 @@ pub struct TenantStatsWire {
     pub p99_ns: f64,
     /// Worst modeled reaction time, ns.
     pub max_ns: f64,
+    /// Round layers finalized by the L1 batch predecoder without waking
+    /// a matching solver (zero with predecoding off).
+    pub l1_rounds: u64,
+    /// Windows whose residual syndrome was escalated past the L1 tier
+    /// to the matching solver (zero with predecoding off).
+    pub escalated_windows: u64,
 }
 
 /// One protocol message. See the module docs for the frame table.
@@ -109,6 +118,8 @@ pub enum Frame {
         window: u32,
         /// Committed layers per window step.
         commit: u32,
+        /// Predecode mode wire code ([`realtime::PredecodeMode::code`]).
+        predecode: u8,
         /// Scenario name the server must have preloaded.
         scenario: String,
     },
@@ -195,12 +206,14 @@ impl Frame {
                 decoder,
                 window,
                 commit,
+                predecode,
                 scenario,
             } => {
                 put_u32(&mut out, *qubit);
                 out.push(*decoder);
                 put_u32(&mut out, *window);
                 put_u32(&mut out, *commit);
+                out.push(*predecode);
                 put_str(&mut out, scenario);
             }
             Frame::RegisterAck {
@@ -252,6 +265,8 @@ impl Frame {
                     put_f64(&mut out, t.p50_ns);
                     put_f64(&mut out, t.p99_ns);
                     put_f64(&mut out, t.max_ns);
+                    put_u64(&mut out, t.l1_rounds);
+                    put_u64(&mut out, t.escalated_windows);
                 }
             }
             Frame::Error { message } => put_str(&mut out, message),
@@ -280,6 +295,7 @@ impl Frame {
                 decoder: r.u8()?,
                 window: r.u32()?,
                 commit: r.u32()?,
+                predecode: r.u8()?,
                 scenario: r.str16()?,
             },
             1 => Frame::RegisterAck {
@@ -329,6 +345,8 @@ impl Frame {
                         p50_ns: r.f64()?,
                         p99_ns: r.f64()?,
                         max_ns: r.f64()?,
+                        l1_rounds: r.u64()?,
+                        escalated_windows: r.u64()?,
                     });
                 }
                 Frame::StatsReport { tenants }
@@ -489,6 +507,7 @@ mod tests {
                 decoder: 5,
                 window: 4,
                 commit: 2,
+                predecode: 1,
                 scenario: "sd6-d5".into(),
             },
             Frame::RegisterAck {
@@ -535,6 +554,8 @@ mod tests {
                     p50_ns: 400.0,
                     p99_ns: 900.0,
                     max_ns: 1400.0,
+                    l1_rounds: 240,
+                    escalated_windows: 12,
                 }],
             },
             Frame::Shutdown,

@@ -28,7 +28,7 @@ use crate::shard::{run_shard, ShardRequest};
 use crate::transport::{tcp_endpoint, Endpoint, FrameSource};
 use decoding_graph::{LayerMap, SeamPolicy, WindowCache};
 use ler::{DecoderKind, ExperimentContext};
-use realtime::WindowConfig;
+use realtime::{PredecodeMode, WindowConfig};
 use std::collections::HashMap;
 use std::net::TcpListener;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -350,8 +350,9 @@ fn validate_register(
     decoder: u8,
     window: u32,
     commit: u32,
+    predecode: u8,
     scenario: &str,
-) -> Result<(usize, DecoderKind, WindowConfig), String> {
+) -> Result<(usize, DecoderKind, WindowConfig, PredecodeMode), String> {
     let idx = scenarios
         .iter()
         .position(|s| s.name == scenario)
@@ -364,6 +365,8 @@ fn validate_register(
         })?;
     let kind =
         DecoderKind::from_code(decoder).ok_or_else(|| format!("unknown decoder code {decoder}"))?;
+    let pd = PredecodeMode::from_code(predecode)
+        .ok_or_else(|| format!("unknown predecode code {predecode}"))?;
     let wc = WindowConfig::new(window, commit)?;
     let layers = scenarios[idx].layers().num_layers();
     if wc.window > layers {
@@ -371,7 +374,7 @@ fn validate_register(
             "window {window} exceeds the {layers} round layers of scenario {scenario}"
         ));
     }
-    Ok((idx, kind, wc))
+    Ok((idx, kind, wc, pd))
 }
 
 /// One session's request router: reads frames until shutdown/EOF and
@@ -403,14 +406,16 @@ fn route_session(
                 decoder,
                 window,
                 commit,
+                predecode,
                 scenario,
             } => {
-                let outcome = validate_register(scenarios, decoder, window, commit, &scenario)
-                    .and_then(|(idx, kind, wc)| {
-                        let gate = Arc::new(TenantGate::new(cfg.max_inflight_shots));
-                        let route = registry.assign(qubit, Arc::clone(&gate))?;
-                        Ok((idx, kind, wc, gate, route))
-                    });
+                let outcome =
+                    validate_register(scenarios, decoder, window, commit, predecode, &scenario)
+                        .and_then(|(idx, kind, wc, pd)| {
+                            let gate = Arc::new(TenantGate::new(cfg.max_inflight_shots));
+                            let route = registry.assign(qubit, Arc::clone(&gate))?;
+                            Ok((idx, kind, wc, pd, gate, route))
+                        });
                 match outcome {
                     Err(message) => {
                         let _ = reply_tx.send(Frame::RegisterAck {
@@ -420,7 +425,7 @@ fn route_session(
                             message,
                         });
                     }
-                    Ok((idx, kind, wc, gate, route)) => {
+                    Ok((idx, kind, wc, pd, gate, route)) => {
                         routes.insert(qubit, route.clone());
                         // The shard sends the ack so that it is ordered
                         // after the tenant state actually exists.
@@ -429,6 +434,7 @@ fn route_session(
                             scenario: idx,
                             kind,
                             window: wc,
+                            predecode: pd,
                             gate,
                             reply: reply_tx.clone(),
                         });
@@ -586,16 +592,21 @@ mod tests {
         let ctx = Arc::new(ExperimentContext::with_rounds(3, 3, 1e-3));
         let scenarios = vec![ScenarioContext::new("test", ctx).unwrap()];
         // 4 layers: window 4 ok, window 5 too big.
-        assert!(validate_register(&scenarios, 0, 4, 2, "test").is_ok());
-        assert!(validate_register(&scenarios, 0, 5, 2, "test")
+        assert!(validate_register(&scenarios, 0, 4, 2, 0, "test").is_ok());
+        let (_, _, _, pd) = validate_register(&scenarios, 0, 4, 2, 1, "test").unwrap();
+        assert_eq!(pd, PredecodeMode::Batch);
+        assert!(validate_register(&scenarios, 0, 5, 2, 0, "test")
             .unwrap_err()
             .contains("exceeds"));
-        assert!(validate_register(&scenarios, 0, 4, 0, "test").is_err());
-        assert!(validate_register(&scenarios, 0, 2, 3, "test").is_err());
-        assert!(validate_register(&scenarios, 250, 4, 2, "test")
+        assert!(validate_register(&scenarios, 0, 4, 0, 0, "test").is_err());
+        assert!(validate_register(&scenarios, 0, 2, 3, 0, "test").is_err());
+        assert!(validate_register(&scenarios, 250, 4, 2, 0, "test")
             .unwrap_err()
             .contains("decoder code"));
-        assert!(validate_register(&scenarios, 0, 4, 2, "nope")
+        assert!(validate_register(&scenarios, 0, 4, 2, 9, "test")
+            .unwrap_err()
+            .contains("predecode code"));
+        assert!(validate_register(&scenarios, 0, 4, 2, 0, "nope")
             .unwrap_err()
             .contains("unknown scenario"));
     }

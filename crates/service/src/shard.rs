@@ -22,7 +22,9 @@ use crate::protocol::{Frame, TenantStatsWire};
 use crate::server::{ScenarioContext, ServiceConfig};
 use decoding_graph::LatencyModel;
 use ler::DecoderKind;
-use realtime::{fallback_latency_model, service_ns, SlidingWindowDecoder, WindowConfig};
+use realtime::{
+    fallback_latency_model, service_ns, PredecodeMode, SlidingWindowDecoder, WindowConfig,
+};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
@@ -36,6 +38,7 @@ pub(crate) enum ShardRequest {
         scenario: usize,
         kind: DecoderKind,
         window: WindowConfig,
+        predecode: PredecodeMode,
         gate: Arc<TenantGate>,
         reply: Sender<Frame>,
     },
@@ -63,6 +66,11 @@ struct Tenant<'a> {
     next_shot: u64,
     shots: u64,
     windows: u64,
+    /// Round layers the L1 batch predecoder finalized without waking a
+    /// matching solver (zero with predecoding off).
+    l1_rounds: u64,
+    /// Windows escalated past the L1 tier to the matching solver.
+    escalated_windows: u64,
     gate: Arc<TenantGate>,
 }
 
@@ -143,6 +151,7 @@ pub(crate) fn run_shard(
                 scenario,
                 kind,
                 window,
+                predecode,
                 gate,
                 reply,
             }) => {
@@ -153,7 +162,8 @@ pub(crate) fn run_shard(
                     kind,
                     window,
                     Arc::clone(sc.window_cache()),
-                );
+                )
+                .with_predecode(predecode);
                 let layers_per_shot = sc.layers().num_layers();
                 tenants.insert(
                     qubit,
@@ -166,6 +176,8 @@ pub(crate) fn run_shard(
                         next_shot: 0,
                         shots: 0,
                         windows: 0,
+                        l1_rounds: 0,
+                        escalated_windows: 0,
                         gate,
                     },
                 );
@@ -264,7 +276,11 @@ fn process_submits(
             let base_round = shot * tenant.layers_per_shot as u64;
             let mut total_ns = 0.0;
             for w in &out.windows {
-                let ns = service_ns(w.latency_ns, w.hw, tenant.fallback.as_ref());
+                // L1-resolved windows carry the fixed predecoder charge in
+                // `latency_ns`; escalated ones bill the solver for the
+                // residual weight only, so the fallback model sees
+                // `solver_hw`, not the pre-cancellation `hw`.
+                let ns = service_ns(w.latency_ns, w.solver_hw, tenant.fallback.as_ref());
                 timeline.push(WindowArrival {
                     qubit,
                     ready_round: base_round + w.hi_layer as u64,
@@ -273,6 +289,8 @@ fn process_submits(
                 total_ns += ns;
             }
             tenant.windows += out.windows.len() as u64;
+            tenant.l1_rounds += out.l1_rounds();
+            tenant.escalated_windows += out.escalated_windows();
             tenant.shots += 1;
             tenant.next_shot = shot + 1;
             tenant.gate.complete();
@@ -318,6 +336,8 @@ fn shard_stats(
                 p50_ns: modeled.map_or(0.0, |r| r.reaction.p50_ns),
                 p99_ns: modeled.map_or(0.0, |r| r.reaction.p99_ns),
                 max_ns: modeled.map_or(0.0, |r| r.reaction.max_ns),
+                l1_rounds: t.l1_rounds,
+                escalated_windows: t.escalated_windows,
             }
         })
         .collect();
@@ -346,6 +366,92 @@ mod tests {
                 "w={w} c={c}"
             );
         }
+    }
+
+    #[test]
+    fn l1_resolved_windows_cut_the_modeled_reaction_tail() {
+        // Satellite of the predecode tier: L1-resolved windows must be
+        // billed the fixed predecoder charge, not the solver's latency
+        // model, so the modeled p99 collapses when L1 resolves the
+        // stream. Runs the real submit path (process_submits) against
+        // the same single-mechanism shots with predecoding off and on.
+        use crate::admission::AdmissionConfig;
+        let ctx = ExperimentContext::with_rounds(3, 6, 1e-3);
+        let cfg = WindowConfig::new(4, 2).unwrap();
+        let admission = AdmissionConfig {
+            round_ns: 1000.0,
+            deadline_ns: 100_000.0,
+            queue_capacity: 64,
+        };
+        let shots: Vec<Vec<u32>> = ctx
+            .dem
+            .errors
+            .iter()
+            .take(48)
+            .map(|e| e.dets.as_slice().to_vec())
+            .collect();
+        let mut p99 = Vec::new();
+        let mut counters = Vec::new();
+        for mode in [PredecodeMode::Off, PredecodeMode::Batch] {
+            let layers = LayerMap::from_graph(&ctx.graph).unwrap();
+            let decoder = SlidingWindowDecoder::new(&ctx.graph, layers, DecoderKind::Mwpm, cfg)
+                .with_predecode(mode);
+            let layers_per_shot = decoder.layers().num_layers();
+            let gate = Arc::new(TenantGate::new(shots.len()));
+            for _ in &shots {
+                assert!(gate.try_admit());
+            }
+            let mut tenants = HashMap::new();
+            tenants.insert(
+                0,
+                Tenant {
+                    qubit: 0,
+                    decoder,
+                    fallback: fallback_latency_model(DecoderKind::Mwpm),
+                    layers_per_shot,
+                    windows_per_shot: windows_per_shot(layers_per_shot, cfg),
+                    next_shot: 0,
+                    shots: 0,
+                    windows: 0,
+                    l1_rounds: 0,
+                    escalated_windows: 0,
+                    gate,
+                },
+            );
+            let (tx, rx) = std::sync::mpsc::channel();
+            let submits: Vec<ShardRequest> = shots
+                .iter()
+                .enumerate()
+                .map(|(i, dets)| ShardRequest::Submit {
+                    qubit: 0,
+                    shot: i as u64,
+                    dets: dets.clone(),
+                    reply: tx.clone(),
+                })
+                .collect();
+            let mut timeline = Timeline::new();
+            process_submits(&mut tenants, &mut timeline, submits);
+            drop(tx);
+            for frame in rx.iter() {
+                match frame {
+                    Frame::CommitResult { failed, .. } => assert!(!failed),
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+            let reports = simulate_shard(&mut timeline.arrivals, &admission);
+            assert_eq!(reports.len(), 1);
+            p99.push(reports[0].reaction.p99_ns);
+            let t = &tenants[&0];
+            counters.push((t.l1_rounds, t.escalated_windows));
+        }
+        assert_eq!(counters[0], (0, 0), "off mode keeps zero L1 counters");
+        assert!(counters[1].0 > 0, "batch mode resolves rounds at L1");
+        assert!(
+            p99[1] < p99[0],
+            "L1 billing must cut the modeled p99: batch {} vs off {}",
+            p99[1],
+            p99[0]
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   path) of the same seeded stream.
 
 use ler::{DecoderKind, ExperimentContext};
-use realtime::{SlidingWindowDecoder, SyndromeStream, WindowConfig};
+use realtime::{PredecodeMode, SlidingWindowDecoder, SyndromeStream, WindowConfig};
 use service::{
     channel_pair, qubit_seed, run_loadgen, tcp_endpoint, DecodeServer, LoadgenConfig,
     LoadgenReport, ScenarioContext, ServiceConfig,
@@ -28,6 +28,7 @@ fn loadgen_cfg(qubits: u32, shots: u64, kind: DecoderKind) -> LoadgenConfig {
         decoder: kind,
         window: 4,
         commit: 2,
+        predecode: PredecodeMode::Off,
         inflight: 3,
     }
 }
@@ -105,6 +106,55 @@ fn tenant_commit_streams_equal_single_tenant_windowed_replay() {
             );
         }
     }
+}
+
+#[test]
+fn predecoded_commit_streams_are_shard_count_independent() {
+    // The L1 tier is per-tenant state like the decoder itself: shard
+    // assignment and request interleaving must not leak into predecoded
+    // commit streams either, and every tenant must match the
+    // single-tenant predecoded replay.
+    let ctx = Arc::new(ExperimentContext::with_rounds(3, 5, 2e-3));
+    let cfg = LoadgenConfig {
+        predecode: PredecodeMode::Batch,
+        ..loadgen_cfg(4, 25, DecoderKind::Mwpm)
+    };
+    let s1 = serve_channel(&ctx, 1, &cfg);
+    let s4 = serve_channel(&ctx, 4, &cfg);
+    let layers = decoding_graph::LayerMap::from_graph(&ctx.graph).unwrap();
+    let mut l1_total = 0u64;
+    for (a, b) in s1.tenants.iter().zip(&s4.tenants) {
+        assert_eq!(a.commits, b.commits, "qubit {}", a.qubit);
+        let mut stream = SyndromeStream::new(&ctx.circuit, layers.clone(), a.seed);
+        let mut swd = SlidingWindowDecoder::new(
+            &ctx.graph,
+            layers.clone(),
+            DecoderKind::Mwpm,
+            WindowConfig::new(cfg.window, cfg.commit).unwrap(),
+        )
+        .with_predecode(PredecodeMode::Batch);
+        for commit in &a.commits {
+            let shot = stream.next_shot();
+            let out = swd.decode_shot(&shot.dets);
+            assert_eq!(
+                (commit.obs_flip, commit.failed),
+                (out.obs_flip, out.failed),
+                "qubit {} shot {}",
+                a.qubit,
+                commit.shot
+            );
+        }
+    }
+    for (a, b) in s1.stats.iter().zip(&s4.stats) {
+        assert_eq!(a.l1_rounds, b.l1_rounds, "qubit {}", a.qubit);
+        assert_eq!(
+            a.escalated_windows, b.escalated_windows,
+            "qubit {}",
+            a.qubit
+        );
+        l1_total += a.l1_rounds;
+    }
+    assert!(l1_total > 0, "L1 resolved rounds under batch predecoding");
 }
 
 #[test]

@@ -47,6 +47,7 @@ fn arbitrary_frame(ty: u8, seed: u64, len: usize) -> Frame {
             decoder: m.next() as u8,
             window: m.next() as u32,
             commit: m.next() as u32,
+            predecode: m.next() as u8,
             scenario: m.string(len),
         },
         1 => Frame::RegisterAck {
@@ -83,6 +84,8 @@ fn arbitrary_frame(ty: u8, seed: u64, len: usize) -> Frame {
                     p50_ns: m.f64(),
                     p99_ns: m.f64(),
                     max_ns: m.f64(),
+                    l1_rounds: m.next(),
+                    escalated_windows: m.next(),
                 })
                 .collect(),
         },

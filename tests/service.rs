@@ -9,7 +9,9 @@
 //! tying the service layer back to PR 4's streaming runtime.
 
 use promatch_repro::ler::{DecoderKind, ExperimentContext};
-use promatch_repro::realtime::{run_stream, BacklogConfig, StreamRunConfig, WindowConfig};
+use promatch_repro::realtime::{
+    run_stream, BacklogConfig, PredecodeMode, StreamRunConfig, WindowConfig,
+};
 use promatch_repro::service::{
     channel_pair, qubit_seed, run_loadgen, DecodeServer, LoadgenConfig, ScenarioContext,
     ServiceConfig,
@@ -42,6 +44,7 @@ fn multi_tenant_service_matches_single_tenant_realtime_runs() {
         window,
         commit,
         inflight: 3,
+        predecode: PredecodeMode::Off,
     };
     let report = std::thread::scope(|scope| {
         scope.spawn(|| server.serve(vec![server_end]));
@@ -59,6 +62,7 @@ fn multi_tenant_service_matches_single_tenant_realtime_runs() {
                 seed: qubit_seed(base_seed, tenant.qubit),
                 window: WindowConfig::new(window, commit).unwrap(),
                 backlog: BacklogConfig::with_commit_deadline(1000.0, commit),
+                predecode: PredecodeMode::Off,
             },
         );
         assert_eq!(
