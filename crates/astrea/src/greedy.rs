@@ -3,7 +3,7 @@
 use crate::latency::CYCLE_NS;
 use decoding_graph::{
     DecodeOutcome, DecodeWorkspace, Decoder, DecodingGraph, DetectorId, MatchPair, MatchTarget,
-    PathTable,
+    PackedBits, PathTable,
 };
 
 /// Configuration of the Astrea-G search.
@@ -102,16 +102,17 @@ struct Search<'p> {
 }
 
 impl Search<'_> {
-    fn dfs(&mut self, used: &mut [bool], partner: &mut [usize], acc: i64) {
+    fn dfs(&mut self, used: &mut PackedBits, partner: &mut [usize], acc: i64) {
         if self.states >= self.budget || acc >= self.best {
             return;
         }
-        let Some(i) = (0..self.k).find(|&i| !used[i]) else {
+        // Word-parallel first-fit over the packed used flags.
+        let Some(i) = used.first_unset(self.k) else {
             self.best = acc;
             self.best_partner.copy_from_slice(partner);
             return;
         };
-        used[i] = true;
+        used.set(i);
         let opts = std::mem::take(&mut self.options[i]);
         for &(w, j) in &opts {
             if self.states >= self.budget {
@@ -121,18 +122,18 @@ impl Search<'_> {
             if j == usize::MAX {
                 partner[i] = usize::MAX;
                 self.dfs(used, partner, acc + w);
-            } else if !used[j] {
-                used[j] = true;
+            } else if !used.get(j) {
+                used.set(j);
                 partner[i] = j;
                 partner[j] = i;
                 self.dfs(used, partner, acc + w);
                 partner[j] = usize::MAX - 1;
-                used[j] = false;
+                used.unset(j);
             }
         }
         self.options[i] = opts;
         partner[i] = usize::MAX - 1;
-        used[i] = false;
+        used.unset(i);
     }
 }
 
@@ -184,7 +185,7 @@ impl Decoder for AstreaGDecoder<'_> {
         partner.resize(k, usize::MAX - 1);
         let used = &mut self.ws.used;
         used.clear();
-        used.resize(k, false);
+        used.ensure(k);
         let mut search = Search {
             k,
             options: &mut self.options[..k],

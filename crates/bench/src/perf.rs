@@ -9,19 +9,20 @@
 //! `BENCH.json` is a schema-stable artifact CI can archive per commit —
 //! and, since schema v2, per scenario.
 //!
-//! Schema (`schema_version` 5; see README.md for the field-by-field
+//! Schema (`schema_version` 6; see README.md for the field-by-field
 //! description):
 //!
 //! ```json
 //! {
-//!   "schema_version": 5,
+//!   "schema_version": 6,
 //!   "git_rev": "abc1234",
 //!   "seed": 2024,
 //!   "threads": 4,
 //!   "scenario": "sd6-d11",
 //!   "results": [
 //!     {"decoder": "MWPM (Ideal)", "d": 11, "p": 1e-4, "k": 12,
-//!      "shots": 512, "reps": 3, "ns_per_shot": 10431.7}
+//!      "shots": 512, "reps": 3, "ns_per_shot": 10431.7,
+//!      "rounds_per_s_per_core": 1150293}
 //!   ],
 //!   "ler": [
 //!     {"scenario": "sd6-d11", "decoder": "MWPM (Ideal)", "d": 11,
@@ -29,6 +30,8 @@
 //!      "predecode": "off", "ler": 2.1e-13, "low": 1.5e-13,
 //!      "high": 3.0e-13}
 //!   ],
+//!   "service_summary": {"rounds_per_s": 1450000,
+//!                       "rounds_per_s_per_shard": 362500},
 //!   "service": [
 //!     {"scenario": "sd6-d5", "decoder": "Promatch || AG", "qubits": 16,
 //!      "shards": 4, "qubit": 0, "shard": 2, "window": 4, "commit": 2,
@@ -37,15 +40,17 @@
 //!      "p50_ns": 410.0, "p99_ns": 890.0, "max_ns": 1410.0,
 //!      "mean_ns": 433.1, "l1_rounds_fraction": 0.9417,
 //!      "escalation_fraction": 0.0567, "failures": 0,
-//!      "rounds_per_s": 1450000}
+//!      "rounds_per_s": 90625}
 //!   ],
 //!   "latency": [
 //!     {"scenario": "sd6-d5", "decoder": "Promatch || AG", "window": 4,
-//!      "commit": 2, "predecode": "off", "round_ns": 1000, "shots": 200,
-//!      "layers_per_shot": 6, "p50_ns": 76, "p99_ns": 412, "max_ns": 964,
+//!      "commit": 2, "predecode": "off", "datapath": "packed",
+//!      "round_ns": 1000, "shots": 200, "layers_per_shot": 6,
+//!      "p50_ns": 76, "p99_ns": 412, "max_ns": 964,
 //!      "mean_ns": 98.2, "miss_fraction": 0, "max_backlog": 1,
 //!      "mean_backlog": 1, "l1_rounds_fraction": 0.0000,
-//!      "escalation_fraction": 0.0000, "failures": 0}
+//!      "escalation_fraction": 0.0000, "failures": 0,
+//!      "rounds_per_s_per_core": 2410532}
 //!   ]
 //! }
 //! ```
@@ -56,11 +61,16 @@
 //! (multi-tenant decode-service trajectory — schema v4, one row per
 //! tenant). Schema v5 stamps every ler/latency/service row with its
 //! `predecode` mode and reports the L1 batch-predecoder's resolved-round
-//! and escalation fractions. `scenario` is `"default"` for the classic
+//! and escalation fractions. Schema v6 adds the measured
+//! `rounds_per_s_per_core` throughput to bench and latency rows, tags
+//! latency rows with the syndrome `datapath` (`packed` or `byte`), makes
+//! the service rows' `rounds_per_s` genuinely per-tenant, and moves the
+//! whole-run aggregate into the `service_summary` object (`null` for
+//! non-serve documents). `scenario` is `"default"` for the classic
 //! injection benchmark, otherwise the registry name.
 
 use crate::scenario::{Scenario, ScenarioRegistry};
-use decoding_graph::SyndromeBatch;
+use decoding_graph::{LayerMap, SyndromeBatch};
 use ler::{effective_threads, DecoderKind, ExperimentContext, InjectionSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -68,7 +78,7 @@ use std::io::Write;
 use std::time::Instant;
 
 /// Version of the `BENCH.json` schema this build writes.
-pub const BENCH_SCHEMA_VERSION: u32 = 5;
+pub const BENCH_SCHEMA_VERSION: u32 = 6;
 
 /// One measured `(decoder, d, p, k)` point.
 #[derive(Clone, Debug)]
@@ -87,6 +97,11 @@ pub struct BenchPoint {
     pub reps: usize,
     /// Mean decode cost per shot, in nanoseconds.
     pub ns_per_shot: f64,
+    /// Decode throughput normalized to one core: syndrome rounds per
+    /// second a single timing thread sustains (`layers_per_shot × 1e9 /
+    /// ns_per_shot`; the timing loop is serial, so this is per-core by
+    /// construction).
+    pub rounds_per_s_per_core: f64,
 }
 
 /// One `(scenario, decoder)` logical-error-rate point with 95 % Wilson
@@ -131,6 +146,8 @@ pub struct LatencyPoint {
     pub commit: u32,
     /// Predecode mode label (`off` or `batch`).
     pub predecode: &'static str,
+    /// Syndrome datapath label (`packed` or `byte`).
+    pub datapath: &'static str,
     /// Syndrome round period, ns.
     pub round_ns: f64,
     /// Shots streamed.
@@ -158,6 +175,10 @@ pub struct LatencyPoint {
     pub escalation_fraction: f64,
     /// Streaming logical failures over the run.
     pub failures: u64,
+    /// Measured streaming decode throughput of this run's single worker
+    /// thread: syndrome rounds decoded per wall-clock second (stream
+    /// sampling included, backlog modeling excluded).
+    pub rounds_per_s_per_core: f64,
 }
 
 /// One `(scenario, tenant)` row of a multi-tenant decode-service run
@@ -209,9 +230,21 @@ pub struct ServicePoint {
     pub escalation_fraction: f64,
     /// Logical failures scored client-side for this tenant.
     pub failures: u64,
-    /// Measured whole-service decode throughput, syndrome rounds per
-    /// wall-clock second (identical across a run's rows).
+    /// This tenant's measured decode throughput, syndrome rounds per
+    /// wall-clock second (`shots × layers_per_shot / wall_seconds`).
+    /// The whole-service aggregate lives in [`ServiceSummary`].
     pub rounds_per_s: f64,
+}
+
+/// Whole-run aggregate of a `repro serve` study (schema v6). Before v6
+/// the aggregate throughput was copied verbatim into every tenant row's
+/// `rounds_per_s`, which made per-tenant comparisons meaningless.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceSummary {
+    /// Whole-service decode throughput, syndrome rounds per second.
+    pub rounds_per_s: f64,
+    /// Aggregate throughput normalized to one decode shard.
+    pub rounds_per_s_per_shard: f64,
 }
 
 /// Everything that goes into one `BENCH.json` document.
@@ -232,6 +265,9 @@ pub struct BenchDoc {
     pub latency: Vec<LatencyPoint>,
     /// Multi-tenant decode-service points (`repro serve` — schema v4).
     pub service: Vec<ServicePoint>,
+    /// Whole-run service aggregate (`repro serve` — schema v6;
+    /// serialized as `null` when absent).
+    pub service_summary: Option<ServiceSummary>,
 }
 
 /// Configuration of a `repro bench` run.
@@ -420,6 +456,12 @@ pub fn run_bench(scale: &BenchScale, w: &mut dyn Write) -> std::io::Result<()> {
             }
         };
         let sampler = InjectionSampler::new(&ctx.dem);
+        // Rounds-per-second normalization: a shot spans the graph's
+        // round-layer count (code-capacity graphs have no time axis and
+        // count as one round).
+        let layers_per_shot = LayerMap::from_graph(&ctx.graph)
+            .map(|l| l.num_layers())
+            .unwrap_or(1);
         // Small DEMs (e.g. code-capacity d=3) may carry fewer mechanisms
         // than a preset's largest k; injection requires k ≤ mechanisms.
         let (ks, skipped): (Vec<usize>, Vec<usize>) = scale
@@ -454,11 +496,17 @@ pub fn run_bench(scale: &BenchScale, w: &mut dyn Write) -> std::io::Result<()> {
                 let elapsed = started.elapsed();
                 let ns_per_shot =
                     elapsed.as_nanos() as f64 / (scale.reps * scale.shots).max(1) as f64;
+                let rounds_per_s_per_core = if ns_per_shot > 0.0 {
+                    layers_per_shot as f64 * 1e9 / ns_per_shot
+                } else {
+                    0.0
+                };
                 writeln!(
                     w,
-                    "  d={d} k={k:>2} {:<24} {:>12.1} ns/shot",
+                    "  d={d} k={k:>2} {:<24} {:>12.1} ns/shot {:>12.0} rounds/s/core",
                     kind.label(),
-                    ns_per_shot
+                    ns_per_shot,
+                    rounds_per_s_per_core
                 )?;
                 points.push(BenchPoint {
                     decoder: kind.label(),
@@ -468,6 +516,7 @@ pub fn run_bench(scale: &BenchScale, w: &mut dyn Write) -> std::io::Result<()> {
                     shots: scale.shots,
                     reps: scale.reps,
                     ns_per_shot,
+                    rounds_per_s_per_core,
                 });
             }
         }
@@ -506,7 +555,8 @@ pub fn render_json(doc: &BenchDoc) -> String {
     for (i, p) in doc.results.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"decoder\": \"{}\", \"d\": {}, \"p\": {}, \"k\": {}, \
-             \"shots\": {}, \"reps\": {}, \"ns_per_shot\": {:.1}}}{}\n",
+             \"shots\": {}, \"reps\": {}, \"ns_per_shot\": {:.1}, \
+             \"rounds_per_s_per_core\": {:.0}}}{}\n",
             escape(p.decoder),
             p.d,
             p.p,
@@ -514,6 +564,7 @@ pub fn render_json(doc: &BenchDoc) -> String {
             p.shots,
             p.reps,
             p.ns_per_shot,
+            p.rounds_per_s_per_core,
             if i + 1 < doc.results.len() { "," } else { "" }
         ));
     }
@@ -540,6 +591,14 @@ pub fn render_json(doc: &BenchDoc) -> String {
         ));
     }
     s.push_str("  ],\n");
+    match &doc.service_summary {
+        Some(sum) => s.push_str(&format!(
+            "  \"service_summary\": {{\"rounds_per_s\": {:.0}, \
+             \"rounds_per_s_per_shard\": {:.0}}},\n",
+            sum.rounds_per_s, sum.rounds_per_s_per_shard
+        )),
+        None => s.push_str("  \"service_summary\": null,\n"),
+    }
     s.push_str("  \"service\": [\n");
     for (i, p) in doc.service.iter().enumerate() {
         s.push_str(&format!(
@@ -582,17 +641,20 @@ pub fn render_json(doc: &BenchDoc) -> String {
     for (i, p) in doc.latency.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"decoder\": \"{}\", \"window\": {}, \
-             \"commit\": {}, \"predecode\": \"{}\", \"round_ns\": {}, \
+             \"commit\": {}, \"predecode\": \"{}\", \"datapath\": \"{}\", \
+             \"round_ns\": {}, \
              \"shots\": {}, \"layers_per_shot\": {}, \"p50_ns\": {:.1}, \
              \"p99_ns\": {:.1}, \"max_ns\": {:.1}, \"mean_ns\": {:.1}, \
              \"miss_fraction\": {}, \"max_backlog\": {}, \
              \"mean_backlog\": {:.2}, \"l1_rounds_fraction\": {:.4}, \
-             \"escalation_fraction\": {:.4}, \"failures\": {}}}{}\n",
+             \"escalation_fraction\": {:.4}, \"failures\": {}, \
+             \"rounds_per_s_per_core\": {:.0}}}{}\n",
             escape(&p.scenario),
             escape(p.decoder),
             p.window,
             p.commit,
             p.predecode,
+            p.datapath,
             p.round_ns,
             p.shots,
             p.layers_per_shot,
@@ -606,6 +668,7 @@ pub fn render_json(doc: &BenchDoc) -> String {
             p.l1_rounds_fraction,
             p.escalation_fraction,
             p.failures,
+            p.rounds_per_s_per_core,
             if i + 1 < doc.latency.len() { "," } else { "" }
         ));
     }
@@ -668,11 +731,15 @@ mod tests {
     }
 
     #[test]
-    fn json_schema_v5_is_stable() {
+    fn json_schema_v6_is_stable() {
         let doc = BenchDoc {
             seed: 2024,
             threads: 4,
             scenario: Some("sd6-d11".into()),
+            service_summary: Some(ServiceSummary {
+                rounds_per_s: 1_450_000.4,
+                rounds_per_s_per_shard: 362_500.1,
+            }),
             service: vec![ServicePoint {
                 scenario: "sd6-d11".into(),
                 decoder: "Promatch || AG",
@@ -696,7 +763,7 @@ mod tests {
                 l1_rounds_fraction: 0.94175,
                 escalation_fraction: 0.056725,
                 failures: 1,
-                rounds_per_s: 1_450_000.4,
+                rounds_per_s: 90_625.4,
             }],
             results: vec![BenchPoint {
                 decoder: "MWPM (Ideal)",
@@ -706,6 +773,7 @@ mod tests {
                 shots: 256,
                 reps: 3,
                 ns_per_shot: 10431.66,
+                rounds_per_s_per_core: 1_150_292.6,
             }],
             ler: vec![LerPoint {
                 scenario: "sd6-d11".into(),
@@ -726,6 +794,7 @@ mod tests {
                 window: 6,
                 commit: 3,
                 predecode: "off",
+                datapath: "packed",
                 round_ns: 1000.0,
                 shots: 200,
                 layers_per_shot: 12,
@@ -739,29 +808,37 @@ mod tests {
                 l1_rounds_fraction: 0.0,
                 escalation_fraction: 0.0,
                 failures: 0,
+                rounds_per_s_per_core: 2_410_531.8,
             }],
         };
         let json = render_json(&doc);
-        assert!(json.contains("\"schema_version\": 5"));
+        assert!(json.contains("\"schema_version\": 6"));
         assert!(json.contains("\"seed\": 2024"));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"scenario\": \"sd6-d11\""));
         assert!(json.contains("\"git_rev\": \""));
         assert!(json.contains(
             "{\"decoder\": \"MWPM (Ideal)\", \"d\": 11, \"p\": 0.0001, \"k\": 12, \
-             \"shots\": 256, \"reps\": 3, \"ns_per_shot\": 10431.7}"
+             \"shots\": 256, \"reps\": 3, \"ns_per_shot\": 10431.7, \
+             \"rounds_per_s_per_core\": 1150293}"
         ));
         assert!(json.contains("\"k_max\": 20"));
         assert!(json.contains("\"predecode\": \"off\""));
         assert!(json.contains("\"ler\": 2.1e-13"));
         assert!(json.contains(
+            "\"service_summary\": {\"rounds_per_s\": 1450000, \
+             \"rounds_per_s_per_shard\": 362500},"
+        ));
+        assert!(json.contains(
             "{\"scenario\": \"sd6-d11\", \"decoder\": \"Promatch || AG\", \
              \"window\": 6, \"commit\": 3, \"predecode\": \"off\", \
+             \"datapath\": \"packed\", \
              \"round_ns\": 1000, \"shots\": 200, \"layers_per_shot\": 12, \
              \"p50_ns\": 76.0, \"p99_ns\": 412.0, \"max_ns\": 964.0, \
              \"mean_ns\": 98.2, \"miss_fraction\": 0, \"max_backlog\": 1, \
              \"mean_backlog\": 1.00, \"l1_rounds_fraction\": 0.0000, \
-             \"escalation_fraction\": 0.0000, \"failures\": 0}"
+             \"escalation_fraction\": 0.0000, \"failures\": 0, \
+             \"rounds_per_s_per_core\": 2410532}"
         ));
         assert!(json.contains(
             "{\"scenario\": \"sd6-d11\", \"decoder\": \"Promatch || AG\", \
@@ -772,7 +849,7 @@ mod tests {
              \"p50_ns\": 410.0, \"p99_ns\": 890.2, \"max_ns\": 1410.0, \
              \"mean_ns\": 433.1, \"l1_rounds_fraction\": 0.9417, \
              \"escalation_fraction\": 0.0567, \"failures\": 1, \
-             \"rounds_per_s\": 1450000}"
+             \"rounds_per_s\": 90625}"
         ));
         // No trailing comma on the last element of any array.
         assert!(!json.contains("},\n  ]"));
@@ -788,6 +865,7 @@ mod tests {
         assert!(json.contains("\"scenario\": \"default\""));
         assert!(json.contains("\"ler\": [\n  ],"));
         assert!(json.contains("\"latency\": [\n  ]"));
+        assert!(json.contains("\"service_summary\": null,"));
     }
 
     #[test]
@@ -818,8 +896,9 @@ mod tests {
         let mut sink = Vec::new();
         run_bench(&scale, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 5"));
+        assert!(text.contains("\"schema_version\": 6"));
         assert!(text.contains("\"ns_per_shot\""));
+        assert!(text.contains("\"rounds_per_s_per_core\""));
         assert!(text.contains("\"threads\":"));
     }
 

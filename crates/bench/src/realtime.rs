@@ -13,11 +13,12 @@ use crate::scenario::Scenario;
 use decoding_graph::{SeamPolicy, WindowCache};
 use ler::effective_threads;
 use realtime::{
-    run_stream_with_cache, BacklogConfig, PredecodeMode, StreamRunConfig, StreamRunResult,
-    WindowConfig,
+    run_stream_with_cache, BacklogConfig, Datapath, PredecodeMode, StreamRunConfig,
+    StreamRunResult, WindowConfig,
 };
 use std::io::Write;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Configuration of a `repro realtime` run. `None` fields fall back to
 /// the scenario's own defaults.
@@ -34,6 +35,9 @@ pub struct RealtimeRunConfig {
     pub deadline_ns: Option<f64>,
     /// Batch-predecoder (L1) mode applied ahead of every decoder.
     pub predecode: PredecodeMode,
+    /// Syndrome datapath of the sliding-window hot loop (packed is the
+    /// fast default; byte is the bit-identical reference path).
+    pub datapath: Datapath,
     /// Shots to stream per decoder.
     pub shots: usize,
     /// Stream RNG seed (every decoder sees identical shots).
@@ -54,6 +58,7 @@ impl Default for RealtimeRunConfig {
             round_ns: 1000.0,
             deadline_ns: None,
             predecode: PredecodeMode::Off,
+            datapath: Datapath::Packed,
             shots: 200,
             seed: 2024,
             threads: 0,
@@ -64,8 +69,8 @@ impl Default for RealtimeRunConfig {
 
 impl RealtimeRunConfig {
     /// Parses `key=value` overrides (`shots=`, `seed=`, `round=`,
-    /// `deadline=`, `window=`, `commit=`, `predecode=`, `threads=`,
-    /// `out=`).
+    /// `deadline=`, `window=`, `commit=`, `predecode=`, `datapath=`,
+    /// `threads=`, `out=`).
     ///
     /// # Errors
     ///
@@ -87,6 +92,9 @@ impl RealtimeRunConfig {
                 "predecode" => {
                     self.predecode =
                         PredecodeMode::parse(value).map_err(|e| format!("predecode: {e}"))?;
+                }
+                "datapath" => {
+                    self.datapath = Datapath::parse(value).map_err(|e| format!("datapath: {e}"))?;
                 }
                 "threads" => self.threads = crate::scale::parse_threads(value)?,
                 "out" => self.out_path = value.to_string(),
@@ -157,10 +165,12 @@ pub fn run_scenario_realtime(
     )?;
     writeln!(
         w,
-        "# window={} commit={} predecode={} round={}ns deadline={}ns shots={} seed={}",
+        "# window={} commit={} predecode={} datapath={} round={}ns deadline={}ns \
+         shots={} seed={}",
         wc.window,
         wc.commit,
         cfg.predecode.label(),
+        cfg.datapath.label(),
         backlog.round_ns,
         backlog.deadline_ns,
         cfg.shots,
@@ -174,6 +184,7 @@ pub fn run_scenario_realtime(
         window: wc,
         backlog,
         predecode: cfg.predecode,
+        datapath: cfg.datapath,
     };
     let threads = effective_threads(cfg.threads)
         .min(scenario.decoders.len())
@@ -184,7 +195,7 @@ pub fn run_scenario_realtime(
     let cache = Arc::new(WindowCache::new(&ctx.graph, SeamPolicy::Cut));
     // Independent per-decoder runs, fanned out round-robin: results land
     // in input order regardless of the thread count.
-    let results: Vec<StreamRunResult> = std::thread::scope(|scope| {
+    let results: Vec<(StreamRunResult, Duration)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let ctx = &ctx;
@@ -193,18 +204,22 @@ pub fn run_scenario_realtime(
             handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 for i in (t..kinds.len()).step_by(threads) {
-                    local.push((
-                        i,
-                        run_stream_with_cache(&ctx.graph, &ctx.circuit, kinds[i], &run_cfg, cache),
-                    ));
+                    // Per-run wall time on this worker thread: each run
+                    // is single-threaded, so the elapsed time is a
+                    // one-core throughput measurement.
+                    let started = Instant::now();
+                    let run =
+                        run_stream_with_cache(&ctx.graph, &ctx.circuit, kinds[i], &run_cfg, cache);
+                    local.push((i, run, started.elapsed()));
                 }
                 local
             }));
         }
-        let mut slots: Vec<Option<StreamRunResult>> = vec![None; scenario.decoders.len()];
+        let mut slots: Vec<Option<(StreamRunResult, Duration)>> =
+            vec![None; scenario.decoders.len()];
         for h in handles {
-            for (i, r) in h.join().expect("realtime worker panicked") {
-                slots[i] = Some(r);
+            for (i, r, elapsed) in h.join().expect("realtime worker panicked") {
+                slots[i] = Some((r, elapsed));
             }
         }
         slots
@@ -214,14 +229,20 @@ pub fn run_scenario_realtime(
     });
     writeln!(
         w,
-        "{:<24} {:>9} {:>9} {:>9} {:>7} {:>6} {:>9}",
-        "decoder", "p50 ns", "p99 ns", "max ns", "miss%", "maxQ", "fail/shot"
+        "{:<24} {:>9} {:>9} {:>9} {:>7} {:>6} {:>9} {:>12}",
+        "decoder", "p50 ns", "p99 ns", "max ns", "miss%", "maxQ", "fail/shot", "rounds/s/core"
     )?;
     let mut points = Vec::new();
-    for (kind, run) in scenario.decoders.iter().zip(&results) {
+    for (kind, (run, elapsed)) in scenario.decoders.iter().zip(&results) {
+        let streamed_rounds = run.shots as f64 * run.layers_per_shot as f64;
+        let rounds_per_s_per_core = if elapsed.as_secs_f64() > 0.0 {
+            streamed_rounds / elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
         writeln!(
             w,
-            "{:<24} {:>9.0} {:>9.0} {:>9.0} {:>6.1}% {:>6} {:>9}",
+            "{:<24} {:>9.0} {:>9.0} {:>9.0} {:>6.1}% {:>6} {:>9} {:>12.0}",
             kind.label(),
             run.backlog.reaction.p50_ns,
             run.backlog.reaction.p99_ns,
@@ -229,6 +250,7 @@ pub fn run_scenario_realtime(
             100.0 * run.backlog.miss_fraction,
             run.backlog.max_backlog,
             format!("{}/{}", run.failures, run.shots),
+            rounds_per_s_per_core,
         )?;
         let buckets = run.backlog.trace_buckets(24);
         let depths: Vec<String> = buckets.iter().map(|d| d.to_string()).collect();
@@ -239,6 +261,7 @@ pub fn run_scenario_realtime(
             window: wc.window,
             commit: wc.commit,
             predecode: cfg.predecode.label(),
+            datapath: cfg.datapath.label(),
             round_ns: backlog.round_ns,
             shots: run.shots,
             layers_per_shot: run.layers_per_shot,
@@ -252,6 +275,7 @@ pub fn run_scenario_realtime(
             l1_rounds_fraction: run.l1_rounds_fraction(),
             escalation_fraction: run.escalation_fraction(),
             failures: run.failures,
+            rounds_per_s_per_core,
         });
     }
     Ok(points)
@@ -303,6 +327,7 @@ mod tests {
             "window=3".into(),
             "commit=2".into(),
             "predecode=batch".into(),
+            "datapath=byte".into(),
             "threads=2".into(),
             "out=/tmp/rt.json".into(),
         ])
@@ -314,10 +339,12 @@ mod tests {
         assert_eq!(cfg.window, Some(3));
         assert_eq!(cfg.commit, Some(2));
         assert_eq!(cfg.predecode, PredecodeMode::Batch);
+        assert_eq!(cfg.datapath, Datapath::Byte);
         assert_eq!(cfg.threads, 2);
         assert!(cfg.apply_overrides(&["nope=1".into()]).is_err());
         assert!(cfg.apply_overrides(&["shots".into()]).is_err());
         assert!(cfg.apply_overrides(&["predecode=pinball".into()]).is_err());
+        assert!(cfg.apply_overrides(&["datapath=nibble".into()]).is_err());
     }
 
     #[test]
@@ -366,15 +393,18 @@ mod tests {
         let mut sink = Vec::new();
         run_scenario_realtime_study(sc, &cfg, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 5"));
+        assert!(text.contains("\"schema_version\": 6"));
         assert!(text.contains("\"scenario\": \"cc-d3\""));
         assert!(text.contains("\"predecode\": \"off\""));
+        assert!(text.contains("\"datapath\": \"packed\""));
         assert!(text.contains("\"p50_ns\""));
         assert!(text.contains("\"miss_fraction\""));
         assert!(text.contains("\"l1_rounds_fraction\": 0.0000"));
+        assert!(text.contains("\"rounds_per_s_per_core\""));
         let log = String::from_utf8(sink).unwrap();
         assert!(log.contains("backlog depth over stream"));
-        // Same seed, different thread count: identical points.
+        // Same seed, different thread count: identical points (the
+        // wall-clock throughput field is the one legitimate exception).
         cfg.threads = 1;
         let mut sink1 = Vec::new();
         let p1 = run_scenario_realtime(sc, &cfg, &mut sink1).unwrap();
@@ -383,6 +413,17 @@ mod tests {
         let p3 = run_scenario_realtime(sc, &cfg, &mut sink3).unwrap();
         assert_eq!(p1.len(), p3.len());
         for (a, b) in p1.iter().zip(&p3) {
+            assert_eq!(a.p50_ns, b.p50_ns);
+            assert_eq!(a.max_ns, b.max_ns);
+            assert_eq!(a.failures, b.failures);
+            assert!(a.rounds_per_s_per_core > 0.0);
+        }
+        // The byte reference path produces the same decode outcomes.
+        cfg.datapath = Datapath::Byte;
+        let mut sink_byte = Vec::new();
+        let pb = run_scenario_realtime(sc, &cfg, &mut sink_byte).unwrap();
+        for (a, b) in p1.iter().zip(&pb) {
+            assert_eq!(b.datapath, "byte");
             assert_eq!(a.p50_ns, b.p50_ns);
             assert_eq!(a.max_ns, b.max_ns);
             assert_eq!(a.failures, b.failures);

@@ -13,7 +13,7 @@ use crate::perf::LerPoint;
 use decoding_graph::{SeamPolicy, WindowCache};
 use ler::{run_eq1, wilson_interval, DecoderKind, Eq1Config, ExperimentContext};
 use realtime::{
-    run_stream_with_cache, BacklogConfig, PredecodeMode, StreamRunConfig, WindowConfig,
+    run_stream_with_cache, BacklogConfig, Datapath, PredecodeMode, StreamRunConfig, WindowConfig,
 };
 use std::collections::HashMap;
 use std::io::Write;
@@ -359,6 +359,7 @@ fn run_scenario_ler_windowed(
         window: wc,
         backlog: BacklogConfig::with_commit_deadline(1000.0, wc.commit),
         predecode: cfg.predecode,
+        datapath: Datapath::Packed,
     };
     let cache = Arc::new(WindowCache::new(&ctx.graph, SeamPolicy::Cut));
     let mut points = Vec::new();
@@ -551,7 +552,7 @@ mod tests {
     }
 
     #[test]
-    fn ler_study_writes_scenario_tagged_schema_v3() {
+    fn ler_study_writes_scenario_tagged_schema() {
         let dir = std::env::temp_dir().join("promatch_ler_scenario_test");
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("BENCH.json");
@@ -568,7 +569,7 @@ mod tests {
         let mut sink = Vec::new();
         run_scenario_ler_study(sc, &cfg, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 5"));
+        assert!(text.contains("\"schema_version\": 6"));
         assert!(text.contains("\"scenario\": \"cc-d3\""));
         assert!(text.contains("\"threads\": 1"));
         assert!(text.contains("\"k_max\": 2"));

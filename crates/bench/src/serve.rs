@@ -4,11 +4,13 @@
 //! (its context pulled from the process-wide `Arc` cache, so Q tenants
 //! and repeated invocations share one graph + path table), drives it
 //! with the closed-loop load generator over either transport, and writes
-//! the per-tenant results into the `service` array of the schema-v4
-//! `BENCH.json`: throughput (rounds/s), per-tenant reaction percentiles,
-//! shed and deadline-miss counters, and client-side logical failures.
+//! the per-tenant results into the `service` array of `BENCH.json`:
+//! per-tenant throughput (rounds/s), reaction percentiles, shed and
+//! deadline-miss counters, and client-side logical failures, with the
+//! whole-run aggregate throughput in the `service_summary` object
+//! (schema v6).
 
-use crate::perf::{BenchDoc, ServicePoint};
+use crate::perf::{BenchDoc, ServicePoint, ServiceSummary};
 use crate::scale::{parse_positive, parse_threads};
 use crate::scenario::Scenario;
 use ler::DecoderKind;
@@ -162,7 +164,8 @@ impl ServeConfig {
 }
 
 /// Runs the decode-service study of one scenario and returns the
-/// per-tenant points that go into `BENCH.json`.
+/// per-tenant points that go into `BENCH.json`, plus the whole-run
+/// aggregate summary.
 ///
 /// # Errors
 ///
@@ -173,7 +176,7 @@ pub fn run_serve(
     scenario: &Scenario,
     cfg: &ServeConfig,
     w: &mut dyn Write,
-) -> std::io::Result<Vec<ServicePoint>> {
+) -> std::io::Result<(Vec<ServicePoint>, ServiceSummary)> {
     let invalid = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, e);
     let window = cfg.window.unwrap_or(scenario.rt_window);
     let commit = cfg.commit.unwrap_or(scenario.rt_commit);
@@ -270,11 +273,21 @@ pub fn run_serve(
             })?
         }
     };
-    let rounds_per_s = report.rounds_per_second();
+    let aggregate_rounds_per_s = report.rounds_per_second();
+    let summary = ServiceSummary {
+        rounds_per_s: aggregate_rounds_per_s,
+        rounds_per_s_per_shard: aggregate_rounds_per_s / cfg.shards.max(1) as f64,
+    };
     writeln!(
         w,
-        "# {} shots ({} rounds) in {:.3}s -> {:.0} rounds/s decoded",
-        report.shots_submitted, report.rounds_submitted, report.wall_seconds, rounds_per_s
+        "# {} shots ({} rounds) in {:.3}s -> {:.0} rounds/s decoded \
+         ({:.0}/shard across {})",
+        report.shots_submitted,
+        report.rounds_submitted,
+        report.wall_seconds,
+        aggregate_rounds_per_s,
+        summary.rounds_per_s_per_shard,
+        cfg.shards,
     )?;
     writeln!(
         w,
@@ -303,6 +316,14 @@ pub fn run_serve(
         };
         let escalation_fraction = if stats.windows > 0 {
             stats.escalated_windows as f64 / stats.windows as f64
+        } else {
+            0.0
+        };
+        // Per-tenant throughput: this tenant's committed rounds over the
+        // run's wall clock. Schema ≤5 copied the whole-service aggregate
+        // into every row, which made tenant rows indistinguishable.
+        let rounds_per_s = if report.wall_seconds > 0.0 {
+            (stats.shots * layers_per_shot) as f64 / report.wall_seconds
         } else {
             0.0
         };
@@ -367,7 +388,7 @@ pub fn run_serve(
             100.0 * l1 / rounds.max(1) as f64,
         )?;
     }
-    Ok(points)
+    Ok((points, summary))
 }
 
 /// Runs [`run_serve`] and writes the points as a schema-v4 `BENCH.json`
@@ -381,12 +402,13 @@ pub fn run_serve_study(
     cfg: &ServeConfig,
     w: &mut dyn Write,
 ) -> std::io::Result<()> {
-    let points = run_serve(scenario, cfg, w)?;
+    let (points, summary) = run_serve(scenario, cfg, w)?;
     let doc = BenchDoc {
         seed: cfg.seed,
         threads: cfg.shards,
         scenario: Some(scenario.name.to_string()),
         service: points,
+        service_summary: Some(summary),
         ..BenchDoc::default()
     };
     let json = crate::perf::render_json(&doc);
@@ -470,12 +492,13 @@ mod tests {
         let mut sink = Vec::new();
         run_serve_study(sc, &cfg, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 5"));
+        assert!(text.contains("\"schema_version\": 6"));
         assert!(text.contains("\"scenario\": \"cc-d3\""));
         assert!(text.contains("\"qubits\": 4"));
         assert!(text.contains("\"predecode\": \"off\""));
         assert!(text.contains("\"l1_rounds_fraction\": 0.0000"));
         assert!(text.contains("\"rounds_per_s\""));
+        assert!(text.contains("\"service_summary\": {\"rounds_per_s\":"));
         // One service point per tenant.
         assert_eq!(text.matches("\"qubit\":").count(), 4);
         let log = String::from_utf8(sink).unwrap();
@@ -487,17 +510,28 @@ mod tests {
         // via identical failure counts and shot totals).
         cfg.transport = ServeTransport::Tcp;
         let mut sink_tcp = Vec::new();
-        let channel_points = run_serve(sc, &cfg, &mut sink_tcp).unwrap();
-        assert_eq!(channel_points.len(), 4);
-        for p in &channel_points {
+        let (tcp_points, tcp_summary) = run_serve(sc, &cfg, &mut sink_tcp).unwrap();
+        assert_eq!(tcp_points.len(), 4);
+        for p in &tcp_points {
             assert_eq!(p.shots, 20);
+            // Every tenant committed every shot, so each row carries its
+            // own share of the aggregate, not the aggregate itself.
+            assert!(p.rounds_per_s > 0.0);
+            assert!(p.rounds_per_s < tcp_summary.rounds_per_s);
         }
+        // With nothing shed, the per-tenant rates sum to the aggregate.
+        let sum: f64 = tcp_points.iter().map(|p| p.rounds_per_s).sum();
+        assert!(
+            (sum - tcp_summary.rounds_per_s).abs() <= 1e-6 * tcp_summary.rounds_per_s,
+            "{sum} vs {}",
+            tcp_summary.rounds_per_s
+        );
         // With batch predecoding the same tiny run sheds most rounds at
         // L1 (cc-d3 at its default p is sparse) and tags the points.
         cfg.transport = ServeTransport::Channel;
         cfg.predecode = PredecodeMode::Batch;
         let mut sink_l1 = Vec::new();
-        let l1_points = run_serve(sc, &cfg, &mut sink_l1).unwrap();
+        let (l1_points, _) = run_serve(sc, &cfg, &mut sink_l1).unwrap();
         assert_eq!(l1_points.len(), 4);
         for p in &l1_points {
             assert_eq!(p.predecode, "batch");

@@ -21,6 +21,11 @@
 //! * [`DecodeWorkspace`] / [`SlotMap`] / [`SyndromeBatch`] — reusable
 //!   scratch arenas and flat shot batches that keep the steady-state
 //!   decode loop free of per-shot scratch allocation.
+//! * [`packed`] — the bit-packed syndrome substrate: `u64` word kernels
+//!   (XOR-accumulate, popcount scans, seam-masked window extraction),
+//!   [`PackedBits`] scratch with branch-free touched-word resets, and
+//!   [`PackedSyndromes`] — the packed twin of [`SyndromeBatch`] the
+//!   frame-parallel datapath decodes from.
 //! * [`LayerMap`] / [`GraphWindow`] — detector ⇄ round-layer mapping and
 //!   detector-range window subgraphs (with [`SeamPolicy`] handling at
 //!   the open seam) for the sliding-window streaming runtime in
@@ -47,6 +52,7 @@
 
 mod graph;
 pub mod latency;
+pub mod packed;
 mod pathtable;
 mod subgraph;
 mod traits;
@@ -57,6 +63,7 @@ pub use graph::{DecodingGraph, Edge, ShortestPaths, WEIGHT_SCALE};
 pub use latency::{
     FixedLatency, LatencyModel, PolynomialLatency, BATCH_PREDECODE_LATENCY, BATCH_PREDECODE_NS,
 };
+pub use packed::{PackedBits, PackedSyndromes, WordSpan};
 pub use pathtable::{PathTable, StorageModel};
 pub use subgraph::DecodingSubgraph;
 pub use traits::{DecodeOutcome, Decoder, MatchPair, MatchTarget, PredecodeOutcome, Predecoder};

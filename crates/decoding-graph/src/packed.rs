@@ -1,0 +1,676 @@
+//! Bit-packed syndrome words and the kernels that operate on them.
+//!
+//! The byte-per-detector buffers the rest of the workspace grew up with
+//! waste 63/64ths of every load: a detection event is one bit. This
+//! module is the packed substrate the frame-parallel datapath is built
+//! on — syndromes live in `u64` words (64 detectors, or 64 shots, per
+//! word) and the hot operations of the decode pipeline become word ops:
+//!
+//! * round cancellation (`curr & prev; curr ^= and; prev ^= and`) is an
+//!   AND/XOR over words ([`shl_into`]/[`shr_into`] align the layers);
+//! * the L1 complexity check is a popcount scan ([`popcount`],
+//!   [`popcount_exceeds`]);
+//! * window extraction applies a precomputed seam mask ([`WordSpan`])
+//!   instead of copying detector ids one by one.
+//!
+//! # Word layout
+//!
+//! Bit `i % 64` of word `i / 64` holds element `i`. A [`WordSpan`] over
+//! `lo..hi` rebases bit `lo` to bit 0 of the extracted words and masks
+//! the seam: bits past `hi - lo` in the last word are forced to zero.
+//!
+//! # SIMD
+//!
+//! Each kernel has a scalar implementation that is always compiled (and
+//! is the reference the equivalence tests pin), plus an AVX2 variant
+//! compiled only under `#[cfg(target_feature = "avx2")]` — i.e. when the
+//! build itself enables AVX2 (`RUSTFLAGS="-C target-cpu=native"`; see
+//! CI's native job). Static gating keeps the scalar path branch-free and
+//! makes the two paths bit-identical by construction: the AVX2 kernels
+//! are straight-line widenings of the same word ops.
+
+use crate::DetectorId;
+
+/// Bits per packed word.
+pub const WORD_BITS: usize = 64;
+
+/// Number of words needed to hold `bits` bits.
+#[inline]
+pub fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+// ---------------------------------------------------------------------
+// Kernels: scalar reference implementations (always compiled).
+// ---------------------------------------------------------------------
+
+/// Scalar `dst[i] ^= src[i]` (reference for [`xor_accumulate`]).
+pub fn xor_accumulate_scalar(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// Scalar `dst[i] &= mask[i]` (reference for [`and_mask`]).
+pub fn and_mask_scalar(dst: &mut [u64], mask: &[u64]) {
+    for (d, m) in dst.iter_mut().zip(mask) {
+        *d &= m;
+    }
+}
+
+/// Scalar popcount over words (reference for [`popcount`]).
+pub fn popcount_scalar(words: &[u64]) -> u32 {
+    words.iter().map(|w| w.count_ones()).sum()
+}
+
+// ---------------------------------------------------------------------
+// Kernels: AVX2 variants, compiled only when the build enables AVX2.
+// ---------------------------------------------------------------------
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// `dst[i] ^= src[i]`, four words per vector op.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 (guaranteed by the enclosing `cfg`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn xor_accumulate(dst: &mut [u64], src: &[u64]) {
+        let n = dst.len().min(src.len());
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_xor_si256(d, s));
+            i += 4;
+        }
+        while i < n {
+            dst[i] ^= src[i];
+            i += 1;
+        }
+    }
+
+    /// `dst[i] &= mask[i]`, four words per vector op.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 (guaranteed by the enclosing `cfg`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn and_mask(dst: &mut [u64], mask: &[u64]) {
+        let n = dst.len().min(mask.len());
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            let m = _mm256_loadu_si256(mask.as_ptr().add(i).cast());
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_and_si256(d, m));
+            i += 4;
+        }
+        while i < n {
+            dst[i] &= mask[i];
+            i += 1;
+        }
+    }
+
+    /// Popcount over words via the vpshufb nibble-count (Muła): each
+    /// byte's population is looked up in a 16-entry table, then summed
+    /// with `vpsadbw`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 (guaranteed by the enclosing `cfg`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn popcount(words: &[u64]) -> u32 {
+        #[rustfmt::skip]
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low = _mm256_set1_epi8(0x0f);
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 4 <= words.len() {
+            let v = _mm256_loadu_si256(words.as_ptr().add(i).cast());
+            let lo = _mm256_and_si256(v, low);
+            let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+            let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+            i += 4;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        let mut total = (lanes[0] + lanes[1] + lanes[2] + lanes[3]) as u32;
+        while i < words.len() {
+            total += words[i].count_ones();
+            i += 1;
+        }
+        total
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel dispatchers.
+// ---------------------------------------------------------------------
+
+/// `dst[i] ^= src[i]` over the common prefix (the packed merge of two
+/// defect sets).
+#[inline]
+pub fn xor_accumulate(dst: &mut [u64], src: &[u64]) {
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    // SAFETY: this arm is compiled only when AVX2 is statically enabled.
+    unsafe {
+        avx2::xor_accumulate(dst, src)
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+    xor_accumulate_scalar(dst, src)
+}
+
+/// `dst[i] &= mask[i]` over the common prefix (seam/window masking).
+#[inline]
+pub fn and_mask(dst: &mut [u64], mask: &[u64]) {
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    // SAFETY: this arm is compiled only when AVX2 is statically enabled.
+    unsafe {
+        avx2::and_mask(dst, mask)
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+    and_mask_scalar(dst, mask)
+}
+
+/// Total set bits across `words` (the L1 complexity scan).
+#[inline]
+pub fn popcount(words: &[u64]) -> u32 {
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    // SAFETY: this arm is compiled only when AVX2 is statically enabled.
+    unsafe {
+        avx2::popcount(words)
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+    popcount_scalar(words)
+}
+
+/// Whether more than `limit` bits are set, stopping at the first word
+/// that settles it (dense windows answer after one or two words).
+pub fn popcount_exceeds(words: &[u64], limit: u32) -> bool {
+    let mut total = 0u32;
+    for w in words {
+        total += w.count_ones();
+        if total > limit {
+            return true;
+        }
+    }
+    false
+}
+
+/// Calls `f` with the index of every set bit, ascending.
+pub fn for_each_set_bit(words: &[u64], mut f: impl FnMut(usize)) {
+    for (i, &word) in words.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            let b = w.trailing_zeros() as usize;
+            f(i * WORD_BITS + b);
+            w &= w - 1;
+        }
+    }
+}
+
+/// `out[i] = (src << shift)[i]`: every bit moves *up* by `shift`
+/// positions (bit `b` of `src` lands at bit `b + shift`). Bits shifted
+/// past the end of `out` are dropped. `out` and `src` must not alias.
+pub fn shl_into(src: &[u64], shift: usize, out: &mut [u64]) {
+    let (q, r) = (shift / WORD_BITS, shift % WORD_BITS);
+    for i in 0..out.len() {
+        let lo = if i >= q {
+            src.get(i - q).copied().unwrap_or(0) << r
+        } else {
+            0
+        };
+        let hi = if r > 0 && i > q {
+            src.get(i - q - 1).copied().unwrap_or(0) >> (WORD_BITS - r)
+        } else {
+            0
+        };
+        out[i] = lo | hi;
+    }
+}
+
+/// `out[i] = (src >> shift)[i]`: every bit moves *down* by `shift`
+/// positions (bit `b` of `src` lands at bit `b - shift`). `out` and
+/// `src` must not alias.
+pub fn shr_into(src: &[u64], shift: usize, out: &mut [u64]) {
+    let (q, r) = (shift / WORD_BITS, shift % WORD_BITS);
+    for i in 0..out.len() {
+        let lo = src.get(i + q).copied().unwrap_or(0) >> r;
+        let hi = if r > 0 {
+            src.get(i + q + 1).copied().unwrap_or(0) << (WORD_BITS - r)
+        } else {
+            0
+        };
+        out[i] = lo | hi;
+    }
+}
+
+/// Zeroes every bit outside `lo..hi` (bit positions within `words`).
+pub fn mask_to_range(words: &mut [u64], lo: usize, hi: usize) {
+    for (i, w) in words.iter_mut().enumerate() {
+        let base = i * WORD_BITS;
+        let end = base + WORD_BITS;
+        if end <= lo || base >= hi {
+            *w = 0;
+            continue;
+        }
+        if base < lo {
+            *w &= !((1u64 << (lo - base)) - 1);
+        }
+        if hi < end {
+            *w &= (1u64 << (hi - base)) - 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// WordSpan: precomputed seam-masked extraction of a bit range.
+// ---------------------------------------------------------------------
+
+/// A precomputed extraction plan for bit range `lo..hi` of a packed
+/// vector: the word offset, the funnel shift, and the seam mask of the
+/// final word. [`WordSpan::extract_into`] then pulls a window out of a
+/// full-length packed syndrome with one shifted copy per word — no
+/// per-detector work — and rebases it so bit `lo` becomes bit 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WordSpan {
+    lo: usize,
+    hi: usize,
+    word_lo: usize,
+    shift: usize,
+    words: usize,
+    /// AND-mask for the last extracted word: zeroes the bits past the
+    /// seam (`hi`). `!0` when the range ends on a word boundary.
+    tail_mask: u64,
+}
+
+impl WordSpan {
+    /// Plans the extraction of bits `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi, "inverted span {lo}..{hi}");
+        let nbits = hi - lo;
+        let words = words_for(nbits);
+        let tail = nbits % WORD_BITS;
+        WordSpan {
+            lo,
+            hi,
+            word_lo: lo / WORD_BITS,
+            shift: lo % WORD_BITS,
+            words,
+            tail_mask: if tail == 0 { !0 } else { (1u64 << tail) - 1 },
+        }
+    }
+
+    /// The planned bit range.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.lo..self.hi
+    }
+
+    /// Number of bits extracted.
+    pub fn num_bits(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Number of words the extraction produces.
+    pub fn num_words(&self) -> usize {
+        self.words
+    }
+
+    /// Extracts the span from `src` into `out` (cleared first), rebased
+    /// so bit `lo` of `src` is bit 0 of `out`. Bits of `src` beyond its
+    /// length read as zero, so `src` may be shorter than the span.
+    pub fn extract_into(&self, src: &[u64], out: &mut Vec<u64>) {
+        out.clear();
+        if self.words == 0 {
+            return;
+        }
+        out.resize(self.words, 0);
+        if self.shift == 0 {
+            for (i, w) in out.iter_mut().enumerate() {
+                *w = src.get(self.word_lo + i).copied().unwrap_or(0);
+            }
+        } else {
+            for (i, w) in out.iter_mut().enumerate() {
+                let lo = src.get(self.word_lo + i).copied().unwrap_or(0) >> self.shift;
+                let hi =
+                    src.get(self.word_lo + i + 1).copied().unwrap_or(0) << (WORD_BITS - self.shift);
+                *w = lo | hi;
+            }
+        }
+        out[self.words - 1] &= self.tail_mask;
+    }
+}
+
+// ---------------------------------------------------------------------
+// PackedBits: a bitset with branch-free touched-word resets.
+// ---------------------------------------------------------------------
+
+/// A packed bitset whose clear costs O(touched words), not O(capacity).
+///
+/// [`PackedBits::set`] records the index of every word it lights up;
+/// [`PackedBits::clear`] zeroes exactly those words with a branch-free
+/// sweep (no per-entry conditionals, no full-buffer `fill`). This is the
+/// packed replacement for the `Vec<bool>` + per-entry reset loops the
+/// dense decoder scratch used to carry.
+#[derive(Clone, Debug, Default)]
+pub struct PackedBits {
+    words: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl PackedBits {
+    /// Creates an empty bitset (capacity grows via [`PackedBits::ensure`]).
+    pub fn new() -> Self {
+        PackedBits::default()
+    }
+
+    /// Grows the capacity to at least `bits` bits.
+    pub fn ensure(&mut self, bits: usize) {
+        let w = words_for(bits);
+        if self.words.len() < w {
+            self.words.resize(w, 0);
+        }
+    }
+
+    /// Sets bit `bit`. The bit must be within the ensured capacity.
+    #[inline]
+    pub fn set(&mut self, bit: usize) {
+        let w = bit / WORD_BITS;
+        if self.words[w] == 0 {
+            self.touched.push(w as u32);
+        }
+        self.words[w] |= 1u64 << (bit % WORD_BITS);
+    }
+
+    /// Clears bit `bit` (the word stays tracked for reset).
+    #[inline]
+    pub fn unset(&mut self, bit: usize) {
+        self.words[bit / WORD_BITS] &= !(1u64 << (bit % WORD_BITS));
+    }
+
+    /// Whether bit `bit` is set. Bits beyond the capacity read as unset.
+    #[inline]
+    pub fn get(&self, bit: usize) -> bool {
+        self.words
+            .get(bit / WORD_BITS)
+            .is_some_and(|w| (w >> (bit % WORD_BITS)) & 1 == 1)
+    }
+
+    /// Zeroes every touched word — the branch-free O(touched) reset.
+    pub fn clear(&mut self) {
+        for &w in &self.touched {
+            self.words[w as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    /// The lowest unset bit below `limit`, found a word at a time
+    /// (`(!w).trailing_zeros()` instead of a per-bit scan). `None` when
+    /// bits `0..limit` are all set.
+    pub fn first_unset(&self, limit: usize) -> Option<usize> {
+        debug_assert!(words_for(limit) <= self.words.len(), "capacity not ensured");
+        for (i, &w) in self.words.iter().enumerate() {
+            if i * WORD_BITS >= limit {
+                break;
+            }
+            if w != !0u64 {
+                let b = i * WORD_BITS + (!w).trailing_zeros() as usize;
+                return (b < limit).then_some(b);
+            }
+        }
+        None
+    }
+
+    /// Total set bits (popcount over the touched words only).
+    pub fn count(&self) -> u32 {
+        self.touched
+            .iter()
+            .map(|&w| self.words[w as usize].count_ones())
+            .sum()
+    }
+
+    /// The backing words (full ensured capacity; untouched words are 0).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+// ---------------------------------------------------------------------
+// PackedSyndromes: a batch of shot-major packed syndromes.
+// ---------------------------------------------------------------------
+
+/// Many syndromes, each a packed bit-vector over the detector space —
+/// the packed twin of [`crate::SyndromeBatch`], stored as one flat word
+/// buffer (`words_per_shot` words per shot).
+#[derive(Clone, Debug)]
+pub struct PackedSyndromes {
+    num_bits: u32,
+    words_per_shot: usize,
+    words: Vec<u64>,
+    shots: usize,
+}
+
+impl PackedSyndromes {
+    /// Creates an empty batch over a `num_bits`-detector space.
+    pub fn new(num_bits: u32) -> Self {
+        PackedSyndromes {
+            num_bits,
+            words_per_shot: words_for(num_bits as usize).max(1),
+            words: Vec::new(),
+            shots: 0,
+        }
+    }
+
+    /// Removes all shots, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.shots = 0;
+    }
+
+    /// Appends one syndrome from its sorted sparse form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a detector id is out of range.
+    pub fn push_sparse(&mut self, dets: &[DetectorId]) {
+        let base = self.words.len();
+        self.words.resize(base + self.words_per_shot, 0);
+        for &d in dets {
+            assert!(d < self.num_bits, "detector {d} out of range");
+            self.words[base + d as usize / WORD_BITS] |= 1u64 << (d as usize % WORD_BITS);
+        }
+        self.shots += 1;
+    }
+
+    /// Number of shots in the batch.
+    pub fn len(&self) -> usize {
+        self.shots
+    }
+
+    /// Whether the batch holds no shots.
+    pub fn is_empty(&self) -> bool {
+        self.shots == 0
+    }
+
+    /// Size of the detector space.
+    pub fn num_bits(&self) -> u32 {
+        self.num_bits
+    }
+
+    /// Words per shot.
+    pub fn words_per_shot(&self) -> usize {
+        self.words_per_shot
+    }
+
+    /// The packed words of shot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn shot_words(&self, i: usize) -> &[u64] {
+        assert!(i < self.shots, "shot {i} out of range");
+        &self.words[i * self.words_per_shot..(i + 1) * self.words_per_shot]
+    }
+
+    /// Writes shot `i`'s sorted sparse form into `out` (cleared first).
+    pub fn sparse_into(&self, i: usize, out: &mut Vec<DetectorId>) {
+        out.clear();
+        for_each_set_bit(self.shot_words(i), |b| out.push(b as DetectorId));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic word patterns without an RNG dependency.
+    fn pattern(n: usize, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                // xorshift64*
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dispatchers_match_scalar_reference() {
+        for n in [0usize, 1, 3, 4, 7, 16, 33] {
+            let a = pattern(n, 0xA11CE);
+            let b = pattern(n, 0xB0B);
+            let mut d1 = a.clone();
+            let mut d2 = a.clone();
+            xor_accumulate(&mut d1, &b);
+            xor_accumulate_scalar(&mut d2, &b);
+            assert_eq!(d1, d2, "xor n={n}");
+            let mut m1 = a.clone();
+            let mut m2 = a.clone();
+            and_mask(&mut m1, &b);
+            and_mask_scalar(&mut m2, &b);
+            assert_eq!(m1, m2, "and n={n}");
+            assert_eq!(popcount(&a), popcount_scalar(&a), "popcount n={n}");
+        }
+    }
+
+    #[test]
+    fn popcount_exceeds_agrees_with_popcount() {
+        let w = pattern(9, 7);
+        let total = popcount_scalar(&w);
+        assert!(popcount_exceeds(&w, total - 1));
+        assert!(!popcount_exceeds(&w, total));
+        assert!(!popcount_exceeds(&[], 0));
+    }
+
+    #[test]
+    fn shifts_round_trip_and_match_bit_model() {
+        for shift in [0usize, 1, 5, 63, 64, 65, 130] {
+            let src = pattern(4, shift as u64 + 3);
+            let mut up = vec![0u64; 6];
+            shl_into(&src, shift, &mut up);
+            let mut down = vec![0u64; 4];
+            shr_into(&up, shift, &mut down);
+            // Bits that survived the up-shift come back exactly.
+            for b in 0..(6 * WORD_BITS).saturating_sub(shift).min(4 * WORD_BITS) {
+                let orig = (src[b / 64] >> (b % 64)) & 1 == 1;
+                let moved = (up[(b + shift) / 64] >> ((b + shift) % 64)) & 1 == 1;
+                assert_eq!(orig, moved, "shl bit {b} shift {shift}");
+                let back = (down[b / 64] >> (b % 64)) & 1 == 1;
+                assert_eq!(orig, back, "roundtrip bit {b} shift {shift}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_span_extraction_matches_per_bit_copy() {
+        let src = pattern(8, 42);
+        for (lo, hi) in [(0, 64), (0, 100), (13, 13), (13, 77), (65, 200), (190, 512)] {
+            let span = WordSpan::new(lo, hi);
+            assert_eq!(span.num_bits(), hi - lo);
+            assert_eq!(span.range(), lo..hi);
+            let mut out = Vec::new();
+            span.extract_into(&src, &mut out);
+            assert_eq!(out.len(), span.num_words());
+            let mut expect: Vec<usize> = Vec::new();
+            for_each_set_bit(&src, |b| {
+                if b >= lo && b < hi {
+                    expect.push(b - lo);
+                }
+            });
+            let mut got: Vec<usize> = Vec::new();
+            for_each_set_bit(&out, |b| got.push(b));
+            assert_eq!(got, expect, "span {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn mask_to_range_zeroes_outside_bits() {
+        let mut w = vec![!0u64; 3];
+        mask_to_range(&mut w, 10, 150);
+        let mut got: Vec<usize> = Vec::new();
+        for_each_set_bit(&w, |b| got.push(b));
+        assert_eq!(got, (10..150).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn packed_bits_clear_is_touched_words_only() {
+        let mut b = PackedBits::new();
+        b.ensure(300);
+        assert!(!b.get(7));
+        b.set(7);
+        b.set(70);
+        b.set(71);
+        b.set(299);
+        assert_eq!(b.count(), 4);
+        assert!(b.get(70) && b.get(299));
+        assert!(!b.get(9999), "out-of-capacity bits read unset");
+        b.unset(70);
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.first_unset(8), Some(0));
+        b.set(0);
+        b.set(1);
+        b.set(2);
+        assert_eq!(b.first_unset(3), None);
+        assert_eq!(b.first_unset(5), Some(3));
+        b.clear();
+        assert_eq!(b.count(), 0);
+        assert!(b.words().iter().all(|&w| w == 0));
+        // Reuse after clear: the touched list restarts.
+        b.set(71);
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn packed_syndromes_round_trip_sparse_shots() {
+        let mut p = PackedSyndromes::new(130);
+        assert!(p.is_empty());
+        p.push_sparse(&[0, 63, 64, 129]);
+        p.push_sparse(&[]);
+        p.push_sparse(&[5]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.words_per_shot(), 3);
+        assert_eq!(p.num_bits(), 130);
+        let mut out = Vec::new();
+        p.sparse_into(0, &mut out);
+        assert_eq!(out, vec![0, 63, 64, 129]);
+        p.sparse_into(1, &mut out);
+        assert!(out.is_empty());
+        p.sparse_into(2, &mut out);
+        assert_eq!(out, vec![5]);
+        p.clear();
+        assert!(p.is_empty());
+    }
+}

@@ -16,6 +16,7 @@
 //!   harnesses sample a chunk of shots into a batch and stream it through
 //!   a decoder without any per-shot scratch allocation on either side.
 
+use crate::packed::{PackedBits, PackedSyndromes};
 use crate::DetectorId;
 
 /// A detector-id → slot-index map with O(k) reset.
@@ -88,8 +89,10 @@ pub struct DecodeWorkspace {
     pub partner: Vec<usize>,
     /// Best complete partner assignment found so far.
     pub best_partner: Vec<usize>,
-    /// Per-vertex used/visited flags.
-    pub used: Vec<bool>,
+    /// Per-vertex used/visited flags, bit-packed: searches test and flip
+    /// single bits, find their next free vertex a word at a time
+    /// ([`PackedBits::first_unset`]), and reset in O(touched words).
+    pub used: PackedBits,
 }
 
 impl DecodeWorkspace {
@@ -158,6 +161,30 @@ impl SyndromeBatch {
     pub fn iter(&self) -> impl Iterator<Item = &[DetectorId]> {
         self.bounds.windows(2).map(|w| &self.dets[w[0]..w[1]])
     }
+
+    /// Packs the batch into its bit-packed twin over a `num_detectors`
+    /// space (one bit per detector per shot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any detector id is `>= num_detectors`.
+    pub fn pack(&self, num_detectors: u32) -> PackedSyndromes {
+        let mut packed = PackedSyndromes::new(num_detectors);
+        for shot in self.iter() {
+            packed.push_sparse(shot);
+        }
+        packed
+    }
+
+    /// Rebuilds the sparse batch from a packed one (cleared first).
+    pub fn unpack_from(&mut self, packed: &PackedSyndromes) {
+        self.clear();
+        let mut shot = Vec::new();
+        for i in 0..packed.len() {
+            packed.sparse_into(i, &mut shot);
+            self.push(&shot);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -209,9 +236,30 @@ mod tests {
         let mut ws = DecodeWorkspace::new();
         ws.edges.push((0, 1, 5));
         ws.mates.push(1);
+        ws.used.ensure(70);
+        ws.used.set(65);
         ws.edges.clear();
         ws.mates.clear();
+        ws.used.clear();
         assert!(ws.edges.capacity() >= 1);
         assert!(ws.mates.capacity() >= 1);
+        assert_eq!(ws.used.count(), 0);
+    }
+
+    #[test]
+    fn batch_pack_round_trips_through_packed_syndromes() {
+        let mut b = SyndromeBatch::new();
+        b.push(&[1, 4, 9]);
+        b.push(&[]);
+        b.push(&[2, 64, 65]);
+        let packed = b.pack(80);
+        assert_eq!(packed.len(), 3);
+        let mut back = SyndromeBatch::new();
+        back.push(&[7]); // stale shot must be cleared
+        back.unpack_from(&packed);
+        assert_eq!(back.len(), b.len());
+        for (a, c) in b.iter().zip(back.iter()) {
+            assert_eq!(a, c);
+        }
     }
 }

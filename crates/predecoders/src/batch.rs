@@ -37,6 +37,7 @@
 //! decoder kind.
 
 use decoding_graph::latency::cycles_to_ns;
+use decoding_graph::packed::{self, WordSpan};
 use decoding_graph::{DecodingGraph, DecodingSubgraph, DetectorId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -108,9 +109,27 @@ pub struct BatchPredecoder<'a> {
     /// `time_prev[d]` = the same-coordinate detector one layer earlier,
     /// when the decoding graph has an edge between them.
     time_prev: Vec<Option<DetectorId>>,
+    /// Uniform time-like stride: `Some(L)` when every time edge in the
+    /// graph satisfies `time_prev[d] == d - L` for one constant `L`
+    /// (layer-contiguous detector ids with identical per-layer layout).
+    /// This is what lets [`BatchPredecoder::cancel_rounds_packed`] align
+    /// consecutive layers with a single multi-word shift.
+    stride: Option<u32>,
+    /// Global bitset: bit `d` set iff `time_prev[d].is_some()`. Masks
+    /// the packed cancellation so spurious `d / d - L` coincidences
+    /// without a time edge never pair.
+    has_prev: Vec<u64>,
     sg: DecodingSubgraph,
     /// Scratch: `active[d]` while a call is in flight.
     active: Vec<bool>,
+    /// Packed scratch: live defect words during a packed call.
+    pw: Vec<u64>,
+    /// Packed scratch: stride-shifted copy / pair-clear mask.
+    pshift: Vec<u64>,
+    /// Packed scratch: the per-layer AND (cancellation) mask.
+    pand: Vec<u64>,
+    /// Packed scratch: window-local slice of [`Self::has_prev`].
+    pprev: Vec<u64>,
     /// Dijkstra scratch: tentative distances (boundary node included).
     dist: Vec<i64>,
     /// Dijkstra scratch: nodes whose `dist` entry must be reset.
@@ -143,15 +162,48 @@ impl<'a> BatchPredecoder<'a> {
                 time_prev[e.u as usize] = Some(e.v);
             }
         }
+        let mut has_prev = vec![0u64; packed::words_for(n)];
+        let mut stride: Option<u32> = None;
+        let mut uniform = true;
+        for (d, p) in time_prev.iter().enumerate() {
+            if let Some(p) = *p {
+                has_prev[d / packed::WORD_BITS] |= 1u64 << (d % packed::WORD_BITS);
+                if (p as usize) < d {
+                    let off = d as u32 - p;
+                    match stride {
+                        None => stride = Some(off),
+                        Some(s) if s == off => {}
+                        Some(_) => uniform = false,
+                    }
+                } else {
+                    uniform = false;
+                }
+            }
+        }
         BatchPredecoder {
             graph,
             time_prev,
+            stride: stride.filter(|_| uniform),
+            has_prev,
             sg: DecodingSubgraph::new(),
             active: vec![false; n],
+            pw: Vec::new(),
+            pshift: Vec::new(),
+            pand: Vec::new(),
+            pprev: Vec::new(),
             dist: vec![UNREACHED; n + 1],
             touched: Vec::new(),
             heap: BinaryHeap::new(),
         }
+    }
+
+    /// The uniform time-like stride, when the graph has one: `Some(L)`
+    /// iff every measurement edge connects `d` to exactly `d - L`. This
+    /// is the precondition for the word-parallel cancellation fast path;
+    /// [`BatchPredecoder::cancel_rounds_packed`] falls back to the
+    /// sparse sweep when it is `None`.
+    pub fn time_stride(&self) -> Option<u32> {
+        self.stride
     }
 
     /// Capped Dijkstra probe: the cheapest path `src → dst` of cost
@@ -365,6 +417,75 @@ impl<'a> BatchPredecoder<'a> {
         (survivors, pairs)
     }
 
+    /// Word-parallel Pinball round cancellation: the literal
+    /// `and = curr & prev; curr ^= and; prev ^= and` of the paper, over
+    /// packed `u64` words.
+    ///
+    /// `words` is a packed window: bit `i` is detector `base + i`.
+    /// Layers are swept oldest-first in chunks of the uniform stride
+    /// `L`: [`packed::shl_into`] aligns each layer with the one below
+    /// it, an AND against the live words and the measurement-edge mask
+    /// yields every cancelling pair of the layer at once, and two XORs
+    /// clear both endpoints. Within one layer the pairs are independent
+    /// (`d ↦ d - L` is injective), and sweeping layers in ascending
+    /// order preserves odd-chain semantics, so the result — survivors
+    /// *and* the recorded pair list, in order — is bit-identical to
+    /// [`BatchPredecoder::cancel_rounds`] on the sparse form. Graphs
+    /// without a uniform stride (see [`BatchPredecoder::time_stride`])
+    /// fall back to the sparse sweep.
+    pub fn cancel_rounds_packed(
+        &mut self,
+        words: &[u64],
+        base: DetectorId,
+    ) -> (Vec<DetectorId>, Vec<(DetectorId, DetectorId)>) {
+        let Some(stride) = self.stride else {
+            let mut dets = Vec::new();
+            packed::for_each_set_bit(words, |b| dets.push(base + b as DetectorId));
+            return self.cancel_rounds(&dets);
+        };
+        let l = stride as usize;
+        let nbits = words.len() * packed::WORD_BITS;
+        // Window-local slice of the measurement-edge mask: one funnel
+        // shift per word, no per-detector lookups.
+        let mut pprev = std::mem::take(&mut self.pprev);
+        WordSpan::new(base as usize, base as usize + nbits)
+            .extract_into(&self.has_prev, &mut pprev);
+        let mut w = std::mem::take(&mut self.pw);
+        w.clear();
+        w.extend_from_slice(words);
+        let mut shifted = std::mem::take(&mut self.pshift);
+        shifted.resize(w.len(), 0);
+        let mut and = std::mem::take(&mut self.pand);
+        and.resize(w.len(), 0);
+        let mut pairs = Vec::new();
+        let mut layer = 1usize;
+        while layer * l < nbits {
+            // shifted bit i = live bit i - L: the layer below, aligned.
+            packed::shl_into(&w, l, &mut shifted);
+            for i in 0..w.len() {
+                and[i] = w[i] & shifted[i] & pprev[i];
+            }
+            packed::mask_to_range(&mut and, layer * l, (layer + 1) * l);
+            if and.iter().any(|&x| x != 0) {
+                packed::for_each_set_bit(&and, |b| {
+                    pairs.push((base + (b - l) as DetectorId, base + b as DetectorId));
+                });
+                // curr ^= and; prev ^= and >> L.
+                packed::xor_accumulate(&mut w, &and);
+                packed::shr_into(&and, l, &mut shifted);
+                packed::xor_accumulate(&mut w, &shifted);
+            }
+            layer += 1;
+        }
+        let mut survivors = Vec::new();
+        packed::for_each_set_bit(&w, |b| survivors.push(base + b as DetectorId));
+        self.pprev = pprev;
+        self.pw = w;
+        self.pshift = shifted;
+        self.pand = and;
+        (survivors, pairs)
+    }
+
     /// Whether `dets` would be classified non-complex: every component of
     /// its decoding subgraph is a trivial chain (lone boundary-adjacent
     /// defect or isolated adjacent pair) whose local resolution is the
@@ -452,14 +573,65 @@ impl<'a> BatchPredecoder<'a> {
             }
         }
         // Complex batch: the verified all-trivial fast path failed. Run
-        // the round-cancellation sweep, then strip only the pieces —
-        // cancelled measurement pairs and trivial surviving chains —
-        // that provably belong to every minimum-weight matching of the
-        // batch (local uniqueness plus a strict isolation margin
-        // against every other batch defect). Anything ambiguous stays
-        // in the residual for the L2 solver: shedding may never trade
-        // away a correction the solver would have gotten right.
-        let (mut survivors, cancelled) = self.cancel_rounds(dets);
+        // the round-cancellation sweep, then strip what can be proven.
+        let (survivors, cancelled) = self.cancel_rounds(dets);
+        self.complex_tail(dets, survivors, cancelled, latency_ns)
+    }
+
+    /// Predecodes one packed batch: bit `i` of `words` is detector
+    /// `base + i`. Produces the same [`BatchOutcome`] — matches,
+    /// residual, pair list and all — as [`BatchPredecoder::decode_batch`]
+    /// on the sparse form of `words`, but the hot front of the pipeline
+    /// runs on words: the complexity check is a popcount scan
+    /// ([`packed::popcount_exceeds`]) and the round cancellation is the
+    /// AND/XOR sweep of [`BatchPredecoder::cancel_rounds_packed`]. The
+    /// verification probes behind a commit are unchanged — they are what
+    /// makes L1 commits safe, packed or not.
+    pub fn decode_batch_packed(&mut self, words: &[u64], base: DetectorId) -> BatchOutcome {
+        let latency_ns = cycles_to_ns(BATCH_PREDECODE_CYCLES);
+        if !packed::popcount_exceeds(words, 0) {
+            return BatchOutcome {
+                matches: Vec::new(),
+                residual: Vec::new(),
+                complex: false,
+                cancelled_pairs: 0,
+                latency_ns,
+            };
+        }
+        let mut dets = Vec::new();
+        if !packed::popcount_exceeds(words, MAX_L1_DEFECTS as u32) {
+            packed::for_each_set_bit(words, |b| dets.push(base + b as DetectorId));
+            self.sg.rebuild(self.graph, &dets);
+            if let Some(matches) = self.try_resolve_verified() {
+                return BatchOutcome {
+                    matches,
+                    residual: Vec::new(),
+                    complex: false,
+                    cancelled_pairs: 0,
+                    latency_ns,
+                };
+            }
+        } else {
+            packed::for_each_set_bit(words, |b| dets.push(base + b as DetectorId));
+        }
+        let (survivors, cancelled) = self.cancel_rounds_packed(words, base);
+        self.complex_tail(&dets, survivors, cancelled, latency_ns)
+    }
+
+    /// The shared complex-batch tail: strip only the pieces — cancelled
+    /// measurement pairs and trivial surviving chains — that provably
+    /// belong to every minimum-weight matching of the batch (local
+    /// uniqueness plus a strict isolation margin against every other
+    /// batch defect). Anything ambiguous stays in the residual for the
+    /// L2 solver: shedding may never trade away a correction the solver
+    /// would have gotten right.
+    fn complex_tail(
+        &mut self,
+        dets: &[DetectorId],
+        mut survivors: Vec<DetectorId>,
+        cancelled: Vec<(DetectorId, DetectorId)>,
+        latency_ns: f64,
+    ) -> BatchOutcome {
         let mut db: Vec<Option<i64>> = vec![None; dets.len()];
         let mut matches: Vec<LocalMatch> = Vec::new();
         let mut cancelled_pairs = 0usize;
@@ -700,6 +872,104 @@ mod tests {
         assert!(out.complex);
         assert_eq!(out.residual, vec![interior]);
         assert!(out.matches.is_empty());
+    }
+
+    /// Packs `dets` into window words with bit `d - base`.
+    fn pack(dets: &[u32], base: u32) -> Vec<u64> {
+        let hi = dets.iter().max().map_or(0, |&d| (d - base) as usize + 1);
+        let mut w = vec![0u64; packed::words_for(hi).max(1)];
+        for &d in dets {
+            let b = (d - base) as usize;
+            w[b / 64] |= 1u64 << (b % 64);
+        }
+        w
+    }
+
+    /// Deterministic pseudo-random detector subsets without an RNG dep.
+    fn random_batch(g: &DecodingGraph, seed: u64, keep_one_in: u64) -> Vec<u32> {
+        let mut x = seed | 1;
+        (0..g.num_detectors())
+            .filter(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+                    .is_multiple_of(keep_one_in)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn surface_code_graphs_have_a_uniform_time_stride() {
+        // The packed cancellation fast path requires every measurement
+        // edge to connect d to d - L for one constant L. The LayerMap
+        // detector ordering of the surface-code circuits guarantees it —
+        // pin that here so a silent fallback to the sparse sweep would
+        // fail loudly.
+        for (d, rounds) in [(3, 4), (5, 5), (3, 9)] {
+            let g = graph(d, rounds);
+            let pre = BatchPredecoder::new(&g);
+            let stride = pre.time_stride();
+            assert!(stride.is_some(), "d={d} rounds={rounds} lost the stride");
+            for det in 0..g.num_detectors() {
+                if let Some(p) = pre.time_prev(det) {
+                    assert_eq!(det - p, stride.unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_cancellation_matches_the_sparse_sweep() {
+        let g = graph(3, 5);
+        let mut pre = BatchPredecoder::new(&g);
+        assert!(pre.time_stride().is_some());
+        let mut batches: Vec<Vec<u32>> = vec![Vec::new()];
+        let (p, d) = time_pair(&g, &pre);
+        batches.push(vec![p, d]);
+        // A three-round chain: odd length, leaves the newest standing.
+        if let Some(chain) = (0..g.num_detectors()).find_map(|d| {
+            let p = pre.time_prev(d)?;
+            let pp = pre.time_prev(p)?;
+            Some(vec![pp, p, d])
+        }) {
+            batches.push(chain);
+        }
+        for seed in 0..24u64 {
+            batches.push(random_batch(&g, seed, 3 + seed % 5));
+        }
+        for batch in &batches {
+            let (want_s, want_p) = pre.cancel_rounds(batch);
+            for base in [0u32, batch.first().copied().unwrap_or(0)] {
+                let words = pack(batch, base);
+                let (got_s, got_p) = pre.cancel_rounds_packed(&words, base);
+                assert_eq!(got_s, want_s, "survivors, base={base} batch={batch:?}");
+                assert_eq!(got_p, want_p, "pairs, base={base} batch={batch:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_decode_matches_sparse_decode_exactly() {
+        let g = graph(5, 5);
+        let mut pre = BatchPredecoder::new(&g);
+        let (p, d) = time_pair(&g, &pre);
+        let bd = g.boundary_node();
+        let interior = (0..g.num_detectors())
+            .find(|&d| g.edge_between(d, bd).is_none())
+            .unwrap();
+        let mut batches: Vec<Vec<u32>> = vec![Vec::new(), vec![p, d], vec![interior]];
+        for seed in 0..16u64 {
+            batches.push(random_batch(&g, 0xDEC0DE + seed, 4 + seed % 7));
+        }
+        for batch in &batches {
+            let want = pre.decode_batch(batch);
+            for base in [0u32, batch.first().copied().unwrap_or(0)] {
+                let words = pack(batch, base);
+                let got = pre.decode_batch_packed(&words, base);
+                assert_eq!(got, want, "base={base} batch={batch:?}");
+            }
+        }
     }
 
     #[test]

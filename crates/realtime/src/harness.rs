@@ -9,7 +9,7 @@
 
 use crate::backlog::{service_ns, simulate_backlog, BacklogConfig, BacklogReport, WindowTiming};
 use crate::stream::SyndromeStream;
-use crate::window::{PredecodeMode, SlidingWindowDecoder, WindowConfig};
+use crate::window::{Datapath, PredecodeMode, SlidingWindowDecoder, WindowConfig};
 use astrea::AstreaLatencyModel;
 use decoding_graph::{
     DecodingGraph, LatencyModel, LayerMap, PolynomialLatency, SeamPolicy, WindowCache,
@@ -56,6 +56,9 @@ pub struct StreamRunConfig {
     pub backlog: BacklogConfig,
     /// Whether the L1 batch predecoder runs ahead of the solver.
     pub predecode: PredecodeMode,
+    /// Syndrome representation of the window hot loop (bit-identical
+    /// outcomes either way; packed is the fast default).
+    pub datapath: Datapath,
 }
 
 /// Result of one streaming run.
@@ -142,7 +145,8 @@ pub fn run_stream_with_cache(
     let mut stream = SyndromeStream::with_shared_layers(circuit, Arc::clone(&layers), cfg.seed);
     let mut swd =
         SlidingWindowDecoder::with_cache(graph, layers, kind, cfg.window, Arc::clone(cache))
-            .with_predecode(cfg.predecode);
+            .with_predecode(cfg.predecode)
+            .with_datapath(cfg.datapath);
     let fallback = fallback_latency_model(kind);
     let mut timings: Vec<WindowTiming> = Vec::new();
     let mut failures = 0u64;
@@ -198,6 +202,7 @@ mod tests {
             window: WindowConfig::new(4, 2).unwrap(),
             backlog: BacklogConfig::with_commit_deadline(1000.0, 2),
             predecode: PredecodeMode::Off,
+            datapath: Datapath::Packed,
         };
         run_stream(&ctx.graph, &ctx.circuit, kind, &cfg)
     }
@@ -251,6 +256,7 @@ mod tests {
             window: WindowConfig::new(4, 2).unwrap(),
             backlog: BacklogConfig::with_commit_deadline(1000.0, 2),
             predecode: PredecodeMode::Off,
+            datapath: Datapath::Packed,
         };
         let cache = Arc::new(WindowCache::new(&ctx.graph, SeamPolicy::Cut));
         for kind in [DecoderKind::Mwpm, DecoderKind::AstreaG] {
@@ -271,6 +277,7 @@ mod tests {
             window: WindowConfig::new(4, 2).unwrap(),
             backlog: BacklogConfig::with_commit_deadline(1000.0, 2),
             predecode: PredecodeMode::Batch,
+            datapath: Datapath::Packed,
         };
         let on = run_stream(&ctx.graph, &ctx.circuit, DecoderKind::Mwpm, &cfg);
         let on_again = run_stream(&ctx.graph, &ctx.circuit, DecoderKind::Mwpm, &cfg);

@@ -26,7 +26,9 @@
 //!
 //! ```
 //! use ler::{DecoderKind, ExperimentContext};
-//! use realtime::{run_stream, BacklogConfig, PredecodeMode, StreamRunConfig, WindowConfig};
+//! use realtime::{
+//!     run_stream, BacklogConfig, Datapath, PredecodeMode, StreamRunConfig, WindowConfig,
+//! };
 //!
 //! let ctx = ExperimentContext::with_rounds(3, 5, 1e-3);
 //! let cfg = StreamRunConfig {
@@ -35,6 +37,7 @@
 //!     window: WindowConfig::new(4, 2).unwrap(),
 //!     backlog: BacklogConfig::with_commit_deadline(1000.0, 2),
 //!     predecode: PredecodeMode::Off,
+//!     datapath: Datapath::Packed,
 //! };
 //! let run = run_stream(&ctx.graph, &ctx.circuit, DecoderKind::AstreaG, &cfg);
 //! assert_eq!(run.backlog.windows, 32 * 2);
@@ -55,5 +58,5 @@ pub use harness::{
 };
 pub use stream::{StreamedShot, SyndromeStream};
 pub use window::{
-    PredecodeMode, SlidingWindowDecoder, WindowConfig, WindowRecord, WindowedOutcome,
+    Datapath, PredecodeMode, SlidingWindowDecoder, WindowConfig, WindowRecord, WindowedOutcome,
 };

@@ -17,9 +17,10 @@
 //! only involve the defer margin, and those are discarded and re-decoded
 //! by construction.
 
+use decoding_graph::packed::{for_each_set_bit, WordSpan};
 use decoding_graph::{
-    DecodingGraph, DetectorId, LayerMap, MatchTarget, SeamPolicy, SyndromeBatch, WindowCache,
-    WindowContext, BATCH_PREDECODE_NS,
+    DecodingGraph, DetectorId, LayerMap, MatchTarget, PackedBits, SeamPolicy, SyndromeBatch,
+    WindowCache, WindowContext, BATCH_PREDECODE_NS,
 };
 use ler::{build_decoder, DecoderKind};
 use predecoders::BatchPredecoder;
@@ -74,6 +75,50 @@ impl PredecodeMode {
             0 => Some(PredecodeMode::Off),
             1 => Some(PredecodeMode::Batch),
             _ => None,
+        }
+    }
+}
+
+/// Which syndrome representation drives the sliding-window hot loop.
+///
+/// Both paths are bit-identical by construction (pinned by the packed
+/// equivalence suite); [`Datapath::Byte`] exists as the reference the
+/// packed path is checked against and as an escape hatch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Datapath {
+    /// Sparse detector-id lists: carried defects and arrivals are merged
+    /// and sorted per window, and the L1 tier sweeps them one id at a
+    /// time.
+    Byte,
+    /// Bit-packed `u64` words: defects live in a [`PackedBits`] set
+    /// (merge = set bits, sort = free, reset = O(touched words)), the
+    /// window is pulled out with a seam-masked [`WordSpan`] extraction,
+    /// and the L1 complexity check and round cancellation run as
+    /// popcount and AND/XOR over words
+    /// ([`predecoders::BatchPredecoder::decode_batch_packed`]).
+    #[default]
+    Packed,
+}
+
+impl Datapath {
+    /// Parses the CLI spelling (`byte` or `packed`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted spellings.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "byte" => Ok(Datapath::Byte),
+            "packed" => Ok(Datapath::Packed),
+            other => Err(format!("unknown datapath '{other}' (byte|packed)")),
+        }
+    }
+
+    /// The CLI/report spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            Datapath::Byte => "byte",
+            Datapath::Packed => "packed",
         }
     }
 }
@@ -209,6 +254,11 @@ pub struct SlidingWindowDecoder<'g> {
     shared: Arc<WindowCache>,
     local: HashMap<(u32, u32), Arc<WindowContext>>,
     l1: Option<BatchPredecoder<'g>>,
+    datapath: Datapath,
+    /// Packed scratch: the live defect bitset of the shot under decode.
+    pbits: PackedBits,
+    /// Packed scratch: the seam-masked window extraction buffer.
+    pwords: Vec<u64>,
 }
 
 impl<'g> SlidingWindowDecoder<'g> {
@@ -269,7 +319,27 @@ impl<'g> SlidingWindowDecoder<'g> {
             shared: cache,
             local: HashMap::new(),
             l1: None,
+            datapath: Datapath::default(),
+            pbits: PackedBits::new(),
+            pwords: Vec::new(),
         }
+    }
+
+    /// Switches between the packed and byte syndrome datapaths.
+    pub fn set_datapath(&mut self, datapath: Datapath) {
+        self.datapath = datapath;
+    }
+
+    /// Chainable [`SlidingWindowDecoder::set_datapath`].
+    #[must_use]
+    pub fn with_datapath(mut self, datapath: Datapath) -> Self {
+        self.set_datapath(datapath);
+        self
+    }
+
+    /// The syndrome datapath in effect.
+    pub fn datapath(&self) -> Datapath {
+        self.datapath
     }
 
     /// Switches the L1 batch-predecode tier on or off.
@@ -384,11 +454,31 @@ impl<'g> SlidingWindowDecoder<'g> {
             let mut groups: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
             for (i, (state, dets)) in st.iter_mut().zip(shots).enumerate() {
                 let mut active = std::mem::take(&mut state.pending);
-                while state.next_new < dets.len() && dets[state.next_new] < hi_det {
-                    active.push(dets[state.next_new]);
-                    state.next_new += 1;
+                match self.datapath {
+                    Datapath::Byte => {
+                        while state.next_new < dets.len() && dets[state.next_new] < hi_det {
+                            active.push(dets[state.next_new]);
+                            state.next_new += 1;
+                        }
+                        active.sort_unstable();
+                    }
+                    Datapath::Packed => {
+                        // Merge carried defects and arrivals as set bits:
+                        // the sort falls out of bit order, and the reset
+                        // below costs O(touched words).
+                        self.pbits.clear();
+                        self.pbits.ensure(hi_det as usize);
+                        for &d in &active {
+                            self.pbits.set(d as usize);
+                        }
+                        while state.next_new < dets.len() && dets[state.next_new] < hi_det {
+                            self.pbits.set(dets[state.next_new] as usize);
+                            state.next_new += 1;
+                        }
+                        active.clear();
+                        for_each_set_bit(self.pbits.words(), |b| active.push(b as DetectorId));
+                    }
                 }
-                active.sort_unstable();
                 let hw = active.len();
                 let mut latency_ns = None;
                 let mut deferred = 0usize;
@@ -398,7 +488,18 @@ impl<'g> SlidingWindowDecoder<'g> {
                 // local matches by the same rule as solver matches, and
                 // keep only the escalated residual for the solver.
                 if let Some(l1) = self.l1.as_mut() {
-                    let out = l1.decode_batch(&active);
+                    let out = if self.datapath == Datapath::Packed && !active.is_empty() {
+                        // Seam-masked word extraction of the window's bit
+                        // range (extended down to the oldest carried
+                        // defect), then the word-parallel L1 pipeline.
+                        let base_layer = self.layers.layer_of(active[0]).min(s);
+                        let wbase = self.layers.det_range(base_layer, hi).start;
+                        WordSpan::new(wbase as usize, hi_det as usize)
+                            .extract_into(self.pbits.words(), &mut self.pwords);
+                        l1.decode_batch_packed(&self.pwords, wbase)
+                    } else {
+                        l1.decode_batch(&active)
+                    };
                     for m in &out.matches {
                         let top = match m.b {
                             Some(b) => self.layers.layer_of(m.a).max(self.layers.layer_of(b)),
@@ -802,6 +903,66 @@ mod tests {
             for (dets, b) in shots.iter().zip(&got) {
                 let s = sequential.decode_shot(dets);
                 assert_eq!(&s, b, "{:?}", kind);
+            }
+        }
+    }
+
+    #[test]
+    fn datapath_defaults_to_packed_and_round_trips_labels() {
+        for dp in [Datapath::Byte, Datapath::Packed] {
+            assert_eq!(Datapath::parse(dp.label()), Ok(dp));
+        }
+        assert_eq!(Datapath::default(), Datapath::Packed);
+        assert!(Datapath::parse("sparse").is_err());
+        let ctx = ctx(3, 4);
+        let swd = windowed(&ctx, DecoderKind::Mwpm, 4, 2);
+        assert_eq!(swd.datapath(), Datapath::Packed);
+        assert_eq!(swd.with_datapath(Datapath::Byte).datapath(), Datapath::Byte);
+    }
+
+    #[test]
+    fn packed_and_byte_datapaths_agree_bit_for_bit() {
+        let ctx = ctx(3, 6);
+        // Single mechanisms plus denser composite shots (unions of
+        // several mechanisms) so carried defects, L1 escalation, and
+        // multi-word windows all get exercised.
+        let mut shots: Vec<Vec<DetectorId>> = ctx
+            .dem
+            .errors
+            .iter()
+            .take(30)
+            .map(|e| e.dets.as_slice().to_vec())
+            .collect();
+        for k in 0..10 {
+            let mut merged: Vec<DetectorId> = ctx
+                .dem
+                .errors
+                .iter()
+                .skip(k)
+                .step_by(7)
+                .take(4)
+                .flat_map(|e| e.dets.as_slice().iter().copied())
+                .collect();
+            merged.sort_unstable();
+            merged.dedup();
+            shots.push(merged);
+        }
+        let refs: Vec<&[DetectorId]> = shots.iter().map(|s| s.as_slice()).collect();
+        for kind in [
+            DecoderKind::Mwpm,
+            DecoderKind::UnionFind,
+            DecoderKind::AstreaG,
+        ] {
+            for mode in [PredecodeMode::Off, PredecodeMode::Batch] {
+                let mut packed = windowed(&ctx, kind, 4, 2)
+                    .with_predecode(mode)
+                    .with_datapath(Datapath::Packed);
+                let mut byte = windowed(&ctx, kind, 4, 2)
+                    .with_predecode(mode)
+                    .with_datapath(Datapath::Byte);
+                let got = packed.decode_shots(&refs);
+                let want = byte.decode_shots(&refs);
+                assert_eq!(got, want, "{kind:?} predecode={}", mode.label());
             }
         }
     }

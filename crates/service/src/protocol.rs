@@ -81,9 +81,9 @@ pub struct TenantStatsWire {
     pub shots: u64,
     /// Windows decoded (committed shots × windows per shot).
     pub windows: u64,
-    /// Windows shed by admission control, uniformly in window units:
-    /// live gate rejections (counted in shots, scaled by the tenant's
-    /// windows per shot) plus modeled bounded-queue sheds.
+    /// Work shed by admission control: live gate rejections (shed
+    /// submissions open no windows, so each counts once) plus modeled
+    /// bounded-queue window sheds.
     pub shed: u64,
     /// Windows whose modeled reaction time exceeded the deadline.
     pub deadline_misses: u64,
@@ -196,7 +196,17 @@ impl Frame {
     }
 
     /// Encodes the frame body (everything the length prefix covers).
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Protocol`] when a variable-length field
+    /// does not fit its wire representation — a string over `u16::MAX`
+    /// bytes, or a list whose encoding cannot fit one
+    /// [`MAX_FRAME_LEN`]-byte frame. This mirrors the oversize check the
+    /// read side applies: a frame the peer would reject is refused at
+    /// encode time instead of being emitted with a silently wrapped
+    /// length count.
+    pub fn encode(&self) -> Result<Vec<u8>, ServiceError> {
         let mut out = Vec::new();
         out.push(self.type_code());
         put_u16(&mut out, PROTOCOL_VERSION);
@@ -214,7 +224,7 @@ impl Frame {
                 put_u32(&mut out, *window);
                 put_u32(&mut out, *commit);
                 out.push(*predecode);
-                put_str(&mut out, scenario);
+                put_str(&mut out, scenario)?;
             }
             Frame::RegisterAck {
                 qubit,
@@ -225,12 +235,12 @@ impl Frame {
                 put_u32(&mut out, *qubit);
                 out.push(u8::from(*ok));
                 put_u32(&mut out, *shard);
-                put_str(&mut out, message);
+                put_str(&mut out, message)?;
             }
             Frame::SubmitRounds { qubit, shot, dets } => {
                 put_u32(&mut out, *qubit);
                 put_u64(&mut out, *shot);
-                put_u32(&mut out, dets.len() as u32);
+                put_count(&mut out, dets.len(), 4, "detector list")?;
                 for &d in dets {
                     put_u32(&mut out, d);
                 }
@@ -253,7 +263,7 @@ impl Frame {
             }
             Frame::StatsRequest | Frame::Shutdown | Frame::ShutdownAck => {}
             Frame::StatsReport { tenants } => {
-                put_u32(&mut out, tenants.len() as u32);
+                put_count(&mut out, tenants.len(), 88, "tenant stats list")?;
                 for t in tenants {
                     put_u32(&mut out, t.qubit);
                     put_u32(&mut out, t.shard);
@@ -269,9 +279,9 @@ impl Frame {
                     put_u64(&mut out, t.escalated_windows);
                 }
             }
-            Frame::Error { message } => put_str(&mut out, message),
+            Frame::Error { message } => put_str(&mut out, message)?,
         }
-        out
+        Ok(out)
     }
 
     /// Decodes a frame body produced by [`Frame::encode`].
@@ -373,21 +383,34 @@ impl Frame {
 
     /// Encodes the frame with its length prefix — the exact bytes both
     /// transports put on the wire.
-    pub fn to_wire(&self) -> Vec<u8> {
-        let body = self.encode();
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Protocol`] for oversized fields (see
+    /// [`Frame::encode`]) or a body over [`MAX_FRAME_LEN`] bytes — the
+    /// exact frame the read side would refuse.
+    pub fn to_wire(&self) -> Result<Vec<u8>, ServiceError> {
+        let body = self.encode()?;
+        if body.len() > MAX_FRAME_LEN {
+            return Err(ServiceError::Protocol(format!(
+                "frame body of {} bytes exceeds the {MAX_FRAME_LEN}-byte limit",
+                body.len()
+            )));
+        }
         let mut wire = Vec::with_capacity(4 + body.len());
         put_u32(&mut wire, body.len() as u32);
         wire.extend_from_slice(&body);
-        wire
+        Ok(wire)
     }
 
     /// Writes the length-prefixed frame to `w`.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from `w`.
+    /// Propagates I/O errors from `w` and encode-side
+    /// [`ServiceError::Protocol`] errors from [`Frame::to_wire`].
     pub fn write_to(&self, w: &mut dyn Write) -> Result<(), ServiceError> {
-        w.write_all(&self.to_wire())?;
+        w.write_all(&self.to_wire()?)?;
         w.flush()?;
         Ok(())
     }
@@ -435,11 +458,35 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), ServiceError> {
     let bytes = s.as_bytes();
-    assert!(bytes.len() <= u16::MAX as usize, "string field too long");
+    if bytes.len() > u16::MAX as usize {
+        return Err(ServiceError::Protocol(format!(
+            "string field of {} bytes exceeds the u16 length prefix",
+            bytes.len()
+        )));
+    }
     put_u16(out, bytes.len() as u16);
     out.extend_from_slice(bytes);
+    Ok(())
+}
+
+/// Writes a `u32` element count, rejecting lists whose `elem_bytes`-wide
+/// encoding cannot fit one frame (which also makes the `as u32` cast
+/// lossless — the old unguarded cast silently wrapped huge counts).
+fn put_count(
+    out: &mut Vec<u8>,
+    n: usize,
+    elem_bytes: usize,
+    what: &str,
+) -> Result<(), ServiceError> {
+    if n > MAX_FRAME_LEN / elem_bytes {
+        return Err(ServiceError::Protocol(format!(
+            "{what} of {n} entries exceeds the {MAX_FRAME_LEN}-byte frame limit"
+        )));
+    }
+    put_u32(out, n as u32);
+    Ok(())
 }
 
 /// Cursor over a frame body with truncation-checked reads.
@@ -569,11 +616,11 @@ mod tests {
     #[test]
     fn every_frame_round_trips() {
         for f in sample_frames() {
-            let body = f.encode();
+            let body = f.encode().unwrap();
             let back = Frame::decode(&body).unwrap();
             assert_eq!(back, f);
             // Byte-level fixed point.
-            assert_eq!(back.encode(), body);
+            assert_eq!(back.encode().unwrap(), body);
         }
     }
 
@@ -594,7 +641,7 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let mut body = Frame::Shutdown.encode();
+        let mut body = Frame::Shutdown.encode().unwrap();
         body[1] = 99; // clobber the version field
         let err = Frame::decode(&body).unwrap_err();
         assert!(matches!(err, ServiceError::Protocol(_)), "{err}");
@@ -604,7 +651,7 @@ mod tests {
     #[test]
     fn malformed_bodies_are_rejected() {
         // Unknown type.
-        let mut body = Frame::Shutdown.encode();
+        let mut body = Frame::Shutdown.encode().unwrap();
         body[0] = 42;
         assert!(Frame::decode(&body).is_err());
         // Truncated payload.
@@ -613,10 +660,11 @@ mod tests {
             shot: 2,
             dets: vec![3, 4],
         }
-        .encode();
+        .encode()
+        .unwrap();
         assert!(Frame::decode(&body[..body.len() - 2]).is_err());
         // Trailing garbage.
-        let mut body = Frame::StatsRequest.encode();
+        let mut body = Frame::StatsRequest.encode().unwrap();
         body.push(0);
         assert!(Frame::decode(&body).is_err());
         // Empty body.
@@ -634,8 +682,42 @@ mod tests {
     }
 
     #[test]
+    fn oversized_fields_are_encode_errors_not_silent_wraps() {
+        // A string past the u16 length prefix (formerly an assert).
+        let f = Frame::Error {
+            message: "x".repeat(u16::MAX as usize + 1),
+        };
+        assert!(matches!(f.encode(), Err(ServiceError::Protocol(_))));
+        // A detector list whose count the old `as u32` cast would have
+        // emitted unchecked into a frame no peer can read.
+        let f = Frame::SubmitRounds {
+            qubit: 0,
+            shot: 0,
+            dets: vec![0; MAX_FRAME_LEN / 4 + 1],
+        };
+        let err = f.encode().unwrap_err();
+        assert!(err.to_string().contains("frame limit"), "{err}");
+        assert!(matches!(f.to_wire(), Err(ServiceError::Protocol(_))));
+        // A body that passes the count guard but overflows the frame
+        // limit with its header is caught by to_wire — the exact frame
+        // the read side would refuse.
+        let f = Frame::SubmitRounds {
+            qubit: 0,
+            shot: 0,
+            dets: vec![0; MAX_FRAME_LEN / 4],
+        };
+        assert!(f.encode().is_ok());
+        let err = f.to_wire().unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+        // write_to refuses before touching the writer.
+        let mut sink = Vec::new();
+        assert!(f.write_to(&mut sink).is_err());
+        assert!(sink.is_empty());
+    }
+
+    #[test]
     fn mid_frame_eof_is_an_io_error_not_end_of_stream() {
-        let wire = Frame::Shutdown.to_wire();
+        let wire = Frame::Shutdown.to_wire().unwrap();
         let mut cursor = std::io::Cursor::new(&wire[..wire.len() - 1]);
         assert!(matches!(
             Frame::read_from(&mut cursor),

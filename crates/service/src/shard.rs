@@ -59,10 +59,6 @@ struct Tenant<'a> {
     decoder: SlidingWindowDecoder<'a>,
     fallback: Box<dyn LatencyModel + Send>,
     layers_per_shot: u32,
-    /// Windows one shot produces under this tenant's (window, commit)
-    /// split — converts live gate sheds (counted in shots) into window
-    /// units for the stats report.
-    windows_per_shot: u32,
     next_shot: u64,
     shots: u64,
     windows: u64,
@@ -76,6 +72,7 @@ struct Tenant<'a> {
 
 /// Windows one shot's decode produces: the number of window steps of
 /// the sliding-window loop over `layers` round layers.
+#[cfg(test)]
 fn windows_per_shot(layers: u32, cfg: WindowConfig) -> u32 {
     if layers <= cfg.window {
         1
@@ -172,7 +169,6 @@ pub(crate) fn run_shard(
                         decoder,
                         fallback: fallback_latency_model(kind),
                         layers_per_shot,
-                        windows_per_shot: windows_per_shot(layers_per_shot, window),
                         next_shot: 0,
                         shots: 0,
                         windows: 0,
@@ -327,10 +323,10 @@ fn shard_stats(
                 shard: shard_id as u32,
                 shots: t.shots,
                 windows: t.windows,
-                // Live gate sheds count shots; scale to windows so the
-                // wire row's unit is uniformly windows.
-                shed: t.gate.shed_count() * t.windows_per_shot as u64
-                    + modeled.map_or(0, |r| r.shed),
+                // A gate-shed submission never opened a window, so it
+                // counts once — scaling by windows-per-shot would
+                // fabricate window work that was never queued.
+                shed: t.gate.shed_count() + modeled.map_or(0, |r| r.shed),
                 deadline_misses: modeled.map_or(0, |r| r.deadline_misses),
                 mean_ns: modeled.map_or(0.0, |r| r.reaction.mean_ns),
                 p50_ns: modeled.map_or(0.0, |r| r.reaction.p50_ns),
@@ -409,7 +405,6 @@ mod tests {
                     decoder,
                     fallback: fallback_latency_model(DecoderKind::Mwpm),
                     layers_per_shot,
-                    windows_per_shot: windows_per_shot(layers_per_shot, cfg),
                     next_shot: 0,
                     shots: 0,
                     windows: 0,
@@ -452,6 +447,53 @@ mod tests {
             p99[1],
             p99[0]
         );
+    }
+
+    #[test]
+    fn gate_sheds_are_not_scaled_by_windows_per_shot() {
+        // A gate-shed submission never reaches the shard, so it opens
+        // zero windows; the stats row must count it once, not multiply
+        // it into window units. Floods a gate of capacity 2 with 10
+        // admissions (8 shed), decodes nothing, and pins the exact row
+        // across repeated stats calls (determinism: stats are a pure
+        // function of the counters and the modeled timeline).
+        let ctx = ExperimentContext::with_rounds(3, 6, 1e-3);
+        let cfg = WindowConfig::new(4, 2).unwrap();
+        let layers = LayerMap::from_graph(&ctx.graph).unwrap();
+        let decoder = SlidingWindowDecoder::new(&ctx.graph, layers, DecoderKind::Mwpm, cfg);
+        let layers_per_shot = decoder.layers().num_layers();
+        assert!(
+            windows_per_shot(layers_per_shot, cfg) > 1,
+            "the regression needs a multi-window split to be visible"
+        );
+        let gate = Arc::new(TenantGate::new(2));
+        for _ in 0..10 {
+            let _ = gate.try_admit();
+        }
+        assert_eq!(gate.shed_count(), 8);
+        let mut tenants = HashMap::new();
+        tenants.insert(
+            7,
+            Tenant {
+                qubit: 7,
+                decoder,
+                fallback: fallback_latency_model(DecoderKind::Mwpm),
+                layers_per_shot,
+                next_shot: 0,
+                shots: 0,
+                windows: 0,
+                l1_rounds: 0,
+                escalated_windows: 0,
+                gate,
+            },
+        );
+        let scfg = ServiceConfig::default();
+        let first = shard_stats(0, &scfg, &tenants, &[]);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].shed, 8, "one shed per rejected submission");
+        assert_eq!(first[0].windows, 0, "shed submissions open no windows");
+        let second = shard_stats(0, &scfg, &tenants, &[]);
+        assert_eq!(first, second, "stats are deterministic");
     }
 
     #[test]

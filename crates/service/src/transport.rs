@@ -53,7 +53,7 @@ struct ChannelSink {
 impl FrameSink for ChannelSink {
     fn send(&mut self, frame: &Frame) -> Result<(), ServiceError> {
         self.tx
-            .send(frame.to_wire())
+            .send(frame.to_wire()?)
             .map_err(|_| ServiceError::Protocol("channel peer hung up".into()))
     }
 }

@@ -110,13 +110,13 @@ proptest! {
         len in 0usize..40,
     ) {
         let frame = arbitrary_frame(ty, seed, len);
-        let body = frame.encode();
+        let body = frame.encode().expect("in-bounds frame encodes");
         let decoded = Frame::decode(&body).expect("own encoding decodes");
-        prop_assert_eq!(decoded.encode(), body.clone());
+        prop_assert_eq!(decoded.encode().unwrap(), body.clone());
         // The framed form round-trips through the byte pipe too.
-        let mut cursor = std::io::Cursor::new(frame.to_wire());
+        let mut cursor = std::io::Cursor::new(frame.to_wire().unwrap());
         let read = Frame::read_from(&mut cursor).unwrap().unwrap();
-        prop_assert_eq!(read.encode(), body);
+        prop_assert_eq!(read.encode().unwrap(), body);
     }
 
     /// decode never panics on arbitrary byte soup — it returns a frame
@@ -127,7 +127,9 @@ proptest! {
         let bytes: Vec<u8> = (0..len).map(|_| m.next() as u8).collect();
         let _ = Frame::decode(&bytes);
         // Truncations of a valid frame never panic either.
-        let body = arbitrary_frame((seed % 9) as u8, seed, len % 20).encode();
+        let body = arbitrary_frame((seed % 9) as u8, seed, len % 20)
+            .encode()
+            .unwrap();
         for cut in 0..body.len() {
             let _ = Frame::decode(&body[..cut]);
         }

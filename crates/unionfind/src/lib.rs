@@ -21,7 +21,7 @@
 //! near-term error rate p = 10⁻⁴ it is measurably less accurate than
 //! MWPM, which is the effect Figure 4 reports.
 
-use decoding_graph::{DecodeOutcome, Decoder, DecodingGraph, DetectorId};
+use decoding_graph::{DecodeOutcome, Decoder, DecodingGraph, DetectorId, PackedBits};
 
 /// Union-find decoder over a decoding graph.
 ///
@@ -60,7 +60,9 @@ struct UfScratch {
     in_cluster: Vec<bool>,
     parent_edge: Vec<usize>,
     order_index: Vec<u32>,
-    visited: Vec<bool>,
+    /// BFS visit flags, bit-packed: set/test are single-bit ops and the
+    /// reset is an O(touched words) sweep ([`PackedBits::clear`]).
+    visited: PackedBits,
     // Per-edge state.
     growth: Vec<i64>,
     edge_speed: Vec<u32>,
@@ -91,7 +93,7 @@ impl UfScratch {
             self.in_cluster.resize(n, false);
             self.parent_edge.resize(n, NO_EDGE);
             self.order_index.resize(n, u32::MAX);
-            self.visited.resize(n, false);
+            self.visited.ensure(n);
         }
         if self.growth.len() < m {
             self.growth.resize(m, 0);
@@ -112,9 +114,9 @@ impl UfScratch {
             self.in_cluster[t] = false;
             self.parent_edge[t] = NO_EDGE;
             self.order_index[t] = u32::MAX;
-            self.visited[t] = false;
         }
         self.touched_nodes.clear();
+        self.visited.clear();
         for &e in &self.touched_edges {
             self.growth[e as usize] = 0;
         }
@@ -367,7 +369,7 @@ impl<'a> UnionFindDecoder<'a> {
             // BFS spanning tree over grown internal edges.
             s.order.clear();
             s.order.push(root_node);
-            s.visited[root_node as usize] = true;
+            s.visited.set(root_node as usize);
             s.order_index[root_node as usize] = 0;
             let mut head = 0;
             while head < s.order.len() {
@@ -382,10 +384,10 @@ impl<'a> UnionFindDecoder<'a> {
                     if other == bd || !s.in_cluster[other as usize] {
                         continue;
                     }
-                    if s.visited[other as usize] || dsu_find(&mut s.parent, other) != r {
+                    if s.visited.get(other as usize) || dsu_find(&mut s.parent, other) != r {
                         continue;
                     }
-                    s.visited[other as usize] = true;
+                    s.visited.set(other as usize);
                     s.parent_edge[other as usize] = ei as usize;
                     s.order_index[other as usize] = s.order.len() as u32;
                     s.order.push(other);

@@ -20,7 +20,8 @@ use promatch_repro::decoding_graph::LayerMap;
 use promatch_repro::ler::{build_decoder, wilson_interval, DecoderKind, ExperimentContext};
 use promatch_repro::qsim::FrameSampler;
 use promatch_repro::realtime::{
-    run_stream, BacklogConfig, PredecodeMode, SlidingWindowDecoder, StreamRunConfig, WindowConfig,
+    run_stream, BacklogConfig, Datapath, PredecodeMode, SlidingWindowDecoder, StreamRunConfig,
+    WindowConfig,
 };
 use promatch_repro::surface_code::NoiseModel;
 use proptest::prelude::*;
@@ -236,6 +237,7 @@ fn sd6_d5_stream_run_reports_sane_reaction_times() {
         window: WindowConfig::new(4, 2).unwrap(),
         backlog: BacklogConfig::with_commit_deadline(1000.0, 2),
         predecode: PredecodeMode::Off,
+        datapath: Datapath::Packed,
     };
     let run = run_stream(&ctx.graph, &ctx.circuit, DecoderKind::PromatchParAg, &cfg);
     let rerun = run_stream(&ctx.graph, &ctx.circuit, DecoderKind::PromatchParAg, &cfg);

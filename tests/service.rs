@@ -10,7 +10,7 @@
 
 use promatch_repro::ler::{DecoderKind, ExperimentContext};
 use promatch_repro::realtime::{
-    run_stream, BacklogConfig, PredecodeMode, StreamRunConfig, WindowConfig,
+    run_stream, BacklogConfig, Datapath, PredecodeMode, StreamRunConfig, WindowConfig,
 };
 use promatch_repro::service::{
     channel_pair, qubit_seed, run_loadgen, DecodeServer, LoadgenConfig, ScenarioContext,
@@ -63,6 +63,7 @@ fn multi_tenant_service_matches_single_tenant_realtime_runs() {
                 window: WindowConfig::new(window, commit).unwrap(),
                 backlog: BacklogConfig::with_commit_deadline(1000.0, commit),
                 predecode: PredecodeMode::Off,
+                datapath: Datapath::Packed,
             },
         );
         assert_eq!(

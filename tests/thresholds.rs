@@ -13,7 +13,8 @@ use promatch_repro::ler::{
 use promatch_repro::mwpm::MwpmDecoder;
 use promatch_repro::qsim::{extract_dem, FrameSampler};
 use promatch_repro::realtime::{
-    run_stream, BacklogConfig, PredecodeMode, StreamRunConfig, StreamRunResult, WindowConfig,
+    run_stream, BacklogConfig, Datapath, PredecodeMode, StreamRunConfig, StreamRunResult,
+    WindowConfig,
 };
 use promatch_repro::surface_code::{MemoryBasis, NoiseModel, RotatedSurfaceCode};
 use rand::rngs::StdRng;
@@ -196,6 +197,7 @@ fn sd6_stream(
         window: WindowConfig::new(4, 2).unwrap(),
         backlog: BacklogConfig::with_commit_deadline(1_000.0, 2),
         predecode,
+        datapath: Datapath::Packed,
     };
     run_stream(&ctx.graph, &ctx.circuit, DecoderKind::Mwpm, &cfg)
 }
