@@ -335,8 +335,8 @@ fn run_scenario_serve(args: &[String]) -> ExitCode {
         eprintln!(
             "usage: repro serve --scenario <name> --qubits Q --shards S [--rate R] \
              [--decoder K] [--window W] [--commit C] [--predecode off|batch] \
-             [--transport channel|tcp] [shots=N] [seed=N] [deadline=NS] [queue=N] \
-             [inflight=N] [out=PATH]"
+             [--transport channel|tcp] [datapath=packed|byte] [shots=N] [seed=N] \
+             [deadline=NS] [queue=N] [inflight=N] [out=PATH]"
         );
         return ExitCode::FAILURE;
     };

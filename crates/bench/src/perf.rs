@@ -35,7 +35,8 @@
 //!   "service": [
 //!     {"scenario": "sd6-d5", "decoder": "Promatch || AG", "qubits": 16,
 //!      "shards": 4, "qubit": 0, "shard": 2, "window": 4, "commit": 2,
-//!      "predecode": "batch", "round_ns": 4000, "deadline_ns": 8000,
+//!      "predecode": "batch", "datapath": "packed",
+//!      "round_ns": 4000, "deadline_ns": 8000,
 //!      "shots": 200, "windows": 600, "shed": 0, "deadline_misses": 0,
 //!      "p50_ns": 410.0, "p99_ns": 890.0, "max_ns": 1410.0,
 //!      "mean_ns": 433.1, "l1_rounds_fraction": 0.9417,
@@ -63,8 +64,9 @@
 //! `predecode` mode and reports the L1 batch-predecoder's resolved-round
 //! and escalation fractions. Schema v6 adds the measured
 //! `rounds_per_s_per_core` throughput to bench and latency rows, tags
-//! latency rows with the syndrome `datapath` (`packed` or `byte`), makes
-//! the service rows' `rounds_per_s` genuinely per-tenant, and moves the
+//! latency *and* service rows with the syndrome `datapath` (`packed` or
+//! `byte`), makes the service rows' `rounds_per_s` genuinely per-tenant,
+//! and moves the
 //! whole-run aggregate into the `service_summary` object (`null` for
 //! non-serve documents). `scenario` is `"default"` for the classic
 //! injection benchmark, otherwise the registry name.
@@ -203,6 +205,10 @@ pub struct ServicePoint {
     pub commit: u32,
     /// Predecode mode label (`off` or `batch`).
     pub predecode: &'static str,
+    /// Syndrome datapath label (`packed` or `byte`) every tenant
+    /// registered: packed rides the zero-copy arena ingest, byte is the
+    /// bit-identical reference path.
+    pub datapath: &'static str,
     /// Syndrome round period, ns (from the `--rate` flag).
     pub round_ns: f64,
     /// Reaction deadline per window, ns.
@@ -604,7 +610,8 @@ pub fn render_json(doc: &BenchDoc) -> String {
         s.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"decoder\": \"{}\", \"qubits\": {}, \
              \"shards\": {}, \"qubit\": {}, \"shard\": {}, \"window\": {}, \
-             \"commit\": {}, \"predecode\": \"{}\", \"round_ns\": {}, \
+             \"commit\": {}, \"predecode\": \"{}\", \"datapath\": \"{}\", \
+             \"round_ns\": {}, \
              \"deadline_ns\": {}, \"shots\": {}, \"windows\": {}, \
              \"shed\": {}, \"deadline_misses\": {}, \"p50_ns\": {:.1}, \
              \"p99_ns\": {:.1}, \"max_ns\": {:.1}, \"mean_ns\": {:.1}, \
@@ -619,6 +626,7 @@ pub fn render_json(doc: &BenchDoc) -> String {
             p.window,
             p.commit,
             p.predecode,
+            p.datapath,
             p.round_ns,
             p.deadline_ns,
             p.shots,
@@ -750,6 +758,7 @@ mod tests {
                 window: 6,
                 commit: 3,
                 predecode: "batch",
+                datapath: "packed",
                 round_ns: 4000.0,
                 deadline_ns: 12000.0,
                 shots: 200,
@@ -844,6 +853,7 @@ mod tests {
             "{\"scenario\": \"sd6-d11\", \"decoder\": \"Promatch || AG\", \
              \"qubits\": 16, \"shards\": 4, \"qubit\": 3, \"shard\": 1, \
              \"window\": 6, \"commit\": 3, \"predecode\": \"batch\", \
+             \"datapath\": \"packed\", \
              \"round_ns\": 4000, \"deadline_ns\": 12000, \"shots\": 200, \
              \"windows\": 800, \"shed\": 0, \"deadline_misses\": 0, \
              \"p50_ns\": 410.0, \"p99_ns\": 890.2, \"max_ns\": 1410.0, \

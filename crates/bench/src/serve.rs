@@ -14,7 +14,7 @@ use crate::perf::{BenchDoc, ServicePoint, ServiceSummary};
 use crate::scale::{parse_positive, parse_threads};
 use crate::scenario::Scenario;
 use ler::DecoderKind;
-use realtime::PredecodeMode;
+use realtime::{Datapath, PredecodeMode};
 use service::{
     channel_pair, run_loadgen, tcp_endpoint, DecodeServer, LoadgenConfig, LoadgenReport,
     ScenarioContext, ServiceConfig,
@@ -45,7 +45,8 @@ pub struct ServeConfig {
     pub rate: f64,
     /// Shots to stream per tenant.
     pub shots: u64,
-    /// Base stream seed (tenant q streams with `seed + q`).
+    /// Base stream seed (tenant q streams with
+    /// [`service::qubit_seed`]`(seed, q)`, a SplitMix64 mix).
     pub seed: u64,
     /// Decoder every tenant registers (default: the paper's headline
     /// real-time configuration, Promatch ‖ AG).
@@ -59,6 +60,9 @@ pub struct ServeConfig {
     pub deadline_ns: Option<f64>,
     /// Batch-predecoder (L1) mode every tenant registers with.
     pub predecode: PredecodeMode,
+    /// Syndrome datapath every tenant registers with: `packed` rides the
+    /// zero-copy arena ingest (default), `byte` the reference path.
+    pub datapath: Datapath,
     /// Modeled bound on one tenant's waiting windows.
     pub queue: usize,
     /// Closed-loop depth: outstanding shots per tenant (also the live
@@ -83,6 +87,7 @@ impl Default for ServeConfig {
             commit: None,
             deadline_ns: None,
             predecode: PredecodeMode::Off,
+            datapath: Datapath::Packed,
             queue: 4,
             inflight: 2,
             transport: ServeTransport::Channel,
@@ -94,8 +99,8 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Parses `key=value` overrides (`qubits=`, `shards=`, `rate=`,
     /// `shots=`, `seed=`, `decoder=`, `window=`, `commit=`, `deadline=`,
-    /// `predecode=`, `queue=`, `inflight=`, `transport=`, `out=`),
-    /// rejecting zero sizes with a clear error.
+    /// `predecode=`, `datapath=`, `queue=`, `inflight=`, `transport=`,
+    /// `out=`), rejecting zero sizes with a clear error.
     ///
     /// # Errors
     ///
@@ -134,6 +139,9 @@ impl ServeConfig {
                 "predecode" => {
                     self.predecode =
                         PredecodeMode::parse(value).map_err(|e| format!("predecode: {e}"))?;
+                }
+                "datapath" => {
+                    self.datapath = Datapath::parse(value).map_err(|e| format!("datapath: {e}"))?;
                 }
                 "queue" => self.queue = parse_positive("queue", value)? as usize,
                 "inflight" => self.inflight = parse_positive("inflight", value)? as usize,
@@ -194,13 +202,14 @@ pub fn run_serve(
     writeln!(
         w,
         "# qubits={} shards={} decoder={} window={window} commit={commit} \
-         predecode={} rate={:.0}/s (round={round_ns:.0}ns) \
+         predecode={} datapath={} rate={:.0}/s (round={round_ns:.0}ns) \
          deadline={deadline_ns:.0}ns queue={} inflight={} shots/qubit={} \
          seed={} transport={:?}",
         cfg.qubits,
         cfg.shards,
         cfg.decoder.key(),
         cfg.predecode.label(),
+        cfg.datapath.label(),
         cfg.rate,
         cfg.queue,
         cfg.inflight,
@@ -245,6 +254,7 @@ pub fn run_serve(
         commit,
         inflight: cfg.inflight,
         predecode: cfg.predecode,
+        datapath: cfg.datapath,
     };
     let service_err = |e: service::ServiceError| std::io::Error::other(e.to_string());
     let report: LoadgenReport = match cfg.transport {
@@ -352,6 +362,7 @@ pub fn run_serve(
             window,
             commit,
             predecode: cfg.predecode.label(),
+            datapath: cfg.datapath.label(),
             round_ns,
             deadline_ns,
             shots: stats.shots,
@@ -441,6 +452,7 @@ mod tests {
             "commit=1".into(),
             "deadline=5000".into(),
             "predecode=batch".into(),
+            "datapath=byte".into(),
             "queue=6".into(),
             "inflight=3".into(),
             "transport=tcp".into(),
@@ -457,6 +469,7 @@ mod tests {
         assert_eq!(cfg.commit, Some(1));
         assert_eq!(cfg.deadline_ns, Some(5000.0));
         assert_eq!(cfg.predecode, PredecodeMode::Batch);
+        assert_eq!(cfg.datapath, Datapath::Byte);
         assert_eq!(cfg.queue, 6);
         assert_eq!(cfg.inflight, 3);
         assert_eq!(cfg.transport, ServeTransport::Tcp);
@@ -470,6 +483,7 @@ mod tests {
         assert!(cfg.apply_overrides(&["decoder=bogus".into()]).is_err());
         assert!(cfg.apply_overrides(&["transport=smoke".into()]).is_err());
         assert!(cfg.apply_overrides(&["predecode=pinball".into()]).is_err());
+        assert!(cfg.apply_overrides(&["datapath=sparse".into()]).is_err());
         assert!(cfg.apply_overrides(&["nope=1".into()]).is_err());
     }
 
@@ -496,6 +510,7 @@ mod tests {
         assert!(text.contains("\"scenario\": \"cc-d3\""));
         assert!(text.contains("\"qubits\": 4"));
         assert!(text.contains("\"predecode\": \"off\""));
+        assert!(text.contains("\"datapath\": \"packed\""));
         assert!(text.contains("\"l1_rounds_fraction\": 0.0000"));
         assert!(text.contains("\"rounds_per_s\""));
         assert!(text.contains("\"service_summary\": {\"rounds_per_s\":"));
@@ -540,6 +555,17 @@ mod tests {
         }
         let log_l1 = String::from_utf8(sink_l1).unwrap();
         assert!(log_l1.contains("resolved at L1"), "{log_l1}");
+        // The byte reference datapath tags its points and produces the
+        // same per-tenant failures as the packed runs above.
+        cfg.predecode = PredecodeMode::Off;
+        cfg.datapath = Datapath::Byte;
+        let mut sink_byte = Vec::new();
+        let (byte_points, _) = run_serve(sc, &cfg, &mut sink_byte).unwrap();
+        for (b, p) in byte_points.iter().zip(&tcp_points) {
+            assert_eq!(b.datapath, "byte");
+            assert_eq!(b.failures, p.failures, "qubit {}", b.qubit);
+            assert_eq!(b.windows, p.windows);
+        }
     }
 
     #[test]

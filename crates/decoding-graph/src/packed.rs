@@ -406,6 +406,41 @@ impl PackedBits {
             .is_some_and(|w| (w >> (bit % WORD_BITS)) & 1 == 1)
     }
 
+    /// ORs in the bits of `src` that fall in positions `lo..hi` — the
+    /// packed arrival merge of the zero-copy ingest path: one window
+    /// step's newly measured layers are pulled straight out of an
+    /// arena-backed shot without materializing detector ids.
+    ///
+    /// Preserves the touched-word invariant of [`PackedBits::set`] (a
+    /// word is recorded when it transitions from zero), so
+    /// [`PackedBits::clear`] stays O(touched). Bits of `src` beyond its
+    /// length read as zero; the positions `lo..hi` must be within the
+    /// ensured capacity.
+    pub fn or_words_range(&mut self, src: &[u64], lo: usize, hi: usize) {
+        if lo >= hi {
+            return;
+        }
+        let word_lo = lo / WORD_BITS;
+        let word_hi = (hi - 1) / WORD_BITS;
+        for w in word_lo..=word_hi {
+            let mut bits = src.get(w).copied().unwrap_or(0);
+            let base = w * WORD_BITS;
+            if base < lo {
+                bits &= !((1u64 << (lo - base)) - 1);
+            }
+            let end = base + WORD_BITS;
+            if hi < end {
+                bits &= (1u64 << (hi - base)) - 1;
+            }
+            if bits != 0 {
+                if self.words[w] == 0 {
+                    self.touched.push(w as u32);
+                }
+                self.words[w] |= bits;
+            }
+        }
+    }
+
     /// Zeroes every touched word — the branch-free O(touched) reset.
     pub fn clear(&mut self) {
         for &w in &self.touched {
@@ -475,6 +510,33 @@ impl PackedSyndromes {
     pub fn clear(&mut self) {
         self.words.clear();
         self.shots = 0;
+    }
+
+    /// Re-fills the batch with `shots` zeroed shots, keeping the
+    /// allocation — the arena reset of the zero-copy ingest path:
+    /// writers then set bits in place via [`PackedSyndromes::words_mut`]
+    /// (the sampler transpose) or per shot via
+    /// [`PackedSyndromes::shot_words_mut`] (the service wire decode).
+    pub fn reset_shots(&mut self, shots: usize) {
+        self.words.clear();
+        self.words.resize(shots * self.words_per_shot, 0);
+        self.shots = shots;
+    }
+
+    /// Mutable view of the whole flat word buffer
+    /// (`words_per_shot()` consecutive words per shot).
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Mutable packed words of shot `i` (for in-place writers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn shot_words_mut(&mut self, i: usize) -> &mut [u64] {
+        assert!(i < self.shots, "shot {i} out of range");
+        &mut self.words[i * self.words_per_shot..(i + 1) * self.words_per_shot]
     }
 
     /// Appends one syndrome from its sorted sparse form.
@@ -651,6 +713,46 @@ mod tests {
         // Reuse after clear: the touched list restarts.
         b.set(71);
         assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn or_words_range_matches_per_bit_sets() {
+        let src = pattern(5, 0xF00D);
+        for (lo, hi) in [(0, 0), (0, 64), (3, 3), (3, 70), (64, 128), (100, 301)] {
+            let mut fast = PackedBits::new();
+            fast.ensure(320);
+            fast.set(lo.max(1) - 1); // a pre-set bit shares words with the range
+            let mut slow = fast.clone();
+            fast.or_words_range(&src, lo, hi);
+            for_each_set_bit(&src, |b| {
+                if b >= lo && b < hi {
+                    slow.set(b);
+                }
+            });
+            assert_eq!(fast.words(), slow.words(), "range {lo}..{hi}");
+            assert_eq!(fast.count(), slow.count(), "range {lo}..{hi}");
+            // The touched invariant survives: clear really zeroes.
+            fast.clear();
+            assert!(fast.words().iter().all(|&w| w == 0), "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn arena_reset_and_in_place_writes_round_trip() {
+        let mut p = PackedSyndromes::new(130);
+        p.push_sparse(&[1, 2, 3]);
+        p.reset_shots(4);
+        assert_eq!(p.len(), 4);
+        assert!(p.words_mut().iter().all(|&w| w == 0), "reset zeroes");
+        p.shot_words_mut(2)[1] |= 1 << 5; // detector 69
+        p.shot_words_mut(3)[0] |= 1;
+        let mut out = Vec::new();
+        p.sparse_into(2, &mut out);
+        assert_eq!(out, vec![69]);
+        p.sparse_into(3, &mut out);
+        assert_eq!(out, vec![0]);
+        p.sparse_into(0, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -24,7 +24,8 @@ use crate::pathtable::PathTable;
 use crate::DetectorId;
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Detector ⇄ time-layer correspondence of a decoding graph.
 ///
@@ -326,8 +327,16 @@ impl WindowContext {
 pub struct WindowCache {
     seam: SeamPolicy,
     fingerprint: GraphFingerprint,
-    inner: Mutex<HashMap<(u32, u32), Arc<WindowContext>>>,
+    /// Each key maps to a once-cell so the map lock is held only for the
+    /// lookup-or-insert of the cell, never across a build: exactly one
+    /// caller per key runs the build (inside the cell), while different
+    /// keys still build in parallel.
+    inner: Mutex<HashMap<(u32, u32), WindowCell>>,
+    builds: AtomicUsize,
 }
+
+/// One cache entry: a once-cell the winning builder fills exactly once.
+type WindowCell = Arc<OnceLock<Arc<WindowContext>>>;
 
 /// Cheap structural identity of a graph, used to catch a cache being
 /// fed a different parent than it was built for. Detector count alone
@@ -358,6 +367,7 @@ impl WindowCache {
             seam,
             fingerprint: GraphFingerprint::of(parent),
             inner: Mutex::new(HashMap::new()),
+            builds: AtomicUsize::new(0),
         }
     }
 
@@ -376,14 +386,23 @@ impl WindowCache {
         self.len() == 0
     }
 
+    /// Number of window builds actually executed (hits and waiters do
+    /// not count). Equals [`WindowCache::len`] in a correctly
+    /// deduplicating cache — the contended-build test pins exactly that.
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
     /// Returns the cached window for layers `key = (lo, hi)` covering
     /// detector `range`, building (and retaining) it on first use.
     ///
     /// The expensive build (subgraph extraction plus an all-pairs
-    /// Dijkstra) runs *outside* the lock, so concurrent consumers
-    /// warming different ranges build in parallel and hits never stall
-    /// behind a miss. Racing builders of the same range may construct
-    /// twice; the first insert wins and both callers get that copy.
+    /// Dijkstra) runs *outside* the map lock: the lock is held only to
+    /// fetch-or-insert the key's once-cell, then the build runs inside
+    /// the cell. Concurrent consumers warming *different* ranges build
+    /// in parallel and hits never stall behind a miss; racing callers of
+    /// the *same* range serialize on the cell, so every key is built
+    /// exactly once and exactly one `Arc` per key ever circulates.
     ///
     /// # Panics
     ///
@@ -401,12 +420,14 @@ impl WindowCache {
             self.fingerprint,
             "window cache used with a different parent graph"
         );
-        if let Some(ctx) = self.inner.lock().expect("window cache poisoned").get(&key) {
-            return Arc::clone(ctx);
-        }
-        let built = Arc::new(WindowContext::build(parent, range, self.seam));
-        let mut map = self.inner.lock().expect("window cache poisoned");
-        Arc::clone(map.entry(key).or_insert(built))
+        let cell = {
+            let mut map = self.inner.lock().expect("window cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(WindowContext::build(parent, range, self.seam))
+        }))
     }
 }
 
@@ -585,9 +606,43 @@ mod tests {
                 });
             }
         });
-        // Racing builders may construct twice, but exactly one context
-        // per range is retained.
+        // Racing callers of the same range serialize on its once-cell:
+        // every range is built exactly once, never discarded.
         assert_eq!(cache.len(), 3);
+        assert_eq!(cache.builds(), 3, "one build per distinct range");
+    }
+
+    #[test]
+    fn contended_builders_of_one_key_build_exactly_once() {
+        // Many threads racing the *same* cold key: the old code released
+        // the lock between lookup and insert, so every racer ran the
+        // expensive build and all but one result was discarded. The
+        // entry-style once-cell pins one build, one retained Arc.
+        let g = graph(3, 4);
+        let layers = LayerMap::from_graph(&g).unwrap();
+        let cache = Arc::new(WindowCache::new(&g, SeamPolicy::Cut));
+        let barrier = std::sync::Barrier::new(8);
+        let ctxs: Vec<Arc<WindowContext>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let (g, layers, barrier) = (&g, &layers, &barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        cache.get_or_build(g, layers.det_range(1, 4), (1, 4))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.builds(), 1, "contended key must build exactly once");
+        for ctx in &ctxs {
+            assert!(
+                Arc::ptr_eq(ctx, &ctxs[0]),
+                "a single Arc circulates for the key"
+            );
+        }
     }
 
     #[test]

@@ -153,13 +153,32 @@ pub fn run_stream_with_cache(
     let mut decode_failures = 0u64;
     let mut l1_rounds = 0u64;
     let mut escalated_windows = 0u64;
+    let mut out = crate::window::WindowedOutcome {
+        obs_flip: 0,
+        failed: false,
+        windows: Vec::new(),
+    };
     for shot_idx in 0..cfg.shots {
-        let shot = stream.next_shot();
-        let out = swd.decode_shot(&shot.dets);
+        // Packed runs consume the stream as zero-copy arena views; byte
+        // runs materialize the sparse reference form. Bit-identical by
+        // construction (pinned by the zero-copy equivalence suite).
+        let true_obs = match cfg.datapath {
+            Datapath::Packed => {
+                let shot = stream.next_shot_packed();
+                let obs = shot.obs;
+                swd.decode_shot_packed_into(shot.words, &mut out);
+                obs
+            }
+            Datapath::Byte => {
+                let shot = stream.next_shot();
+                out = swd.decode_shot(&shot.dets);
+                shot.obs
+            }
+        };
         if out.failed {
             decode_failures += 1;
         }
-        if out.failed || out.obs_flip != shot.obs {
+        if out.failed || out.obs_flip != true_obs {
             failures += 1;
         }
         l1_rounds += out.l1_rounds();

@@ -56,7 +56,7 @@ pub use backlog::{
 pub use harness::{
     fallback_latency_model, run_stream, run_stream_with_cache, StreamRunConfig, StreamRunResult,
 };
-pub use stream::{StreamedShot, SyndromeStream};
+pub use stream::{PackedShot, StreamedShot, SyndromeStream};
 pub use window::{
     Datapath, PredecodeMode, SlidingWindowDecoder, WindowConfig, WindowRecord, WindowedOutcome,
 };

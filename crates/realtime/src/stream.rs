@@ -1,4 +1,4 @@
-//! Round-by-round syndrome streams.
+//! Round-by-round syndrome streams over an arena-backed round buffer.
 //!
 //! Real decoders never receive a complete shot: detection events arrive
 //! one measurement round at a time, every ~1 µs. [`SyndromeStream`]
@@ -6,10 +6,23 @@
 //! model — it samples shots in chunks (so the word-parallel sampler
 //! stays efficient) and re-slices each shot into per-round-layer
 //! detection events using the graph's [`LayerMap`].
+//!
+//! # Zero-copy ingest
+//!
+//! Sampled rounds land directly in a bit-packed
+//! [`decoding_graph::PackedSyndromes`] arena: each refill is one
+//! word-parallel [`qsim::FrameSampler::sample_batch`] plus an in-place
+//! transpose into shot-major words — no per-shot `Vec<u32>` is ever
+//! materialized on the hot path. Packed consumers read shots as
+//! [`PackedShot`] word views straight out of the arena
+//! ([`SyndromeStream::next_shot_packed`]); the byte reference path
+//! ([`SyndromeStream::next_shot`]) rebuilds the sparse [`StreamedShot`]
+//! form from the same arena words, so both paths observe identical
+//! syndromes by construction.
 
+use decoding_graph::packed::PackedSyndromes;
 use decoding_graph::{DetectorId, LayerMap};
 use qsim::circuit::Circuit;
-use qsim::frame::Shot;
 use qsim::FrameSampler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,25 +44,29 @@ pub struct StreamedShot {
 }
 
 impl StreamedShot {
-    /// Slices `shot` by the layer structure of `layers`.
-    pub fn new(shot: &Shot, layers: &LayerMap) -> Self {
+    /// Slices a shot's sorted detector list by the layer structure of
+    /// `layers`, taking ownership of the list (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any detector lies beyond the last layer of `layers` —
+    /// a malformed layer map would otherwise silently drop trailing
+    /// detectors from every layer slice while keeping them in `dets`,
+    /// so the slices would no longer partition the shot.
+    pub fn new(dets: Vec<DetectorId>, obs: u64, layers: &LayerMap) -> Self {
         let num_layers = layers.num_layers();
         let mut bounds = Vec::with_capacity(num_layers as usize + 1);
         bounds.push(0);
         let mut i = 0usize;
         for layer in 0..num_layers {
             let end = layers.det_range(layer, layer + 1).end;
-            while i < shot.dets.len() && shot.dets[i] < end {
+            while i < dets.len() && dets[i] < end {
                 i += 1;
             }
             bounds.push(i);
         }
-        debug_assert_eq!(i, shot.dets.len(), "detector beyond the last layer");
-        StreamedShot {
-            dets: shot.dets.clone(),
-            obs: shot.obs,
-            bounds,
-        }
+        assert_eq!(i, dets.len(), "detector beyond the last layer");
+        StreamedShot { dets, obs, bounds }
     }
 
     /// Number of layers the shot is sliced into.
@@ -82,6 +99,19 @@ impl StreamedShot {
     }
 }
 
+/// One shot as a borrowed bit-packed word view into the stream's arena:
+/// bit `d % 64` of word `d / 64` is detector `d`. The zero-copy twin of
+/// [`StreamedShot`] — no heap allocation, no detector-id
+/// materialization; feed it straight to
+/// [`crate::SlidingWindowDecoder::decode_shot_packed_into`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackedShot<'a> {
+    /// The shot's packed syndrome words (whole detector space).
+    pub words: &'a [u64],
+    /// True logical-observable flips (for scoring the decode).
+    pub obs: u64,
+}
+
 /// Shots sampled per sampler refill.
 const REFILL_CHUNK: usize = 256;
 
@@ -90,13 +120,17 @@ const REFILL_CHUNK: usize = 256;
 /// Deterministic given its seed: the stream samples shots through
 /// [`FrameSampler`] in fixed-size chunks from a single seeded RNG, so
 /// two streams with the same circuit and seed emit identical shots
-/// regardless of how the consumer paces its reads.
+/// regardless of how the consumer paces its reads — and regardless of
+/// whether it reads them packed or sparse.
 #[derive(Clone, Debug)]
 pub struct SyndromeStream<'a> {
     sampler: FrameSampler<'a>,
     layers: Arc<LayerMap>,
     rng: StdRng,
-    buf: Vec<Shot>,
+    /// The round arena: one refill chunk of shot-major packed syndromes.
+    arena: PackedSyndromes,
+    /// One observable mask per arena shot.
+    obs: Vec<u64>,
     next: usize,
     emitted: u64,
 }
@@ -111,11 +145,13 @@ impl<'a> SyndromeStream<'a> {
     /// the same circuit — the multi-tenant form: Q tenant streams of one
     /// scenario hold one layer map between them instead of Q copies.
     pub fn with_shared_layers(circuit: &'a Circuit, layers: Arc<LayerMap>, seed: u64) -> Self {
+        let arena = PackedSyndromes::new(layers.num_detectors());
         SyndromeStream {
             sampler: FrameSampler::new(circuit),
             layers,
             rng: StdRng::seed_from_u64(seed),
-            buf: Vec::new(),
+            arena,
+            obs: Vec::new(),
             next: 0,
             emitted: 0,
         }
@@ -131,17 +167,52 @@ impl<'a> SyndromeStream<'a> {
         self.emitted
     }
 
-    /// Samples (or takes from the buffer) the next shot of the stream.
-    pub fn next_shot(&mut self) -> StreamedShot {
-        if self.next == self.buf.len() {
-            self.sampler
-                .sample_shots_into(REFILL_CHUNK, &mut self.rng, &mut self.buf);
-            self.next = 0;
+    /// Words per packed shot view (the arena stride).
+    pub fn words_per_shot(&self) -> usize {
+        self.arena.words_per_shot()
+    }
+
+    /// Refills the arena in place: one word-parallel batch sample, one
+    /// transpose into shot-major words. The allocation is reused from
+    /// the second refill on.
+    fn refill(&mut self) {
+        let batch = self.sampler.sample_batch(REFILL_CHUNK, &mut self.rng);
+        self.arena.reset_shots(REFILL_CHUNK);
+        let wps = self.arena.words_per_shot();
+        batch.transpose_shots(wps, self.arena.words_mut(), &mut self.obs);
+        self.next = 0;
+    }
+
+    /// Claims the next arena slot, refilling if the chunk is spent.
+    fn advance(&mut self) -> usize {
+        if self.next == self.arena.len() {
+            self.refill();
         }
-        let shot = &self.buf[self.next];
+        let i = self.next;
         self.next += 1;
         self.emitted += 1;
-        StreamedShot::new(shot, &self.layers)
+        i
+    }
+
+    /// Samples the next shot of the stream in sparse, layer-sliced form
+    /// — the byte reference path, rebuilt from the same arena words the
+    /// packed path serves.
+    pub fn next_shot(&mut self) -> StreamedShot {
+        let i = self.advance();
+        let mut dets = Vec::new();
+        self.arena.sparse_into(i, &mut dets);
+        StreamedShot::new(dets, self.obs[i], &self.layers)
+    }
+
+    /// Samples the next shot as a zero-copy packed word view into the
+    /// arena. The view borrows the stream; copy
+    /// [`PackedShot::obs`]/decode before the next call.
+    pub fn next_shot_packed(&mut self) -> PackedShot<'_> {
+        let i = self.advance();
+        PackedShot {
+            words: self.arena.shot_words(i),
+            obs: self.obs[i],
+        }
     }
 }
 
@@ -181,6 +252,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "detector beyond the last layer")]
+    fn malformed_layer_map_is_a_hard_error() {
+        // A layer map covering fewer detectors than the shot mentions:
+        // the release-mode silent-truncation bug this assert closes.
+        let (_, layers) = fixture(3, 2);
+        let beyond = layers.num_detectors();
+        let _ = StreamedShot::new(vec![0, beyond], 0, &layers);
+    }
+
+    #[test]
     fn stream_is_deterministic_and_matches_batch_sampling() {
         let (circuit, layers) = fixture(3, 3);
         let mut a = SyndromeStream::new(&circuit, layers.clone(), 42);
@@ -196,6 +277,25 @@ mod tests {
             assert_eq!(sa.dets, shot.dets);
             assert_eq!(sa.obs, shot.obs);
         }
+    }
+
+    #[test]
+    fn packed_views_match_sparse_shots() {
+        let (circuit, layers) = fixture(3, 3);
+        let num_dets = layers.num_detectors();
+        let mut sparse = SyndromeStream::new(&circuit, layers.clone(), 1234);
+        let mut packed = SyndromeStream::new(&circuit, layers, 1234);
+        for _ in 0..(REFILL_CHUNK + 20) {
+            let s = sparse.next_shot();
+            let p = packed.next_shot_packed();
+            assert_eq!(p.obs, s.obs);
+            let mut dets: Vec<u32> = Vec::new();
+            decoding_graph::packed::for_each_set_bit(p.words, |b| dets.push(b as u32));
+            assert_eq!(dets, s.dets);
+            assert!(dets.iter().all(|&d| d < num_dets));
+        }
+        assert_eq!(packed.words_per_shot(), sparse.words_per_shot());
+        assert_eq!(packed.shots_emitted(), sparse.shots_emitted());
     }
 
     #[test]

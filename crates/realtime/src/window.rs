@@ -121,6 +121,23 @@ impl Datapath {
             Datapath::Packed => "packed",
         }
     }
+
+    /// Stable wire code (`RegisterQubit` frames, protocol v3).
+    pub fn code(self) -> u8 {
+        match self {
+            Datapath::Byte => 0,
+            Datapath::Packed => 1,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Datapath::Byte),
+            1 => Some(Datapath::Packed),
+            _ => None,
+        }
+    }
 }
 
 /// The `(window, commit)` split of a sliding-window run.
@@ -226,12 +243,35 @@ impl WindowedOutcome {
 }
 
 /// Per-shot streaming state while a shot walks through its windows.
+#[derive(Default)]
 struct ShotState {
     pending: Vec<DetectorId>,
     next_new: usize,
     obs: u64,
     failed: bool,
     windows: Vec<WindowRecord>,
+}
+
+impl ShotState {
+    /// Clears for reuse, keeping every buffer's capacity.
+    fn reset(&mut self) {
+        self.pending.clear();
+        self.next_new = 0;
+        self.obs = 0;
+        self.failed = false;
+        self.windows.clear();
+    }
+}
+
+/// One shot's syndrome, in either ingest representation.
+///
+/// `Sparse` is the sorted flipped-detector list; `Packed` is a borrowed
+/// bit-packed word view (bit `d % 64` of word `d / 64` is detector `d`)
+/// — typically a [`crate::PackedShot`] slicing the stream arena or a
+/// service frame arena in place.
+enum ShotInput<'s> {
+    Sparse(&'s [DetectorId]),
+    Packed(&'s [u64]),
 }
 
 /// Sliding-window driver for any [`DecoderKind`].
@@ -259,6 +299,12 @@ pub struct SlidingWindowDecoder<'g> {
     pbits: PackedBits,
     /// Packed scratch: the seam-masked window extraction buffer.
     pwords: Vec<u64>,
+    /// Per-shot active-defect buffers, pooled across window steps and
+    /// decode calls so the steady-state hot loop never allocates.
+    act_pool: Vec<Vec<DetectorId>>,
+    /// Persistent shot state for the one-shot zero-copy entry point
+    /// ([`SlidingWindowDecoder::decode_shot_packed_into`]).
+    scratch: ShotState,
 }
 
 impl<'g> SlidingWindowDecoder<'g> {
@@ -322,6 +368,8 @@ impl<'g> SlidingWindowDecoder<'g> {
             datapath: Datapath::default(),
             pbits: PackedBits::new(),
             pwords: Vec::new(),
+            act_pool: Vec::new(),
+            scratch: ShotState::default(),
         }
     }
 
@@ -425,17 +473,59 @@ impl<'g> SlidingWindowDecoder<'g> {
     /// one-shot path because workspace-reusing decoders are bit-identical
     /// to fresh ones (the PR-2 contract, enforced by proptests).
     pub fn decode_shots(&mut self, shots: &[&[DetectorId]]) -> Vec<WindowedOutcome> {
-        let num_layers = self.layers.num_layers();
-        let mut st: Vec<ShotState> = shots
-            .iter()
-            .map(|_| ShotState {
-                pending: Vec::new(),
-                next_new: 0,
-                obs: 0,
-                failed: false,
-                windows: Vec::new(),
+        let inputs: Vec<ShotInput<'_>> = shots.iter().map(|d| ShotInput::Sparse(d)).collect();
+        let mut st: Vec<ShotState> = shots.iter().map(|_| ShotState::default()).collect();
+        self.run_windows(&inputs, &mut st);
+        st.into_iter()
+            .map(|state| WindowedOutcome {
+                obs_flip: state.obs,
+                failed: state.failed,
+                windows: state.windows,
             })
-            .collect();
+            .collect()
+    }
+
+    /// Decodes one shot given as a zero-copy packed word view (e.g. a
+    /// [`crate::PackedShot`] borrowed from the stream arena), writing
+    /// the outcome into `out` — the allocation-free hot-loop entry
+    /// point: all per-shot state is pooled inside the driver, and
+    /// `out.windows`' capacity is recycled across calls, so a
+    /// steady-state (defect-free) round performs zero heap allocations.
+    ///
+    /// Bit-identical to [`SlidingWindowDecoder::decode_shot`] on the
+    /// sparse form of the same syndrome.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the driver is on [`Datapath::Packed`].
+    pub fn decode_shot_packed_into(&mut self, words: &[u64], out: &mut WindowedOutcome) {
+        assert_eq!(
+            self.datapath,
+            Datapath::Packed,
+            "packed ingest requires Datapath::Packed"
+        );
+        let mut state = std::mem::take(&mut self.scratch);
+        // Ping-pong the windows buffer with the caller's so both reach
+        // steady capacity and stay there.
+        std::mem::swap(&mut state.windows, &mut out.windows);
+        state.reset();
+        self.run_windows(
+            &[ShotInput::Packed(words)],
+            std::slice::from_mut(&mut state),
+        );
+        out.obs_flip = state.obs;
+        out.failed = state.failed;
+        std::mem::swap(&mut out.windows, &mut state.windows);
+        self.scratch = state;
+    }
+
+    /// The window engine: walks every shot through the shared window
+    /// steps, merging arrivals from either ingest representation.
+    fn run_windows(&mut self, inputs: &[ShotInput<'_>], st: &mut [ShotState]) {
+        let num_layers = self.layers.num_layers();
+        while self.act_pool.len() < inputs.len() {
+            self.act_pool.push(Vec::new());
+        }
         let mut s = 0u32;
         loop {
             let hi = (s + self.cfg.window).min(num_layers);
@@ -450,19 +540,20 @@ impl<'g> SlidingWindowDecoder<'g> {
             // events of the newly arrived layers. Windows sharing an
             // extracted range are grouped for one batched decode; BTreeMap
             // keeps group order deterministic.
-            let mut actives: Vec<Vec<DetectorId>> = Vec::with_capacity(shots.len());
             let mut groups: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
-            for (i, (state, dets)) in st.iter_mut().zip(shots).enumerate() {
-                let mut active = std::mem::take(&mut state.pending);
-                match self.datapath {
-                    Datapath::Byte => {
+            for (i, (state, input)) in st.iter_mut().zip(inputs).enumerate() {
+                let mut active = std::mem::take(&mut self.act_pool[i]);
+                active.clear();
+                active.append(&mut state.pending);
+                match (input, self.datapath) {
+                    (ShotInput::Sparse(dets), Datapath::Byte) => {
                         while state.next_new < dets.len() && dets[state.next_new] < hi_det {
                             active.push(dets[state.next_new]);
                             state.next_new += 1;
                         }
                         active.sort_unstable();
                     }
-                    Datapath::Packed => {
+                    (ShotInput::Sparse(dets), Datapath::Packed) => {
                         // Merge carried defects and arrivals as set bits:
                         // the sort falls out of bit order, and the reset
                         // below costs O(touched words).
@@ -475,6 +566,22 @@ impl<'g> SlidingWindowDecoder<'g> {
                             self.pbits.set(dets[state.next_new] as usize);
                             state.next_new += 1;
                         }
+                        active.clear();
+                        for_each_set_bit(self.pbits.words(), |b| active.push(b as DetectorId));
+                    }
+                    (ShotInput::Packed(words), _) => {
+                        // Zero-copy ingest: the newly arrived layers are
+                        // OR-ed straight from the arena words — no
+                        // per-detector materialization. `next_new` tracks
+                        // the consumed bit range instead of a list index.
+                        self.pbits.clear();
+                        self.pbits.ensure(hi_det as usize);
+                        for &d in &active {
+                            self.pbits.set(d as usize);
+                        }
+                        self.pbits
+                            .or_words_range(words, state.next_new, hi_det as usize);
+                        state.next_new = hi_det as usize;
                         active.clear();
                         for_each_set_bit(self.pbits.words(), |b| active.push(b as DetectorId));
                     }
@@ -556,7 +663,7 @@ impl<'g> SlidingWindowDecoder<'g> {
                 if !active.is_empty() {
                     groups.entry((lo_layer, hi)).or_default().push(i);
                 }
-                actives.push(active);
+                self.act_pool[i] = active;
             }
             for ((lo_layer, hi), idxs) in groups {
                 let ctx = self.window_ctx(lo_layer, hi);
@@ -565,7 +672,7 @@ impl<'g> SlidingWindowDecoder<'g> {
                 let mut local: Vec<DetectorId> = Vec::new();
                 for &i in &idxs {
                     local.clear();
-                    local.extend(actives[i].iter().map(|&d| d - lo_det));
+                    local.extend(self.act_pool[i].iter().map(|&d| d - lo_det));
                     batch.push(&local);
                 }
                 // The decoder is rebuilt per group: it borrows the cached
@@ -627,16 +734,11 @@ impl<'g> SlidingWindowDecoder<'g> {
             }
             s += self.cfg.commit;
         }
-        st.iter()
-            .zip(shots)
-            .for_each(|(state, dets)| debug_assert_eq!(state.next_new, dets.len()));
-        st.into_iter()
-            .map(|state| WindowedOutcome {
-                obs_flip: state.obs,
-                failed: state.failed,
-                windows: state.windows,
-            })
-            .collect()
+        st.iter().zip(inputs).for_each(|(state, input)| {
+            if let ShotInput::Sparse(dets) = input {
+                debug_assert_eq!(state.next_new, dets.len());
+            }
+        });
     }
 }
 
@@ -911,9 +1013,11 @@ mod tests {
     fn datapath_defaults_to_packed_and_round_trips_labels() {
         for dp in [Datapath::Byte, Datapath::Packed] {
             assert_eq!(Datapath::parse(dp.label()), Ok(dp));
+            assert_eq!(Datapath::from_code(dp.code()), Some(dp));
         }
         assert_eq!(Datapath::default(), Datapath::Packed);
         assert!(Datapath::parse("sparse").is_err());
+        assert_eq!(Datapath::from_code(9), None);
         let ctx = ctx(3, 4);
         let swd = windowed(&ctx, DecoderKind::Mwpm, 4, 2);
         assert_eq!(swd.datapath(), Datapath::Packed);
@@ -965,6 +1069,55 @@ mod tests {
                 assert_eq!(got, want, "{kind:?} predecode={}", mode.label());
             }
         }
+    }
+
+    #[test]
+    fn packed_ingest_matches_sparse_ingest_bit_for_bit() {
+        let ctx = ctx(3, 6);
+        let wps = (ctx.graph.num_detectors() as usize).div_ceil(64);
+        for kind in [DecoderKind::Mwpm, DecoderKind::AstreaG] {
+            for mode in [PredecodeMode::Off, PredecodeMode::Batch] {
+                let mut sparse = windowed(&ctx, kind, 4, 2).with_predecode(mode);
+                let mut zero = windowed(&ctx, kind, 4, 2).with_predecode(mode);
+                let mut out = WindowedOutcome {
+                    obs_flip: 0,
+                    failed: false,
+                    windows: Vec::new(),
+                };
+                let mut words = vec![0u64; wps];
+                // Defect-free shot first (the steady-state hot case).
+                zero.decode_shot_packed_into(&words, &mut out);
+                let want = sparse.decode_shot(&[]);
+                assert_eq!(
+                    (out.obs_flip, out.failed, &out.windows),
+                    (want.obs_flip, want.failed, &want.windows)
+                );
+                for e in ctx.dem.errors.iter().take(40) {
+                    words.iter_mut().for_each(|w| *w = 0);
+                    for &d in e.dets.as_slice() {
+                        words[d as usize / 64] |= 1u64 << (d % 64);
+                    }
+                    zero.decode_shot_packed_into(&words, &mut out);
+                    let want = sparse.decode_shot(e.dets.as_slice());
+                    assert_eq!(out.obs_flip, want.obs_flip, "{kind:?} {e:?}");
+                    assert_eq!(out.failed, want.failed);
+                    assert_eq!(out.windows, want.windows);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "packed ingest requires Datapath::Packed")]
+    fn packed_ingest_rejects_the_byte_datapath() {
+        let ctx = ctx(3, 4);
+        let mut swd = windowed(&ctx, DecoderKind::Mwpm, 4, 2).with_datapath(Datapath::Byte);
+        let mut out = WindowedOutcome {
+            obs_flip: 0,
+            failed: false,
+            windows: Vec::new(),
+        };
+        swd.decode_shot_packed_into(&[0], &mut out);
     }
 
     #[test]

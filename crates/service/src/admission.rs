@@ -169,6 +169,15 @@ impl TenantGate {
         debug_assert!(prev > 0, "complete() without a matching try_admit()");
     }
 
+    /// Converts one admitted shot into a shed: releases its in-flight
+    /// slot and advances the shed counter. Used when a shot passes the
+    /// gate but the downstream submission ring is full.
+    pub fn shed_admitted(&self) {
+        let prev = self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "shed_admitted() without a matching try_admit()");
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Shots currently in flight.
     pub fn in_flight(&self) -> usize {
         self.in_flight.load(Ordering::Acquire)
@@ -323,5 +332,16 @@ mod tests {
         gate.complete();
         gate.complete();
         assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn shedding_an_admitted_shot_frees_its_slot() {
+        let gate = TenantGate::new(1);
+        assert!(gate.try_admit());
+        gate.shed_admitted();
+        assert_eq!(gate.in_flight(), 0, "the in-flight slot is released");
+        assert_eq!(gate.shed_count(), 1, "the shed is still counted");
+        assert!(gate.try_admit(), "the freed slot admits again");
+        gate.complete();
     }
 }

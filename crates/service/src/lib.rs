@@ -15,15 +15,21 @@
 //! * [`server`] — [`DecodeServer`]: a sharded worker pool where each
 //!   shard owns its tenants' long-lived [`realtime::SlidingWindowDecoder`]
 //!   state (qubit → shard by stable hash, deterministic least-loaded
-//!   stealing at registration only, per-shard batching through
-//!   `Decoder::decode_batch`), while all tenants of a scenario share one
-//!   `Arc`ed graph, path table, and window cache;
+//!   stealing at registration only), while all tenants of a scenario
+//!   share one `Arc`ed graph, path table, and window cache;
+//! * [`spsc`] — lock-free single-producer/single-consumer submission
+//!   rings between session routers and shards: the zero-copy ingest
+//!   path packs each `SubmitRounds` wire body straight into a recycled
+//!   ring slot's word arena, and the shard decodes the words in place
+//!   via `SlidingWindowDecoder::decode_shot_packed_into` — no `Vec<u32>`
+//!   per submission, zero steady-state heap allocations per round;
 //! * [`admission`] — live per-tenant in-flight gating plus the modeled
 //!   bounded-queue/deadline accounting that generalizes the backlog
 //!   simulator to many tenants per shard;
 //! * [`loadgen`] — a closed-loop load generator whose per-qubit streams
-//!   are seed-compatible with single-tenant `repro realtime` runs, so
-//!   commit streams can be checked bit for bit.
+//!   are seed-compatible with single-tenant `repro realtime` runs
+//!   (SplitMix64-mixed per-tenant seeds), so commit streams can be
+//!   checked bit for bit.
 //!
 //! # Example
 //!
@@ -33,7 +39,7 @@
 //!     channel_pair, run_loadgen, DecodeServer, LoadgenConfig, ScenarioContext, ServiceConfig,
 //! };
 //! use ler::{DecoderKind, ExperimentContext};
-//! use realtime::PredecodeMode;
+//! use realtime::{Datapath, PredecodeMode};
 //!
 //! let ctx = Arc::new(ExperimentContext::with_rounds(3, 3, 1e-3));
 //! let scenario = ScenarioContext::new("demo", Arc::clone(&ctx)).unwrap();
@@ -54,6 +60,7 @@
 //!         window: 3,
 //!         commit: 2,
 //!         predecode: PredecodeMode::Off,
+//!         datapath: Datapath::Packed,
 //!         inflight: 2,
 //!     };
 //!     run_loadgen(client, &ctx, scenario.layers(), &cfg).unwrap()
@@ -67,6 +74,7 @@ pub mod loadgen;
 pub mod protocol;
 pub mod server;
 mod shard;
+pub mod spsc;
 pub mod transport;
 
 pub use admission::{simulate_shard, AdmissionConfig, TenantGate, TenantReport, WindowArrival};
@@ -79,7 +87,7 @@ pub use transport::{channel_pair, tcp_endpoint, Endpoint, FrameSink, FrameSource
 mod tests {
     use super::*;
     use ler::{DecoderKind, ExperimentContext};
-    use realtime::PredecodeMode;
+    use realtime::{Datapath, PredecodeMode};
     use std::sync::Arc;
 
     fn small_ctx() -> Arc<ExperimentContext> {
@@ -96,6 +104,7 @@ mod tests {
             window: 3,
             commit: 2,
             predecode: PredecodeMode::Off,
+            datapath: Datapath::Packed,
             inflight: 2,
         }
     }
@@ -196,6 +205,7 @@ mod tests {
                 window: 3,
                 commit: 2,
                 predecode: 0,
+                datapath: 1,
                 scenario: "t".into(),
             };
             client.sink.send(&reg).unwrap();
@@ -240,6 +250,7 @@ mod tests {
                     window: 3,
                     commit: 2,
                     predecode: 0,
+                    datapath: 1,
                     scenario: "t".into(),
                 })
                 .unwrap();
@@ -365,6 +376,7 @@ mod tests {
                     window: 3,
                     commit: 2,
                     predecode: 0,
+                    datapath: 1,
                     scenario: "t".into(),
                 })
                 .unwrap();

@@ -2,9 +2,11 @@
 //! decode-service session.
 //!
 //! Each tenant qubit owns a seeded [`realtime::SyndromeStream`] (seed =
-//! [`qubit_seed`]`(base, qubit)`), so its shot sequence is exactly the
-//! sequence a single-tenant `repro realtime` run would decode with the
-//! same seed — the property the service's bit-identity tests pin down.
+//! [`qubit_seed`]`(base, qubit)`, a SplitMix64 mix so neighboring
+//! tenants' streams are statistically independent), and its shot
+//! sequence is exactly the sequence a single-tenant `repro realtime`
+//! run seeded with that same mixed value would decode — the property
+//! the service's bit-identity tests pin down.
 //! The generator is *closed-loop*: it keeps at most `inflight` shots
 //! outstanding per tenant and only submits more as commits come back, so
 //! a server provisioned with `max_inflight_shots ≥ inflight` never sheds
@@ -19,15 +21,21 @@ use crate::protocol::{Frame, ServiceError, TenantStatsWire};
 use crate::transport::Endpoint;
 use decoding_graph::LayerMap;
 use ler::{DecoderKind, ExperimentContext};
-use realtime::{PredecodeMode, SyndromeStream};
+use realtime::{Datapath, PredecodeMode, SyndromeStream};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// The stream seed of tenant `qubit` under base seed `base` — qubit 0
-/// streams exactly the `base`-seeded single-tenant sequence.
+/// The stream seed of tenant `qubit` under base seed `base`:
+/// `splitmix64(base + qubit)`. The mix matters — the raw sum hands
+/// adjacent tenants consecutive `StdRng` seeds, which correlates their
+/// noise streams (tenant q's shot k and tenant q+1's shot k are near
+/// neighbors in seed space); SplitMix64 decorrelates them while staying
+/// a pure function of `(base, qubit)`, so a single-tenant repro run
+/// seeded with `qubit_seed(base, q)` still reproduces tenant q's stream
+/// bit for bit.
 pub fn qubit_seed(base: u64, qubit: u32) -> u64 {
-    base.wrapping_add(qubit as u64)
+    crate::server::splitmix64(base.wrapping_add(qubit as u64))
 }
 
 /// Configuration of one load-generator session.
@@ -49,6 +57,9 @@ pub struct LoadgenConfig {
     pub commit: u32,
     /// Predecode mode every tenant registers with.
     pub predecode: PredecodeMode,
+    /// Syndrome datapath every tenant registers with (the packed arena
+    /// path, or the byte reference path).
+    pub datapath: Datapath,
     /// Maximum outstanding shots per tenant (the closed loop's depth).
     pub inflight: usize,
 }
@@ -154,6 +165,7 @@ pub fn run_loadgen(
             window: cfg.window,
             commit: cfg.commit,
             predecode: cfg.predecode.code(),
+            datapath: cfg.datapath.code(),
             scenario: cfg.scenario.clone(),
         })?;
     }

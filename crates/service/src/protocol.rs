@@ -36,8 +36,9 @@ use std::io::{Read, Write};
 /// Version stamped into (and checked on) every frame.
 ///
 /// v2 added the predecode byte to [`Frame::RegisterQubit`] and the
-/// `l1_rounds` / `escalated_windows` counters to [`TenantStatsWire`].
-pub const PROTOCOL_VERSION: u16 = 2;
+/// `l1_rounds` / `escalated_windows` counters to [`TenantStatsWire`];
+/// v3 added the datapath byte to [`Frame::RegisterQubit`].
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Upper bound on one frame's encoded size (sanity check against
 /// corrupted length prefixes; generous for any realistic syndrome).
@@ -120,6 +121,9 @@ pub enum Frame {
         commit: u32,
         /// Predecode mode wire code ([`realtime::PredecodeMode::code`]).
         predecode: u8,
+        /// Datapath wire code ([`realtime::Datapath::code`]): packed
+        /// (zero-copy arena ingest) or byte (the sparse reference path).
+        datapath: u8,
         /// Scenario name the server must have preloaded.
         scenario: String,
     },
@@ -179,6 +183,31 @@ pub enum Frame {
     },
 }
 
+/// A borrowed view of a [`Frame::SubmitRounds`] body — the zero-copy
+/// fast path: the session router decodes the header in place and parses
+/// `det_bytes` straight into a ring slot's packed-word arena, so the
+/// submit hot loop never materializes a `Vec<u32>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubmitBody<'a> {
+    /// Tenant id.
+    pub qubit: u32,
+    /// Per-tenant shot sequence number.
+    pub shot: u64,
+    /// Number of detectors in `det_bytes`.
+    pub count: u32,
+    /// `count` little-endian `u32` detector ids, 4 bytes each.
+    pub det_bytes: &'a [u8],
+}
+
+impl SubmitBody<'_> {
+    /// Iterates the detector ids without materializing a list.
+    pub fn dets(&self) -> impl Iterator<Item = u32> + '_ {
+        self.det_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+    }
+}
+
 impl Frame {
     /// The frame's type code (first byte after the length prefix).
     pub fn type_code(&self) -> u8 {
@@ -217,6 +246,7 @@ impl Frame {
                 window,
                 commit,
                 predecode,
+                datapath,
                 scenario,
             } => {
                 put_u32(&mut out, *qubit);
@@ -224,6 +254,7 @@ impl Frame {
                 put_u32(&mut out, *window);
                 put_u32(&mut out, *commit);
                 out.push(*predecode);
+                out.push(*datapath);
                 put_str(&mut out, scenario)?;
             }
             Frame::RegisterAck {
@@ -306,6 +337,7 @@ impl Frame {
                 window: r.u32()?,
                 commit: r.u32()?,
                 predecode: r.u8()?,
+                datapath: r.u8()?,
                 scenario: r.str16()?,
             },
             1 => Frame::RegisterAck {
@@ -379,6 +411,53 @@ impl Frame {
             )));
         }
         Ok(frame)
+    }
+
+    /// Peeks the type code of an encoded frame body without decoding it
+    /// (`None` for bodies too short to carry the type + version header).
+    pub fn body_type(body: &[u8]) -> Option<u8> {
+        (body.len() >= 3).then(|| body[0])
+    }
+
+    /// Decodes a [`Frame::SubmitRounds`] body as a borrowed
+    /// [`SubmitBody`] view — no allocation, no detector-list
+    /// materialization (see [`SubmitBody`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Protocol`] when the body is not a
+    /// well-formed type-2 frame of this protocol version.
+    pub fn decode_submit_body(body: &[u8]) -> Result<SubmitBody<'_>, ServiceError> {
+        let mut r = Reader { buf: body, pos: 0 };
+        let ty = r.u8()?;
+        if ty != 2 {
+            return Err(ServiceError::Protocol(format!(
+                "expected a type-2 submit body, got type {ty}"
+            )));
+        }
+        let version = r.u16()?;
+        if version != PROTOCOL_VERSION {
+            return Err(ServiceError::Protocol(format!(
+                "protocol version {version} (this build speaks {PROTOCOL_VERSION})"
+            )));
+        }
+        let qubit = r.u32()?;
+        let shot = r.u64()?;
+        let count = r.u32()?;
+        let det_bytes = &body[r.pos..];
+        if det_bytes.len() != count as usize * 4 {
+            return Err(ServiceError::Protocol(format!(
+                "submit body carries {} detector bytes, count {count} wants {}",
+                det_bytes.len(),
+                count as usize * 4
+            )));
+        }
+        Ok(SubmitBody {
+            qubit,
+            shot,
+            count,
+            det_bytes,
+        })
     }
 
     /// Encodes the frame with its length prefix — the exact bytes both
@@ -555,6 +634,7 @@ mod tests {
                 window: 4,
                 commit: 2,
                 predecode: 1,
+                datapath: 1,
                 scenario: "sd6-d5".into(),
             },
             Frame::RegisterAck {
@@ -637,6 +717,44 @@ mod tests {
         }
         // Clean EOF at a frame boundary is end-of-stream, not an error.
         assert!(Frame::read_from(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn submit_body_view_matches_the_decoded_frame() {
+        let f = Frame::SubmitRounds {
+            qubit: 7,
+            shot: 41,
+            dets: vec![1, 5, 9, 1000],
+        };
+        let body = f.encode().unwrap();
+        assert_eq!(Frame::body_type(&body), Some(2));
+        let view = Frame::decode_submit_body(&body).unwrap();
+        assert_eq!(view.qubit, 7);
+        assert_eq!(view.shot, 41);
+        assert_eq!(view.count, 4);
+        assert_eq!(view.dets().collect::<Vec<u32>>(), vec![1, 5, 9, 1000]);
+        // The empty shot works too.
+        let body = Frame::SubmitRounds {
+            qubit: 0,
+            shot: 0,
+            dets: Vec::new(),
+        }
+        .encode()
+        .unwrap();
+        let view = Frame::decode_submit_body(&body).unwrap();
+        assert_eq!(view.count, 0);
+        assert_eq!(view.dets().count(), 0);
+        // Non-submit bodies and malformed counts are rejected.
+        let other = Frame::StatsRequest.encode().unwrap();
+        assert_eq!(Frame::body_type(&other), Some(4));
+        assert!(Frame::decode_submit_body(&other).is_err());
+        let mut truncated = f.encode().unwrap();
+        truncated.truncate(truncated.len() - 2);
+        assert!(Frame::decode_submit_body(&truncated).is_err());
+        let mut wrong_version = f.encode().unwrap();
+        wrong_version[1] = 99;
+        assert!(Frame::decode_submit_body(&wrong_version).is_err());
+        assert_eq!(Frame::body_type(&[2]), None);
     }
 
     #[test]

@@ -25,10 +25,12 @@
 use crate::admission::TenantGate;
 use crate::protocol::{Frame, ServiceError, TenantStatsWire};
 use crate::shard::{run_shard, ShardRequest};
+use crate::spsc::{self, Producer, ShardWaker};
 use crate::transport::{tcp_endpoint, Endpoint, FrameSource};
+use decoding_graph::packed::words_for;
 use decoding_graph::{LayerMap, SeamPolicy, WindowCache};
 use ler::{DecoderKind, ExperimentContext};
-use realtime::{PredecodeMode, WindowConfig};
+use realtime::{Datapath, PredecodeMode, WindowConfig};
 use std::collections::HashMap;
 use std::net::TcpListener;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -161,8 +163,9 @@ impl ScenarioContext {
     }
 }
 
-/// SplitMix64 — the stable qubit→shard hash.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64 — the stable qubit→shard hash, and the per-tenant seed
+/// mixer of [`crate::loadgen::qubit_seed`].
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -174,11 +177,18 @@ pub fn preferred_shard(qubit: u32, shards: usize) -> usize {
     (splitmix64(qubit as u64) % shards as u64) as usize
 }
 
-/// A registered tenant's routing entry, shared across sessions.
+/// A registered tenant's routing entry, shared across sessions. Carries
+/// the scenario's detector-space geometry so the session router can
+/// validate and bit-pack submissions without touching shared state.
 #[derive(Clone, Debug)]
 struct TenantRoute {
     shard: usize,
     gate: Arc<TenantGate>,
+    /// Detectors in the tenant's decoding graph (wire dets must be
+    /// `< num_dets`).
+    num_dets: u32,
+    /// Packed words per shot (`words_for(num_dets)`, at least 1).
+    wps: usize,
 }
 
 /// qubit → shard routing, written at registration, read on submit (and
@@ -207,7 +217,12 @@ impl Registry {
     /// is already busier than the least-loaded one (then the tenant is
     /// "stolen" to the least-loaded shard, lowest id on ties —
     /// deterministic for a fixed registration order).
-    fn assign(&self, qubit: u32, gate: Arc<TenantGate>) -> Result<TenantRoute, String> {
+    fn assign(
+        &self,
+        qubit: u32,
+        gate: Arc<TenantGate>,
+        num_dets: u32,
+    ) -> Result<TenantRoute, String> {
         let mut g = self.inner.write().expect("registry poisoned");
         if g.routes.contains_key(&qubit) {
             return Err(format!("qubit {qubit} is already registered"));
@@ -225,7 +240,12 @@ impl Registry {
             pref
         };
         g.loads[shard] += 1;
-        let route = TenantRoute { shard, gate };
+        let route = TenantRoute {
+            shard,
+            gate,
+            num_dets,
+            wps: words_for(num_dets as usize).max(1),
+        };
         g.routes.insert(qubit, route.clone());
         Ok(route)
     }
@@ -312,6 +332,9 @@ impl DecodeServer {
     /// arriving endpoint; return once every session and shard is done.
     fn serve_stream(&self, endpoints: Receiver<Endpoint>) {
         let registry = Registry::new(self.cfg.shards);
+        let wakers: Vec<Arc<ShardWaker>> = (0..self.cfg.shards)
+            .map(|_| Arc::new(ShardWaker::new()))
+            .collect();
         std::thread::scope(|scope| {
             let mut shard_txs: Vec<Sender<ShardRequest>> = Vec::with_capacity(self.cfg.shards);
             for sid in 0..self.cfg.shards {
@@ -319,7 +342,8 @@ impl DecodeServer {
                 shard_txs.push(tx);
                 let cfg = &self.cfg;
                 let scenarios = &self.scenarios;
-                scope.spawn(move || run_shard(sid, cfg, scenarios, rx));
+                let waker = Arc::clone(&wakers[sid]);
+                scope.spawn(move || run_shard(sid, cfg, scenarios, rx, waker));
             }
             let registry = &registry;
             for ep in endpoints {
@@ -333,10 +357,13 @@ impl DecodeServer {
                     }
                 });
                 let shard_txs = shard_txs.clone();
+                let wakers = wakers.clone();
                 let cfg = &self.cfg;
                 let scenarios = &self.scenarios;
                 scope.spawn(move || {
-                    route_session(source, reply_tx, shard_txs, registry, cfg, scenarios);
+                    route_session(
+                        source, reply_tx, shard_txs, wakers, registry, cfg, scenarios,
+                    );
                 });
             }
             drop(shard_txs);
@@ -345,14 +372,16 @@ impl DecodeServer {
 }
 
 /// Validates a registration frame against the server's scenarios.
+#[allow(clippy::type_complexity)]
 fn validate_register(
     scenarios: &[ScenarioContext],
     decoder: u8,
     window: u32,
     commit: u32,
     predecode: u8,
+    datapath: u8,
     scenario: &str,
-) -> Result<(usize, DecoderKind, WindowConfig, PredecodeMode), String> {
+) -> Result<(usize, DecoderKind, WindowConfig, PredecodeMode, Datapath), String> {
     let idx = scenarios
         .iter()
         .position(|s| s.name == scenario)
@@ -367,6 +396,8 @@ fn validate_register(
         DecoderKind::from_code(decoder).ok_or_else(|| format!("unknown decoder code {decoder}"))?;
     let pd = PredecodeMode::from_code(predecode)
         .ok_or_else(|| format!("unknown predecode code {predecode}"))?;
+    let dp =
+        Datapath::from_code(datapath).ok_or_else(|| format!("unknown datapath code {datapath}"))?;
     let wc = WindowConfig::new(window, commit)?;
     let layers = scenarios[idx].layers().num_layers();
     if wc.window > layers {
@@ -374,25 +405,152 @@ fn validate_register(
             "window {window} exceeds the {layers} round layers of scenario {scenario}"
         ));
     }
-    Ok((idx, kind, wc, pd))
+    Ok((idx, kind, wc, pd, dp))
+}
+
+/// Slots per (session, shard) submission ring. Power of two, far above
+/// any sane in-flight budget: the per-tenant gate is the intended
+/// backpressure; a full ring only happens when a shard stalls outright,
+/// and then the submission is shed (the admission is converted via
+/// [`TenantGate::shed_admitted`]).
+const RING_CAPACITY: usize = 1024;
+
+/// A shed reply for a submission that never reached a decoder.
+fn shed_commit(qubit: u32, shot: u64) -> Frame {
+    Frame::CommitResult {
+        qubit,
+        shot,
+        obs_flip: 0,
+        failed: true,
+        shed: true,
+        windows: 0,
+        service_ns_total: 0.0,
+    }
 }
 
 /// One session's request router: reads frames until shutdown/EOF and
 /// forwards them to the owning shards.
+///
+/// Submissions take a zero-copy fast path: the wire body is peeked by
+/// type ([`Frame::body_type`]), parsed in place as a
+/// [`crate::protocol::SubmitBody`] view, validated, and bit-packed
+/// straight into a recycled SPSC ring slot — no `Frame`, no `Vec<u32>`
+/// of detectors, no allocation per submission once the session's ring
+/// to the owning shard exists.
 fn route_session(
     mut source: Box<dyn FrameSource>,
     reply_tx: Sender<Frame>,
     shard_txs: Vec<Sender<ShardRequest>>,
+    wakers: Vec<Arc<ShardWaker>>,
     registry: &Registry,
     cfg: &ServiceConfig,
     scenarios: &[ScenarioContext],
 ) {
     // Session-local route memo: steady-state submits touch no lock.
     let mut routes: HashMap<u32, TenantRoute> = HashMap::new();
+    // One lazily attached ring per shard this session submits to.
+    let mut rings: HashMap<usize, Producer> = HashMap::new();
+    // The frame body buffer, recycled across the whole session.
+    let mut body: Vec<u8> = Vec::new();
     loop {
-        let frame = match source.recv() {
-            Ok(Some(frame)) => frame,
-            Ok(None) => break,
+        match source.recv_body(&mut body) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => {
+                let _ = reply_tx.send(Frame::Error {
+                    message: e.to_string(),
+                });
+                break;
+            }
+        }
+        if Frame::body_type(&body) == Some(2) {
+            // SubmitRounds fast path (type 2): parse the body in place.
+            let sb = match Frame::decode_submit_body(&body) {
+                Ok(sb) => sb,
+                Err(e) => {
+                    let _ = reply_tx.send(Frame::Error {
+                        message: e.to_string(),
+                    });
+                    break;
+                }
+            };
+            let (qubit, shot) = (sb.qubit, sb.shot);
+            if let std::collections::hash_map::Entry::Vacant(e) = routes.entry(qubit) {
+                match registry.lookup(qubit) {
+                    Some(r) => {
+                        e.insert(r);
+                    }
+                    None => {
+                        let _ = reply_tx.send(Frame::Error {
+                            message: format!("qubit {qubit} is not registered"),
+                        });
+                        continue;
+                    }
+                }
+            }
+            let route = &routes[&qubit];
+            if !route.gate.try_admit() {
+                // Live admission: queue full, shed without decoding.
+                let _ = reply_tx.send(shed_commit(qubit, shot));
+                continue;
+            }
+            let producer = rings.entry(route.shard).or_insert_with(|| {
+                let (producer, consumer) = spsc::ring(RING_CAPACITY);
+                let _ = shard_txs[route.shard].send(ShardRequest::AttachRing {
+                    ring: consumer,
+                    reply: reply_tx.clone(),
+                });
+                wakers[route.shard].wake();
+                producer
+            });
+            match producer.try_claim() {
+                Some(slot) => {
+                    slot.qubit = qubit;
+                    slot.shot = shot;
+                    slot.words.clear();
+                    slot.words.resize(route.wps, 0);
+                    // Validate while packing: sorted, unique, in range.
+                    let mut prev: Option<u32> = None;
+                    let mut problem = None;
+                    for d in sb.dets() {
+                        if prev.is_some_and(|p| p >= d) {
+                            problem = Some(format!("qubit {qubit}: detectors not sorted/unique"));
+                            break;
+                        }
+                        if d >= route.num_dets {
+                            problem = Some(format!(
+                                "qubit {qubit}: detector out of range (graph has {})",
+                                route.num_dets
+                            ));
+                            break;
+                        }
+                        slot.words[d as usize / 64] |= 1u64 << (d % 64);
+                        prev = Some(d);
+                    }
+                    match problem {
+                        Some(message) => {
+                            // The claimed slot is never published — the
+                            // next claim recycles it.
+                            let _ = reply_tx.send(Frame::Error { message });
+                            route.gate.complete();
+                        }
+                        None => {
+                            producer.publish();
+                            wakers[route.shard].wake();
+                        }
+                    }
+                }
+                None => {
+                    // Ring full: the shard is stalled. Convert the
+                    // admission into a shed so the gate slot frees.
+                    route.gate.shed_admitted();
+                    let _ = reply_tx.send(shed_commit(qubit, shot));
+                }
+            }
+            continue;
+        }
+        let frame = match Frame::decode(&body) {
+            Ok(frame) => frame,
             Err(e) => {
                 let _ = reply_tx.send(Frame::Error {
                     message: e.to_string(),
@@ -407,15 +565,18 @@ fn route_session(
                 window,
                 commit,
                 predecode,
+                datapath,
                 scenario,
             } => {
-                let outcome =
-                    validate_register(scenarios, decoder, window, commit, predecode, &scenario)
-                        .and_then(|(idx, kind, wc, pd)| {
-                            let gate = Arc::new(TenantGate::new(cfg.max_inflight_shots));
-                            let route = registry.assign(qubit, Arc::clone(&gate))?;
-                            Ok((idx, kind, wc, pd, gate, route))
-                        });
+                let outcome = validate_register(
+                    scenarios, decoder, window, commit, predecode, datapath, &scenario,
+                )
+                .and_then(|(idx, kind, wc, pd, dp)| {
+                    let gate = Arc::new(TenantGate::new(cfg.max_inflight_shots));
+                    let num_dets = scenarios[idx].layers().num_detectors();
+                    let route = registry.assign(qubit, Arc::clone(&gate), num_dets)?;
+                    Ok((idx, kind, wc, pd, dp, gate, route))
+                });
                 match outcome {
                     Err(message) => {
                         let _ = reply_tx.send(Frame::RegisterAck {
@@ -425,7 +586,7 @@ fn route_session(
                             message,
                         });
                     }
-                    Ok((idx, kind, wc, pd, gate, route)) => {
+                    Ok((idx, kind, wc, pd, dp, gate, route)) => {
                         routes.insert(qubit, route.clone());
                         // The shard sends the ack so that it is ordered
                         // after the tenant state actually exists.
@@ -435,52 +596,22 @@ fn route_session(
                             kind,
                             window: wc,
                             predecode: pd,
+                            datapath: dp,
                             gate,
                             reply: reply_tx.clone(),
                         });
+                        wakers[route.shard].wake();
                     }
                 }
             }
-            Frame::SubmitRounds { qubit, shot, dets } => {
-                let route = match routes.get(&qubit) {
-                    Some(r) => r.clone(),
-                    None => match registry.lookup(qubit) {
-                        Some(r) => {
-                            routes.insert(qubit, r.clone());
-                            r
-                        }
-                        None => {
-                            let _ = reply_tx.send(Frame::Error {
-                                message: format!("qubit {qubit} is not registered"),
-                            });
-                            continue;
-                        }
-                    },
-                };
-                if route.gate.try_admit() {
-                    let _ = shard_txs[route.shard].send(ShardRequest::Submit {
-                        qubit,
-                        shot,
-                        dets,
-                        reply: reply_tx.clone(),
-                    });
-                } else {
-                    // Live admission: queue full, shed without decoding.
-                    let _ = reply_tx.send(Frame::CommitResult {
-                        qubit,
-                        shot,
-                        obs_flip: 0,
-                        failed: true,
-                        shed: true,
-                        windows: 0,
-                        service_ns_total: 0.0,
-                    });
-                }
+            Frame::SubmitRounds { .. } => {
+                unreachable!("type-2 bodies take the fast path above")
             }
             Frame::StatsRequest => {
                 let (stx, srx) = channel();
-                for tx in &shard_txs {
+                for (tx, waker) in shard_txs.iter().zip(&wakers) {
                     let _ = tx.send(ShardRequest::Stats { reply: stx.clone() });
+                    waker.wake();
                 }
                 drop(stx);
                 let mut tenants: Vec<TenantStatsWire> = srx.iter().flatten().collect();
@@ -570,8 +701,12 @@ mod tests {
         let registry = Registry::new(2);
         let mut loads = [0usize; 2];
         for q in 0..10 {
-            let route = registry.assign(q, Arc::new(TenantGate::new(1))).unwrap();
+            let route = registry
+                .assign(q, Arc::new(TenantGate::new(1)), 70)
+                .unwrap();
             loads[route.shard] += 1;
+            assert_eq!(route.num_dets, 70);
+            assert_eq!(route.wps, 2, "70 detectors pack into 2 words");
             // Work stealing at enqueue keeps the imbalance within 1.
             assert!(
                 loads[0].abs_diff(loads[1]) <= 1,
@@ -580,7 +715,7 @@ mod tests {
         }
         // Double registration is rejected.
         let err = registry
-            .assign(3, Arc::new(TenantGate::new(1)))
+            .assign(3, Arc::new(TenantGate::new(1)), 70)
             .unwrap_err();
         assert!(err.contains("already registered"));
         assert!(registry.lookup(3).is_some());
@@ -592,21 +727,25 @@ mod tests {
         let ctx = Arc::new(ExperimentContext::with_rounds(3, 3, 1e-3));
         let scenarios = vec![ScenarioContext::new("test", ctx).unwrap()];
         // 4 layers: window 4 ok, window 5 too big.
-        assert!(validate_register(&scenarios, 0, 4, 2, 0, "test").is_ok());
-        let (_, _, _, pd) = validate_register(&scenarios, 0, 4, 2, 1, "test").unwrap();
+        assert!(validate_register(&scenarios, 0, 4, 2, 0, 1, "test").is_ok());
+        let (_, _, _, pd, dp) = validate_register(&scenarios, 0, 4, 2, 1, 0, "test").unwrap();
         assert_eq!(pd, PredecodeMode::Batch);
-        assert!(validate_register(&scenarios, 0, 5, 2, 0, "test")
+        assert_eq!(dp, Datapath::Byte);
+        assert!(validate_register(&scenarios, 0, 5, 2, 0, 1, "test")
             .unwrap_err()
             .contains("exceeds"));
-        assert!(validate_register(&scenarios, 0, 4, 0, 0, "test").is_err());
-        assert!(validate_register(&scenarios, 0, 2, 3, 0, "test").is_err());
-        assert!(validate_register(&scenarios, 250, 4, 2, 0, "test")
+        assert!(validate_register(&scenarios, 0, 4, 0, 0, 1, "test").is_err());
+        assert!(validate_register(&scenarios, 0, 2, 3, 0, 1, "test").is_err());
+        assert!(validate_register(&scenarios, 250, 4, 2, 0, 1, "test")
             .unwrap_err()
             .contains("decoder code"));
-        assert!(validate_register(&scenarios, 0, 4, 2, 9, "test")
+        assert!(validate_register(&scenarios, 0, 4, 2, 9, 1, "test")
             .unwrap_err()
             .contains("predecode code"));
-        assert!(validate_register(&scenarios, 0, 4, 2, 0, "nope")
+        assert!(validate_register(&scenarios, 0, 4, 2, 0, 9, "test")
+            .unwrap_err()
+            .contains("datapath code"));
+        assert!(validate_register(&scenarios, 0, 4, 2, 0, 1, "nope")
             .unwrap_err()
             .contains("unknown scenario"));
     }

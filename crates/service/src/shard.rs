@@ -5,32 +5,45 @@
 //! graph `Arc`s memoized from the scenario's shared
 //! [`decoding_graph::WindowCache`]), the tenant's latency model, shot
 //! sequence counters, and the shard's modeled arrival timeline. Nothing
-//! on the decode path takes a cross-shard lock: requests arrive on the
-//! shard's private channel, decoded state is thread-local, and the only
-//! shared structures (scenario graph, path tables, window cache) are
-//! read-only.
+//! on the decode path takes a cross-shard lock: cold control traffic
+//! (register, stats, ring attachment) arrives on the shard's private
+//! channel; hot submissions arrive on lock-free SPSC rings (one per
+//! attached session, see [`crate::spsc`]) whose slots carry the shot's
+//! syndrome as packed words written by the session router straight from
+//! the wire.
 //!
-//! Submissions are drained in batches: consecutive `Submit` requests are
-//! grouped per tenant (preserving each tenant's order) and decoded
-//! through [`SlidingWindowDecoder::decode_shots`], whose window-lockstep
-//! batching funnels same-range windows into one
-//! [`decoding_graph::Decoder::decode_batch`] call — warm workspaces
-//! across the group, bit-identical to one-at-a-time decoding.
+//! The shard loop drains control messages first (so a registration is
+//! always applied before any submission that was admitted after it),
+//! then sweeps each ring — up to `batch_max` slots per ring per pass —
+//! feeding every slot's packed words to
+//! [`SlidingWindowDecoder::decode_shot_packed_into`] without ever
+//! materializing a sparse detector list: the words move from the wire
+//! arena to the decoder's bit-set with zero per-round heap allocations.
+//! (`Datapath::Byte` tenants take the reference path instead: the words
+//! are expanded to a recycled sparse buffer and decoded byte-wise,
+//! bit-identical by construction.) An idle shard parks on its
+//! [`ShardWaker`] with a timeout, so a lost wakeup race costs bounded
+//! latency, never a hang.
 
 use crate::admission::{simulate_shard, TenantGate, WindowArrival};
 use crate::protocol::{Frame, TenantStatsWire};
 use crate::server::{ScenarioContext, ServiceConfig};
+use crate::spsc::{Consumer, ShardWaker, SubmitSlot};
+use decoding_graph::packed::for_each_set_bit;
 use decoding_graph::LatencyModel;
 use ler::DecoderKind;
 use realtime::{
-    fallback_latency_model, service_ns, PredecodeMode, SlidingWindowDecoder, WindowConfig,
+    fallback_latency_model, service_ns, Datapath, PredecodeMode, SlidingWindowDecoder,
+    WindowConfig, WindowedOutcome,
 };
-use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::mpsc::{Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// A request routed to one shard. Replies travel back through the
-/// originating session's frame channel.
+/// A control request routed to one shard. Replies travel back through
+/// the originating session's frame channel. Submissions do NOT travel
+/// this channel — they arrive on the SPSC rings attached here.
 pub(crate) enum ShardRequest {
     /// Attach a tenant to this shard.
     Register {
@@ -39,14 +52,13 @@ pub(crate) enum ShardRequest {
         kind: DecoderKind,
         window: WindowConfig,
         predecode: PredecodeMode,
+        datapath: Datapath,
         gate: Arc<TenantGate>,
         reply: Sender<Frame>,
     },
-    /// Decode one admitted shot of a registered tenant.
-    Submit {
-        qubit: u32,
-        shot: u64,
-        dets: Vec<u32>,
+    /// Attach one session's submission ring to this shard.
+    AttachRing {
+        ring: Consumer,
         reply: Sender<Frame>,
     },
     /// Report per-tenant SLO accounting for this shard's tenants.
@@ -58,6 +70,7 @@ struct Tenant<'a> {
     qubit: u32,
     decoder: SlidingWindowDecoder<'a>,
     fallback: Box<dyn LatencyModel + Send>,
+    datapath: Datapath,
     layers_per_shot: u32,
     next_shot: u64,
     shots: u64,
@@ -68,6 +81,11 @@ struct Tenant<'a> {
     /// Windows escalated past the L1 tier to the matching solver.
     escalated_windows: u64,
     gate: Arc<TenantGate>,
+    /// Recycled outcome buffer for the packed ingest path (the window
+    /// records `Vec` keeps its capacity across shots).
+    out: WindowedOutcome,
+    /// Recycled sparse detector buffer for the byte reference path.
+    sparse: Vec<u32>,
 }
 
 /// Windows one shot's decode produces: the number of window steps of
@@ -87,6 +105,11 @@ fn windows_per_shot(layers: u32, cfg: WindowConfig) -> u32 {
 /// counters) but stops extending the modeled sample, so stats memory
 /// and `StatsRequest` cost stay bounded over unbounded uptime.
 const TIMELINE_CAP: usize = 1 << 18;
+
+/// How long an idle shard parks before re-checking its rings. Bounds
+/// the latency of a lost wakeup race (and of control messages sent
+/// without a wake).
+const IDLE_PARK: Duration = Duration::from_micros(500);
 
 /// The shard's modeled arrival sample, bounded by [`TIMELINE_CAP`].
 struct Timeline {
@@ -111,196 +134,187 @@ impl Timeline {
     }
 }
 
-/// Runs one shard until every request sender is gone.
+/// Runs one shard until the control channel is gone and every attached
+/// ring has been drained and closed.
 pub(crate) fn run_shard(
     shard_id: usize,
     cfg: &ServiceConfig,
     scenarios: &[ScenarioContext],
     rx: Receiver<ShardRequest>,
+    waker: Arc<ShardWaker>,
 ) {
+    waker.register();
     let mut tenants: HashMap<u32, Tenant<'_>> = HashMap::new();
     let mut timeline = Timeline::new();
-    let mut queue: VecDeque<ShardRequest> = VecDeque::new();
+    let mut rings: Vec<(Consumer, Sender<Frame>)> = Vec::new();
+    let mut control_open = true;
     loop {
-        if queue.is_empty() {
-            match rx.recv() {
-                Ok(m) => queue.push_back(m),
-                Err(_) => break,
-            }
-            while queue.len() < cfg.batch_max {
-                match rx.try_recv() {
-                    Ok(m) => queue.push_back(m),
-                    Err(_) => break,
-                }
-            }
-        }
-        if matches!(queue.front(), Some(ShardRequest::Submit { .. })) {
-            let mut submits = Vec::new();
-            while matches!(queue.front(), Some(ShardRequest::Submit { .. })) {
-                submits.push(queue.pop_front().expect("checked non-empty"));
-            }
-            process_submits(&mut tenants, &mut timeline, submits);
-            continue;
-        }
-        match queue.pop_front() {
-            Some(ShardRequest::Register {
-                qubit,
-                scenario,
-                kind,
-                window,
-                predecode,
-                gate,
-                reply,
-            }) => {
-                let sc = &scenarios[scenario];
-                let decoder = SlidingWindowDecoder::with_cache(
-                    &sc.context().graph,
-                    Arc::clone(sc.layers()),
+        // Control first: a registration is always applied before any
+        // submission swept afterwards (clients wait for the ack before
+        // submitting, and the ack is sent from here).
+        while control_open {
+            match rx.try_recv() {
+                Ok(ShardRequest::Register {
+                    qubit,
+                    scenario,
                     kind,
                     window,
-                    Arc::clone(sc.window_cache()),
-                )
-                .with_predecode(predecode);
-                let layers_per_shot = sc.layers().num_layers();
-                tenants.insert(
-                    qubit,
-                    Tenant {
+                    predecode,
+                    datapath,
+                    gate,
+                    reply,
+                }) => {
+                    let sc = &scenarios[scenario];
+                    let decoder = SlidingWindowDecoder::with_cache(
+                        &sc.context().graph,
+                        Arc::clone(sc.layers()),
+                        kind,
+                        window,
+                        Arc::clone(sc.window_cache()),
+                    )
+                    .with_predecode(predecode)
+                    .with_datapath(datapath);
+                    let layers_per_shot = sc.layers().num_layers();
+                    tenants.insert(
                         qubit,
-                        decoder,
-                        fallback: fallback_latency_model(kind),
-                        layers_per_shot,
-                        next_shot: 0,
-                        shots: 0,
-                        windows: 0,
-                        l1_rounds: 0,
-                        escalated_windows: 0,
-                        gate,
-                    },
-                );
-                let _ = reply.send(Frame::RegisterAck {
-                    qubit,
-                    ok: true,
-                    shard: shard_id as u32,
-                    message: String::new(),
-                });
+                        Tenant {
+                            qubit,
+                            decoder,
+                            fallback: fallback_latency_model(kind),
+                            datapath,
+                            layers_per_shot,
+                            next_shot: 0,
+                            shots: 0,
+                            windows: 0,
+                            l1_rounds: 0,
+                            escalated_windows: 0,
+                            gate,
+                            out: WindowedOutcome {
+                                obs_flip: 0,
+                                failed: false,
+                                windows: Vec::new(),
+                            },
+                            sparse: Vec::new(),
+                        },
+                    );
+                    let _ = reply.send(Frame::RegisterAck {
+                        qubit,
+                        ok: true,
+                        shard: shard_id as u32,
+                        message: String::new(),
+                    });
+                }
+                Ok(ShardRequest::AttachRing { ring, reply }) => {
+                    rings.push((ring, reply));
+                }
+                Ok(ShardRequest::Stats { reply }) => {
+                    let _ = reply.send(shard_stats(shard_id, cfg, &tenants, &timeline.arrivals));
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => control_open = false,
             }
-            Some(ShardRequest::Stats { reply }) => {
-                let _ = reply.send(shard_stats(shard_id, cfg, &tenants, &timeline.arrivals));
+        }
+        // Hot path: sweep every ring, at most batch_max slots per ring
+        // per pass so control traffic and sibling rings stay live.
+        let mut swept = 0usize;
+        for (ring, reply) in &mut rings {
+            let n = ring.len().min(cfg.batch_max);
+            for i in 0..n {
+                process_slot(&mut tenants, &mut timeline, ring.slot(i), reply);
             }
-            Some(ShardRequest::Submit { .. }) => unreachable!("submits drained above"),
-            None => {}
+            ring.advance(n);
+            swept += n;
+        }
+        rings.retain(|(ring, _)| !ring.is_done());
+        if !control_open && rings.is_empty() {
+            break;
+        }
+        if swept == 0 {
+            waker.prepare_park();
+            // Re-check after raising the parked flag: a producer that
+            // published in between will have seen the flag and skips
+            // the park via `wake`.
+            if rings.iter().all(|(ring, _)| ring.is_empty()) {
+                waker.park_timeout(IDLE_PARK);
+            }
         }
     }
 }
 
-/// One pending submission: (shot sequence number, detectors, reply).
-type PendingSubmit = (u64, Vec<u32>, Sender<Frame>);
-
-/// Decodes a drained run of submissions, grouped per tenant.
-fn process_submits(
+/// Decodes one published ring slot: replay check, decode through the
+/// tenant's datapath, bill the modeled timeline, and reply.
+fn process_slot(
     tenants: &mut HashMap<u32, Tenant<'_>>,
     timeline: &mut Timeline,
-    submits: Vec<ShardRequest>,
+    slot: &mut SubmitSlot,
+    reply: &Sender<Frame>,
 ) {
-    // Group per tenant, preserving each tenant's submission order
-    // (cross-tenant reply order is irrelevant: commits carry their
-    // qubit + shot).
-    let mut by_tenant: BTreeMap<u32, Vec<PendingSubmit>> = BTreeMap::new();
-    for req in submits {
-        let ShardRequest::Submit {
+    let (qubit, shot) = (slot.qubit, slot.shot);
+    let Some(tenant) = tenants.get_mut(&qubit) else {
+        let _ = reply.send(Frame::Error {
+            message: format!("qubit {qubit} is not registered on this shard"),
+        });
+        return;
+    };
+    // Sequence numbers must be strictly increasing — gaps are fine (a
+    // shot shed at the session router never reaches the shard).
+    let next = tenant.next_shot;
+    if shot < next {
+        let _ = reply.send(Frame::Error {
+            message: format!(
+                "qubit {qubit}: shot {shot} replayed or out of order (next is {next})"
+            ),
+        });
+        tenant.gate.complete();
+        return;
+    }
+    match tenant.datapath {
+        Datapath::Packed => {
+            // Zero-copy: the wire arena's words feed the decoder's
+            // bit-set directly; `out` recycles its window buffer.
+            let Tenant { decoder, out, .. } = tenant;
+            decoder.decode_shot_packed_into(&slot.words, out);
+        }
+        Datapath::Byte => {
+            // Reference path: expand the words back to the sparse list
+            // the byte datapath consumes (buffer recycled, but the
+            // decode itself allocates — that is the point of keeping it).
+            tenant.sparse.clear();
+            let sparse = &mut tenant.sparse;
+            for_each_set_bit(&slot.words, |d| sparse.push(d as u32));
+            tenant.out = tenant.decoder.decode_shot(&tenant.sparse);
+        }
+    }
+    let base_round = shot * tenant.layers_per_shot as u64;
+    let mut total_ns = 0.0;
+    for w in &tenant.out.windows {
+        // L1-resolved windows carry the fixed predecoder charge in
+        // `latency_ns`; escalated ones bill the solver for the residual
+        // weight only, so the fallback model sees `solver_hw`, not the
+        // pre-cancellation `hw`.
+        let ns = service_ns(w.latency_ns, w.solver_hw, tenant.fallback.as_ref());
+        timeline.push(WindowArrival {
             qubit,
-            shot,
-            dets,
-            reply,
-        } = req
-        else {
-            unreachable!("caller passes submits only");
-        };
-        by_tenant
-            .entry(qubit)
-            .or_default()
-            .push((shot, dets, reply));
+            ready_round: base_round + w.hi_layer as u64,
+            service_ns: ns,
+        });
+        total_ns += ns;
     }
-    for (qubit, group) in by_tenant {
-        let Some(tenant) = tenants.get_mut(&qubit) else {
-            for (_, _, reply) in &group {
-                let _ = reply.send(Frame::Error {
-                    message: format!("qubit {qubit} is not registered on this shard"),
-                });
-            }
-            continue;
-        };
-        // Validate before decoding: sequence numbers must be strictly
-        // increasing — gaps are fine (a shot shed at the session router
-        // never reaches the shard) — and detector lists sorted, unique,
-        // in range.
-        let num_dets = tenant.decoder.layers().num_detectors();
-        let mut valid: Vec<&PendingSubmit> = Vec::with_capacity(group.len());
-        let mut next = tenant.next_shot;
-        for entry in &group {
-            let (shot, dets, reply) = entry;
-            let problem = if *shot < next {
-                Some(format!(
-                    "qubit {qubit}: shot {shot} replayed or out of order (next is {next})"
-                ))
-            } else if !dets.windows(2).all(|w| w[0] < w[1]) {
-                Some(format!("qubit {qubit}: detectors not sorted/unique"))
-            } else if dets.last().is_some_and(|&d| d >= num_dets) {
-                Some(format!(
-                    "qubit {qubit}: detector out of range (graph has {num_dets})"
-                ))
-            } else {
-                None
-            };
-            match problem {
-                Some(message) => {
-                    let _ = reply.send(Frame::Error { message });
-                    tenant.gate.complete();
-                }
-                None => {
-                    next = *shot + 1;
-                    valid.push(entry);
-                }
-            }
-        }
-        if valid.is_empty() {
-            continue;
-        }
-        let shots: Vec<&[u32]> = valid.iter().map(|(_, dets, _)| dets.as_slice()).collect();
-        let outcomes = tenant.decoder.decode_shots(&shots);
-        for ((shot, _, reply), out) in valid.into_iter().zip(outcomes) {
-            let base_round = shot * tenant.layers_per_shot as u64;
-            let mut total_ns = 0.0;
-            for w in &out.windows {
-                // L1-resolved windows carry the fixed predecoder charge in
-                // `latency_ns`; escalated ones bill the solver for the
-                // residual weight only, so the fallback model sees
-                // `solver_hw`, not the pre-cancellation `hw`.
-                let ns = service_ns(w.latency_ns, w.solver_hw, tenant.fallback.as_ref());
-                timeline.push(WindowArrival {
-                    qubit,
-                    ready_round: base_round + w.hi_layer as u64,
-                    service_ns: ns,
-                });
-                total_ns += ns;
-            }
-            tenant.windows += out.windows.len() as u64;
-            tenant.l1_rounds += out.l1_rounds();
-            tenant.escalated_windows += out.escalated_windows();
-            tenant.shots += 1;
-            tenant.next_shot = shot + 1;
-            tenant.gate.complete();
-            let _ = reply.send(Frame::CommitResult {
-                qubit,
-                shot: *shot,
-                obs_flip: out.obs_flip,
-                failed: out.failed,
-                shed: false,
-                windows: out.windows.len() as u32,
-                service_ns_total: total_ns,
-            });
-        }
-    }
+    tenant.windows += tenant.out.windows.len() as u64;
+    tenant.l1_rounds += tenant.out.l1_rounds();
+    tenant.escalated_windows += tenant.out.escalated_windows();
+    tenant.shots += 1;
+    tenant.next_shot = shot + 1;
+    tenant.gate.complete();
+    let _ = reply.send(Frame::CommitResult {
+        qubit,
+        shot,
+        obs_flip: tenant.out.obs_flip,
+        failed: tenant.out.failed,
+        shed: false,
+        windows: tenant.out.windows.len() as u32,
+        service_ns_total: total_ns,
+    });
 }
 
 /// Runs the shard's modeled admission simulation and merges it with the
@@ -344,8 +358,45 @@ fn shard_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use decoding_graph::packed::words_for;
     use decoding_graph::LayerMap;
     use ler::{DecoderKind, ExperimentContext};
+
+    fn test_tenant(
+        qubit: u32,
+        decoder: SlidingWindowDecoder<'_>,
+        gate: Arc<TenantGate>,
+    ) -> Tenant<'_> {
+        let layers_per_shot = decoder.layers().num_layers();
+        let datapath = decoder.datapath();
+        Tenant {
+            qubit,
+            decoder,
+            fallback: fallback_latency_model(DecoderKind::Mwpm),
+            datapath,
+            layers_per_shot,
+            next_shot: 0,
+            shots: 0,
+            windows: 0,
+            l1_rounds: 0,
+            escalated_windows: 0,
+            gate,
+            out: WindowedOutcome {
+                obs_flip: 0,
+                failed: false,
+                windows: Vec::new(),
+            },
+            sparse: Vec::new(),
+        }
+    }
+
+    fn pack_slot(qubit: u32, shot: u64, dets: &[u32], num_dets: u32) -> SubmitSlot {
+        let mut words = vec![0u64; words_for(num_dets as usize).max(1)];
+        for &d in dets {
+            words[d as usize / 64] |= 1u64 << (d % 64);
+        }
+        SubmitSlot { qubit, shot, words }
+    }
 
     #[test]
     fn windows_per_shot_matches_the_decode_loop() {
@@ -369,8 +420,9 @@ mod tests {
         // Satellite of the predecode tier: L1-resolved windows must be
         // billed the fixed predecoder charge, not the solver's latency
         // model, so the modeled p99 collapses when L1 resolves the
-        // stream. Runs the real submit path (process_submits) against
-        // the same single-mechanism shots with predecoding off and on.
+        // stream. Runs the real ring path (process_slot per published
+        // slot) against the same single-mechanism shots with
+        // predecoding off and on.
         use crate::admission::AdmissionConfig;
         let ctx = ExperimentContext::with_rounds(3, 6, 1e-3);
         let cfg = WindowConfig::new(4, 2).unwrap();
@@ -390,42 +442,21 @@ mod tests {
         let mut counters = Vec::new();
         for mode in [PredecodeMode::Off, PredecodeMode::Batch] {
             let layers = LayerMap::from_graph(&ctx.graph).unwrap();
+            let num_dets = layers.num_detectors();
             let decoder = SlidingWindowDecoder::new(&ctx.graph, layers, DecoderKind::Mwpm, cfg)
                 .with_predecode(mode);
-            let layers_per_shot = decoder.layers().num_layers();
             let gate = Arc::new(TenantGate::new(shots.len()));
             for _ in &shots {
                 assert!(gate.try_admit());
             }
             let mut tenants = HashMap::new();
-            tenants.insert(
-                0,
-                Tenant {
-                    qubit: 0,
-                    decoder,
-                    fallback: fallback_latency_model(DecoderKind::Mwpm),
-                    layers_per_shot,
-                    next_shot: 0,
-                    shots: 0,
-                    windows: 0,
-                    l1_rounds: 0,
-                    escalated_windows: 0,
-                    gate,
-                },
-            );
+            tenants.insert(0, test_tenant(0, decoder, gate));
             let (tx, rx) = std::sync::mpsc::channel();
-            let submits: Vec<ShardRequest> = shots
-                .iter()
-                .enumerate()
-                .map(|(i, dets)| ShardRequest::Submit {
-                    qubit: 0,
-                    shot: i as u64,
-                    dets: dets.clone(),
-                    reply: tx.clone(),
-                })
-                .collect();
             let mut timeline = Timeline::new();
-            process_submits(&mut tenants, &mut timeline, submits);
+            for (i, dets) in shots.iter().enumerate() {
+                let mut slot = pack_slot(0, i as u64, dets, num_dets);
+                process_slot(&mut tenants, &mut timeline, &mut slot, &tx);
+            }
             drop(tx);
             for frame in rx.iter() {
                 match frame {
@@ -450,6 +481,91 @@ mod tests {
     }
 
     #[test]
+    fn packed_and_byte_tenants_commit_identical_results() {
+        // The ring always carries packed words; a Datapath::Byte tenant
+        // must decode them through the sparse reference path to the
+        // exact same outcome a Packed tenant reaches zero-copy.
+        let ctx = ExperimentContext::with_rounds(3, 6, 1e-3);
+        let cfg = WindowConfig::new(4, 2).unwrap();
+        let shots: Vec<Vec<u32>> = ctx
+            .dem
+            .errors
+            .iter()
+            .take(24)
+            .map(|e| e.dets.as_slice().to_vec())
+            .collect();
+        let mut replies = Vec::new();
+        for dp in [Datapath::Packed, Datapath::Byte] {
+            let layers = LayerMap::from_graph(&ctx.graph).unwrap();
+            let num_dets = layers.num_detectors();
+            let decoder = SlidingWindowDecoder::new(&ctx.graph, layers, DecoderKind::Mwpm, cfg)
+                .with_datapath(dp);
+            let gate = Arc::new(TenantGate::new(shots.len()));
+            for _ in &shots {
+                assert!(gate.try_admit());
+            }
+            let mut tenants = HashMap::new();
+            tenants.insert(3, test_tenant(3, decoder, gate));
+            let (tx, rx) = std::sync::mpsc::channel();
+            let mut timeline = Timeline::new();
+            for (i, dets) in shots.iter().enumerate() {
+                let mut slot = pack_slot(3, i as u64, dets, num_dets);
+                process_slot(&mut tenants, &mut timeline, &mut slot, &tx);
+            }
+            drop(tx);
+            replies.push(rx.iter().collect::<Vec<Frame>>());
+            assert_eq!(tenants[&3].gate.in_flight(), 0);
+        }
+        assert_eq!(
+            replies[0], replies[1],
+            "byte path is the bit-identical reference"
+        );
+        assert_eq!(replies[0].len(), shots.len());
+    }
+
+    #[test]
+    fn replayed_slots_are_rejected_and_release_the_gate() {
+        let ctx = ExperimentContext::with_rounds(3, 4, 1e-3);
+        let cfg = WindowConfig::new(4, 2).unwrap();
+        let layers = LayerMap::from_graph(&ctx.graph).unwrap();
+        let num_dets = layers.num_detectors();
+        let decoder = SlidingWindowDecoder::new(&ctx.graph, layers, DecoderKind::Mwpm, cfg);
+        let gate = Arc::new(TenantGate::new(4));
+        let mut tenants = HashMap::new();
+        tenants.insert(1, test_tenant(1, decoder, Arc::clone(&gate)));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut timeline = Timeline::new();
+        for (shot, expect_err) in [(0u64, false), (0, true), (5, false), (2, true)] {
+            assert!(gate.try_admit());
+            let mut slot = pack_slot(1, shot, &[], num_dets);
+            process_slot(&mut tenants, &mut timeline, &mut slot, &tx);
+            match rx.try_recv().unwrap() {
+                Frame::Error { message } => {
+                    assert!(expect_err, "unexpected reject: {message}");
+                    assert!(message.contains("replayed or out of order"), "{message}");
+                }
+                Frame::CommitResult { shot: s, .. } => {
+                    assert!(!expect_err, "shot {s} should have been rejected");
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert_eq!(gate.in_flight(), 0, "rejects release the gate slot");
+        // An unregistered qubit is rejected without touching any gate.
+        let mut slot = pack_slot(9, 0, &[], num_dets);
+        process_slot(&mut tenants, &mut timeline, &mut slot, &tx);
+        match rx.try_recv().unwrap() {
+            Frame::Error { message } => {
+                assert!(
+                    message.contains("not registered on this shard"),
+                    "{message}"
+                )
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
     fn gate_sheds_are_not_scaled_by_windows_per_shot() {
         // A gate-shed submission never reaches the shard, so it opens
         // zero windows; the stats row must count it once, not multiply
@@ -461,9 +577,8 @@ mod tests {
         let cfg = WindowConfig::new(4, 2).unwrap();
         let layers = LayerMap::from_graph(&ctx.graph).unwrap();
         let decoder = SlidingWindowDecoder::new(&ctx.graph, layers, DecoderKind::Mwpm, cfg);
-        let layers_per_shot = decoder.layers().num_layers();
         assert!(
-            windows_per_shot(layers_per_shot, cfg) > 1,
+            windows_per_shot(decoder.layers().num_layers(), cfg) > 1,
             "the regression needs a multi-window split to be visible"
         );
         let gate = Arc::new(TenantGate::new(2));
@@ -472,21 +587,7 @@ mod tests {
         }
         assert_eq!(gate.shed_count(), 8);
         let mut tenants = HashMap::new();
-        tenants.insert(
-            7,
-            Tenant {
-                qubit: 7,
-                decoder,
-                fallback: fallback_latency_model(DecoderKind::Mwpm),
-                layers_per_shot,
-                next_shot: 0,
-                shots: 0,
-                windows: 0,
-                l1_rounds: 0,
-                escalated_windows: 0,
-                gate,
-            },
-        );
+        tenants.insert(7, test_tenant(7, decoder, gate));
         let scfg = ServiceConfig::default();
         let first = shard_stats(0, &scfg, &tenants, &[]);
         assert_eq!(first.len(), 1);

@@ -27,12 +27,31 @@ pub trait FrameSink: Send {
 
 /// The receiving half of a transport endpoint.
 pub trait FrameSource: Send {
+    /// Receives the next frame's *body* (everything after the length
+    /// prefix) into `buf`, replacing its contents; returns `false` on a
+    /// clean peer close. The zero-copy ingest path: the caller peeks
+    /// [`Frame::body_type`] and parses submit bodies in place instead of
+    /// materializing a [`Frame`] per submission — `buf` is recycled
+    /// across calls, so steady-state receive allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed framing or transport failures.
+    fn recv_body(&mut self, buf: &mut Vec<u8>) -> Result<bool, ServiceError>;
+
     /// Receives the next frame; `None` means the peer closed cleanly.
     ///
     /// # Errors
     ///
     /// Returns an error for malformed bytes or transport failures.
-    fn recv(&mut self) -> Result<Option<Frame>, ServiceError>;
+    fn recv(&mut self) -> Result<Option<Frame>, ServiceError> {
+        let mut buf = Vec::new();
+        if self.recv_body(&mut buf)? {
+            Frame::decode(&buf).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
 }
 
 /// One side of a connection: a sink to the peer and a source from it.
@@ -63,7 +82,7 @@ struct ChannelSource {
 }
 
 impl FrameSource for ChannelSource {
-    fn recv(&mut self) -> Result<Option<Frame>, ServiceError> {
+    fn recv_body(&mut self, buf: &mut Vec<u8>) -> Result<bool, ServiceError> {
         match self.rx.recv() {
             Ok(wire) => {
                 if wire.len() < 4 {
@@ -76,10 +95,12 @@ impl FrameSource for ChannelSource {
                         wire.len() - 4
                     )));
                 }
-                Frame::decode(&wire[4..]).map(Some)
+                buf.clear();
+                buf.extend_from_slice(&wire[4..]);
+                Ok(true)
             }
             // Sender dropped: clean end-of-stream, like TCP EOF.
-            Err(_) => Ok(None),
+            Err(_) => Ok(false),
         }
     }
 }
@@ -118,8 +139,25 @@ struct TcpSource {
 }
 
 impl FrameSource for TcpSource {
-    fn recv(&mut self) -> Result<Option<Frame>, ServiceError> {
-        Frame::read_from(&mut self.stream)
+    fn recv_body(&mut self, buf: &mut Vec<u8>) -> Result<bool, ServiceError> {
+        use std::io::Read;
+        let mut len_buf = [0u8; 4];
+        match self.stream.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            // EOF at a frame boundary: clean close.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(false),
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(ServiceError::Protocol(format!(
+                "frame length {len} exceeds the {MAX_FRAME_LEN}-byte limit"
+            )));
+        }
+        buf.clear();
+        buf.resize(len, 0);
+        self.stream.read_exact(buf)?;
+        Ok(true)
     }
 }
 
@@ -161,6 +199,31 @@ mod tests {
         // Dropping the client's sink ends the server's stream cleanly.
         drop(client);
         assert_eq!(server.source.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn recv_body_recycles_one_buffer_across_frames() {
+        let (mut client, mut server) = channel_pair();
+        client.sink.send(&ping()).unwrap();
+        client.sink.send(&Frame::ShutdownAck).unwrap();
+        let mut buf = Vec::new();
+        assert!(server.source.recv_body(&mut buf).unwrap());
+        assert_eq!(
+            Frame::body_type(&buf),
+            Some(2),
+            "submit bodies peek as type 2"
+        );
+        assert_eq!(Frame::decode(&buf).unwrap(), ping());
+        let cap = buf.capacity();
+        assert!(server.source.recv_body(&mut buf).unwrap());
+        assert_eq!(
+            buf.capacity(),
+            cap,
+            "the body buffer is reused, not regrown"
+        );
+        assert_eq!(Frame::decode(&buf).unwrap(), Frame::ShutdownAck);
+        drop(client);
+        assert!(!server.source.recv_body(&mut buf).unwrap(), "clean close");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   path) of the same seeded stream.
 
 use ler::{DecoderKind, ExperimentContext};
-use realtime::{PredecodeMode, SlidingWindowDecoder, SyndromeStream, WindowConfig};
+use realtime::{Datapath, PredecodeMode, SlidingWindowDecoder, SyndromeStream, WindowConfig};
 use service::{
     channel_pair, qubit_seed, run_loadgen, tcp_endpoint, DecodeServer, LoadgenConfig,
     LoadgenReport, ScenarioContext, ServiceConfig,
@@ -29,6 +29,7 @@ fn loadgen_cfg(qubits: u32, shots: u64, kind: DecoderKind) -> LoadgenConfig {
         window: 4,
         commit: 2,
         predecode: PredecodeMode::Off,
+        datapath: Datapath::Packed,
         inflight: 3,
     }
 }
@@ -104,6 +105,34 @@ fn tenant_commit_streams_equal_single_tenant_windowed_replay() {
                 tenant.qubit,
                 commit.shot
             );
+        }
+    }
+}
+
+#[test]
+fn byte_and_packed_datapath_commit_streams_are_identical() {
+    // The zero-copy arena path and the byte reference path must be
+    // bit-identical all the way through the service: same tenants, same
+    // seeds, only the registered datapath differs.
+    let ctx = Arc::new(ExperimentContext::with_rounds(3, 5, 2e-3));
+    for kind in [DecoderKind::Mwpm, DecoderKind::AstreaG] {
+        let packed = serve_channel(&ctx, 2, &loadgen_cfg(4, 20, kind));
+        let byte = serve_channel(
+            &ctx,
+            2,
+            &LoadgenConfig {
+                datapath: Datapath::Byte,
+                ..loadgen_cfg(4, 20, kind)
+            },
+        );
+        for (a, b) in packed.tenants.iter().zip(&byte.tenants) {
+            assert_eq!(a.commits, b.commits, "qubit {} ({kind:?})", a.qubit);
+            assert_eq!(a.failures, b.failures);
+        }
+        for (a, b) in packed.stats.iter().zip(&byte.stats) {
+            assert_eq!(a.windows, b.windows, "qubit {} ({kind:?})", a.qubit);
+            assert_eq!(a.l1_rounds, b.l1_rounds);
+            assert_eq!(a.escalated_windows, b.escalated_windows);
         }
     }
 }

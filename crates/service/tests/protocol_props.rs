@@ -48,6 +48,7 @@ fn arbitrary_frame(ty: u8, seed: u64, len: usize) -> Frame {
             window: m.next() as u32,
             commit: m.next() as u32,
             predecode: m.next() as u8,
+            datapath: m.next() as u8,
             scenario: m.string(len),
         },
         1 => Frame::RegisterAck {

@@ -1,12 +1,13 @@
 //! Umbrella-level decode-service integration: the multi-tenant server
 //! must reproduce the single-tenant realtime harness exactly.
 //!
-//! `repro serve` drives tenant q with stream seed `base + q`;
-//! `repro realtime` drives its single stream with seed `base`. For the
-//! same (window, commit) split and decoder, tenant q's commit stream
-//! must therefore match a `run_stream` invocation seeded `base + q` —
-//! same failure count, same windows — which is the acceptance criterion
-//! tying the service layer back to PR 4's streaming runtime.
+//! `repro serve` drives tenant q with stream seed `qubit_seed(base, q)`
+//! (a SplitMix64 mix of `base + q`); `repro realtime` drives its single
+//! stream with seed `base`. For the same (window, commit) split and
+//! decoder, tenant q's commit stream must therefore match a `run_stream`
+//! invocation seeded `qubit_seed(base, q)` — same failure count, same
+//! windows — which is the acceptance criterion tying the service layer
+//! back to PR 4's streaming runtime.
 
 use promatch_repro::ler::{DecoderKind, ExperimentContext};
 use promatch_repro::realtime::{
@@ -45,6 +46,7 @@ fn multi_tenant_service_matches_single_tenant_realtime_runs() {
         commit,
         inflight: 3,
         predecode: PredecodeMode::Off,
+        datapath: Datapath::Packed,
     };
     let report = std::thread::scope(|scope| {
         scope.spawn(|| server.serve(vec![server_end]));

@@ -1,0 +1,96 @@
+//! Allocation pin for the zero-copy decode hot loop.
+//!
+//! The shard hot loop's steady state — defect-free rounds arriving as
+//! packed arena words — must decode with **zero** heap allocations:
+//! [`SlidingWindowDecoder::decode_shot_packed_into`] reuses its scratch
+//! state, the caller's outcome buffers ping-pong to steady capacity, and
+//! an empty defect set never wakes an allocating solver path. A counting
+//! global allocator pins that claim exactly; any regression (a stray
+//! `Vec` per window, a re-packed syndrome, a solver warm-up leak) fails
+//! this test with a nonzero count rather than washing out as a few
+//! nanoseconds of tail latency.
+//!
+//! This binary holds a single test so no concurrent test thread can
+//! attribute its allocations to the measured region.
+
+use promatch_repro::decoding_graph::LayerMap;
+use promatch_repro::ler::{DecoderKind, ExperimentContext};
+use promatch_repro::realtime::{
+    Datapath, PredecodeMode, SlidingWindowDecoder, SyndromeStream, WindowConfig, WindowedOutcome,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts allocation *events* (alloc, alloc_zeroed, realloc); frees are
+/// free.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_packed_decode_makes_zero_allocations() {
+    let ctx = ExperimentContext::with_rounds(3, 5, 2e-3);
+    let layers = LayerMap::from_graph(&ctx.graph).unwrap();
+    let cfg = WindowConfig::new(4, 2).unwrap();
+    for predecode in [PredecodeMode::Off, PredecodeMode::Batch] {
+        for kind in [DecoderKind::Mwpm, DecoderKind::PromatchParAg] {
+            let mut swd = SlidingWindowDecoder::new(&ctx.graph, layers.clone(), kind, cfg)
+                .with_predecode(predecode)
+                .with_datapath(Datapath::Packed);
+            let mut out = WindowedOutcome {
+                obs_flip: 0,
+                failed: false,
+                windows: Vec::new(),
+            };
+            // Warm-up: real sampled shots size the decoder's scratch,
+            // window records, and activation pools to steady capacity
+            // (defectful shots may allocate inside solvers — that is
+            // the cold path, not the claim under test).
+            let mut stream = SyndromeStream::new(&ctx.circuit, layers.clone(), 0x5EED);
+            for _ in 0..8 {
+                let shot = stream.next_shot_packed();
+                swd.decode_shot_packed_into(shot.words, &mut out);
+            }
+            let quiet = vec![0u64; stream.words_per_shot()];
+            swd.decode_shot_packed_into(&quiet, &mut out);
+            // Steady state: defect-free rounds, the overwhelmingly
+            // common case the arena path optimizes. Zero allocations
+            // per shot, hence zero per round.
+            let before = ALLOC_EVENTS.load(Ordering::Relaxed);
+            for _ in 0..64 {
+                swd.decode_shot_packed_into(&quiet, &mut out);
+            }
+            let events = ALLOC_EVENTS.load(Ordering::Relaxed) - before;
+            assert_eq!(
+                events,
+                0,
+                "{} ({predecode:?}): steady-state packed decode allocated",
+                kind.label()
+            );
+        }
+    }
+}
