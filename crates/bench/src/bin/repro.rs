@@ -27,8 +27,11 @@
 //!                                              streaming reaction-time study
 //!   repro serve --scenario <name> --qubits Q --shards S [--rate R]
 //!               [--decoder K] [--window W] [--commit C]
-//!               [--predecode off|batch] [key=value ...]
+//!               [--predecode off|batch] [--metrics-addr HOST:PORT]
+//!               [--metrics-sample N] [--metrics-json PATH] [key=value ...]
 //!                                              multi-tenant decode service
+//!                                              (--metrics-addr serves live
+//!                                              Prometheus text at /metrics)
 //!
 //! `--threads N` is accepted by every subcommand (equivalent to the
 //! `threads=N` override; omit it to defer to PROMATCH_THREADS, then to
@@ -309,6 +312,9 @@ fn run_scenario_serve(args: &[String]) -> ExitCode {
             ("--commit", Some("commit")),
             ("--predecode", Some("predecode")),
             ("--transport", Some("transport")),
+            ("--metrics-addr", Some("metrics-addr")),
+            ("--metrics-sample", Some("metrics-sample")),
+            ("--metrics-json", Some("metrics-json")),
             ("--threads", Some("threads")),
         ] {
             match flag_value(arg, &mut it, flag) {
@@ -335,8 +341,9 @@ fn run_scenario_serve(args: &[String]) -> ExitCode {
         eprintln!(
             "usage: repro serve --scenario <name> --qubits Q --shards S [--rate R] \
              [--decoder K] [--window W] [--commit C] [--predecode off|batch] \
-             [--transport channel|tcp] [datapath=packed|byte] [shots=N] [seed=N] \
-             [deadline=NS] [queue=N] [inflight=N] [out=PATH]"
+             [--transport channel|tcp] [--metrics-addr HOST:PORT] \
+             [--metrics-sample N] [--metrics-json PATH] [datapath=packed|byte] \
+             [shots=N] [seed=N] [deadline=NS] [queue=N] [inflight=N] [out=PATH]"
         );
         return ExitCode::FAILURE;
     };

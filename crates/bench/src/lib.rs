@@ -20,6 +20,7 @@ pub mod serve;
 pub use self::realtime::{run_scenario_realtime, run_scenario_realtime_study, RealtimeRunConfig};
 pub use perf::{
     render_json, run_bench, BenchDoc, BenchPoint, BenchScale, LatencyPoint, LerPoint, ServicePoint,
+    ServiceSummary, StageBreakdownRow, TelemetrySummary,
 };
 pub use scale::Scale;
 pub use scenario::{

@@ -9,12 +9,12 @@
 //! `BENCH.json` is a schema-stable artifact CI can archive per commit —
 //! and, since schema v2, per scenario.
 //!
-//! Schema (`schema_version` 6; see README.md for the field-by-field
+//! Schema (`schema_version` 7; see README.md for the field-by-field
 //! description):
 //!
 //! ```json
 //! {
-//!   "schema_version": 6,
+//!   "schema_version": 7,
 //!   "git_rev": "abc1234",
 //!   "seed": 2024,
 //!   "threads": 4,
@@ -31,7 +31,12 @@
 //!      "high": 3.0e-13}
 //!   ],
 //!   "service_summary": {"rounds_per_s": 1450000,
-//!                       "rounds_per_s_per_shard": 362500},
+//!                       "rounds_per_s_per_shard": 362500,
+//!                       "max_ring_depth": 3},
+//!   "telemetry": {"sample_every": 8, "max_ring_depth": 3, "stages": [
+//!     {"stage": "ingest", "count": 1200, "sum_ns": 480000,
+//!      "p50_ns": 310, "p99_ns": 980, "max_ns": 2100}
+//!   ]},
 //!   "service": [
 //!     {"scenario": "sd6-d5", "decoder": "Promatch || AG", "qubits": 16,
 //!      "shards": 4, "qubit": 0, "shard": 2, "window": 4, "commit": 2,
@@ -46,6 +51,7 @@
 //!   "latency": [
 //!     {"scenario": "sd6-d5", "decoder": "Promatch || AG", "window": 4,
 //!      "commit": 2, "predecode": "off", "datapath": "packed",
+//!      "timing": "modeled",
 //!      "round_ns": 1000, "shots": 200, "layers_per_shot": 6,
 //!      "p50_ns": 76, "p99_ns": 412, "max_ns": 964,
 //!      "mean_ns": 98.2, "miss_fraction": 0, "max_backlog": 1,
@@ -68,8 +74,13 @@
 //! `byte`), makes the service rows' `rounds_per_s` genuinely per-tenant,
 //! and moves the
 //! whole-run aggregate into the `service_summary` object (`null` for
-//! non-serve documents). `scenario` is `"default"` for the classic
-//! injection benchmark, otherwise the registry name.
+//! non-serve documents). Schema v7 labels every latency row `modeled`
+//! (backlog-simulation reaction times) or `measured` (wall-clock
+//! window-step times from the stage spans), adds the service summary's
+//! `max_ring_depth`, and attaches the `telemetry` object — the merged
+//! per-stage latency breakdown of a serve run (`null` elsewhere).
+//! `scenario` is `"default"` for the classic injection benchmark,
+//! otherwise the registry name.
 
 use crate::scenario::{Scenario, ScenarioRegistry};
 use decoding_graph::{LayerMap, SyndromeBatch};
@@ -80,7 +91,7 @@ use std::io::Write;
 use std::time::Instant;
 
 /// Version of the `BENCH.json` schema this build writes.
-pub const BENCH_SCHEMA_VERSION: u32 = 6;
+pub const BENCH_SCHEMA_VERSION: u32 = 7;
 
 /// One measured `(decoder, d, p, k)` point.
 #[derive(Clone, Debug)]
@@ -150,6 +161,11 @@ pub struct LatencyPoint {
     pub predecode: &'static str,
     /// Syndrome datapath label (`packed` or `byte`).
     pub datapath: &'static str,
+    /// Where this row's percentiles come from: `modeled` rows carry the
+    /// backlog simulation's reaction times (deterministic, seeded);
+    /// `measured` rows restate the same run with wall-clock window-step
+    /// decode times from the stage spans (machine-dependent).
+    pub timing: &'static str,
     /// Syndrome round period, ns.
     pub round_ns: f64,
     /// Shots streamed.
@@ -251,6 +267,43 @@ pub struct ServiceSummary {
     pub rounds_per_s: f64,
     /// Aggregate throughput normalized to one decode shard.
     pub rounds_per_s_per_shard: f64,
+    /// Deepest SPSC submission-ring occupancy any shard observed over
+    /// the run (schema v7; from the telemetry ring-depth gauges).
+    pub max_ring_depth: u64,
+}
+
+/// One stage row of the serve-run telemetry breakdown (schema v7): the
+/// merged cross-shard latency histogram of one pipeline stage, folded to
+/// count/sum/percentiles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageBreakdownRow {
+    /// Stage label (`ingest`, `predecode`, `window`, `solve`, `commit`,
+    /// `window_total`).
+    pub stage: &'static str,
+    /// Sampled spans recorded for the stage.
+    pub count: u64,
+    /// Summed span duration, ns.
+    pub sum_ns: u64,
+    /// Median span duration, ns.
+    pub p50_ns: u64,
+    /// 99th-percentile span duration, ns.
+    pub p99_ns: u64,
+    /// Worst span duration, ns.
+    pub max_ns: u64,
+}
+
+/// The per-stage telemetry breakdown of a `repro serve` run (schema v7;
+/// serialized as the top-level `telemetry` object, `null` for documents
+/// written by the other subcommands).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetrySummary {
+    /// Span-sampling rate the run used (1-in-N window steps; 0 = spans
+    /// disabled, counters only).
+    pub sample_every: u32,
+    /// Deepest SPSC ring occupancy any shard observed.
+    pub max_ring_depth: u64,
+    /// One row per pipeline stage, merged across shards.
+    pub stages: Vec<StageBreakdownRow>,
 }
 
 /// Everything that goes into one `BENCH.json` document.
@@ -274,6 +327,9 @@ pub struct BenchDoc {
     /// Whole-run service aggregate (`repro serve` — schema v6;
     /// serialized as `null` when absent).
     pub service_summary: Option<ServiceSummary>,
+    /// Per-stage telemetry breakdown (`repro serve` — schema v7;
+    /// serialized as `null` when absent).
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 /// Configuration of a `repro bench` run.
@@ -600,10 +656,34 @@ pub fn render_json(doc: &BenchDoc) -> String {
     match &doc.service_summary {
         Some(sum) => s.push_str(&format!(
             "  \"service_summary\": {{\"rounds_per_s\": {:.0}, \
-             \"rounds_per_s_per_shard\": {:.0}}},\n",
-            sum.rounds_per_s, sum.rounds_per_s_per_shard
+             \"rounds_per_s_per_shard\": {:.0}, \"max_ring_depth\": {}}},\n",
+            sum.rounds_per_s, sum.rounds_per_s_per_shard, sum.max_ring_depth
         )),
         None => s.push_str("  \"service_summary\": null,\n"),
+    }
+    match &doc.telemetry {
+        Some(tel) => {
+            s.push_str(&format!(
+                "  \"telemetry\": {{\"sample_every\": {}, \"max_ring_depth\": {}, \
+                 \"stages\": [\n",
+                tel.sample_every, tel.max_ring_depth
+            ));
+            for (i, st) in tel.stages.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"stage\": \"{}\", \"count\": {}, \"sum_ns\": {}, \
+                     \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}{}\n",
+                    st.stage,
+                    st.count,
+                    st.sum_ns,
+                    st.p50_ns,
+                    st.p99_ns,
+                    st.max_ns,
+                    if i + 1 < tel.stages.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("  ]},\n");
+        }
+        None => s.push_str("  \"telemetry\": null,\n"),
     }
     s.push_str("  \"service\": [\n");
     for (i, p) in doc.service.iter().enumerate() {
@@ -650,7 +730,7 @@ pub fn render_json(doc: &BenchDoc) -> String {
         s.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"decoder\": \"{}\", \"window\": {}, \
              \"commit\": {}, \"predecode\": \"{}\", \"datapath\": \"{}\", \
-             \"round_ns\": {}, \
+             \"timing\": \"{}\", \"round_ns\": {}, \
              \"shots\": {}, \"layers_per_shot\": {}, \"p50_ns\": {:.1}, \
              \"p99_ns\": {:.1}, \"max_ns\": {:.1}, \"mean_ns\": {:.1}, \
              \"miss_fraction\": {}, \"max_backlog\": {}, \
@@ -663,6 +743,7 @@ pub fn render_json(doc: &BenchDoc) -> String {
             p.commit,
             p.predecode,
             p.datapath,
+            p.timing,
             p.round_ns,
             p.shots,
             p.layers_per_shot,
@@ -739,7 +820,7 @@ mod tests {
     }
 
     #[test]
-    fn json_schema_v6_is_stable() {
+    fn json_schema_v7_is_stable() {
         let doc = BenchDoc {
             seed: 2024,
             threads: 4,
@@ -747,6 +828,25 @@ mod tests {
             service_summary: Some(ServiceSummary {
                 rounds_per_s: 1_450_000.4,
                 rounds_per_s_per_shard: 362_500.1,
+                max_ring_depth: 3,
+            }),
+            telemetry: Some(TelemetrySummary {
+                sample_every: 8,
+                max_ring_depth: 3,
+                stages: vec![
+                    StageBreakdownRow {
+                        stage: "ingest",
+                        count: 1200,
+                        sum_ns: 480_000,
+                        p50_ns: 310,
+                        p99_ns: 980,
+                        max_ns: 2100,
+                    },
+                    StageBreakdownRow {
+                        stage: "solve",
+                        ..StageBreakdownRow::default()
+                    },
+                ],
             }),
             service: vec![ServicePoint {
                 scenario: "sd6-d11".into(),
@@ -804,6 +904,7 @@ mod tests {
                 commit: 3,
                 predecode: "off",
                 datapath: "packed",
+                timing: "modeled",
                 round_ns: 1000.0,
                 shots: 200,
                 layers_per_shot: 12,
@@ -821,7 +922,7 @@ mod tests {
             }],
         };
         let json = render_json(&doc);
-        assert!(json.contains("\"schema_version\": 6"));
+        assert!(json.contains("\"schema_version\": 7"));
         assert!(json.contains("\"seed\": 2024"));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"scenario\": \"sd6-d11\""));
@@ -836,12 +937,21 @@ mod tests {
         assert!(json.contains("\"ler\": 2.1e-13"));
         assert!(json.contains(
             "\"service_summary\": {\"rounds_per_s\": 1450000, \
-             \"rounds_per_s_per_shard\": 362500},"
+             \"rounds_per_s_per_shard\": 362500, \"max_ring_depth\": 3},"
         ));
+        assert!(json.contains(
+            "\"telemetry\": {\"sample_every\": 8, \"max_ring_depth\": 3, \
+             \"stages\": ["
+        ));
+        assert!(json.contains(
+            "{\"stage\": \"ingest\", \"count\": 1200, \"sum_ns\": 480000, \
+             \"p50_ns\": 310, \"p99_ns\": 980, \"max_ns\": 2100},"
+        ));
+        assert!(json.contains("{\"stage\": \"solve\", \"count\": 0,"));
         assert!(json.contains(
             "{\"scenario\": \"sd6-d11\", \"decoder\": \"Promatch || AG\", \
              \"window\": 6, \"commit\": 3, \"predecode\": \"off\", \
-             \"datapath\": \"packed\", \
+             \"datapath\": \"packed\", \"timing\": \"modeled\", \
              \"round_ns\": 1000, \"shots\": 200, \"layers_per_shot\": 12, \
              \"p50_ns\": 76.0, \"p99_ns\": 412.0, \"max_ns\": 964.0, \
              \"mean_ns\": 98.2, \"miss_fraction\": 0, \"max_backlog\": 1, \
@@ -876,6 +986,7 @@ mod tests {
         assert!(json.contains("\"ler\": [\n  ],"));
         assert!(json.contains("\"latency\": [\n  ]"));
         assert!(json.contains("\"service_summary\": null,"));
+        assert!(json.contains("\"telemetry\": null,"));
     }
 
     #[test]
@@ -906,7 +1017,7 @@ mod tests {
         let mut sink = Vec::new();
         run_bench(&scale, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 6"));
+        assert!(text.contains("\"schema_version\": 7"));
         assert!(text.contains("\"ns_per_shot\""));
         assert!(text.contains("\"rounds_per_s_per_core\""));
         assert!(text.contains("\"threads\":"));

@@ -13,7 +13,7 @@ use crate::scenario::Scenario;
 use decoding_graph::{SeamPolicy, WindowCache};
 use ler::effective_threads;
 use realtime::{
-    run_stream_with_cache, BacklogConfig, Datapath, PredecodeMode, StreamRunConfig,
+    run_stream_instrumented, BacklogConfig, Datapath, PredecodeMode, StreamRunConfig,
     StreamRunResult, WindowConfig,
 };
 use std::io::Write;
@@ -193,6 +193,12 @@ pub fn run_scenario_realtime(
     // so the whole fan-out shares one window cache: each subgraph + path
     // table is built once, not once per decoder.
     let cache = Arc::new(WindowCache::new(&ctx.graph, SeamPolicy::Cut));
+    // Every run also records wall-clock stage spans (sample 1-in-1) so
+    // the study can emit a `measured` latency row next to each modeled
+    // one; spans are a pure side channel, so determinism is unaffected.
+    let spans: Vec<Arc<telemetry::StageSpans>> = (0..scenario.decoders.len())
+        .map(|_| Arc::new(telemetry::StageSpans::new()))
+        .collect();
     // Independent per-decoder runs, fanned out round-robin: results land
     // in input order regardless of the thread count.
     let results: Vec<(StreamRunResult, Duration)> = std::thread::scope(|scope| {
@@ -201,6 +207,7 @@ pub fn run_scenario_realtime(
             let ctx = &ctx;
             let cache = &cache;
             let kinds = &scenario.decoders;
+            let spans = &spans;
             handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 for i in (t..kinds.len()).step_by(threads) {
@@ -208,8 +215,14 @@ pub fn run_scenario_realtime(
                     // is single-threaded, so the elapsed time is a
                     // one-core throughput measurement.
                     let started = Instant::now();
-                    let run =
-                        run_stream_with_cache(&ctx.graph, &ctx.circuit, kinds[i], &run_cfg, cache);
+                    let run = run_stream_instrumented(
+                        &ctx.graph,
+                        &ctx.circuit,
+                        kinds[i],
+                        &run_cfg,
+                        cache,
+                        Some((Arc::clone(&spans[i]), 1)),
+                    );
                     local.push((i, run, started.elapsed()));
                 }
                 local
@@ -233,7 +246,7 @@ pub fn run_scenario_realtime(
         "decoder", "p50 ns", "p99 ns", "max ns", "miss%", "maxQ", "fail/shot", "rounds/s/core"
     )?;
     let mut points = Vec::new();
-    for (kind, (run, elapsed)) in scenario.decoders.iter().zip(&results) {
+    for ((kind, (run, elapsed)), sp) in scenario.decoders.iter().zip(&results).zip(&spans) {
         let streamed_rounds = run.shots as f64 * run.layers_per_shot as f64;
         let rounds_per_s_per_core = if elapsed.as_secs_f64() > 0.0 {
             streamed_rounds / elapsed.as_secs_f64()
@@ -255,13 +268,14 @@ pub fn run_scenario_realtime(
         let buckets = run.backlog.trace_buckets(24);
         let depths: Vec<String> = buckets.iter().map(|d| d.to_string()).collect();
         writeln!(w, "  backlog depth over stream: [{}]", depths.join(" "))?;
-        points.push(LatencyPoint {
+        let modeled = LatencyPoint {
             scenario: scenario.name.to_string(),
             decoder: kind.label(),
             window: wc.window,
             commit: wc.commit,
             predecode: cfg.predecode.label(),
             datapath: cfg.datapath.label(),
+            timing: "modeled",
             round_ns: backlog.round_ns,
             shots: run.shots,
             layers_per_shot: run.layers_per_shot,
@@ -276,7 +290,30 @@ pub fn run_scenario_realtime(
             escalation_fraction: run.escalation_fraction(),
             failures: run.failures,
             rounds_per_s_per_core,
-        });
+        };
+        // The measured companion restates the same run with wall-clock
+        // window-step times from the stage spans in place of the modeled
+        // reaction percentiles. Everything else is shared with the
+        // modeled row (it *is* the same run).
+        let steps = sp.stage(telemetry::Stage::WindowTotal).snapshot();
+        writeln!(
+            w,
+            "  measured window step: p50 {} p99 {} max {} ns over {} steps",
+            steps.quantile(0.5),
+            steps.quantile(0.99),
+            steps.max,
+            steps.count,
+        )?;
+        let measured = LatencyPoint {
+            timing: "measured",
+            p50_ns: steps.quantile(0.5) as f64,
+            p99_ns: steps.quantile(0.99) as f64,
+            max_ns: steps.max as f64,
+            mean_ns: steps.mean(),
+            ..modeled.clone()
+        };
+        points.push(modeled);
+        points.push(measured);
     }
     Ok(points)
 }
@@ -393,24 +430,43 @@ mod tests {
         let mut sink = Vec::new();
         run_scenario_realtime_study(sc, &cfg, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 6"));
+        assert!(text.contains("\"schema_version\": 7"));
         assert!(text.contains("\"scenario\": \"cc-d3\""));
         assert!(text.contains("\"predecode\": \"off\""));
         assert!(text.contains("\"datapath\": \"packed\""));
+        assert!(text.contains("\"timing\": \"modeled\""));
+        assert!(text.contains("\"timing\": \"measured\""));
         assert!(text.contains("\"p50_ns\""));
         assert!(text.contains("\"miss_fraction\""));
         assert!(text.contains("\"l1_rounds_fraction\": 0.0000"));
         assert!(text.contains("\"rounds_per_s_per_core\""));
         let log = String::from_utf8(sink).unwrap();
         assert!(log.contains("backlog depth over stream"));
-        // Same seed, different thread count: identical points (the
-        // wall-clock throughput field is the one legitimate exception).
+        assert!(log.contains("measured window step"), "{log}");
+        // Same seed, different thread count: identical modeled points
+        // (wall-clock throughput and the measured rows are the
+        // legitimate exceptions — they time real execution).
+        let modeled = |pts: &[LatencyPoint]| -> Vec<LatencyPoint> {
+            pts.iter()
+                .filter(|p| p.timing == "modeled")
+                .cloned()
+                .collect()
+        };
         cfg.threads = 1;
         let mut sink1 = Vec::new();
-        let p1 = run_scenario_realtime(sc, &cfg, &mut sink1).unwrap();
+        let all1 = run_scenario_realtime(sc, &cfg, &mut sink1).unwrap();
+        // One modeled + one measured row per decoder.
+        assert_eq!(all1.len(), 2 * sc.decoders.len());
+        for pair in all1.chunks(2) {
+            assert_eq!(pair[0].timing, "modeled");
+            assert_eq!(pair[1].timing, "measured");
+            assert_eq!(pair[0].decoder, pair[1].decoder);
+            assert!(pair[1].p50_ns > 0.0, "measured p50 comes from real time");
+        }
+        let p1 = modeled(&all1);
         cfg.threads = 3;
         let mut sink3 = Vec::new();
-        let p3 = run_scenario_realtime(sc, &cfg, &mut sink3).unwrap();
+        let p3 = modeled(&run_scenario_realtime(sc, &cfg, &mut sink3).unwrap());
         assert_eq!(p1.len(), p3.len());
         for (a, b) in p1.iter().zip(&p3) {
             assert_eq!(a.p50_ns, b.p50_ns);
@@ -421,7 +477,7 @@ mod tests {
         // The byte reference path produces the same decode outcomes.
         cfg.datapath = Datapath::Byte;
         let mut sink_byte = Vec::new();
-        let pb = run_scenario_realtime(sc, &cfg, &mut sink_byte).unwrap();
+        let pb = modeled(&run_scenario_realtime(sc, &cfg, &mut sink_byte).unwrap());
         for (a, b) in p1.iter().zip(&pb) {
             assert_eq!(b.datapath, "byte");
             assert_eq!(a.p50_ns, b.p50_ns);

@@ -10,7 +10,7 @@
 //! whole-run aggregate throughput in the `service_summary` object
 //! (schema v6).
 
-use crate::perf::{BenchDoc, ServicePoint, ServiceSummary};
+use crate::perf::{BenchDoc, ServicePoint, ServiceSummary, StageBreakdownRow, TelemetrySummary};
 use crate::scale::{parse_positive, parse_threads};
 use crate::scenario::Scenario;
 use ler::DecoderKind;
@@ -70,6 +70,16 @@ pub struct ServeConfig {
     pub inflight: usize,
     /// Transport between load generator and server.
     pub transport: ServeTransport,
+    /// Bind address for the live Prometheus-text `/metrics` endpoint
+    /// (e.g. `127.0.0.1:9464`; port 0 picks an ephemeral port). `None`
+    /// leaves the endpoint off.
+    pub metrics_addr: Option<String>,
+    /// Span-sampling rate: 1-in-N window steps / submissions get stage
+    /// timestamps (0 disables spans; counters and gauges always run).
+    pub metrics_sample: u32,
+    /// Path to write periodic (~1 s) JSON telemetry snapshots to during
+    /// the run, plus a final one at the end. `None` disables them.
+    pub metrics_json: Option<String>,
     /// Output path for the BENCH.json artifact.
     pub out_path: String,
 }
@@ -91,6 +101,9 @@ impl Default for ServeConfig {
             queue: 4,
             inflight: 2,
             transport: ServeTransport::Channel,
+            metrics_addr: None,
+            metrics_sample: 8,
+            metrics_json: None,
             out_path: "BENCH.json".into(),
         }
     }
@@ -100,7 +113,8 @@ impl ServeConfig {
     /// Parses `key=value` overrides (`qubits=`, `shards=`, `rate=`,
     /// `shots=`, `seed=`, `decoder=`, `window=`, `commit=`, `deadline=`,
     /// `predecode=`, `datapath=`, `queue=`, `inflight=`, `transport=`,
-    /// `out=`), rejecting zero sizes with a clear error.
+    /// `metrics-addr=`, `metrics-sample=`, `metrics-json=`, `out=`),
+    /// rejecting zero sizes with a clear error.
     ///
     /// # Errors
     ///
@@ -154,6 +168,12 @@ impl ServeConfig {
                         }
                     };
                 }
+                "metrics-addr" => self.metrics_addr = Some(value.to_string()),
+                "metrics-sample" => {
+                    self.metrics_sample =
+                        value.parse().map_err(|e| format!("metrics-sample: {e}"))?;
+                }
+                "metrics-json" => self.metrics_json = Some(value.to_string()),
                 // `threads=` is accepted for CLI symmetry with the other
                 // subcommands: the worker pool's parallelism is its shard
                 // count.
@@ -184,7 +204,7 @@ pub fn run_serve(
     scenario: &Scenario,
     cfg: &ServeConfig,
     w: &mut dyn Write,
-) -> std::io::Result<(Vec<ServicePoint>, ServiceSummary)> {
+) -> std::io::Result<(Vec<ServicePoint>, ServiceSummary, TelemetrySummary)> {
     let invalid = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, e);
     let window = cfg.window.unwrap_or(scenario.rt_window);
     let commit = cfg.commit.unwrap_or(scenario.rt_commit);
@@ -242,8 +262,41 @@ pub fn run_serve(
         queue_capacity: cfg.queue,
         max_inflight_shots: cfg.inflight,
         batch_max: 16,
+        metrics_sample: cfg.metrics_sample,
     };
     let server = DecodeServer::new(service_cfg, vec![scenario_ctx.clone()]).map_err(invalid)?;
+    let registry = std::sync::Arc::clone(server.metrics());
+    // Live exposition: the /metrics endpoint serves Prometheus text for
+    // the whole run; port 0 binds an ephemeral port (printed below).
+    let _metrics_server = match &cfg.metrics_addr {
+        Some(addr) => {
+            let srv = telemetry::MetricsServer::spawn(addr, std::sync::Arc::clone(&registry))?;
+            writeln!(w, "# metrics: http://{}/metrics", srv.local_addr())?;
+            Some(srv)
+        }
+        None => None,
+    };
+    // Periodic JSON snapshots: a sidecar thread rewrites the file every
+    // second while the run is live; the final state is written at the
+    // end either way.
+    let snap_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let snapshot_writer = cfg.metrics_json.as_ref().map(|path| {
+        let path = path.clone();
+        let registry = std::sync::Arc::clone(&registry);
+        let stop = std::sync::Arc::clone(&snap_stop);
+        std::thread::spawn(move || {
+            // ~1 s between writes, but polling the stop flag at 100 ms
+            // so the end-of-run join never stalls.
+            let mut ticks = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                if ticks.is_multiple_of(10) {
+                    let _ = std::fs::write(&path, registry.snapshot().render_json());
+                }
+                ticks += 1;
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        })
+    });
     let loadgen_cfg = LoadgenConfig {
         scenario: scenario.name.to_string(),
         qubits: cfg.qubits,
@@ -283,10 +336,40 @@ pub fn run_serve(
             })?
         }
     };
+    // Stop the snapshot sidecar and take the run's final telemetry
+    // state; everything below reads this one consistent snapshot.
+    snap_stop.store(true, std::sync::atomic::Ordering::Release);
+    if let Some(h) = snapshot_writer {
+        let _ = h.join();
+    }
+    let snap = registry.snapshot();
+    if let Some(path) = &cfg.metrics_json {
+        std::fs::write(path, snap.render_json())?;
+        writeln!(w, "# wrote telemetry snapshot {path}")?;
+    }
+    let telemetry_summary = TelemetrySummary {
+        sample_every: cfg.metrics_sample,
+        max_ring_depth: snap.max_ring_depth(),
+        stages: telemetry::Stage::ALL
+            .iter()
+            .map(|&st| {
+                let h = snap.merged_stage(st);
+                StageBreakdownRow {
+                    stage: st.label(),
+                    count: h.count,
+                    sum_ns: h.sum,
+                    p50_ns: h.quantile(0.5),
+                    p99_ns: h.quantile(0.99),
+                    max_ns: h.max,
+                }
+            })
+            .collect(),
+    };
     let aggregate_rounds_per_s = report.rounds_per_second();
     let summary = ServiceSummary {
         rounds_per_s: aggregate_rounds_per_s,
         rounds_per_s_per_shard: aggregate_rounds_per_s / cfg.shards.max(1) as f64,
+        max_ring_depth: snap.max_ring_depth(),
     };
     writeln!(
         w,
@@ -299,6 +382,20 @@ pub fn run_serve(
         summary.rounds_per_s_per_shard,
         cfg.shards,
     )?;
+    writeln!(
+        w,
+        "# telemetry: max ring depth {} across {} shards (sample 1-in-{})",
+        summary.max_ring_depth, cfg.shards, cfg.metrics_sample,
+    )?;
+    for row in &telemetry_summary.stages {
+        if row.count > 0 {
+            writeln!(
+                w,
+                "#   stage {:<13} p50 {:>7} ns  p99 {:>7} ns  max {:>8} ns  ({} spans)",
+                row.stage, row.p50_ns, row.p99_ns, row.max_ns, row.count,
+            )?;
+        }
+    }
     writeln!(
         w,
         "{:<6} {:>5} {:>7} {:>8} {:>5} {:>7} {:>9} {:>9} {:>9} {:>7} {:>10}",
@@ -399,7 +496,7 @@ pub fn run_serve(
             100.0 * l1 / rounds.max(1) as f64,
         )?;
     }
-    Ok((points, summary))
+    Ok((points, summary, telemetry_summary))
 }
 
 /// Runs [`run_serve`] and writes the points as a schema-v4 `BENCH.json`
@@ -413,13 +510,14 @@ pub fn run_serve_study(
     cfg: &ServeConfig,
     w: &mut dyn Write,
 ) -> std::io::Result<()> {
-    let (points, summary) = run_serve(scenario, cfg, w)?;
+    let (points, summary, telemetry) = run_serve(scenario, cfg, w)?;
     let doc = BenchDoc {
         seed: cfg.seed,
         threads: cfg.shards,
         scenario: Some(scenario.name.to_string()),
         service: points,
         service_summary: Some(summary),
+        telemetry: Some(telemetry),
         ..BenchDoc::default()
     };
     let json = crate::perf::render_json(&doc);
@@ -456,6 +554,9 @@ mod tests {
             "queue=6".into(),
             "inflight=3".into(),
             "transport=tcp".into(),
+            "metrics-addr=127.0.0.1:0".into(),
+            "metrics-sample=4".into(),
+            "metrics-json=/tmp/metrics.json".into(),
             "out=/tmp/s.json".into(),
         ])
         .unwrap();
@@ -473,6 +574,9 @@ mod tests {
         assert_eq!(cfg.queue, 6);
         assert_eq!(cfg.inflight, 3);
         assert_eq!(cfg.transport, ServeTransport::Tcp);
+        assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cfg.metrics_sample, 4);
+        assert_eq!(cfg.metrics_json.as_deref(), Some("/tmp/metrics.json"));
         assert_eq!(cfg.out_path, "/tmp/s.json");
         // Zeros are rejected with a clear message, per flag.
         for bad in ["qubits=0", "shards=0", "shots=0", "queue=0", "inflight=0"] {
@@ -480,6 +584,7 @@ mod tests {
             assert!(err.contains("at least 1"), "{bad}: {err}");
         }
         assert!(cfg.apply_overrides(&["rate=0".into()]).is_err());
+        assert!(cfg.apply_overrides(&["metrics-sample=x".into()]).is_err());
         assert!(cfg.apply_overrides(&["decoder=bogus".into()]).is_err());
         assert!(cfg.apply_overrides(&["transport=smoke".into()]).is_err());
         assert!(cfg.apply_overrides(&["predecode=pinball".into()]).is_err());
@@ -494,19 +599,23 @@ mod tests {
         let out = dir.join("BENCH.json");
         let reg = ScenarioRegistry::builtin();
         let sc = reg.get("cc-d3").unwrap();
+        let metrics_json = dir.join("metrics.json");
         let mut cfg = ServeConfig {
             qubits: 4,
             shards: 2,
             shots: 20,
             seed: 5,
             decoder: DecoderKind::Mwpm,
+            metrics_addr: Some("127.0.0.1:0".into()),
+            metrics_sample: 1,
+            metrics_json: Some(metrics_json.to_string_lossy().into_owned()),
             out_path: out.to_string_lossy().into_owned(),
             ..ServeConfig::default()
         };
         let mut sink = Vec::new();
         run_serve_study(sc, &cfg, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 6"));
+        assert!(text.contains("\"schema_version\": 7"));
         assert!(text.contains("\"scenario\": \"cc-d3\""));
         assert!(text.contains("\"qubits\": 4"));
         assert!(text.contains("\"predecode\": \"off\""));
@@ -514,18 +623,39 @@ mod tests {
         assert!(text.contains("\"l1_rounds_fraction\": 0.0000"));
         assert!(text.contains("\"rounds_per_s\""));
         assert!(text.contains("\"service_summary\": {\"rounds_per_s\":"));
+        assert!(text.contains("\"max_ring_depth\":"));
+        // The per-stage breakdown rides along (sample 1 records spans
+        // for every submission and window step).
+        assert!(text.contains("\"telemetry\": {\"sample_every\": 1,"));
+        assert!(text.contains("\"stage\": \"window_total\""));
         // One service point per tenant.
         assert_eq!(text.matches("\"qubit\":").count(), 4);
         let log = String::from_utf8(sink).unwrap();
         assert!(log.contains("rounds/s decoded"), "{log}");
         assert!(log.contains("cached lookup"), "{log}");
+        assert!(log.contains("# metrics: http://"), "{log}");
+        assert!(log.contains("max ring depth"), "{log}");
+        // The sidecar snapshot file holds the run's final state.
+        let snap = std::fs::read_to_string(&metrics_json).unwrap();
+        assert!(snap.contains("\"shards\": ["), "{snap}");
+        assert!(snap.contains("\"ring_depth_max\":"), "{snap}");
+        assert!(snap.contains("\"window_total\":"), "{snap}");
         // The closed loop within its admission budget never sheds.
         assert!(text.contains("\"shed\": 0"));
         // The TCP transport produces the same commit streams (spot-check
         // via identical failure counts and shot totals).
         cfg.transport = ServeTransport::Tcp;
+        cfg.metrics_addr = None;
+        cfg.metrics_json = None;
         let mut sink_tcp = Vec::new();
-        let (tcp_points, tcp_summary) = run_serve(sc, &cfg, &mut sink_tcp).unwrap();
+        let (tcp_points, tcp_summary, tcp_tel) = run_serve(sc, &cfg, &mut sink_tcp).unwrap();
+        // Sampled spans landed in the telemetry summary and the deepest
+        // observed ring occupancy is surfaced in the service summary.
+        assert!(tcp_tel
+            .stages
+            .iter()
+            .any(|s| s.stage == "window_total" && s.count > 0));
+        assert!(tcp_summary.max_ring_depth > 0);
         assert_eq!(tcp_points.len(), 4);
         for p in &tcp_points {
             assert_eq!(p.shots, 20);
@@ -546,7 +676,7 @@ mod tests {
         cfg.transport = ServeTransport::Channel;
         cfg.predecode = PredecodeMode::Batch;
         let mut sink_l1 = Vec::new();
-        let (l1_points, _) = run_serve(sc, &cfg, &mut sink_l1).unwrap();
+        let (l1_points, _, _) = run_serve(sc, &cfg, &mut sink_l1).unwrap();
         assert_eq!(l1_points.len(), 4);
         for p in &l1_points {
             assert_eq!(p.predecode, "batch");
@@ -560,7 +690,7 @@ mod tests {
         cfg.predecode = PredecodeMode::Off;
         cfg.datapath = Datapath::Byte;
         let mut sink_byte = Vec::new();
-        let (byte_points, _) = run_serve(sc, &cfg, &mut sink_byte).unwrap();
+        let (byte_points, _, _) = run_serve(sc, &cfg, &mut sink_byte).unwrap();
         for (b, p) in byte_points.iter().zip(&tcp_points) {
             assert_eq!(b.datapath, "byte");
             assert_eq!(b.failures, p.failures, "qubit {}", b.qubit);

@@ -98,6 +98,18 @@ impl BatchOutcome {
     }
 }
 
+/// Cumulative L1 batch counters, kept by [`BatchPredecoder`] across its
+/// lifetime. Empty batches (no active defects) count toward neither
+/// figure; every other batch lands in exactly one. The service telemetry
+/// layer folds these into its per-shard resolve/escalate counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct L1BatchStats {
+    /// Batches fully resolved at L1 (empty residual).
+    pub resolved: u64,
+    /// Batches whose residual escalated to the L2 solver.
+    pub escalated: u64,
+}
+
 /// The batch predecoder.
 ///
 /// Holds the precomputed time-adjacency (which detector is the same
@@ -136,6 +148,8 @@ pub struct BatchPredecoder<'a> {
     touched: Vec<u32>,
     /// Dijkstra scratch: the frontier heap.
     heap: BinaryHeap<Reverse<(i64, u32)>>,
+    /// Cumulative resolve/escalate counters over this instance's life.
+    stats: L1BatchStats,
 }
 
 impl<'a> BatchPredecoder<'a> {
@@ -194,7 +208,25 @@ impl<'a> BatchPredecoder<'a> {
             dist: vec![UNREACHED; n + 1],
             touched: Vec::new(),
             heap: BinaryHeap::new(),
+            stats: L1BatchStats::default(),
         }
+    }
+
+    /// Cumulative batch counters since construction: how many non-empty
+    /// batches L1 fully resolved vs. escalated to the solver.
+    pub fn batch_stats(&self) -> L1BatchStats {
+        self.stats
+    }
+
+    /// Tallies `out` into the lifetime counters. Empty batches (nothing
+    /// matched, nothing cancelled, nothing escalated) are not counted.
+    fn tally(&mut self, out: BatchOutcome) -> BatchOutcome {
+        if !out.residual.is_empty() {
+            self.stats.escalated += 1;
+        } else if !out.matches.is_empty() || out.cancelled_pairs > 0 {
+            self.stats.resolved += 1;
+        }
+        out
     }
 
     /// The uniform time-like stride, when the graph has one: `Some(L)`
@@ -563,19 +595,20 @@ impl<'a> BatchPredecoder<'a> {
         self.sg.rebuild(self.graph, dets);
         if dets.len() <= MAX_L1_DEFECTS {
             if let Some(matches) = self.try_resolve_verified() {
-                return BatchOutcome {
+                return self.tally(BatchOutcome {
                     matches,
                     residual: Vec::new(),
                     complex: false,
                     cancelled_pairs: 0,
                     latency_ns,
-                };
+                });
             }
         }
         // Complex batch: the verified all-trivial fast path failed. Run
         // the round-cancellation sweep, then strip what can be proven.
         let (survivors, cancelled) = self.cancel_rounds(dets);
-        self.complex_tail(dets, survivors, cancelled, latency_ns)
+        let out = self.complex_tail(dets, survivors, cancelled, latency_ns);
+        self.tally(out)
     }
 
     /// Predecodes one packed batch: bit `i` of `words` is detector
@@ -603,19 +636,20 @@ impl<'a> BatchPredecoder<'a> {
             packed::for_each_set_bit(words, |b| dets.push(base + b as DetectorId));
             self.sg.rebuild(self.graph, &dets);
             if let Some(matches) = self.try_resolve_verified() {
-                return BatchOutcome {
+                return self.tally(BatchOutcome {
                     matches,
                     residual: Vec::new(),
                     complex: false,
                     cancelled_pairs: 0,
                     latency_ns,
-                };
+                });
             }
         } else {
             packed::for_each_set_bit(words, |b| dets.push(base + b as DetectorId));
         }
         let (survivors, cancelled) = self.cancel_rounds_packed(words, base);
-        self.complex_tail(&dets, survivors, cancelled, latency_ns)
+        let out = self.complex_tail(&dets, survivors, cancelled, latency_ns);
+        self.tally(out)
     }
 
     /// The shared complex-batch tail: strip only the pieces — cancelled
@@ -820,6 +854,37 @@ mod tests {
     }
 
     #[test]
+    fn batch_stats_count_resolves_and_escalations() {
+        let g = graph(3, 4);
+        let mut pre = BatchPredecoder::new(&g);
+        assert_eq!(pre.batch_stats(), L1BatchStats::default());
+        // Empty batches count toward neither figure.
+        let out = pre.decode_batch(&[]);
+        assert!(out.matches.is_empty());
+        assert_eq!(pre.batch_stats(), L1BatchStats::default());
+        // A trivial time pair resolves at L1.
+        let (p, d) = time_pair(&g, &pre);
+        let out = pre.decode_batch(&[p, d]);
+        assert!(out.residual.is_empty());
+        assert_eq!(
+            pre.batch_stats(),
+            L1BatchStats {
+                resolved: 1,
+                escalated: 0
+            }
+        );
+        // Packed calls feed the same counters.
+        let mut words = vec![0u64; (g.num_detectors() as usize).div_ceil(64)];
+        for det in [p, d] {
+            words[det as usize / 64] |= 1u64 << (det as usize % 64);
+        }
+        let out = pre.decode_batch_packed(&words, 0);
+        assert!(out.residual.is_empty());
+        assert_eq!(pre.batch_stats().resolved, 2);
+        assert_eq!(pre.batch_stats().escalated, 0);
+    }
+
+    #[test]
     fn complex_batches_cancel_then_escalate_the_residual() {
         let g = graph(5, 5);
         let mut pre = BatchPredecoder::new(&g);
@@ -858,6 +923,7 @@ mod tests {
         let mut sorted = out.residual.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, out.residual, "residual is sorted");
+        assert_eq!(pre.batch_stats().escalated, 1);
     }
 
     #[test]

@@ -31,7 +31,7 @@ mod clique;
 mod pipeline;
 mod smith;
 
-pub use batch::{BatchOutcome, BatchPredecoder, LocalMatch, BATCH_PREDECODE_CYCLES};
+pub use batch::{BatchOutcome, BatchPredecoder, L1BatchStats, LocalMatch, BATCH_PREDECODE_CYCLES};
 pub use clique::CliquePredecoder;
 pub use pipeline::{ParallelDecoder, PipelineDecoder, COMPARISON_OVERHEAD_NS};
 pub use smith::SmithPredecoder;

@@ -140,6 +140,23 @@ pub fn run_stream_with_cache(
     cfg: &StreamRunConfig,
     cache: &Arc<WindowCache>,
 ) -> StreamRunResult {
+    run_stream_instrumented(graph, circuit, kind, cfg, cache, None)
+}
+
+/// [`run_stream_with_cache`] with wall-clock stage spans attached to the
+/// sliding-window decoder: every 1-in-`sample` window step records its
+/// per-stage durations into `spans` (see [`telemetry::Stage`]). The
+/// decode outcomes — and therefore the returned [`StreamRunResult`] —
+/// are bit-identical to the uninstrumented run; only the side-channel
+/// histograms differ.
+pub fn run_stream_instrumented(
+    graph: &DecodingGraph,
+    circuit: &Circuit,
+    kind: DecoderKind,
+    cfg: &StreamRunConfig,
+    cache: &Arc<WindowCache>,
+    spans: Option<(Arc<telemetry::StageSpans>, u32)>,
+) -> StreamRunResult {
     let layers = Arc::new(LayerMap::from_graph(graph).expect("graph has a layer structure"));
     let layers_per_shot = layers.num_layers();
     let mut stream = SyndromeStream::with_shared_layers(circuit, Arc::clone(&layers), cfg.seed);
@@ -147,6 +164,9 @@ pub fn run_stream_with_cache(
         SlidingWindowDecoder::with_cache(graph, layers, kind, cfg.window, Arc::clone(cache))
             .with_predecode(cfg.predecode)
             .with_datapath(cfg.datapath);
+    if let Some((sp, sample)) = spans {
+        swd.set_spans(sp, sample);
+    }
     let fallback = fallback_latency_model(kind);
     let mut timings: Vec<WindowTiming> = Vec::new();
     let mut failures = 0u64;
@@ -321,6 +341,57 @@ mod tests {
             on.backlog.reaction.p50_ns,
             off.backlog.reaction.p50_ns
         );
+    }
+
+    #[test]
+    fn instrumented_runs_match_and_record_spans() {
+        let ctx = ExperimentContext::with_rounds(3, 5, 1e-3);
+        let cfg = StreamRunConfig {
+            shots: 60,
+            seed: 31,
+            window: WindowConfig::new(4, 2).unwrap(),
+            backlog: BacklogConfig::with_commit_deadline(1000.0, 2),
+            predecode: PredecodeMode::Batch,
+            datapath: Datapath::Packed,
+        };
+        let cache = Arc::new(WindowCache::new(&ctx.graph, SeamPolicy::Cut));
+        let l1_spans = Arc::new(telemetry::StageSpans::new());
+        let l1 = run_stream_instrumented(
+            &ctx.graph,
+            &ctx.circuit,
+            DecoderKind::Mwpm,
+            &cfg,
+            &cache,
+            Some((Arc::clone(&l1_spans), 1)),
+        );
+        // Spans are a pure side channel: the decode outcomes and the
+        // modeled backlog simulation are bit-identical.
+        let plain =
+            run_stream_with_cache(&ctx.graph, &ctx.circuit, DecoderKind::Mwpm, &cfg, &cache);
+        assert_eq!(plain, l1);
+        // Sample 1-in-1 hits every window step of every shot.
+        let steps = l1_spans.stage(telemetry::Stage::WindowTotal).count();
+        assert_eq!(steps, 2 * cfg.shots as u64, "2 window steps per shot");
+        assert!(l1_spans.stage(telemetry::Stage::Window).count() > 0);
+        assert!(l1_spans.stage(telemetry::Stage::Predecode).count() > 0);
+        // With predecoding off every non-empty window reaches the solver
+        // and its matches get committed.
+        let mut off_cfg = cfg;
+        off_cfg.predecode = PredecodeMode::Off;
+        let off_spans = Arc::new(telemetry::StageSpans::new());
+        let _ = run_stream_instrumented(
+            &ctx.graph,
+            &ctx.circuit,
+            DecoderKind::Mwpm,
+            &off_cfg,
+            &cache,
+            Some((Arc::clone(&off_spans), 1)),
+        );
+        assert_eq!(off_spans.stage(telemetry::Stage::Predecode).count(), 0);
+        assert!(off_spans.stage(telemetry::Stage::Solve).count() > 0);
+        assert!(off_spans.stage(telemetry::Stage::Commit).count() > 0);
+        // No router in this harness, so ingest never records.
+        assert_eq!(off_spans.stage(telemetry::Stage::Ingest).count(), 0);
     }
 
     #[test]

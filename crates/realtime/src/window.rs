@@ -305,6 +305,12 @@ pub struct SlidingWindowDecoder<'g> {
     /// Persistent shot state for the one-shot zero-copy entry point
     /// ([`SlidingWindowDecoder::decode_shot_packed_into`]).
     scratch: ShotState,
+    /// Optional stage-span sink (typically shared with the owning
+    /// shard's telemetry). Recording is wait-free and allocation-free,
+    /// and never changes decode outcomes.
+    spans: Option<Arc<telemetry::StageSpans>>,
+    /// 1-in-N window-step sampler gating the span timestamps.
+    sampler: telemetry::Sampler,
 }
 
 impl<'g> SlidingWindowDecoder<'g> {
@@ -370,7 +376,24 @@ impl<'g> SlidingWindowDecoder<'g> {
             pwords: Vec::new(),
             act_pool: Vec::new(),
             scratch: ShotState::default(),
+            spans: None,
+            sampler: telemetry::Sampler::new(0),
         }
+    }
+
+    /// Attaches a stage-span sink: 1 in `sample` window steps gets its
+    /// pipeline stages (window / predecode / solve / commit plus the
+    /// whole-step roll-up) timed into `spans` (0 disables spans).
+    pub fn set_spans(&mut self, spans: Arc<telemetry::StageSpans>, sample: u32) {
+        self.spans = Some(spans);
+        self.sampler = telemetry::Sampler::new(sample);
+    }
+
+    /// Chainable [`SlidingWindowDecoder::set_spans`].
+    #[must_use]
+    pub fn with_spans(mut self, spans: Arc<telemetry::StageSpans>, sample: u32) -> Self {
+        self.set_spans(spans, sample);
+        self
     }
 
     /// Switches between the packed and byte syndrome datapaths.
@@ -528,6 +551,10 @@ impl<'g> SlidingWindowDecoder<'g> {
         }
         let mut s = 0u32;
         loop {
+            // Span sampling is per window step: a sampled step times
+            // every stage, so its per-stage figures stay comparable.
+            let sampled = self.spans.is_some() && self.sampler.hit();
+            let t_step = if sampled { telemetry::now() } else { 0 };
             let hi = (s + self.cfg.window).min(num_layers);
             let is_last = hi == num_layers;
             let commit_end = if is_last {
@@ -542,6 +569,7 @@ impl<'g> SlidingWindowDecoder<'g> {
             // keeps group order deterministic.
             let mut groups: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
             for (i, (state, input)) in st.iter_mut().zip(inputs).enumerate() {
+                let t_window = if sampled { telemetry::now() } else { 0 };
                 let mut active = std::mem::take(&mut self.act_pool[i]);
                 active.clear();
                 active.append(&mut state.pending);
@@ -587,10 +615,20 @@ impl<'g> SlidingWindowDecoder<'g> {
                     }
                 }
                 let hw = active.len();
+                if sampled {
+                    if let Some(sp) = &self.spans {
+                        sp.record(telemetry::Stage::Window, telemetry::since_ns(t_window));
+                    }
+                }
                 let mut latency_ns = None;
                 let mut deferred = 0usize;
                 let mut l1_resolved = false;
                 let mut escalated = false;
+                let t_l1 = if sampled && self.l1.is_some() {
+                    telemetry::now()
+                } else {
+                    0
+                };
                 // L1 stage: locally resolve the window, commit/defer the
                 // local matches by the same rule as solver matches, and
                 // keep only the escalated residual for the solver.
@@ -641,6 +679,11 @@ impl<'g> SlidingWindowDecoder<'g> {
                         latency_ns = Some(BATCH_PREDECODE_NS);
                     }
                 }
+                if t_l1 != 0 {
+                    if let Some(sp) = &self.spans {
+                        sp.record(telemetry::Stage::Predecode, telemetry::since_ns(t_l1));
+                    }
+                }
                 // Carried defects may reach back before the step
                 // position; extend the extraction range to cover them.
                 let lo_layer = match active.first() {
@@ -666,6 +709,7 @@ impl<'g> SlidingWindowDecoder<'g> {
                 self.act_pool[i] = active;
             }
             for ((lo_layer, hi), idxs) in groups {
+                let t_solve = if sampled { telemetry::now() } else { 0 };
                 let ctx = self.window_ctx(lo_layer, hi);
                 let lo_det = ctx.window().det_range().start;
                 let mut batch = SyndromeBatch::new();
@@ -686,6 +730,14 @@ impl<'g> SlidingWindowDecoder<'g> {
                 let mut dec = build_decoder(self.kind, ctx.graph(), ctx.paths());
                 let mut outs = Vec::new();
                 dec.decode_batch(&batch, &mut outs);
+                let t_commit = if sampled {
+                    if let Some(sp) = &self.spans {
+                        sp.record(telemetry::Stage::Solve, telemetry::since_ns(t_solve));
+                    }
+                    telemetry::now()
+                } else {
+                    0
+                };
                 for (&i, out) in idxs.iter().zip(&outs) {
                     let state = &mut st[i];
                     let record = state.windows.last_mut().expect("record pushed above");
@@ -727,6 +779,16 @@ impl<'g> SlidingWindowDecoder<'g> {
                             }
                         }
                     }
+                }
+                if t_commit != 0 {
+                    if let Some(sp) = &self.spans {
+                        sp.record(telemetry::Stage::Commit, telemetry::since_ns(t_commit));
+                    }
+                }
+            }
+            if sampled {
+                if let Some(sp) = &self.spans {
+                    sp.record(telemetry::Stage::WindowTotal, telemetry::since_ns(t_step));
                 }
             }
             if is_last {

@@ -79,7 +79,10 @@ pub mod transport;
 
 pub use admission::{simulate_shard, AdmissionConfig, TenantGate, TenantReport, WindowArrival};
 pub use loadgen::{qubit_seed, run_loadgen, CommitRecord, LoadgenConfig, LoadgenReport, TenantRun};
-pub use protocol::{Frame, ServiceError, TenantStatsWire, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use protocol::{
+    Frame, ServiceError, ShardMetricsWire, StageWire, TenantStatsWire, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
 pub use server::{preferred_shard, DecodeServer, ScenarioContext, ServiceConfig};
 pub use transport::{channel_pair, tcp_endpoint, Endpoint, FrameSink, FrameSource};
 

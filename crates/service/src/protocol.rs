@@ -26,6 +26,8 @@
 //! | 6 | [`Frame::Shutdown`]      | client → server | end the session |
 //! | 7 | [`Frame::ShutdownAck`]   | server → client | session is done |
 //! | 8 | [`Frame::Error`]         | server → client | protocol or routing error |
+//! | 9 | [`Frame::MetricsRequest`] | client → server | ask for a live telemetry snapshot |
+//! | 10 | [`Frame::MetricsReport`] | server → client | per-shard counters, gauges, stage timings |
 //!
 //! The same bytes flow over both transports (loopback TCP and in-process
 //! channels; see [`crate::transport`]), so protocol coverage is
@@ -37,8 +39,10 @@ use std::io::{Read, Write};
 ///
 /// v2 added the predecode byte to [`Frame::RegisterQubit`] and the
 /// `l1_rounds` / `escalated_windows` counters to [`TenantStatsWire`];
-/// v3 added the datapath byte to [`Frame::RegisterQubit`].
-pub const PROTOCOL_VERSION: u16 = 3;
+/// v3 added the datapath byte to [`Frame::RegisterQubit`];
+/// v4 added the in-band telemetry scrape ([`Frame::MetricsRequest`] /
+/// [`Frame::MetricsReport`] carrying [`ShardMetricsWire`] rows).
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Upper bound on one frame's encoded size (sanity check against
 /// corrupted length prefixes; generous for any realistic syndrome).
@@ -102,6 +106,51 @@ pub struct TenantStatsWire {
     /// Windows whose residual syndrome was escalated past the L1 tier
     /// to the matching solver (zero with predecoding off).
     pub escalated_windows: u64,
+}
+
+/// Summary figures of one pipeline stage's latency histogram in a
+/// [`ShardMetricsWire`] row (all nanoseconds; see `telemetry::Stage`
+/// for the stage order).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageWire {
+    /// Sampled spans recorded.
+    pub count: u64,
+    /// Sum of span durations, ns.
+    pub sum_ns: u64,
+    /// Median span, ns.
+    pub p50_ns: u64,
+    /// 99th-percentile span, ns.
+    pub p99_ns: u64,
+    /// Longest span, ns.
+    pub max_ns: u64,
+}
+
+/// One shard's telemetry row of a [`Frame::MetricsReport`]: the live
+/// counters, ring gauges, and per-stage latency summaries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardMetricsWire {
+    /// Shard id.
+    pub shard: u32,
+    /// Syndrome rounds committed.
+    pub rounds: u64,
+    /// Shots decoded.
+    pub shots: u64,
+    /// Submissions shed (admission gate or ring backpressure).
+    pub sheds: u64,
+    /// Rounds resolved by the L1 predecode tier.
+    pub l1_rounds: u64,
+    /// Windows escalated past L1 to a solver.
+    pub escalated_windows: u64,
+    /// Shard loop park events.
+    pub parks: u64,
+    /// Waker unparks actually delivered.
+    pub wakes: u64,
+    /// SPSC ring occupancy at the last sweep.
+    pub ring_depth: u64,
+    /// High-water SPSC ring occupancy.
+    pub ring_depth_max: u64,
+    /// Per-stage latency summaries, in `telemetry::Stage::ALL` order.
+    pub stages: Vec<StageWire>,
 }
 
 /// One protocol message. See the module docs for the frame table.
@@ -181,6 +230,14 @@ pub enum Frame {
         /// Human-readable description.
         message: String,
     },
+    /// Ask the server for a live telemetry snapshot (the in-band
+    /// equivalent of scraping the `/metrics` endpoint).
+    MetricsRequest,
+    /// A live telemetry snapshot: one row per shard.
+    MetricsReport {
+        /// Per-shard telemetry rows, ordered by shard id.
+        shards: Vec<ShardMetricsWire>,
+    },
 }
 
 /// A borrowed view of a [`Frame::SubmitRounds`] body — the zero-copy
@@ -221,6 +278,8 @@ impl Frame {
             Frame::Shutdown => 6,
             Frame::ShutdownAck => 7,
             Frame::Error { .. } => 8,
+            Frame::MetricsRequest => 9,
+            Frame::MetricsReport { .. } => 10,
         }
     }
 
@@ -292,7 +351,7 @@ impl Frame {
                 put_u32(&mut out, *windows);
                 put_f64(&mut out, *service_ns_total);
             }
-            Frame::StatsRequest | Frame::Shutdown | Frame::ShutdownAck => {}
+            Frame::StatsRequest | Frame::Shutdown | Frame::ShutdownAck | Frame::MetricsRequest => {}
             Frame::StatsReport { tenants } => {
                 put_count(&mut out, tenants.len(), 88, "tenant stats list")?;
                 for t in tenants {
@@ -311,6 +370,32 @@ impl Frame {
                 }
             }
             Frame::Error { message } => put_str(&mut out, message)?,
+            Frame::MetricsReport { shards } => {
+                // Row floor: 4 (shard) + 9×8 (counters/gauges) + 4
+                // (stage count); stages add 40 bytes each, checked by
+                // their own put_count below.
+                put_count(&mut out, shards.len(), 80, "shard metrics list")?;
+                for m in shards {
+                    put_u32(&mut out, m.shard);
+                    put_u64(&mut out, m.rounds);
+                    put_u64(&mut out, m.shots);
+                    put_u64(&mut out, m.sheds);
+                    put_u64(&mut out, m.l1_rounds);
+                    put_u64(&mut out, m.escalated_windows);
+                    put_u64(&mut out, m.parks);
+                    put_u64(&mut out, m.wakes);
+                    put_u64(&mut out, m.ring_depth);
+                    put_u64(&mut out, m.ring_depth_max);
+                    put_count(&mut out, m.stages.len(), 40, "stage summary list")?;
+                    for st in &m.stages {
+                        put_u64(&mut out, st.count);
+                        put_u64(&mut out, st.sum_ns);
+                        put_u64(&mut out, st.p50_ns);
+                        put_u64(&mut out, st.p99_ns);
+                        put_u64(&mut out, st.max_ns);
+                    }
+                }
+            }
         }
         Ok(out)
     }
@@ -398,6 +483,39 @@ impl Frame {
             8 => Frame::Error {
                 message: r.str16()?,
             },
+            9 => Frame::MetricsRequest,
+            10 => {
+                let n = r.u32()? as usize;
+                let mut shards = Vec::with_capacity(n.min(MAX_FRAME_LEN / 80));
+                for _ in 0..n {
+                    let mut m = ShardMetricsWire {
+                        shard: r.u32()?,
+                        rounds: r.u64()?,
+                        shots: r.u64()?,
+                        sheds: r.u64()?,
+                        l1_rounds: r.u64()?,
+                        escalated_windows: r.u64()?,
+                        parks: r.u64()?,
+                        wakes: r.u64()?,
+                        ring_depth: r.u64()?,
+                        ring_depth_max: r.u64()?,
+                        stages: Vec::new(),
+                    };
+                    let k = r.u32()? as usize;
+                    m.stages.reserve(k.min(MAX_FRAME_LEN / 40));
+                    for _ in 0..k {
+                        m.stages.push(StageWire {
+                            count: r.u64()?,
+                            sum_ns: r.u64()?,
+                            p50_ns: r.u64()?,
+                            p99_ns: r.u64()?,
+                            max_ns: r.u64()?,
+                        });
+                    }
+                    shards.push(m);
+                }
+                Frame::MetricsReport { shards }
+            }
             other => {
                 return Err(ServiceError::Protocol(format!(
                     "unknown frame type {other}"
@@ -689,6 +807,37 @@ mod tests {
             Frame::ShutdownAck,
             Frame::Error {
                 message: "qubit 12 is not registered".into(),
+            },
+            Frame::MetricsRequest,
+            Frame::MetricsReport {
+                shards: vec![
+                    ShardMetricsWire {
+                        shard: 0,
+                        rounds: 6000,
+                        shots: 1000,
+                        sheds: 3,
+                        l1_rounds: 5400,
+                        escalated_windows: 70,
+                        parks: 12,
+                        wakes: 11,
+                        ring_depth: 2,
+                        ring_depth_max: 9,
+                        stages: vec![
+                            StageWire {
+                                count: 125,
+                                sum_ns: 100_000,
+                                p50_ns: 700,
+                                p99_ns: 2100,
+                                max_ns: 3000,
+                            },
+                            StageWire::default(),
+                        ],
+                    },
+                    ShardMetricsWire {
+                        shard: 1,
+                        ..ShardMetricsWire::default()
+                    },
+                ],
             },
         ]
     }

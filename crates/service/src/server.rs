@@ -23,7 +23,7 @@
 //! atomics and the owning shard's channel; no cross-shard locks.
 
 use crate::admission::TenantGate;
-use crate::protocol::{Frame, ServiceError, TenantStatsWire};
+use crate::protocol::{Frame, ServiceError, ShardMetricsWire, StageWire, TenantStatsWire};
 use crate::shard::{run_shard, ShardRequest};
 use crate::spsc::{self, Producer, ShardWaker};
 use crate::transport::{tcp_endpoint, Endpoint, FrameSource};
@@ -57,6 +57,10 @@ pub struct ServiceConfig {
     /// Most requests a shard drains per wakeup (bounds the per-tenant
     /// decode batch).
     pub batch_max: usize,
+    /// Stage-span sampling period: 1 in `metrics_sample` window steps
+    /// (and submissions) gets span timestamps. 0 disables spans
+    /// entirely; counters and gauges are always live.
+    pub metrics_sample: u32,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +72,7 @@ impl Default for ServiceConfig {
             queue_capacity: 4,
             max_inflight_shots: 4,
             batch_max: 16,
+            metrics_sample: 8,
         }
     }
 }
@@ -265,6 +270,7 @@ impl Registry {
 pub struct DecodeServer {
     cfg: ServiceConfig,
     scenarios: Vec<ScenarioContext>,
+    metrics: Arc<telemetry::Registry>,
 }
 
 impl DecodeServer {
@@ -284,12 +290,24 @@ impl DecodeServer {
                 return Err(format!("duplicate scenario name '{}'", a.name));
             }
         }
-        Ok(DecodeServer { cfg, scenarios })
+        let metrics = Arc::new(telemetry::Registry::new(cfg.shards));
+        Ok(DecodeServer {
+            cfg,
+            scenarios,
+            metrics,
+        })
     }
 
     /// The server's sizing and SLO parameters.
     pub fn config(&self) -> &ServiceConfig {
         &self.cfg
+    }
+
+    /// The server's live telemetry registry. Snapshot it from any
+    /// thread (for a `/metrics` endpoint or a periodic JSON dump) —
+    /// the record side is lock-free, so scraping never stalls decode.
+    pub fn metrics(&self) -> &Arc<telemetry::Registry> {
+        &self.metrics
     }
 
     /// Serves the given transport sessions to completion (each ends on
@@ -343,7 +361,8 @@ impl DecodeServer {
                 let cfg = &self.cfg;
                 let scenarios = &self.scenarios;
                 let waker = Arc::clone(&wakers[sid]);
-                scope.spawn(move || run_shard(sid, cfg, scenarios, rx, waker));
+                let shard_metrics = Arc::clone(self.metrics.shard(sid));
+                scope.spawn(move || run_shard(sid, cfg, scenarios, rx, waker, shard_metrics));
             }
             let registry = &registry;
             for ep in endpoints {
@@ -360,9 +379,10 @@ impl DecodeServer {
                 let wakers = wakers.clone();
                 let cfg = &self.cfg;
                 let scenarios = &self.scenarios;
+                let metrics = &self.metrics;
                 scope.spawn(move || {
                     route_session(
-                        source, reply_tx, shard_txs, wakers, registry, cfg, scenarios,
+                        source, reply_tx, shard_txs, wakers, registry, cfg, scenarios, metrics,
                     );
                 });
             }
@@ -415,6 +435,38 @@ fn validate_register(
 /// [`TenantGate::shed_admitted`]).
 const RING_CAPACITY: usize = 1024;
 
+/// Folds a telemetry snapshot into [`Frame::MetricsReport`] rows.
+pub(crate) fn metrics_wire_rows(snap: &telemetry::RegistrySnapshot) -> Vec<ShardMetricsWire> {
+    snap.shards
+        .iter()
+        .map(|s| ShardMetricsWire {
+            shard: s.shard,
+            rounds: s.rounds,
+            shots: s.shots,
+            sheds: s.sheds,
+            l1_rounds: s.l1_rounds,
+            escalated_windows: s.escalated_windows,
+            parks: s.parks,
+            wakes: s.wakes,
+            ring_depth: s.ring_depth,
+            ring_depth_max: s.ring_depth_max,
+            stages: telemetry::Stage::ALL
+                .iter()
+                .map(|&st| {
+                    let f = s.stage_summary(st);
+                    StageWire {
+                        count: f.count,
+                        sum_ns: f.sum_ns,
+                        p50_ns: f.p50_ns,
+                        p99_ns: f.p99_ns,
+                        max_ns: f.max_ns,
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
 /// A shed reply for a submission that never reached a decoder.
 fn shed_commit(qubit: u32, shot: u64) -> Frame {
     Frame::CommitResult {
@@ -437,6 +489,7 @@ fn shed_commit(qubit: u32, shot: u64) -> Frame {
 /// straight into a recycled SPSC ring slot — no `Frame`, no `Vec<u32>`
 /// of detectors, no allocation per submission once the session's ring
 /// to the owning shard exists.
+#[allow(clippy::too_many_arguments)]
 fn route_session(
     mut source: Box<dyn FrameSource>,
     reply_tx: Sender<Frame>,
@@ -445,6 +498,7 @@ fn route_session(
     registry: &Registry,
     cfg: &ServiceConfig,
     scenarios: &[ScenarioContext],
+    metrics: &telemetry::Registry,
 ) {
     // Session-local route memo: steady-state submits touch no lock.
     let mut routes: HashMap<u32, TenantRoute> = HashMap::new();
@@ -452,6 +506,9 @@ fn route_session(
     let mut rings: HashMap<usize, Producer> = HashMap::new();
     // The frame body buffer, recycled across the whole session.
     let mut body: Vec<u8> = Vec::new();
+    // 1-in-N ingest-span sampler: a hit stamps the ring slot's `enq`
+    // with a raw timestamp the shard turns into an SPSC-delay span.
+    let mut sampler = telemetry::Sampler::new(cfg.metrics_sample);
     loop {
         match source.recv_body(&mut body) {
             Ok(true) => {}
@@ -491,6 +548,7 @@ fn route_session(
             let route = &routes[&qubit];
             if !route.gate.try_admit() {
                 // Live admission: queue full, shed without decoding.
+                metrics.shard(route.shard).sheds.inc();
                 let _ = reply_tx.send(shed_commit(qubit, shot));
                 continue;
             }
@@ -507,6 +565,7 @@ fn route_session(
                 Some(slot) => {
                     slot.qubit = qubit;
                     slot.shot = shot;
+                    slot.enq = if sampler.hit() { telemetry::now() } else { 0 };
                     slot.words.clear();
                     slot.words.resize(route.wps, 0);
                     // Validate while packing: sorted, unique, in range.
@@ -544,6 +603,7 @@ fn route_session(
                     // Ring full: the shard is stalled. Convert the
                     // admission into a shed so the gate slot frees.
                     route.gate.shed_admitted();
+                    metrics.shard(route.shard).sheds.inc();
                     let _ = reply_tx.send(shed_commit(qubit, shot));
                 }
             }
@@ -617,6 +677,14 @@ fn route_session(
                 let mut tenants: Vec<TenantStatsWire> = srx.iter().flatten().collect();
                 tenants.sort_by_key(|t| t.qubit);
                 let _ = reply_tx.send(Frame::StatsReport { tenants });
+            }
+            Frame::MetricsRequest => {
+                // An in-band scrape: snapshot the lock-free registry
+                // from this router thread — no shard round trip, no
+                // decode-path interference.
+                let _ = reply_tx.send(Frame::MetricsReport {
+                    shards: metrics_wire_rows(&metrics.snapshot()),
+                });
             }
             Frame::Shutdown => {
                 let _ = reply_tx.send(Frame::ShutdownAck);

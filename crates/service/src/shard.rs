@@ -40,6 +40,7 @@ use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::Duration;
+use telemetry::{ShardMetrics, Stage};
 
 /// A control request routed to one shard. Replies travel back through
 /// the originating session's frame channel. Submissions do NOT travel
@@ -142,12 +143,16 @@ pub(crate) fn run_shard(
     scenarios: &[ScenarioContext],
     rx: Receiver<ShardRequest>,
     waker: Arc<ShardWaker>,
+    metrics: Arc<ShardMetrics>,
 ) {
     waker.register();
     let mut tenants: HashMap<u32, Tenant<'_>> = HashMap::new();
     let mut timeline = Timeline::new();
     let mut rings: Vec<(Consumer, Sender<Frame>)> = Vec::new();
     let mut control_open = true;
+    // Wakes are counted at the waker (the producer side swaps the
+    // parked flag); fold them into the telemetry counter by delta.
+    let mut last_wakes = 0u64;
     loop {
         // Control first: a registration is always applied before any
         // submission swept afterwards (clients wait for the ack before
@@ -173,7 +178,8 @@ pub(crate) fn run_shard(
                         Arc::clone(sc.window_cache()),
                     )
                     .with_predecode(predecode)
-                    .with_datapath(datapath);
+                    .with_datapath(datapath)
+                    .with_spans(Arc::clone(&metrics.stages), cfg.metrics_sample);
                     let layers_per_shot = sc.layers().num_layers();
                     tenants.insert(
                         qubit,
@@ -216,16 +222,23 @@ pub(crate) fn run_shard(
         }
         // Hot path: sweep every ring, at most batch_max slots per ring
         // per pass so control traffic and sibling rings stay live.
+        let depth: usize = rings.iter().map(|(ring, _)| ring.len()).sum();
+        metrics.ring_depth.set(depth as u64);
         let mut swept = 0usize;
         for (ring, reply) in &mut rings {
             let n = ring.len().min(cfg.batch_max);
             for i in 0..n {
-                process_slot(&mut tenants, &mut timeline, ring.slot(i), reply);
+                process_slot(&mut tenants, &mut timeline, ring.slot(i), reply, &metrics);
             }
             ring.advance(n);
             swept += n;
         }
         rings.retain(|(ring, _)| !ring.is_done());
+        let wakes = waker.wake_count();
+        if wakes > last_wakes {
+            metrics.wakes.add(wakes - last_wakes);
+            last_wakes = wakes;
+        }
         if !control_open && rings.is_empty() {
             break;
         }
@@ -235,6 +248,7 @@ pub(crate) fn run_shard(
             // published in between will have seen the flag and skips
             // the park via `wake`.
             if rings.iter().all(|(ring, _)| ring.is_empty()) {
+                metrics.parks.inc();
                 waker.park_timeout(IDLE_PARK);
             }
         }
@@ -248,8 +262,17 @@ fn process_slot(
     timeline: &mut Timeline,
     slot: &mut SubmitSlot,
     reply: &Sender<Frame>,
+    metrics: &ShardMetrics,
 ) {
     let (qubit, shot) = (slot.qubit, slot.shot);
+    if slot.enq != 0 {
+        // The router's sampler stamped the publish: the elapsed time to
+        // this pickup is the SPSC queueing delay (ingest stage).
+        metrics
+            .stages
+            .record(Stage::Ingest, telemetry::since_ns(slot.enq));
+        slot.enq = 0;
+    }
     let Some(tenant) = tenants.get_mut(&qubit) else {
         let _ = reply.send(Frame::Error {
             message: format!("qubit {qubit} is not registered on this shard"),
@@ -304,6 +327,12 @@ fn process_slot(
     tenant.l1_rounds += tenant.out.l1_rounds();
     tenant.escalated_windows += tenant.out.escalated_windows();
     tenant.shots += 1;
+    metrics.shots.inc();
+    metrics.rounds.add(tenant.layers_per_shot as u64);
+    metrics.l1_rounds.add(tenant.out.l1_rounds());
+    metrics
+        .escalated_windows
+        .add(tenant.out.escalated_windows());
     tenant.next_shot = shot + 1;
     tenant.gate.complete();
     let _ = reply.send(Frame::CommitResult {
@@ -395,7 +424,12 @@ mod tests {
         for &d in dets {
             words[d as usize / 64] |= 1u64 << (d % 64);
         }
-        SubmitSlot { qubit, shot, words }
+        SubmitSlot {
+            qubit,
+            shot,
+            enq: 0,
+            words,
+        }
     }
 
     #[test]
@@ -453,9 +487,10 @@ mod tests {
             tenants.insert(0, test_tenant(0, decoder, gate));
             let (tx, rx) = std::sync::mpsc::channel();
             let mut timeline = Timeline::new();
+            let metrics = ShardMetrics::default();
             for (i, dets) in shots.iter().enumerate() {
                 let mut slot = pack_slot(0, i as u64, dets, num_dets);
-                process_slot(&mut tenants, &mut timeline, &mut slot, &tx);
+                process_slot(&mut tenants, &mut timeline, &mut slot, &tx, &metrics);
             }
             drop(tx);
             for frame in rx.iter() {
@@ -469,6 +504,14 @@ mod tests {
             p99.push(reports[0].reaction.p99_ns);
             let t = &tenants[&0];
             counters.push((t.l1_rounds, t.escalated_windows));
+            // The shard-level telemetry counters mirror the tenant's.
+            assert_eq!(metrics.shots.get(), shots.len() as u64);
+            assert_eq!(metrics.l1_rounds.get(), t.l1_rounds);
+            assert_eq!(metrics.escalated_windows.get(), t.escalated_windows);
+            assert_eq!(
+                metrics.rounds.get(),
+                shots.len() as u64 * t.layers_per_shot as u64
+            );
         }
         assert_eq!(counters[0], (0, 0), "off mode keeps zero L1 counters");
         assert!(counters[1].0 > 0, "batch mode resolves rounds at L1");
@@ -508,9 +551,10 @@ mod tests {
             tenants.insert(3, test_tenant(3, decoder, gate));
             let (tx, rx) = std::sync::mpsc::channel();
             let mut timeline = Timeline::new();
+            let metrics = ShardMetrics::default();
             for (i, dets) in shots.iter().enumerate() {
                 let mut slot = pack_slot(3, i as u64, dets, num_dets);
-                process_slot(&mut tenants, &mut timeline, &mut slot, &tx);
+                process_slot(&mut tenants, &mut timeline, &mut slot, &tx, &metrics);
             }
             drop(tx);
             replies.push(rx.iter().collect::<Vec<Frame>>());
@@ -535,10 +579,11 @@ mod tests {
         tenants.insert(1, test_tenant(1, decoder, Arc::clone(&gate)));
         let (tx, rx) = std::sync::mpsc::channel();
         let mut timeline = Timeline::new();
+        let metrics = ShardMetrics::default();
         for (shot, expect_err) in [(0u64, false), (0, true), (5, false), (2, true)] {
             assert!(gate.try_admit());
             let mut slot = pack_slot(1, shot, &[], num_dets);
-            process_slot(&mut tenants, &mut timeline, &mut slot, &tx);
+            process_slot(&mut tenants, &mut timeline, &mut slot, &tx, &metrics);
             match rx.try_recv().unwrap() {
                 Frame::Error { message } => {
                     assert!(expect_err, "unexpected reject: {message}");
@@ -553,7 +598,7 @@ mod tests {
         assert_eq!(gate.in_flight(), 0, "rejects release the gate slot");
         // An unregistered qubit is rejected without touching any gate.
         let mut slot = pack_slot(9, 0, &[], num_dets);
-        process_slot(&mut tenants, &mut timeline, &mut slot, &tx);
+        process_slot(&mut tenants, &mut timeline, &mut slot, &tx, &metrics);
         match rx.try_recv().unwrap() {
             Frame::Error { message } => {
                 assert!(

@@ -18,7 +18,7 @@
 //! (enforced by ownership: the halves are `Send` but not `Clone`).
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::Thread;
 
@@ -31,6 +31,10 @@ pub struct SubmitSlot {
     pub qubit: u32,
     /// Per-tenant shot sequence number.
     pub shot: u64,
+    /// Raw [`telemetry::now`] publish timestamp when the router's span
+    /// sampler picked this submission (0 = unsampled). The shard turns
+    /// it into an ingest-stage span at pickup.
+    pub enq: u64,
     /// Packed syndrome words of the whole shot.
     pub words: Vec<u64>,
 }
@@ -164,6 +168,9 @@ impl Consumer {
 pub struct ShardWaker {
     parked: AtomicBool,
     thread: Mutex<Option<Thread>>,
+    /// Unparks actually delivered (the successful `parked` swap), for
+    /// the shard's telemetry wakes counter.
+    wakes: AtomicU64,
 }
 
 impl ShardWaker {
@@ -172,6 +179,7 @@ impl ShardWaker {
         ShardWaker {
             parked: AtomicBool::new(false),
             thread: Mutex::new(None),
+            wakes: AtomicU64::new(0),
         }
     }
 
@@ -197,10 +205,18 @@ impl ShardWaker {
     /// Wakes the shard if it is parked (or about to park).
     pub fn wake(&self) {
         if self.parked.swap(false, Ordering::SeqCst) {
+            self.wakes.fetch_add(1, Ordering::Relaxed);
             if let Some(t) = self.thread.lock().expect("waker poisoned").as_ref() {
                 t.unpark();
             }
         }
+    }
+
+    /// Unparks delivered so far (wakes that found the shard parked or
+    /// about to park — redundant `wake` calls on a running shard do not
+    /// count).
+    pub fn wake_count(&self) -> u64 {
+        self.wakes.load(Ordering::Relaxed)
     }
 }
 
@@ -329,5 +345,21 @@ mod tests {
         flag.store(true, Ordering::Release);
         waker.wake();
         h.join().unwrap();
+    }
+
+    #[test]
+    fn wake_count_ignores_redundant_wakes() {
+        let waker = ShardWaker::new();
+        waker.register();
+        // The shard is running: wakes are no-ops and do not count.
+        waker.wake();
+        waker.wake();
+        assert_eq!(waker.wake_count(), 0);
+        // Parked (or about to park): the wake is delivered and counted.
+        waker.prepare_park();
+        waker.wake();
+        assert_eq!(waker.wake_count(), 1);
+        waker.wake();
+        assert_eq!(waker.wake_count(), 1, "the second wake found it awake");
     }
 }

@@ -1,0 +1,443 @@
+//! The lock-free metric primitives: counters, gauges, and log2-bucket
+//! latency histograms.
+//!
+//! Every record-side operation is a single `Relaxed` atomic RMW on a
+//! fixed-size structure — wait-free, no locks, no heap. Snapshots read
+//! the same atomics; they are *eventually consistent* under concurrent
+//! writers (a racing `record` may have bumped a bucket but not yet the
+//! running sum) and exactly consistent once writers quiesce, which is
+//! what the merge/exposition paths need.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value cell with a monotone high-water mark.
+///
+/// `set` stores the instantaneous value (e.g. SPSC ring occupancy this
+/// sweep) and folds it into the maximum via `fetch_max`, so exposition
+/// can report both the latest reading and the worst observed.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    #[must_use]
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Stores an instantaneous reading and updates the high-water mark.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Latest reading.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest reading ever stored.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count of [`LogHistogram`]: one underflow bucket for zero plus
+/// one bucket per power of two up to `2^62`, with the last bucket
+/// absorbing everything above.
+pub const NUM_BUCKETS: usize = 64;
+
+/// A fixed log2-bucket (HDR-style) latency histogram.
+///
+/// Bucket `0` holds exact zeros; bucket `b` (1 ≤ b ≤ 62) holds values
+/// in `[2^(b-1), 2^b)`; bucket `63` holds everything from `2^62` up.
+/// With nanosecond inputs the resolution is a constant factor of 2 —
+/// coarse for means, but tails are what the real-time argument is
+/// about, and a factor-2 bound on p99 costs 64 words per stage instead
+/// of an unbounded reservoir.
+///
+/// `record` is wait-free: four `Relaxed` RMWs on inline atomics, zero
+/// heap traffic. Snapshots of concurrently written histograms are
+/// eventually consistent; once writers quiesce, `sum of bucket counts
+/// == count` exactly (pinned by the multi-writer test).
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a recorded value (see [`LogHistogram`]).
+#[inline]
+#[must_use]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    // Number of significant bits: 0 for v=0, else floor(log2 v) + 1.
+    let bits = (64 - v.leading_zeros()) as usize;
+    bits.min(NUM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of a bucket, used for exposition (`le` labels)
+/// and quantile interpolation. The last bucket is unbounded and reports
+/// `u64::MAX`.
+#[inline]
+#[must_use]
+pub(crate) fn bucket_upper(b: usize) -> u64 {
+    if b >= NUM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        LogHistogram {
+            // `AtomicU64` is not Copy; the inline-const repeat form
+            // builds the array without a shared interior-mutable const.
+            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Wait-free, allocation-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total values recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Reads the histogram into an owned snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`LogHistogram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`LogHistogram`] for the bucket layout).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// The all-zero snapshot (the merge identity).
+    #[must_use]
+    pub const fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Folds another snapshot in. Bucketwise addition plus max-of-max:
+    /// associative and commutative with [`HistogramSnapshot::empty`] as
+    /// identity (pinned by proptest), so per-shard histograms can merge
+    /// into fleet aggregates in any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.count += other.count;
+        // Wrapping, matching the atomic `fetch_add` the live histogram
+        // uses: a pathological sum overflows identically on both paths
+        // instead of panicking in debug builds.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of recorded values, or 0 for an empty snapshot.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate (`q` in `[0, 1]`) by linear interpolation
+    /// within the covering log2 bucket — exact to a factor of 2, which
+    /// is the histogram's resolution by design. Returns 0 for an empty
+    /// snapshot; `q = 1` returns the recorded maximum exactly.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q.max(0.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lower = if b == 0 { 0 } else { bucket_upper(b - 1) + 1 };
+                // Cap the open-ended last bucket at the observed max so
+                // interpolation never extrapolates past real data.
+                let upper = bucket_upper(b).min(self.max);
+                let into = (rank - seen) as f64 / n as f64;
+                return lower + ((upper - lower) as f64 * into) as u64;
+            }
+            seen += n;
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_boundaries_are_log2_exact() {
+        // Zero gets the dedicated underflow bucket.
+        assert_eq!(bucket_index(0), 0);
+        // Each power of two opens a new bucket; its predecessor closes
+        // the previous one.
+        for b in 1..=62usize {
+            let lo = 1u64 << (b - 1);
+            let hi = (1u64 << b) - 1;
+            assert_eq!(bucket_index(lo), b, "lower edge of bucket {b}");
+            assert_eq!(bucket_index(hi), b, "upper edge of bucket {b}");
+            assert_eq!(bucket_upper(b), hi);
+        }
+        // The top bucket absorbs everything from 2^62 up.
+        assert_eq!(bucket_index(1u64 << 62), 63);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_upper(63), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_quantiles_cover_the_basics() {
+        let h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 1_002_106);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert_eq!(s.quantile(1.0), 1_000_000);
+        // p50 of 8 values lands in the 4th value's bucket (v=3).
+        let p50 = s.quantile(0.5);
+        assert!((2..=3).contains(&p50), "{p50}");
+        // Quantiles are monotone in q.
+        assert!(s.quantile(0.99) >= s.quantile(0.5));
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_is_factor2_accurate() {
+        let h = LogHistogram::new();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (q, exact) in [(0.5, 512.0), (0.99, 1014.0)] {
+            let est = s.quantile(q) as f64;
+            assert!(
+                est >= exact / 2.0 && est <= exact * 2.0,
+                "q={q}: {est} vs {exact}"
+            );
+        }
+    }
+
+    /// Expands a (seed, len) pair into a deterministic value list —
+    /// the vendored proptest shim has no collection strategies.
+    fn values(seed: u64, len: usize) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Spread across many log2 buckets, bounded so sums of
+                // a few dozen values stay far from u64 overflow.
+                (x >> (x % 24)) & ((1u64 << 40) - 1)
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn merge_is_associative_and_commutative(
+            seed_a in any::<u64>(), len_a in 0usize..20,
+            seed_b in any::<u64>(), len_b in 0usize..20,
+            seed_c in any::<u64>(), len_c in 0usize..20,
+        ) {
+            let a = values(seed_a, len_a);
+            let b = values(seed_b, len_b);
+            let c = values(seed_c, len_c);
+            let snap = |vals: &[u64]| {
+                let h = LogHistogram::new();
+                for &v in vals {
+                    h.record(v);
+                }
+                h.snapshot()
+            };
+            let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+            // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+            let mut left = sa;
+            left.merge(&sb);
+            left.merge(&sc);
+            let mut bc = sb;
+            bc.merge(&sc);
+            let mut right = sa;
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+            // a ⊕ b == b ⊕ a
+            let mut ab = sa;
+            ab.merge(&sb);
+            let mut ba = sb;
+            ba.merge(&sa);
+            prop_assert_eq!(ab, ba);
+            // Identity.
+            let mut ae = sa;
+            ae.merge(&HistogramSnapshot::empty());
+            prop_assert_eq!(ae, sa);
+            // Totals agree with the flat recording.
+            let mut all = a.clone();
+            all.extend_from_slice(&b);
+            all.extend_from_slice(&c);
+            prop_assert_eq!(left, snap(&all));
+        }
+    }
+
+    /// Concurrent multi-writer recording: after writers quiesce, the
+    /// snapshot is exactly consistent — bucket counts sum to the total
+    /// recorded, and sum/max match the inputs. Runs the same body at
+    /// 1 and 4 writer threads (the CI thread counts).
+    #[test]
+    fn concurrent_records_snapshot_consistently() {
+        for threads in [1usize, 4] {
+            let h = Arc::new(LogHistogram::new());
+            let per_thread = 10_000u64;
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let h = Arc::clone(&h);
+                    scope.spawn(move || {
+                        // Deterministic per-thread value stream across
+                        // many buckets.
+                        let mut x = 0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1);
+                        for _ in 0..per_thread {
+                            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            h.record(x >> (x % 50));
+                        }
+                    });
+                }
+            });
+            let s = h.snapshot();
+            let expected = threads as u64 * per_thread;
+            assert_eq!(s.count, expected, "threads={threads}");
+            assert_eq!(
+                s.buckets.iter().sum::<u64>(),
+                expected,
+                "threads={threads}: bucket counts must sum to the total"
+            );
+            assert!(s.max > 0);
+            assert!(s.quantile(0.99) >= s.quantile(0.5));
+        }
+    }
+
+    #[test]
+    fn gauge_tracks_value_and_high_water() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.max(), 7);
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+}

@@ -1,0 +1,402 @@
+//! The per-shard metrics registry and its exposition formats.
+//!
+//! One [`ShardMetrics`] per decode shard, handed out as `Arc` clones at
+//! registration time (shard loop, waker, router, tenant decoders); the
+//! record path after that is plain `Relaxed` atomics with no shared
+//! locks. [`Registry::snapshot`] folds the live atomics into an owned
+//! [`RegistrySnapshot`] that renders as Prometheus text 0.0.4 (the
+//! `/metrics` endpoint) or JSON (the periodic BENCH.json feed).
+
+use crate::metrics::{bucket_upper, Counter, Gauge, HistogramSnapshot, NUM_BUCKETS};
+use crate::stage::{Stage, StageSpans};
+use std::sync::Arc;
+
+/// Live lock-free metrics of one decode shard.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Stage-span histograms, shared (`Arc`) with the shard's tenant
+    /// decoders so their in-window spans land in the shard's family.
+    pub stages: Arc<StageSpans>,
+    /// Syndrome rounds committed by this shard.
+    pub rounds: Counter,
+    /// Shots (submissions) decoded by this shard.
+    pub shots: Counter,
+    /// Submissions shed (admission gate or ring backpressure).
+    pub sheds: Counter,
+    /// Rounds resolved by the L1 predecode tier.
+    pub l1_rounds: Counter,
+    /// Windows escalated past the L1 tier to a solver.
+    pub escalated_windows: Counter,
+    /// Times the shard loop parked on its waker.
+    pub parks: Counter,
+    /// Times the waker actually unparked the shard thread.
+    pub wakes: Counter,
+    /// SPSC ring occupancy (slots pending across the shard's rings),
+    /// sampled once per sweep; `max()` is the high-water mark.
+    pub ring_depth: Gauge,
+}
+
+/// The process-wide registry: one [`ShardMetrics`] per shard.
+#[derive(Debug)]
+pub struct Registry {
+    shards: Vec<Arc<ShardMetrics>>,
+}
+
+impl Registry {
+    /// A registry for `shards` decode shards.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Registry {
+            shards: (0..shards).map(|_| Arc::default()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's live metrics (panics on an out-of-range shard id,
+    /// which would be a wiring bug).
+    #[must_use]
+    pub fn shard(&self, shard: usize) -> &Arc<ShardMetrics> {
+        &self.shards[shard]
+    }
+
+    /// Reads every shard into an owned snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, m)| ShardSnapshot {
+                    shard: i as u32,
+                    rounds: m.rounds.get(),
+                    shots: m.shots.get(),
+                    sheds: m.sheds.get(),
+                    l1_rounds: m.l1_rounds.get(),
+                    escalated_windows: m.escalated_windows.get(),
+                    parks: m.parks.get(),
+                    wakes: m.wakes.get(),
+                    ring_depth: m.ring_depth.get(),
+                    ring_depth_max: m.ring_depth.max(),
+                    stages: Stage::ALL.map(|s| m.stages.stage(s).snapshot()),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Owned counters/gauges/histograms of one shard at snapshot time.
+#[derive(Clone, Debug)]
+pub struct ShardSnapshot {
+    /// Shard id.
+    pub shard: u32,
+    /// See [`ShardMetrics::rounds`].
+    pub rounds: u64,
+    /// See [`ShardMetrics::shots`].
+    pub shots: u64,
+    /// See [`ShardMetrics::sheds`].
+    pub sheds: u64,
+    /// See [`ShardMetrics::l1_rounds`].
+    pub l1_rounds: u64,
+    /// See [`ShardMetrics::escalated_windows`].
+    pub escalated_windows: u64,
+    /// See [`ShardMetrics::parks`].
+    pub parks: u64,
+    /// See [`ShardMetrics::wakes`].
+    pub wakes: u64,
+    /// Last-sampled SPSC ring occupancy.
+    pub ring_depth: u64,
+    /// High-water ring occupancy.
+    pub ring_depth_max: u64,
+    /// Per-stage histogram snapshots, indexed by `Stage as usize`.
+    pub stages: [HistogramSnapshot; Stage::COUNT],
+}
+
+impl ShardSnapshot {
+    /// Compact per-stage figures (count, sum, p50, p99, max) — the
+    /// shape the wire report and BENCH.json carry.
+    #[must_use]
+    pub fn stage_summary(&self, stage: Stage) -> StageSnapshot {
+        let h = &self.stages[stage as usize];
+        StageSnapshot {
+            count: h.count,
+            sum_ns: h.sum,
+            p50_ns: h.quantile(0.5),
+            p99_ns: h.quantile(0.99),
+            max_ns: h.max,
+        }
+    }
+}
+
+/// Summary figures of one stage histogram (nanoseconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Sampled spans recorded.
+    pub count: u64,
+    /// Sum of span durations, ns.
+    pub sum_ns: u64,
+    /// Median span, ns (log2-interpolated).
+    pub p50_ns: u64,
+    /// 99th-percentile span, ns (log2-interpolated).
+    pub p99_ns: u64,
+    /// Longest span, ns (exact).
+    pub max_ns: u64,
+}
+
+/// One exposition row: metric name, help text, per-shard getter.
+type FamilyRow = (&'static str, &'static str, fn(&ShardSnapshot) -> u64);
+
+/// A whole-registry snapshot, ready to merge or render.
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    /// Per-shard snapshots, ordered by shard id.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// All shards' histograms for one stage, merged (for fleet-level
+    /// quantiles; merging is order-independent).
+    #[must_use]
+    pub fn merged_stage(&self, stage: Stage) -> HistogramSnapshot {
+        let mut acc = HistogramSnapshot::empty();
+        for s in &self.shards {
+            acc.merge(&s.stages[stage as usize]);
+        }
+        acc
+    }
+
+    /// Highest ring occupancy observed on any shard.
+    #[must_use]
+    pub fn max_ring_depth(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.ring_depth_max)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders Prometheus text format 0.0.4: per-shard counter and
+    /// gauge families, plus one histogram family per stage with
+    /// cumulative `le` buckets and p50/p99 summary gauges.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let counters: [FamilyRow; 7] = [
+            ("promatch_rounds_total", "Syndrome rounds committed.", |s| {
+                s.rounds
+            }),
+            ("promatch_shots_total", "Shots decoded.", |s| s.shots),
+            (
+                "promatch_shed_total",
+                "Submissions shed by admission or ring backpressure.",
+                |s| s.sheds,
+            ),
+            (
+                "promatch_l1_rounds_total",
+                "Rounds resolved by the L1 predecode tier.",
+                |s| s.l1_rounds,
+            ),
+            (
+                "promatch_escalated_windows_total",
+                "Windows escalated past L1 to a solver.",
+                |s| s.escalated_windows,
+            ),
+            ("promatch_parks_total", "Shard loop park events.", |s| {
+                s.parks
+            }),
+            ("promatch_wakes_total", "Shard waker unpark events.", |s| {
+                s.wakes
+            }),
+        ];
+        for (name, help, get) in counters {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for s in &self.shards {
+                out.push_str(&format!("{name}{{shard=\"{}\"}} {}\n", s.shard, get(s)));
+            }
+        }
+        let gauges: [FamilyRow; 2] = [
+            (
+                "promatch_ring_depth",
+                "SPSC ring occupancy at the last sweep.",
+                |s| s.ring_depth,
+            ),
+            (
+                "promatch_ring_depth_max",
+                "High-water SPSC ring occupancy.",
+                |s| s.ring_depth_max,
+            ),
+        ];
+        for (name, help, get) in gauges {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+            for s in &self.shards {
+                out.push_str(&format!("{name}{{shard=\"{}\"}} {}\n", s.shard, get(s)));
+            }
+        }
+        let name = "promatch_stage_duration_ns";
+        out.push_str(&format!(
+            "# HELP {name} Sampled pipeline stage span durations, ns.\n\
+             # TYPE {name} histogram\n"
+        ));
+        for s in &self.shards {
+            for stage in Stage::ALL {
+                let h = &s.stages[stage as usize];
+                if h.count == 0 {
+                    continue;
+                }
+                let labels = format!("shard=\"{}\",stage=\"{}\"", s.shard, stage.label());
+                let mut cumulative = 0u64;
+                for (b, &n) in h.buckets.iter().enumerate() {
+                    // Empty buckets are elided; the top bucket is
+                    // covered by the mandatory `+Inf` line below.
+                    if n == 0 || b == NUM_BUCKETS - 1 {
+                        continue;
+                    }
+                    cumulative += n;
+                    out.push_str(&format!(
+                        "{name}_bucket{{{labels},le=\"{}\"}} {cumulative}\n",
+                        bucket_upper(b)
+                    ));
+                }
+                out.push_str(&format!(
+                    "{name}_bucket{{{labels},le=\"+Inf\"}} {}\n",
+                    h.count
+                ));
+                out.push_str(&format!("{name}_sum{{{labels}}} {}\n", h.sum));
+                out.push_str(&format!("{name}_count{{{labels}}} {}\n", h.count));
+                for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+                    out.push_str(&format!(
+                        "{name}{{{labels},quantile=\"{label}\"}} {}\n",
+                        h.quantile(q)
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the JSON telemetry snapshot (the object embedded in
+    /// BENCH.json and written by `--metrics-json`): per-shard counters,
+    /// ring gauges, and per-stage summary figures.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\"shards\": [\n");
+        for (i, sh) in self.shards.iter().enumerate() {
+            s.push_str(&format!(
+                "  {{\"shard\": {}, \"rounds\": {}, \"shots\": {}, \
+                 \"sheds\": {}, \"l1_rounds\": {}, \"escalated_windows\": {}, \
+                 \"parks\": {}, \"wakes\": {}, \"ring_depth\": {}, \
+                 \"ring_depth_max\": {}, \"stages\": {{",
+                sh.shard,
+                sh.rounds,
+                sh.shots,
+                sh.sheds,
+                sh.l1_rounds,
+                sh.escalated_windows,
+                sh.parks,
+                sh.wakes,
+                sh.ring_depth,
+                sh.ring_depth_max,
+            ));
+            for (j, stage) in Stage::ALL.iter().enumerate() {
+                let f = sh.stage_summary(*stage);
+                s.push_str(&format!(
+                    "{}\"{}\": {{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \
+                     \"p99_ns\": {}, \"max_ns\": {}}}",
+                    if j == 0 { "" } else { ", " },
+                    stage.label(),
+                    f.count,
+                    f.sum_ns,
+                    f.p50_ns,
+                    f.p99_ns,
+                    f.max_ns,
+                ));
+            }
+            s.push_str(&format!(
+                "}}}}{}\n",
+                if i + 1 < self.shards.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("]}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> Registry {
+        let reg = Registry::new(2);
+        let m0 = reg.shard(0);
+        m0.rounds.add(600);
+        m0.shots.add(100);
+        m0.sheds.add(2);
+        m0.l1_rounds.add(550);
+        m0.escalated_windows.add(7);
+        m0.parks.add(3);
+        m0.wakes.add(3);
+        m0.ring_depth.set(5);
+        m0.ring_depth.set(1);
+        m0.stages.record(Stage::Solve, 800);
+        m0.stages.record(Stage::Solve, 1500);
+        m0.stages.record(Stage::WindowTotal, 2000);
+        reg.shard(1).stages.record(Stage::Solve, 400);
+        reg
+    }
+
+    #[test]
+    fn snapshot_reads_every_family() {
+        let snap = populated().snapshot();
+        assert_eq!(snap.shards.len(), 2);
+        let s0 = &snap.shards[0];
+        assert_eq!(s0.rounds, 600);
+        assert_eq!(s0.sheds, 2);
+        assert_eq!(s0.ring_depth, 1);
+        assert_eq!(s0.ring_depth_max, 5);
+        assert_eq!(snap.max_ring_depth(), 5);
+        let solve = s0.stage_summary(Stage::Solve);
+        assert_eq!(solve.count, 2);
+        assert_eq!(solve.max_ns, 1500);
+        assert!(solve.p99_ns >= solve.p50_ns);
+        // Fleet merge covers both shards.
+        assert_eq!(snap.merged_stage(Stage::Solve).count, 3);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_the_required_families() {
+        let text = populated().snapshot().render_prometheus();
+        for family in [
+            "promatch_rounds_total",
+            "promatch_shed_total",
+            "promatch_escalated_windows_total",
+            "promatch_ring_depth",
+            "promatch_stage_duration_ns",
+        ] {
+            assert!(text.contains(&format!("# TYPE {family}")), "{family}");
+        }
+        assert!(text.contains("promatch_shed_total{shard=\"0\"} 2"));
+        assert!(text.contains("promatch_ring_depth_max{shard=\"0\"} 5"));
+        assert!(text.contains("stage=\"solve\""));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("le=\"+Inf\""));
+        // Cumulative bucket counts end at the total count.
+        assert!(text.contains("promatch_stage_duration_ns_count{shard=\"0\",stage=\"solve\"} 2"));
+    }
+
+    #[test]
+    fn json_rendering_is_parsable_shape() {
+        let json = populated().snapshot().render_json();
+        assert!(json.contains("\"shard\": 0"));
+        assert!(json.contains("\"ring_depth_max\": 5"));
+        assert!(json.contains("\"solve\": {\"count\": 2"));
+        assert!(json.contains("\"window_total\""));
+        // Two shard objects, comma-separated.
+        assert_eq!(json.matches("\"stages\"").count(), 2);
+    }
+}

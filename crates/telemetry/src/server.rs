@@ -1,0 +1,118 @@
+//! The `/metrics` exposition endpoint.
+//!
+//! A deliberately minimal HTTP/1.0 responder: accept, read the request
+//! line, write a `200` with the Prometheus text body, close. No
+//! routing, no keep-alive, no headers parsed beyond the first line —
+//! the consumers are `curl`/Prometheus scrapes in CI and on a dev box,
+//! and a dependency-free thread is all that takes. The scrape path
+//! allocates freely; it is off the decode hot path by construction.
+
+use crate::registry::Registry;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A background thread serving `GET /metrics` scrapes of a shared
+/// [`Registry`]. Dropping the handle shuts the listener down.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// serves scrapes until the handle is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(addr: &str, registry: Arc<Registry>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("metrics-server".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Serve inline: scrapes are rare and tiny, and a
+                    // slow scraper stalling the next one is acceptable
+                    // for a diagnostics endpoint.
+                    let _ = serve_one(stream, &registry);
+                }
+            })
+            .expect("spawn metrics server thread");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_one(stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let body = registry.snapshot().render_prometheus();
+    let mut stream = reader.into_inner();
+    // Any path gets the metrics body: one endpoint, one document.
+    write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::Stage;
+    use std::io::Read;
+
+    #[test]
+    fn scrape_round_trips_over_tcp() {
+        let registry = Arc::new(Registry::new(1));
+        registry.shard(0).rounds.add(42);
+        registry.shard(0).stages.record(Stage::Solve, 123);
+        let server = MetricsServer::spawn("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        write!(conn, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.contains("promatch_rounds_total{shard=\"0\"} 42"));
+        assert!(response.contains("promatch_stage_duration_ns"));
+        drop(server);
+        // A second server can rebind an ephemeral port after shutdown.
+        let again = MetricsServer::spawn("127.0.0.1:0", registry).unwrap();
+        drop(again);
+    }
+}

@@ -16,4 +16,5 @@ pub use qsim;
 pub use realtime;
 pub use service;
 pub use surface_code;
+pub use telemetry;
 pub use unionfind;

@@ -10,6 +10,11 @@
 //! this test with a nonzero count rather than washing out as a few
 //! nanoseconds of tail latency.
 //!
+//! The decoder runs with stage spans attached at a 1-in-1 sampling
+//! rate, so the pin also covers the telemetry record path: timing a
+//! window step into a [`telemetry::StageSpans`] histogram must never
+//! touch the heap.
+//!
 //! This binary holds a single test so no concurrent test thread can
 //! attribute its allocations to the measured region.
 
@@ -18,8 +23,10 @@ use promatch_repro::ler::{DecoderKind, ExperimentContext};
 use promatch_repro::realtime::{
     Datapath, PredecodeMode, SlidingWindowDecoder, SyndromeStream, WindowConfig, WindowedOutcome,
 };
+use promatch_repro::telemetry;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Counts allocation *events* (alloc, alloc_zeroed, realloc); frees are
 /// free.
@@ -58,9 +65,13 @@ fn steady_state_packed_decode_makes_zero_allocations() {
     let cfg = WindowConfig::new(4, 2).unwrap();
     for predecode in [PredecodeMode::Off, PredecodeMode::Batch] {
         for kind in [DecoderKind::Mwpm, DecoderKind::PromatchParAg] {
+            // Sample every window step: the steady-state claim must
+            // hold with the telemetry record path fully exercised.
+            let spans = Arc::new(telemetry::StageSpans::new());
             let mut swd = SlidingWindowDecoder::new(&ctx.graph, layers.clone(), kind, cfg)
                 .with_predecode(predecode)
-                .with_datapath(Datapath::Packed);
+                .with_datapath(Datapath::Packed)
+                .with_spans(Arc::clone(&spans), 1);
             let mut out = WindowedOutcome {
                 obs_flip: 0,
                 failed: false,
@@ -90,6 +101,15 @@ fn steady_state_packed_decode_makes_zero_allocations() {
                 0,
                 "{} ({predecode:?}): steady-state packed decode allocated",
                 kind.label()
+            );
+            // The instrumentation was live for the whole region, not a
+            // disabled no-op: every step rolled up into WindowTotal.
+            let steps = spans.stage(telemetry::Stage::WindowTotal).snapshot();
+            assert!(
+                steps.count >= 64,
+                "{} ({predecode:?}): spans recorded only {} steps",
+                kind.label(),
+                steps.count
             );
         }
     }
