@@ -28,10 +28,27 @@
 //!   repro serve --scenario <name> --qubits Q --shards S [--rate R]
 //!               [--decoder K] [--window W] [--commit C]
 //!               [--predecode off|batch] [--metrics-addr HOST:PORT]
-//!               [--metrics-sample N] [--metrics-json PATH] [key=value ...]
+//!               [--metrics-sample N] [--metrics-json PATH]
+//!               [--trace N] [--trace-out PATH] [key=value ...]
 //!                                              multi-tenant decode service
 //!                                              (--metrics-addr serves live
-//!                                              Prometheus text at /metrics)
+//!                                              Prometheus text at /metrics;
+//!                                              --trace N arms the causal
+//!                                              flight recorder, N events
+//!                                              per shard)
+//!   repro trace <dump.trace> [--out trace.json] [--tenant T] [--last N]
+//!                                              convert a flight-recorder
+//!                                              dump to Chrome trace-event
+//!                                              JSON (Perfetto-loadable)
+//!
+//! perf-regression sentinel (bench and serve):
+//!   --check[=BASELINE]       after the run, compare the fresh artifact
+//!                            against BASELINE (default BENCH.json, read
+//!                            before the run overwrites it) and exit
+//!                            nonzero on regression
+//!   --check-rounds-tol F     allowed fractional throughput drop (0.5)
+//!   --check-p99-tol F        allowed fractional stage-p99 rise (3.0)
+//!   --check-shed-tol N       allowed absolute shed+miss rise (10)
 //!
 //! `--threads N` is accepted by every subcommand (equivalent to the
 //! `threads=N` override; omit it to defer to PROMATCH_THREADS, then to
@@ -63,7 +80,9 @@ fn main() -> ExitCode {
         eprintln!(
             "       repro serve --scenario <name> --qubits Q --shards S [--rate R] [key=value ...]"
         );
-        eprintln!("       (--threads N works with every subcommand)");
+        eprintln!("       repro trace <dump.trace> [--out trace.json] [--tenant T] [--last N]");
+        eprintln!("       (--threads N works with every subcommand;");
+        eprintln!("        --check gates bench/serve against a committed BENCH.json)");
         return ExitCode::FAILURE;
     };
     if name == "bench" {
@@ -71,6 +90,9 @@ fn main() -> ExitCode {
     }
     if name == "serve" {
         return run_scenario_serve(&args[1..]);
+    }
+    if name == "trace" {
+        return run_trace_export(&args[1..]);
     }
     if name == "scenarios" {
         let registry = ScenarioRegistry::builtin();
@@ -152,6 +174,174 @@ fn flag_value(
         .strip_prefix(flag)
         .and_then(|rest| rest.strip_prefix('='))
         .map(str::to_string))
+}
+
+/// Parses one perf-sentinel flag (`--check`, `--check=BASELINE`,
+/// `--check-rounds-tol`, `--check-p99-tol`, `--check-shed-tol`) into
+/// `check`, arming the sentinel on first sight. `Ok(true)` means `arg`
+/// was consumed.
+fn check_flag(
+    arg: &str,
+    it: &mut std::slice::Iter<'_, String>,
+    check: &mut Option<bench_suite::CheckConfig>,
+) -> Result<bool, String> {
+    for (flag, field) in [
+        ("--check-rounds-tol", 0u8),
+        ("--check-p99-tol", 1),
+        ("--check-shed-tol", 2),
+    ] {
+        if let Some(value) = flag_value(arg, it, flag)? {
+            let cfg = check.get_or_insert_with(bench_suite::CheckConfig::default);
+            match field {
+                0 => cfg.rounds_tol = value.parse().map_err(|e| format!("{flag}: {e}"))?,
+                1 => cfg.p99_tol = value.parse().map_err(|e| format!("{flag}: {e}"))?,
+                _ => cfg.count_tol = value.parse().map_err(|e| format!("{flag}: {e}"))?,
+            }
+            return Ok(true);
+        }
+    }
+    if arg == "--check" {
+        check.get_or_insert_with(bench_suite::CheckConfig::default);
+        return Ok(true);
+    }
+    if let Some(path) = arg.strip_prefix("--check=") {
+        check
+            .get_or_insert_with(bench_suite::CheckConfig::default)
+            .baseline = path.to_string();
+        return Ok(true);
+    }
+    Ok(false)
+}
+
+/// Reads the sentinel baseline *before* the run overwrites it. `None`
+/// when the sentinel is off.
+fn read_baseline(check: &Option<bench_suite::CheckConfig>) -> Result<Option<String>, ExitCode> {
+    let Some(cfg) = check else { return Ok(None) };
+    match std::fs::read_to_string(&cfg.baseline) {
+        Ok(text) => Ok(Some(text)),
+        Err(e) => {
+            eprintln!("error: --check baseline {}: {e}", cfg.baseline);
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Compares the freshly written artifact against the pre-run baseline
+/// text and reports the verdict.
+fn run_check_verdict(
+    check: &bench_suite::CheckConfig,
+    baseline_text: &str,
+    fresh_path: &str,
+) -> ExitCode {
+    let fresh = match std::fs::read_to_string(fresh_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: --check fresh artifact {fresh_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match bench_suite::check_docs(baseline_text, &fresh, check) {
+        Ok(lines) => {
+            println!(
+                "# check: {} comparison{} against {} passed",
+                lines.len(),
+                if lines.len() == 1 { "" } else { "s" },
+                check.baseline
+            );
+            for line in lines {
+                println!("#   ok: {line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(delta) => {
+            eprintln!("{delta}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro trace`: convert a flight-recorder dump (an end-of-run or
+/// postmortem `.trace` file) to Chrome trace-event JSON — loadable in
+/// Perfetto or `chrome://tracing`, one process per shard, one track per
+/// tenant.
+fn run_trace_export(args: &[String]) -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut out = "trace.json".to_string();
+    let mut tenant: Option<u32> = None;
+    let mut last: Option<usize> = None;
+    let mut it = args.iter();
+    let fail = |e: String| {
+        eprintln!("error: {e}");
+        ExitCode::FAILURE
+    };
+    while let Some(arg) = it.next() {
+        match flag_value(arg, &mut it, "--out") {
+            Err(e) => return fail(e),
+            Ok(Some(v)) => {
+                out = v;
+                continue;
+            }
+            Ok(None) => {}
+        }
+        match flag_value(arg, &mut it, "--tenant") {
+            Err(e) => return fail(e),
+            Ok(Some(v)) => {
+                match v.parse() {
+                    Ok(t) => tenant = Some(t),
+                    Err(e) => return fail(format!("--tenant: {e}")),
+                }
+                continue;
+            }
+            Ok(None) => {}
+        }
+        match flag_value(arg, &mut it, "--last") {
+            Err(e) => return fail(e),
+            Ok(Some(v)) => {
+                match v.parse() {
+                    Ok(n) => last = Some(n),
+                    Err(e) => return fail(format!("--last: {e}")),
+                }
+                continue;
+            }
+            Ok(None) => {}
+        }
+        if arg.starts_with("--") {
+            return fail(format!("unknown flag '{arg}'"));
+        }
+        if input.is_some() {
+            return fail(format!("multiple input files ('{arg}')"));
+        }
+        input = Some(arg.clone());
+    }
+    let Some(input) = input else {
+        eprintln!("usage: repro trace <dump.trace> [--out trace.json] [--tenant T] [--last N]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&input) {
+        Ok(text) => text,
+        Err(e) => return fail(format!("{input}: {e}")),
+    };
+    let mut dump = match telemetry::parse_dump(&text) {
+        Ok(dump) => dump,
+        Err(e) => return fail(format!("{input}: {e}")),
+    };
+    if let Some(t) = tenant {
+        dump.retain_tenant(t);
+    }
+    if let Some(n) = last {
+        dump.retain_last(n);
+    }
+    let json = telemetry::render_chrome_trace(&dump);
+    if let Err(e) = std::fs::write(&out, json) {
+        return fail(format!("{out}: {e}"));
+    }
+    println!(
+        "# wrote {out} ({} events across {} shards, reason '{}')",
+        dump.len(),
+        dump.shards.len(),
+        dump.reason
+    );
+    ExitCode::SUCCESS
 }
 
 /// `repro ler --scenario <name>`: Equation-1 LER study of a named
@@ -299,8 +489,17 @@ fn run_scenario_realtime(args: &[String]) -> ExitCode {
 fn run_scenario_serve(args: &[String]) -> ExitCode {
     let mut scenario_name: Option<String> = None;
     let mut overrides = Vec::new();
+    let mut check: Option<bench_suite::CheckConfig> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        match check_flag(arg, &mut it, &mut check) {
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(true) => continue,
+            Ok(false) => {}
+        }
         let mut matched = false;
         for (flag, key) in [
             ("--scenario", None),
@@ -315,6 +514,10 @@ fn run_scenario_serve(args: &[String]) -> ExitCode {
             ("--metrics-addr", Some("metrics-addr")),
             ("--metrics-sample", Some("metrics-sample")),
             ("--metrics-json", Some("metrics-json")),
+            ("--trace", Some("trace")),
+            ("--trace-out", Some("trace-out")),
+            ("--storm-threshold", Some("storm-threshold")),
+            ("--ring-high-water", Some("ring-high-water")),
             ("--threads", Some("threads")),
         ] {
             match flag_value(arg, &mut it, flag) {
@@ -342,7 +545,9 @@ fn run_scenario_serve(args: &[String]) -> ExitCode {
             "usage: repro serve --scenario <name> --qubits Q --shards S [--rate R] \
              [--decoder K] [--window W] [--commit C] [--predecode off|batch] \
              [--transport channel|tcp] [--metrics-addr HOST:PORT] \
-             [--metrics-sample N] [--metrics-json PATH] [datapath=packed|byte] \
+             [--metrics-sample N] [--metrics-json PATH] [--trace N] \
+             [--trace-out PATH] [--storm-threshold F] [--ring-high-water N] \
+             [--check[=BASELINE]] [datapath=packed|byte] \
              [shots=N] [seed=N] [deadline=NS] [queue=N] [inflight=N] [out=PATH]"
         );
         return ExitCode::FAILURE;
@@ -360,13 +565,23 @@ fn run_scenario_serve(args: &[String]) -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
+    // The sentinel's baseline is read before the run overwrites the
+    // artifact (the default baseline and output are the same file).
+    let baseline = match read_baseline(&check) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let started = std::time::Instant::now();
     match bench_suite::run_serve_study(scenario, &cfg, &mut out) {
         Ok(()) => {
             let _ = writeln!(out, "\n[done in {:.1?}]", started.elapsed());
-            ExitCode::SUCCESS
+            drop(out);
+            match (&check, &baseline) {
+                (Some(chk), Some(base)) => run_check_verdict(chk, base, &cfg.out_path),
+                _ => ExitCode::SUCCESS,
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -380,8 +595,17 @@ fn run_perf_bench(args: &[String]) -> ExitCode {
     use bench_suite::BenchScale;
     let mut scale = BenchScale::quick();
     let mut overrides = Vec::new();
+    let mut check: Option<bench_suite::CheckConfig> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        match check_flag(arg, &mut it, &mut check) {
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(true) => continue,
+            Ok(false) => {}
+        }
         let scale_flag = match flag_value(arg, &mut it, "--scale") {
             Err(e) => {
                 eprintln!("error: {e} (tiny|quick|paper)");
@@ -424,13 +648,22 @@ fn run_perf_bench(args: &[String]) -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
+    // Baseline first: the fresh run overwrites the default path.
+    let baseline = match read_baseline(&check) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let started = std::time::Instant::now();
     match bench_suite::run_bench(&scale, &mut out) {
         Ok(()) => {
             let _ = writeln!(out, "\n[done in {:.1?}]", started.elapsed());
-            ExitCode::SUCCESS
+            drop(out);
+            match (&check, &baseline) {
+                (Some(chk), Some(base)) => run_check_verdict(chk, base, &scale.out_path),
+                _ => ExitCode::SUCCESS,
+            }
         }
         Err(e) => {
             eprintln!("io error: {e}");

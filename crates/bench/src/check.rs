@@ -1,0 +1,611 @@
+//! The perf-regression sentinel: `repro bench --check` / `repro serve
+//! --check`.
+//!
+//! Compares a freshly written `BENCH.json` against a committed baseline
+//! and fails with a readable delta when throughput drops, stage tail
+//! latencies rise, or shed/deadline-miss counts grow beyond configured
+//! tolerances. Only the sections present in *both* documents are
+//! compared — a serve baseline checked against a bench run (or vice
+//! versa) passes vacuously, with a note saying nothing overlapped —
+//! so one committed artifact can gate whichever subcommand CI runs.
+//!
+//! Wall-clock numbers are machine-dependent, so the default tolerances
+//! are generous (a 50 % throughput drop, a 4× p99); the sentinel exists
+//! to catch *collapses* — an accidentally serialized hot loop, a lost
+//! fast path — not single-digit noise. CI tightens or loosens them per
+//! runner with the `--check-*-tol` flags.
+//!
+//! The parser is a minimal recursive-descent JSON reader over the
+//! schema this crate itself writes (plus `NaN`/`inf` tokens, which
+//! `{:.1}`-formatted float fields can emit) — no serde, per the
+//! no-new-dependencies rule.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parsed JSON value. Numbers are f64 (the schema never needs more
+/// than 53 bits of integer precision for the compared fields).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number, including the non-standard `NaN`/`inf` tokens our
+    /// float formatting can produce.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object (`None` elsewhere or when absent).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document.
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err("unexpected end of input".into());
+    };
+    match b {
+        b'{' => parse_object(bytes, pos),
+        b'[' => parse_array(bytes, pos),
+        b'"' => Ok(Json::Str(parse_string(bytes, pos)?)),
+        b't' => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        b'f' => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        b'n' => parse_lit(bytes, pos, "null", Json::Null),
+        // Non-standard float tokens our own writer can emit.
+        b'N' => parse_lit(bytes, pos, "NaN", Json::Num(f64::NAN)),
+        b'i' => parse_lit(bytes, pos, "inf", Json::Num(f64::INFINITY)),
+        _ => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected '{lit}' at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+        if bytes[*pos..].starts_with(b"inf") {
+            *pos += 3;
+            return Ok(Json::Num(f64::NEG_INFINITY));
+        }
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("malformed number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}", pos = *pos))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?} at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Copy the full UTF-8 sequence starting here.
+                let s = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {pos}", pos = *pos))?;
+                let ch = s.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected member name at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        members.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Tolerances of one sentinel comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckConfig {
+    /// Baseline `BENCH.json` path (read *before* the fresh run
+    /// overwrites it — `--check` defaults both paths to `BENCH.json`).
+    pub baseline: String,
+    /// Allowed fractional throughput drop: fail when a fresh
+    /// `rounds_per_s` (aggregate or per bench point) falls below
+    /// `baseline × (1 − rounds_tol)`.
+    pub rounds_tol: f64,
+    /// Allowed fractional p99 rise: fail when a fresh stage p99 exceeds
+    /// `baseline × (1 + p99_tol)` (stages with a zero baseline p99 are
+    /// skipped — there is nothing to regress against).
+    pub p99_tol: f64,
+    /// Allowed absolute rise in the summed shed + deadline-miss counts
+    /// across all service rows.
+    pub count_tol: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            baseline: "BENCH.json".into(),
+            rounds_tol: 0.5,
+            p99_tol: 3.0,
+            count_tol: 10,
+        }
+    }
+}
+
+/// Compares a fresh document against a baseline under `cfg`'s
+/// tolerances and returns one line per comparison made (for the run
+/// log). Sections absent from either side are skipped.
+///
+/// # Errors
+///
+/// Returns a readable multi-line delta describing every violated
+/// tolerance (all violations are collected, not just the first).
+pub fn check_docs(baseline: &str, fresh: &str, cfg: &CheckConfig) -> Result<Vec<String>, String> {
+    let base = parse_json(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let new = parse_json(fresh).map_err(|e| format!("fresh run: {e}"))?;
+    let mut checked: Vec<String> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    // Aggregate service throughput.
+    if let (Some(b), Some(f)) = (
+        base.get("service_summary")
+            .and_then(|s| s.get("rounds_per_s")),
+        new.get("service_summary")
+            .and_then(|s| s.get("rounds_per_s")),
+    ) {
+        let (b, f) = (b.as_f64().unwrap_or(0.0), f.as_f64().unwrap_or(0.0));
+        let floor = b * (1.0 - cfg.rounds_tol);
+        if f < floor {
+            failures.push(format!(
+                "service rounds_per_s collapsed: {f:.0} < {floor:.0} \
+                 (baseline {b:.0}, tolerance -{:.0}%)",
+                cfg.rounds_tol * 100.0
+            ));
+        }
+        checked.push(format!(
+            "service rounds_per_s {f:.0} vs baseline {b:.0} (floor {floor:.0})"
+        ));
+    }
+
+    // Stage p99s, matched by stage label.
+    let stage_p99s = |doc: &Json| -> BTreeMap<String, f64> {
+        doc.get("telemetry")
+            .and_then(|t| t.get("stages"))
+            .and_then(Json::as_arr)
+            .into_iter()
+            .flatten()
+            .filter_map(|row| {
+                Some((
+                    row.get("stage")?.as_str()?.to_string(),
+                    row.get("p99_ns")?.as_f64()?,
+                ))
+            })
+            .collect()
+    };
+    let base_stages = stage_p99s(&base);
+    let fresh_stages = stage_p99s(&new);
+    for (stage, &b) in &base_stages {
+        let Some(&f) = fresh_stages.get(stage) else {
+            continue;
+        };
+        if b <= 0.0 {
+            continue;
+        }
+        let ceiling = b * (1.0 + cfg.p99_tol);
+        if f > ceiling {
+            failures.push(format!(
+                "stage '{stage}' p99 blew up: {f:.0} ns > {ceiling:.0} ns \
+                 (baseline {b:.0} ns, tolerance +{:.0}%)",
+                cfg.p99_tol * 100.0
+            ));
+        }
+        checked.push(format!(
+            "stage '{stage}' p99 {f:.0} ns vs baseline {b:.0} ns (ceiling {ceiling:.0})"
+        ));
+    }
+
+    // Shed + deadline-miss totals across service rows.
+    let slo_counts = |doc: &Json| -> Option<u64> {
+        let rows = doc.get("service")?.as_arr()?;
+        if rows.is_empty() {
+            return None;
+        }
+        Some(
+            rows.iter()
+                .map(|r| {
+                    (r.get("shed").and_then(Json::as_f64).unwrap_or(0.0)
+                        + r.get("deadline_misses")
+                            .and_then(Json::as_f64)
+                            .unwrap_or(0.0)) as u64
+                })
+                .sum(),
+        )
+    };
+    if let (Some(b), Some(f)) = (slo_counts(&base), slo_counts(&new)) {
+        let ceiling = b + cfg.count_tol;
+        if f > ceiling {
+            failures.push(format!(
+                "shed + deadline misses rose: {f} > {ceiling} \
+                 (baseline {b}, tolerance +{})",
+                cfg.count_tol
+            ));
+        }
+        checked.push(format!(
+            "shed + deadline misses {f} vs baseline {b} (ceiling {ceiling})"
+        ));
+    }
+
+    // Bench points, matched by (decoder, d, p, k).
+    let bench_points = |doc: &Json| -> BTreeMap<String, f64> {
+        doc.get("results")
+            .and_then(Json::as_arr)
+            .into_iter()
+            .flatten()
+            .filter_map(|row| {
+                let key = format!(
+                    "{} d={} p={} k={}",
+                    row.get("decoder")?.as_str()?,
+                    row.get("d")?.as_f64()?,
+                    row.get("p")?.as_f64()?,
+                    row.get("k")?.as_f64()?,
+                );
+                Some((key, row.get("rounds_per_s_per_core")?.as_f64()?))
+            })
+            .collect()
+    };
+    let base_points = bench_points(&base);
+    let fresh_points = bench_points(&new);
+    for (key, &b) in &base_points {
+        let Some(&f) = fresh_points.get(key) else {
+            continue;
+        };
+        let floor = b * (1.0 - cfg.rounds_tol);
+        if f < floor {
+            failures.push(format!(
+                "bench point [{key}] slowed down: {f:.0} rounds/s/core < \
+                 {floor:.0} (baseline {b:.0}, tolerance -{:.0}%)",
+                cfg.rounds_tol * 100.0
+            ));
+        }
+        checked.push(format!(
+            "bench point [{key}] {f:.0} vs baseline {b:.0} (floor {floor:.0})"
+        ));
+    }
+
+    // Trace health rides along informationally. Postmortem *trigger*
+    // counts are deliberately not gated: the deadline-miss trigger
+    // fires on wall-clock ingest delay, which varies with machine load
+    // far more than any tolerance worth configuring.
+    if let (Some(b), Some(f)) = (
+        base.get("trace").and_then(|t| t.get("dump_triggers")),
+        new.get("trace").and_then(|t| t.get("dump_triggers")),
+    ) {
+        checked.push(format!(
+            "postmortem triggers {} vs baseline {} (informational)",
+            f.as_f64().unwrap_or(0.0) as u64,
+            b.as_f64().unwrap_or(0.0) as u64
+        ));
+    }
+
+    if checked.is_empty() {
+        checked.push("no overlapping sections — nothing to compare (pass)".into());
+    }
+    if failures.is_empty() {
+        Ok(checked)
+    } else {
+        let mut msg = format!(
+            "perf regression against {} ({} violation{}):\n",
+            cfg.baseline,
+            failures.len(),
+            if failures.len() == 1 { "" } else { "s" }
+        );
+        for f in &failures {
+            let _ = writeln!(msg, "  FAIL {f}");
+        }
+        let _ = write!(
+            msg,
+            "  ({} comparison{} made; rerun with looser --check-*-tol \
+             flags if this machine is simply slower)",
+            checked.len(),
+            if checked.len() == 1 { "" } else { "s" }
+        );
+        Err(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::{
+        render_json, BenchDoc, BenchPoint, ServicePoint, ServiceSummary, StageBreakdownRow,
+        TelemetrySummary, TraceSummary,
+    };
+
+    fn serve_doc(rounds_per_s: f64, p99: u64, shed: u64, triggers: u64) -> String {
+        render_json(&BenchDoc {
+            seed: 1,
+            threads: 2,
+            scenario: Some("cc-d3".into()),
+            service_summary: Some(ServiceSummary {
+                rounds_per_s,
+                rounds_per_s_per_shard: rounds_per_s / 2.0,
+                max_ring_depth: 2,
+            }),
+            telemetry: Some(TelemetrySummary {
+                sample_every: 8,
+                max_ring_depth: 2,
+                stages: vec![StageBreakdownRow {
+                    stage: "window_total",
+                    count: 100,
+                    sum_ns: 50_000,
+                    p50_ns: 400,
+                    p99_ns: p99,
+                    max_ns: 2 * p99,
+                }],
+            }),
+            trace: Some(TraceSummary {
+                events: 1000,
+                dropped: 0,
+                dump_triggers: triggers,
+            }),
+            service: vec![ServicePoint {
+                scenario: "cc-d3".into(),
+                decoder: "MWPM (Ideal)",
+                qubits: 1,
+                shards: 1,
+                qubit: 0,
+                shard: 0,
+                window: 2,
+                commit: 1,
+                predecode: "off",
+                datapath: "packed",
+                round_ns: 4000.0,
+                deadline_ns: 4000.0,
+                shots: 20,
+                windows: 40,
+                shed,
+                deadline_misses: 0,
+                p50_ns: 400.0,
+                p99_ns: p99 as f64,
+                max_ns: 2.0 * p99 as f64,
+                mean_ns: 450.0,
+                l1_rounds_fraction: 0.0,
+                escalation_fraction: 0.0,
+                failures: 0,
+                rounds_per_s,
+            }],
+            ..BenchDoc::default()
+        })
+    }
+
+    #[test]
+    fn parser_round_trips_our_own_writer() {
+        let text = serve_doc(1e6, 900, 0, 0);
+        let doc = parse_json(&text).unwrap();
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_f64),
+            Some(crate::perf::BENCH_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(
+            doc.get("service_summary")
+                .and_then(|s| s.get("rounds_per_s"))
+                .and_then(Json::as_f64),
+            Some(1e6)
+        );
+        assert_eq!(doc.get("scenario").and_then(Json::as_str), Some("cc-d3"));
+        assert_eq!(
+            doc.get("service").and_then(Json::as_arr).map(<[_]>::len),
+            Some(1)
+        );
+        // Non-standard float tokens parse instead of erroring.
+        let weird = parse_json("{\"a\": NaN, \"b\": inf, \"c\": -inf}").unwrap();
+        assert!(weird.get("a").and_then(Json::as_f64).unwrap().is_nan());
+        assert_eq!(weird.get("b").and_then(Json::as_f64), Some(f64::INFINITY));
+        assert_eq!(
+            weird.get("c").and_then(Json::as_f64),
+            Some(f64::NEG_INFINITY)
+        );
+        // Garbage is an error, not a panic.
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn unchanged_document_passes_its_own_check() {
+        let text = serve_doc(1e6, 900, 0, 0);
+        let lines = check_docs(&text, &text, &CheckConfig::default()).unwrap();
+        assert!(lines.iter().any(|l| l.contains("service rounds_per_s")));
+        assert!(lines.iter().any(|l| l.contains("window_total")));
+        assert!(lines.iter().any(|l| l.contains("shed + deadline misses")));
+        assert!(lines.iter().any(|l| l.contains("postmortem triggers")));
+    }
+
+    #[test]
+    fn doctored_baseline_fails_with_a_readable_delta() {
+        let cfg = CheckConfig::default();
+        // Fresh run at half-minus-epsilon of the baseline throughput,
+        // with a blown p99 and a pile of sheds: all three trip.
+        let base = serve_doc(1e6, 900, 0, 0);
+        let fresh = serve_doc(4.9e5, 4000, 60, 12);
+        let err = check_docs(&base, &fresh, &cfg).unwrap_err();
+        assert!(err.contains("rounds_per_s collapsed"), "{err}");
+        assert!(err.contains("p99 blew up"), "{err}");
+        assert!(err.contains("shed + deadline misses rose"), "{err}");
+        assert!(err.contains("baseline 1000000"), "{err}");
+        // Within tolerance passes: a 25 % drop under a 50 % budget.
+        assert!(check_docs(&base, &serve_doc(7.5e5, 1200, 2, 0), &cfg).is_ok());
+    }
+
+    #[test]
+    fn disjoint_documents_pass_vacuously() {
+        let serve = serve_doc(1e6, 900, 0, 0);
+        let bench = render_json(&BenchDoc {
+            seed: 1,
+            threads: 2,
+            results: vec![BenchPoint {
+                decoder: "MWPM (Ideal)",
+                d: 3,
+                p: 1e-3,
+                k: 2,
+                shots: 4,
+                reps: 1,
+                ns_per_shot: 1000.0,
+                rounds_per_s_per_core: 4e6,
+            }],
+            ..BenchDoc::default()
+        });
+        let lines = check_docs(&serve, &bench, &CheckConfig::default()).unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("nothing to compare"), "{}", lines[0]);
+        // Matched bench points do compare — and catch a slowdown.
+        let slow = bench.replace("4000000", "1000000");
+        assert!(check_docs(&bench, &bench, &CheckConfig::default()).is_ok());
+        let err = check_docs(&bench, &slow, &CheckConfig::default()).unwrap_err();
+        assert!(err.contains("slowed down"), "{err}");
+    }
+}

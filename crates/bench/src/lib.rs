@@ -10,6 +10,7 @@
 //! the *shape*: decoder ordering, approximate ratios, and crossovers.
 //! See `EXPERIMENTS.md` for a side-by-side record.
 
+pub mod check;
 pub mod experiments;
 pub mod perf;
 pub mod realtime;
@@ -18,9 +19,10 @@ pub mod scenario;
 pub mod serve;
 
 pub use self::realtime::{run_scenario_realtime, run_scenario_realtime_study, RealtimeRunConfig};
+pub use check::{check_docs, parse_json, CheckConfig, Json};
 pub use perf::{
     render_json, run_bench, BenchDoc, BenchPoint, BenchScale, LatencyPoint, LerPoint, ServicePoint,
-    ServiceSummary, StageBreakdownRow, TelemetrySummary,
+    ServiceSummary, StageBreakdownRow, TelemetrySummary, TraceSummary,
 };
 pub use scale::Scale;
 pub use scenario::{

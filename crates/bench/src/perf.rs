@@ -9,12 +9,12 @@
 //! `BENCH.json` is a schema-stable artifact CI can archive per commit —
 //! and, since schema v2, per scenario.
 //!
-//! Schema (`schema_version` 7; see README.md for the field-by-field
+//! Schema (`schema_version` 8; see README.md for the field-by-field
 //! description):
 //!
 //! ```json
 //! {
-//!   "schema_version": 7,
+//!   "schema_version": 8,
 //!   "git_rev": "abc1234",
 //!   "seed": 2024,
 //!   "threads": 4,
@@ -37,6 +37,7 @@
 //!     {"stage": "ingest", "count": 1200, "sum_ns": 480000,
 //!      "p50_ns": 310, "p99_ns": 980, "max_ns": 2100}
 //!   ]},
+//!   "trace": {"events": 4096, "dropped": 0, "dump_triggers": 0},
 //!   "service": [
 //!     {"scenario": "sd6-d5", "decoder": "Promatch || AG", "qubits": 16,
 //!      "shards": 4, "qubit": 0, "shard": 2, "window": 4, "commit": 2,
@@ -79,6 +80,12 @@
 //! window-step times from the stage spans), adds the service summary's
 //! `max_ring_depth`, and attaches the `telemetry` object — the merged
 //! per-stage latency breakdown of a serve run (`null` elsewhere).
+//! Schema v8 attaches the `trace` object — the flight-recorder rollup
+//! of a trace-armed serve run (events recorded and dropped across the
+//! shard rings, postmortem triggers fired; `null` when tracing is off)
+//! — and fixes the service rows' `rounds_per_s` to divide by each
+//! tenant's *own* first-submit→last-commit wall clock instead of the
+//! whole-run wall clock (which stamped every row with the same number).
 //! `scenario` is `"default"` for the classic injection benchmark,
 //! otherwise the registry name.
 
@@ -91,7 +98,7 @@ use std::io::Write;
 use std::time::Instant;
 
 /// Version of the `BENCH.json` schema this build writes.
-pub const BENCH_SCHEMA_VERSION: u32 = 7;
+pub const BENCH_SCHEMA_VERSION: u32 = 8;
 
 /// One measured `(decoder, d, p, k)` point.
 #[derive(Clone, Debug)]
@@ -306,6 +313,26 @@ pub struct TelemetrySummary {
     pub stages: Vec<StageBreakdownRow>,
 }
 
+/// The flight-recorder rollup of a trace-armed `repro serve` run
+/// (schema v8; serialized as the top-level `trace` object, `null` when
+/// tracing was off or for documents written by the other subcommands).
+/// The perf-regression sentinel (`repro bench --check` / `repro serve
+/// --check`) treats a baseline with a `trace` object as trace-armed and
+/// compares dump-trigger counts alongside the throughput deltas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Events recorded across every shard's flight-recorder ring over
+    /// the run's lifetime.
+    pub events: u64,
+    /// Events the rings overwrote before the end-of-run snapshot (ring
+    /// wrap; the recorder never blocks the hot path to preserve them).
+    pub dropped: u64,
+    /// Postmortem triggers fired over the run (shed, deadline miss,
+    /// escalation storm, ring high-water). Only the first writes a dump
+    /// file; the rest just count.
+    pub dump_triggers: u64,
+}
+
 /// Everything that goes into one `BENCH.json` document.
 #[derive(Clone, Debug, Default)]
 pub struct BenchDoc {
@@ -330,6 +357,9 @@ pub struct BenchDoc {
     /// Per-stage telemetry breakdown (`repro serve` — schema v7;
     /// serialized as `null` when absent).
     pub telemetry: Option<TelemetrySummary>,
+    /// Flight-recorder rollup of a trace-armed serve run (`repro serve`
+    /// — schema v8; serialized as `null` when absent).
+    pub trace: Option<TraceSummary>,
 }
 
 /// Configuration of a `repro bench` run.
@@ -685,6 +715,14 @@ pub fn render_json(doc: &BenchDoc) -> String {
         }
         None => s.push_str("  \"telemetry\": null,\n"),
     }
+    match &doc.trace {
+        Some(t) => s.push_str(&format!(
+            "  \"trace\": {{\"events\": {}, \"dropped\": {}, \
+             \"dump_triggers\": {}}},\n",
+            t.events, t.dropped, t.dump_triggers
+        )),
+        None => s.push_str("  \"trace\": null,\n"),
+    }
     s.push_str("  \"service\": [\n");
     for (i, p) in doc.service.iter().enumerate() {
         s.push_str(&format!(
@@ -820,7 +858,7 @@ mod tests {
     }
 
     #[test]
-    fn json_schema_v7_is_stable() {
+    fn json_schema_v8_is_stable() {
         let doc = BenchDoc {
             seed: 2024,
             threads: 4,
@@ -829,6 +867,11 @@ mod tests {
                 rounds_per_s: 1_450_000.4,
                 rounds_per_s_per_shard: 362_500.1,
                 max_ring_depth: 3,
+            }),
+            trace: Some(TraceSummary {
+                events: 4096,
+                dropped: 7,
+                dump_triggers: 1,
             }),
             telemetry: Some(TelemetrySummary {
                 sample_every: 8,
@@ -922,7 +965,7 @@ mod tests {
             }],
         };
         let json = render_json(&doc);
-        assert!(json.contains("\"schema_version\": 7"));
+        assert!(json.contains("\"schema_version\": 8"));
         assert!(json.contains("\"seed\": 2024"));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"scenario\": \"sd6-d11\""));
@@ -943,6 +986,9 @@ mod tests {
             "\"telemetry\": {\"sample_every\": 8, \"max_ring_depth\": 3, \
              \"stages\": ["
         ));
+        assert!(
+            json.contains("\"trace\": {\"events\": 4096, \"dropped\": 7, \"dump_triggers\": 1},")
+        );
         assert!(json.contains(
             "{\"stage\": \"ingest\", \"count\": 1200, \"sum_ns\": 480000, \
              \"p50_ns\": 310, \"p99_ns\": 980, \"max_ns\": 2100},"
@@ -987,6 +1033,7 @@ mod tests {
         assert!(json.contains("\"latency\": [\n  ]"));
         assert!(json.contains("\"service_summary\": null,"));
         assert!(json.contains("\"telemetry\": null,"));
+        assert!(json.contains("\"trace\": null,"));
     }
 
     #[test]
@@ -1017,7 +1064,7 @@ mod tests {
         let mut sink = Vec::new();
         run_bench(&scale, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 7"));
+        assert!(text.contains("\"schema_version\": 8"));
         assert!(text.contains("\"ns_per_shot\""));
         assert!(text.contains("\"rounds_per_s_per_core\""));
         assert!(text.contains("\"threads\":"));

@@ -430,7 +430,7 @@ mod tests {
         let mut sink = Vec::new();
         run_scenario_realtime_study(sc, &cfg, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 7"));
+        assert!(text.contains("\"schema_version\": 8"));
         assert!(text.contains("\"scenario\": \"cc-d3\""));
         assert!(text.contains("\"predecode\": \"off\""));
         assert!(text.contains("\"datapath\": \"packed\""));

@@ -569,7 +569,7 @@ mod tests {
         let mut sink = Vec::new();
         run_scenario_ler_study(sc, &cfg, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 7"));
+        assert!(text.contains("\"schema_version\": 8"));
         assert!(text.contains("\"scenario\": \"cc-d3\""));
         assert!(text.contains("\"threads\": 1"));
         assert!(text.contains("\"k_max\": 2"));

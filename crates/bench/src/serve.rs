@@ -10,7 +10,9 @@
 //! whole-run aggregate throughput in the `service_summary` object
 //! (schema v6).
 
-use crate::perf::{BenchDoc, ServicePoint, ServiceSummary, StageBreakdownRow, TelemetrySummary};
+use crate::perf::{
+    BenchDoc, ServicePoint, ServiceSummary, StageBreakdownRow, TelemetrySummary, TraceSummary,
+};
 use crate::scale::{parse_positive, parse_threads};
 use crate::scenario::Scenario;
 use ler::DecoderKind;
@@ -80,6 +82,22 @@ pub struct ServeConfig {
     /// Path to write periodic (~1 s) JSON telemetry snapshots to during
     /// the run, plus a final one at the end. `None` disables them.
     pub metrics_json: Option<String>,
+    /// Flight-recorder ring capacity per shard, in events (rounded up
+    /// to a power of two by the recorder). 0 leaves the causal trace
+    /// layer off entirely — no rings, no postmortem triggers.
+    pub trace: usize,
+    /// Path to write the end-of-run flight-recorder dump to. Its
+    /// `.trace`-stripped stem also prefixes triggered postmortem dumps
+    /// (`{stem}-{reason}-{millis}.trace`). `None` disables dump files;
+    /// triggers still count into the `trace` summary.
+    pub trace_out: Option<String>,
+    /// Escalation-storm postmortem threshold: trigger when more than
+    /// this fraction of a shard's last 64 windows escalated past L1
+    /// (0 disables the storm trigger).
+    pub storm_threshold: f64,
+    /// SPSC ring high-water postmortem threshold: trigger when any
+    /// shard's submission ring reaches this depth (0 disables).
+    pub ring_high_water: u32,
     /// Output path for the BENCH.json artifact.
     pub out_path: String,
 }
@@ -104,6 +122,10 @@ impl Default for ServeConfig {
             metrics_addr: None,
             metrics_sample: 8,
             metrics_json: None,
+            trace: 0,
+            trace_out: None,
+            storm_threshold: 0.0,
+            ring_high_water: 0,
             out_path: "BENCH.json".into(),
         }
     }
@@ -113,7 +135,8 @@ impl ServeConfig {
     /// Parses `key=value` overrides (`qubits=`, `shards=`, `rate=`,
     /// `shots=`, `seed=`, `decoder=`, `window=`, `commit=`, `deadline=`,
     /// `predecode=`, `datapath=`, `queue=`, `inflight=`, `transport=`,
-    /// `metrics-addr=`, `metrics-sample=`, `metrics-json=`, `out=`),
+    /// `metrics-addr=`, `metrics-sample=`, `metrics-json=`, `trace=`,
+    /// `trace-out=`, `storm-threshold=`, `ring-high-water=`, `out=`),
     /// rejecting zero sizes with a clear error.
     ///
     /// # Errors
@@ -174,6 +197,16 @@ impl ServeConfig {
                         value.parse().map_err(|e| format!("metrics-sample: {e}"))?;
                 }
                 "metrics-json" => self.metrics_json = Some(value.to_string()),
+                "trace" => self.trace = value.parse().map_err(|e| format!("trace: {e}"))?,
+                "trace-out" => self.trace_out = Some(value.to_string()),
+                "storm-threshold" => {
+                    self.storm_threshold =
+                        value.parse().map_err(|e| format!("storm-threshold: {e}"))?;
+                }
+                "ring-high-water" => {
+                    self.ring_high_water =
+                        value.parse().map_err(|e| format!("ring-high-water: {e}"))?;
+                }
                 // `threads=` is accepted for CLI symmetry with the other
                 // subcommands: the worker pool's parallelism is its shard
                 // count.
@@ -204,7 +237,12 @@ pub fn run_serve(
     scenario: &Scenario,
     cfg: &ServeConfig,
     w: &mut dyn Write,
-) -> std::io::Result<(Vec<ServicePoint>, ServiceSummary, TelemetrySummary)> {
+) -> std::io::Result<(
+    Vec<ServicePoint>,
+    ServiceSummary,
+    TelemetrySummary,
+    Option<TraceSummary>,
+)> {
     let invalid = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, e);
     let window = cfg.window.unwrap_or(scenario.rt_window);
     let commit = cfg.commit.unwrap_or(scenario.rt_commit);
@@ -255,6 +293,12 @@ pub fn run_serve(
     )?;
     let scenario_ctx =
         ScenarioContext::new(scenario.name, std::sync::Arc::clone(&ctx)).map_err(invalid)?;
+    // Triggered postmortems share the end-of-run dump path's stem:
+    // `run.trace` freezes to `run-shed-<millis>.trace` and friends.
+    let dump_prefix = cfg
+        .trace_out
+        .as_deref()
+        .map(|p| p.strip_suffix(".trace").unwrap_or(p).to_string());
     let service_cfg = ServiceConfig {
         shards: cfg.shards,
         round_ns,
@@ -263,6 +307,10 @@ pub fn run_serve(
         max_inflight_shots: cfg.inflight,
         batch_max: 16,
         metrics_sample: cfg.metrics_sample,
+        trace_capacity: cfg.trace,
+        trace_dump_prefix: dump_prefix,
+        storm_threshold: cfg.storm_threshold,
+        ring_high_water: cfg.ring_high_water,
     };
     let server = DecodeServer::new(service_cfg, vec![scenario_ctx.clone()]).map_err(invalid)?;
     let registry = std::sync::Arc::clone(server.metrics());
@@ -365,6 +413,34 @@ pub fn run_serve(
             })
             .collect(),
     };
+    // Flight-recorder rollup and end-of-run dump. Triggered postmortems
+    // (shed, deadline miss, storm, high-water) already froze their own
+    // dump during the run; the end-of-run dump is the final ring state.
+    let trace_summary = server.trace().map(|trace| {
+        if let Some(path) = &cfg.trace_out {
+            let dump = trace.collect("end-of-run");
+            if let Err(e) = std::fs::write(path, telemetry::render_dump(&dump)) {
+                let _ = writeln!(w, "# trace: failed to write {path}: {e}");
+            } else {
+                let _ = writeln!(w, "# trace: wrote {path} ({} events)", dump.len());
+            }
+        }
+        if let Some(path) = trace.dump_path() {
+            let _ = writeln!(w, "# trace: postmortem frozen at {path}");
+        }
+        TraceSummary {
+            events: trace.events_recorded(),
+            dropped: trace.events_dropped(),
+            dump_triggers: trace.triggers(),
+        }
+    });
+    if let Some(t) = &trace_summary {
+        writeln!(
+            w,
+            "# trace: {} events recorded ({} dropped), {} dump triggers",
+            t.events, t.dropped, t.dump_triggers
+        )?;
+    }
     let aggregate_rounds_per_s = report.rounds_per_second();
     let summary = ServiceSummary {
         rounds_per_s: aggregate_rounds_per_s,
@@ -426,11 +502,13 @@ pub fn run_serve(
         } else {
             0.0
         };
-        // Per-tenant throughput: this tenant's committed rounds over the
-        // run's wall clock. Schema ≤5 copied the whole-service aggregate
-        // into every row, which made tenant rows indistinguishable.
-        let rounds_per_s = if report.wall_seconds > 0.0 {
-            (stats.shots * layers_per_shot) as f64 / report.wall_seconds
+        // Per-tenant throughput: this tenant's committed rounds over its
+        // *own* first-submit→last-commit wall clock. Schema ≤5 copied
+        // the whole-service aggregate into every row; schema 6–7 divided
+        // by the whole-run wall clock, which still stamped every
+        // equal-shots tenant with one identical number (schema v8).
+        let rounds_per_s = if tenant.wall_seconds > 0.0 {
+            (stats.shots * layers_per_shot) as f64 / tenant.wall_seconds
         } else {
             0.0
         };
@@ -496,7 +574,7 @@ pub fn run_serve(
             100.0 * l1 / rounds.max(1) as f64,
         )?;
     }
-    Ok((points, summary, telemetry_summary))
+    Ok((points, summary, telemetry_summary, trace_summary))
 }
 
 /// Runs [`run_serve`] and writes the points as a schema-v4 `BENCH.json`
@@ -510,7 +588,7 @@ pub fn run_serve_study(
     cfg: &ServeConfig,
     w: &mut dyn Write,
 ) -> std::io::Result<()> {
-    let (points, summary, telemetry) = run_serve(scenario, cfg, w)?;
+    let (points, summary, telemetry, trace) = run_serve(scenario, cfg, w)?;
     let doc = BenchDoc {
         seed: cfg.seed,
         threads: cfg.shards,
@@ -518,6 +596,7 @@ pub fn run_serve_study(
         service: points,
         service_summary: Some(summary),
         telemetry: Some(telemetry),
+        trace,
         ..BenchDoc::default()
     };
     let json = crate::perf::render_json(&doc);
@@ -557,6 +636,10 @@ mod tests {
             "metrics-addr=127.0.0.1:0".into(),
             "metrics-sample=4".into(),
             "metrics-json=/tmp/metrics.json".into(),
+            "trace=256".into(),
+            "trace-out=/tmp/run.trace".into(),
+            "storm-threshold=0.75".into(),
+            "ring-high-water=6".into(),
             "out=/tmp/s.json".into(),
         ])
         .unwrap();
@@ -577,6 +660,10 @@ mod tests {
         assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(cfg.metrics_sample, 4);
         assert_eq!(cfg.metrics_json.as_deref(), Some("/tmp/metrics.json"));
+        assert_eq!(cfg.trace, 256);
+        assert_eq!(cfg.trace_out.as_deref(), Some("/tmp/run.trace"));
+        assert_eq!(cfg.storm_threshold, 0.75);
+        assert_eq!(cfg.ring_high_water, 6);
         assert_eq!(cfg.out_path, "/tmp/s.json");
         // Zeros are rejected with a clear message, per flag.
         for bad in ["qubits=0", "shards=0", "shots=0", "queue=0", "inflight=0"] {
@@ -585,6 +672,9 @@ mod tests {
         }
         assert!(cfg.apply_overrides(&["rate=0".into()]).is_err());
         assert!(cfg.apply_overrides(&["metrics-sample=x".into()]).is_err());
+        assert!(cfg.apply_overrides(&["trace=x".into()]).is_err());
+        assert!(cfg.apply_overrides(&["storm-threshold=x".into()]).is_err());
+        assert!(cfg.apply_overrides(&["ring-high-water=x".into()]).is_err());
         assert!(cfg.apply_overrides(&["decoder=bogus".into()]).is_err());
         assert!(cfg.apply_overrides(&["transport=smoke".into()]).is_err());
         assert!(cfg.apply_overrides(&["predecode=pinball".into()]).is_err());
@@ -600,22 +690,29 @@ mod tests {
         let reg = ScenarioRegistry::builtin();
         let sc = reg.get("cc-d3").unwrap();
         let metrics_json = dir.join("metrics.json");
+        let trace_out = dir.join("run.trace");
         let mut cfg = ServeConfig {
             qubits: 4,
             shards: 2,
             shots: 20,
             seed: 5,
             decoder: DecoderKind::Mwpm,
+            // The default µs-scale deadline trips the wall-clock
+            // deadline-miss postmortem under parallel-test load; pin it
+            // far out so `dump_triggers: 0` below is deterministic.
+            deadline_ns: Some(1e12),
             metrics_addr: Some("127.0.0.1:0".into()),
             metrics_sample: 1,
             metrics_json: Some(metrics_json.to_string_lossy().into_owned()),
+            trace: 512,
+            trace_out: Some(trace_out.to_string_lossy().into_owned()),
             out_path: out.to_string_lossy().into_owned(),
             ..ServeConfig::default()
         };
         let mut sink = Vec::new();
         run_serve_study(sc, &cfg, &mut sink).unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("\"schema_version\": 7"));
+        assert!(text.contains("\"schema_version\": 8"));
         assert!(text.contains("\"scenario\": \"cc-d3\""));
         assert!(text.contains("\"qubits\": 4"));
         assert!(text.contains("\"predecode\": \"off\""));
@@ -642,13 +739,28 @@ mod tests {
         assert!(snap.contains("\"window_total\":"), "{snap}");
         // The closed loop within its admission budget never sheds.
         assert!(text.contains("\"shed\": 0"));
+        // The flight recorder was armed: the document carries the trace
+        // rollup, the end-of-run dump parses, and a clean run fires no
+        // postmortem triggers.
+        assert!(text.contains("\"trace\": {\"events\":"), "{text}");
+        assert!(text.contains("\"dump_triggers\": 0"), "{text}");
+        let dump_text = std::fs::read_to_string(&trace_out).unwrap();
+        let dump = telemetry::parse_dump(&dump_text).unwrap();
+        assert_eq!(dump.reason, "end-of-run");
+        assert!(!dump.is_empty(), "armed run recorded no events");
+        std::fs::remove_file(&trace_out).unwrap();
         // The TCP transport produces the same commit streams (spot-check
         // via identical failure counts and shot totals).
         cfg.transport = ServeTransport::Tcp;
         cfg.metrics_addr = None;
         cfg.metrics_json = None;
+        cfg.trace = 0;
+        cfg.trace_out = None;
         let mut sink_tcp = Vec::new();
-        let (tcp_points, tcp_summary, tcp_tel) = run_serve(sc, &cfg, &mut sink_tcp).unwrap();
+        let (tcp_points, tcp_summary, tcp_tel, tcp_trace) =
+            run_serve(sc, &cfg, &mut sink_tcp).unwrap();
+        // Tracing off: no rollup rides into the document.
+        assert!(tcp_trace.is_none());
         // Sampled spans landed in the telemetry summary and the deepest
         // observed ring occupancy is surfaced in the service summary.
         assert!(tcp_tel
@@ -659,24 +771,37 @@ mod tests {
         assert_eq!(tcp_points.len(), 4);
         for p in &tcp_points {
             assert_eq!(p.shots, 20);
-            // Every tenant committed every shot, so each row carries its
-            // own share of the aggregate, not the aggregate itself.
+            // Each row's rate divides this tenant's rounds by its *own*
+            // first-submit→last-commit span. That span is at most the
+            // whole run's, so every equal-shots tenant clears its
+            // aggregate share (aggregate / qubits), with slack for the
+            // ramp-up before the tenant's first submission.
             assert!(p.rounds_per_s > 0.0);
-            assert!(p.rounds_per_s < tcp_summary.rounds_per_s);
+            assert!(
+                p.rounds_per_s * (1.0 + 1e-9) >= tcp_summary.rounds_per_s / 4.0,
+                "tenant {} rate {} below aggregate share {}",
+                p.qubit,
+                p.rounds_per_s,
+                tcp_summary.rounds_per_s / 4.0
+            );
         }
-        // With nothing shed, the per-tenant rates sum to the aggregate.
-        let sum: f64 = tcp_points.iter().map(|p| p.rounds_per_s).sum();
-        assert!(
-            (sum - tcp_summary.rounds_per_s).abs() <= 1e-6 * tcp_summary.rounds_per_s,
-            "{sum} vs {}",
-            tcp_summary.rounds_per_s
-        );
+        // Per-tenant wall clocks differ, so the rows are no longer four
+        // copies of one number (the schema ≤7 failure mode).
+        let min = tcp_points
+            .iter()
+            .map(|p| p.rounds_per_s)
+            .fold(f64::MAX, f64::min);
+        let max = tcp_points
+            .iter()
+            .map(|p| p.rounds_per_s)
+            .fold(0.0, f64::max);
+        assert!(max > min, "all tenant rows carry one identical rate {min}");
         // With batch predecoding the same tiny run sheds most rounds at
         // L1 (cc-d3 at its default p is sparse) and tags the points.
         cfg.transport = ServeTransport::Channel;
         cfg.predecode = PredecodeMode::Batch;
         let mut sink_l1 = Vec::new();
-        let (l1_points, _, _) = run_serve(sc, &cfg, &mut sink_l1).unwrap();
+        let (l1_points, _, _, _) = run_serve(sc, &cfg, &mut sink_l1).unwrap();
         assert_eq!(l1_points.len(), 4);
         for p in &l1_points {
             assert_eq!(p.predecode, "batch");
@@ -690,7 +815,7 @@ mod tests {
         cfg.predecode = PredecodeMode::Off;
         cfg.datapath = Datapath::Byte;
         let mut sink_byte = Vec::new();
-        let (byte_points, _, _) = run_serve(sc, &cfg, &mut sink_byte).unwrap();
+        let (byte_points, _, _, _) = run_serve(sc, &cfg, &mut sink_byte).unwrap();
         for (b, p) in byte_points.iter().zip(&tcp_points) {
             assert_eq!(b.datapath, "byte");
             assert_eq!(b.failures, p.failures, "qubit {}", b.qubit);

@@ -72,6 +72,50 @@ pub struct LocalMatch {
     pub weight: i64,
 }
 
+/// Why a batch left the verified L1 fast path. Identical between the
+/// sparse and packed datapaths (the packed ≡ sparse equality tests pin
+/// it), and carried on the Escalate trace event so postmortems can tell
+/// a defect-count overflow from a verification failure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EscalateCause {
+    /// The batch never left the fast path (non-complex or empty).
+    #[default]
+    None = 0,
+    /// More than [`MAX_L1_DEFECTS`] active defects: the verified
+    /// resolution was never attempted.
+    Overflow = 1,
+    /// The verified resolution was attempted and failed — a component
+    /// was non-trivial or a local optimum could not be proven unique.
+    Ambiguous = 2,
+}
+
+impl EscalateCause {
+    /// Stable wire/trace code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`EscalateCause::code`].
+    pub fn from_code(code: u8) -> Option<EscalateCause> {
+        match code {
+            0 => Some(EscalateCause::None),
+            1 => Some(EscalateCause::Overflow),
+            2 => Some(EscalateCause::Ambiguous),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label for dump rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            EscalateCause::None => "none",
+            EscalateCause::Overflow => "overflow",
+            EscalateCause::Ambiguous => "ambiguous",
+        }
+    }
+}
+
 /// Result of predecoding one batch (one sliding-window step).
 #[derive(Clone, Debug, PartialEq)]
 pub struct BatchOutcome {
@@ -83,6 +127,9 @@ pub struct BatchOutcome {
     /// The batch needed escalation: `residual` must be decoded by the
     /// full decoder.
     pub complex: bool,
+    /// Why the batch left the fast path ([`EscalateCause::None`] when it
+    /// did not).
+    pub cause: EscalateCause,
     /// Measurement-error pairs cancelled by the round-cancellation
     /// sweep (complex batches only; non-complex batches resolve their
     /// time pairs as trivial chains).
@@ -588,26 +635,30 @@ impl<'a> BatchPredecoder<'a> {
                 matches: Vec::new(),
                 residual: Vec::new(),
                 complex: false,
+                cause: EscalateCause::None,
                 cancelled_pairs: 0,
                 latency_ns,
             };
         }
         self.sg.rebuild(self.graph, dets);
+        let mut cause = EscalateCause::Overflow;
         if dets.len() <= MAX_L1_DEFECTS {
             if let Some(matches) = self.try_resolve_verified() {
                 return self.tally(BatchOutcome {
                     matches,
                     residual: Vec::new(),
                     complex: false,
+                    cause: EscalateCause::None,
                     cancelled_pairs: 0,
                     latency_ns,
                 });
             }
+            cause = EscalateCause::Ambiguous;
         }
         // Complex batch: the verified all-trivial fast path failed. Run
         // the round-cancellation sweep, then strip what can be proven.
         let (survivors, cancelled) = self.cancel_rounds(dets);
-        let out = self.complex_tail(dets, survivors, cancelled, latency_ns);
+        let out = self.complex_tail(dets, survivors, cancelled, cause, latency_ns);
         self.tally(out)
     }
 
@@ -627,11 +678,13 @@ impl<'a> BatchPredecoder<'a> {
                 matches: Vec::new(),
                 residual: Vec::new(),
                 complex: false,
+                cause: EscalateCause::None,
                 cancelled_pairs: 0,
                 latency_ns,
             };
         }
         let mut dets = Vec::new();
+        let mut cause = EscalateCause::Overflow;
         if !packed::popcount_exceeds(words, MAX_L1_DEFECTS as u32) {
             packed::for_each_set_bit(words, |b| dets.push(base + b as DetectorId));
             self.sg.rebuild(self.graph, &dets);
@@ -640,15 +693,17 @@ impl<'a> BatchPredecoder<'a> {
                     matches,
                     residual: Vec::new(),
                     complex: false,
+                    cause: EscalateCause::None,
                     cancelled_pairs: 0,
                     latency_ns,
                 });
             }
+            cause = EscalateCause::Ambiguous;
         } else {
             packed::for_each_set_bit(words, |b| dets.push(base + b as DetectorId));
         }
         let (survivors, cancelled) = self.cancel_rounds_packed(words, base);
-        let out = self.complex_tail(&dets, survivors, cancelled, latency_ns);
+        let out = self.complex_tail(&dets, survivors, cancelled, cause, latency_ns);
         self.tally(out)
     }
 
@@ -664,6 +719,7 @@ impl<'a> BatchPredecoder<'a> {
         dets: &[DetectorId],
         mut survivors: Vec<DetectorId>,
         cancelled: Vec<(DetectorId, DetectorId)>,
+        cause: EscalateCause,
         latency_ns: f64,
     ) -> BatchOutcome {
         let mut db: Vec<Option<i64>> = vec![None; dets.len()];
@@ -712,6 +768,7 @@ impl<'a> BatchPredecoder<'a> {
             matches,
             residual,
             complex: true,
+            cause,
             cancelled_pairs,
             latency_ns,
         }

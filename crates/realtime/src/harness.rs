@@ -157,6 +157,44 @@ pub fn run_stream_instrumented(
     cache: &Arc<WindowCache>,
     spans: Option<(Arc<telemetry::StageSpans>, u32)>,
 ) -> StreamRunResult {
+    run_stream_impl(graph, circuit, kind, cfg, cache, spans, None)
+}
+
+/// [`run_stream_with_cache`] with the causal flight recorder armed:
+/// every window step of every shot emits its trace events into `trace`,
+/// keyed by `(tenant, shot index, window index)`. Like spans, tracing is
+/// a pure side channel — the returned [`StreamRunResult`] is
+/// bit-identical to the untraced run (pinned by the trace-purity
+/// proptest).
+pub fn run_stream_traced(
+    graph: &DecodingGraph,
+    circuit: &Circuit,
+    kind: DecoderKind,
+    cfg: &StreamRunConfig,
+    cache: &Arc<WindowCache>,
+    trace: Arc<telemetry::TraceBuf>,
+    tenant: u32,
+) -> StreamRunResult {
+    run_stream_impl(
+        graph,
+        circuit,
+        kind,
+        cfg,
+        cache,
+        None,
+        Some((trace, tenant)),
+    )
+}
+
+fn run_stream_impl(
+    graph: &DecodingGraph,
+    circuit: &Circuit,
+    kind: DecoderKind,
+    cfg: &StreamRunConfig,
+    cache: &Arc<WindowCache>,
+    spans: Option<(Arc<telemetry::StageSpans>, u32)>,
+    trace: Option<(Arc<telemetry::TraceBuf>, u32)>,
+) -> StreamRunResult {
     let layers = Arc::new(LayerMap::from_graph(graph).expect("graph has a layer structure"));
     let layers_per_shot = layers.num_layers();
     let mut stream = SyndromeStream::with_shared_layers(circuit, Arc::clone(&layers), cfg.seed);
@@ -166,6 +204,9 @@ pub fn run_stream_instrumented(
             .with_datapath(cfg.datapath);
     if let Some((sp, sample)) = spans {
         swd.set_spans(sp, sample);
+    }
+    if let Some((buf, tenant)) = trace {
+        swd.set_trace(buf, tenant);
     }
     let fallback = fallback_latency_model(kind);
     let mut timings: Vec<WindowTiming> = Vec::new();

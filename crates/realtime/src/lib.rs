@@ -54,8 +54,8 @@ pub use backlog::{
     WindowTiming,
 };
 pub use harness::{
-    fallback_latency_model, run_stream, run_stream_instrumented, run_stream_with_cache,
-    StreamRunConfig, StreamRunResult,
+    fallback_latency_model, run_stream, run_stream_instrumented, run_stream_traced,
+    run_stream_with_cache, StreamRunConfig, StreamRunResult,
 };
 pub use stream::{PackedShot, StreamedShot, SyndromeStream};
 pub use window::{

@@ -311,6 +311,36 @@ pub struct SlidingWindowDecoder<'g> {
     spans: Option<Arc<telemetry::StageSpans>>,
     /// 1-in-N window-step sampler gating the span timestamps.
     sampler: telemetry::Sampler,
+    /// Optional causal flight recorder (typically the owning shard's
+    /// ring). Every window step emits its causal events — WindowOpen,
+    /// L1Resolve/Escalate, SolveStart/SolveEnd, Commit/Defer — keyed by
+    /// `(trace_tenant, trace_seq + shot, window_idx)`. Recording is
+    /// wait-free and allocation-free, and never changes decode outcomes
+    /// (pinned by the purity proptests); disabled it costs one `Option`
+    /// check per emission site.
+    trace: Option<Arc<telemetry::TraceBuf>>,
+    /// Tenant id stamped on trace events.
+    trace_tenant: u32,
+    /// Sequence (shot id) of the next decoded shot; auto-advances per
+    /// shot, or is pinned per submission via
+    /// [`SlidingWindowDecoder::set_trace_seq`].
+    trace_seq: u64,
+}
+
+/// Records one trace event when the recorder is armed. Free function so
+/// emission sites inside field-level `&mut self` borrows stay legal.
+#[inline]
+fn tr(
+    trace: &Option<Arc<telemetry::TraceBuf>>,
+    tenant: u32,
+    seq: u64,
+    window: u32,
+    kind: telemetry::TraceKind,
+    arg: u32,
+) {
+    if let Some(t) = trace {
+        t.record(tenant, seq, window, kind, arg);
+    }
 }
 
 impl<'g> SlidingWindowDecoder<'g> {
@@ -378,6 +408,9 @@ impl<'g> SlidingWindowDecoder<'g> {
             scratch: ShotState::default(),
             spans: None,
             sampler: telemetry::Sampler::new(0),
+            trace: None,
+            trace_tenant: 0,
+            trace_seq: 0,
         }
     }
 
@@ -394,6 +427,31 @@ impl<'g> SlidingWindowDecoder<'g> {
     pub fn with_spans(mut self, spans: Arc<telemetry::StageSpans>, sample: u32) -> Self {
         self.set_spans(spans, sample);
         self
+    }
+
+    /// Arms the causal flight recorder: every window step of every shot
+    /// emits its trace events into `trace`, keyed by `tenant`. Unlike
+    /// span sampling this is not throttled — [`telemetry::TraceBuf::
+    /// record`] is wait-free and allocation-free, and the ring bounds
+    /// the retained history.
+    pub fn set_trace(&mut self, trace: Arc<telemetry::TraceBuf>, tenant: u32) {
+        self.trace = Some(trace);
+        self.trace_tenant = tenant;
+    }
+
+    /// Chainable [`SlidingWindowDecoder::set_trace`].
+    #[must_use]
+    pub fn with_trace(mut self, trace: Arc<telemetry::TraceBuf>, tenant: u32) -> Self {
+        self.set_trace(trace, tenant);
+        self
+    }
+
+    /// Pins the sequence number (shot id) stamped on the next decoded
+    /// shot's trace events. The service shard calls this with the wire
+    /// shot id before each submission so traces join up with commits;
+    /// standalone runs can rely on the default auto-increment.
+    pub fn set_trace_seq(&mut self, seq: u64) {
+        self.trace_seq = seq;
     }
 
     /// Switches between the packed and byte syndrome datapaths.
@@ -549,6 +607,13 @@ impl<'g> SlidingWindowDecoder<'g> {
         while self.act_pool.len() < inputs.len() {
             self.act_pool.push(Vec::new());
         }
+        // Local handles so emission sites inside field-level borrows of
+        // `self` stay legal; the clone is one refcount bump, no heap.
+        let trace = self.trace.clone();
+        let tt = self.trace_tenant;
+        let seq0 = self.trace_seq;
+        self.trace_seq += inputs.len() as u64;
+        let mut widx = 0u32;
         let mut s = 0u32;
         loop {
             // Span sampling is per window step: a sampled step times
@@ -620,7 +685,17 @@ impl<'g> SlidingWindowDecoder<'g> {
                         sp.record(telemetry::Stage::Window, telemetry::since_ns(t_window));
                     }
                 }
+                let seq = seq0 + i as u64;
+                tr(
+                    &trace,
+                    tt,
+                    seq,
+                    widx,
+                    telemetry::TraceKind::WindowOpen,
+                    hw as u32,
+                );
                 let mut latency_ns = None;
+                let mut committed = 0usize;
                 let mut deferred = 0usize;
                 let mut l1_resolved = false;
                 let mut escalated = false;
@@ -652,6 +727,7 @@ impl<'g> SlidingWindowDecoder<'g> {
                         };
                         if top < commit_end {
                             state.obs ^= m.obs;
+                            committed += 1;
                         } else {
                             state.pending.push(m.a);
                             deferred += 1;
@@ -661,6 +737,7 @@ impl<'g> SlidingWindowDecoder<'g> {
                             }
                         }
                     }
+                    let cause = out.cause;
                     active = out.residual;
                     if out.complex {
                         // Complex batches escalate even when the greedy
@@ -674,9 +751,25 @@ impl<'g> SlidingWindowDecoder<'g> {
                         if active.is_empty() {
                             latency_ns = Some(BATCH_PREDECODE_NS);
                         }
+                        tr(
+                            &trace,
+                            tt,
+                            seq,
+                            widx,
+                            telemetry::TraceKind::Escalate,
+                            ((active.len() as u32) << 8) | cause.code() as u32,
+                        );
                     } else {
                         l1_resolved = true;
                         latency_ns = Some(BATCH_PREDECODE_NS);
+                        tr(
+                            &trace,
+                            tt,
+                            seq,
+                            widx,
+                            telemetry::TraceKind::L1Resolve,
+                            hw as u32,
+                        );
                     }
                 }
                 if t_l1 != 0 {
@@ -703,6 +796,28 @@ impl<'g> SlidingWindowDecoder<'g> {
                     l1_resolved,
                     escalated,
                 });
+                // L1-tier commits/defers; the solver tier emits its own
+                // below, so one window may carry one event per tier.
+                if committed > 0 {
+                    tr(
+                        &trace,
+                        tt,
+                        seq,
+                        widx,
+                        telemetry::TraceKind::Commit,
+                        committed as u32,
+                    );
+                }
+                if deferred > 0 {
+                    tr(
+                        &trace,
+                        tt,
+                        seq,
+                        widx,
+                        telemetry::TraceKind::Defer,
+                        deferred as u32,
+                    );
+                }
                 if !active.is_empty() {
                     groups.entry((lo_layer, hi)).or_default().push(i);
                 }
@@ -727,6 +842,16 @@ impl<'g> SlidingWindowDecoder<'g> {
                 // all-pairs paths) is what the cache keeps warm, and the
                 // batched decode keeps its workspaces warm across the
                 // group's shots.
+                for &i in &idxs {
+                    tr(
+                        &trace,
+                        tt,
+                        seq0 + i as u64,
+                        widx,
+                        telemetry::TraceKind::SolveStart,
+                        idxs.len() as u32,
+                    );
+                }
                 let mut dec = build_decoder(self.kind, ctx.graph(), ctx.paths());
                 let mut outs = Vec::new();
                 dec.decode_batch(&batch, &mut outs);
@@ -739,6 +864,7 @@ impl<'g> SlidingWindowDecoder<'g> {
                     0
                 };
                 for (&i, out) in idxs.iter().zip(&outs) {
+                    let seq = seq0 + i as u64;
                     let state = &mut st[i];
                     let record = state.windows.last_mut().expect("record pushed above");
                     // Escalated windows pay the L1 charge on top of the
@@ -749,21 +875,33 @@ impl<'g> SlidingWindowDecoder<'g> {
                     } else {
                         out.latency_ns
                     };
+                    tr(
+                        &trace,
+                        tt,
+                        seq,
+                        widx,
+                        telemetry::TraceKind::SolveEnd,
+                        u32::from(out.failed),
+                    );
                     if out.failed {
                         state.failed = true;
                         record.failed = true;
                         // The shot is already lost; nothing rolls forward.
                         continue;
                     }
+                    let mut cc = 0usize;
+                    let mut dc = 0usize;
                     for m in &out.matches {
                         let ga = m.a + lo_det;
                         match m.b {
                             MatchTarget::Boundary => {
                                 if self.layers.layer_of(ga) < commit_end {
                                     state.obs ^= ctx.paths().boundary_obs(m.a);
+                                    cc += 1;
                                 } else {
                                     state.pending.push(ga);
                                     record.deferred += 1;
+                                    dc += 1;
                                 }
                             }
                             MatchTarget::Detector(lb) => {
@@ -771,13 +909,35 @@ impl<'g> SlidingWindowDecoder<'g> {
                                 let top = self.layers.layer_of(ga).max(self.layers.layer_of(gb));
                                 if top < commit_end {
                                     state.obs ^= ctx.paths().path_obs(m.a, lb);
+                                    cc += 1;
                                 } else {
                                     state.pending.push(ga);
                                     state.pending.push(gb);
                                     record.deferred += 2;
+                                    dc += 2;
                                 }
                             }
                         }
+                    }
+                    if cc > 0 {
+                        tr(
+                            &trace,
+                            tt,
+                            seq,
+                            widx,
+                            telemetry::TraceKind::Commit,
+                            cc as u32,
+                        );
+                    }
+                    if dc > 0 {
+                        tr(
+                            &trace,
+                            tt,
+                            seq,
+                            widx,
+                            telemetry::TraceKind::Defer,
+                            dc as u32,
+                        );
                     }
                 }
                 if t_commit != 0 {
@@ -795,6 +955,7 @@ impl<'g> SlidingWindowDecoder<'g> {
                 break;
             }
             s += self.cfg.commit;
+            widx += 1;
         }
         st.iter().zip(inputs).for_each(|(state, input)| {
             if let ShotInput::Sparse(dets) = input {

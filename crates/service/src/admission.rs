@@ -131,12 +131,60 @@ pub fn simulate_shard(arrivals: &mut [WindowArrival], cfg: &AdmissionConfig) -> 
     reports
 }
 
+/// Why a submission was shed. Carried on the shed `CommitResult` (two
+/// flag bits on the wire) and as the Shed trace event's argument, so
+/// overload postmortems can tell an admission-gate rejection from a full
+/// submission ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ShedReason {
+    /// The tenant's in-flight cap was reached at the admission gate.
+    InflightCap = 1,
+    /// The gate admitted the shot but the shard's submission ring was
+    /// full.
+    QueueFull = 2,
+    /// The shot was dropped while draining (session teardown). No live
+    /// site sheds with this today — it is reserved for shutdown-time
+    /// shedding and exercised only by unit tests.
+    Drain = 3,
+}
+
+impl ShedReason {
+    /// Stable wire/trace code (0 is "not shed").
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`ShedReason::code`]; `0` and unknown codes map to
+    /// `None`.
+    pub fn from_code(code: u8) -> Option<ShedReason> {
+        match code {
+            1 => Some(ShedReason::InflightCap),
+            2 => Some(ShedReason::QueueFull),
+            3 => Some(ShedReason::Drain),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::InflightCap => "inflight-cap",
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::Drain => "drain",
+        }
+    }
+}
+
 /// Lock-free live admission gate: bounds one tenant's in-flight shots.
 #[derive(Debug)]
 pub struct TenantGate {
     capacity: usize,
     in_flight: AtomicUsize,
     shed: AtomicU64,
+    /// Per-reason shed counters, indexed by `ShedReason::code() - 1`.
+    /// They sum to `shed`.
+    shed_by_reason: [AtomicU64; 3],
 }
 
 impl TenantGate {
@@ -146,10 +194,17 @@ impl TenantGate {
             capacity,
             in_flight: AtomicUsize::new(0),
             shed: AtomicU64::new(0),
+            shed_by_reason: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
         }
     }
 
-    /// Tries to admit one shot; on rejection the shed counter advances.
+    fn count_shed(&self, reason: ShedReason) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed_by_reason[reason.code() as usize - 1].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tries to admit one shot; on rejection the shed counter advances
+    /// under [`ShedReason::InflightCap`].
     pub fn try_admit(&self) -> bool {
         let admitted = self
             .in_flight
@@ -158,7 +213,7 @@ impl TenantGate {
             })
             .is_ok();
         if !admitted {
-            self.shed.fetch_add(1, Ordering::Relaxed);
+            self.count_shed(ShedReason::InflightCap);
         }
         admitted
     }
@@ -170,12 +225,14 @@ impl TenantGate {
     }
 
     /// Converts one admitted shot into a shed: releases its in-flight
-    /// slot and advances the shed counter. Used when a shot passes the
-    /// gate but the downstream submission ring is full.
-    pub fn shed_admitted(&self) {
+    /// slot and advances the shed counter under `reason`. Used when a
+    /// shot passes the gate but the downstream submission ring is full
+    /// ([`ShedReason::QueueFull`]) or the session is torn down with the
+    /// shot still queued ([`ShedReason::Drain`]).
+    pub fn shed_admitted(&self, reason: ShedReason) {
         let prev = self.in_flight.fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "shed_admitted() without a matching try_admit()");
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.count_shed(reason);
     }
 
     /// Shots currently in flight.
@@ -186,6 +243,11 @@ impl TenantGate {
     /// Shots shed so far.
     pub fn shed_count(&self) -> u64 {
         self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Shots shed so far for `reason`.
+    pub fn shed_count_for(&self, reason: ShedReason) -> u64 {
+        self.shed_by_reason[reason.code() as usize - 1].load(Ordering::Relaxed)
     }
 }
 
@@ -326,6 +388,8 @@ mod tests {
         assert!(!gate.try_admit());
         assert_eq!(gate.in_flight(), 2);
         assert_eq!(gate.shed_count(), 1);
+        assert_eq!(gate.shed_count_for(ShedReason::InflightCap), 1);
+        assert_eq!(gate.shed_count_for(ShedReason::QueueFull), 0);
         gate.complete();
         assert!(gate.try_admit());
         assert_eq!(gate.shed_count(), 1);
@@ -338,10 +402,40 @@ mod tests {
     fn shedding_an_admitted_shot_frees_its_slot() {
         let gate = TenantGate::new(1);
         assert!(gate.try_admit());
-        gate.shed_admitted();
+        gate.shed_admitted(ShedReason::QueueFull);
         assert_eq!(gate.in_flight(), 0, "the in-flight slot is released");
         assert_eq!(gate.shed_count(), 1, "the shed is still counted");
+        assert_eq!(gate.shed_count_for(ShedReason::QueueFull), 1);
         assert!(gate.try_admit(), "the freed slot admits again");
         gate.complete();
+    }
+
+    #[test]
+    fn shed_reasons_partition_the_total_and_round_trip_their_codes() {
+        let gate = TenantGate::new(1);
+        assert!(gate.try_admit());
+        assert!(!gate.try_admit()); // inflight-cap
+        gate.shed_admitted(ShedReason::QueueFull);
+        assert!(gate.try_admit());
+        gate.shed_admitted(ShedReason::Drain);
+        let by_reason: u64 = [
+            ShedReason::InflightCap,
+            ShedReason::QueueFull,
+            ShedReason::Drain,
+        ]
+        .into_iter()
+        .map(|r| gate.shed_count_for(r))
+        .sum();
+        assert_eq!(by_reason, gate.shed_count());
+        for r in [
+            ShedReason::InflightCap,
+            ShedReason::QueueFull,
+            ShedReason::Drain,
+        ] {
+            assert_eq!(ShedReason::from_code(r.code()), Some(r));
+            assert!(!r.label().is_empty());
+        }
+        assert_eq!(ShedReason::from_code(0), None);
+        assert_eq!(ShedReason::from_code(4), None);
     }
 }

@@ -71,17 +71,21 @@
 
 pub mod admission;
 pub mod loadgen;
+pub mod postmortem;
 pub mod protocol;
 pub mod server;
 mod shard;
 pub mod spsc;
 pub mod transport;
 
-pub use admission::{simulate_shard, AdmissionConfig, TenantGate, TenantReport, WindowArrival};
+pub use admission::{
+    simulate_shard, AdmissionConfig, ShedReason, TenantGate, TenantReport, WindowArrival,
+};
 pub use loadgen::{qubit_seed, run_loadgen, CommitRecord, LoadgenConfig, LoadgenReport, TenantRun};
+pub use postmortem::TraceSet;
 pub use protocol::{
-    Frame, ServiceError, ShardMetricsWire, StageWire, TenantStatsWire, MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    Frame, ServiceError, ShardMetricsWire, StageWire, TenantStatsWire, TraceEventWire,
+    TraceShardWire, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 pub use server::{preferred_shard, DecodeServer, ScenarioContext, ServiceConfig};
 pub use transport::{channel_pair, tcp_endpoint, Endpoint, FrameSink, FrameSource};
@@ -346,6 +350,205 @@ mod tests {
             total_shed > 0,
             "a closed loop of depth 8 over a gate of 1 must shed"
         );
+    }
+
+    #[test]
+    fn trace_request_scrapes_causally_keyed_events() {
+        let ctx = small_ctx();
+        let scenario = ScenarioContext::new("t", Arc::clone(&ctx)).unwrap();
+        let server = DecodeServer::new(
+            ServiceConfig {
+                shards: 2,
+                trace_capacity: 256,
+                // Keep the modeled deadline far above any real SPSC
+                // queueing delay: this test pins the *clean-run* trace,
+                // and a loaded test machine must not fire a
+                // deadline-miss postmortem under it.
+                deadline_ns: 1e12,
+                ..ServiceConfig::default()
+            },
+            vec![scenario],
+        )
+        .unwrap();
+        let (mut client, server_end) = channel_pair();
+        std::thread::scope(|scope| {
+            scope.spawn(|| server.serve(vec![server_end]));
+            client
+                .sink
+                .send(&Frame::RegisterQubit {
+                    qubit: 0,
+                    decoder: DecoderKind::Mwpm.code(),
+                    window: 3,
+                    commit: 2,
+                    predecode: 1,
+                    datapath: 0,
+                    scenario: "t".into(),
+                })
+                .unwrap();
+            assert!(matches!(
+                client.source.recv().unwrap().unwrap(),
+                Frame::RegisterAck { ok: true, .. }
+            ));
+            // Real syndromes (an empty shot would match nothing, so no
+            // Commit event could ever be traced for it).
+            for shot in 0..3u64 {
+                client
+                    .sink
+                    .send(&Frame::SubmitRounds {
+                        qubit: 0,
+                        shot,
+                        dets: ctx.dem.errors[shot as usize].dets.as_slice().to_vec(),
+                    })
+                    .unwrap();
+                match client.source.recv().unwrap().unwrap() {
+                    Frame::CommitResult { shed: false, .. } => {}
+                    other => panic!("shot {shot}: expected a decoded commit, got {other:?}"),
+                }
+            }
+            client.sink.send(&Frame::TraceRequest).unwrap();
+            match client.source.recv().unwrap().unwrap() {
+                Frame::TraceReport { shards } => {
+                    assert_eq!(shards.len(), 2, "one row per shard, even idle ones");
+                    let events: Vec<&TraceEventWire> =
+                        shards.iter().flat_map(|s| &s.events).collect();
+                    // Every decoded shot opened at least one window, and
+                    // the causal key carries the wire shot id.
+                    for shot in 0..3u64 {
+                        assert!(
+                            events.iter().any(|e| e.tenant == 0
+                                && e.seq == shot
+                                && e.kind == telemetry::TraceKind::WindowOpen as u8),
+                            "no WindowOpen for shot {shot}"
+                        );
+                    }
+                    // Commits were traced, and shard-scoped park/wake
+                    // events use the reserved tenant id.
+                    assert!(events
+                        .iter()
+                        .any(|e| e.kind == telemetry::TraceKind::Commit as u8));
+                    assert!(events.iter().any(|e| e.tenant == telemetry::SHARD_TENANT
+                        && (e.kind == telemetry::TraceKind::Park as u8
+                            || e.kind == telemetry::TraceKind::Wake as u8)));
+                }
+                other => panic!("expected TraceReport, got {other:?}"),
+            }
+            client.sink.send(&Frame::Shutdown).unwrap();
+            assert_eq!(client.source.recv().unwrap(), Some(Frame::ShutdownAck));
+        });
+        let trace = server.trace().expect("tracing armed");
+        assert!(trace.events_recorded() > 0);
+        assert!(!trace.fired(), "a clean run triggers no postmortem");
+    }
+
+    #[test]
+    fn untraced_server_reports_an_empty_trace() {
+        let ctx = small_ctx();
+        let scenario = ScenarioContext::new("t", Arc::clone(&ctx)).unwrap();
+        let server = DecodeServer::new(ServiceConfig::default(), vec![scenario]).unwrap();
+        assert!(server.trace().is_none());
+        let (mut client, server_end) = channel_pair();
+        std::thread::scope(|scope| {
+            scope.spawn(|| server.serve(vec![server_end]));
+            client.sink.send(&Frame::TraceRequest).unwrap();
+            match client.source.recv().unwrap().unwrap() {
+                Frame::TraceReport { shards } => assert!(shards.is_empty()),
+                other => panic!("expected TraceReport, got {other:?}"),
+            }
+            client.sink.send(&Frame::Shutdown).unwrap();
+            assert_eq!(client.source.recv().unwrap(), Some(Frame::ShutdownAck));
+        });
+    }
+
+    #[test]
+    fn a_flood_freezes_a_postmortem_whose_sheds_carry_reasons() {
+        let dir = std::env::temp_dir().join(format!("svc-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("flood").to_string_lossy().into_owned();
+        let ctx = small_ctx();
+        let scenario = ScenarioContext::new("t", Arc::clone(&ctx)).unwrap();
+        let server = DecodeServer::new(
+            ServiceConfig {
+                max_inflight_shots: 1,
+                trace_capacity: 512,
+                trace_dump_prefix: Some(prefix),
+                // The shed must be the *first* trigger for the dump
+                // reason to be deterministic; park the deadline far out
+                // so slow CI machines cannot fire a miss first.
+                deadline_ns: 1e12,
+                ..ServiceConfig::default()
+            },
+            vec![scenario],
+        )
+        .unwrap();
+        let (mut client, server_end) = channel_pair();
+        std::thread::scope(|scope| {
+            scope.spawn(|| server.serve(vec![server_end]));
+            client
+                .sink
+                .send(&Frame::RegisterQubit {
+                    qubit: 0,
+                    decoder: DecoderKind::Mwpm.code(),
+                    window: 3,
+                    commit: 2,
+                    predecode: 0,
+                    datapath: 1,
+                    scenario: "t".into(),
+                })
+                .unwrap();
+            assert!(matches!(
+                client.source.recv().unwrap().unwrap(),
+                Frame::RegisterAck { ok: true, .. }
+            ));
+            let dets = ctx.dem.errors[0].dets.as_slice().to_vec();
+            for shot in 0..32u64 {
+                client
+                    .sink
+                    .send(&Frame::SubmitRounds {
+                        qubit: 0,
+                        shot,
+                        dets: dets.clone(),
+                    })
+                    .unwrap();
+            }
+            let mut shed_reasons = Vec::new();
+            for _ in 0..32 {
+                match client.source.recv().unwrap().unwrap() {
+                    Frame::CommitResult {
+                        shed: true,
+                        shed_reason,
+                        ..
+                    } => shed_reasons.push(shed_reason),
+                    Frame::CommitResult { shed: false, .. } => {}
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            assert!(!shed_reasons.is_empty(), "the flood must shed");
+            assert!(
+                shed_reasons
+                    .iter()
+                    .all(|&r| r == ShedReason::InflightCap.code()),
+                "router sheds over the gate are in-flight-cap sheds: {shed_reasons:?}"
+            );
+            client.sink.send(&Frame::Shutdown).unwrap();
+            assert_eq!(client.source.recv().unwrap(), Some(Frame::ShutdownAck));
+        });
+        let trace = server.trace().expect("tracing armed");
+        assert!(trace.fired(), "the first shed freezes a postmortem");
+        assert!(trace.triggers() >= 1);
+        let path = trace.dump_path().expect("dump written");
+        let dump = telemetry::parse_dump(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(dump.reason, "shed");
+        let sheds: Vec<_> = dump
+            .shards
+            .iter()
+            .flat_map(|s| &s.events)
+            .filter(|e| e.kind == telemetry::TraceKind::Shed)
+            .collect();
+        assert!(!sheds.is_empty(), "the dump contains the shed events");
+        assert!(sheds
+            .iter()
+            .all(|e| e.arg == ShedReason::InflightCap.code() as u32));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

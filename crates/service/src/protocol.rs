@@ -28,6 +28,8 @@
 //! | 8 | [`Frame::Error`]         | server → client | protocol or routing error |
 //! | 9 | [`Frame::MetricsRequest`] | client → server | ask for a live telemetry snapshot |
 //! | 10 | [`Frame::MetricsReport`] | server → client | per-shard counters, gauges, stage timings |
+//! | 11 | [`Frame::TraceRequest`] | client → server | ask for a flight-recorder snapshot |
+//! | 12 | [`Frame::TraceReport`] | server → client | per-shard causal trace events |
 //!
 //! The same bytes flow over both transports (loopback TCP and in-process
 //! channels; see [`crate::transport`]), so protocol coverage is
@@ -41,8 +43,11 @@ use std::io::{Read, Write};
 /// `l1_rounds` / `escalated_windows` counters to [`TenantStatsWire`];
 /// v3 added the datapath byte to [`Frame::RegisterQubit`];
 /// v4 added the in-band telemetry scrape ([`Frame::MetricsRequest`] /
-/// [`Frame::MetricsReport`] carrying [`ShardMetricsWire`] rows).
-pub const PROTOCOL_VERSION: u16 = 4;
+/// [`Frame::MetricsReport`] carrying [`ShardMetricsWire`] rows);
+/// v5 added the flight-recorder scrape ([`Frame::TraceRequest`] /
+/// [`Frame::TraceReport`] carrying [`TraceShardWire`] rows) and the
+/// shed-reason bits on [`Frame::CommitResult`]'s flags byte.
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Upper bound on one frame's encoded size (sanity check against
 /// corrupted length prefixes; generous for any realistic syndrome).
@@ -153,6 +158,37 @@ pub struct ShardMetricsWire {
     pub stages: Vec<StageWire>,
 }
 
+/// One flight-recorder event of a [`Frame::TraceReport`] row (see
+/// `telemetry::TraceEvent` for field semantics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceEventWire {
+    /// Nanoseconds since the server's trace epoch.
+    pub ts_ns: u64,
+    /// Tenant id (`u32::MAX` for shard-scoped events).
+    pub tenant: u32,
+    /// Shot sequence number.
+    pub seq: u64,
+    /// Window index within the shot.
+    pub window_idx: u32,
+    /// Event kind code (`telemetry::TraceKind`).
+    pub kind: u8,
+    /// Kind-specific argument word.
+    pub arg: u32,
+}
+
+/// One shard's flight-recorder snapshot in a [`Frame::TraceReport`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceShardWire {
+    /// Shard id.
+    pub shard: u32,
+    /// Events recorded over the ring's lifetime.
+    pub recorded: u64,
+    /// Events the ring overwrote.
+    pub dropped: u64,
+    /// Surviving events, oldest first.
+    pub events: Vec<TraceEventWire>,
+}
+
 /// One protocol message. See the module docs for the frame table.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
@@ -209,6 +245,9 @@ pub enum Frame {
         failed: bool,
         /// The shot was shed by live admission control and never decoded.
         shed: bool,
+        /// Why the shot was shed ([`crate::ShedReason::code`]; 0 when not
+        /// shed). Travels in bits 2..=3 of the wire flags byte.
+        shed_reason: u8,
         /// Windows decoded for this shot.
         windows: u32,
         /// Sum of the modeled per-window service times, ns.
@@ -237,6 +276,15 @@ pub enum Frame {
     MetricsReport {
         /// Per-shard telemetry rows, ordered by shard id.
         shards: Vec<ShardMetricsWire>,
+    },
+    /// Ask the server for a flight-recorder snapshot (the in-band
+    /// equivalent of a triggered postmortem dump).
+    TraceRequest,
+    /// A flight-recorder snapshot: one row per shard, empty when tracing
+    /// is disabled.
+    TraceReport {
+        /// Per-shard trace rows, ordered by shard id.
+        shards: Vec<TraceShardWire>,
     },
 }
 
@@ -280,6 +328,8 @@ impl Frame {
             Frame::Error { .. } => 8,
             Frame::MetricsRequest => 9,
             Frame::MetricsReport { .. } => 10,
+            Frame::TraceRequest => 11,
+            Frame::TraceReport { .. } => 12,
         }
     }
 
@@ -341,17 +391,22 @@ impl Frame {
                 obs_flip,
                 failed,
                 shed,
+                shed_reason,
                 windows,
                 service_ns_total,
             } => {
                 put_u32(&mut out, *qubit);
                 put_u64(&mut out, *shot);
                 put_u64(&mut out, *obs_flip);
-                out.push(u8::from(*failed) | (u8::from(*shed) << 1));
+                out.push(u8::from(*failed) | (u8::from(*shed) << 1) | ((*shed_reason & 0b11) << 2));
                 put_u32(&mut out, *windows);
                 put_f64(&mut out, *service_ns_total);
             }
-            Frame::StatsRequest | Frame::Shutdown | Frame::ShutdownAck | Frame::MetricsRequest => {}
+            Frame::StatsRequest
+            | Frame::Shutdown
+            | Frame::ShutdownAck
+            | Frame::MetricsRequest
+            | Frame::TraceRequest => {}
             Frame::StatsReport { tenants } => {
                 put_count(&mut out, tenants.len(), 88, "tenant stats list")?;
                 for t in tenants {
@@ -393,6 +448,26 @@ impl Frame {
                         put_u64(&mut out, st.p50_ns);
                         put_u64(&mut out, st.p99_ns);
                         put_u64(&mut out, st.max_ns);
+                    }
+                }
+            }
+            Frame::TraceReport { shards } => {
+                // Row floor: 4 (shard) + 2×8 (counters) + 4 (event
+                // count); events add 29 bytes each, checked by their own
+                // put_count below.
+                put_count(&mut out, shards.len(), 24, "trace shard list")?;
+                for s in shards {
+                    put_u32(&mut out, s.shard);
+                    put_u64(&mut out, s.recorded);
+                    put_u64(&mut out, s.dropped);
+                    put_count(&mut out, s.events.len(), 29, "trace event list")?;
+                    for e in &s.events {
+                        put_u64(&mut out, e.ts_ns);
+                        put_u32(&mut out, e.tenant);
+                        put_u64(&mut out, e.seq);
+                        put_u32(&mut out, e.window_idx);
+                        out.push(e.kind);
+                        put_u32(&mut out, e.arg);
                     }
                 }
             }
@@ -452,6 +527,7 @@ impl Frame {
                     obs_flip,
                     failed: flags & 1 != 0,
                     shed: flags & 2 != 0,
+                    shed_reason: (flags >> 2) & 0b11,
                     windows: r.u32()?,
                     service_ns_total: r.f64()?,
                 }
@@ -515,6 +591,33 @@ impl Frame {
                     shards.push(m);
                 }
                 Frame::MetricsReport { shards }
+            }
+            11 => Frame::TraceRequest,
+            12 => {
+                let n = r.u32()? as usize;
+                let mut shards = Vec::with_capacity(n.min(MAX_FRAME_LEN / 24));
+                for _ in 0..n {
+                    let mut s = TraceShardWire {
+                        shard: r.u32()?,
+                        recorded: r.u64()?,
+                        dropped: r.u64()?,
+                        events: Vec::new(),
+                    };
+                    let k = r.u32()? as usize;
+                    s.events.reserve(k.min(MAX_FRAME_LEN / 29));
+                    for _ in 0..k {
+                        s.events.push(TraceEventWire {
+                            ts_ns: r.u64()?,
+                            tenant: r.u32()?,
+                            seq: r.u64()?,
+                            window_idx: r.u32()?,
+                            kind: r.u8()?,
+                            arg: r.u32()?,
+                        });
+                    }
+                    shards.push(s);
+                }
+                Frame::TraceReport { shards }
             }
             other => {
                 return Err(ServiceError::Protocol(format!(
@@ -783,8 +886,19 @@ mod tests {
                 obs_flip: 1,
                 failed: false,
                 shed: true,
+                shed_reason: 2,
                 windows: 3,
                 service_ns_total: 812.5,
+            },
+            Frame::CommitResult {
+                qubit: 8,
+                shot: 42,
+                obs_flip: 0,
+                failed: true,
+                shed: false,
+                shed_reason: 0,
+                windows: 3,
+                service_ns_total: 99.0,
             },
             Frame::StatsRequest,
             Frame::StatsReport {
@@ -839,7 +953,63 @@ mod tests {
                     },
                 ],
             },
+            Frame::TraceRequest,
+            Frame::TraceReport {
+                shards: vec![
+                    TraceShardWire {
+                        shard: 0,
+                        recorded: 5000,
+                        dropped: 904,
+                        events: vec![
+                            TraceEventWire {
+                                ts_ns: 123_456,
+                                tenant: 7,
+                                seq: 41,
+                                window_idx: 2,
+                                kind: 0,
+                                arg: 3,
+                            },
+                            TraceEventWire {
+                                ts_ns: 123_789,
+                                tenant: u32::MAX,
+                                seq: 0,
+                                window_idx: 0,
+                                kind: 9,
+                                arg: 0,
+                            },
+                        ],
+                    },
+                    TraceShardWire {
+                        shard: 1,
+                        ..TraceShardWire::default()
+                    },
+                ],
+            },
+            Frame::TraceReport { shards: Vec::new() },
         ]
+    }
+
+    #[test]
+    fn shed_reason_bits_share_the_commit_flags_byte() {
+        for (failed, shed, reason) in [
+            (false, true, 1u8),
+            (false, true, 2),
+            (true, false, 0),
+            (false, true, 3),
+        ] {
+            let f = Frame::CommitResult {
+                qubit: 1,
+                shot: 2,
+                obs_flip: 0,
+                failed,
+                shed,
+                shed_reason: reason,
+                windows: 0,
+                service_ns_total: 0.0,
+            };
+            let body = f.encode().unwrap();
+            assert_eq!(Frame::decode(&body).unwrap(), f);
+        }
     }
 
     #[test]

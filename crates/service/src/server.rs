@@ -22,8 +22,12 @@
 //! touches only the tenant's own [`crate::admission::TenantGate`]
 //! atomics and the owning shard's channel; no cross-shard locks.
 
-use crate::admission::TenantGate;
-use crate::protocol::{Frame, ServiceError, ShardMetricsWire, StageWire, TenantStatsWire};
+use crate::admission::{ShedReason, TenantGate};
+use crate::postmortem::TraceSet;
+use crate::protocol::{
+    Frame, ServiceError, ShardMetricsWire, StageWire, TenantStatsWire, TraceEventWire,
+    TraceShardWire,
+};
 use crate::shard::{run_shard, ShardRequest};
 use crate::spsc::{self, Producer, ShardWaker};
 use crate::transport::{tcp_endpoint, Endpoint, FrameSource};
@@ -39,7 +43,7 @@ use std::sync::{Arc, RwLock};
 use crate::admission::AdmissionConfig;
 
 /// Sizing and SLO parameters of one server.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServiceConfig {
     /// Decode shards (worker threads).
     pub shards: usize,
@@ -61,6 +65,22 @@ pub struct ServiceConfig {
     /// (and submissions) gets span timestamps. 0 disables spans
     /// entirely; counters and gauges are always live.
     pub metrics_sample: u32,
+    /// Flight-recorder ring capacity per shard, in events (rounded up
+    /// to a power of two). 0 disables tracing entirely: no rings are
+    /// built and the hot paths stay branch-free.
+    pub trace_capacity: usize,
+    /// Postmortem dump-file prefix (`{prefix}-{reason}-{millis}.trace`).
+    /// `None` keeps postmortems in memory — triggers still latch and
+    /// count, and `TraceRequest` scrapes still work.
+    pub trace_dump_prefix: Option<String>,
+    /// Escalation-storm postmortem threshold: trigger when the fraction
+    /// of a shard's last 64 windows that escalated past the L1
+    /// predecoder exceeds this. 0 disables the detector.
+    pub storm_threshold: f64,
+    /// SPSC ring-depth high-water mark: trigger a postmortem when a
+    /// shard observes this many pending submissions across its rings.
+    /// 0 disables the detector.
+    pub ring_high_water: u32,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +93,10 @@ impl Default for ServiceConfig {
             max_inflight_shots: 4,
             batch_max: 16,
             metrics_sample: 8,
+            trace_capacity: 0,
+            trace_dump_prefix: None,
+            storm_threshold: 0.0,
+            ring_high_water: 0,
         }
     }
 }
@@ -104,6 +128,12 @@ impl ServiceConfig {
         }
         if self.batch_max == 0 {
             return Err("batch_max must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.storm_threshold) {
+            return Err(format!(
+                "storm_threshold must be a fraction in [0, 1], got {}",
+                self.storm_threshold
+            ));
         }
         Ok(())
     }
@@ -271,6 +301,7 @@ pub struct DecodeServer {
     cfg: ServiceConfig,
     scenarios: Vec<ScenarioContext>,
     metrics: Arc<telemetry::Registry>,
+    trace: Option<Arc<TraceSet>>,
 }
 
 impl DecodeServer {
@@ -291,10 +322,18 @@ impl DecodeServer {
             }
         }
         let metrics = Arc::new(telemetry::Registry::new(cfg.shards));
+        let trace = (cfg.trace_capacity > 0).then(|| {
+            Arc::new(TraceSet::new(
+                cfg.shards,
+                cfg.trace_capacity,
+                cfg.trace_dump_prefix.clone(),
+            ))
+        });
         Ok(DecodeServer {
             cfg,
             scenarios,
             metrics,
+            trace,
         })
     }
 
@@ -308,6 +347,14 @@ impl DecodeServer {
     /// the record side is lock-free, so scraping never stalls decode.
     pub fn metrics(&self) -> &Arc<telemetry::Registry> {
         &self.metrics
+    }
+
+    /// The server's flight recorder, when `trace_capacity > 0`: one
+    /// ring per shard plus the postmortem trigger latch. Snapshot it
+    /// from any thread — recording is wait-free, so scraping never
+    /// stalls decode.
+    pub fn trace(&self) -> Option<&Arc<TraceSet>> {
+        self.trace.as_ref()
     }
 
     /// Serves the given transport sessions to completion (each ends on
@@ -362,7 +409,9 @@ impl DecodeServer {
                 let scenarios = &self.scenarios;
                 let waker = Arc::clone(&wakers[sid]);
                 let shard_metrics = Arc::clone(self.metrics.shard(sid));
-                scope.spawn(move || run_shard(sid, cfg, scenarios, rx, waker, shard_metrics));
+                let trace = self.trace.clone();
+                scope
+                    .spawn(move || run_shard(sid, cfg, scenarios, rx, waker, shard_metrics, trace));
             }
             let registry = &registry;
             for ep in endpoints {
@@ -380,9 +429,18 @@ impl DecodeServer {
                 let cfg = &self.cfg;
                 let scenarios = &self.scenarios;
                 let metrics = &self.metrics;
+                let trace = &self.trace;
                 scope.spawn(move || {
                     route_session(
-                        source, reply_tx, shard_txs, wakers, registry, cfg, scenarios, metrics,
+                        source,
+                        reply_tx,
+                        shard_txs,
+                        wakers,
+                        registry,
+                        cfg,
+                        scenarios,
+                        metrics,
+                        trace.as_ref(),
                     );
                 });
             }
@@ -467,17 +525,48 @@ pub(crate) fn metrics_wire_rows(snap: &telemetry::RegistrySnapshot) -> Vec<Shard
         .collect()
 }
 
-/// A shed reply for a submission that never reached a decoder.
-fn shed_commit(qubit: u32, shot: u64) -> Frame {
+/// A shed reply for a submission that never reached a decoder, tagged
+/// with why it was shed.
+fn shed_commit(qubit: u32, shot: u64, reason: ShedReason) -> Frame {
     Frame::CommitResult {
         qubit,
         shot,
         obs_flip: 0,
         failed: true,
         shed: true,
+        shed_reason: reason.code(),
         windows: 0,
         service_ns_total: 0.0,
     }
+}
+
+/// Folds the flight recorder into [`Frame::TraceReport`] rows.
+fn trace_wire_rows(trace: Option<&Arc<TraceSet>>) -> Vec<TraceShardWire> {
+    let Some(trace) = trace else {
+        return Vec::new();
+    };
+    trace
+        .collect("scrape")
+        .shards
+        .into_iter()
+        .map(|s| TraceShardWire {
+            shard: s.shard,
+            recorded: s.recorded,
+            dropped: s.dropped,
+            events: s
+                .events
+                .iter()
+                .map(|e| TraceEventWire {
+                    ts_ns: e.ts_ns,
+                    tenant: e.tenant,
+                    seq: e.seq,
+                    window_idx: e.window_idx,
+                    kind: e.kind as u8,
+                    arg: e.arg,
+                })
+                .collect(),
+        })
+        .collect()
 }
 
 /// One session's request router: reads frames until shutdown/EOF and
@@ -499,6 +588,7 @@ fn route_session(
     cfg: &ServiceConfig,
     scenarios: &[ScenarioContext],
     metrics: &telemetry::Registry,
+    trace: Option<&Arc<TraceSet>>,
 ) {
     // Session-local route memo: steady-state submits touch no lock.
     let mut routes: HashMap<u32, TenantRoute> = HashMap::new();
@@ -547,9 +637,20 @@ fn route_session(
             }
             let route = &routes[&qubit];
             if !route.gate.try_admit() {
-                // Live admission: queue full, shed without decoding.
+                // Live admission: in-flight cap hit, shed without
+                // decoding.
                 metrics.shard(route.shard).sheds.inc();
-                let _ = reply_tx.send(shed_commit(qubit, shot));
+                if let Some(t) = trace {
+                    t.buf(route.shard).record(
+                        qubit,
+                        shot,
+                        0,
+                        telemetry::TraceKind::Shed,
+                        ShedReason::InflightCap.code() as u32,
+                    );
+                    t.trigger("shed");
+                }
+                let _ = reply_tx.send(shed_commit(qubit, shot, ShedReason::InflightCap));
                 continue;
             }
             let producer = rings.entry(route.shard).or_insert_with(|| {
@@ -602,9 +703,19 @@ fn route_session(
                 None => {
                     // Ring full: the shard is stalled. Convert the
                     // admission into a shed so the gate slot frees.
-                    route.gate.shed_admitted();
+                    route.gate.shed_admitted(ShedReason::QueueFull);
                     metrics.shard(route.shard).sheds.inc();
-                    let _ = reply_tx.send(shed_commit(qubit, shot));
+                    if let Some(t) = trace {
+                        t.buf(route.shard).record(
+                            qubit,
+                            shot,
+                            0,
+                            telemetry::TraceKind::Shed,
+                            ShedReason::QueueFull.code() as u32,
+                        );
+                        t.trigger("shed");
+                    }
+                    let _ = reply_tx.send(shed_commit(qubit, shot, ShedReason::QueueFull));
                 }
             }
             continue;
@@ -686,6 +797,15 @@ fn route_session(
                     shards: metrics_wire_rows(&metrics.snapshot()),
                 });
             }
+            Frame::TraceRequest => {
+                // Same shape as a metrics scrape: the rings are read
+                // concurrently with the writers (torn slots skipped),
+                // so the shards never notice. A server without tracing
+                // armed reports zero shards.
+                let _ = reply_tx.send(Frame::TraceReport {
+                    shards: trace_wire_rows(trace),
+                });
+            }
             Frame::Shutdown => {
                 let _ = reply_tx.send(Frame::ShutdownAck);
                 break;
@@ -706,7 +826,7 @@ mod tests {
     #[test]
     fn config_validation_names_the_offending_field() {
         assert!(ServiceConfig::default().validate().is_ok());
-        let cases: [(ServiceConfig, &str); 5] = [
+        let cases: [(ServiceConfig, &str); 6] = [
             (
                 ServiceConfig {
                     shards: 0,
@@ -741,6 +861,13 @@ mod tests {
                     ..Default::default()
                 },
                 "max_inflight",
+            ),
+            (
+                ServiceConfig {
+                    storm_threshold: 1.5,
+                    ..Default::default()
+                },
+                "storm_threshold",
             ),
         ];
         for (cfg, field) in cases {

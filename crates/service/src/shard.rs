@@ -26,6 +26,7 @@
 //! latency, never a hang.
 
 use crate::admission::{simulate_shard, TenantGate, WindowArrival};
+use crate::postmortem::TraceSet;
 use crate::protocol::{Frame, TenantStatsWire};
 use crate::server::{ScenarioContext, ServiceConfig};
 use crate::spsc::{Consumer, ShardWaker, SubmitSlot};
@@ -40,7 +41,7 @@ use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::Duration;
-use telemetry::{ShardMetrics, Stage};
+use telemetry::{ShardMetrics, Stage, TraceBuf, TraceKind, SHARD_TENANT};
 
 /// A control request routed to one shard. Replies travel back through
 /// the originating session's frame channel. Submissions do NOT travel
@@ -112,6 +113,42 @@ const TIMELINE_CAP: usize = 1 << 18;
 /// without a wake).
 const IDLE_PARK: Duration = Duration::from_micros(500);
 
+/// Shard-local flight-recorder state: the shard's ring, the shared
+/// trigger latch, and the escalation-storm gauge (a bitmask of the
+/// last 64 windows — 1 = escalated past L1).
+struct ShardTrace {
+    buf: Arc<TraceBuf>,
+    set: Arc<TraceSet>,
+    storm_bits: u64,
+    storm_seen: u32,
+    storm_latched: bool,
+}
+
+impl ShardTrace {
+    /// Folds one decoded shot's window/escalation counts into the
+    /// storm gauge and triggers the postmortem when the escalated
+    /// fraction of the last 64 windows crosses `threshold`.
+    fn observe_shot(&mut self, windows: u64, escalated: u64, threshold: f64) {
+        if threshold <= 0.0 {
+            return;
+        }
+        for i in 0..windows {
+            self.storm_bits = (self.storm_bits << 1) | u64::from(i < escalated);
+        }
+        self.storm_seen = self
+            .storm_seen
+            .saturating_add(windows.min(64) as u32)
+            .min(64);
+        if self.storm_seen >= 64 && !self.storm_latched {
+            let frac = f64::from(self.storm_bits.count_ones()) / 64.0;
+            if frac > threshold {
+                self.storm_latched = true;
+                self.set.trigger("escalation-storm");
+            }
+        }
+    }
+}
+
 /// The shard's modeled arrival sample, bounded by [`TIMELINE_CAP`].
 struct Timeline {
     arrivals: Vec<WindowArrival>,
@@ -144,12 +181,21 @@ pub(crate) fn run_shard(
     rx: Receiver<ShardRequest>,
     waker: Arc<ShardWaker>,
     metrics: Arc<ShardMetrics>,
+    trace: Option<Arc<TraceSet>>,
 ) {
     waker.register();
     let mut tenants: HashMap<u32, Tenant<'_>> = HashMap::new();
     let mut timeline = Timeline::new();
     let mut rings: Vec<(Consumer, Sender<Frame>)> = Vec::new();
     let mut control_open = true;
+    let mut tr: Option<ShardTrace> = trace.map(|set| ShardTrace {
+        buf: Arc::clone(set.buf(shard_id)),
+        set,
+        storm_bits: 0,
+        storm_seen: 0,
+        storm_latched: false,
+    });
+    let mut high_water_latched = false;
     // Wakes are counted at the waker (the producer side swaps the
     // parked flag); fold them into the telemetry counter by delta.
     let mut last_wakes = 0u64;
@@ -170,7 +216,7 @@ pub(crate) fn run_shard(
                     reply,
                 }) => {
                     let sc = &scenarios[scenario];
-                    let decoder = SlidingWindowDecoder::with_cache(
+                    let mut decoder = SlidingWindowDecoder::with_cache(
                         &sc.context().graph,
                         Arc::clone(sc.layers()),
                         kind,
@@ -180,6 +226,9 @@ pub(crate) fn run_shard(
                     .with_predecode(predecode)
                     .with_datapath(datapath)
                     .with_spans(Arc::clone(&metrics.stages), cfg.metrics_sample);
+                    if let Some(t) = &tr {
+                        decoder.set_trace(Arc::clone(&t.buf), qubit);
+                    }
                     let layers_per_shot = sc.layers().num_layers();
                     tenants.insert(
                         qubit,
@@ -224,11 +273,26 @@ pub(crate) fn run_shard(
         // per pass so control traffic and sibling rings stay live.
         let depth: usize = rings.iter().map(|(ring, _)| ring.len()).sum();
         metrics.ring_depth.set(depth as u64);
+        if let Some(t) = &tr {
+            if cfg.ring_high_water > 0 && depth as u32 >= cfg.ring_high_water && !high_water_latched
+            {
+                high_water_latched = true;
+                t.set.trigger("ring-high-water");
+            }
+        }
         let mut swept = 0usize;
         for (ring, reply) in &mut rings {
             let n = ring.len().min(cfg.batch_max);
             for i in 0..n {
-                process_slot(&mut tenants, &mut timeline, ring.slot(i), reply, &metrics);
+                process_slot(
+                    &mut tenants,
+                    &mut timeline,
+                    ring.slot(i),
+                    reply,
+                    &metrics,
+                    cfg,
+                    &mut tr,
+                );
             }
             ring.advance(n);
             swept += n;
@@ -237,6 +301,15 @@ pub(crate) fn run_shard(
         let wakes = waker.wake_count();
         if wakes > last_wakes {
             metrics.wakes.add(wakes - last_wakes);
+            if let Some(t) = &tr {
+                t.buf.record(
+                    SHARD_TENANT,
+                    0,
+                    0,
+                    TraceKind::Wake,
+                    (wakes - last_wakes) as u32,
+                );
+            }
             last_wakes = wakes;
         }
         if !control_open && rings.is_empty() {
@@ -249,6 +322,9 @@ pub(crate) fn run_shard(
             // the park via `wake`.
             if rings.iter().all(|(ring, _)| ring.is_empty()) {
                 metrics.parks.inc();
+                if let Some(t) = &tr {
+                    t.buf.record(SHARD_TENANT, 0, 0, TraceKind::Park, 0);
+                }
                 waker.park_timeout(IDLE_PARK);
             }
         }
@@ -263,14 +339,30 @@ fn process_slot(
     slot: &mut SubmitSlot,
     reply: &Sender<Frame>,
     metrics: &ShardMetrics,
+    cfg: &ServiceConfig,
+    tr: &mut Option<ShardTrace>,
 ) {
     let (qubit, shot) = (slot.qubit, slot.shot);
     if slot.enq != 0 {
         // The router's sampler stamped the publish: the elapsed time to
         // this pickup is the SPSC queueing delay (ingest stage).
-        metrics
-            .stages
-            .record(Stage::Ingest, telemetry::since_ns(slot.enq));
+        let delay_ns = telemetry::since_ns(slot.enq);
+        metrics.stages.record(Stage::Ingest, delay_ns);
+        if let Some(t) = tr.as_mut() {
+            // A sampled submission that queued past the reaction
+            // deadline before decode even started cannot make it: log
+            // the miss (arg = elapsed µs) and freeze a postmortem.
+            if delay_ns as f64 > cfg.deadline_ns {
+                t.buf.record(
+                    qubit,
+                    shot,
+                    0,
+                    TraceKind::DeadlineMiss,
+                    (delay_ns / 1_000).min(u32::MAX as u64) as u32,
+                );
+                t.set.trigger("deadline-miss");
+            }
+        }
         slot.enq = 0;
     }
     let Some(tenant) = tenants.get_mut(&qubit) else {
@@ -290,6 +382,11 @@ fn process_slot(
         });
         tenant.gate.complete();
         return;
+    }
+    if tr.is_some() {
+        // Pin the trace's causal key to the wire shot id (sheds leave
+        // gaps the decoder's own counter would not).
+        tenant.decoder.set_trace_seq(shot);
     }
     match tenant.datapath {
         Datapath::Packed => {
@@ -335,12 +432,20 @@ fn process_slot(
         .add(tenant.out.escalated_windows());
     tenant.next_shot = shot + 1;
     tenant.gate.complete();
+    if let Some(t) = tr.as_mut() {
+        t.observe_shot(
+            tenant.out.windows.len() as u64,
+            tenant.out.escalated_windows(),
+            cfg.storm_threshold,
+        );
+    }
     let _ = reply.send(Frame::CommitResult {
         qubit,
         shot,
         obs_flip: tenant.out.obs_flip,
         failed: tenant.out.failed,
         shed: false,
+        shed_reason: 0,
         windows: tenant.out.windows.len() as u32,
         service_ns_total: total_ns,
     });
@@ -490,7 +595,15 @@ mod tests {
             let metrics = ShardMetrics::default();
             for (i, dets) in shots.iter().enumerate() {
                 let mut slot = pack_slot(0, i as u64, dets, num_dets);
-                process_slot(&mut tenants, &mut timeline, &mut slot, &tx, &metrics);
+                process_slot(
+                    &mut tenants,
+                    &mut timeline,
+                    &mut slot,
+                    &tx,
+                    &metrics,
+                    &ServiceConfig::default(),
+                    &mut None,
+                );
             }
             drop(tx);
             for frame in rx.iter() {
@@ -554,7 +667,15 @@ mod tests {
             let metrics = ShardMetrics::default();
             for (i, dets) in shots.iter().enumerate() {
                 let mut slot = pack_slot(3, i as u64, dets, num_dets);
-                process_slot(&mut tenants, &mut timeline, &mut slot, &tx, &metrics);
+                process_slot(
+                    &mut tenants,
+                    &mut timeline,
+                    &mut slot,
+                    &tx,
+                    &metrics,
+                    &ServiceConfig::default(),
+                    &mut None,
+                );
             }
             drop(tx);
             replies.push(rx.iter().collect::<Vec<Frame>>());
@@ -583,7 +704,15 @@ mod tests {
         for (shot, expect_err) in [(0u64, false), (0, true), (5, false), (2, true)] {
             assert!(gate.try_admit());
             let mut slot = pack_slot(1, shot, &[], num_dets);
-            process_slot(&mut tenants, &mut timeline, &mut slot, &tx, &metrics);
+            process_slot(
+                &mut tenants,
+                &mut timeline,
+                &mut slot,
+                &tx,
+                &metrics,
+                &ServiceConfig::default(),
+                &mut None,
+            );
             match rx.try_recv().unwrap() {
                 Frame::Error { message } => {
                     assert!(expect_err, "unexpected reject: {message}");
@@ -598,7 +727,15 @@ mod tests {
         assert_eq!(gate.in_flight(), 0, "rejects release the gate slot");
         // An unregistered qubit is rejected without touching any gate.
         let mut slot = pack_slot(9, 0, &[], num_dets);
-        process_slot(&mut tenants, &mut timeline, &mut slot, &tx, &metrics);
+        process_slot(
+            &mut tenants,
+            &mut timeline,
+            &mut slot,
+            &tx,
+            &metrics,
+            &ServiceConfig::default(),
+            &mut None,
+        );
         match rx.try_recv().unwrap() {
             Frame::Error { message } => {
                 assert!(

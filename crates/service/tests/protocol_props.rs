@@ -6,7 +6,7 @@
 //! ids, and a per-case stream of values expanded by splitmix).
 
 use proptest::prelude::*;
-use service::{Frame, TenantStatsWire};
+use service::{Frame, TenantStatsWire, TraceEventWire, TraceShardWire};
 
 /// Deterministic value stream for filling variable-length fields.
 struct Mix(u64);
@@ -68,6 +68,8 @@ fn arbitrary_frame(ty: u8, seed: u64, len: usize) -> Frame {
             obs_flip: m.next(),
             failed: (m.next() & 1) == 0,
             shed: (m.next() & 1) == 0,
+            // Two wire bits (flags 2..=3): only 0..=3 round-trips.
+            shed_reason: (m.next() % 4) as u8,
             windows: m.next() as u32,
             service_ns_total: m.f64(),
         },
@@ -92,6 +94,26 @@ fn arbitrary_frame(ty: u8, seed: u64, len: usize) -> Frame {
         },
         6 => Frame::Shutdown,
         7 => Frame::ShutdownAck,
+        8 => Frame::TraceRequest,
+        9 => Frame::TraceReport {
+            shards: (0..len.min(4))
+                .map(|_| TraceShardWire {
+                    shard: m.next() as u32,
+                    recorded: m.next(),
+                    dropped: m.next(),
+                    events: (0..(m.next() % 8))
+                        .map(|_| TraceEventWire {
+                            ts_ns: m.next(),
+                            tenant: m.next() as u32,
+                            seq: m.next(),
+                            window_idx: m.next() as u32,
+                            kind: m.next() as u8,
+                            arg: m.next() as u32,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        },
         _ => Frame::Error {
             message: m.string(len),
         },
@@ -106,7 +128,7 @@ proptest! {
     /// payloads, which the byte comparison still pins down).
     #[test]
     fn encode_decode_encode_is_a_fixed_point(
-        ty in 0u8..=8,
+        ty in 0u8..=10,
         seed in any::<u64>(),
         len in 0usize..40,
     ) {
@@ -128,7 +150,7 @@ proptest! {
         let bytes: Vec<u8> = (0..len).map(|_| m.next() as u8).collect();
         let _ = Frame::decode(&bytes);
         // Truncations of a valid frame never panic either.
-        let body = arbitrary_frame((seed % 9) as u8, seed, len % 20)
+        let body = arbitrary_frame((seed % 11) as u8, seed, len % 20)
             .encode()
             .unwrap();
         for cut in 0..body.len() {

@@ -25,6 +25,12 @@
 //!   [`RegistrySnapshot::render_json`] (the periodic snapshot feeding
 //!   BENCH.json's telemetry object).
 //!
+//! - [`TraceBuf`] — the causal flight recorder: a wait-free
+//!   seqlock-slot ring of `(tenant, seq, window_idx, kind, arg)` events
+//!   per shard, with a plain-text postmortem dump format
+//!   ([`render_dump`] / [`parse_dump`]) and a Chrome-trace/Perfetto
+//!   JSON exporter ([`render_chrome_trace`]).
+//!
 //! Timestamps come from [`clock::now`] — raw TSC cycles on x86_64,
 //! calibrated against `Instant` once per process — so taking a span
 //! costs two register reads plus one multiply, not a syscall.
@@ -37,9 +43,14 @@ mod metrics;
 mod registry;
 mod server;
 mod stage;
+mod trace;
 
 pub use clock::{now, since_ns};
 pub use metrics::{Counter, Gauge, HistogramSnapshot, LogHistogram, NUM_BUCKETS};
 pub use registry::{Registry, RegistrySnapshot, ShardMetrics, ShardSnapshot, StageSnapshot};
 pub use server::MetricsServer;
 pub use stage::{Sampler, Stage, StageSpans};
+pub use trace::{
+    parse_dump, render_chrome_trace, render_dump, TraceBuf, TraceDump, TraceEvent, TraceKind,
+    TraceShard, TraceSnapshot, SHARD_TENANT,
+};

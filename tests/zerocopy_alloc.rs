@@ -11,9 +11,11 @@
 //! nanoseconds of tail latency.
 //!
 //! The decoder runs with stage spans attached at a 1-in-1 sampling
-//! rate, so the pin also covers the telemetry record path: timing a
-//! window step into a [`telemetry::StageSpans`] histogram must never
-//! touch the heap.
+//! rate **and** the causal flight recorder armed, so the pin also
+//! covers both telemetry record paths: timing a window step into a
+//! [`telemetry::StageSpans`] histogram and logging trace events into a
+//! [`telemetry::TraceBuf`] ring must never touch the heap — including
+//! when the ring wraps and overwrites old slots.
 //!
 //! This binary holds a single test so no concurrent test thread can
 //! attribute its allocations to the measured region.
@@ -68,10 +70,14 @@ fn steady_state_packed_decode_makes_zero_allocations() {
             // Sample every window step: the steady-state claim must
             // hold with the telemetry record path fully exercised.
             let spans = Arc::new(telemetry::StageSpans::new());
+            // A ring small enough that the measured region wraps it,
+            // proving overwrite is allocation-free too.
+            let trace = Arc::new(telemetry::TraceBuf::new(64));
             let mut swd = SlidingWindowDecoder::new(&ctx.graph, layers.clone(), kind, cfg)
                 .with_predecode(predecode)
                 .with_datapath(Datapath::Packed)
-                .with_spans(Arc::clone(&spans), 1);
+                .with_spans(Arc::clone(&spans), 1)
+                .with_trace(Arc::clone(&trace), 0);
             let mut out = WindowedOutcome {
                 obs_flip: 0,
                 failed: false,
@@ -110,6 +116,21 @@ fn steady_state_packed_decode_makes_zero_allocations() {
                 "{} ({predecode:?}): spans recorded only {} steps",
                 kind.label(),
                 steps.count
+            );
+            // Same for the flight recorder: at least one event per
+            // measured shot landed, and the 64-slot ring wrapped
+            // inside the zero-allocation region.
+            assert!(
+                trace.recorded() >= 64,
+                "{} ({predecode:?}): trace recorded only {} events",
+                kind.label(),
+                trace.recorded()
+            );
+            assert!(
+                trace.dropped() > 0,
+                "{} ({predecode:?}): ring never wrapped — overwrite \
+                 path unexercised",
+                kind.label()
             );
         }
     }
